@@ -1,0 +1,184 @@
+//! Microbenchmarks of the hot building blocks: the DES engine, the
+//! fair-share resource, the HTTP parser, the broker decision path, the LRU
+//! page cache, and the loadd table. These are the per-event / per-request
+//! costs everything in the reproduction stands on.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sweb_cluster::{presets, FileId, NodeId, PageCache};
+use sweb_core::{Broker, CostInputs, CostModel, LoadTable, LoadVector, Oracle, Policy, RequestInfo, SwebConfig};
+use sweb_des::{FairShare, ResourceHost, Sim, SimTime};
+use sweb_http::parse_request;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("des");
+    for n in [1_000u64, 10_000] {
+        g.throughput(Throughput::Elements(n));
+        g.bench_function(format!("schedule_run_{n}_events"), |b| {
+            b.iter(|| {
+                struct Ctx(u64);
+                let mut sim: Sim<Ctx> = Sim::new();
+                let mut ctx = Ctx(0);
+                let mut rng = StdRng::seed_from_u64(42);
+                for _ in 0..n {
+                    let at = SimTime::from_micros(rng.gen_range(0..1_000_000));
+                    sim.schedule(at, Box::new(|c: &mut Ctx, _: &mut Sim<Ctx>| c.0 += 1));
+                }
+                sim.run(&mut ctx);
+                black_box(ctx.0)
+            });
+        });
+    }
+    g.finish();
+}
+
+struct FsCtx {
+    res: Option<FairShare<FsCtx>>,
+    done: u64,
+}
+
+impl ResourceHost for FsCtx {
+    type Key = ();
+    fn fair_share(&mut self, _key: ()) -> &mut FairShare<FsCtx> {
+        self.res.as_mut().unwrap()
+    }
+}
+
+fn bench_fair_share(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fair_share");
+    for jobs in [16usize, 128] {
+        g.throughput(Throughput::Elements(jobs as u64));
+        g.bench_function(format!("{jobs}_concurrent_jobs"), |b| {
+            b.iter(|| {
+                let mut ctx = FsCtx { res: Some(FairShare::new((), 1e6)), done: 0 };
+                let mut sim: Sim<FsCtx> = Sim::new();
+                for i in 0..jobs {
+                    let mut res = ctx.res.take().unwrap();
+                    res.submit(
+                        &mut sim,
+                        1000.0 + i as f64,
+                        Box::new(|c: &mut FsCtx, _: &mut Sim<FsCtx>| c.done += 1),
+                    );
+                    ctx.res = Some(res);
+                }
+                sim.run(&mut ctx);
+                black_box(ctx.done)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_http_parse(c: &mut Criterion) {
+    let simple = b"GET /index.html HTTP/1.0\r\n\r\n".to_vec();
+    let browser = b"GET /maps/goleta.gif?zoom=3&layer=roads HTTP/1.0\r\n\
+Host: sweb.alexandria.ucsb.edu\r\n\
+User-Agent: Mozilla/2.0 (X11; I; SunOS 5.4 sun4m)\r\n\
+Accept: image/gif, image/x-xbitmap, image/jpeg, */*\r\n\
+Referer: http://alexandria.ucsb.edu/search\r\n\r\n"
+        .to_vec();
+    let mut g = c.benchmark_group("http_parse");
+    g.throughput(Throughput::Bytes(simple.len() as u64));
+    g.bench_function("minimal_request", |b| {
+        b.iter(|| black_box(parse_request(black_box(&simple)).unwrap()))
+    });
+    g.throughput(Throughput::Bytes(browser.len() as u64));
+    g.bench_function("browser_request", |b| {
+        b.iter(|| black_box(parse_request(black_box(&browser)).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_broker(c: &mut Criterion) {
+    let mut g = c.benchmark_group("broker");
+    for nodes in [6usize, 32] {
+        let cluster = presets::meiko(nodes);
+        let mut loads = LoadTable::new(nodes);
+        let mut rng = StdRng::seed_from_u64(7);
+        for i in 0..nodes {
+            loads.update(
+                NodeId(i as u32),
+                LoadVector::new(
+                    rng.gen_range(0.0..5.0),
+                    rng.gen_range(0.0..5.0),
+                    rng.gen_range(0.0..2.0),
+                ),
+                SimTime::ZERO,
+            );
+        }
+        let broker = Broker::new(Policy::Sweb, CostModel::new(SwebConfig::default()));
+        let req = RequestInfo::fetch(FileId(3), 1_500_000, NodeId(3 % nodes as u32), 2.2e6);
+        g.throughput(Throughput::Elements(1));
+        g.bench_function(format!("sweb_decision_{nodes}_nodes"), |b| {
+            b.iter(|| {
+                let inputs = CostInputs { cluster: &cluster, loads: &loads };
+                black_box(broker.decide(black_box(&req), NodeId(0), &inputs))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_oracle(c: &mut Criterion) {
+    let mut oracle = Oracle::ncsa_default();
+    for i in 0..16 {
+        oracle.add_rule(
+            format!("/cgi-bin/rule{i}"),
+            sweb_core::CostProfile { base_ops: 1e6, ops_per_byte: 0.5 },
+        );
+    }
+    c.bench_function("oracle_characterize", |b| {
+        b.iter(|| black_box(oracle.characterize(black_box("/cgi-bin/rule7/query"), 250_000)))
+    });
+}
+
+fn bench_page_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("page_cache");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("access_hit", |b| {
+        let mut cache = PageCache::new(1 << 20);
+        for i in 0..64 {
+            cache.access(FileId(i), 1 << 10);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 64;
+            black_box(cache.access(FileId(i), 1 << 10))
+        });
+    });
+    g.bench_function("access_miss_evict", |b| {
+        let mut cache = PageCache::new(64 << 10);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(cache.access(FileId(i), 1 << 10))
+        });
+    });
+    g.finish();
+}
+
+fn bench_load_table(c: &mut Criterion) {
+    let mut table = LoadTable::new(32);
+    for i in 0..32 {
+        table.update(NodeId(i), LoadVector::new(1.0, 1.0, 1.0), SimTime::from_secs(1));
+    }
+    c.bench_function("load_table_update_and_scan", |b| {
+        b.iter(|| {
+            table.update(NodeId(7), LoadVector::new(2.0, 1.0, 0.5), SimTime::from_secs(2));
+            black_box(table.alive_nodes().count())
+        })
+    });
+}
+
+criterion_group!(
+    micro,
+    bench_event_queue,
+    bench_fair_share,
+    bench_http_parse,
+    bench_broker,
+    bench_oracle,
+    bench_page_cache,
+    bench_load_table
+);
+criterion_main!(micro);

@@ -1,0 +1,125 @@
+//! One criterion group per paper table/figure: times a scaled-down (Quick)
+//! version of each experiment, so regressions in simulation cost show up
+//! in CI and each experiment stays runnable under `cargo bench`.
+//!
+//! Full-scale regeneration (paper durations, full rps sweeps) lives in the
+//! `reproduce` binary; these benches call the *same* experiment functions.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sweb_sim::experiments::{self, Scale};
+
+fn cfg(c: &mut Criterion) -> &mut Criterion {
+    c
+}
+
+fn table1_max_rps(c: &mut Criterion) {
+    cfg(c).bench_function("table1_max_rps_quick", |b| {
+        b.iter(|| black_box(experiments::table1(Scale::Quick)))
+    });
+}
+
+fn table2_scalability(c: &mut Criterion) {
+    cfg(c).bench_function("table2_scalability_quick", |b| {
+        b.iter(|| black_box(experiments::table2(Scale::Quick)))
+    });
+}
+
+fn table3_nonuniform(c: &mut Criterion) {
+    cfg(c).bench_function("table3_nonuniform_quick", |b| {
+        b.iter(|| black_box(experiments::table3(Scale::Quick)))
+    });
+}
+
+fn table4_uniform_now(c: &mut Criterion) {
+    cfg(c).bench_function("table4_uniform_now_quick", |b| {
+        b.iter(|| black_box(experiments::table4(Scale::Quick)))
+    });
+}
+
+fn table5_breakdown(c: &mut Criterion) {
+    cfg(c).bench_function("table5_breakdown_quick", |b| {
+        b.iter(|| black_box(experiments::overhead_breakdown(Scale::Quick)))
+    });
+}
+
+fn skewed_hotfile(c: &mut Criterion) {
+    cfg(c).bench_function("skewed_hotfile_quick", |b| {
+        b.iter(|| black_box(experiments::skewed_hotfile(Scale::Quick)))
+    });
+}
+
+fn analytic_model(c: &mut Criterion) {
+    cfg(c).bench_function("analytic_vs_simulated_quick", |b| {
+        b.iter(|| black_box(experiments::analytic_vs_simulated(Scale::Quick)))
+    });
+}
+
+fn ablation_sweep(c: &mut Criterion) {
+    cfg(c).bench_function("ablations_quick", |b| {
+        b.iter(|| black_box(experiments::ablations(Scale::Quick)))
+    });
+}
+
+fn dns_ttl(c: &mut Criterion) {
+    cfg(c).bench_function("dns_ttl_quick", |b| {
+        b.iter(|| black_box(experiments::dns_ttl_sweep(Scale::Quick)))
+    });
+}
+
+fn forwarding(c: &mut Criterion) {
+    cfg(c).bench_function("forwarding_quick", |b| {
+        b.iter(|| black_box(experiments::forwarding_comparison(Scale::Quick)))
+    });
+}
+
+fn coop_cache(c: &mut Criterion) {
+    cfg(c).bench_function("coop_cache_quick", |b| {
+        b.iter(|| black_box(experiments::coop_cache(Scale::Quick)))
+    });
+}
+
+fn wide_area(c: &mut Criterion) {
+    cfg(c).bench_function("wide_area_quick", |b| {
+        b.iter(|| black_box(experiments::wide_area(Scale::Quick)))
+    });
+}
+
+fn dispatcher(c: &mut Criterion) {
+    cfg(c).bench_function("dispatcher_quick", |b| {
+        b.iter(|| black_box(experiments::centralized_dispatcher(Scale::Quick)))
+    });
+}
+
+fn zipf_sweep(c: &mut Criterion) {
+    cfg(c).bench_function("zipf_sweep_quick", |b| {
+        b.iter(|| black_box(experiments::zipf_sweep(Scale::Quick)))
+    });
+}
+
+fn figure1(c: &mut Criterion) {
+    cfg(c).bench_function("figure1_trace", |b| {
+        b.iter(|| black_box(experiments::figure1_trace()))
+    });
+}
+
+criterion_group! {
+    name = tables;
+    config = Criterion::default().sample_size(10);
+    targets =
+        table1_max_rps,
+        table2_scalability,
+        table3_nonuniform,
+        table4_uniform_now,
+        table5_breakdown,
+        skewed_hotfile,
+        analytic_model,
+        ablation_sweep,
+        dns_ttl,
+        forwarding,
+        coop_cache,
+        wide_area,
+        dispatcher,
+        zipf_sweep,
+        figure1
+}
+criterion_main!(tables);

@@ -1,0 +1,316 @@
+//! Byte-capacity LRU page cache.
+//!
+//! Each node caches whole files (the unit the HTTP server reads) up to a
+//! byte budget. Implemented as an intrusive doubly-linked list over a slab,
+//! so `access`/`insert`/`evict` are all O(1) — this sits on the simulator's
+//! per-request hot path.
+
+use std::collections::HashMap;
+
+use crate::files::FileId;
+
+const NIL: usize = usize::MAX;
+
+struct Entry {
+    file: FileId,
+    size: u64,
+    prev: usize,
+    next: usize,
+}
+
+/// An LRU cache of files bounded by total bytes.
+///
+/// ```
+/// use sweb_cluster::{FileId, PageCache};
+///
+/// let mut cache = PageCache::new(100);
+/// assert!(!cache.access(FileId(1), 60)); // cold miss, inserted
+/// assert!(cache.access(FileId(1), 60));  // warm hit
+/// assert!(!cache.access(FileId(2), 60)); // evicts file 1 (LRU)
+/// assert!(!cache.contains(FileId(1)));
+/// ```
+pub struct PageCache {
+    capacity: u64,
+    used: u64,
+    map: HashMap<FileId, usize>,
+    slab: Vec<Entry>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    hits: u64,
+    misses: u64,
+}
+
+impl PageCache {
+    /// A cache holding at most `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        PageCache {
+            capacity,
+            used: 0,
+            map: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Byte capacity.
+    #[inline]
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently cached.
+    #[inline]
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Number of cached files.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lifetime hit count.
+    #[inline]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime miss count.
+    #[inline]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit ratio over the cache's lifetime (0 when never accessed).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Record an access to `file` of `size` bytes. Returns `true` on a hit.
+    /// On a miss the file is inserted (if it fits at all), evicting LRU
+    /// entries as needed. Files larger than the whole cache are never
+    /// cached (they would evict everything for no benefit).
+    pub fn access(&mut self, file: FileId, size: u64) -> bool {
+        if let Some(&idx) = self.map.get(&file) {
+            self.hits += 1;
+            self.touch(idx);
+            return true;
+        }
+        self.misses += 1;
+        if size > self.capacity {
+            return false;
+        }
+        while self.used + size > self.capacity {
+            self.evict_lru();
+        }
+        let idx = self.alloc(Entry { file, size, prev: NIL, next: self.head });
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+        self.used += size;
+        self.map.insert(file, idx);
+        false
+    }
+
+    /// Whether `file` is currently cached (no LRU side effect, no counters).
+    pub fn contains(&self, file: FileId) -> bool {
+        self.map.contains_key(&file)
+    }
+
+    /// Iterate the cached file ids (arbitrary order, no LRU side effect).
+    /// Used by cooperative-cache digests.
+    pub fn keys(&self) -> impl Iterator<Item = FileId> + '_ {
+        self.map.keys().copied()
+    }
+
+    /// Drop a file from the cache (e.g. invalidation). Returns `true` if it
+    /// was present.
+    pub fn invalidate(&mut self, file: FileId) -> bool {
+        if let Some(idx) = self.map.remove(&file) {
+            self.unlink(idx);
+            self.used -= self.slab[idx].size;
+            self.free.push(idx);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn alloc(&mut self, e: Entry) -> usize {
+        if let Some(idx) = self.free.pop() {
+            self.slab[idx] = e;
+            idx
+        } else {
+            self.slab.push(e);
+            self.slab.len() - 1
+        }
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = NIL;
+    }
+
+    fn touch(&mut self, idx: usize) {
+        if self.head == idx {
+            return;
+        }
+        self.unlink(idx);
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn evict_lru(&mut self) {
+        let idx = self.tail;
+        assert_ne!(idx, NIL, "evict_lru on empty cache — size accounting bug");
+        let file = self.slab[idx].file;
+        self.map.remove(&file);
+        self.unlink(idx);
+        self.used -= self.slab[idx].size;
+        self.free.push(idx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(i: u64) -> FileId {
+        FileId(i)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = PageCache::new(100);
+        assert!(!c.access(f(1), 10));
+        assert!(c.access(f(1), 10));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.used(), 10);
+        assert!((c.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = PageCache::new(30);
+        c.access(f(1), 10);
+        c.access(f(2), 10);
+        c.access(f(3), 10);
+        // Touch 1 so 2 becomes LRU.
+        assert!(c.access(f(1), 10));
+        // Insert 4: must evict 2.
+        assert!(!c.access(f(4), 10));
+        assert!(c.contains(f(1)));
+        assert!(!c.contains(f(2)));
+        assert!(c.contains(f(3)));
+        assert!(c.contains(f(4)));
+        assert_eq!(c.used(), 30);
+    }
+
+    #[test]
+    fn oversized_file_is_not_cached_and_evicts_nothing() {
+        let mut c = PageCache::new(100);
+        c.access(f(1), 60);
+        assert!(!c.access(f(2), 150));
+        assert!(c.contains(f(1)), "oversized insert must not evict");
+        assert!(!c.contains(f(2)));
+        assert_eq!(c.used(), 60);
+    }
+
+    #[test]
+    fn large_file_evicts_several() {
+        let mut c = PageCache::new(100);
+        for i in 0..10 {
+            c.access(f(i), 10);
+        }
+        assert_eq!(c.used(), 100);
+        assert!(!c.access(f(99), 35));
+        assert_eq!(c.used(), 10 * 10 - 40 + 35); // evicted files 0..=3
+        assert!(!c.contains(f(0)));
+        assert!(!c.contains(f(3)));
+        assert!(c.contains(f(4)));
+        assert!(c.contains(f(99)));
+    }
+
+    #[test]
+    fn invalidate_frees_space() {
+        let mut c = PageCache::new(100);
+        c.access(f(1), 40);
+        c.access(f(2), 40);
+        assert!(c.invalidate(f(1)));
+        assert!(!c.invalidate(f(1)));
+        assert_eq!(c.used(), 40);
+        assert_eq!(c.len(), 1);
+        // Space is reusable.
+        assert!(!c.access(f(3), 60));
+        assert!(c.contains(f(2)) || c.contains(f(3)));
+    }
+
+    #[test]
+    fn zero_capacity_never_caches() {
+        let mut c = PageCache::new(0);
+        assert!(!c.access(f(1), 1));
+        assert!(!c.access(f(1), 1));
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn zero_size_files_hit_after_insert() {
+        let mut c = PageCache::new(10);
+        assert!(!c.access(f(1), 0));
+        assert!(c.access(f(1), 0));
+        assert_eq!(c.used(), 0);
+    }
+
+    #[test]
+    fn slab_reuse_after_heavy_churn() {
+        let mut c = PageCache::new(50);
+        for round in 0..100u64 {
+            for i in 0..10u64 {
+                c.access(f(round * 10 + i), 10);
+            }
+        }
+        // Slab should stay bounded: at most live entries + a small free list.
+        assert!(c.slab.len() <= 16, "slab grew unbounded: {}", c.slab.len());
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.used(), 50);
+    }
+}

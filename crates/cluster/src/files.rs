@@ -1,0 +1,184 @@
+//! File population and disk placement.
+
+use serde::{Deserialize, Serialize};
+
+use crate::spec::NodeId;
+
+/// Identifier of a served document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FileId(pub u64);
+
+impl std::fmt::Display for FileId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Metadata of one document: its size and which node's local disk holds it.
+/// Other nodes reach it over NFS.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FileMeta {
+    /// Document identity.
+    pub id: FileId,
+    /// Size in bytes.
+    pub size: u64,
+    /// Node whose local disk stores the file.
+    pub home: NodeId,
+}
+
+/// How files are distributed over the cluster's local disks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    /// File `i` lives on node `i mod p` — the balanced layout the paper's
+    /// main experiments use.
+    RoundRobin,
+    /// Every file on one node — the paper's §4.2 "skewed test" that defeats
+    /// pure file-locality scheduling.
+    SingleNode(NodeId),
+    /// Placement by hash of the file id (uncorrelated with request order).
+    Hashed,
+}
+
+impl Placement {
+    /// Home node of `file` under this placement in a `p`-node cluster.
+    pub fn home(&self, file: FileId, p: usize) -> NodeId {
+        assert!(p > 0, "empty cluster");
+        match self {
+            Placement::RoundRobin => NodeId((file.0 % p as u64) as u32),
+            Placement::SingleNode(n) => {
+                assert!((n.0 as usize) < p, "placement node out of range");
+                *n
+            }
+            Placement::Hashed => {
+                // SplitMix64 finalizer: cheap, well-distributed.
+                let mut z = file.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                NodeId((z % p as u64) as u32)
+            }
+        }
+    }
+}
+
+/// The full document population: sizes plus home nodes, with O(1) lookup.
+#[derive(Debug, Clone, Default)]
+pub struct FileMap {
+    files: Vec<FileMeta>,
+}
+
+impl FileMap {
+    /// Build from explicit metadata. File ids must be dense `0..n` (they
+    /// index the backing vector).
+    pub fn from_metas(files: Vec<FileMeta>) -> Self {
+        for (i, f) in files.iter().enumerate() {
+            assert_eq!(f.id.0 as usize, i, "file ids must be dense 0..n");
+        }
+        FileMap { files }
+    }
+
+    /// Build `n` files with sizes from `size_of` placed by `placement` on a
+    /// `p`-node cluster.
+    pub fn build(n: usize, p: usize, placement: Placement, mut size_of: impl FnMut(u64) -> u64) -> Self {
+        let files = (0..n as u64)
+            .map(|i| FileMeta { id: FileId(i), size: size_of(i), home: placement.home(FileId(i), p) })
+            .collect();
+        FileMap { files }
+    }
+
+    /// Number of files.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// True when there are no files.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Metadata of `file`. Panics on unknown ids (requests are generated
+    /// from the same population).
+    #[inline]
+    pub fn meta(&self, file: FileId) -> FileMeta {
+        self.files[file.0 as usize]
+    }
+
+    /// All files homed on `node`.
+    pub fn on_node(&self, node: NodeId) -> impl Iterator<Item = &FileMeta> {
+        self.files.iter().filter(move |f| f.home == node)
+    }
+
+    /// Total bytes across all files (working-set size).
+    pub fn total_bytes(&self) -> u64 {
+        self.files.iter().map(|f| f.size).sum()
+    }
+
+    /// Iterate all file metadata.
+    pub fn iter(&self) -> impl Iterator<Item = &FileMeta> {
+        self.files.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_placement_balances() {
+        let m = FileMap::build(12, 4, Placement::RoundRobin, |_| 100);
+        for n in 0..4 {
+            assert_eq!(m.on_node(NodeId(n)).count(), 3);
+        }
+        assert_eq!(m.meta(FileId(5)).home, NodeId(1));
+    }
+
+    #[test]
+    fn single_node_placement_concentrates() {
+        let m = FileMap::build(10, 6, Placement::SingleNode(NodeId(2)), |_| 100);
+        assert_eq!(m.on_node(NodeId(2)).count(), 10);
+        assert_eq!(m.on_node(NodeId(0)).count(), 0);
+    }
+
+    #[test]
+    fn hashed_placement_is_deterministic_and_in_range() {
+        let p = 5;
+        for i in 0..1000u64 {
+            let a = Placement::Hashed.home(FileId(i), p);
+            let b = Placement::Hashed.home(FileId(i), p);
+            assert_eq!(a, b);
+            assert!((a.0 as usize) < p);
+        }
+    }
+
+    #[test]
+    fn hashed_placement_is_roughly_balanced() {
+        let p = 4;
+        let m = FileMap::build(4000, p, Placement::Hashed, |_| 1);
+        for n in 0..p as u32 {
+            let c = m.on_node(NodeId(n)).count();
+            assert!((800..1200).contains(&c), "node {n} got {c} files");
+        }
+    }
+
+    #[test]
+    fn sizes_and_totals() {
+        let m = FileMap::build(3, 2, Placement::RoundRobin, |i| (i + 1) * 10);
+        assert_eq!(m.total_bytes(), 10 + 20 + 30);
+        assert_eq!(m.meta(FileId(2)).size, 30);
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_dense_ids_rejected() {
+        FileMap::from_metas(vec![FileMeta { id: FileId(1), size: 1, home: NodeId(0) }]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn single_node_out_of_range_panics() {
+        Placement::SingleNode(NodeId(9)).home(FileId(0), 4);
+    }
+}

@@ -1,0 +1,34 @@
+//! # sweb-cluster — multicomputer hardware models
+//!
+//! Passive (non-event-driven) models of the hardware the SWEB paper ran on:
+//!
+//! * [`NodeSpec`] / [`ClusterSpec`] — per-node CPU speed, memory, disk
+//!   bandwidth, and the interconnect joining them;
+//! * [`NetworkSpec`] — the Meiko CS-2 fat-tree (effectively a dedicated
+//!   per-node link at TCP-achievable rates) and the NOW's single shared
+//!   10 Mb/s Ethernet segment;
+//! * [`PageCache`] — a byte-capacity LRU of file pages. Aggregate cache
+//!   capacity across nodes is the mechanism behind the paper's superlinear
+//!   speedups (6 × 32 MB caches hold a working set that thrashes on one
+//!   node);
+//! * [`FileMap`] / [`Placement`] — which node's local disk holds which file
+//!   (everything else reaches it via NFS, at a penalty).
+//!
+//! Presets [`presets::meiko`] and [`presets::now_lx`] carry the calibration
+//! constants from the paper (§4: 40 MHz SuperSparc, 32 MB RAM, ~5 MB/s local
+//! disk, 10 % remote penalty on the fat-tree; SparcStation LX, 16 MB RAM,
+//! shared Ethernet with 50–70 % remote penalty).
+
+#![warn(missing_docs)]
+
+mod cache;
+mod files;
+mod network;
+mod spec;
+
+pub mod presets;
+
+pub use cache::PageCache;
+pub use files::{FileId, FileMap, FileMeta, Placement};
+pub use network::{NetworkSpec, RemotePath};
+pub use spec::{ClusterSpec, NodeId, NodeSpec};

@@ -1,0 +1,79 @@
+//! Property tests for the page cache and placement invariants.
+
+use proptest::prelude::*;
+use sweb_cluster::{FileId, FileMap, PageCache, Placement};
+
+proptest! {
+    /// The cache never exceeds its byte capacity, and `used` always equals
+    /// the sum of sizes of contained files.
+    #[test]
+    fn cache_capacity_invariant(
+        capacity in 0u64..10_000,
+        accesses in proptest::collection::vec((0u64..64, 1u64..2_000), 1..300),
+    ) {
+        let mut c = PageCache::new(capacity);
+        // A file's size must be consistent across accesses; fix per id.
+        let mut sizes = std::collections::HashMap::new();
+        for (id, size) in accesses {
+            let size = *sizes.entry(id).or_insert(size);
+            c.access(FileId(id), size);
+            prop_assert!(c.used() <= c.capacity(),
+                "cache over capacity: {} > {}", c.used(), c.capacity());
+        }
+        let live: u64 = sizes
+            .iter()
+            .filter(|(id, _)| c.contains(FileId(**id)))
+            .map(|(_, s)| *s)
+            .sum();
+        prop_assert_eq!(live, c.used(), "used() out of sync with contents");
+    }
+
+    /// Hits + misses equals total accesses, and a hit implies a prior
+    /// access to the same id.
+    #[test]
+    fn cache_counter_consistency(
+        accesses in proptest::collection::vec(0u64..32, 1..200),
+    ) {
+        let mut c = PageCache::new(1_000_000); // large: nothing evicts
+        let mut seen = std::collections::HashSet::new();
+        let total = accesses.len() as u64;
+        for id in accesses {
+            let hit = c.access(FileId(id), 10);
+            prop_assert_eq!(hit, seen.contains(&id),
+                "with no eviction, hit iff previously seen");
+            seen.insert(id);
+        }
+        prop_assert_eq!(c.hits() + c.misses(), total);
+    }
+
+    /// With a working set that fits, steady-state accesses always hit
+    /// (the superlinear-speedup mechanism in Table 2).
+    #[test]
+    fn fitting_working_set_reaches_100_percent_hits(
+        ids in proptest::collection::vec(0u64..20, 20..100),
+    ) {
+        let mut c = PageCache::new(20 * 10);
+        for i in 0..20 {
+            c.access(FileId(i), 10); // warm
+        }
+        for id in ids {
+            prop_assert!(c.access(FileId(id), 10), "warm working set must hit");
+        }
+    }
+
+    /// Placement functions always return a node inside the cluster and are
+    /// pure (same input, same output).
+    #[test]
+    fn placement_in_range_and_pure(files in 1usize..500, p in 1usize..32) {
+        for placement in [Placement::RoundRobin, Placement::Hashed] {
+            let m1 = FileMap::build(files, p, placement, |i| i + 1);
+            let m2 = FileMap::build(files, p, placement, |i| i + 1);
+            for i in 0..files as u64 {
+                let a = m1.meta(FileId(i));
+                let b = m2.meta(FileId(i));
+                prop_assert_eq!(a.home, b.home);
+                prop_assert!((a.home.0 as usize) < p);
+            }
+        }
+    }
+}

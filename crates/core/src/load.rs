@@ -1,0 +1,258 @@
+//! Load vectors, the per-node load table, and loadd timing.
+//!
+//! The paper (§3.1): "The loadd daemon is responsible for updating the
+//! system CPU, network and disk load information periodically (every 2-3
+//! seconds), and marking those processors which have not responded in a
+//! preset period of time as unavailable. When a processor leaves or joins
+//! the resource pool, the loadd daemon will be aware of the change."
+
+use sweb_cluster::NodeId;
+use sweb_des::SimTime;
+
+/// A node's advertised load along the three facets the SWEB scheduler
+/// monitors. Each component is a dimensionless *load factor*: 0 = idle,
+/// `k` = roughly `k` jobs' worth of queued demand on that resource, so a
+/// resource with load `k` delivers `1/(1+k)` of its bandwidth to a new job.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LoadVector {
+    /// CPU load (run-queue style).
+    pub cpu: f64,
+    /// Disk channel load.
+    pub disk: f64,
+    /// Interconnect/NIC load.
+    pub net: f64,
+}
+
+impl LoadVector {
+    /// An idle node.
+    pub const IDLE: LoadVector = LoadVector { cpu: 0.0, disk: 0.0, net: 0.0 };
+
+    /// Construct from components.
+    pub fn new(cpu: f64, disk: f64, net: f64) -> Self {
+        LoadVector { cpu, disk, net }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    load: LoadVector,
+    updated: SimTime,
+    alive: bool,
+    /// Whether we have ever heard from this node.
+    known: bool,
+}
+
+/// Each node's view of every node's load (including its own), fed by loadd
+/// broadcasts. Node ids index a dense table.
+#[derive(Debug, Clone)]
+pub struct LoadTable {
+    entries: Vec<Entry>,
+}
+
+impl LoadTable {
+    /// A table for `n` nodes, all initially unknown-but-alive with idle
+    /// load (the optimistic boot state; first broadcasts arrive within one
+    /// period).
+    pub fn new(n: usize) -> Self {
+        LoadTable {
+            entries: vec![
+                Entry { load: LoadVector::IDLE, updated: SimTime::ZERO, alive: true, known: false };
+                n
+            ],
+        }
+    }
+
+    /// Number of nodes the table covers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the table covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Record a load report from `node` at time `now`. Hearing from a node
+    /// (re)marks it alive — this is how leaving nodes rejoin the pool.
+    pub fn update(&mut self, node: NodeId, load: LoadVector, now: SimTime) {
+        let e = &mut self.entries[node.index()];
+        e.load = load;
+        e.updated = now;
+        e.alive = true;
+        e.known = true;
+    }
+
+    /// Mark nodes that have been silent longer than `timeout` as
+    /// unavailable. Returns the nodes that just transitioned to dead.
+    /// Nodes never heard from are exempt until they first report (the boot
+    /// grace the paper's "preset period" implies).
+    pub fn mark_stale(&mut self, now: SimTime, timeout: SimTime) -> Vec<NodeId> {
+        let mut newly_dead = Vec::new();
+        for (i, e) in self.entries.iter_mut().enumerate() {
+            if e.alive && e.known && now.saturating_sub(e.updated) > timeout {
+                e.alive = false;
+                newly_dead.push(NodeId(i as u32));
+            }
+        }
+        newly_dead
+    }
+
+    /// Explicitly remove a node from the pool (administrative leave).
+    pub fn mark_dead(&mut self, node: NodeId) {
+        self.entries[node.index()].alive = false;
+    }
+
+    /// Whether `node` is currently believed available.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.entries[node.index()].alive
+    }
+
+    /// Advertised load of `node`.
+    pub fn load(&self, node: NodeId) -> LoadVector {
+        self.entries[node.index()].load
+    }
+
+    /// When `node` last reported.
+    pub fn updated_at(&self, node: NodeId) -> SimTime {
+        self.entries[node.index()].updated
+    }
+
+    /// Iterate currently-available nodes.
+    pub fn alive_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.alive)
+            .map(|(i, _)| NodeId(i as u32))
+    }
+
+    /// Conservatively bump the believed CPU load of `node` by `delta`.
+    /// §3.2: "we conservatively increase the CPU load of p_x by Δ ...
+    /// Δ = 30%" — so that a briefly-idle node is not flooded between load
+    /// broadcasts. The bump is additive (Δ of one job's worth of load per
+    /// assignment): each assignment *is* roughly one job of incoming work,
+    /// and a multiplicative bump would compound into pure noise between
+    /// broadcasts.
+    pub fn bump_cpu(&mut self, node: NodeId, delta: f64) {
+        self.entries[node.index()].load.cpu += delta;
+    }
+}
+
+/// Timing helper for loadd's periodic duties. Engine-agnostic: the sim
+/// schedules events from it, the live server sleeps on it.
+#[derive(Debug, Clone, Copy)]
+pub struct LoaddTimer {
+    period: SimTime,
+    next_due: SimTime,
+}
+
+impl LoaddTimer {
+    /// A timer firing every `period`, first at `period` after start.
+    pub fn new(period: SimTime) -> Self {
+        LoaddTimer { period, next_due: period }
+    }
+
+    /// Broadcast period.
+    pub fn period(&self) -> SimTime {
+        self.period
+    }
+
+    /// When the next broadcast is due.
+    pub fn next_due(&self) -> SimTime {
+        self.next_due
+    }
+
+    /// Whether a broadcast is due at `now`; if so, advances the schedule.
+    pub fn tick(&mut self, now: SimTime) -> bool {
+        if now >= self.next_due {
+            // Skip any missed periods rather than bursting catch-up sends.
+            while self.next_due <= now {
+                self.next_due += self.period;
+            }
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn update_and_read_back() {
+        let mut lt = LoadTable::new(3);
+        lt.update(NodeId(1), LoadVector::new(2.0, 1.0, 0.5), t(5));
+        let l = lt.load(NodeId(1));
+        assert_eq!(l.cpu, 2.0);
+        assert_eq!(lt.updated_at(NodeId(1)), t(5));
+        assert!(lt.is_alive(NodeId(1)));
+    }
+
+    #[test]
+    fn staleness_marks_dead_and_report_revives() {
+        let mut lt = LoadTable::new(2);
+        lt.update(NodeId(0), LoadVector::IDLE, t(0));
+        lt.update(NodeId(1), LoadVector::IDLE, t(0));
+        lt.update(NodeId(0), LoadVector::IDLE, t(8));
+        let dead = lt.mark_stale(t(11), t(10));
+        assert_eq!(dead, vec![NodeId(1)]);
+        assert!(!lt.is_alive(NodeId(1)));
+        assert!(lt.is_alive(NodeId(0)));
+        assert_eq!(lt.alive_nodes().collect::<Vec<_>>(), vec![NodeId(0)]);
+        // The node rejoins by reporting again.
+        lt.update(NodeId(1), LoadVector::IDLE, t(12));
+        assert!(lt.is_alive(NodeId(1)));
+        // mark_stale reports each death once.
+        assert!(lt.mark_stale(t(13), t(10)).is_empty());
+    }
+
+    #[test]
+    fn unknown_nodes_get_boot_grace() {
+        let mut lt = LoadTable::new(2);
+        // Never heard from either; must not be declared dead.
+        assert!(lt.mark_stale(t(100), t(10)).is_empty());
+        assert!(lt.is_alive(NodeId(0)));
+        lt.update(NodeId(0), LoadVector::IDLE, t(100));
+        assert_eq!(lt.mark_stale(t(200), t(10)), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn bump_cpu_is_additive() {
+        let mut lt = LoadTable::new(1);
+        lt.update(NodeId(0), LoadVector::new(1.0, 0.0, 0.0), t(0));
+        lt.bump_cpu(NodeId(0), 0.3);
+        assert!((lt.load(NodeId(0)).cpu - 1.3).abs() < 1e-12);
+        // Idle node registers pressure after a bump (no herding).
+        let mut lt2 = LoadTable::new(1);
+        lt2.bump_cpu(NodeId(0), 0.3);
+        assert!((lt2.load(NodeId(0)).cpu - 0.3).abs() < 1e-12);
+        // A fresh report resets accumulated bumps.
+        lt.update(NodeId(0), LoadVector::new(0.5, 0.0, 0.0), t(1));
+        assert!((lt.load(NodeId(0)).cpu - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mark_dead_removes_from_pool() {
+        let mut lt = LoadTable::new(3);
+        lt.mark_dead(NodeId(2));
+        assert_eq!(lt.alive_nodes().count(), 2);
+    }
+
+    #[test]
+    fn loadd_timer_fires_each_period() {
+        let mut timer = LoaddTimer::new(SimTime::from_millis(2500));
+        assert!(!timer.tick(SimTime::from_millis(1000)));
+        assert!(timer.tick(SimTime::from_millis(2500)));
+        assert!(!timer.tick(SimTime::from_millis(3000)));
+        assert!(timer.tick(SimTime::from_millis(5200)));
+        // Missed periods are skipped, not bursted.
+        assert!(timer.tick(SimTime::from_millis(60_000)));
+        assert_eq!(timer.next_due(), SimTime::from_millis(62_500));
+    }
+}

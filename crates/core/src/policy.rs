@@ -1,0 +1,59 @@
+//! Scheduling strategies compared in §4.2.
+
+use serde::{Deserialize, Serialize};
+
+/// Which scheduling strategy a node's broker runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Policy {
+    /// NCSA approach: requests stay wherever DNS round-robin put them; the
+    /// broker never redirects.
+    RoundRobin,
+    /// Pure file locality: always redirect to the node whose local disk
+    /// holds the file, regardless of load. Degenerates badly under the
+    /// paper's skewed test (81.4 s vs round-robin's 3.7 s).
+    FileLocality,
+    /// Single-faceted baseline from the load-balancing literature
+    /// (\[SHK95\]): redirect to the node with the lowest advertised CPU
+    /// load, ignoring disk and network.
+    LeastLoadedCpu,
+    /// The paper's contribution: minimize the multi-faceted completion-time
+    /// estimate.
+    Sweb,
+}
+
+impl Policy {
+    /// Short label used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Policy::RoundRobin => "RoundRobin",
+            Policy::FileLocality => "FileLocality",
+            Policy::LeastLoadedCpu => "LeastLoadedCpu",
+            Policy::Sweb => "SWEB",
+        }
+    }
+
+    /// The three strategies Tables 3 and 4 compare.
+    pub fn paper_lineup() -> [Policy; 3] {
+        [Policy::RoundRobin, Policy::FileLocality, Policy::Sweb]
+    }
+}
+
+impl std::fmt::Display for Policy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct() {
+        let lineup = Policy::paper_lineup();
+        assert_eq!(lineup.len(), 3);
+        let labels: std::collections::HashSet<_> = lineup.iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), 3);
+        assert_eq!(format!("{}", Policy::Sweb), "SWEB");
+    }
+}

@@ -1,0 +1,65 @@
+//! Shared request descriptor.
+
+use sweb_cluster::{FileId, NodeId};
+
+/// Everything the scheduler needs to know about one HTTP request after
+/// preprocessing (§3.2 step 1): the document, its size and home disk, the
+/// oracle's CPU estimate, and whether the request was already redirected.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestInfo {
+    /// Requested document.
+    pub file: FileId,
+    /// Document size in bytes (known from the file map / stat).
+    pub size: u64,
+    /// Node whose local disk stores the document.
+    pub home: NodeId,
+    /// Oracle-estimated CPU operations to fulfill the request (fork, disk
+    /// read syscalls, packetization; plus CGI compute when applicable).
+    pub cpu_ops: f64,
+    /// True when the request carries the redirect-once marker and must be
+    /// served where it landed.
+    pub redirected: bool,
+    /// True for requests the broker must always fulfill locally regardless
+    /// of load (errors, moved documents, non-retrievals — §3.2 step 2).
+    pub pinned_local: bool,
+    /// True when the node evaluating the request holds the document in its
+    /// own page cache. The paper's cost model has no cache term (this is
+    /// the *extension* behind `SwebConfig::cache_aware_cost`); when the
+    /// flag is enabled, a cached local copy zeroes `t_data` at the origin.
+    pub cached_at_origin: bool,
+}
+
+impl RequestInfo {
+    /// A plain static-document fetch.
+    pub fn fetch(file: FileId, size: u64, home: NodeId, cpu_ops: f64) -> Self {
+        RequestInfo {
+            file,
+            size,
+            home,
+            cpu_ops,
+            redirected: false,
+            pinned_local: false,
+            cached_at_origin: false,
+        }
+    }
+
+    /// Mark as already-redirected (must serve locally).
+    pub fn redirected(mut self) -> Self {
+        self.redirected = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders() {
+        let r = RequestInfo::fetch(FileId(3), 1024, NodeId(1), 5e5);
+        assert!(!r.redirected && !r.pinned_local);
+        let r = r.redirected();
+        assert!(r.redirected);
+        assert_eq!(r.size, 1024);
+    }
+}

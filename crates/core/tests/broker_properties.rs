@@ -1,0 +1,120 @@
+//! Property tests for broker safety invariants.
+
+use proptest::prelude::*;
+use sweb_cluster::{presets, FileId, NodeId};
+use sweb_core::{Broker, CostInputs, CostModel, Decision, LoadTable, LoadVector, Policy, RequestInfo, SwebConfig};
+use sweb_des::SimTime;
+
+fn load_table(n: usize, loads: &[(f64, f64, f64)], dead: &[bool]) -> LoadTable {
+    let mut lt = LoadTable::new(n);
+    for i in 0..n {
+        let (c, d, t) = loads[i % loads.len()];
+        lt.update(NodeId(i as u32), LoadVector::new(c, d, t), SimTime::ZERO);
+        if dead[i % dead.len()] && i != 0 {
+            lt.mark_dead(NodeId(i as u32));
+        }
+    }
+    lt
+}
+
+fn all_policies() -> [Policy; 4] {
+    [Policy::RoundRobin, Policy::FileLocality, Policy::LeastLoadedCpu, Policy::Sweb]
+}
+
+proptest! {
+    /// No policy ever redirects a request that was already redirected
+    /// (the ping-pong guard), and no policy ever redirects to a dead node
+    /// or to the origin itself.
+    #[test]
+    fn broker_safety_invariants(
+        n in 2usize..8,
+        loads in proptest::collection::vec((0.0f64..20.0, 0.0f64..20.0, 0.0f64..20.0), 1..8),
+        dead in proptest::collection::vec(any::<bool>(), 1..8),
+        home in 0u32..8,
+        size in 1u64..2_000_000,
+        redirected in any::<bool>(),
+    ) {
+        let cluster = presets::meiko(n);
+        let home = NodeId(home % n as u32);
+        let lt = load_table(n, &loads, &dead);
+        let inputs = CostInputs { cluster: &cluster, loads: &lt };
+        let mut req = RequestInfo::fetch(FileId(0), size, home, 1e6);
+        req.redirected = redirected;
+        for policy in all_policies() {
+            let broker = Broker::new(policy, CostModel::new(SwebConfig::default()));
+            let d = broker.decide(&req, NodeId(0), &inputs);
+            if redirected {
+                prop_assert_eq!(d, Decision::Local, "{} bounced a redirected request", policy);
+            }
+            if let Decision::Redirect(target) = d {
+                prop_assert_ne!(target, NodeId(0), "{} redirected to origin", policy);
+                prop_assert!(lt.is_alive(target), "{} chose dead node {}", policy, target);
+            }
+        }
+    }
+
+    /// SWEB's choice genuinely minimizes the cost estimate over alive nodes.
+    #[test]
+    fn sweb_choice_is_argmin(
+        n in 2usize..8,
+        loads in proptest::collection::vec((0.0f64..20.0, 0.0f64..20.0, 0.0f64..20.0), 1..8),
+        home in 0u32..8,
+        size in 1u64..2_000_000,
+    ) {
+        let cluster = presets::meiko(n);
+        let home = NodeId(home % n as u32);
+        let lt = load_table(n, &loads, &[false]);
+        let inputs = CostInputs { cluster: &cluster, loads: &lt };
+        let req = RequestInfo::fetch(FileId(0), size, home, 1e6);
+        let model = CostModel::new(SwebConfig::default());
+        let broker = Broker::new(Policy::Sweb, model.clone());
+        let d = broker.decide(&req, NodeId(0), &inputs);
+        let chosen = match d { Decision::Local => NodeId(0), Decision::Redirect(t) => t };
+        let chosen_cost = model.estimate(&req, NodeId(0), chosen, &inputs);
+        for node in lt.alive_nodes() {
+            let c = model.estimate(&req, NodeId(0), node, &inputs);
+            prop_assert!(chosen_cost <= c + 1e-12,
+                "node {} at {} beats chosen {} at {}", node, c, chosen, chosen_cost);
+        }
+    }
+
+    /// Cost estimates are always finite and non-negative.
+    #[test]
+    fn estimates_are_finite(
+        n in 1usize..8,
+        loads in proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0, 0.0f64..100.0), 1..8),
+        size in 0u64..10_000_000,
+        cpu_ops in 0.0f64..1e9,
+    ) {
+        let cluster = presets::meiko(n);
+        let lt = load_table(n, &loads, &[false]);
+        let inputs = CostInputs { cluster: &cluster, loads: &lt };
+        let req = RequestInfo::fetch(FileId(0), size, NodeId(0), cpu_ops);
+        let model = CostModel::new(SwebConfig::default());
+        for a in 0..n as u32 {
+            for b in 0..n as u32 {
+                let t = model.estimate(&req, NodeId(a), NodeId(b), &inputs);
+                prop_assert!(t.is_finite() && t >= 0.0, "estimate {t} for {a}->{b}");
+            }
+        }
+    }
+
+    /// The analytic bound is monotone in file size (bigger files, lower rps)
+    /// and in node count (more nodes, higher rps).
+    #[test]
+    fn analytic_bound_monotonicity(
+        f1 in 1e3f64..5e6, f2 in 1e3f64..5e6,
+        n1 in 1usize..32, n2 in 1usize..32,
+    ) {
+        use sweb_core::analytic::{max_sustained_rps, AnalyticParams};
+        let base = AnalyticParams::paper_example();
+        let (small, big) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+        let r_small = max_sustained_rps(&AnalyticParams { file_size: small, ..base });
+        let r_big = max_sustained_rps(&AnalyticParams { file_size: big, ..base });
+        prop_assert!(r_small >= r_big);
+        let (few, many) = if n1 <= n2 { (n1, n2) } else { (n2, n1) };
+        let r_few = max_sustained_rps(&AnalyticParams { nodes: few, ..base });
+        let r_many = max_sustained_rps(&AnalyticParams { nodes: many, ..base });
+        prop_assert!(r_many + 1e-9 >= r_few);
+    }
+}

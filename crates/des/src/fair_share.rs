@@ -1,0 +1,384 @@
+//! Processor-sharing (fair-share) resource model.
+//!
+//! A [`FairShare`] resource has a capacity of `capacity` work-units per
+//! second which is split *equally* among all active jobs — the classic fluid
+//! approximation of a round-robin-scheduled CPU, a FIFO disk channel with
+//! overlapped transfers, or a statistically-multiplexed shared link (e.g.
+//! the NOW's 10 Mb/s Ethernet in the SWEB paper).
+//!
+//! Because completion times shift whenever the number of active jobs
+//! changes, the resource keeps a *generation counter*: every membership or
+//! capacity change bumps the generation and schedules a fresh wake-up event;
+//! stale wake-ups (mismatched generation) are ignored. The wake-up closure
+//! has to find its resource again inside the user context, which is what the
+//! [`ResourceHost`] trait provides.
+
+use crate::sim::{Sim, Thunk};
+use crate::time::SimTime;
+
+/// Implemented by simulation contexts that own [`FairShare`] resources, so
+/// that timer events can locate the resource they belong to.
+pub trait ResourceHost: Sized + 'static {
+    /// Key type addressing one resource within the context (e.g. an enum of
+    /// `Cpu(node)`, `Disk(node)`, `Ethernet`).
+    type Key: Copy + 'static;
+
+    /// Return the resource for `key`.
+    fn fair_share(&mut self, key: Self::Key) -> &mut FairShare<Self>;
+}
+
+/// Identifier of a job inside one [`FairShare`] resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JobId(u64);
+
+struct Job<C> {
+    id: JobId,
+    remaining: f64,
+    done: Thunk<C>,
+}
+
+/// A fair-share (processor-sharing) resource. See the module docs.
+pub struct FairShare<C: ResourceHost> {
+    key: C::Key,
+    capacity: f64,
+    jobs: Vec<Job<C>>,
+    last_update: SimTime,
+    generation: u64,
+    next_job: u64,
+    /// Total work-units completed over the resource's lifetime.
+    completed_work: f64,
+    /// Integral of `active jobs · dt` in unit·seconds (for utilization).
+    busy_time: f64,
+}
+
+impl<C: ResourceHost> FairShare<C> {
+    /// Create a resource with `capacity` work-units per second, addressed by
+    /// `key` within the host context.
+    pub fn new(key: C::Key, capacity: f64) -> Self {
+        assert!(capacity > 0.0 && capacity.is_finite(), "capacity must be positive");
+        FairShare {
+            key,
+            capacity,
+            jobs: Vec::new(),
+            last_update: SimTime::ZERO,
+            generation: 0,
+            next_job: 0,
+            completed_work: 0.0,
+            busy_time: 0.0,
+        }
+    }
+
+    /// Current capacity in work-units per second.
+    #[inline]
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Number of active jobs.
+    #[inline]
+    pub fn active_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Total work-units completed so far.
+    #[inline]
+    pub fn completed_work(&self) -> f64 {
+        self.completed_work
+    }
+
+    /// Seconds during which the resource was busy (at least one job),
+    /// valid up to the last event that touched the resource.
+    #[inline]
+    pub fn busy_seconds(&self) -> f64 {
+        self.busy_time
+    }
+
+    /// Submit `work` units; `done` runs when the job completes.
+    /// Returns a [`JobId`] that can be used to [`FairShare::cancel`] it.
+    pub fn submit(&mut self, sim: &mut Sim<C>, work: f64, done: Thunk<C>) -> JobId {
+        assert!(work >= 0.0 && work.is_finite(), "work must be non-negative");
+        self.advance(sim.now());
+        let id = JobId(self.next_job);
+        self.next_job += 1;
+        self.jobs.push(Job { id, remaining: work, done });
+        self.reschedule(sim);
+        id
+    }
+
+    /// Remove a job before completion (e.g. request timeout). Returns `true`
+    /// if the job was still active; its completion thunk is dropped.
+    pub fn cancel(&mut self, sim: &mut Sim<C>, id: JobId) -> bool {
+        self.advance(sim.now());
+        let before = self.jobs.len();
+        self.jobs.retain(|j| j.id != id);
+        let removed = self.jobs.len() != before;
+        if removed {
+            self.reschedule(sim);
+        }
+        removed
+    }
+
+    /// Change the capacity (heterogeneous slowdowns, background load).
+    /// In-flight jobs keep their remaining work; their rates change.
+    pub fn set_capacity(&mut self, sim: &mut Sim<C>, capacity: f64) {
+        assert!(capacity > 0.0 && capacity.is_finite(), "capacity must be positive");
+        self.advance(sim.now());
+        self.capacity = capacity;
+        self.reschedule(sim);
+    }
+
+    /// Remaining work for `id`, if active (test/diagnostic hook).
+    pub fn remaining(&self, id: JobId) -> Option<f64> {
+        self.jobs.iter().find(|j| j.id == id).map(|j| j.remaining)
+    }
+
+    /// Apply service between `last_update` and `now`.
+    fn advance(&mut self, now: SimTime) {
+        let dt = now.saturating_sub(self.last_update).as_secs_f64();
+        self.last_update = now;
+        if dt == 0.0 || self.jobs.is_empty() {
+            return;
+        }
+        self.busy_time += dt;
+        let per_job = self.capacity * dt / self.jobs.len() as f64;
+        for j in &mut self.jobs {
+            let served = per_job.min(j.remaining);
+            j.remaining -= served;
+            self.completed_work += served;
+        }
+    }
+
+    /// Schedule a wake-up for the earliest completion under current
+    /// membership. Any previously scheduled wake-up is invalidated by the
+    /// generation bump.
+    fn reschedule(&mut self, sim: &mut Sim<C>) {
+        self.generation += 1;
+        if self.jobs.is_empty() {
+            return;
+        }
+        let min_rem = self
+            .jobs
+            .iter()
+            .map(|j| j.remaining)
+            .fold(f64::INFINITY, f64::min);
+        let n = self.jobs.len() as f64;
+        // Time until the least-loaded job drains, rounded up to a whole
+        // microsecond *plus one* so that, at the wake-up, its remaining work
+        // is strictly <= 0 despite floating-point rounding.
+        let secs = min_rem * n / self.capacity;
+        let delay = SimTime::from_secs_f64(secs) + SimTime::from_micros(1);
+        let generation = self.generation;
+        let key = self.key;
+        sim.schedule_in(
+            delay,
+            Box::new(move |ctx: &mut C, sim: &mut Sim<C>| {
+                let now = sim.now();
+                let res = ctx.fair_share(key);
+                let finished = res.on_wakeup(generation, now, sim);
+                for done in finished {
+                    done(ctx, sim);
+                }
+            }),
+        );
+    }
+
+    /// Timer handler: harvest completed jobs if the generation still
+    /// matches, then reschedule for the next completion.
+    fn on_wakeup(&mut self, generation: u64, now: SimTime, sim: &mut Sim<C>) -> Vec<Thunk<C>> {
+        if generation != self.generation {
+            return Vec::new(); // superseded by a membership/capacity change
+        }
+        self.advance(now);
+        let mut finished = Vec::new();
+        let mut i = 0;
+        while i < self.jobs.len() {
+            if self.jobs[i].remaining <= 0.0 {
+                finished.push(self.jobs.swap_remove(i).done);
+            } else {
+                i += 1;
+            }
+        }
+        debug_assert!(!finished.is_empty(), "wakeup with live generation must finish >=1 job");
+        self.reschedule(sim);
+        finished
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Test context: one resource plus a log of completion (label, time).
+    struct Ctx {
+        res: Option<FairShare<Ctx>>,
+        log: Vec<(u32, SimTime)>,
+    }
+
+    impl ResourceHost for Ctx {
+        type Key = ();
+        fn fair_share(&mut self, _key: ()) -> &mut FairShare<Ctx> {
+            self.res.as_mut().unwrap()
+        }
+    }
+
+    fn setup(capacity: f64) -> (Ctx, Sim<Ctx>) {
+        let ctx = Ctx { res: Some(FairShare::new((), capacity)), log: Vec::new() };
+        (ctx, Sim::new())
+    }
+
+    /// Submit via the context (take/put-back dance mirrors real hosts that
+    /// store resources in fields).
+    fn submit(ctx: &mut Ctx, sim: &mut Sim<Ctx>, work: f64, label: u32) -> JobId {
+        let mut res = ctx.res.take().unwrap();
+        let id = res.submit(
+            sim,
+            work,
+            Box::new(move |c: &mut Ctx, s: &mut Sim<Ctx>| c.log.push((label, s.now()))),
+        );
+        ctx.res = Some(res);
+        id
+    }
+
+    fn secs(t: SimTime) -> f64 {
+        t.as_secs_f64()
+    }
+
+    #[test]
+    fn single_job_takes_work_over_capacity() {
+        let (mut ctx, mut sim) = setup(10.0); // 10 units/s
+        submit(&mut ctx, &mut sim, 50.0, 1); // 5 s
+        sim.run(&mut ctx);
+        assert_eq!(ctx.log.len(), 1);
+        let t = secs(ctx.log[0].1);
+        assert!((t - 5.0).abs() < 1e-4, "expected ~5s, got {t}");
+    }
+
+    #[test]
+    fn two_equal_jobs_share_capacity() {
+        let (mut ctx, mut sim) = setup(10.0);
+        submit(&mut ctx, &mut sim, 50.0, 1);
+        submit(&mut ctx, &mut sim, 50.0, 2);
+        sim.run(&mut ctx);
+        // Each gets 5 units/s => both finish at ~10 s.
+        assert_eq!(ctx.log.len(), 2);
+        for &(_, t) in &ctx.log {
+            assert!((secs(t) - 10.0).abs() < 1e-3, "got {}", secs(t));
+        }
+    }
+
+    #[test]
+    fn short_job_finishes_first_then_long_job_speeds_up() {
+        let (mut ctx, mut sim) = setup(10.0);
+        submit(&mut ctx, &mut sim, 20.0, 1); // short
+        submit(&mut ctx, &mut sim, 60.0, 2); // long
+        sim.run(&mut ctx);
+        // Shared until short drains: each at 5/s, short takes 4 s (20/5).
+        // Long then has 60-20=40 left at 10/s => finishes at 4+4=8 s.
+        let t1 = secs(ctx.log.iter().find(|e| e.0 == 1).unwrap().1);
+        let t2 = secs(ctx.log.iter().find(|e| e.0 == 2).unwrap().1);
+        assert!((t1 - 4.0).abs() < 1e-3, "short: {t1}");
+        assert!((t2 - 8.0).abs() < 1e-3, "long: {t2}");
+    }
+
+    #[test]
+    fn late_arrival_slows_in_flight_job() {
+        let (mut ctx, mut sim) = setup(10.0);
+        submit(&mut ctx, &mut sim, 50.0, 1); // alone: would end at 5 s
+        sim.schedule(
+            SimTime::from_secs(2),
+            Box::new(|c: &mut Ctx, s: &mut Sim<Ctx>| {
+                submit(c, s, 15.0, 2);
+            }),
+        );
+        sim.run(&mut ctx);
+        // At t=2, job1 has 30 left. Shared at 5/s each: job2 (15) ends t=5,
+        // job1 then has 15 left at full 10/s => ends t=6.5.
+        let t1 = secs(ctx.log.iter().find(|e| e.0 == 1).unwrap().1);
+        let t2 = secs(ctx.log.iter().find(|e| e.0 == 2).unwrap().1);
+        assert!((t2 - 5.0).abs() < 1e-3, "job2: {t2}");
+        assert!((t1 - 6.5).abs() < 1e-3, "job1: {t1}");
+    }
+
+    #[test]
+    fn cancel_removes_job_and_speeds_up_rest() {
+        let (mut ctx, mut sim) = setup(10.0);
+        let victim = submit(&mut ctx, &mut sim, 1000.0, 1);
+        submit(&mut ctx, &mut sim, 30.0, 2);
+        sim.schedule(
+            SimTime::from_secs(2),
+            Box::new(move |c: &mut Ctx, s: &mut Sim<Ctx>| {
+                let mut res = c.res.take().unwrap();
+                assert!(res.cancel(s, victim));
+                assert!(!res.cancel(s, victim));
+                c.res = Some(res);
+            }),
+        );
+        sim.run(&mut ctx);
+        // job2: 2 s shared (10 units done), then 20 left at 10/s => t=4.
+        assert_eq!(ctx.log.len(), 1, "cancelled job must not complete");
+        let t2 = secs(ctx.log[0].1);
+        assert!((t2 - 4.0).abs() < 1e-3, "job2: {t2}");
+    }
+
+    #[test]
+    fn zero_work_job_completes_promptly() {
+        let (mut ctx, mut sim) = setup(1.0);
+        submit(&mut ctx, &mut sim, 0.0, 7);
+        sim.run(&mut ctx);
+        assert_eq!(ctx.log.len(), 1);
+        assert!(secs(ctx.log[0].1) < 1e-3);
+    }
+
+    #[test]
+    fn capacity_change_mid_flight() {
+        let (mut ctx, mut sim) = setup(10.0);
+        submit(&mut ctx, &mut sim, 100.0, 1); // at 10/s: 10 s
+        sim.schedule(
+            SimTime::from_secs(5),
+            Box::new(|c: &mut Ctx, s: &mut Sim<Ctx>| {
+                let mut res = c.res.take().unwrap();
+                res.set_capacity(s, 50.0);
+                c.res = Some(res);
+            }),
+        );
+        sim.run(&mut ctx);
+        // 50 units done by t=5; remaining 50 at 50/s => 1 s more => t=6.
+        let t = secs(ctx.log[0].1);
+        assert!((t - 6.0).abs() < 1e-3, "got {t}");
+    }
+
+    #[test]
+    fn accounting_tracks_completed_work_and_busy_time() {
+        let (mut ctx, mut sim) = setup(10.0);
+        submit(&mut ctx, &mut sim, 20.0, 1);
+        submit(&mut ctx, &mut sim, 20.0, 2);
+        sim.run(&mut ctx);
+        let res = ctx.res.as_ref().unwrap();
+        assert!((res.completed_work() - 40.0).abs() < 1e-6);
+        assert!((res.busy_seconds() - 4.0).abs() < 1e-3);
+        assert_eq!(res.active_jobs(), 0);
+    }
+
+    #[test]
+    fn many_jobs_conserve_work() {
+        let (mut ctx, mut sim) = setup(7.5);
+        let mut total = 0.0;
+        for i in 0..50 {
+            let w = 1.0 + (i as f64) * 0.37;
+            total += w;
+            submit(&mut ctx, &mut sim, w, i);
+        }
+        sim.run(&mut ctx);
+        assert_eq!(ctx.log.len(), 50);
+        let res = ctx.res.as_ref().unwrap();
+        assert!(
+            (res.completed_work() - total).abs() < 1e-6 * total,
+            "work conservation: {} vs {}",
+            res.completed_work(),
+            total
+        );
+        // Busy the whole time: total/capacity seconds.
+        let expect = total / 7.5;
+        assert!((res.busy_seconds() - expect).abs() < 0.01 * expect);
+    }
+}

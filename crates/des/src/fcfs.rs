@@ -1,0 +1,186 @@
+//! Single-server FIFO queue with bounded backlog.
+//!
+//! Models serialized service stations such as a TCP listen/accept queue: at
+//! most one job is in service; others wait in arrival order; arrivals beyond
+//! `max_queue` are refused (the SWEB paper's "dropped connections").
+
+use crate::sim::{Sim, Thunk};
+use crate::time::SimTime;
+
+struct Waiting<C> {
+    service: SimTime,
+    done: Thunk<C>,
+}
+
+/// FIFO single-server queue. Unlike [`crate::FairShare`], service times are
+/// fixed at submission and jobs run one at a time, so no generation dance is
+/// needed: completion events are never invalidated.
+///
+/// The completion event needs to find the server again inside the context,
+/// via [`FcfsHost`].
+pub struct FcfsServer<C: FcfsHost> {
+    key: C::Key,
+    busy: bool,
+    queue: std::collections::VecDeque<Waiting<C>>,
+    max_queue: usize,
+    /// Jobs refused because the backlog was full.
+    refused: u64,
+    /// Jobs whose service completed.
+    served: u64,
+}
+
+/// Implemented by contexts that own [`FcfsServer`]s.
+pub trait FcfsHost: Sized + 'static {
+    /// Key addressing one server within the context.
+    type Key: Copy + 'static;
+    /// Return the server for `key`.
+    fn fcfs(&mut self, key: Self::Key) -> &mut FcfsServer<Self>;
+}
+
+impl<C: FcfsHost> FcfsServer<C> {
+    /// Create a server whose waiting room holds at most `max_queue` jobs
+    /// (excluding the one in service).
+    pub fn new(key: C::Key, max_queue: usize) -> Self {
+        FcfsServer {
+            key,
+            busy: false,
+            queue: std::collections::VecDeque::new(),
+            max_queue,
+            refused: 0,
+            served: 0,
+        }
+    }
+
+    /// Jobs waiting (excluding in service).
+    #[inline]
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether a job is currently in service.
+    #[inline]
+    pub fn is_busy(&self) -> bool {
+        self.busy
+    }
+
+    /// Count of refused (backlog-overflow) submissions.
+    #[inline]
+    pub fn refused(&self) -> u64 {
+        self.refused
+    }
+
+    /// Count of completed jobs.
+    #[inline]
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Submit a job with fixed `service` time; `done` fires at completion.
+    /// Returns `Err(done)` (giving the thunk back) if the backlog is full.
+    pub fn submit(
+        &mut self,
+        sim: &mut Sim<C>,
+        service: SimTime,
+        done: Thunk<C>,
+    ) -> Result<(), Thunk<C>> {
+        if self.busy {
+            if self.queue.len() >= self.max_queue {
+                self.refused += 1;
+                return Err(done);
+            }
+            self.queue.push_back(Waiting { service, done });
+            return Ok(());
+        }
+        self.start(sim, service, done);
+        Ok(())
+    }
+
+    fn start(&mut self, sim: &mut Sim<C>, service: SimTime, done: Thunk<C>) {
+        self.busy = true;
+        let key = self.key;
+        sim.schedule_in(
+            service,
+            Box::new(move |ctx: &mut C, sim: &mut Sim<C>| {
+                done(ctx, sim);
+                let server = ctx.fcfs(key);
+                server.served += 1;
+                server.busy = false;
+                if let Some(next) = server.queue.pop_front() {
+                    server.start(sim, next.service, next.done);
+                }
+            }),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Ctx {
+        srv: Option<FcfsServer<Ctx>>,
+        log: Vec<(u32, SimTime)>,
+    }
+
+    impl FcfsHost for Ctx {
+        type Key = ();
+        fn fcfs(&mut self, _key: ()) -> &mut FcfsServer<Ctx> {
+            self.srv.as_mut().unwrap()
+        }
+    }
+
+    fn submit(ctx: &mut Ctx, sim: &mut Sim<Ctx>, service_ms: u64, label: u32) -> bool {
+        let mut srv = ctx.srv.take().unwrap();
+        let r = srv.submit(
+            sim,
+            SimTime::from_millis(service_ms),
+            Box::new(move |c: &mut Ctx, s: &mut Sim<Ctx>| c.log.push((label, s.now()))),
+        );
+        ctx.srv = Some(srv);
+        r.is_ok()
+    }
+
+    #[test]
+    fn jobs_serialize_fifo() {
+        let mut ctx = Ctx { srv: Some(FcfsServer::new((), 16)), log: Vec::new() };
+        let mut sim = Sim::new();
+        assert!(submit(&mut ctx, &mut sim, 100, 1));
+        assert!(submit(&mut ctx, &mut sim, 50, 2));
+        assert!(submit(&mut ctx, &mut sim, 25, 3));
+        sim.run(&mut ctx);
+        assert_eq!(
+            ctx.log,
+            vec![
+                (1, SimTime::from_millis(100)),
+                (2, SimTime::from_millis(150)),
+                (3, SimTime::from_millis(175)),
+            ]
+        );
+        assert_eq!(ctx.srv.as_ref().unwrap().served(), 3);
+    }
+
+    #[test]
+    fn backlog_overflow_refuses() {
+        let mut ctx = Ctx { srv: Some(FcfsServer::new((), 1)), log: Vec::new() };
+        let mut sim = Sim::new();
+        assert!(submit(&mut ctx, &mut sim, 100, 1)); // in service
+        assert!(submit(&mut ctx, &mut sim, 100, 2)); // queued
+        assert!(!submit(&mut ctx, &mut sim, 100, 3)); // refused
+        assert_eq!(ctx.srv.as_ref().unwrap().refused(), 1);
+        sim.run(&mut ctx);
+        assert_eq!(ctx.log.len(), 2);
+    }
+
+    #[test]
+    fn server_idles_then_accepts_again() {
+        let mut ctx = Ctx { srv: Some(FcfsServer::new((), 0)), log: Vec::new() };
+        let mut sim = Sim::new();
+        assert!(submit(&mut ctx, &mut sim, 10, 1));
+        assert!(!submit(&mut ctx, &mut sim, 10, 2), "zero backlog refuses while busy");
+        sim.run(&mut ctx);
+        assert!(submit(&mut ctx, &mut sim, 10, 3));
+        sim.run(&mut ctx);
+        assert_eq!(ctx.log.len(), 2);
+        assert!(!ctx.srv.as_ref().unwrap().is_busy());
+    }
+}

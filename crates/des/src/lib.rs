@@ -1,0 +1,44 @@
+//! # sweb-des — deterministic discrete-event simulation engine
+//!
+//! This crate is the substrate under the SWEB cluster simulator
+//! (`sweb-sim`). It provides:
+//!
+//! * [`SimTime`] — integer-microsecond simulated time (deterministic, no
+//!   floating-point drift in the clock itself);
+//! * [`Sim`] — a minimal event-driven executor: a priority queue of
+//!   `(time, sequence)`-ordered events whose payloads are `FnOnce`
+//!   continuations over a user context type `C`;
+//! * [`FairShare`] — a processor-sharing resource (CPU, disk channel, shared
+//!   Ethernet segment, network link) where `capacity` units/second are split
+//!   equally among all active jobs. This is the standard fluid model for
+//!   time-sliced CPUs and statistically-multiplexed links;
+//! * [`FcfsServer`] — a single-server FIFO queue with optional bounded
+//!   backlog (used for listen/accept queues).
+//!
+//! Determinism: events scheduled for the same timestamp fire in scheduling
+//! order (FIFO tiebreak on a monotone sequence number). All state changes
+//! happen inside event handlers; there is no wall-clock anywhere.
+//!
+//! ```
+//! use sweb_des::{Sim, SimTime};
+//!
+//! struct Counter(u32);
+//! let mut sim: Sim<Counter> = Sim::new();
+//! let mut ctx = Counter(0);
+//! sim.schedule_in(SimTime::from_millis(5), Box::new(|c: &mut Counter, _s: &mut Sim<Counter>| c.0 += 1));
+//! sim.run(&mut ctx);
+//! assert_eq!(ctx.0, 1);
+//! assert_eq!(sim.now(), SimTime::from_millis(5));
+//! ```
+
+#![warn(missing_docs)]
+
+mod fair_share;
+mod fcfs;
+mod sim;
+mod time;
+
+pub use fair_share::{FairShare, JobId, ResourceHost};
+pub use fcfs::{FcfsHost, FcfsServer};
+pub use sim::{EventId, Sim, Thunk};
+pub use time::SimTime;

@@ -1,0 +1,101 @@
+//! Property tests for the FIFO single-server queue.
+
+use proptest::prelude::*;
+use sweb_des::{FcfsHost, FcfsServer, Sim, SimTime};
+
+struct Ctx {
+    srv: Option<FcfsServer<Ctx>>,
+    completions: Vec<(u32, SimTime)>,
+}
+
+impl FcfsHost for Ctx {
+    type Key = ();
+    fn fcfs(&mut self, _key: ()) -> &mut FcfsServer<Ctx> {
+        self.srv.as_mut().unwrap()
+    }
+}
+
+proptest! {
+    /// FIFO order is preserved, completions are serialized (no overlap),
+    /// and total makespan equals the sum of accepted service times when
+    /// everything is submitted at t=0.
+    #[test]
+    fn fifo_serialization(
+        services in proptest::collection::vec(1u64..1_000, 1..40),
+        queue_cap in 0usize..64,
+    ) {
+        let mut ctx = Ctx { srv: Some(FcfsServer::new((), queue_cap)), completions: Vec::new() };
+        let mut sim: Sim<Ctx> = Sim::new();
+        let mut accepted = Vec::new();
+        for (i, &ms) in services.iter().enumerate() {
+            let mut srv = ctx.srv.take().unwrap();
+            let label = i as u32;
+            let ok = srv
+                .submit(
+                    &mut sim,
+                    SimTime::from_millis(ms),
+                    Box::new(move |c: &mut Ctx, s: &mut Sim<Ctx>| {
+                        c.completions.push((label, s.now()));
+                    }),
+                )
+                .is_ok();
+            ctx.srv = Some(srv);
+            if ok {
+                accepted.push((i as u32, ms));
+            }
+        }
+        sim.run(&mut ctx);
+        // Exactly the accepted jobs complete, in submission order.
+        prop_assert_eq!(ctx.completions.len(), accepted.len());
+        let labels: Vec<u32> = ctx.completions.iter().map(|(l, _)| *l).collect();
+        let expected: Vec<u32> = accepted.iter().map(|(l, _)| *l).collect();
+        prop_assert_eq!(labels, expected);
+        // Completion time of job k = prefix sum of accepted services.
+        let mut acc = 0u64;
+        for ((_, at), (_, ms)) in ctx.completions.iter().zip(accepted.iter()) {
+            acc += ms;
+            prop_assert_eq!(*at, SimTime::from_millis(acc));
+        }
+        // Accepted = min(total, capacity + 1) when all arrive while busy.
+        let cap_bound = queue_cap + 1;
+        prop_assert_eq!(accepted.len(), services.len().min(cap_bound));
+        let srv = ctx.srv.as_ref().unwrap();
+        prop_assert_eq!(srv.served() as usize, accepted.len());
+        prop_assert_eq!(srv.refused() as usize, services.len() - accepted.len());
+    }
+
+    /// run_until never executes past the deadline, and resuming produces
+    /// the same completions as running straight through.
+    #[test]
+    fn run_until_is_prefix_consistent(
+        services in proptest::collection::vec(1u64..100, 1..20),
+        cut_ms in 1u64..2_000,
+    ) {
+        let build = || {
+            let mut ctx = Ctx { srv: Some(FcfsServer::new((), 64)), completions: Vec::new() };
+            let mut sim: Sim<Ctx> = Sim::new();
+            for (i, &ms) in services.iter().enumerate() {
+                let mut srv = ctx.srv.take().unwrap();
+                let label = i as u32;
+                let _ = srv.submit(
+                    &mut sim,
+                    SimTime::from_millis(ms),
+                    Box::new(move |c: &mut Ctx, s: &mut Sim<Ctx>| {
+                        c.completions.push((label, s.now()));
+                    }),
+                );
+                ctx.srv = Some(srv);
+            }
+            (ctx, sim)
+        };
+        let (mut a_ctx, mut a_sim) = build();
+        a_sim.run(&mut a_ctx);
+        let (mut b_ctx, mut b_sim) = build();
+        b_sim.run_until(&mut b_ctx, SimTime::from_millis(cut_ms));
+        for (_, at) in &b_ctx.completions {
+            prop_assert!(*at <= SimTime::from_millis(cut_ms));
+        }
+        b_sim.run(&mut b_ctx);
+        prop_assert_eq!(a_ctx.completions, b_ctx.completions);
+    }
+}

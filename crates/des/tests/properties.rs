@@ -1,0 +1,134 @@
+//! Property-based tests for the DES engine invariants.
+
+use proptest::prelude::*;
+use sweb_des::{FairShare, JobId, ResourceHost, Sim, SimTime};
+
+/// Context owning a single fair-share resource and a completion log.
+struct Ctx {
+    res: Option<FairShare<Ctx>>,
+    completions: Vec<(u32, SimTime)>,
+}
+
+impl ResourceHost for Ctx {
+    type Key = ();
+    fn fair_share(&mut self, _key: ()) -> &mut FairShare<Ctx> {
+        self.res.as_mut().unwrap()
+    }
+}
+
+fn submit(ctx: &mut Ctx, sim: &mut Sim<Ctx>, work: f64, label: u32) -> JobId {
+    let mut res = ctx.res.take().unwrap();
+    let id = res.submit(
+        sim,
+        work,
+        Box::new(move |c: &mut Ctx, s: &mut Sim<Ctx>| c.completions.push((label, s.now()))),
+    );
+    ctx.res = Some(res);
+    id
+}
+
+proptest! {
+    /// Events fire in non-decreasing time order regardless of the order they
+    /// were scheduled in.
+    #[test]
+    fn event_queue_is_time_ordered(times in proptest::collection::vec(0u64..1_000_000, 1..100)) {
+        struct Log(Vec<SimTime>);
+        let mut sim: Sim<Log> = Sim::new();
+        let mut ctx = Log(Vec::new());
+        for &t in &times {
+            sim.schedule(
+                SimTime::from_micros(t),
+                Box::new(|c: &mut Log, s: &mut Sim<Log>| c.0.push(s.now())),
+            );
+        }
+        sim.run(&mut ctx);
+        prop_assert_eq!(ctx.0.len(), times.len());
+        for w in ctx.0.windows(2) {
+            prop_assert!(w[0] <= w[1], "time went backwards: {} then {}", w[0], w[1]);
+        }
+    }
+
+    /// Fair-share conservation: all submitted work completes, the resource
+    /// never serves faster than capacity, and total busy time equals
+    /// total-work/capacity when the resource is saturated from t=0.
+    #[test]
+    fn fair_share_conserves_work(
+        works in proptest::collection::vec(0.01f64..50.0, 1..40),
+        capacity in 0.5f64..100.0,
+    ) {
+        let mut ctx = Ctx { res: Some(FairShare::new((), capacity)), completions: Vec::new() };
+        let mut sim = Sim::new();
+        let total: f64 = works.iter().sum();
+        for (i, &w) in works.iter().enumerate() {
+            submit(&mut ctx, &mut sim, w, i as u32);
+        }
+        sim.run(&mut ctx);
+        prop_assert_eq!(ctx.completions.len(), works.len());
+        let res = ctx.res.as_ref().unwrap();
+        let done = res.completed_work();
+        prop_assert!((done - total).abs() < 1e-6 * total.max(1.0),
+            "work conservation: {} vs {}", done, total);
+        // Makespan >= total/capacity (cannot serve faster than capacity).
+        let makespan = sim.now().as_secs_f64();
+        prop_assert!(makespan + 1e-3 >= total / capacity,
+            "finished impossibly fast: {} < {}", makespan, total / capacity);
+        prop_assert_eq!(res.active_jobs(), 0);
+    }
+
+    /// In processor sharing, jobs complete in order of their work (ties
+    /// broken arbitrarily): a strictly smaller job never finishes after a
+    /// strictly larger one when both start at t=0.
+    #[test]
+    fn fair_share_smaller_jobs_finish_first(
+        works in proptest::collection::vec(0.01f64..50.0, 2..20),
+    ) {
+        let mut ctx = Ctx { res: Some(FairShare::new((), 10.0)), completions: Vec::new() };
+        let mut sim = Sim::new();
+        for (i, &w) in works.iter().enumerate() {
+            submit(&mut ctx, &mut sim, w, i as u32);
+        }
+        sim.run(&mut ctx);
+        for a in &ctx.completions {
+            for b in &ctx.completions {
+                let (wa, wb) = (works[a.0 as usize], works[b.0 as usize]);
+                if wa < wb - 1e-9 {
+                    prop_assert!(a.1 <= b.1,
+                        "job with work {} finished at {} after job with work {} at {}",
+                        wa, a.1, wb, b.1);
+                }
+            }
+        }
+    }
+
+    /// Cancelling a subset of jobs: the cancelled never complete, the rest
+    /// all do, and conservation holds for work actually served.
+    #[test]
+    fn fair_share_cancellation_is_exact(
+        works in proptest::collection::vec(1.0f64..20.0, 2..20),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 2..20),
+    ) {
+        let mut ctx = Ctx { res: Some(FairShare::new((), 5.0)), completions: Vec::new() };
+        let mut sim = Sim::new();
+        let n = works.len().min(cancel_mask.len());
+        let mut ids = Vec::new();
+        for (i, &w) in works.iter().enumerate().take(n) {
+            ids.push(submit(&mut ctx, &mut sim, w, i as u32));
+        }
+        // Cancel immediately (t=0) before any service happens.
+        let to_cancel: Vec<JobId> =
+            (0..n).filter(|&i| cancel_mask[i]).map(|i| ids[i]).collect();
+        let survivors = n - to_cancel.len();
+        {
+            let mut res = ctx.res.take().unwrap();
+            for id in to_cancel {
+                assert!(res.cancel(&mut sim, id));
+            }
+            ctx.res = Some(res);
+        }
+        sim.run(&mut ctx);
+        prop_assert_eq!(ctx.completions.len(), survivors);
+        for (label, _) in &ctx.completions {
+            prop_assert!(!cancel_mask[*label as usize], "cancelled job {} completed", label);
+        }
+    }
+}

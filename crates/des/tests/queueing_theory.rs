@@ -1,0 +1,112 @@
+//! Validation of the processor-sharing resource against queueing theory.
+//!
+//! For an M/G/1-PS queue, the mean sojourn time depends on the service
+//! distribution only through its mean (PS insensitivity):
+//!
+//! ```text
+//! E[T] = E[S] / (1 - ρ),   ρ = λ·E[S]
+//! ```
+//!
+//! These tests drive [`FairShare`] with Poisson arrivals and check the
+//! simulated means against the closed form — evidence that the fluid
+//! fair-share implementation really is processor sharing, which the whole
+//! SWEB reproduction leans on.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sweb_des::{FairShare, ResourceHost, Sim, SimTime};
+
+struct Ctx {
+    res: Option<FairShare<Ctx>>,
+    sojourns: Vec<f64>,
+}
+
+impl ResourceHost for Ctx {
+    type Key = ();
+    fn fair_share(&mut self, _key: ()) -> &mut FairShare<Ctx> {
+        self.res.as_mut().unwrap()
+    }
+}
+
+/// Exponential sample with the given mean.
+fn exp_sample(rng: &mut StdRng, mean: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -u.ln() * mean
+}
+
+/// Run an M/G/1-PS simulation: Poisson(λ) arrivals, service requirements
+/// drawn by `service`, unit capacity. Returns mean sojourn over `n` jobs
+/// (after discarding a warmup prefix).
+fn run_ps(
+    lambda: f64,
+    n: usize,
+    seed: u64,
+    mut service: impl FnMut(&mut StdRng) -> f64,
+) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ctx = Ctx { res: Some(FairShare::new((), 1.0)), sojourns: Vec::with_capacity(n) };
+    let mut sim: Sim<Ctx> = Sim::new();
+    let mut t = 0.0f64;
+    for _ in 0..n {
+        t += exp_sample(&mut rng, 1.0 / lambda);
+        let work = service(&mut rng);
+        sim.schedule(
+            SimTime::from_secs_f64(t),
+            Box::new(move |c: &mut Ctx, s: &mut Sim<Ctx>| {
+                let start = s.now();
+                let mut res = c.res.take().unwrap();
+                res.submit(
+                    s,
+                    work,
+                    Box::new(move |c: &mut Ctx, s: &mut Sim<Ctx>| {
+                        c.sojourns.push((s.now() - start).as_secs_f64());
+                    }),
+                );
+                c.res = Some(res);
+            }),
+        );
+    }
+    sim.run(&mut ctx);
+    assert_eq!(ctx.sojourns.len(), n);
+    let warmup = n / 5;
+    let tail = &ctx.sojourns[warmup..];
+    tail.iter().sum::<f64>() / tail.len() as f64
+}
+
+#[test]
+fn mm1_ps_mean_sojourn_matches_closed_form() {
+    // ρ = 0.5: E[T] = 1 / (1 - 0.5) = 2.0.
+    let mean = run_ps(0.5, 30_000, 42, |rng| exp_sample(rng, 1.0));
+    let expect = 1.0 / (1.0 - 0.5);
+    let err = (mean - expect).abs() / expect;
+    assert!(err < 0.05, "E[T]={mean:.3}, closed form {expect:.3} ({err:.3} rel err)");
+}
+
+#[test]
+fn mm1_ps_heavier_load_scales_as_one_over_one_minus_rho() {
+    // ρ = 0.8: E[T] = 1 / 0.2 = 5.0 (slow mixing: wide tolerance).
+    let mean = run_ps(0.8, 60_000, 7, |rng| exp_sample(rng, 1.0));
+    let expect = 5.0;
+    let err = (mean - expect).abs() / expect;
+    assert!(err < 0.10, "E[T]={mean:.3}, closed form {expect:.3} ({err:.3} rel err)");
+}
+
+#[test]
+fn ps_insensitivity_deterministic_service_same_mean_sojourn() {
+    // M/D/1-PS has the SAME mean sojourn as M/M/1-PS (insensitivity):
+    // only the mean service requirement matters.
+    let det = run_ps(0.6, 30_000, 11, |_| 1.0);
+    let exp = run_ps(0.6, 30_000, 12, |rng| exp_sample(rng, 1.0));
+    let closed = 1.0 / (1.0 - 0.6);
+    for (label, mean) in [("deterministic", det), ("exponential", exp)] {
+        let err = (mean - closed).abs() / closed;
+        assert!(err < 0.07, "{label}: E[T]={mean:.3} vs {closed:.3} ({err:.3})");
+    }
+}
+
+#[test]
+fn light_load_sojourn_approaches_service_time() {
+    // ρ → 0: almost never shared, E[T] → E[S] = 1.
+    let mean = run_ps(0.05, 5_000, 3, |rng| exp_sample(rng, 1.0));
+    assert!((mean - 1.0).abs() < 0.1, "E[T]={mean:.3} should approach 1.0");
+}

@@ -1,0 +1,118 @@
+//! HTTP-date (RFC 1123) formatting and parsing, for `Last-Modified` /
+//! `If-Modified-Since` conditional GETs.
+
+const MONTHS: [&str; 12] =
+    ["Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"];
+const DAYS: [&str; 7] = ["Thu", "Fri", "Sat", "Sun", "Mon", "Tue", "Wed"]; // epoch was a Thursday
+
+/// Format seconds-since-epoch as an RFC 1123 HTTP-date
+/// (`Sun, 06 Nov 1994 08:49:37 GMT`).
+pub fn format_http_date(epoch_secs: u64) -> String {
+    let days = epoch_secs / 86_400;
+    let tod = epoch_secs % 86_400;
+    let (hh, mm, ss) = (tod / 3600, (tod % 3600) / 60, tod % 60);
+    let (y, m, d) = civil_from_days(days as i64);
+    let dow = DAYS[(days % 7) as usize];
+    format!("{dow}, {d:02} {} {y} {hh:02}:{mm:02}:{ss:02} GMT", MONTHS[(m - 1) as usize])
+}
+
+/// Parse an RFC 1123 HTTP-date back to seconds-since-epoch. Returns `None`
+/// for anything else (RFC 850 and asctime dates, used by some 1990s
+/// clients, are treated as unparseable and conditional requests fall back
+/// to a full 200 — the safe behaviour).
+pub fn parse_http_date(s: &str) -> Option<u64> {
+    // "Sun, 06 Nov 1994 08:49:37 GMT"
+    let rest = s.trim();
+    let (_dow, rest) = rest.split_once(", ")?;
+    let mut parts = rest.split_ascii_whitespace();
+    let d: u64 = parts.next()?.parse().ok()?;
+    let mon = parts.next()?;
+    let m = MONTHS.iter().position(|&x| x.eq_ignore_ascii_case(mon))? as u64 + 1;
+    let y: i64 = parts.next()?.parse().ok()?;
+    let hms = parts.next()?;
+    if parts.next() != Some("GMT") {
+        return None;
+    }
+    let mut t = hms.split(':');
+    let hh: u64 = t.next()?.parse().ok()?;
+    let mm: u64 = t.next()?.parse().ok()?;
+    let ss: u64 = t.next()?.parse().ok()?;
+    if d == 0 || d > 31 || hh > 23 || mm > 59 || ss > 60 || y < 1970 {
+        return None;
+    }
+    let days = days_from_civil(y, m as u32, d as u32)?;
+    Some(days as u64 * 86_400 + hh * 3600 + mm * 60 + ss)
+}
+
+/// Days-since-epoch to (year, month, day); Howard Hinnant's algorithm.
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// (year, month, day) to days-since-epoch; inverse of `civil_from_days`.
+fn days_from_civil(y: i64, m: u32, d: u32) -> Option<i64> {
+    if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return None;
+    }
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u64;
+    let mp = if m > 2 { m - 3 } else { m + 9 } as u64;
+    let doy = (153 * mp + 2) / 5 + d as u64 - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    Some(era * 146_097 + doe as i64 - 719_468)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_the_rfc_example() {
+        // RFC 2616's canonical example date.
+        let secs = parse_http_date("Sun, 06 Nov 1994 08:49:37 GMT").unwrap();
+        assert_eq!(format_http_date(secs), "Sun, 06 Nov 1994 08:49:37 GMT");
+    }
+
+    #[test]
+    fn round_trips_across_eras() {
+        for &secs in &[0u64, 1, 86_399, 86_400, 812_995_777, 951_826_800, 1_751_600_000] {
+            let s = format_http_date(secs);
+            assert_eq!(parse_http_date(&s), Some(secs), "round-trip of {secs} via {s}");
+        }
+    }
+
+    #[test]
+    fn epoch_is_a_thursday() {
+        assert!(format_http_date(0).starts_with("Thu, 01 Jan 1970"));
+    }
+
+    #[test]
+    fn rejects_malformed_dates() {
+        assert_eq!(parse_http_date(""), None);
+        assert_eq!(parse_http_date("not a date"), None);
+        assert_eq!(parse_http_date("Sun, 06 Nov 1994 08:49:37 PST"), None);
+        assert_eq!(parse_http_date("Sun, 32 Nov 1994 08:49:37 GMT"), None);
+        assert_eq!(parse_http_date("Sun, 06 Zzz 1994 08:49:37 GMT"), None);
+        // RFC 850 and asctime forms are deliberately unsupported.
+        assert_eq!(parse_http_date("Sunday, 06-Nov-94 08:49:37 GMT"), None);
+        assert_eq!(parse_http_date("Sun Nov  6 08:49:37 1994"), None);
+    }
+
+    #[test]
+    fn ordering_is_preserved() {
+        let a = parse_http_date("Sun, 06 Nov 1994 08:49:37 GMT").unwrap();
+        let b = parse_http_date("Sun, 06 Nov 1994 08:49:38 GMT").unwrap();
+        let c = parse_http_date("Mon, 07 Nov 1994 00:00:00 GMT").unwrap();
+        assert!(a < b && b < c);
+    }
+}

@@ -1,0 +1,117 @@
+//! Case-insensitive header multimap.
+
+/// An ordered list of HTTP headers with case-insensitive name lookup.
+///
+/// Kept as a `Vec` rather than a hash map: requests carry a handful of
+/// headers, insertion order matters on the wire, and linear scans beat
+/// hashing at this size.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Headers {
+    entries: Vec<(String, String)>,
+}
+
+impl Headers {
+    /// Empty header set.
+    pub fn new() -> Self {
+        Headers::default()
+    }
+
+    /// Append a header (duplicates allowed, e.g. `Set-Cookie`).
+    pub fn push(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.entries.push((name.into(), value.into()));
+    }
+
+    /// First value for `name`, case-insensitively.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All values for `name`.
+    pub fn get_all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.entries
+            .iter()
+            .filter(move |(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Replace all values of `name` with a single value.
+    pub fn set(&mut self, name: &str, value: impl Into<String>) {
+        self.entries.retain(|(n, _)| !n.eq_ignore_ascii_case(name));
+        self.push(name.to_string(), value);
+    }
+
+    /// Number of header lines.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no headers are present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate `(name, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), v.as_str()))
+    }
+
+    /// `Content-Length`, when present and numeric.
+    pub fn content_length(&self) -> Option<u64> {
+        self.get("content-length")?.trim().parse().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_insensitive_lookup() {
+        let mut h = Headers::new();
+        h.push("Content-Type", "text/html");
+        assert_eq!(h.get("content-type"), Some("text/html"));
+        assert_eq!(h.get("CONTENT-TYPE"), Some("text/html"));
+        assert_eq!(h.get("missing"), None);
+    }
+
+    #[test]
+    fn duplicates_preserved_and_get_all() {
+        let mut h = Headers::new();
+        h.push("X-A", "1");
+        h.push("x-a", "2");
+        assert_eq!(h.get("X-A"), Some("1"));
+        assert_eq!(h.get_all("X-a").collect::<Vec<_>>(), vec!["1", "2"]);
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn set_replaces_all() {
+        let mut h = Headers::new();
+        h.push("X-A", "1");
+        h.push("X-A", "2");
+        h.set("x-a", "3");
+        assert_eq!(h.get_all("X-A").collect::<Vec<_>>(), vec!["3"]);
+    }
+
+    #[test]
+    fn content_length_parsing() {
+        let mut h = Headers::new();
+        assert_eq!(h.content_length(), None);
+        h.set("Content-Length", " 1234 ");
+        assert_eq!(h.content_length(), Some(1234));
+        h.set("Content-Length", "bogus");
+        assert_eq!(h.content_length(), None);
+    }
+
+    #[test]
+    fn iteration_order_is_insertion_order() {
+        let mut h = Headers::new();
+        h.push("B", "2");
+        h.push("A", "1");
+        let names: Vec<_> = h.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["B", "A"]);
+    }
+}

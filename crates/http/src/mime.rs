@@ -1,0 +1,69 @@
+//! MIME type inference by file extension — the types a 1996 digital-library
+//! server (Alexandria: maps, satellite images, aerial photographs) serves.
+
+/// Content type for a path, by extension; `application/octet-stream` when
+/// unknown.
+pub fn mime_for_path(path: &str) -> &'static str {
+    let ext = path
+        .rsplit('/')
+        .next()
+        .and_then(|name| name.rsplit_once('.'))
+        .map(|(_, e)| e)
+        .unwrap_or("");
+    // Extensions compared case-insensitively without allocating.
+    macro_rules! ieq {
+        ($a:expr) => {
+            ext.eq_ignore_ascii_case($a)
+        };
+    }
+    if ieq!("html") || ieq!("htm") {
+        "text/html"
+    } else if ieq!("txt") {
+        "text/plain"
+    } else if ieq!("gif") {
+        "image/gif"
+    } else if ieq!("jpg") || ieq!("jpeg") {
+        "image/jpeg"
+    } else if ieq!("tif") || ieq!("tiff") {
+        "image/tiff"
+    } else if ieq!("png") {
+        "image/png"
+    } else if ieq!("ps") {
+        "application/postscript"
+    } else if ieq!("pdf") {
+        "application/pdf"
+    } else if ieq!("mpg") || ieq!("mpeg") {
+        "video/mpeg"
+    } else if ieq!("au") {
+        "audio/basic"
+    } else {
+        "application/octet-stream"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn common_types() {
+        assert_eq!(mime_for_path("/index.html"), "text/html");
+        assert_eq!(mime_for_path("/maps/goleta.gif"), "image/gif");
+        assert_eq!(mime_for_path("/img/aerial.JPEG"), "image/jpeg");
+        assert_eq!(mime_for_path("/sat/scene.tif"), "image/tiff");
+        assert_eq!(mime_for_path("/doc/paper.ps"), "application/postscript");
+    }
+
+    #[test]
+    fn unknown_and_extensionless() {
+        assert_eq!(mime_for_path("/data/blob"), "application/octet-stream");
+        assert_eq!(mime_for_path("/x.weird"), "application/octet-stream");
+        assert_eq!(mime_for_path("/"), "application/octet-stream");
+    }
+
+    #[test]
+    fn dot_in_directory_does_not_confuse() {
+        assert_eq!(mime_for_path("/v1.2/readme"), "application/octet-stream");
+        assert_eq!(mime_for_path("/v1.2/readme.txt"), "text/plain");
+    }
+}

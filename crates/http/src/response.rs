@@ -1,0 +1,133 @@
+//! Response construction and wire serialization.
+
+use bytes::Bytes;
+
+use crate::headers::Headers;
+use crate::status::StatusCode;
+use crate::url::mark_redirected;
+
+/// An HTTP/1.0 response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status line code.
+    pub status: StatusCode,
+    /// Header lines (Content-Length is filled in by [`Response::to_bytes`]).
+    pub headers: Headers,
+    /// Body payload. `Bytes` so large file payloads are shared, not copied,
+    /// between the cache and concurrent responses.
+    pub body: Bytes,
+}
+
+impl Response {
+    /// A `200 OK` carrying `body` with the given MIME type.
+    pub fn ok(body: impl Into<Bytes>, content_type: &str) -> Response {
+        let mut headers = Headers::new();
+        headers.set("Content-Type", content_type);
+        Response { status: StatusCode::Ok, headers, body: body.into() }
+    }
+
+    /// SWEB's scheduling primitive: a `302 Found` sending the client to the
+    /// same document on `peer_base` (e.g. `http://node3.cluster:8080`),
+    /// with the redirect-once marker appended to the target.
+    pub fn redirect_to_peer(peer_base: &str, target: &str) -> Response {
+        let marked = mark_redirected(target);
+        let mut headers = Headers::new();
+        headers.set("Location", format!("{}{}", peer_base.trim_end_matches('/'), marked));
+        headers.set("Content-Type", "text/html");
+        let body = "<HTML><HEAD><TITLE>302 Found</TITLE></HEAD>\
+             <BODY>Document relocated to a less loaded server.</BODY></HTML>".to_string();
+        Response { status: StatusCode::Found, headers, body: body.into() }
+    }
+
+    /// An error response with a small HTML body.
+    pub fn error(status: StatusCode) -> Response {
+        let mut headers = Headers::new();
+        headers.set("Content-Type", "text/html");
+        let body = format!(
+            "<HTML><HEAD><TITLE>{status}</TITLE></HEAD><BODY><H1>{status}</H1></BODY></HTML>"
+        );
+        Response { status, headers, body: body.into() }
+    }
+
+    /// Serialize status line, headers (with `Content-Length` and `Server`
+    /// filled in), blank line and body. `head_only` omits the body (HEAD).
+    pub fn to_bytes(&self, head_only: bool) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128 + if head_only { 0 } else { self.body.len() });
+        out.extend_from_slice(format!("HTTP/1.0 {}\r\n", self.status).as_bytes());
+        let mut wrote_server = false;
+        let mut wrote_len = false;
+        for (name, value) in self.headers.iter() {
+            wrote_server |= name.eq_ignore_ascii_case("server");
+            wrote_len |= name.eq_ignore_ascii_case("content-length");
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(b": ");
+            out.extend_from_slice(value.as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
+        if !wrote_server {
+            out.extend_from_slice(b"Server: SWEB/0.1 (NCSA-derived)\r\n");
+        }
+        if !wrote_len {
+            out.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
+        }
+        out.extend_from_slice(b"\r\n");
+        if !head_only {
+            out.extend_from_slice(&self.body);
+        }
+        out
+    }
+
+    /// The `Location` header, for redirect responses.
+    pub fn location(&self) -> Option<&str> {
+        self.headers.get("location")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ok_response_serializes() {
+        let r = Response::ok("hello", "text/plain");
+        let wire = String::from_utf8(r.to_bytes(false)).unwrap();
+        assert!(wire.starts_with("HTTP/1.0 200 OK\r\n"), "{wire}");
+        assert!(wire.contains("Content-Type: text/plain\r\n"));
+        assert!(wire.contains("Content-Length: 5\r\n"));
+        assert!(wire.ends_with("\r\n\r\nhello"));
+    }
+
+    #[test]
+    fn head_omits_body_but_keeps_length() {
+        let r = Response::ok("hello", "text/plain");
+        let wire = String::from_utf8(r.to_bytes(true)).unwrap();
+        assert!(wire.contains("Content-Length: 5\r\n"));
+        assert!(wire.ends_with("\r\n\r\n"));
+    }
+
+    #[test]
+    fn redirect_carries_marked_location() {
+        let r = Response::redirect_to_peer("http://127.0.0.1:9002/", "/maps/g.gif?zoom=2");
+        assert_eq!(r.status, StatusCode::Found);
+        assert_eq!(
+            r.location(),
+            Some("http://127.0.0.1:9002/maps/g.gif?zoom=2&sweb-redirect=1")
+        );
+        let wire = String::from_utf8(r.to_bytes(false)).unwrap();
+        assert!(wire.starts_with("HTTP/1.0 302 Found\r\n"));
+    }
+
+    #[test]
+    fn error_bodies_mention_status() {
+        let r = Response::error(StatusCode::NotFound);
+        assert!(std::str::from_utf8(&r.body).unwrap().contains("404 Not Found"));
+    }
+
+    #[test]
+    fn explicit_content_length_not_duplicated() {
+        let mut r = Response::ok("abc", "text/plain");
+        r.headers.set("Content-Length", "3");
+        let wire = String::from_utf8(r.to_bytes(false)).unwrap();
+        assert_eq!(wire.matches("Content-Length").count(), 1);
+    }
+}

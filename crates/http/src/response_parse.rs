@@ -1,0 +1,155 @@
+//! Response parsing — the client side of the wire format.
+
+use crate::headers::Headers;
+
+/// A parsed response head plus body bytes.
+#[derive(Debug, Clone)]
+pub struct ParsedResponse {
+    /// Numeric status code.
+    pub status: u16,
+    /// Response headers.
+    pub headers: Headers,
+    /// Body (close-delimited, truncated to `Content-Length` when present).
+    pub body: Vec<u8>,
+}
+
+/// Why a response failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResponseParseError {
+    /// No blank line terminating the head.
+    NoHeadEnd,
+    /// Head is not UTF-8.
+    NotUtf8,
+    /// Status line is malformed.
+    BadStatusLine,
+}
+
+impl std::fmt::Display for ResponseParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            ResponseParseError::NoHeadEnd => "no header terminator",
+            ResponseParseError::NotUtf8 => "non-UTF-8 response head",
+            ResponseParseError::BadStatusLine => "malformed status line",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for ResponseParseError {}
+
+/// Parse a full HTTP/1.0 response (head + close-delimited body) from raw
+/// bytes, as read until EOF. Tolerates bare-LF line endings. When the head
+/// carries `Content-Length`, the body is truncated to it.
+pub fn parse_response(raw: &[u8]) -> Result<ParsedResponse, ResponseParseError> {
+    let (head_len, body_start) = find_head_end(raw).ok_or(ResponseParseError::NoHeadEnd)?;
+    let head =
+        std::str::from_utf8(&raw[..head_len]).map_err(|_| ResponseParseError::NotUtf8)?;
+    let mut lines = head.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+    let status_line = lines.next().ok_or(ResponseParseError::BadStatusLine)?;
+    let mut parts = status_line.splitn(3, ' ');
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/") {
+        return Err(ResponseParseError::BadStatusLine);
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or(ResponseParseError::BadStatusLine)?;
+    let mut headers = Headers::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push(name.trim(), value.trim());
+        }
+    }
+    let body = raw[body_start..].to_vec();
+    let body = match headers.content_length() {
+        Some(len) if (len as usize) <= body.len() => body[..len as usize].to_vec(),
+        _ => body,
+    };
+    Ok(ParsedResponse { status, headers, body })
+}
+
+fn find_head_end(raw: &[u8]) -> Option<(usize, usize)> {
+    let mut i = 0;
+    while i < raw.len() {
+        if raw[i] == b'\n' {
+            if raw.get(i + 1) == Some(&b'\n') {
+                return Some((i + 1, i + 2));
+            }
+            if raw.get(i + 1) == Some(&b'\r') && raw.get(i + 2) == Some(&b'\n') {
+                return Some((i + 1, i + 3));
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::response::Response;
+    use crate::status::StatusCode;
+
+    #[test]
+    fn parses_ok_response() {
+        let raw = b"HTTP/1.0 200 OK\r\nContent-Type: text/plain\r\nContent-Length: 5\r\n\r\nhello";
+        let r = parse_response(raw).unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.headers.get("content-type"), Some("text/plain"));
+        assert_eq!(r.body, b"hello");
+    }
+
+    #[test]
+    fn truncates_to_content_length() {
+        let raw = b"HTTP/1.0 200 OK\r\nContent-Length: 2\r\n\r\nhi-extra";
+        assert_eq!(parse_response(raw).unwrap().body, b"hi");
+    }
+
+    #[test]
+    fn tolerates_bare_lf() {
+        let raw = b"HTTP/1.0 404 Not Found\nContent-Length: 0\n\n";
+        let r = parse_response(raw).unwrap();
+        assert_eq!(r.status, 404);
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(parse_response(b"nope\r\n\r\n").unwrap_err(), ResponseParseError::BadStatusLine);
+        assert_eq!(
+            parse_response(b"HTTP/1.0 abc OK\r\n\r\n").unwrap_err(),
+            ResponseParseError::BadStatusLine
+        );
+        assert_eq!(parse_response(b"HTTP/1.0 200 OK").unwrap_err(), ResponseParseError::NoHeadEnd);
+        assert_eq!(
+            parse_response(b"HTTP/1.0 200 \xff\xfe\r\n\r\n").unwrap_err(),
+            ResponseParseError::NotUtf8
+        );
+    }
+
+    #[test]
+    fn round_trips_our_own_responses() {
+        for (resp, head_only) in [
+            (Response::ok("body bytes", "text/plain"), false),
+            (Response::error(StatusCode::NotFound), false),
+            (Response::redirect_to_peer("http://127.0.0.1:1", "/x"), false),
+            (Response::ok("ignored", "text/plain"), true),
+        ] {
+            let wire = resp.to_bytes(head_only);
+            let parsed = parse_response(&wire).unwrap();
+            assert_eq!(parsed.status, resp.status.code());
+            if head_only {
+                assert!(parsed.body.is_empty());
+            } else {
+                assert_eq!(parsed.body, resp.body.as_ref());
+            }
+            if resp.status.is_redirect() {
+                assert_eq!(parsed.headers.get("location"), resp.location());
+            }
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! HTTP status codes used by SWEB.
+
+/// The status codes NCSA-era SWEB emits. (The paper's example "202 — OK.
+/// File found." is a typo in the original text for 200; we implement the
+/// real registry values.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StatusCode {
+    /// 200 — request fulfilled.
+    Ok,
+    /// 302 — resource moved; SWEB's request-reassignment mechanism.
+    Found,
+    /// 304 — conditional GET, not modified.
+    NotModified,
+    /// 400 — malformed request line or headers.
+    BadRequest,
+    /// 403 — permission check failed.
+    Forbidden,
+    /// 404 — "File not found." (quoted in §2 of the paper).
+    NotFound,
+    /// 405 — method not allowed on this resource (POST to a static file).
+    MethodNotAllowed,
+    /// 500 — server-side failure (e.g. CGI crashed).
+    InternalServerError,
+    /// 501 — method not implemented (SWEB serves GET/HEAD/POST).
+    NotImplemented,
+    /// 503 — overloaded; connection would be dropped.
+    ServiceUnavailable,
+}
+
+impl StatusCode {
+    /// Numeric code on the wire.
+    pub fn code(self) -> u16 {
+        match self {
+            StatusCode::Ok => 200,
+            StatusCode::Found => 302,
+            StatusCode::NotModified => 304,
+            StatusCode::BadRequest => 400,
+            StatusCode::Forbidden => 403,
+            StatusCode::NotFound => 404,
+            StatusCode::MethodNotAllowed => 405,
+            StatusCode::InternalServerError => 500,
+            StatusCode::NotImplemented => 501,
+            StatusCode::ServiceUnavailable => 503,
+        }
+    }
+
+    /// Canonical reason phrase.
+    pub fn reason(self) -> &'static str {
+        match self {
+            StatusCode::Ok => "OK",
+            StatusCode::Found => "Found",
+            StatusCode::NotModified => "Not Modified",
+            StatusCode::BadRequest => "Bad Request",
+            StatusCode::Forbidden => "Forbidden",
+            StatusCode::NotFound => "Not Found",
+            StatusCode::MethodNotAllowed => "Method Not Allowed",
+            StatusCode::InternalServerError => "Internal Server Error",
+            StatusCode::NotImplemented => "Not Implemented",
+            StatusCode::ServiceUnavailable => "Service Unavailable",
+        }
+    }
+
+    /// Whether the code indicates success (2xx).
+    pub fn is_success(self) -> bool {
+        (200..300).contains(&self.code())
+    }
+
+    /// Whether the code is a redirect (3xx) carrying a `Location`.
+    pub fn is_redirect(self) -> bool {
+        self == StatusCode::Found
+    }
+}
+
+impl std::fmt::Display for StatusCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.code(), self.reason())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_and_reasons() {
+        assert_eq!(StatusCode::Ok.code(), 200);
+        assert_eq!(StatusCode::NotFound.code(), 404);
+        assert_eq!(StatusCode::Found.code(), 302);
+        assert_eq!(StatusCode::NotFound.reason(), "Not Found");
+        assert_eq!(format!("{}", StatusCode::Ok), "200 OK");
+    }
+
+    #[test]
+    fn classification() {
+        assert!(StatusCode::Ok.is_success());
+        assert!(!StatusCode::NotFound.is_success());
+        assert!(StatusCode::Found.is_redirect());
+        assert!(!StatusCode::Ok.is_redirect());
+    }
+}

@@ -1,0 +1,133 @@
+//! URL path handling: query splitting, normalization, traversal guard, and
+//! SWEB's redirect-once marker.
+
+/// The query marker SWEB appends when issuing a 302 to a peer, so the
+/// receiving node knows the request must be served locally. The paper
+/// (§3.1): "Any HTTP request is not allowed to be redirected more than once
+/// to avoid the ping-pong effect."
+pub const REDIRECT_MARKER: &str = "sweb-redirect=1";
+
+/// Split a request target into `(path, query)` at the first `?`.
+pub fn split_query(target: &str) -> (&str, Option<&str>) {
+    match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    }
+}
+
+/// Normalize a URL path: resolve `.` and `..` segments, collapse duplicate
+/// slashes, percent-decode, and reject anything escaping the document root.
+/// Returns `None` for traversal attempts or malformed escapes.
+pub fn sanitize_path(path: &str) -> Option<String> {
+    let decoded = percent_decode(path)?;
+    if decoded.contains('\0') {
+        return None;
+    }
+    let mut out: Vec<&str> = Vec::new();
+    for seg in decoded.split('/') {
+        match seg {
+            "" | "." => {}
+            ".." => {
+                out.pop()?;
+            }
+            s => out.push(s),
+        }
+    }
+    let mut s = String::with_capacity(decoded.len() + 1);
+    s.push('/');
+    s.push_str(&out.join("/"));
+    Some(s)
+}
+
+/// Percent-decode (`%41` → `A`). Returns `None` on malformed escapes.
+/// ASCII-only decoding is enough for the paper's file-path URLs.
+fn percent_decode(s: &str) -> Option<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hi = char::from(*bytes.get(i + 1)?).to_digit(16)?;
+            let lo = char::from(*bytes.get(i + 2)?).to_digit(16)?;
+            out.push((hi * 16 + lo) as u8);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+/// Append the redirect-once marker to a request target.
+pub fn mark_redirected(target: &str) -> String {
+    if target.contains('?') {
+        format!("{target}&{REDIRECT_MARKER}")
+    } else {
+        format!("{target}?{REDIRECT_MARKER}")
+    }
+}
+
+/// Whether a request target carries the redirect-once marker.
+pub fn is_redirected(target: &str) -> bool {
+    match split_query(target).1 {
+        Some(q) => q.split('&').any(|kv| kv == REDIRECT_MARKER),
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_query_basics() {
+        assert_eq!(split_query("/a/b"), ("/a/b", None));
+        assert_eq!(split_query("/a?x=1"), ("/a", Some("x=1")));
+        assert_eq!(split_query("/a?x=1?y=2"), ("/a", Some("x=1?y=2")));
+    }
+
+    #[test]
+    fn sanitize_normalizes() {
+        assert_eq!(sanitize_path("/a/b/c").as_deref(), Some("/a/b/c"));
+        assert_eq!(sanitize_path("//a///b/").as_deref(), Some("/a/b"));
+        assert_eq!(sanitize_path("/a/./b").as_deref(), Some("/a/b"));
+        assert_eq!(sanitize_path("/a/x/../b").as_deref(), Some("/a/b"));
+        assert_eq!(sanitize_path("/").as_deref(), Some("/"));
+        assert_eq!(sanitize_path("").as_deref(), Some("/"));
+    }
+
+    #[test]
+    fn sanitize_rejects_traversal() {
+        assert_eq!(sanitize_path("/.."), None);
+        assert_eq!(sanitize_path("/../x"), None);
+        assert_eq!(sanitize_path("/a/../../x"), None);
+        // Encoded traversal must also be caught.
+        assert_eq!(sanitize_path("/%2e%2e/etc"), None);
+    }
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(sanitize_path("/a%20b").as_deref(), Some("/a b"));
+        assert_eq!(sanitize_path("/%41").as_deref(), Some("/A"));
+        assert_eq!(sanitize_path("/bad%zz"), None);
+        assert_eq!(sanitize_path("/trunc%4"), None);
+        assert_eq!(sanitize_path("/nul%00"), None);
+    }
+
+    #[test]
+    fn redirect_marker_round_trip() {
+        let t = "/maps/x.gif";
+        let m = mark_redirected(t);
+        assert_eq!(m, "/maps/x.gif?sweb-redirect=1");
+        assert!(is_redirected(&m));
+        let t2 = "/maps/x.gif?zoom=2";
+        let m2 = mark_redirected(t2);
+        assert_eq!(m2, "/maps/x.gif?zoom=2&sweb-redirect=1");
+        assert!(is_redirected(&m2));
+        assert!(!is_redirected(t2));
+        // Unrelated keys do not count.
+        assert!(!is_redirected("/x?sweb-redirect=2"));
+        assert!(!is_redirected("/x?asweb-redirect=1"));
+    }
+}

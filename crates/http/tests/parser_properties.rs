@@ -1,0 +1,64 @@
+//! Property tests: parser robustness and round-trips.
+
+use proptest::prelude::*;
+use sweb_http::{mark_redirected, parse_request, sanitize_path, Response};
+
+proptest! {
+    /// The parser never panics on arbitrary bytes.
+    #[test]
+    fn parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = parse_request(&bytes);
+    }
+
+    /// Any request we serialize ourselves parses back to the same target
+    /// and headers.
+    #[test]
+    fn request_round_trip(
+        path_segs in proptest::collection::vec("[a-z0-9]{1,8}", 1..5),
+        header_vals in proptest::collection::vec("[ -~&&[^:\r\n]]{0,20}", 0..5),
+    ) {
+        let target = format!("/{}", path_segs.join("/"));
+        let mut raw = format!("GET {target} HTTP/1.0\r\n");
+        for (i, v) in header_vals.iter().enumerate() {
+            raw.push_str(&format!("X-H{i}: {v}\r\n"));
+        }
+        raw.push_str("\r\n");
+        let (req, used) = parse_request(raw.as_bytes()).expect("self-built request must parse");
+        prop_assert_eq!(used, raw.len());
+        prop_assert_eq!(&req.target, &target);
+        for (i, v) in header_vals.iter().enumerate() {
+            prop_assert_eq!(req.headers.get(&format!("X-H{i}")), Some(v.trim()));
+        }
+    }
+
+    /// sanitize_path output, when Some, never contains `..` segments and
+    /// always starts with `/`.
+    #[test]
+    fn sanitized_paths_are_rooted_and_clean(path in "[ -~]{0,64}") {
+        if let Some(p) = sanitize_path(&path) {
+            prop_assert!(p.starts_with('/'), "not rooted: {p}");
+            prop_assert!(!p.split('/').any(|s| s == ".."), "traversal survived: {p}");
+            prop_assert!(!p.contains("//"), "duplicate slash survived: {p}");
+            // Idempotent: sanitizing again is a no-op (percent-decoding
+            // aside, our outputs contain no escapes to re-decode unless the
+            // decoded text itself contains '%', which we skip).
+            if !p.contains('%') {
+                let again = sanitize_path(&p);
+                prop_assert_eq!(again.as_deref(), Some(p.as_str()));
+            }
+        }
+    }
+
+    /// Marked targets are always detected as redirected, and serialized
+    /// redirect responses parse as valid Location headers.
+    #[test]
+    fn redirect_marker_detected(path_segs in proptest::collection::vec("[a-z0-9]{1,6}", 1..4)) {
+        let target = format!("/{}", path_segs.join("/"));
+        let marked = mark_redirected(&target);
+        prop_assert!(sweb_http::is_redirected(&marked));
+        let resp = Response::redirect_to_peer("http://127.0.0.1:9000", &target);
+        let loc = resp.location().unwrap();
+        prop_assert!(loc.starts_with("http://127.0.0.1:9000/"));
+        prop_assert!(loc.ends_with("sweb-redirect=1"));
+    }
+}

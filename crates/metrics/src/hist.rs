@@ -1,0 +1,239 @@
+//! Log-binned latency histogram.
+
+/// A histogram over microsecond values with logarithmic bins: 32 linear
+/// sub-buckets per power of two, giving ≤ ~3 % relative error per bin while
+/// staying a fixed, allocation-free size. Suitable for response times from
+/// microseconds to hours.
+///
+/// ```
+/// use sweb_metrics::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v * 1000); // 1ms .. 1s
+/// }
+/// assert_eq!(h.count(), 1000);
+/// let median_ms = h.quantile(0.5) as f64 / 1000.0;
+/// assert!((median_ms - 500.0).abs() < 40.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// bins[e][m]: values with exponent `e` (bit length) and mantissa
+    /// sub-bucket `m`.
+    bins: Vec<[u64; Histogram::SUB]>,
+    count: u64,
+    sum: f64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    const SUB: usize = 32;
+    const SUB_BITS: u32 = 5;
+    const EXPONENTS: usize = 64;
+
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            bins: vec![[0; Histogram::SUB]; Histogram::EXPONENTS],
+            count: 0,
+            sum: 0.0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bin_of(value: u64) -> (usize, usize) {
+        if value < Histogram::SUB as u64 {
+            return (0, value as usize);
+        }
+        let e = 63 - value.leading_zeros(); // value >= 32 => e >= 5
+        let shift = e - Histogram::SUB_BITS;
+        let m = ((value >> shift) - Histogram::SUB as u64) as usize;
+        ((e - Histogram::SUB_BITS + 1) as usize, m)
+    }
+
+    /// Representative (lower-bound) value of a bin.
+    fn bin_floor(e: usize, m: usize) -> u64 {
+        if e == 0 {
+            m as u64
+        } else {
+            (Histogram::SUB as u64 + m as u64) << (e - 1)
+        }
+    }
+
+    /// Record one value (microseconds).
+    pub fn record(&mut self, value: u64) {
+        let (e, m) = Histogram::bin_of(value);
+        self.bins[e][m] += 1;
+        self.count += 1;
+        self.sum += value as f64;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded values.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact mean of recorded values (not binned).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Exact minimum, 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum, 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate `q`-quantile (0 ≤ q ≤ 1) from bin floors. Returns 0 when
+    /// empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.count == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (e, row) in self.bins.iter().enumerate() {
+            for (m, &c) in row.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    return Histogram::bin_floor(e, m).min(self.max).max(self.min);
+                }
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.bins.iter_mut().zip(other.bins.iter()) {
+            for (a, b) in mine.iter_mut().zip(theirs.iter()) {
+                *a += b;
+            }
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn exact_stats() {
+        let mut h = Histogram::new();
+        for v in [10, 20, 30] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.mean(), 20.0);
+        assert_eq!(h.min(), 10);
+        assert_eq!(h.max(), 30);
+    }
+
+    #[test]
+    fn quantiles_are_close() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        for (q, expect) in [(0.5, 5_000.0), (0.9, 9_000.0), (0.99, 9_900.0)] {
+            let got = h.quantile(q) as f64;
+            let err = (got - expect).abs() / expect;
+            assert!(err < 0.05, "q{q}: got {got}, want ~{expect} ({err:.3} rel err)");
+        }
+        assert_eq!(h.quantile(1.0), 10_000);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..32u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(1.0 / 32.0), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 31);
+    }
+
+    #[test]
+    fn large_values_do_not_overflow_bins() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX / 2);
+        h.record(3_600_000_000); // one hour in µs
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(0.5) >= 3_000_000_000);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in 1..=100 {
+            a.record(v);
+        }
+        for v in 101..=200 {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 200);
+        assert_eq!(a.min(), 1);
+        assert_eq!(a.max(), 200);
+        let med = a.quantile(0.5) as f64;
+        assert!((med - 100.0).abs() / 100.0 < 0.06, "median after merge: {med}");
+    }
+
+    #[test]
+    fn bin_floor_inverts_bin_of() {
+        for v in [0u64, 1, 31, 32, 33, 63, 64, 100, 1000, 123456, u64::MAX / 2] {
+            let (e, m) = Histogram::bin_of(v);
+            let floor = Histogram::bin_floor(e, m);
+            assert!(floor <= v, "floor {floor} > value {v}");
+            // Relative bin width bound: 1/32 of the value's magnitude.
+            if v >= 32 {
+                assert!((v - floor) as f64 / v as f64 <= 1.0 / 16.0, "bin too wide at {v}");
+            }
+        }
+    }
+}

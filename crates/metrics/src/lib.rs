@@ -1,0 +1,23 @@
+//! # sweb-metrics — measurement plumbing for the SWEB experiments
+//!
+//! * [`Histogram`] — log-binned latency histogram (HDR-style: ~2.3 %
+//!   relative error per bin) for response times;
+//! * [`PhaseBreakdown`] — per-phase time accumulation matching the paper's
+//!   Table 5 (preprocessing, analysis, redirection, data transfer, network);
+//! * [`RunStats`] — everything one experiment run produces: completions,
+//!   drops, refusals, per-phase averages, per-node counters;
+//! * [`TextTable`] — aligned text tables and CSV for EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+
+mod hist;
+mod phases;
+mod summary;
+mod table;
+mod timeseries;
+
+pub use hist::Histogram;
+pub use phases::{Phase, PhaseBreakdown};
+pub use summary::{NodeCounters, RunStats};
+pub use table::{fmt_pct, fmt_secs, TextTable};
+pub use timeseries::{sparkline, Bucket, TimeSeries};

@@ -1,0 +1,181 @@
+//! Per-phase time accounting (the paper's Table 5).
+
+use sweb_des::SimTime;
+
+/// The phases of one HTTP request's lifetime, as instrumented in §4.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Parsing HTTP commands, completing the pathname, permission checks.
+    Preprocessing,
+    /// Broker cost estimation ("Req. Analysis (SWEB)").
+    Analysis,
+    /// Generating the 302 plus the client's extra round trip
+    /// ("Redirection (SWEB)").
+    Redirection,
+    /// Reading the document from disk/NFS ("Data Transfer").
+    DataTransfer,
+    /// Sending the response to the client ("Network Costs").
+    Network,
+    /// Waiting in queues (accept backlog, resource queues) — not a Table 5
+    /// row, but dominates under overload and explains drop behaviour.
+    Queueing,
+}
+
+impl Phase {
+    /// All phases, in Table 5 order.
+    pub const ALL: [Phase; 6] = [
+        Phase::Preprocessing,
+        Phase::Analysis,
+        Phase::Redirection,
+        Phase::DataTransfer,
+        Phase::Network,
+        Phase::Queueing,
+    ];
+
+    /// Display label matching the paper's Table 5 rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Preprocessing => "Preprocessing",
+            Phase::Analysis => "Req. Analysis (SWEB)",
+            Phase::Redirection => "Redirection (SWEB)",
+            Phase::DataTransfer => "Data Transfer",
+            Phase::Network => "Network Costs",
+            Phase::Queueing => "Queueing",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Phase::Preprocessing => 0,
+            Phase::Analysis => 1,
+            Phase::Redirection => 2,
+            Phase::DataTransfer => 3,
+            Phase::Network => 4,
+            Phase::Queueing => 5,
+        }
+    }
+}
+
+/// Accumulated time per phase across many requests, plus how many requests
+/// contributed to each phase (a request with no redirect adds nothing to
+/// the redirect phase).
+#[derive(Debug, Clone, Default)]
+pub struct PhaseBreakdown {
+    totals_us: [u64; 6],
+    counts: [u64; 6],
+}
+
+impl PhaseBreakdown {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        PhaseBreakdown::default()
+    }
+
+    /// Add `dt` to `phase` for one request.
+    pub fn add(&mut self, phase: Phase, dt: SimTime) {
+        let i = phase.index();
+        self.totals_us[i] += dt.as_micros();
+        self.counts[i] += 1;
+    }
+
+    /// Total accumulated time in `phase`.
+    pub fn total(&self, phase: Phase) -> SimTime {
+        SimTime::from_micros(self.totals_us[phase.index()])
+    }
+
+    /// Mean time in `phase` over the requests that *entered* that phase.
+    pub fn mean_secs(&self, phase: Phase) -> f64 {
+        let i = phase.index();
+        if self.counts[i] == 0 {
+            0.0
+        } else {
+            self.totals_us[i] as f64 / 1e6 / self.counts[i] as f64
+        }
+    }
+
+    /// Mean time in `phase` averaged over `n` requests (Table 5 averages
+    /// over all requests, including those that skipped the phase).
+    pub fn mean_secs_over(&self, phase: Phase, n: u64) -> f64 {
+        if n == 0 {
+            0.0
+        } else {
+            self.totals_us[phase.index()] as f64 / 1e6 / n as f64
+        }
+    }
+
+    /// How many requests entered `phase`.
+    pub fn entered(&self, phase: Phase) -> u64 {
+        self.counts[phase.index()]
+    }
+
+    /// Sum of all phase totals (seconds).
+    pub fn grand_total_secs(&self) -> f64 {
+        self.totals_us.iter().sum::<u64>() as f64 / 1e6
+    }
+
+    /// Merge another breakdown into this one.
+    pub fn merge(&mut self, other: &PhaseBreakdown) {
+        for i in 0..6 {
+            self.totals_us[i] += other.totals_us[i];
+            self.counts[i] += other.counts[i];
+        }
+    }
+
+    /// Fraction of total time spent in `phase` (0 when nothing recorded).
+    pub fn fraction(&self, phase: Phase) -> f64 {
+        let g = self.grand_total_secs();
+        if g == 0.0 {
+            0.0
+        } else {
+            self.total(phase).as_secs_f64() / g
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulation_and_means() {
+        let mut b = PhaseBreakdown::new();
+        b.add(Phase::Preprocessing, SimTime::from_millis(70));
+        b.add(Phase::Preprocessing, SimTime::from_millis(70));
+        b.add(Phase::DataTransfer, SimTime::from_millis(4900));
+        assert_eq!(b.entered(Phase::Preprocessing), 2);
+        assert!((b.mean_secs(Phase::Preprocessing) - 0.070).abs() < 1e-9);
+        assert!((b.mean_secs(Phase::DataTransfer) - 4.9).abs() < 1e-9);
+        // Averaged over both requests, data transfer is 2.45 s.
+        assert!((b.mean_secs_over(Phase::DataTransfer, 2) - 2.45).abs() < 1e-9);
+        assert_eq!(b.mean_secs(Phase::Redirection), 0.0);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut b = PhaseBreakdown::new();
+        b.add(Phase::Preprocessing, SimTime::from_millis(100));
+        b.add(Phase::DataTransfer, SimTime::from_millis(300));
+        let sum: f64 = Phase::ALL.iter().map(|&p| b.fraction(p)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!((b.fraction(Phase::DataTransfer) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_adds_componentwise() {
+        let mut a = PhaseBreakdown::new();
+        let mut b = PhaseBreakdown::new();
+        a.add(Phase::Analysis, SimTime::from_millis(2));
+        b.add(Phase::Analysis, SimTime::from_millis(4));
+        b.add(Phase::Network, SimTime::from_millis(500));
+        a.merge(&b);
+        assert_eq!(a.entered(Phase::Analysis), 2);
+        assert!((a.mean_secs(Phase::Analysis) - 0.003).abs() < 1e-9);
+        assert_eq!(a.total(Phase::Network), SimTime::from_millis(500));
+    }
+
+    #[test]
+    fn labels_match_table5() {
+        assert_eq!(Phase::Analysis.label(), "Req. Analysis (SWEB)");
+        assert_eq!(Phase::Network.label(), "Network Costs");
+    }
+}

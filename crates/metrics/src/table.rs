@@ -1,0 +1,207 @@
+//! Aligned text tables and CSV output for experiment reports.
+
+/// A simple column-aligned text table builder.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// A table with a title line.
+    pub fn new(title: impl Into<String>) -> Self {
+        TextTable { title: title.into(), header: Vec::new(), rows: Vec::new() }
+    }
+
+    /// Set the column headers.
+    pub fn header(mut self, cols: &[&str]) -> Self {
+        self.header = cols.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Append a data row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as an aligned text block (title, rule, header, rows).
+    pub fn render(&self) -> String {
+        let ncols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
+        let mut widths = vec![0usize; ncols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&self.title);
+            out.push('\n');
+            out.push_str(&"-".repeat(self.title.len().min(78)));
+            out.push('\n');
+        }
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                // Right-align numeric-looking cells, left-align text.
+                let numeric = c.chars().next().map(|ch| ch.is_ascii_digit() || ch == '-' || ch == '.').unwrap_or(false)
+                    && c.chars().all(|ch| ch.is_ascii_digit() || ".-%eE+".contains(ch));
+                if numeric {
+                    line.push_str(&format!("{:>width$}", c, width = widths[i]));
+                } else {
+                    line.push_str(&format!("{:<width$}", c, width = widths[i]));
+                }
+            }
+            line.trim_end().to_string()
+        };
+        if !self.header.is_empty() {
+            out.push_str(&fmt_row(&self.header, &widths));
+            out.push('\n');
+        }
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as a GitHub-flavored Markdown table (title as a heading).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&format!("### {}\n\n", self.title));
+        }
+        let esc = |c: &str| c.replace('|', "\\|");
+        if !self.header.is_empty() {
+            out.push_str("| ");
+            out.push_str(&self.header.iter().map(|c| esc(c)).collect::<Vec<_>>().join(" | "));
+            out.push_str(" |\n|");
+            out.push_str(&"---|".repeat(self.header.len()));
+            out.push('\n');
+        }
+        for row in &self.rows {
+            out.push_str("| ");
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(" | "));
+            out.push_str(" |\n");
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Render as CSV (RFC-4180-ish; quotes cells containing commas).
+    pub fn to_csv(&self) -> String {
+        let esc = |c: &str| {
+            if c.contains(',') || c.contains('"') || c.contains('\n') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        let mut out = String::new();
+        if !self.header.is_empty() {
+            out.push_str(&self.header.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format seconds with adaptive precision ("1.52", "0.081", "81.4").
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.0}")
+    } else if s >= 10.0 {
+        format!("{s:.1}")
+    } else if s >= 0.1 {
+        format!("{s:.2}")
+    } else {
+        format!("{s:.3}")
+    }
+}
+
+/// Format a fraction as a percentage ("37.3%").
+pub fn fmt_pct(f: f64) -> String {
+    format!("{:.1}%", f * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new("Table X").header(&["rps", "policy", "time"]);
+        t.row(vec!["8".into(), "RoundRobin".into(), "3.70".into()]);
+        t.row(vec!["16".into(), "SWEB".into(), "12.45".into()]);
+        let s = t.render();
+        assert!(s.contains("Table X"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header + rule + title + 2 rows.
+        assert_eq!(lines.len(), 5);
+        // Numeric columns right-aligned under the 3-wide "rps" header.
+        assert!(lines[3].starts_with("  8"), "{:?}", lines[3]);
+        assert!(lines[4].starts_with(" 16"), "{:?}", lines[4]);
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let mut t = TextTable::new("Table X").header(&["rps", "who|what"]);
+        t.row(vec!["8".into(), "a|b".into()]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("### Table X\n"));
+        assert!(md.contains("| rps | who\\|what |"), "{md}");
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 8 | a\\|b |"));
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = TextTable::new("").header(&["a", "b"]);
+        t.row(vec!["1,5".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"1,5\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_secs(81.4), "81.4");
+        assert_eq!(fmt_secs(3.7), "3.70");
+        assert_eq!(fmt_secs(0.07), "0.070");
+        assert_eq!(fmt_secs(123.0), "123");
+        assert_eq!(fmt_pct(0.373), "37.3%");
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = TextTable::new("Empty");
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert!(t.render().contains("Empty"));
+    }
+}

@@ -1,0 +1,165 @@
+//! Per-second time series of completions and response times — the data
+//! behind "figure-style" plots (cache warmup, burst queueing, failures).
+
+use sweb_des::SimTime;
+
+/// One time bucket.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Bucket {
+    /// Requests completed in this bucket.
+    pub completed: u64,
+    /// Requests dropped in this bucket.
+    pub dropped: u64,
+    /// Sum of response times of the completions, µs.
+    pub response_sum_us: u64,
+}
+
+impl Bucket {
+    /// Mean response in seconds over this bucket's completions (0 if none).
+    pub fn mean_response_secs(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.response_sum_us as f64 / 1e6 / self.completed as f64
+        }
+    }
+}
+
+/// Fixed-width time buckets accumulating outcomes.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    bucket_width: SimTime,
+    buckets: Vec<Bucket>,
+}
+
+impl TimeSeries {
+    /// A series with `bucket_width` buckets (typically one second).
+    pub fn new(bucket_width: SimTime) -> Self {
+        assert!(bucket_width > SimTime::ZERO, "zero bucket width");
+        TimeSeries { bucket_width, buckets: Vec::new() }
+    }
+
+    fn bucket_mut(&mut self, at: SimTime) -> &mut Bucket {
+        let idx = (at.as_micros() / self.bucket_width.as_micros()) as usize;
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, Bucket::default());
+        }
+        &mut self.buckets[idx]
+    }
+
+    /// Record a completion at `at` with the given response time.
+    pub fn record_completion(&mut self, at: SimTime, response: SimTime) {
+        let b = self.bucket_mut(at);
+        b.completed += 1;
+        b.response_sum_us += response.as_micros();
+    }
+
+    /// Record a drop at `at`.
+    pub fn record_drop(&mut self, at: SimTime) {
+        self.bucket_mut(at).dropped += 1;
+    }
+
+    /// The buckets, index 0 starting at time zero.
+    pub fn buckets(&self) -> &[Bucket] {
+        &self.buckets
+    }
+
+    /// Bucket width.
+    pub fn bucket_width(&self) -> SimTime {
+        self.bucket_width
+    }
+
+    /// Render mean response per bucket as a unicode sparkline.
+    pub fn response_sparkline(&self) -> String {
+        sparkline(&self.buckets.iter().map(|b| b.mean_response_secs()).collect::<Vec<_>>())
+    }
+
+    /// Render completions per bucket as a unicode sparkline.
+    pub fn throughput_sparkline(&self) -> String {
+        sparkline(&self.buckets.iter().map(|b| b.completed as f64).collect::<Vec<_>>())
+    }
+
+    /// CSV: `t_start_s,completed,dropped,mean_response_s`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("t_start_s,completed,dropped,mean_response_s\n");
+        let w = self.bucket_width.as_secs_f64();
+        for (i, b) in self.buckets.iter().enumerate() {
+            out.push_str(&format!(
+                "{:.1},{},{},{:.4}\n",
+                i as f64 * w,
+                b.completed,
+                b.dropped,
+                b.mean_response_secs()
+            ));
+        }
+        out
+    }
+}
+
+/// Render values as a unicode sparkline (▁▂▃▄▅▆▇█), scaled to the max.
+pub fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().copied().fold(0.0f64, f64::max);
+    if max <= 0.0 {
+        return BARS[0].to_string().repeat(values.len());
+    }
+    values
+        .iter()
+        .map(|&v| {
+            let idx = ((v / max) * 7.0).round().clamp(0.0, 7.0) as usize;
+            BARS[idx]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn bucketing_by_time() {
+        let mut ts = TimeSeries::new(SimTime::from_secs(1));
+        ts.record_completion(t(0.2), t(1.0));
+        ts.record_completion(t(0.9), t(3.0));
+        ts.record_completion(t(2.5), t(2.0));
+        ts.record_drop(t(2.9));
+        let b = ts.buckets();
+        assert_eq!(b.len(), 3);
+        assert_eq!(b[0].completed, 2);
+        assert!((b[0].mean_response_secs() - 2.0).abs() < 1e-9);
+        assert_eq!(b[1], Bucket::default());
+        assert_eq!(b[2].completed, 1);
+        assert_eq!(b[2].dropped, 1);
+    }
+
+    #[test]
+    fn csv_has_one_row_per_bucket() {
+        let mut ts = TimeSeries::new(SimTime::from_secs(1));
+        ts.record_completion(t(1.5), t(0.5));
+        let csv = ts.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3); // header + 2 buckets
+        assert_eq!(lines[2], "1.0,1,0,0.5000");
+    }
+
+    #[test]
+    fn sparkline_scales_to_max() {
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+        // Flat-zero series renders as all-low without dividing by zero.
+        assert_eq!(sparkline(&[0.0, 0.0]), "▁▁");
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_width_buckets_rejected() {
+        let _ = TimeSeries::new(SimTime::ZERO);
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests for the log-binned histogram.
+
+use proptest::prelude::*;
+use sweb_metrics::Histogram;
+
+proptest! {
+    /// Quantiles are monotone in q, bounded by min/max, and the count/mean
+    /// are exact.
+    #[test]
+    fn quantile_sanity(values in proptest::collection::vec(0u64..10_000_000, 1..500)) {
+        let mut h = Histogram::new();
+        let mut sum = 0u128;
+        for &v in &values {
+            h.record(v);
+            sum += v as u128;
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        let exact_mean = sum as f64 / values.len() as f64;
+        prop_assert!((h.mean() - exact_mean).abs() < 1e-6 * exact_mean.max(1.0));
+        prop_assert_eq!(h.min(), *values.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *values.iter().max().unwrap());
+        let mut prev = 0;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = h.quantile(q);
+            prop_assert!(v >= prev, "quantiles must be monotone: q{q} gave {v} < {prev}");
+            prop_assert!(v >= h.min() && v <= h.max());
+            prev = v;
+        }
+    }
+
+    /// The binned quantile is within the bin's relative error (~6 %) of
+    /// the exact order statistic.
+    #[test]
+    fn quantile_accuracy(values in proptest::collection::vec(1u64..1_000_000, 10..400)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [0.5, 0.9] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1] as f64;
+            let approx = h.quantile(q) as f64;
+            let err = (approx - exact).abs() / exact.max(1.0);
+            prop_assert!(err <= 0.07, "q{q}: approx {approx} vs exact {exact} ({err:.3})");
+        }
+    }
+
+    /// merge(a, b) behaves like recording the concatenation.
+    #[test]
+    fn merge_is_concat(
+        a_vals in proptest::collection::vec(0u64..1_000_000, 0..200),
+        b_vals in proptest::collection::vec(0u64..1_000_000, 0..200),
+    ) {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for &v in &a_vals {
+            a.record(v);
+            all.record(v);
+        }
+        for &v in &b_vals {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), all.count());
+        prop_assert_eq!(a.min(), all.min());
+        prop_assert_eq!(a.max(), all.max());
+        prop_assert!((a.mean() - all.mean()).abs() < 1e-9 * all.mean().max(1.0));
+        for q in [0.25, 0.5, 0.9] {
+            prop_assert_eq!(a.quantile(q), all.quantile(q), "q{} after merge", q);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! NCSA Common Log Format access logging — what the original httpd wrote,
+//! and what `sweb_workload::parse_clf` reads back for trace replay.
+
+use std::io::Write;
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use parking_lot::Mutex;
+
+/// A shared, thread-safe CLF sink (all of a node's connection threads — or
+/// all nodes, if desired — write to one log, like an NFS-shared logfile).
+#[derive(Clone)]
+pub struct AccessLog {
+    sink: Arc<Mutex<Box<dyn Write + Send>>>,
+}
+
+impl std::fmt::Debug for AccessLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("AccessLog")
+    }
+}
+
+impl AccessLog {
+    /// Log to any writer (file, Vec via a test adapter, ...).
+    pub fn new(sink: Box<dyn Write + Send>) -> Self {
+        AccessLog { sink: Arc::new(Mutex::new(sink)) }
+    }
+
+    /// Log to a file, created or appended.
+    pub fn to_file(path: &std::path::Path) -> std::io::Result<Self> {
+        let file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(AccessLog::new(Box::new(file)))
+    }
+
+    /// Write one CLF record:
+    /// `host - - [timestamp] "METHOD target HTTP/1.0" status bytes`.
+    pub fn log(&self, host: &str, method: &str, target: &str, status: u16, bytes: u64) {
+        let line = format!(
+            "{host} - - [{}] \"{method} {target} HTTP/1.0\" {status} {bytes}\n",
+            clf_timestamp()
+        );
+        let mut sink = self.sink.lock();
+        let _ = sink.write_all(line.as_bytes());
+        let _ = sink.flush();
+    }
+}
+
+/// `dd/Mon/yyyy:HH:MM:SS +0000` from the system clock (UTC). Hand-rolled
+/// civil-date conversion — no chrono dependency needed for a log line.
+fn clf_timestamp() -> String {
+    let secs = SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0);
+    let (date, tod) = (secs / 86_400, secs % 86_400);
+    let (hh, mm, ss) = (tod / 3600, (tod % 3600) / 60, tod % 60);
+    let (y, m, d) = civil_from_days(date as i64);
+    const MONTHS: [&str; 12] = [
+        "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+    ];
+    format!("{d:02}/{}/{y}:{hh:02}:{mm:02}:{ss:02} +0000", MONTHS[(m - 1) as usize])
+}
+
+/// Days-since-epoch to (year, month, day); Howard Hinnant's algorithm.
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A Vec<u8> sink for tests.
+    struct VecSink(Arc<Mutex<Vec<u8>>>);
+    impl Write for VecSink {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn writes_parseable_clf_lines() {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let log = AccessLog::new(Box::new(VecSink(Arc::clone(&buf))));
+        log.log("wile.cs.ucsb.edu", "GET", "/maps/goleta.gif", 200, 1_500_000);
+        log.log("road.runner.edu", "GET", "/missing", 404, 0);
+        let text = String::from_utf8(buf.lock().clone()).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        // Our own CLF parser must accept what we write.
+        let (records, skipped) = sweb_workload_parse(&text);
+        assert_eq!(skipped, 0);
+        assert_eq!(records, 2);
+        assert!(text.contains("\"GET /maps/goleta.gif HTTP/1.0\" 200 1500000"));
+    }
+
+    // Minimal inline re-parse (sweb-workload is not a dependency of this
+    // crate; the cross-crate round trip lives in the root integration
+    // tests). Checks the bracketed timestamp and quoted request shape.
+    fn sweb_workload_parse(text: &str) -> (usize, usize) {
+        let mut good = 0;
+        let mut bad = 0;
+        for line in text.lines() {
+            let ok = line.contains('[')
+                && line.contains(']')
+                && line.matches('"').count() == 2
+                && line.split(']').nth(1).map(|t| t.contains("HTTP/1.0")).unwrap_or(false);
+            if ok {
+                good += 1;
+            } else {
+                bad += 1;
+            }
+        }
+        (good, bad)
+    }
+
+    #[test]
+    fn civil_date_conversion_is_correct() {
+        // 1970-01-01.
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        // 10 Oct 1995 (the paper era): 9413 days after the epoch.
+        assert_eq!(civil_from_days(9413), (1995, 10, 10));
+        // Leap day 2000-02-29: 11016 days.
+        assert_eq!(civil_from_days(11016), (2000, 2, 29));
+        // 2026-07-04.
+        assert_eq!(civil_from_days(20638), (2026, 7, 4));
+    }
+
+    #[test]
+    fn timestamp_has_clf_shape() {
+        let ts = clf_timestamp();
+        // dd/Mon/yyyy:HH:MM:SS +0000
+        assert_eq!(ts.len(), 26, "{ts}");
+        assert_eq!(&ts[2..3], "/");
+        assert_eq!(&ts[6..7], "/");
+        assert_eq!(&ts[11..12], ":");
+        assert!(ts.ends_with("+0000"));
+    }
+}

@@ -1,0 +1,122 @@
+//! `swebd` — run a live SWEB cluster from the command line.
+//!
+//! ```text
+//! swebd --nodes 4 --docroot ./htdocs --policy sweb --port-base 8100
+//! ```
+//!
+//! Starts `nodes` HTTP/1.0 servers on consecutive localhost ports (or
+//! ephemeral ports when `--port-base` is omitted), wires their loadd
+//! daemons together, prints each node's URL, and serves until killed.
+//! `GET /sweb-status` on any node shows its view of the cluster.
+
+use std::time::Duration;
+
+use sweb_core::Policy;
+use sweb_server::{ClusterConfig, LiveCluster};
+
+struct Args {
+    nodes: usize,
+    docroot: std::path::PathBuf,
+    policy: Policy,
+    port_base: Option<u16>,
+    loadd_ms: u64,
+    access_log: Option<std::path::PathBuf>,
+    oracle: Option<std::path::PathBuf>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: swebd [--nodes N] [--docroot DIR] [--policy sweb|rr|locality|cpu] \
+         [--port-base P] [--loadd-ms MS] [--access-log FILE] [--oracle FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        nodes: 3,
+        docroot: std::path::PathBuf::from("."),
+        policy: Policy::Sweb,
+        port_base: None,
+        loadd_ms: 2500,
+        access_log: None,
+        oracle: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--nodes" => args.nodes = value().parse().unwrap_or_else(|_| usage()),
+            "--docroot" => args.docroot = value().into(),
+            "--policy" => {
+                args.policy = match value().as_str() {
+                    "sweb" => Policy::Sweb,
+                    "rr" | "round-robin" => Policy::RoundRobin,
+                    "locality" => Policy::FileLocality,
+                    "cpu" => Policy::LeastLoadedCpu,
+                    _ => usage(),
+                }
+            }
+            "--port-base" => args.port_base = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--loadd-ms" => args.loadd_ms = value().parse().unwrap_or_else(|_| usage()),
+            "--access-log" => args.access_log = Some(value().into()),
+            "--oracle" => args.oracle = Some(value().into()),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    if !args.docroot.is_dir() {
+        eprintln!("swebd: docroot {:?} is not a directory", args.docroot);
+        std::process::exit(1);
+    }
+    let mut cfg = ClusterConfig { policy: args.policy, port_base: args.port_base, ..Default::default() };
+    cfg.sweb.loadd_period = sweb_des::SimTime::from_millis(args.loadd_ms);
+    cfg.sweb.stale_timeout = sweb_des::SimTime::from_millis(args.loadd_ms * 4);
+    if let Some(path) = &args.oracle {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("swebd: cannot read oracle config {path:?}: {e}");
+            std::process::exit(1);
+        });
+        match sweb_core::Oracle::from_config_str(&text) {
+            Ok(oracle) => cfg.oracle = oracle,
+            Err(line) => {
+                eprintln!("swebd: malformed oracle config {path:?} at line {line}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = &args.access_log {
+        match sweb_server::AccessLog::to_file(path) {
+            Ok(log) => cfg.access_log = Some(log),
+            Err(e) => {
+                eprintln!("swebd: cannot open access log {path:?}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let cluster = match LiveCluster::start(args.nodes, args.docroot.clone(), cfg) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("swebd: failed to start cluster: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("swebd: {}-node SWEB cluster, policy {:?}, docroot {:?}", cluster.len(), args.policy, args.docroot);
+    for i in 0..cluster.len() {
+        println!("  node {i}: {}  (status: {}/sweb-status)", cluster.base_url(i), cluster.base_url(i));
+    }
+    if cluster.await_loadd_mesh(Duration::from_secs(10)) {
+        println!("loadd mesh converged; serving (Ctrl-C to stop)");
+    } else {
+        println!("warning: loadd mesh did not converge within 10s; serving anyway");
+    }
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,136 @@
+//! `swebload` — drive a live SWEB cluster the way the paper drove its
+//! testbed: a constant number of requests launched each second for a fixed
+//! duration, from concurrent clients, with response-time and drop-rate
+//! reporting.
+//!
+//! ```text
+//! swebload http://127.0.0.1:8100/index.html --rps 16 --duration 30 --clients 8
+//! swebload http://127.0.0.1:8100/a.gif http://127.0.0.1:8101/b.gif --rps 8
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use sweb_metrics::Histogram;
+use sweb_server::client;
+
+struct Args {
+    urls: Vec<String>,
+    rps: u32,
+    duration_s: u64,
+    clients: usize,
+    timeout_s: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: swebload URL [URL...] [--rps N] [--duration SECS] [--clients N] [--timeout SECS]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args =
+        Args { urls: Vec::new(), rps: 8, duration_s: 30, clients: 8, timeout_s: 30 };
+    let mut it = std::env::args().skip(1);
+    while let Some(tok) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| usage());
+        match tok.as_str() {
+            "--rps" => args.rps = value().parse().unwrap_or_else(|_| usage()),
+            "--duration" => args.duration_s = value().parse().unwrap_or_else(|_| usage()),
+            "--clients" => args.clients = value().parse().unwrap_or_else(|_| usage()),
+            "--timeout" => args.timeout_s = value().parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            url if url.starts_with("http://") => args.urls.push(url.to_string()),
+            _ => usage(),
+        }
+    }
+    if args.urls.is_empty() {
+        usage();
+    }
+    args
+}
+
+struct SharedState {
+    hist: Mutex<Histogram>,
+    ok: AtomicU64,
+    failed: AtomicU64,
+    redirected: AtomicU64,
+    issued: AtomicU64,
+}
+
+fn main() {
+    let args = parse_args();
+    let state = Arc::new(SharedState {
+        hist: Mutex::new(Histogram::new()),
+        ok: AtomicU64::new(0),
+        failed: AtomicU64::new(0),
+        redirected: AtomicU64::new(0),
+        issued: AtomicU64::new(0),
+    });
+    let total = args.rps as u64 * args.duration_s;
+    println!(
+        "swebload: {} rps for {}s ({} requests) over {} urls with {} clients",
+        args.rps,
+        args.duration_s,
+        total,
+        args.urls.len(),
+        args.clients
+    );
+
+    // A ticket dispenser paces the launch schedule: ticket k fires at
+    // k/rps seconds, mirroring the paper's constant-per-second launcher.
+    let start = Instant::now();
+    let timeout = Duration::from_secs(args.timeout_s);
+    let mut workers = Vec::new();
+    for w in 0..args.clients {
+        let state = Arc::clone(&state);
+        let urls = args.urls.clone();
+        let rps = args.rps as u64;
+        workers.push(std::thread::spawn(move || loop {
+            let ticket = state.issued.fetch_add(1, Ordering::Relaxed);
+            if ticket >= total {
+                break;
+            }
+            let due = start + Duration::from_micros(ticket * 1_000_000 / rps);
+            if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+            let url = &urls[(ticket as usize + w) % urls.len()];
+            let t0 = Instant::now();
+            match client::get_with_timeout(url, timeout) {
+                Ok(resp) if resp.status == 200 => {
+                    state.ok.fetch_add(1, Ordering::Relaxed);
+                    if resp.redirects > 0 {
+                        state.redirected.fetch_add(1, Ordering::Relaxed);
+                    }
+                    state.hist.lock().record(t0.elapsed().as_micros() as u64);
+                }
+                _ => {
+                    state.failed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }));
+    }
+    for worker in workers {
+        let _ = worker.join();
+    }
+
+    let hist = state.hist.lock();
+    let ok = state.ok.load(Ordering::Relaxed);
+    let failed = state.failed.load(Ordering::Relaxed);
+    println!("\nresults:");
+    println!("  completed:  {ok}");
+    println!("  failed:     {failed} ({:.1}%)", 100.0 * failed as f64 / total.max(1) as f64);
+    println!("  redirected: {}", state.redirected.load(Ordering::Relaxed));
+    if hist.count() > 0 {
+        println!("  mean:       {:.1} ms", hist.mean() / 1e3);
+        println!("  p50:        {:.1} ms", hist.quantile(0.5) as f64 / 1e3);
+        println!("  p95:        {:.1} ms", hist.quantile(0.95) as f64 / 1e3);
+        println!("  p99:        {:.1} ms", hist.quantile(0.99) as f64 / 1e3);
+        println!("  max:        {:.1} ms", hist.max() as f64 / 1e3);
+    }
+    println!("  wall time:  {:.1}s", start.elapsed().as_secs_f64());
+}

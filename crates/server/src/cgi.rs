@@ -1,0 +1,157 @@
+//! Dynamic content: the CGI mechanism, 1996's "heterogeneous CPU
+//! activities".
+//!
+//! NCSA httpd executed programs under `/cgi-bin/`; here CGI programs are
+//! registered Rust closures (a registry shared by all nodes, as the same
+//! binaries would be NFS-visible everywhere). The broker schedules CGI
+//! requests like any other — their CPU demand comes from the oracle table.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use sweb_http::{Request, Response};
+
+/// A CGI program: request (and POST body, empty for GET) in, response out.
+pub type CgiProgram = Arc<dyn Fn(&Request, &[u8]) -> Response + Send + Sync>;
+
+/// Registry of CGI programs by path prefix under `/cgi-bin/`.
+#[derive(Clone, Default)]
+pub struct CgiRegistry {
+    programs: HashMap<String, CgiProgram>,
+}
+
+impl CgiRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        CgiRegistry::default()
+    }
+
+    /// Register `program` at `/cgi-bin/<name>`.
+    pub fn register(&mut self, name: &str, program: CgiProgram) {
+        self.programs.insert(format!("/cgi-bin/{name}"), program);
+    }
+
+    /// Number of registered programs.
+    pub fn len(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// True when no programs are registered.
+    pub fn is_empty(&self) -> bool {
+        self.programs.is_empty()
+    }
+
+    /// Find the program for `path` (longest prefix match).
+    pub fn lookup(&self, path: &str) -> Option<&CgiProgram> {
+        self.programs
+            .iter()
+            .filter(|(prefix, _)| path.starts_with(prefix.as_str()))
+            .max_by_key(|(prefix, _)| prefix.len())
+            .map(|(_, p)| p)
+    }
+
+    /// The demo programs used by examples and tests:
+    ///
+    /// * `/cgi-bin/echo` — echoes the query string back as text;
+    /// * `/cgi-bin/search` — a toy Alexandria spatial-index search: burns
+    ///   deterministic CPU proportional to the `cost` query parameter and
+    ///   returns an HTML result list.
+    pub fn demo() -> Self {
+        let mut reg = CgiRegistry::new();
+        reg.register(
+            "echo",
+            Arc::new(|req: &Request, body: &[u8]| {
+                let q = req.query().unwrap_or("");
+                if body.is_empty() {
+                    Response::ok(format!("echo: {q}\n"), "text/plain")
+                } else {
+                    let posted = String::from_utf8_lossy(body);
+                    Response::ok(format!("echo: {q}\nposted: {posted}\n"), "text/plain")
+                }
+            }),
+        );
+        reg.register(
+            "search",
+            Arc::new(|req: &Request, body: &[u8]| {
+                // POSTed form data takes precedence over the query string
+                // (an HTML search form submits either way).
+                let owned;
+                let query = if body.is_empty() {
+                    req.query().unwrap_or("")
+                } else {
+                    owned = String::from_utf8_lossy(body).into_owned();
+                    owned.as_str()
+                };
+                let cost: u64 = query
+                    .split('&')
+                    .find_map(|kv| kv.strip_prefix("cost="))
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(10_000);
+                // Deterministic busy work standing in for the spatial
+                // index lookup (so load tests exercise the CPU facet).
+                let mut acc: u64 = 0xdead_beef;
+                for i in 0..cost.min(50_000_000) {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+                }
+                let body = format!(
+                    "<HTML><BODY><H1>Alexandria search</H1>\
+                     <P>query: {query}</P><P>digest: {acc:016x}</P></BODY></HTML>"
+                );
+                Response::ok(body, "text/html")
+            }),
+        );
+        reg
+    }
+}
+
+impl std::fmt::Debug for CgiRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut names: Vec<&str> = self.programs.keys().map(|s| s.as_str()).collect();
+        names.sort_unstable();
+        f.debug_struct("CgiRegistry").field("programs", &names).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sweb_http::{Headers, Method};
+
+    fn req(target: &str) -> Request {
+        Request {
+            method: Method::Get,
+            target: target.into(),
+            version: "HTTP/1.0".into(),
+            headers: Headers::new(),
+        }
+    }
+
+    #[test]
+    fn lookup_matches_longest_prefix() {
+        let mut reg = CgiRegistry::new();
+        reg.register("a", Arc::new(|_, _: &[u8]| Response::ok("short", "text/plain")));
+        reg.register("a/b", Arc::new(|_, _: &[u8]| Response::ok("long", "text/plain")));
+        let r = reg.lookup("/cgi-bin/a/b/c").unwrap()(&req("/cgi-bin/a/b/c"), b"");
+        assert_eq!(&r.body[..], b"long");
+        let r = reg.lookup("/cgi-bin/a/x").unwrap()(&req("/cgi-bin/a/x"), b"");
+        assert_eq!(&r.body[..], b"short");
+        assert!(reg.lookup("/cgi-bin/zzz").is_none());
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn demo_echo_reflects_query() {
+        let reg = CgiRegistry::demo();
+        let r = reg.lookup("/cgi-bin/echo").unwrap()(&req("/cgi-bin/echo?x=1&y=2"), b"");
+        assert_eq!(std::str::from_utf8(&r.body).unwrap(), "echo: x=1&y=2\n");
+    }
+
+    #[test]
+    fn demo_search_is_deterministic() {
+        let reg = CgiRegistry::demo();
+        let a = reg.lookup("/cgi-bin/search").unwrap()(&req("/cgi-bin/search?cost=1000"), b"");
+        let b = reg.lookup("/cgi-bin/search").unwrap()(&req("/cgi-bin/search?cost=1000"), b"");
+        assert_eq!(a.body, b.body);
+        assert!(std::str::from_utf8(&a.body).unwrap().contains("digest"));
+    }
+}

@@ -1,0 +1,178 @@
+//! Wiring `n` live nodes into one logical SWEB server.
+
+use std::net::{TcpListener, UdpSocket};
+use std::path::PathBuf;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::RwLock;
+use sweb_cluster::{presets, NodeId};
+use sweb_core::{Broker, CostModel, LoadTable, Oracle, Policy, SwebConfig};
+use sweb_des::SimTime;
+
+use crate::node::{NodeHandle, NodeShared, NodeStats};
+
+/// Configuration for a live cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Scheduling strategy each node runs.
+    pub policy: Policy,
+    /// Scheduler tunables. The default shortens the loadd period to 200 ms
+    /// so tests converge quickly; pass the paper's 2.5 s for realism.
+    pub sweb: SwebConfig,
+    /// CGI programs served under `/cgi-bin/` (default: the demo registry).
+    pub cgi: crate::cgi::CgiRegistry,
+    /// When set, node `i` listens on `127.0.0.1:(port_base + i)` instead
+    /// of an ephemeral port (used by the `swebd` binary).
+    pub port_base: Option<u16>,
+    /// Optional CLF access log shared by all nodes (replayable through
+    /// `sweb_workload::parse_clf` + the simulator).
+    pub access_log: Option<crate::access_log::AccessLog>,
+    /// Per-node in-memory document cache capacity, bytes (0 disables).
+    pub file_cache_bytes: u64,
+    /// Request CPU-demand oracle (load a site-specific table with
+    /// `Oracle::from_config_str`; defaults to the NCSA calibration).
+    pub oracle: Oracle,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        let sweb = SwebConfig {
+            loadd_period: SimTime::from_millis(200),
+            stale_timeout: SimTime::from_millis(1500),
+            ..SwebConfig::default()
+        };
+        ClusterConfig {
+            policy: Policy::Sweb,
+            sweb,
+            cgi: crate::cgi::CgiRegistry::demo(),
+            port_base: None,
+            access_log: None,
+            file_cache_bytes: 16 << 20,
+            oracle: Oracle::ncsa_default(),
+        }
+    }
+}
+
+/// A running cluster of live SWEB nodes on localhost.
+pub struct LiveCluster {
+    nodes: Vec<NodeHandle>,
+}
+
+impl LiveCluster {
+    /// Bind and start `n` nodes serving `docroot` (one shared directory,
+    /// standing in for the NFS crossmounted disks).
+    pub fn start(n: usize, docroot: PathBuf, cfg: ClusterConfig) -> std::io::Result<LiveCluster> {
+        assert!(n >= 1, "at least one node");
+        // Bind everything first so every node knows every address.
+        let listeners: Vec<TcpListener> = (0..n)
+            .map(|i| match cfg.port_base {
+                Some(base) => TcpListener::bind(("127.0.0.1", base + i as u16)),
+                None => TcpListener::bind("127.0.0.1:0"),
+            })
+            .collect::<Result<_, _>>()?;
+        let udps: Vec<UdpSocket> =
+            (0..n).map(|_| UdpSocket::bind("127.0.0.1:0")).collect::<Result<_, _>>()?;
+        let peer_http: Vec<String> = listeners
+            .iter()
+            .map(|l| Ok(format!("http://{}", l.local_addr()?)))
+            .collect::<std::io::Result<_>>()?;
+        let peer_udp: Vec<std::net::SocketAddr> =
+            udps.iter().map(|u| u.local_addr()).collect::<Result<_, _>>()?;
+
+        // The cost model needs hardware parameters; a localhost cluster
+        // borrows the Meiko calibration (homogeneous nodes).
+        let cluster_spec = presets::meiko(n);
+        let model = CostModel::new(cfg.sweb.clone());
+        let start = Instant::now();
+
+        let mut nodes = Vec::with_capacity(n);
+        for (i, (listener, udp)) in listeners.into_iter().zip(udps).enumerate() {
+            let shared = Arc::new(NodeShared {
+                id: NodeId(i as u32),
+                cluster: cluster_spec.clone(),
+                peer_http: peer_http.clone(),
+                peer_udp: peer_udp.clone(),
+                loads: RwLock::new(LoadTable::new(n)),
+                broker: Broker::new(cfg.policy, model.clone()),
+                oracle: cfg.oracle.clone(),
+                sweb: cfg.sweb.clone(),
+                docroot: docroot.clone(),
+                cgi: cfg.cgi.clone(),
+                access_log: cfg.access_log.clone(),
+                file_cache: crate::file_cache::FileCache::new(cfg.file_cache_bytes),
+                active: Default::default(),
+                bytes_in_flight: Default::default(),
+                draining: AtomicBool::new(false),
+                shutdown: AtomicBool::new(false),
+                start,
+                stats: NodeStats::default(),
+            });
+            nodes.push(NodeHandle::spawn(shared, listener, udp)?);
+        }
+        Ok(LiveCluster { nodes })
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the cluster has no nodes (never, post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// `http://127.0.0.1:port` of node `i`.
+    pub fn base_url(&self, i: usize) -> &str {
+        &self.nodes[i].shared.peer_http[i]
+    }
+
+    /// Access a node's shared state (stats, load table).
+    pub fn node(&self, i: usize) -> &Arc<NodeShared> {
+        &self.nodes[i].shared
+    }
+
+    /// Wait until every node has heard a loadd report from every other
+    /// node, or the deadline passes. Returns whether the mesh converged.
+    pub fn await_loadd_mesh(&self, deadline: std::time::Duration) -> bool {
+        let t0 = Instant::now();
+        let n = self.nodes.len();
+        while t0.elapsed() < deadline {
+            let converged = self.nodes.iter().all(|node| {
+                let loads = node.shared.loads.read();
+                (0..n as u32).all(|p| loads.updated_at(NodeId(p)) > SimTime::ZERO)
+            });
+            if converged {
+                return true;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        false
+    }
+
+    /// Start gracefully draining node `i`: its next loadd broadcast tells
+    /// every peer to stop choosing it (and it stops choosing itself as a
+    /// redirect target for peers). In-flight and newly arriving requests
+    /// are still served — the node only leaves the *scheduling* pool.
+    pub fn drain(&self, i: usize) {
+        self.nodes[i].shared.draining.store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Return a draining node to the pool; peers revive it on its next
+    /// normal broadcast.
+    pub fn undrain(&self, i: usize) {
+        self.nodes[i].shared.draining.store(false, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Stop every node and join their service threads.
+    pub fn shutdown(self) {
+        for node in &self.nodes {
+            node.shared.shutdown.store(true, std::sync::atomic::Ordering::Relaxed);
+        }
+        for node in self.nodes {
+            node.shutdown();
+        }
+    }
+}

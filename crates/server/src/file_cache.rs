@@ -1,0 +1,192 @@
+//! In-process file cache for the live server — the page-cache effect the
+//! simulator models, made explicit (extension; NCSA httpd 1.3 relied on
+//! the OS buffer cache and re-`read()` per request).
+//!
+//! Bodies are stored as [`Bytes`], so concurrent responses share one copy
+//! with no duplication. Entries are validated against the file's mtime on
+//! every hit: an edited document is re-read, never served stale.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::SystemTime;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use sweb_cluster::{FileId, PageCache};
+
+struct Entry {
+    body: Bytes,
+    mtime: SystemTime,
+}
+
+/// Byte-bounded, mtime-validated LRU cache of document bodies.
+pub struct FileCache {
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+struct Inner {
+    lru: PageCache,
+    bodies: HashMap<FileId, Entry>,
+}
+
+fn key_of(path: &str) -> FileId {
+    // FNV-1a over the canonical request path.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in path.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    FileId(h)
+}
+
+impl FileCache {
+    /// A cache holding at most `capacity` bytes of document bodies.
+    pub fn new(capacity: u64) -> Self {
+        FileCache {
+            inner: Mutex::new(Inner { lru: PageCache::new(capacity), bodies: HashMap::new() }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime miss count (including invalidations and read errors).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Bytes currently cached.
+    pub fn used(&self) -> u64 {
+        self.inner.lock().lru.used()
+    }
+
+    /// Fetch `full` (request path `path` for keying): from memory when the
+    /// cached copy's mtime still matches, from disk otherwise. Returns the
+    /// body and the file's mtime.
+    pub fn read(&self, path: &str, full: &Path) -> std::io::Result<(Bytes, SystemTime)> {
+        let key = key_of(path);
+        let mtime = std::fs::metadata(full)?.modified()?;
+        {
+            let mut inner = self.inner.lock();
+            if let Some(entry) = inner.bodies.get(&key) {
+                if entry.mtime == mtime && inner.lru.contains(key) {
+                    let body = entry.body.clone();
+                    inner.lru.access(key, body.len() as u64); // LRU touch
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok((body, mtime));
+                }
+            }
+        }
+        // Miss or stale: read outside the lock (large files, slow disks).
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let body = Bytes::from(std::fs::read(full)?);
+        let mut inner = self.inner.lock();
+        inner.lru.invalidate(key);
+        if (body.len() as u64) <= inner.lru.capacity() {
+            inner.lru.access(key, body.len() as u64);
+            inner.bodies.insert(key, Entry { body: body.clone(), mtime });
+        } else {
+            inner.bodies.remove(&key);
+        }
+        // Drop bodies the LRU evicted (PageCache only tracks ids/sizes).
+        let lru = &inner.lru;
+        let live: std::collections::HashSet<FileId> = lru.keys().collect();
+        inner.bodies.retain(|k, _| live.contains(k));
+        Ok((body, mtime))
+    }
+}
+
+impl std::fmt::Debug for FileCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileCache")
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .field("used", &self.used())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpfile(tag: &str, contents: &[u8]) -> std::path::PathBuf {
+        let p = std::env::temp_dir().join(format!("sweb-fc-{tag}-{}", std::process::id()));
+        std::fs::write(&p, contents).unwrap();
+        p
+    }
+
+    #[test]
+    fn second_read_hits_memory() {
+        let f = tmpfile("hit", b"hello world");
+        let cache = FileCache::new(1 << 20);
+        let (a, _) = cache.read("/hit", &f).unwrap();
+        let (b, _) = cache.read("/hit", &f).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        let _ = std::fs::remove_file(&f);
+    }
+
+    #[test]
+    fn modification_invalidates() {
+        let f = tmpfile("mod", b"version one");
+        let cache = FileCache::new(1 << 20);
+        let (a, _) = cache.read("/mod", &f).unwrap();
+        assert_eq!(&a[..], b"version one");
+        // Rewrite with a strictly newer mtime.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        std::fs::write(&f, b"version two!").unwrap();
+        let (b, _) = cache.read("/mod", &f).unwrap();
+        assert_eq!(&b[..], b"version two!");
+        assert_eq!(cache.misses(), 2, "stale entry must re-read");
+        let _ = std::fs::remove_file(&f);
+    }
+
+    #[test]
+    fn capacity_bounds_and_eviction() {
+        let cache = FileCache::new(100);
+        let files: Vec<_> = (0..5)
+            .map(|i| tmpfile(&format!("cap{i}"), &[b'x'; 40]))
+            .collect();
+        for (i, f) in files.iter().enumerate() {
+            cache.read(&format!("/cap{i}"), f).unwrap();
+            assert!(cache.used() <= 100);
+        }
+        // Only the two most recent 40-byte bodies fit.
+        assert_eq!(cache.used(), 80);
+        // Oldest entries miss again; newest hits.
+        cache.read("/cap4", &files[4]).unwrap();
+        assert_eq!(cache.hits(), 1);
+        cache.read("/cap0", &files[0]).unwrap();
+        assert_eq!(cache.misses(), 6);
+        for f in files {
+            let _ = std::fs::remove_file(&f);
+        }
+    }
+
+    #[test]
+    fn oversized_files_pass_through_uncached() {
+        let f = tmpfile("big", &vec![b'y'; 512]);
+        let cache = FileCache::new(100);
+        let (a, _) = cache.read("/big", &f).unwrap();
+        assert_eq!(a.len(), 512);
+        assert_eq!(cache.used(), 0);
+        cache.read("/big", &f).unwrap();
+        assert_eq!(cache.misses(), 2, "oversized bodies never cache");
+        let _ = std::fs::remove_file(&f);
+    }
+
+    #[test]
+    fn missing_file_is_an_error_not_a_panic() {
+        let cache = FileCache::new(100);
+        assert!(cache.read("/gone", Path::new("/definitely/not/here")).is_err());
+    }
+}

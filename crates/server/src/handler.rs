@@ -1,0 +1,304 @@
+//! Connection handling: parse, schedule (serve or 302), fulfill.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use sweb_cluster::{FileId, NodeId, Placement};
+use sweb_core::{Decision, RequestInfo};
+use sweb_http::{
+    mime_for_path, parse_request, Method, ParseError, Request, Response, StatusCode,
+};
+
+use crate::node::NodeShared;
+
+/// How long we wait for a complete request head.
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Maximum requests served over one keep-alive connection.
+const KEEPALIVE_LIMIT: u32 = 64;
+
+/// The document's "home" node. Every node shares one document root (the
+/// NFS crossmount); homes are assigned by hashing the path, the same
+/// placement rule the simulator's corpus can use.
+pub fn home_of(path: &str, nodes: usize) -> NodeId {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in path.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    Placement::Hashed.home(FileId(h), nodes)
+}
+
+/// Serve one connection. HTTP/1.0 closes after each response; as a
+/// labelled *extension* the server honors `Connection: Keep-Alive`
+/// (responses always carry `Content-Length`, so framing is unambiguous).
+pub fn handle_connection(shared: Arc<NodeShared>, mut stream: TcpStream) {
+    shared.active.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let peer_host = stream
+        .peer_addr()
+        .map(|a| a.ip().to_string())
+        .unwrap_or_else(|_| "-".to_string());
+    let mut carry: Vec<u8> = Vec::new();
+    for _round in 0..KEEPALIVE_LIMIT {
+        let (mut response, head_only, keep_alive, logged) =
+            match read_request(&mut stream, &mut carry) {
+                Ok(req) => {
+                    let head_only = req.method == Method::Head;
+                    let keep = req
+                        .headers
+                        .get("connection")
+                        .map(|v| v.eq_ignore_ascii_case("keep-alive"))
+                        .unwrap_or(false);
+                    let method = match req.method {
+                        Method::Get => "GET",
+                        Method::Head => "HEAD",
+                        Method::Post => "POST",
+                        Method::Other => "OTHER",
+                    };
+                    let body = match read_body(&mut stream, &mut carry, &req) {
+                        Ok(body) => body,
+                        Err(()) => {
+                            shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                            let resp = Response::error(StatusCode::BadRequest);
+                            let _ = stream.write_all(&resp.to_bytes(false));
+                            break;
+                        }
+                    };
+                    (
+                        respond(&shared, &req, &body),
+                        head_only,
+                        keep,
+                        Some((method, req.target.clone())),
+                    )
+                }
+                Err(ParseError::Incomplete) => break, // client closed / idle
+                Err(_) => {
+                    shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                    (Response::error(StatusCode::BadRequest), false, false, None)
+                }
+            };
+        if let (Some(log), Some((method, target))) = (&shared.access_log, &logged) {
+            log.log(&peer_host, method, target, response.status.code(), response.body.len() as u64);
+        }
+        if keep_alive {
+            response.headers.set("Connection", "Keep-Alive");
+        }
+        let wire = response.to_bytes(head_only);
+        shared.bytes_in_flight.fetch_add(wire.len() as u64, Ordering::Relaxed);
+        let write_ok = stream.write_all(&wire).is_ok() && stream.flush().is_ok();
+        shared.bytes_in_flight.fetch_sub(wire.len() as u64, Ordering::Relaxed);
+        if !write_ok || !keep_alive {
+            break;
+        }
+    }
+    shared.active.fetch_sub(1, Ordering::Relaxed);
+}
+
+/// Read one request head from the stream. `carry` holds bytes already read
+/// beyond the previous request (keep-alive pipelining).
+fn read_request(stream: &mut TcpStream, carry: &mut Vec<u8>) -> Result<Request, ParseError> {
+    let mut chunk = [0u8; 1024];
+    loop {
+        match parse_request(carry) {
+            Ok((req, used)) => {
+                carry.drain(..used);
+                return Ok(req);
+            }
+            Err(ParseError::Incomplete) => {}
+            Err(e) => return Err(e),
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(ParseError::Incomplete),
+            Ok(n) => carry.extend_from_slice(&chunk[..n]),
+            Err(_) => return Err(ParseError::Incomplete),
+        }
+    }
+}
+
+/// Largest accepted POST body.
+const MAX_BODY_BYTES: u64 = 1 << 20;
+
+/// Read the request body (`Content-Length` bytes) for methods that carry
+/// one. `carry` may already hold a prefix of it from head reads.
+fn read_body(
+    stream: &mut TcpStream,
+    carry: &mut Vec<u8>,
+    req: &Request,
+) -> Result<Vec<u8>, ()> {
+    if req.method != Method::Post {
+        return Ok(Vec::new());
+    }
+    let len = req.headers.content_length().ok_or(())?;
+    if len > MAX_BODY_BYTES {
+        return Err(());
+    }
+    let len = len as usize;
+    let mut chunk = [0u8; 4096];
+    while carry.len() < len {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(()),
+            Ok(n) => carry.extend_from_slice(&chunk[..n]),
+            Err(_) => return Err(()),
+        }
+    }
+    let body = carry[..len].to_vec();
+    carry.drain(..len);
+    Ok(body)
+}
+
+/// §3.2 steps 1–4 over a real request.
+fn respond(shared: &NodeShared, req: &Request, body: &[u8]) -> Response {
+    // Step 1: preprocess — method check, path completion, existence.
+    if !req.method.is_supported() {
+        return Response::error(StatusCode::NotImplemented);
+    }
+    let Some(path) = req.path() else {
+        return Response::error(StatusCode::Forbidden); // traversal attempt
+    };
+    // Administrative endpoint: always answered by the node it reached.
+    if path == crate::status::STATUS_PATH {
+        return crate::status::render(shared);
+    }
+    let is_cgi = req.is_cgi();
+    if req.method == Method::Post && !is_cgi {
+        // POST targets programs, not documents.
+        return Response::error(StatusCode::MethodNotAllowed);
+    }
+    let rel = path.trim_start_matches('/');
+    if rel.is_empty() {
+        return Response::error(StatusCode::NotFound);
+    }
+    // Existence + size: a filesystem stat for documents, a registry lookup
+    // (with an oracle-side size estimate) for CGI programs.
+    let (full, size) = if is_cgi {
+        if shared.cgi.lookup(&path).is_none() {
+            shared.stats.served.fetch_add(1, Ordering::Relaxed);
+            return Response::error(StatusCode::NotFound);
+        }
+        (shared.docroot.clone(), 4 * 1024)
+    } else {
+        let full = shared.docroot.join(rel);
+        let Ok(meta) = std::fs::metadata(&full) else {
+            shared.stats.served.fetch_add(1, Ordering::Relaxed);
+            return Response::error(StatusCode::NotFound);
+        };
+        if !meta.is_file() {
+            return Response::error(StatusCode::Forbidden);
+        }
+        // Conditional GET: a fresh client copy costs us only the stat —
+        // answer 304 here, before any scheduling.
+        let mtime = meta
+            .modified()
+            .ok()
+            .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
+            .map(|d| d.as_secs());
+        if let (Some(mtime), Some(ims)) = (
+            mtime,
+            req.headers.get("if-modified-since").and_then(sweb_http::parse_http_date),
+        ) {
+            if mtime <= ims {
+                shared.stats.served.fetch_add(1, Ordering::Relaxed);
+                let mut resp = Response {
+                    status: StatusCode::NotModified,
+                    headers: Default::default(),
+                    body: Default::default(),
+                };
+                resp.headers.set("Last-Modified", sweb_http::format_http_date(mtime));
+                resp.headers.set("X-SWEB-Node", shared.id.0.to_string());
+                return resp;
+            }
+        }
+        (full, meta.len())
+    };
+
+    // Step 2: analyze — build the scheduler's view of the request.
+    let nodes = shared.cluster.len();
+    let redirected = req.already_redirected();
+    if redirected {
+        shared.stats.received_redirects.fetch_add(1, Ordering::Relaxed);
+    }
+    let info = RequestInfo {
+        file: FileId(0), // identity is irrelevant to the live cost model
+        size,
+        home: home_of(&path, nodes),
+        cpu_ops: shared.oracle.characterize(&path, size),
+        redirected,
+        // POST is non-idempotent: never reassign it (§3.2 step 2's
+        // "always completed at x" class).
+        pinned_local: !req.method.is_redirectable(),
+        cached_at_origin: false,
+    };
+    // Refresh our own entry so local load is never stale.
+    {
+        let mut loads = shared.loads.write();
+        let now = shared.now();
+        loads.update(shared.id, crate::loadd::sample_load(shared), now);
+    }
+    let decision = {
+        let mut loads = shared.loads.write();
+        shared.broker.choose(&info, shared.id, &shared.cluster, &mut loads)
+    };
+
+    // Step 3: redirection.
+    if let Decision::Redirect(target) = decision {
+        shared.stats.redirected.fetch_add(1, Ordering::Relaxed);
+        let base = &shared.peer_http[target.index()];
+        let mut resp = Response::redirect_to_peer(base, &req.target);
+        resp.headers.set("X-SWEB-Node", shared.id.0.to_string());
+        return resp;
+    }
+
+    // Step 4: fulfillment — execute the CGI program or read the document.
+    if is_cgi {
+        let program = shared.cgi.lookup(&path).expect("existence checked above");
+        shared.stats.served.fetch_add(1, Ordering::Relaxed);
+        let mut resp = program(req, body);
+        resp.headers.set("X-SWEB-Node", shared.id.0.to_string());
+        return resp;
+    }
+    match shared.file_cache.read(&path, &full) {
+        Ok((body, mtime)) => {
+            shared.stats.served.fetch_add(1, Ordering::Relaxed);
+            let mut resp = Response::ok(body, mime_for_path(&path));
+            if let Ok(secs) = mtime.duration_since(std::time::UNIX_EPOCH) {
+                resp.headers
+                    .set("Last-Modified", sweb_http::format_http_date(secs.as_secs()));
+            }
+            resp.headers.set("X-SWEB-Node", shared.id.0.to_string());
+            resp
+        }
+        Err(_) => Response::error(StatusCode::InternalServerError),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn home_assignment_is_stable_and_in_range() {
+        for nodes in 1..8 {
+            for path in ["/a.html", "/maps/goleta.gif", "/x/y/z"] {
+                let a = home_of(path, nodes);
+                let b = home_of(path, nodes);
+                assert_eq!(a, b);
+                assert!((a.0 as usize) < nodes);
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_paths_spread_over_nodes() {
+        let nodes = 4;
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..64 {
+            seen.insert(home_of(&format!("/doc{i}.html"), nodes));
+        }
+        assert!(seen.len() >= 3, "hash placement too clumpy: {seen:?}");
+    }
+}

@@ -1,0 +1,151 @@
+//! The loadd daemon over UDP: periodic load broadcasts, staleness marking.
+//!
+//! Wire format (little-endian, 29 bytes):
+//! `[node_id: u32][cpu: f64][disk: f64][net: f64][leaving: u8]` — small
+//! enough that a datagram never fragments, with no external serialization
+//! dependency (the 1996 original used raw socket writes too). The
+//! `leaving` flag is a graceful-drain announcement: peers immediately take
+//! the sender out of their candidate pools instead of waiting for the
+//! staleness timeout.
+
+use std::net::UdpSocket;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use sweb_cluster::NodeId;
+use sweb_core::LoadVector;
+
+use crate::node::NodeShared;
+
+/// Encoded datagram size.
+pub const PACKET_LEN: usize = 4 + 8 * 3 + 1;
+
+/// Encode a load report. `leaving` announces a graceful drain.
+pub fn encode(node: NodeId, load: &LoadVector, leaving: bool) -> [u8; PACKET_LEN] {
+    let mut buf = [0u8; PACKET_LEN];
+    buf[0..4].copy_from_slice(&node.0.to_le_bytes());
+    buf[4..12].copy_from_slice(&load.cpu.to_le_bytes());
+    buf[12..20].copy_from_slice(&load.disk.to_le_bytes());
+    buf[20..28].copy_from_slice(&load.net.to_le_bytes());
+    buf[28] = u8::from(leaving);
+    buf
+}
+
+/// Decode a load report; `None` for short/garbled packets. Returns
+/// `(node, load, leaving)`.
+pub fn decode(buf: &[u8]) -> Option<(NodeId, LoadVector, bool)> {
+    if buf.len() < PACKET_LEN {
+        return None;
+    }
+    let node = NodeId(u32::from_le_bytes(buf[0..4].try_into().ok()?));
+    let cpu = f64::from_le_bytes(buf[4..12].try_into().ok()?);
+    let disk = f64::from_le_bytes(buf[12..20].try_into().ok()?);
+    let net = f64::from_le_bytes(buf[20..28].try_into().ok()?);
+    if !(cpu.is_finite() && disk.is_finite() && net.is_finite()) {
+        return None;
+    }
+    Some((node, LoadVector::new(cpu, disk, net), buf[28] != 0))
+}
+
+/// Sample this node's live load vector from its activity counters.
+pub fn sample_load(shared: &NodeShared) -> LoadVector {
+    let active = shared.active.load(Ordering::Relaxed) as f64;
+    let net = shared.bytes_in_flight.load(Ordering::Relaxed) as f64 / 1e6;
+    // Disk pressure tracks concurrent fulfillments; on a localhost cluster
+    // the OS page cache absorbs reads, so active requests is the best
+    // observable proxy for the disk channel too.
+    LoadVector::new(active, active, net)
+}
+
+/// Spawn the broadcaster and receiver threads for one node.
+pub fn spawn(shared: Arc<NodeShared>, udp: UdpSocket) -> Vec<std::thread::JoinHandle<()>> {
+    let period = Duration::from_micros(shared.sweb.loadd_period.as_micros());
+    let recv_socket = udp.try_clone().expect("udp clone");
+    recv_socket
+        .set_read_timeout(Some(Duration::from_millis(20)))
+        .expect("udp read timeout");
+
+    // Broadcaster: send own load to every peer (including self, which
+    // keeps the code uniform), then run the staleness pass.
+    let bcast_shared = Arc::clone(&shared);
+    let broadcaster = std::thread::spawn(move || {
+        while !bcast_shared.shutdown.load(Ordering::Relaxed) {
+            let load = sample_load(&bcast_shared);
+            let leaving = bcast_shared.draining.load(Ordering::Relaxed);
+            let pkt = encode(bcast_shared.id, &load, leaving);
+            for addr in &bcast_shared.peer_udp {
+                let _ = udp.send_to(&pkt, addr);
+            }
+            {
+                let now = bcast_shared.now();
+                let timeout = bcast_shared.sweb.stale_timeout;
+                bcast_shared.loads.write().mark_stale(now, timeout);
+            }
+            std::thread::sleep(period);
+        }
+    });
+
+    // Receiver: fold peer reports into the load table.
+    let recv_shared = shared;
+    let receiver = std::thread::spawn(move || {
+        let mut buf = [0u8; 64];
+        while !recv_shared.shutdown.load(Ordering::Relaxed) {
+            match recv_socket.recv_from(&mut buf) {
+                Ok((n, _)) => {
+                    if let Some((node, load, leaving)) = decode(&buf[..n]) {
+                        if (node.index()) < recv_shared.loads.read().len() {
+                            let now = recv_shared.now();
+                            let mut loads = recv_shared.loads.write();
+                            if leaving && node != recv_shared.id {
+                                loads.mark_dead(node);
+                            } else {
+                                loads.update(node, load, now);
+                            }
+                        }
+                    }
+                }
+                Err(ref e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut => {}
+                Err(_) => break,
+            }
+        }
+    });
+
+    vec![broadcaster, receiver]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codec_round_trip() {
+        let load = LoadVector::new(3.5, 1.25, 0.125);
+        let pkt = encode(NodeId(7), &load, false);
+        let (node, decoded, leaving) = decode(&pkt).unwrap();
+        assert_eq!(node, NodeId(7));
+        assert_eq!(decoded, load);
+        assert!(!leaving);
+        let pkt = encode(NodeId(7), &load, true);
+        assert!(decode(&pkt).unwrap().2, "leaving flag must round-trip");
+    }
+
+    #[test]
+    fn decode_rejects_short_and_nan() {
+        assert!(decode(&[0u8; 10]).is_none());
+        let mut pkt = encode(NodeId(1), &LoadVector::IDLE, false);
+        pkt[4..12].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert!(decode(&pkt).is_none());
+    }
+
+    #[test]
+    fn decode_tolerates_trailing_bytes() {
+        let mut long = encode(NodeId(2), &LoadVector::new(1.0, 2.0, 3.0), false).to_vec();
+        long.extend_from_slice(b"junk");
+        let (node, load, _) = decode(&long).unwrap();
+        assert_eq!(node, NodeId(2));
+        assert_eq!(load.disk, 2.0);
+    }
+}

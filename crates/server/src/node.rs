@@ -1,0 +1,134 @@
+//! Per-node state and the accept loop.
+
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::RwLock;
+use sweb_cluster::{ClusterSpec, NodeId};
+use sweb_core::{Broker, LoadTable, Oracle, SwebConfig};
+use sweb_des::SimTime;
+
+use crate::handler;
+
+/// Counters a node exposes for tests and demos.
+#[derive(Debug, Default)]
+pub struct NodeStats {
+    /// Connections accepted.
+    pub accepted: AtomicU64,
+    /// Requests fulfilled locally with 200/404/...
+    pub served: AtomicU64,
+    /// Requests answered with a 302 to a peer.
+    pub redirected: AtomicU64,
+    /// Requests that arrived already carrying the redirect marker.
+    pub received_redirects: AtomicU64,
+    /// Malformed requests answered 400.
+    pub bad_requests: AtomicU64,
+}
+
+/// Shared state of one live SWEB node.
+pub struct NodeShared {
+    /// This node's id.
+    pub id: NodeId,
+    /// Synthetic hardware description used by the cost model.
+    pub cluster: ClusterSpec,
+    /// HTTP base URLs of every node (http://127.0.0.1:port).
+    pub peer_http: Vec<String>,
+    /// UDP loadd addresses of every node.
+    pub peer_udp: Vec<SocketAddr>,
+    /// This node's view of everyone's load.
+    pub loads: RwLock<LoadTable>,
+    /// The scheduling broker.
+    pub broker: Broker,
+    /// Request CPU-demand oracle.
+    pub oracle: Oracle,
+    /// Scheduler configuration.
+    pub sweb: SwebConfig,
+    /// Document root (shared across nodes, standing in for NFS).
+    pub docroot: PathBuf,
+    /// CGI programs (shared registry, as NFS-visible binaries would be).
+    pub cgi: crate::cgi::CgiRegistry,
+    /// Optional CLF access log (shared across nodes, like an NFS logfile).
+    pub access_log: Option<crate::access_log::AccessLog>,
+    /// In-memory document cache (extension; mtime-validated).
+    pub file_cache: crate::file_cache::FileCache,
+    /// Requests currently in flight on this node (the live "CPU load").
+    pub active: AtomicU64,
+    /// Bytes currently being transferred (the live "net load", scaled).
+    pub bytes_in_flight: AtomicU64,
+    /// Graceful-drain flag: while set, loadd announces "leaving" and peers
+    /// stop choosing this node; it keeps serving what it receives.
+    pub draining: AtomicBool,
+    /// Shutdown flag for all of this node's threads.
+    pub shutdown: AtomicBool,
+    /// Server start, for load-table timestamps.
+    pub start: Instant,
+    /// Public counters.
+    pub stats: NodeStats,
+}
+
+impl NodeShared {
+    /// Monotonic time since server start as a [`SimTime`] (the load table
+    /// is engine-agnostic and wants microsecond timestamps).
+    pub fn now(&self) -> SimTime {
+        SimTime::from_micros(self.start.elapsed().as_micros() as u64)
+    }
+}
+
+/// A running node: its shared state plus joinable service threads.
+pub struct NodeHandle {
+    /// Shared state (also held by connection threads).
+    pub shared: Arc<NodeShared>,
+    /// HTTP address the node listens on.
+    pub http_addr: SocketAddr,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl NodeHandle {
+    /// Spawn the accept loop and loadd threads for a node whose listener
+    /// and UDP socket are already bound.
+    pub fn spawn(
+        shared: Arc<NodeShared>,
+        listener: TcpListener,
+        udp: std::net::UdpSocket,
+    ) -> std::io::Result<NodeHandle> {
+        let http_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let mut threads = Vec::new();
+
+        // Accept loop: NCSA httpd forked a worker per connection; we spawn
+        // a thread per connection.
+        let accept_shared = Arc::clone(&shared);
+        threads.push(std::thread::spawn(move || {
+            while !accept_shared.shutdown.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        accept_shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                        let conn_shared = Arc::clone(&accept_shared);
+                        std::thread::spawn(move || handler::handle_connection(conn_shared, stream));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+        }));
+
+        // loadd: broadcaster + receiver.
+        threads.extend(crate::loadd::spawn(Arc::clone(&shared), udp));
+
+        Ok(NodeHandle { shared, http_addr, threads })
+    }
+
+    /// Signal shutdown and join the service threads. In-flight connection
+    /// threads finish on their own (they hold `Arc<NodeShared>`).
+    pub fn shutdown(self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! The `/sweb-status` administrative endpoint: a node's view of the
+//! cluster (load table, counters), always served locally.
+
+use std::sync::atomic::Ordering;
+
+use sweb_cluster::NodeId;
+use sweb_http::Response;
+
+use crate::node::NodeShared;
+
+/// Path of the status endpoint.
+pub const STATUS_PATH: &str = "/sweb-status";
+
+/// Render the status page for `shared`.
+pub fn render(shared: &NodeShared) -> Response {
+    let mut out = String::with_capacity(1024);
+    out.push_str(&format!(
+        "SWEB node {} — policy {}\n\nload table (this node's view):\n",
+        shared.id,
+        shared.broker.policy()
+    ));
+    out.push_str("node   cpu     disk    net     alive  age(ms)\n");
+    let now = shared.now();
+    {
+        let loads = shared.loads.read();
+        for i in 0..loads.len() {
+            let id = NodeId(i as u32);
+            let l = loads.load(id);
+            let age = now.saturating_sub(loads.updated_at(id));
+            out.push_str(&format!(
+                "{:<6} {:<7.2} {:<7.2} {:<7.2} {:<6} {:.0}\n",
+                id.to_string(),
+                l.cpu,
+                l.disk,
+                l.net,
+                loads.is_alive(id),
+                age.as_millis_f64(),
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "\ncounters:\n  accepted          {}\n  served            {}\n  redirected-away   {}\n  \
+         received-redirects {}\n  bad-requests      {}\n  active-now        {}\n",
+        shared.stats.accepted.load(Ordering::Relaxed),
+        shared.stats.served.load(Ordering::Relaxed),
+        shared.stats.redirected.load(Ordering::Relaxed),
+        shared.stats.received_redirects.load(Ordering::Relaxed),
+        shared.stats.bad_requests.load(Ordering::Relaxed),
+        shared.active.load(Ordering::Relaxed),
+    ));
+    out.push_str(&format!(
+        "\nfile cache: {} hits, {} misses, {} bytes\n",
+        shared.file_cache.hits(),
+        shared.file_cache.misses(),
+        shared.file_cache.used(),
+    ));
+    Response::ok(out, "text/plain")
+}

@@ -1,0 +1,163 @@
+//! End-to-end tests of the CLI binaries: spawn a real `swebd` process and
+//! drive it with a real `swebload` process.
+
+use std::io::Read;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+fn docroot(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("sweb-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("index.html"), "<h1>cli test</h1>").unwrap();
+    std::fs::write(dir.join("map.gif"), vec![0x47u8; 64_000]).unwrap();
+    dir
+}
+
+/// A port base unlikely to collide across test processes.
+fn port_base() -> u16 {
+    20000 + (std::process::id() % 20000) as u16
+}
+
+struct Daemon(Child);
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn wait_for_http(port: u16, deadline: Duration) -> bool {
+    let t0 = std::time::Instant::now();
+    while t0.elapsed() < deadline {
+        if std::net::TcpStream::connect(("127.0.0.1", port)).is_ok() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    false
+}
+
+#[test]
+fn swebd_serves_and_swebload_reports() {
+    let dir = docroot("e2e");
+    let base = port_base();
+    let daemon = Daemon(
+        Command::new(env!("CARGO_BIN_EXE_swebd"))
+            .args([
+                "--nodes",
+                "2",
+                "--docroot",
+                dir.to_str().unwrap(),
+                "--policy",
+                "sweb",
+                "--port-base",
+                &base.to_string(),
+                "--loadd-ms",
+                "200",
+            ])
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn swebd"),
+    );
+    assert!(wait_for_http(base, Duration::from_secs(10)), "swebd never came up");
+    assert!(wait_for_http(base + 1, Duration::from_secs(10)));
+
+    // Sanity over the library client first.
+    let resp = sweb_server::client::get(&format!("http://127.0.0.1:{base}/index.html")).unwrap();
+    assert_eq!(resp.status, 200);
+
+    // Now the load generator binary.
+    let out = Command::new(env!("CARGO_BIN_EXE_swebload"))
+        .args([
+            &format!("http://127.0.0.1:{base}/map.gif"),
+            &format!("http://127.0.0.1:{}/index.html", base + 1),
+            "--rps",
+            "20",
+            "--duration",
+            "2",
+            "--clients",
+            "4",
+        ])
+        .output()
+        .expect("run swebload");
+    assert!(out.status.success(), "swebload failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("completed:  40"), "all 40 requests must complete:\n{text}");
+    assert!(text.contains("failed:     0"), "{text}");
+    assert!(text.contains("p95:"), "{text}");
+
+    // Status endpoint over the daemon too.
+    let status =
+        sweb_server::client::get(&format!("http://127.0.0.1:{}/sweb-status", base + 1)).unwrap();
+    assert_eq!(status.status, 200);
+    let body = String::from_utf8(status.body).unwrap();
+    assert!(body.contains("SWEB node n1"), "{body}");
+
+    drop(daemon);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn swebd_rejects_bad_oracle_config() {
+    let dir = docroot("badconf");
+    let conf = dir.join("oracle.conf");
+    std::fs::write(&conf, "not-a-prefix 1.0 2.0\n").unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_swebd"))
+        .args([
+            "--nodes",
+            "1",
+            "--docroot",
+            dir.to_str().unwrap(),
+            "--oracle",
+            conf.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run swebd");
+    assert!(!out.status.success(), "malformed oracle config must be fatal");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("line 1"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn swebd_accepts_shipped_example_oracle() {
+    let dir = docroot("goodconf");
+    let base = port_base() + 100;
+    let example = concat!(env!("CARGO_MANIFEST_DIR"), "/../../conf/oracle.conf.example");
+    let daemon = Daemon(
+        Command::new(env!("CARGO_BIN_EXE_swebd"))
+            .args([
+                "--nodes",
+                "1",
+                "--docroot",
+                dir.to_str().unwrap(),
+                "--port-base",
+                &base.to_string(),
+                "--oracle",
+                example,
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn swebd"),
+    );
+    assert!(wait_for_http(base, Duration::from_secs(10)));
+    let resp = sweb_server::client::get(&format!("http://127.0.0.1:{base}/index.html")).unwrap();
+    assert_eq!(resp.status, 200);
+    drop(daemon);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn swebd_usage_on_bad_flags() {
+    let out = Command::new(env!("CARGO_BIN_EXE_swebd"))
+        .args(["--bogus"])
+        .output()
+        .expect("run swebd");
+    assert!(!out.status.success());
+    let mut err = String::new();
+    let _ = out.stderr.as_slice().read_to_string(&mut err);
+    assert!(err.contains("usage:"), "{err}");
+}

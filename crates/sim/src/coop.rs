@@ -1,0 +1,101 @@
+//! Cooperative caching of dynamic (CGI) content — an *extension* beyond
+//! the IPPS'96 paper, modelled on the same group's follow-up work
+//! (V. Holmedahl, B. Smith, T. Yang, "Cooperative Caching of Dynamic
+//! Content on a Distributed Web Server").
+//!
+//! CGI results are expensive to compute and frequently repeated (the same
+//! map query from many clients). Each node keeps a byte-bounded *result
+//! cache*; loadd broadcasts piggyback a **digest** of which result keys a
+//! node holds, so any node can answer a CGI request three ways, cheapest
+//! first:
+//!
+//! 1. **local hit** — the result is in this node's cache: no compute, no
+//!    disk;
+//! 2. **peer hit** — a peer's digest lists the key: fetch the result bytes
+//!    over the interconnect (one network transfer instead of the full
+//!    computation);
+//! 3. **compute** — run the CGI (data fetch + CPU), then insert the result
+//!    locally so the cluster learns it.
+//!
+//! Digests go stale between broadcasts, exactly like load vectors: a peer
+//! hit may race an eviction. The simulator resolves the race
+//! conservatively — a digest-promised result that is gone on arrival falls
+//! back to computing.
+
+use sweb_cluster::{FileId, NodeId};
+
+/// A node's view of which peers hold which CGI results (from digests).
+#[derive(Debug, Clone, Default)]
+pub struct CoopDirectory {
+    /// `digests[p]` = the result keys node `p` advertised last broadcast.
+    digests: Vec<std::collections::HashSet<FileId>>,
+}
+
+impl CoopDirectory {
+    /// A directory over `n` nodes, all initially empty.
+    pub fn new(n: usize) -> Self {
+        CoopDirectory { digests: vec![Default::default(); n] }
+    }
+
+    /// Replace node `peer`'s advertised digest.
+    pub fn update(&mut self, peer: NodeId, keys: impl Iterator<Item = FileId>) {
+        let set = &mut self.digests[peer.index()];
+        set.clear();
+        set.extend(keys);
+    }
+
+    /// A peer (other than `me`) believed to hold `key`, if any. Prefers
+    /// the lowest-numbered peer for determinism.
+    pub fn holder(&self, key: FileId, me: NodeId) -> Option<NodeId> {
+        self.digests
+            .iter()
+            .enumerate()
+            .filter(|&(p, set)| p != me.index() && set.contains(&key))
+            .map(|(p, _)| NodeId(p as u32))
+            .next()
+    }
+
+    /// Total advertised entries (diagnostics).
+    pub fn len(&self) -> usize {
+        self.digests.iter().map(|s| s.len()).sum()
+    }
+
+    /// True when no peer advertises anything.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_and_lookup() {
+        let mut d = CoopDirectory::new(3);
+        d.update(NodeId(1), [FileId(5), FileId(7)].into_iter());
+        assert_eq!(d.holder(FileId(5), NodeId(0)), Some(NodeId(1)));
+        assert_eq!(d.holder(FileId(6), NodeId(0)), None);
+        // A node never fetches from itself.
+        assert_eq!(d.holder(FileId(5), NodeId(1)), None);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn update_replaces_previous_digest() {
+        let mut d = CoopDirectory::new(2);
+        d.update(NodeId(1), [FileId(1)].into_iter());
+        d.update(NodeId(1), [FileId(2)].into_iter());
+        assert_eq!(d.holder(FileId(1), NodeId(0)), None, "evicted keys must disappear");
+        assert_eq!(d.holder(FileId(2), NodeId(0)), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn prefers_lowest_peer_deterministically() {
+        let mut d = CoopDirectory::new(4);
+        d.update(NodeId(3), [FileId(9)].into_iter());
+        d.update(NodeId(1), [FileId(9)].into_iter());
+        assert_eq!(d.holder(FileId(9), NodeId(0)), Some(NodeId(1)));
+        assert_eq!(d.holder(FileId(9), NodeId(1)), Some(NodeId(3)));
+    }
+}

@@ -1,0 +1,129 @@
+//! Round-robin DNS with client-side resolver caching.
+//!
+//! §1 of the paper: "The round-robin technique is effective when ...
+//! Another weakness of the technique is the degree of name caching which
+//! occurs. DNS caching enables a local DNS system to cache the name-to-IP
+//! address mapping ... The downside is that all requests for a period of
+//! time from a DNS server's domain will go to a particular IP address."
+//!
+//! This module models exactly that: the authoritative server rotates over
+//! the alive nodes, but each *client domain* resolves through a local DNS
+//! whose answer is cached for a TTL. With TTL = 0 the rotation is ideal;
+//! with large TTLs whole domains pin to one node for seconds at a time —
+//! the skew SWEB's server-side rescheduling was designed to absorb.
+
+use sweb_cluster::NodeId;
+use sweb_des::SimTime;
+
+/// One client domain's cached resolution.
+#[derive(Debug, Clone, Copy)]
+struct CacheEntry {
+    node: NodeId,
+    expires: SimTime,
+}
+
+/// Round-robin DNS with per-domain TTL caching.
+#[derive(Debug, Clone)]
+pub struct Dns {
+    ttl: SimTime,
+    counter: u64,
+    cache: Vec<Option<CacheEntry>>,
+}
+
+impl Dns {
+    /// A DNS for `domains` client domains whose local resolvers cache
+    /// answers for `ttl`. `ttl == 0` disables caching (ideal rotation).
+    pub fn new(domains: usize, ttl: SimTime) -> Self {
+        Dns { ttl, counter: 0, cache: vec![None; domains.max(1)] }
+    }
+
+    /// Resolve the server name for a client in `domain` at time `now`.
+    /// `alive` lists the nodes currently in the rotation (the name tables
+    /// are assumed to track pool membership). Returns `None` when the pool
+    /// is empty.
+    pub fn resolve(&mut self, domain: usize, now: SimTime, alive: &[NodeId]) -> Option<NodeId> {
+        if alive.is_empty() {
+            return None;
+        }
+        let slot = domain % self.cache.len();
+        if self.ttl > SimTime::ZERO {
+            if let Some(entry) = self.cache[slot] {
+                if entry.expires > now && alive.contains(&entry.node) {
+                    return Some(entry.node);
+                }
+            }
+        }
+        let node = alive[(self.counter % alive.len() as u64) as usize];
+        self.counter += 1;
+        if self.ttl > SimTime::ZERO {
+            self.cache[slot] = Some(CacheEntry { node, expires: now + self.ttl });
+        }
+        Some(node)
+    }
+
+    /// Number of authoritative lookups performed (cache misses).
+    pub fn authoritative_lookups(&self) -> u64 {
+        self.counter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn zero_ttl_is_pure_rotation() {
+        let mut dns = Dns::new(4, SimTime::ZERO);
+        let alive = nodes(3);
+        let picks: Vec<u32> =
+            (0..6).map(|d| dns.resolve(d, SimTime::ZERO, &alive).unwrap().0).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+        assert_eq!(dns.authoritative_lookups(), 6);
+    }
+
+    #[test]
+    fn ttl_pins_a_domain_until_expiry() {
+        let mut dns = Dns::new(2, SimTime::from_secs(10));
+        let alive = nodes(3);
+        let first = dns.resolve(0, SimTime::from_secs(0), &alive).unwrap();
+        for t in 1..10 {
+            assert_eq!(dns.resolve(0, SimTime::from_secs(t), &alive).unwrap(), first);
+        }
+        // After expiry the rotation advances.
+        let after = dns.resolve(0, SimTime::from_secs(11), &alive).unwrap();
+        assert_ne!(after, first);
+        // Only two authoritative lookups happened for domain 0.
+        assert_eq!(dns.authoritative_lookups(), 2);
+    }
+
+    #[test]
+    fn different_domains_rotate_independently() {
+        let mut dns = Dns::new(3, SimTime::from_secs(100));
+        let alive = nodes(3);
+        let picks: Vec<u32> =
+            (0..3).map(|d| dns.resolve(d, SimTime::ZERO, &alive).unwrap().0).collect();
+        assert_eq!(picks, vec![0, 1, 2], "each domain's first lookup advances the rotation");
+    }
+
+    #[test]
+    fn cached_dead_node_forces_fresh_lookup() {
+        let mut dns = Dns::new(1, SimTime::from_secs(100));
+        let all = nodes(3);
+        let first = dns.resolve(0, SimTime::ZERO, &all).unwrap();
+        // The cached node leaves the pool.
+        let alive: Vec<NodeId> = all.iter().copied().filter(|&n| n != first).collect();
+        let next = dns.resolve(0, SimTime::from_secs(1), &alive).unwrap();
+        assert_ne!(next, first);
+        assert!(alive.contains(&next));
+    }
+
+    #[test]
+    fn empty_pool_resolves_to_none() {
+        let mut dns = Dns::new(1, SimTime::ZERO);
+        assert_eq!(dns.resolve(0, SimTime::ZERO, &[]), None);
+    }
+}

@@ -1,0 +1,1398 @@
+//! Every table and figure of the paper's §4, as runnable experiments.
+//!
+//! Each function returns structured rows plus a rendered
+//! [`sweb_metrics::TextTable`], so the same code feeds the `reproduce`
+//! binary, the criterion benches, and the integration tests. Corpus sizes
+//! are chosen per experiment and documented inline (the paper does not
+//! state its document population; we pick working sets that put each test
+//! in the regime the paper describes — see EXPERIMENTS.md).
+
+use sweb_cluster::{presets, ClusterSpec, NodeId, Placement};
+use sweb_core::{analytic, Policy};
+use sweb_des::SimTime;
+use sweb_metrics::{fmt_pct, fmt_secs, Phase, RunStats, TextTable};
+use sweb_workload::{ArrivalSchedule, ClientPopulation, FilePopulation, Popularity, SizeDist};
+
+use crate::config::SimConfig;
+use crate::driver::ClusterSim;
+
+/// Experiment fidelity: `Full` matches the paper's durations; `Quick` is a
+/// scaled-down variant for tests and criterion benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-scale durations (30 s bursts, 120 s sustained).
+    Full,
+    /// Short durations for CI and benches.
+    Quick,
+}
+
+impl Scale {
+    fn short(self) -> SimTime {
+        match self {
+            Scale::Full => SimTime::from_secs(30),
+            Scale::Quick => SimTime::from_secs(8),
+        }
+    }
+
+    fn long(self) -> SimTime {
+        match self {
+            Scale::Full => SimTime::from_secs(120),
+            Scale::Quick => SimTime::from_secs(24),
+        }
+    }
+}
+
+/// The paper's two testbeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Testbed {
+    /// Meiko CS-2 partition (up to 6 nodes).
+    Meiko,
+    /// Network of SparcStation LXs (up to 4 nodes).
+    Now,
+}
+
+impl Testbed {
+    fn cluster(self, n: usize) -> ClusterSpec {
+        match self {
+            Testbed::Meiko => presets::meiko(n),
+            Testbed::Now => presets::now_lx(n),
+        }
+    }
+
+    fn full_size(self) -> usize {
+        match self {
+            Testbed::Meiko => 6,
+            Testbed::Now => 4,
+        }
+    }
+
+    /// Label used in tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Testbed::Meiko => "Meiko",
+            Testbed::Now => "NOW",
+        }
+    }
+}
+
+/// Corpus sizing: enough distinct documents that per-node working sets
+/// stress the page caches the way the paper describes (single node
+/// thrashes, the full cluster mostly holds the set).
+fn corpus_for(file_size: u64, nodes: usize) -> FilePopulation {
+    if file_size >= 1_000_000 {
+        // 24 x 1.5 MB = 36 MB: one 24 MB Meiko cache thrashes, six hold it.
+        FilePopulation::uniform(24, file_size)
+    } else {
+        // Small files: plenty of documents, cache effects negligible.
+        FilePopulation::uniform(600, file_size)
+    }
+    .into_placed(nodes)
+}
+
+trait Placed {
+    fn into_placed(self, nodes: usize) -> FilePopulation;
+}
+
+impl Placed for FilePopulation {
+    fn into_placed(self, _nodes: usize) -> FilePopulation {
+        self // placement already round-robin; hook kept for clarity
+    }
+}
+
+fn run_one(
+    cluster: &ClusterSpec,
+    corpus: &FilePopulation,
+    cfg: SimConfig,
+    schedule: &ArrivalSchedule,
+) -> RunStats {
+    let files = corpus.build(cluster.len());
+    let arrivals = schedule.generate(&files);
+    ClusterSim::new(cluster.clone(), files, cfg).run(&arrivals)
+}
+
+/// Pooled statistics over several seeds — the paper's methodology ("the
+/// results we report are average performances by running the same tests
+/// multiple times"). `Quick` runs once; `Full` pools three seeds.
+fn run_avg(
+    cluster: &ClusterSpec,
+    corpus: &FilePopulation,
+    cfg: &SimConfig,
+    schedule: &ArrivalSchedule,
+    scale: Scale,
+) -> RunStats {
+    let seeds: &[u64] = match scale {
+        Scale::Full => &[0xa11ce, 0xb0b, 0xca21],
+        Scale::Quick => &[0xa11ce],
+    };
+    let mut pooled: Option<RunStats> = None;
+    for &seed in seeds {
+        let mut cfg = cfg.clone();
+        cfg.seed = seed;
+        let schedule = ArrivalSchedule { seed, ..schedule.clone() };
+        let stats = run_one(cluster, corpus, cfg, &schedule);
+        match &mut pooled {
+            None => pooled = Some(stats),
+            Some(p) => p.absorb(&stats),
+        }
+    }
+    pooled.expect("at least one seed")
+}
+
+/// Largest rps in `[1, hi]` whose drop rate stays under 2 % (binary
+/// search; the paper's "increasing the rps until requests start to fail").
+fn find_max_rps(hi: u32, mut ok: impl FnMut(u32) -> bool) -> u32 {
+    let mut lo = 0u32;
+    let mut hi = hi;
+    while lo < hi {
+        let mid = (lo + hi).div_ceil(2);
+        if ok(mid) {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    lo
+}
+
+const DROP_TOLERANCE: f64 = 0.02;
+
+/// The paper's two success criteria (§4.1): a *burst* succeeds if nothing
+/// is refused ("requests coming in a short period can be queued and
+/// processed gradually"); a *sustained* rate additionally requires the
+/// server to keep up — the run must finish close to the offered window
+/// ("requests continuously generated in a long period cannot be queued
+/// without actively processing them").
+fn burst_ok(stats: &RunStats) -> bool {
+    stats.drop_rate() <= DROP_TOLERANCE
+}
+
+fn sustained_ok(stats: &RunStats, window: SimTime) -> bool {
+    stats.drop_rate() <= DROP_TOLERANCE
+        && stats.duration.as_secs_f64() <= window.as_secs_f64() * 1.25
+}
+
+// ---------------------------------------------------------------------
+// Table 1: maximum rps, short bursts vs sustained.
+// ---------------------------------------------------------------------
+
+/// One cell group of Table 1.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Which testbed.
+    pub testbed: Testbed,
+    /// Burst (30 s) or sustained (120 s) duration, seconds.
+    pub duration: SimTime,
+    /// Requested file size.
+    pub file_size: u64,
+    /// Max rps for one node.
+    pub single: u32,
+    /// Max rps for the full cluster (6 Meiko / 4 NOW).
+    pub multi: u32,
+}
+
+/// Table 1: "Maximum rps for a test duration of 30s and 120s on Meiko CS-2
+/// and NOW". Anchors from the paper: Meiko 1.5 MB sustained ≈ 16 rps;
+/// NOW 1.5 MB: 11 rps at 30 s but ~1 sustained; single-node servers in the
+/// NCSA-reported 5–10 rps band for small files.
+///
+/// For this experiment the client timeout is long (the paper's short-burst
+/// criterion lets queued requests finish: "requests accumulated in a short
+/// period can be queued"), so failure means connection refusal.
+pub fn table1(scale: Scale) -> (Vec<Table1Row>, TextTable) {
+    let mut rows = Vec::new();
+    for testbed in [Testbed::Meiko, Testbed::Now] {
+        for (is_sustained, duration) in [(false, scale.short()), (true, scale.long())] {
+            for file_size in [1u64 << 10, 1_500_000] {
+                let hi = if file_size > 1_000_000 { 48 } else { 256 };
+                let max_for = |nodes: usize| {
+                    let cluster = testbed.cluster(nodes);
+                    let corpus = corpus_for(file_size, nodes);
+                    find_max_rps(hi, |rps| {
+                        let mut cfg = SimConfig::default();
+                        cfg.client.timeout = 3600.0; // failure = refusal/lag
+                        let schedule = ArrivalSchedule {
+                            rps,
+                            duration,
+                            popularity: Popularity::Uniform,
+                            seed: 0xa11ce,
+                            bursty: true,
+                        };
+                        let stats = run_one(&cluster, &corpus, cfg, &schedule);
+                        if is_sustained {
+                            sustained_ok(&stats, duration)
+                        } else {
+                            burst_ok(&stats)
+                        }
+                    })
+                };
+                rows.push(Table1Row {
+                    testbed,
+                    duration,
+                    file_size,
+                    single: max_for(1),
+                    multi: max_for(testbed.full_size()),
+                });
+            }
+        }
+    }
+    let mut table = TextTable::new("Table 1: maximum rps (drop rate <= 2%)")
+        .header(&["testbed", "duration", "file", "single-node", "SWEB multi-node"]);
+    for r in &rows {
+        let show = |rps: u32| if rps == 0 { "<1".to_string() } else { rps.to_string() };
+        table.row(vec![
+            r.testbed.label().to_string(),
+            format!("{}s", r.duration.as_secs_f64()),
+            size_label(r.file_size),
+            show(r.single),
+            show(r.multi),
+        ]);
+    }
+    (rows, table)
+}
+
+fn size_label(s: u64) -> String {
+    if s >= 1_000_000 {
+        format!("{:.1}M", s as f64 / 1e6)
+    } else {
+        format!("{}K", s >> 10)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table 2: response time and drop rate vs node count.
+// ---------------------------------------------------------------------
+
+/// One cell of Table 2.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Which testbed.
+    pub testbed: Testbed,
+    /// Nodes in the cluster.
+    pub nodes: usize,
+    /// Requested file size.
+    pub file_size: u64,
+    /// Offered load, rps.
+    pub rps: u32,
+    /// Mean response time, seconds (completed requests).
+    pub response_secs: f64,
+    /// Drop rate.
+    pub drop_rate: f64,
+}
+
+/// Table 2: "Performance in terms of response times and drop rates."
+/// Meiko at 16 rps, 30 s; NOW at 16 rps (1 KB) / 8 rps (1.5 MB).
+/// Anchors: 1 KB response flat and small for 2+ nodes with 0 % drops;
+/// single-node 1.5 MB ≈ 18.5 s with 37.3 % drops on the Meiko, improving
+/// to ~5 s and ~0–3.5 % at 6 nodes (superlinear thanks to aggregate cache).
+pub fn table2(scale: Scale) -> (Vec<Table2Row>, TextTable) {
+    let mut rows = Vec::new();
+    let cases: [(Testbed, &[usize]); 2] =
+        [(Testbed::Meiko, &[1, 2, 3, 4, 6]), (Testbed::Now, &[1, 2, 4])];
+    for (testbed, node_counts) in cases {
+        for file_size in [1u64 << 10, 1_500_000] {
+            let rps = match (testbed, file_size > 1_000_000) {
+                (Testbed::Now, true) => 8,
+                _ => 16,
+            };
+            for &n in node_counts {
+                let cluster = testbed.cluster(n);
+                let corpus = corpus_for(file_size, n);
+                let schedule = ArrivalSchedule {
+                    rps,
+                    duration: scale.short(),
+                    popularity: Popularity::Uniform,
+                    seed: 0xa11ce,
+                    bursty: true,
+                };
+                let mut cfg = SimConfig::default();
+                if testbed == Testbed::Now && file_size > 1_000_000 {
+                    // The paper's NOW clients waited out the slow Ethernet
+                    // ("a distributed server ... fill[s] every request"):
+                    // failure here means connection refusal, not latency.
+                    cfg.client.timeout = 3600.0;
+                }
+                let stats = run_one(&cluster, &corpus, cfg, &schedule);
+                rows.push(Table2Row {
+                    testbed,
+                    nodes: n,
+                    file_size,
+                    rps,
+                    response_secs: stats.mean_response_secs(),
+                    drop_rate: stats.drop_rate(),
+                });
+            }
+        }
+    }
+    let mut table = TextTable::new("Table 2: response time & drop rate vs node count")
+        .header(&["testbed", "file", "rps", "nodes", "response", "drop"]);
+    for r in &rows {
+        table.row(vec![
+            r.testbed.label().to_string(),
+            size_label(r.file_size),
+            r.rps.to_string(),
+            r.nodes.to_string(),
+            fmt_secs(r.response_secs),
+            fmt_pct(r.drop_rate),
+        ]);
+    }
+    (rows, table)
+}
+
+// ---------------------------------------------------------------------
+// Tables 3 & 4: scheduling-strategy comparison.
+// ---------------------------------------------------------------------
+
+/// One row of a policy-comparison table: mean response per policy.
+#[derive(Debug, Clone)]
+pub struct PolicyRow {
+    /// Offered load, rps.
+    pub rps: u32,
+    /// Mean response time per policy, in [`Policy::paper_lineup`] order
+    /// (RoundRobin, FileLocality, SWEB), seconds.
+    pub response_secs: [f64; 3],
+    /// Drop rate per policy, same order.
+    pub drop_rates: [f64; 3],
+}
+
+fn policy_sweep(
+    cluster: &ClusterSpec,
+    corpus: &FilePopulation,
+    rps_points: &[u32],
+    duration: SimTime,
+    popularity: Popularity,
+    scale: Scale,
+) -> Vec<PolicyRow> {
+    rps_points
+        .iter()
+        .map(|&rps| {
+            let mut response_secs = [0.0; 3];
+            let mut drop_rates = [0.0; 3];
+            for (k, policy) in Policy::paper_lineup().into_iter().enumerate() {
+                let mut cfg = SimConfig::with_policy(policy);
+                cfg.client.timeout = 300.0; // the paper reports 0% drop here
+                let schedule =
+                    ArrivalSchedule { rps, duration, popularity, seed: 0xa11ce, bursty: true };
+                let stats = run_avg(cluster, corpus, &cfg, &schedule, scale);
+                response_secs[k] = stats.mean_response_secs();
+                drop_rates[k] = stats.drop_rate();
+            }
+            PolicyRow { rps, response_secs, drop_rates }
+        })
+        .collect()
+}
+
+fn policy_table(title: &str, rows: &[PolicyRow]) -> TextTable {
+    let mut table =
+        TextTable::new(title).header(&["rps", "RoundRobin", "FileLocality", "SWEB"]);
+    for r in rows {
+        table.row(vec![
+            r.rps.to_string(),
+            fmt_secs(r.response_secs[0]),
+            fmt_secs(r.response_secs[1]),
+            fmt_secs(r.response_secs[2]),
+        ]);
+    }
+    table
+}
+
+/// Table 3: non-uniform file sizes (100 B – 1.5 MB) on the 6-node Meiko,
+/// response time vs offered rps for the three strategies. Paper anchor:
+/// comparable when lightly loaded; SWEB ahead of round-robin and file
+/// locality by 15–60 % once rps ≥ 20.
+pub fn table3(scale: Scale) -> (Vec<PolicyRow>, TextTable) {
+    let cluster = presets::meiko(6);
+    // 200 mixed-size documents ≈ 47 MB: realistic spread, partial caching.
+    let corpus = FilePopulation::nonuniform(200);
+    let rps_points: &[u32] = match scale {
+        Scale::Full => &[8, 16, 20, 24, 28],
+        Scale::Quick => &[16, 24],
+    };
+    // Request popularity is Zipf-skewed, as real web traces are (the
+    // paper's own skewed test is the extreme of this): hot documents make
+    // the per-home load non-uniform, which is what separates the
+    // load-aware SWEB from blind file locality.
+    let rows =
+        policy_sweep(&cluster, &corpus, rps_points, scale.short(), Popularity::Zipf(0.9), scale);
+    let table = policy_table(
+        "Table 3: non-uniform requests (100B-1.5MB), Meiko 6 nodes, response time (s)",
+        &rows,
+    );
+    (rows, table)
+}
+
+/// Table 4: uniform 1.5 MB requests on the NOW's shared Ethernet. Paper
+/// anchor: exploiting file locality clearly wins on the slow bus-type
+/// Ethernet (remote fetches double the bus traffic), unlike on the Meiko
+/// where the three strategies tie.
+pub fn table4(scale: Scale) -> (Vec<PolicyRow>, TextTable) {
+    let cluster = presets::now_lx(4);
+    // 48 x 1.5 MB = 72 MB: far beyond one LX's 12 MB cache.
+    let corpus = FilePopulation::uniform(48, 1_500_000);
+    let rps_points: &[u32] = match scale {
+        Scale::Full => &[1, 2, 3],
+        Scale::Quick => &[1, 2],
+    };
+    let rows =
+        policy_sweep(&cluster, &corpus, rps_points, scale.short(), Popularity::Uniform, scale);
+    let table = policy_table(
+        "Table 4: uniform 1.5MB requests, NOW shared Ethernet, response time (s)",
+        &rows,
+    );
+    (rows, table)
+}
+
+/// The Meiko counterpart of Table 4 (§4.2 text): on the fast fat tree the
+/// three strategies perform similarly for uniform requests.
+pub fn table4_meiko_control(scale: Scale) -> (Vec<PolicyRow>, TextTable) {
+    let cluster = presets::meiko(6);
+    let corpus = FilePopulation::uniform(48, 1_500_000);
+    let rps_points: &[u32] = match scale {
+        Scale::Full => &[8, 12],
+        Scale::Quick => &[8],
+    };
+    let rows =
+        policy_sweep(&cluster, &corpus, rps_points, scale.short(), Popularity::Uniform, scale);
+    let table = policy_table(
+        "Table 4 control: uniform 1.5MB on Meiko fat tree (strategies should tie)",
+        &rows,
+    );
+    (rows, table)
+}
+
+// ---------------------------------------------------------------------
+// §4.2 skewed test.
+// ---------------------------------------------------------------------
+
+/// Result of the skewed single-hot-file test.
+#[derive(Debug, Clone)]
+pub struct SkewedResult {
+    /// Mean response per policy (RoundRobin, FileLocality, SWEB), seconds.
+    pub response_secs: [f64; 3],
+    /// Mean response for SWEB with the cache-aware cost extension, seconds.
+    pub sweb_cache_aware_secs: f64,
+}
+
+/// §4.2: "a skewed test ... where each client accessed the same file
+/// located on a single server, effectively reducing the parallel system to
+/// a single server. In this situation, round-robin handily outperforms
+/// file locality, with average response times of 3.7s and 81.4s
+/// respectively. Six servers, 8 rps, 45s, 1.5MB."
+pub fn skewed_hotfile(scale: Scale) -> (SkewedResult, TextTable) {
+    let cluster = presets::meiko(6);
+    let corpus = FilePopulation {
+        count: 1,
+        sizes: SizeDist::Fixed(1_500_000),
+        placement: Placement::SingleNode(NodeId(0)),
+        seed: 1,
+    };
+    let duration = match scale {
+        Scale::Full => SimTime::from_secs(45),
+        Scale::Quick => SimTime::from_secs(10),
+    };
+    let schedule = ArrivalSchedule {
+        rps: 8,
+        duration,
+        popularity: Popularity::SingleFile(sweb_cluster::FileId(0)),
+        seed: 0xa11ce,
+        bursty: true,
+    };
+    let mut response_secs = [0.0; 3];
+    for (k, policy) in Policy::paper_lineup().into_iter().enumerate() {
+        let mut cfg = SimConfig::with_policy(policy);
+        cfg.client.timeout = 600.0; // let file-locality's pile-up finish
+        let stats = run_avg(&cluster, &corpus, &cfg, &schedule, scale);
+        response_secs[k] = stats.mean_response_secs();
+    }
+    // Extension run: SWEB with the cache-aware t_data term — a node that
+    // already holds the hot file serves it instead of chasing its home.
+    let sweb_cache_aware_secs = {
+        let mut cfg = SimConfig::with_policy(Policy::Sweb);
+        cfg.sweb.cache_aware_cost = true;
+        cfg.client.timeout = 600.0;
+        run_one(&cluster, &corpus, cfg, &schedule).mean_response_secs()
+    };
+    let mut table = TextTable::new(
+        "Skewed test: one hot 1.5MB file on node 0, 6 nodes, 8 rps (paper: RR 3.7s, FL 81.4s)",
+    )
+    .header(&["policy", "mean response (s)"]);
+    for (k, policy) in Policy::paper_lineup().into_iter().enumerate() {
+        table.row(vec![policy.label().to_string(), fmt_secs(response_secs[k])]);
+    }
+    table.row(vec!["SWEB+cache-aware".to_string(), fmt_secs(sweb_cache_aware_secs)]);
+    (SkewedResult { response_secs, sweb_cache_aware_secs }, table)
+}
+
+// ---------------------------------------------------------------------
+// Table 5 + §4.3: overhead breakdowns.
+// ---------------------------------------------------------------------
+
+/// Table 5-style per-phase breakdown plus §4.3 server-side CPU fractions.
+#[derive(Debug, Clone)]
+pub struct OverheadResult {
+    /// Mean seconds per phase over all completed requests, Table 5 order.
+    pub phase_means: [(Phase, f64); 5],
+    /// Mean total client time, seconds.
+    pub total_secs: f64,
+    /// §4.3: preprocessing/parsing as a fraction of *available* CPU cycles
+    /// (paper ~4.4 %).
+    pub preprocess_cpu_fraction: f64,
+    /// §4.3: scheduling decisions as a fraction of available CPU cycles
+    /// (paper < 0.01 % for decisions, 1–4 ms direct cost per request).
+    pub scheduling_cpu_fraction: f64,
+    /// §4.3: load monitoring as a fraction of available CPU cycles
+    /// (paper ~0.2 %).
+    pub loadd_cpu_fraction: f64,
+}
+
+/// Table 5: "Cost distribution in average response time. 1.5M file size,
+/// Meiko CS-2" on a fairly heavily loaded system (16 rps). Anchors:
+/// preprocessing ≈ 70 ms, analysis 1–4 ms, redirection ≈ 4 ms, data
+/// transfer ≈ 4.9 s, network ≈ 0.5 s, total ≈ 5.4 s, with >90 % of the
+/// time in data transfer. The corpus here is 120 × 1.5 MB = 180 MB so that
+/// the aggregate cache (144 MB) cannot absorb it and disks stay busy, as
+/// in the paper's loaded runs.
+pub fn overhead_breakdown(scale: Scale) -> (OverheadResult, TextTable) {
+    let cluster = presets::meiko(6);
+    let corpus = FilePopulation::uniform(120, 1_500_000);
+    let schedule = ArrivalSchedule {
+        rps: 16,
+        duration: scale.short(),
+        popularity: Popularity::Uniform,
+        seed: 0xa11ce,
+        bursty: true,
+    };
+    let mut cfg = SimConfig::default();
+    cfg.client.timeout = 300.0;
+    let stats = run_one(&cluster, &corpus, cfg, &schedule);
+    let n = stats.completed.max(1);
+    let phase_means = [
+        (Phase::Preprocessing, stats.phases.mean_secs_over(Phase::Preprocessing, n)),
+        (Phase::Analysis, stats.phases.mean_secs_over(Phase::Analysis, n)),
+        (Phase::Redirection, stats.phases.mean_secs_over(Phase::Redirection, n)),
+        (Phase::DataTransfer, stats.phases.mean_secs_over(Phase::DataTransfer, n)),
+        (Phase::Network, stats.phases.mean_secs_over(Phase::Network, n)),
+    ];
+    let result = OverheadResult {
+        phase_means,
+        total_secs: stats.mean_response_secs(),
+        preprocess_cpu_fraction: stats.preprocess_of_capacity(),
+        scheduling_cpu_fraction: stats.scheduling_of_capacity(),
+        loadd_cpu_fraction: stats.loadd_of_capacity(),
+    };
+    let mut table = TextTable::new(
+        "Table 5: cost distribution, 1.5MB files, Meiko 6 nodes @ 16 rps",
+    )
+    .header(&["activity", "mean time"]);
+    for (phase, secs) in result.phase_means {
+        table.row(vec![phase.label().to_string(), fmt_secs(secs)]);
+    }
+    table.row(vec!["Total Client Time".to_string(), fmt_secs(result.total_secs)]);
+    table.row(vec![
+        "CPU: preprocessing".to_string(),
+        fmt_pct(result.preprocess_cpu_fraction),
+    ]);
+    table.row(vec![
+        "CPU: scheduling".to_string(),
+        format!("{:.4}%", result.scheduling_cpu_fraction * 100.0),
+    ]);
+    table.row(vec!["CPU: load monitoring".to_string(), fmt_pct(result.loadd_cpu_fraction)]);
+    (result, table)
+}
+
+// ---------------------------------------------------------------------
+// §3.3 analytic model vs simulation.
+// ---------------------------------------------------------------------
+
+/// Closed-form bound vs simulated sustained maximum.
+#[derive(Debug, Clone)]
+pub struct AnalyticComparison {
+    /// §3.3 bound for the 6-node Meiko at 1.5 MB, rps.
+    pub analytic_rps: f64,
+    /// Simulated sustained maximum, rps.
+    pub simulated_rps: u32,
+}
+
+/// §3.3/§4.1: the analytic bound (~17.3 rps) against the simulated
+/// sustained maximum (paper measured 16).
+pub fn analytic_vs_simulated(scale: Scale) -> (AnalyticComparison, TextTable) {
+    let params = analytic::AnalyticParams::paper_example();
+    let analytic_rps = analytic::max_sustained_rps(&params);
+    // The §3.3 model assumes every fetch reads a disk; disable the page
+    // caches so the simulator operates under the same assumption.
+    let mut cluster = presets::meiko(6);
+    for node in &mut cluster.nodes {
+        node.cache_fraction = 0.0;
+    }
+    let corpus = FilePopulation::uniform(120, 1_500_000);
+    let simulated_rps = find_max_rps(48, |rps| {
+        let mut cfg = SimConfig::default();
+        cfg.client.timeout = 3600.0;
+        let schedule = ArrivalSchedule {
+            rps,
+            duration: scale.long(),
+            popularity: Popularity::Uniform,
+            seed: 0xa11ce,
+            bursty: true,
+        };
+        let stats = run_one(&cluster, &corpus, cfg, &schedule);
+        sustained_ok(&stats, scale.long())
+    });
+    let mut table = TextTable::new("Analytic bound vs simulated sustained max (Meiko 6, 1.5MB)")
+        .header(&["source", "rps"]);
+    table.row(vec!["paper analytic (SS3.3)".to_string(), format!("{analytic_rps:.1}")]);
+    table.row(vec!["paper measured".to_string(), "16".to_string()]);
+    table.row(vec!["simulated".to_string(), simulated_rps.to_string()]);
+    (AnalyticComparison { analytic_rps, simulated_rps }, table)
+}
+
+// ---------------------------------------------------------------------
+// Ablations of SWEB design choices (beyond the paper).
+// ---------------------------------------------------------------------
+
+/// Response time of SWEB under a design-knob sweep.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Knob description.
+    pub variant: String,
+    /// Mean response, seconds.
+    pub response_secs: f64,
+    /// Drop rate.
+    pub drop_rate: f64,
+    /// Redirect rate among completed requests.
+    pub redirect_rate: f64,
+}
+
+/// Ablations: Δ-bump off vs on, loadd period sweep, and DNS cache skew
+/// (the §1 motivation for rescheduling at the server).
+pub fn ablations(scale: Scale) -> (Vec<AblationRow>, TextTable) {
+    let cluster = presets::meiko(6);
+    let corpus = FilePopulation::nonuniform(200);
+    let schedule = ArrivalSchedule {
+        rps: 20,
+        duration: scale.short(),
+        popularity: Popularity::Uniform,
+        seed: 0xa11ce,
+        bursty: true,
+    };
+    let mut rows = Vec::new();
+    let mut push = |variant: String, cfg: SimConfig| {
+        let stats = run_one(&cluster, &corpus, cfg, &schedule);
+        rows.push(AblationRow {
+            variant,
+            response_secs: stats.mean_response_secs(),
+            drop_rate: stats.drop_rate(),
+            redirect_rate: stats.redirect_rate(),
+        });
+    };
+    // Δ bump.
+    for delta in [0.0, 0.30, 1.0] {
+        let mut cfg = SimConfig::default();
+        cfg.sweb.delta = delta;
+        cfg.client.timeout = 300.0;
+        push(format!("delta={delta:.2}"), cfg);
+    }
+    // loadd period.
+    for period_ms in [500u64, 2500, 10_000] {
+        let mut cfg = SimConfig::default();
+        cfg.sweb.loadd_period = SimTime::from_millis(period_ms);
+        cfg.client.timeout = 300.0;
+        push(format!("loadd={period_ms}ms"), cfg);
+    }
+    // DNS cache skew: SWEB vs RoundRobin under a skewed front end.
+    for policy in [Policy::RoundRobin, Policy::Sweb] {
+        let mut cfg = SimConfig::with_policy(policy);
+        cfg.dns_cache_skew = 0.5;
+        cfg.client.timeout = 300.0;
+        push(format!("dns-skew=0.5 {}", policy.label()), cfg);
+    }
+    let mut table = TextTable::new("Ablations: SWEB design knobs (Meiko 6, non-uniform, 20 rps)")
+        .header(&["variant", "response", "drop", "redirects"]);
+    for r in &rows {
+        table.row(vec![
+            r.variant.clone(),
+            fmt_secs(r.response_secs),
+            fmt_pct(r.drop_rate),
+            fmt_pct(r.redirect_rate),
+        ]);
+    }
+    (rows, table)
+}
+
+/// The centralized-dispatcher architecture §3.1 rejected ("the single
+/// central distributor becomes a single point of failure, making the
+/// entire system more vulnerable"), composed from existing pieces: all
+/// requests hit a front end (DNS pin to node 0) that forwards to the
+/// least-loaded backend. Compared with SWEB's distributed scheduler, with
+/// the front end crashing mid-run.
+pub fn centralized_dispatcher(scale: Scale) -> (Vec<AblationRow>, TextTable) {
+    use crate::driver::ClusterSim;
+    use sweb_core::RedirectMechanism;
+    let cluster = presets::meiko(6);
+    let corpus = FilePopulation::uniform(60, 100_000);
+    let duration = scale.short();
+    let schedule = ArrivalSchedule {
+        rps: 20,
+        duration,
+        popularity: Popularity::Uniform,
+        seed: 0xd15,
+        bursty: true,
+    };
+    let mut rows = Vec::new();
+    for (label, centralized, crash) in [
+        ("dispatcher", true, false),
+        ("SWEB", false, false),
+        ("dispatcher +crash", true, true),
+        ("SWEB +crash", false, true),
+    ] {
+        let mut cfg = if centralized {
+            let mut cfg = SimConfig::with_policy(Policy::LeastLoadedCpu);
+            cfg.dns_cache_skew = 1.0; // every request enters at node 0
+            cfg.sweb.redirect_mechanism = RedirectMechanism::Forward;
+            cfg
+        } else {
+            SimConfig::with_policy(Policy::Sweb)
+        };
+        cfg.client.timeout = 300.0;
+        let files = corpus.build(cluster.len());
+        let arrivals = schedule.generate(&files);
+        let mut sim = ClusterSim::new(cluster.clone(), files, cfg);
+        if crash {
+            // The front end (or, for SWEB, an arbitrary node) dies for the
+            // middle third of the run.
+            let third = SimTime::from_micros(duration.as_micros() / 3);
+            sim.schedule_leave(NodeId(0), third);
+            sim.schedule_join(NodeId(0), third + third);
+        }
+        let stats = sim.run(&arrivals);
+        rows.push(AblationRow {
+            variant: label.to_string(),
+            response_secs: stats.mean_response_secs(),
+            drop_rate: stats.drop_rate(),
+            redirect_rate: stats.redirect_rate(),
+        });
+    }
+    let mut table = TextTable::new(
+        "Centralized L4 dispatcher vs SWEB distributed scheduling (node 0 down mid-run)",
+    )
+    .header(&["architecture", "response", "drop", "reassigned"]);
+    for r in &rows {
+        table.row(vec![
+            r.variant.clone(),
+            fmt_secs(r.response_secs),
+            fmt_pct(r.drop_rate),
+            fmt_pct(r.redirect_rate),
+        ]);
+    }
+    (rows, table)
+}
+
+/// Cache warmup dynamics (figure-style): mean response per second on a
+/// 2-node Meiko serving 1.5 MB documents from cold caches. Cold, every
+/// fetch pays the disks (~0.6 s under burst contention); as the caches
+/// absorb the 36 MB working set the disks drop out of the path and only
+/// the client transfer remains — the aggregate-memory mechanism behind
+/// Table 2's superlinear speedups, as a curve.
+pub fn warmup_timeline(scale: Scale) -> (sweb_metrics::TimeSeries, String) {
+    let cluster = presets::meiko(2);
+    let corpus = FilePopulation::uniform(24, 1_500_000);
+    let duration = match scale {
+        Scale::Full => SimTime::from_secs(60),
+        Scale::Quick => SimTime::from_secs(20),
+    };
+    let schedule = ArrivalSchedule {
+        rps: 4,
+        duration,
+        popularity: Popularity::Uniform,
+        seed: 0x3a3,
+        bursty: true,
+    };
+    let mut cfg = SimConfig::with_policy(Policy::Sweb);
+    cfg.client.timeout = 300.0;
+    let stats = run_one(&cluster, &corpus, cfg, &schedule);
+    let rendered = format!(
+        "Cache warmup, Meiko 2 nodes, 4 rps of 1.5MB documents (cold start)\n\
+         mean response per second: {}\n\
+         throughput per second:    {}\n\
+         (final hit ratio {:.0}%)",
+        stats.timeline.response_sparkline(),
+        stats.timeline.throughput_sparkline(),
+        stats.cache_hit_ratio() * 100.0
+    );
+    (stats.timeline, rendered)
+}
+
+#[cfg(test)]
+mod warmup_tests {
+    use super::*;
+
+    #[test]
+    fn failover_drops_scale_with_staleness_window() {
+        let (rows, _) = failover_sweep(Scale::Quick);
+        assert_eq!(rows.len(), 3);
+        assert!(
+            rows[0].drop_rate <= rows[1].drop_rate && rows[1].drop_rate <= rows[2].drop_rate,
+            "longer detection window must not reduce drops: {:?}",
+            rows.iter().map(|r| r.drop_rate).collect::<Vec<_>>()
+        );
+        assert!(
+            rows[2].drop_rate > rows[0].drop_rate,
+            "a 10x larger window must cost something: {:.3} vs {:.3}",
+            rows[0].drop_rate,
+            rows[2].drop_rate
+        );
+    }
+
+    #[test]
+    fn warmup_curve_falls_as_caches_fill() {
+        // Full scale (60 s) — the simulator makes this cheap, and the
+        // warmup shape (ramp -> cold peak -> cached decay) needs room.
+        let (timeline, rendered) = warmup_timeline(Scale::Full);
+        let buckets = timeline.buckets();
+        assert!(buckets.len() >= 40, "expected a ~60s timeline");
+        let mean_of = |slice: &[sweb_metrics::Bucket]| {
+            let (mut sum, mut n) = (0.0, 0u64);
+            for b in slice {
+                sum += b.response_sum_us as f64;
+                n += b.completed;
+            }
+            if n == 0 {
+                0.0
+            } else {
+                sum / 1e6 / n as f64
+            }
+        };
+        // Cold phase: seconds 3..15 (queues built, caches still missing).
+        // Warm phase: the last 15 seconds.
+        let cold = mean_of(&buckets[3..15]);
+        let warm = mean_of(&buckets[buckets.len() - 15..]);
+        assert!(
+            warm < 0.75 * cold,
+            "response must fall as caches warm: cold {cold:.2}s, warm {warm:.2}s"
+        );
+        assert!(rendered.contains("hit ratio"));
+    }
+}
+
+/// The figure behind Table 2: a (node count x offered rps) response
+/// surface for 1.5 MB documents on the Meiko — the raw data for plotting
+/// scalability curves (one line per node count). CSV via `reproduce
+/// scaling --csv`.
+pub fn scaling_surface(scale: Scale) -> (Vec<Table2Row>, TextTable) {
+    let node_counts: &[usize] = &[1, 2, 4, 6];
+    let rps_points: &[u32] = match scale {
+        Scale::Full => &[2, 4, 8, 12, 16, 20, 24],
+        Scale::Quick => &[4, 12, 20],
+    };
+    let mut rows = Vec::new();
+    for &n in node_counts {
+        let cluster = presets::meiko(n);
+        let corpus = corpus_for(1_500_000, n);
+        for &rps in rps_points {
+            let schedule = ArrivalSchedule {
+                rps,
+                duration: scale.short(),
+                popularity: Popularity::Uniform,
+                seed: 0xa11ce,
+                bursty: true,
+            };
+            let mut cfg = SimConfig::default();
+            cfg.client.timeout = 120.0;
+            let stats = run_one(&cluster, &corpus, cfg, &schedule);
+            rows.push(Table2Row {
+                testbed: Testbed::Meiko,
+                nodes: n,
+                file_size: 1_500_000,
+                rps,
+                response_secs: stats.mean_response_secs(),
+                drop_rate: stats.drop_rate(),
+            });
+        }
+    }
+    let mut table = TextTable::new(
+        "Scaling surface: mean response (s) vs offered rps, per node count (Meiko, 1.5MB)",
+    )
+    .header(&["nodes", "rps", "response", "drop"]);
+    for r in &rows {
+        table.row(vec![
+            r.nodes.to_string(),
+            r.rps.to_string(),
+            fmt_secs(r.response_secs),
+            fmt_pct(r.drop_rate),
+        ]);
+    }
+    (rows, table)
+}
+
+/// Geo-distributed cluster (extension; the authors' hierarchical
+/// direction): two 3-node sites joined by a ~1.5 MB/s WAN. Round-robin
+/// spreads requests blindly, so half the fetches cross the WAN; locality
+/// policies move the *client* (a 302 costs one round trip) instead of the
+/// *bytes* and keep the WAN idle.
+pub fn wide_area(scale: Scale) -> (Vec<AblationRow>, TextTable) {
+    let cluster = presets::geo_cluster(2, 3);
+    // 48 x 1.5 MB, hashed across all six disks => half the homes are on
+    // the far site from any given node.
+    let corpus = FilePopulation {
+        count: 48,
+        sizes: SizeDist::Fixed(1_500_000),
+        placement: Placement::Hashed,
+        seed: 0x9e0,
+    };
+    let schedule = ArrivalSchedule {
+        rps: 8,
+        duration: scale.short(),
+        popularity: Popularity::Uniform,
+        seed: 0x9e0,
+        bursty: true,
+    };
+    let mut rows = Vec::new();
+    for policy in [Policy::RoundRobin, Policy::FileLocality, Policy::Sweb] {
+        let mut cfg = SimConfig::with_policy(policy);
+        cfg.client.timeout = 600.0;
+        let stats = run_one(&cluster, &corpus, cfg, &schedule);
+        rows.push(AblationRow {
+            variant: policy.label().to_string(),
+            response_secs: stats.mean_response_secs(),
+            drop_rate: stats.drop_rate(),
+            redirect_rate: stats.redirect_rate(),
+        });
+    }
+    let mut table = TextTable::new(
+        "Geo-distributed cluster: 2 sites x 3 nodes, 1.5MB/s WAN, 8 rps of 1.5MB documents",
+    )
+    .header(&["policy", "response", "drop", "redirects"]);
+    for r in &rows {
+        table.row(vec![
+            r.variant.clone(),
+            fmt_secs(r.response_secs),
+            fmt_pct(r.drop_rate),
+            fmt_pct(r.redirect_rate),
+        ]);
+    }
+    (rows, table)
+}
+
+/// Failure detection: how fast the cluster notices a dead node is set by
+/// loadd's staleness timeout ("marking those processors which have not
+/// responded in a preset period of time as unavailable", §3.1). A
+/// FileLocality cluster keeps redirecting clients into the hole until the
+/// timeout fires — drops scale with the detection window.
+pub fn failover_sweep(scale: Scale) -> (Vec<AblationRow>, TextTable) {
+    use crate::driver::ClusterSim;
+    let cluster = presets::meiko(6);
+    let corpus = FilePopulation::uniform(60, 100_000);
+    let duration = scale.short();
+    let schedule = ArrivalSchedule {
+        rps: 20,
+        duration,
+        popularity: Popularity::Uniform,
+        seed: 0xfa17,
+        bursty: true,
+    };
+    let mut rows = Vec::new();
+    for timeout_ms in [2_000u64, 8_000, 20_000] {
+        let mut cfg = SimConfig::with_policy(Policy::FileLocality);
+        cfg.sweb.stale_timeout = SimTime::from_millis(timeout_ms);
+        cfg.client.timeout = 300.0;
+        let files = corpus.build(cluster.len());
+        let arrivals = schedule.generate(&files);
+        let mut sim = ClusterSim::new(cluster.clone(), files, cfg);
+        let third = SimTime::from_micros(duration.as_micros() / 3);
+        sim.schedule_leave(NodeId(0), third);
+        sim.schedule_join(NodeId(0), third + third);
+        let stats = sim.run(&arrivals);
+        rows.push(AblationRow {
+            variant: format!("stale-timeout={}s", timeout_ms as f64 / 1e3),
+            response_secs: stats.mean_response_secs(),
+            drop_rate: stats.drop_rate(),
+            redirect_rate: stats.redirect_rate(),
+        });
+    }
+    let mut table = TextTable::new(
+        "Failure detection: node 0 down for the middle third (FileLocality, 20 rps)",
+    )
+    .header(&["loadd staleness", "response", "drop", "redirects"]);
+    for r in &rows {
+        table.row(vec![
+            r.variant.clone(),
+            fmt_secs(r.response_secs),
+            fmt_pct(r.drop_rate),
+            fmt_pct(r.redirect_rate),
+        ]);
+    }
+    (rows, table)
+}
+
+/// Popularity-skew sweep: Table 3's comparison as a function of how hot
+/// the hot documents are. At Zipf(0) (uniform) file locality and SWEB are
+/// near-equivalent; as skew grows toward the paper's single-hot-file
+/// extreme, pure locality funnels traffic into the hot homes and the
+/// load-aware policies pull ahead.
+pub fn zipf_sweep(scale: Scale) -> (Vec<AblationRow>, TextTable) {
+    let cluster = presets::meiko(6);
+    let corpus = FilePopulation::nonuniform(200);
+    let exponents: &[f64] = match scale {
+        Scale::Full => &[0.0, 0.6, 0.9, 1.2, 1.5],
+        Scale::Quick => &[0.0, 1.2],
+    };
+    let mut rows = Vec::new();
+    let mut table = TextTable::new(
+        "Popularity skew: response (s) vs Zipf exponent (Meiko 6, non-uniform sizes, 24 rps)",
+    )
+    .header(&["zipf", "RoundRobin", "FileLocality", "SWEB"]);
+    for &s_exp in exponents {
+        let popularity =
+            if s_exp == 0.0 { Popularity::Uniform } else { Popularity::Zipf(s_exp) };
+        let mut cells = Vec::new();
+        for policy in Policy::paper_lineup() {
+            let mut cfg = SimConfig::with_policy(policy);
+            cfg.client.timeout = 300.0;
+            let schedule = ArrivalSchedule {
+                rps: 24,
+                duration: scale.short(),
+                popularity,
+                seed: 0xa11ce,
+                bursty: true,
+            };
+            let stats = run_avg(&cluster, &corpus, &cfg, &schedule, scale);
+            cells.push(stats.mean_response_secs());
+            rows.push(AblationRow {
+                variant: format!("zipf={s_exp} {}", policy.label()),
+                response_secs: stats.mean_response_secs(),
+                drop_rate: stats.drop_rate(),
+                redirect_rate: stats.redirect_rate(),
+            });
+        }
+        table.row(vec![
+            format!("{s_exp:.1}"),
+            fmt_secs(cells[0]),
+            fmt_secs(cells[1]),
+            fmt_secs(cells[2]),
+        ]);
+    }
+    (rows, table)
+}
+
+/// Hierarchical load dissemination (extension; the authors' follow-up
+/// direction): on a wide-area cluster, same-site peers hear loadd every
+/// period while cross-site reports go out every k-th tick. The claim:
+/// WAN control traffic falls ~k-fold while response time barely moves
+/// (intra-site load is what the broker mostly needs).
+pub fn hierarchy_sweep(scale: Scale) -> (Vec<AblationRow>, TextTable) {
+    let cluster = presets::geo_cluster(2, 3);
+    let corpus = FilePopulation {
+        count: 48,
+        sizes: SizeDist::Fixed(1_500_000),
+        placement: Placement::Hashed,
+        seed: 0x9e0,
+    };
+    let schedule = ArrivalSchedule {
+        rps: 8,
+        duration: scale.short(),
+        popularity: Popularity::Zipf(0.9),
+        seed: 0x9e0,
+        bursty: true,
+    };
+    let mut rows = Vec::new();
+    let mut table = TextTable::new(
+        "Hierarchical loadd: cross-site reports every k ticks (geo 2x3, SWEB, 8 rps)",
+    )
+    .header(&["k", "response", "drop", "WAN loadd msgs", "local loadd msgs"]);
+    for every in [1u32, 4, 16] {
+        let mut cfg = SimConfig::with_policy(Policy::Sweb);
+        cfg.cross_site_loadd_every = every;
+        cfg.client.timeout = 600.0;
+        let stats = run_one(&cluster, &corpus, cfg, &schedule);
+        let wan: u64 = stats.nodes.iter().map(|n| n.loadd_msgs_wan).sum();
+        let local: u64 = stats.nodes.iter().map(|n| n.loadd_msgs_local).sum();
+        table.row(vec![
+            every.to_string(),
+            fmt_secs(stats.mean_response_secs()),
+            fmt_pct(stats.drop_rate()),
+            wan.to_string(),
+            local.to_string(),
+        ]);
+        rows.push(AblationRow {
+            variant: format!("k={every} (wan-msgs {wan})"),
+            response_secs: stats.mean_response_secs(),
+            drop_rate: stats.drop_rate(),
+            redirect_rate: stats.redirect_rate(),
+        });
+    }
+    (rows, table)
+}
+
+/// Cooperative caching of CGI results (extension; the group's follow-up
+/// work): a CGI-heavy Zipf workload on the 6-node Meiko, with and without
+/// the cooperative result cache, under round-robin and SWEB scheduling.
+pub fn coop_cache(scale: Scale) -> (Vec<AblationRow>, TextTable) {
+    let cluster = presets::meiko(6);
+    // 120 distinct queries, ~100 KB results, hot-query Zipf popularity;
+    // each computation costs ~100 ms of CPU (the spatial-index search).
+    let corpus = FilePopulation::uniform(120, 100_000);
+    let schedule = ArrivalSchedule {
+        rps: 24,
+        duration: scale.short(),
+        popularity: Popularity::Zipf(1.0),
+        seed: 0xc09,
+        bursty: true,
+    };
+    let mut rows = Vec::new();
+    for policy in [Policy::RoundRobin, Policy::Sweb] {
+        for coop in [false, true] {
+            let mut cfg = SimConfig::with_policy(policy);
+            cfg.cgi_fraction = 1.0;
+            cfg.coop_cache = coop;
+            cfg.client.timeout = 300.0;
+            let stats = run_one(&cluster, &corpus, cfg, &schedule);
+            rows.push(AblationRow {
+                variant: format!(
+                    "{} coop={} (cache-effect {:.0}%)",
+                    policy.label(),
+                    if coop { "on" } else { "off" },
+                    stats.cgi_cache_effectiveness() * 100.0
+                ),
+                response_secs: stats.mean_response_secs(),
+                drop_rate: stats.drop_rate(),
+                redirect_rate: stats.redirect_rate(),
+            });
+        }
+    }
+    let mut table = TextTable::new(
+        "Cooperative CGI result caching (extension), Meiko 6 nodes, 24 rps Zipf CGI",
+    )
+    .header(&["variant", "response", "drop", "redirects"]);
+    for r in &rows {
+        table.row(vec![
+            r.variant.clone(),
+            fmt_secs(r.response_secs),
+            fmt_pct(r.drop_rate),
+            fmt_pct(r.redirect_rate),
+        ]);
+    }
+    (rows, table)
+}
+
+/// §3.1's road not taken, quantified: URL redirection (the paper's
+/// choice) vs request forwarding. Forwarding skips the client round trip
+/// and the re-parse but relays every response byte across the
+/// interconnect a second time — cheap for small files on the fat tree,
+/// ruinous for large files on the shared Ethernet.
+pub fn forwarding_comparison(scale: Scale) -> (Vec<AblationRow>, TextTable) {
+    use sweb_core::RedirectMechanism;
+    let mut rows = Vec::new();
+    let cases: [(&str, ClusterSpec, FilePopulation, u32); 2] = [
+        ("Meiko 1K", presets::meiko(6), FilePopulation::uniform(600, 1 << 10), 40),
+        ("NOW 1.5M", presets::now_lx(4), FilePopulation::uniform(48, 1_500_000), 2),
+    ];
+    for (label, cluster, corpus, rps) in cases {
+        for mechanism in [RedirectMechanism::UrlRedirect, RedirectMechanism::Forward] {
+            let mut cfg = SimConfig::with_policy(Policy::FileLocality);
+            cfg.sweb.redirect_mechanism = mechanism;
+            cfg.client.timeout = 600.0;
+            let schedule = ArrivalSchedule {
+                rps,
+                duration: scale.short(),
+                popularity: Popularity::Uniform,
+                seed: 0xa11ce,
+                bursty: true,
+            };
+            let stats = run_one(&cluster, &corpus, cfg, &schedule);
+            rows.push(AblationRow {
+                variant: format!("{label} {mechanism:?}"),
+                response_secs: stats.mean_response_secs(),
+                drop_rate: stats.drop_rate(),
+                redirect_rate: stats.redirect_rate(),
+            });
+        }
+    }
+    let mut table = TextTable::new(
+        "Redirection vs forwarding (FileLocality policy; SS3.1's rejected alternative)",
+    )
+    .header(&["case", "response", "drop", "reassigned"]);
+    for r in &rows {
+        table.row(vec![
+            r.variant.clone(),
+            fmt_secs(r.response_secs),
+            fmt_pct(r.drop_rate),
+            fmt_pct(r.redirect_rate),
+        ]);
+    }
+    (rows, table)
+}
+
+/// DNS-TTL sweep (the §1 motivation, quantified): client-side DNS caches
+/// pin whole domains to one node for the TTL. Round-robin inherits the
+/// skew; SWEB's server-side rescheduling flattens it.
+pub fn dns_ttl_sweep(scale: Scale) -> (Vec<AblationRow>, TextTable) {
+    let cluster = presets::meiko(6);
+    let corpus = FilePopulation::nonuniform(200);
+    let schedule = ArrivalSchedule {
+        rps: 20,
+        duration: scale.short(),
+        popularity: Popularity::Uniform,
+        seed: 0xa11ce,
+        bursty: true,
+    };
+    let mut rows = Vec::new();
+    for ttl_s in [0u64, 10, 60] {
+        for policy in [Policy::RoundRobin, Policy::Sweb] {
+            let mut cfg = SimConfig::with_policy(policy);
+            cfg.dns_ttl = SimTime::from_secs(ttl_s);
+            cfg.dns_domains = 4; // few domains => coarse pinning
+            cfg.client.timeout = 300.0;
+            let stats = run_one(&cluster, &corpus, cfg, &schedule);
+            rows.push(AblationRow {
+                variant: format!("ttl={ttl_s}s {}", policy.label()),
+                response_secs: stats.mean_response_secs(),
+                drop_rate: stats.drop_rate(),
+                redirect_rate: stats.redirect_rate(),
+            });
+        }
+    }
+    let mut table = TextTable::new(
+        "DNS cache TTL sweep (4 client domains, Meiko 6, non-uniform, 20 rps)",
+    )
+    .header(&["variant", "response", "drop", "redirects"]);
+    for r in &rows {
+        table.row(vec![
+            r.variant.clone(),
+            fmt_secs(r.response_secs),
+            fmt_pct(r.drop_rate),
+            fmt_pct(r.redirect_rate),
+        ]);
+    }
+    (rows, table)
+}
+
+/// Figure 1: one HTTP transaction's timeline through the cluster —
+/// DNS/connect, preprocessing, broker decision, (possible) redirect, data
+/// fetch, response. Returns the rendered trace of the first redirected
+/// request (falling back to request 0 when none redirects).
+pub fn figure1_trace() -> String {
+    use crate::trace::TracePoint;
+    let cluster = presets::meiko(4);
+    let corpus = FilePopulation::uniform(16, 1_500_000);
+    let files = corpus.build(4);
+    let arrivals = ArrivalSchedule {
+        rps: 4,
+        duration: SimTime::from_secs(10),
+        popularity: Popularity::Uniform,
+        seed: 0xf19,
+        bursty: true,
+    }
+    .generate(&files);
+    let mut cfg = SimConfig::with_policy(Policy::FileLocality);
+    cfg.client.timeout = 300.0;
+    let mut sim = ClusterSim::new(cluster, files, cfg);
+    sim.set_trace_limit(16);
+    let (_, trace) = sim.run_traced(&arrivals);
+    let redirected = (0..16u64).find(|&r| {
+        trace
+            .request(r)
+            .iter()
+            .any(|e| matches!(e.point, TracePoint::Decided { redirect_to: Some(_) }))
+    });
+    let pick = redirected.unwrap_or(0);
+    format!(
+        "Figure 1: HTTP transaction timeline (request {pick}, FileLocality, Meiko 4 nodes)\n{}",
+        trace.render_request(pick)
+    )
+}
+
+/// East-coast clients (§4.2): high client latency makes redirects costlier;
+/// SWEB's gain over round robin should shrink but persist (paper: >10 %
+/// gain from locality even from Rutgers).
+pub fn east_coast(scale: Scale) -> (Vec<PolicyRow>, TextTable) {
+    let cluster = presets::now_lx(4);
+    let corpus = FilePopulation::uniform(48, 1_500_000);
+    let rps_points: &[u32] = &[1, 2];
+    let rows: Vec<PolicyRow> = rps_points
+        .iter()
+        .map(|&rps| {
+            let mut response_secs = [0.0; 3];
+            let mut drop_rates = [0.0; 3];
+            for (k, policy) in Policy::paper_lineup().into_iter().enumerate() {
+                let mut cfg = SimConfig::with_policy(policy);
+                cfg.client = ClientPopulation::east_coast();
+                cfg.sweb.client_latency = ClientPopulation::east_coast().latency;
+                cfg.client.timeout = 600.0;
+                let schedule = ArrivalSchedule {
+                    rps,
+                    duration: scale.short(),
+                    popularity: Popularity::Uniform,
+                    seed: 0xa11ce,
+                    bursty: true,
+                };
+                let stats = run_one(&cluster, &corpus, cfg, &schedule);
+                response_secs[k] = stats.mean_response_secs();
+                drop_rates[k] = stats.drop_rate();
+            }
+            PolicyRow { rps, response_secs, drop_rates }
+        })
+        .collect();
+    let table = policy_table(
+        "East-coast clients (Rutgers): NOW, uniform 1.5MB, response time (s)",
+        &rows,
+    );
+    (rows, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The full experiment matrix runs in the `reproduce` binary and the
+    // integration tests; unit tests here exercise the cheap pieces.
+
+    #[test]
+    fn find_max_rps_is_a_correct_binary_search() {
+        // Monotone predicate: ok up to 17.
+        assert_eq!(find_max_rps(64, |r| r <= 17), 17);
+        assert_eq!(find_max_rps(64, |_| true), 64);
+        assert_eq!(find_max_rps(64, |_| false), 0);
+        assert_eq!(find_max_rps(1, |r| r <= 1), 1);
+    }
+
+    #[test]
+    fn size_labels() {
+        assert_eq!(size_label(1024), "1K");
+        assert_eq!(size_label(1_500_000), "1.5M");
+    }
+
+    #[test]
+    fn testbed_presets() {
+        assert_eq!(Testbed::Meiko.full_size(), 6);
+        assert_eq!(Testbed::Now.full_size(), 4);
+        assert_eq!(Testbed::Meiko.cluster(3).len(), 3);
+        assert_eq!(Testbed::Now.label(), "NOW");
+    }
+
+    #[test]
+    fn scales_differ() {
+        assert!(Scale::Quick.short() < Scale::Full.short());
+        assert!(Scale::Quick.long() < Scale::Full.long());
+    }
+
+    #[test]
+    fn skewed_quick_shows_file_locality_collapse() {
+        let (result, table) = skewed_hotfile(Scale::Quick);
+        let [rr, fl, sweb] = result.response_secs;
+        assert!(
+            fl > 3.0 * rr,
+            "file locality must collapse on the hot file: RR={rr:.2}s FL={fl:.2}s"
+        );
+        // Faithful SWEB (no cache term in the 1996 cost model) also chases
+        // the home node — the paper pointedly reports no SWEB number for
+        // this test. Load feedback keeps it ahead of pure file locality,
+        // but not by much.
+        assert!(sweb < fl, "SWEB must beat file locality: FL={fl:.2}s SWEB={sweb:.2}s");
+        // With the cache-aware extension it matches round robin.
+        assert!(
+            result.sweb_cache_aware_secs < 2.0 * rr + 0.5,
+            "cache-aware SWEB must track RR: RR={rr:.2}s SWEB+ca={:.2}s",
+            result.sweb_cache_aware_secs
+        );
+        assert!(table.render().contains("FileLocality"));
+    }
+}

@@ -1,0 +1,74 @@
+//! Fork/join over event continuations: NFS pipelining and client transfers
+//! complete when *all* their resource legs drain.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use sweb_des::{Sim, Thunk};
+
+/// Split one continuation into `count` legs: the returned thunks each run
+/// once (in any order, at any time); when the last of them has run, `done`
+/// fires. With `count == 0` this is meaningless and panics.
+pub fn join_barrier<C: 'static>(count: usize, done: Thunk<C>) -> Vec<Thunk<C>> {
+    assert!(count > 0, "join of zero legs");
+    let state = Rc::new(RefCell::new((count, Some(done))));
+    (0..count)
+        .map(|_| {
+            let state = Rc::clone(&state);
+            let leg: Thunk<C> = Box::new(move |ctx: &mut C, sim: &mut Sim<C>| {
+                let done = {
+                    let mut s = state.borrow_mut();
+                    s.0 -= 1;
+                    if s.0 == 0 {
+                        s.1.take()
+                    } else {
+                        None
+                    }
+                };
+                if let Some(done) = done {
+                    done(ctx, sim);
+                }
+            });
+            leg
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sweb_des::SimTime;
+
+    struct Ctx(Vec<&'static str>);
+
+    #[test]
+    fn done_fires_after_all_legs() {
+        let mut sim: Sim<Ctx> = Sim::new();
+        let mut ctx = Ctx(Vec::new());
+        let legs = join_barrier(3, Box::new(|c: &mut Ctx, _: &mut Sim<Ctx>| c.0.push("done")));
+        for (i, leg) in legs.into_iter().enumerate() {
+            sim.schedule(SimTime::from_secs((i + 1) as u64), leg);
+        }
+        sim.run_until(&mut ctx, SimTime::from_secs(2));
+        assert!(ctx.0.is_empty(), "done must not fire before last leg");
+        sim.run(&mut ctx);
+        assert_eq!(ctx.0, vec!["done"]);
+        assert_eq!(sim.now(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn single_leg_join_is_pass_through() {
+        let mut sim: Sim<Ctx> = Sim::new();
+        let mut ctx = Ctx(Vec::new());
+        let legs = join_barrier(1, Box::new(|c: &mut Ctx, _: &mut Sim<Ctx>| c.0.push("done")));
+        sim.schedule(SimTime::from_secs(1), legs.into_iter().next().unwrap());
+        sim.run(&mut ctx);
+        assert_eq!(ctx.0, vec!["done"]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_leg_join_panics() {
+        let _ = join_barrier::<Ctx>(0, Box::new(|_, _| {}));
+    }
+}

@@ -1,0 +1,138 @@
+//! Per-request event tracing — the Figure 1 transaction timeline
+//! ("Client C looks up the address of server S, sends over request r, and
+//! receives response f"), extended with SWEB's scheduling points.
+
+use sweb_cluster::{FileId, NodeId};
+use sweb_des::SimTime;
+
+/// One point in a request's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TracePoint {
+    /// Client initiated the request; DNS picked `node`.
+    Issued {
+        /// Requested document.
+        file: FileId,
+        /// Node the DNS rotation selected.
+        node: NodeId,
+    },
+    /// TCP connection reached `node`.
+    Connected {
+        /// The node that accepted (or refused).
+        node: NodeId,
+    },
+    /// Connection refused (backlog full / node out of pool).
+    Refused {
+        /// The refusing node.
+        node: NodeId,
+    },
+    /// HTTP preprocessing finished.
+    Preprocessed,
+    /// Broker decision made.
+    Decided {
+        /// Where the broker sent the request (None = serve locally).
+        redirect_to: Option<NodeId>,
+    },
+    /// Data is in memory (from cache, local disk or NFS).
+    DataReady {
+        /// Whether the serving node's page cache held the document.
+        cache_hit: bool,
+        /// Whether the read crossed the interconnect.
+        remote: bool,
+    },
+    /// Response fully delivered to the client.
+    Completed,
+}
+
+/// A timestamped trace record for one request.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceEvent {
+    /// Request sequence number (issue order).
+    pub request: u64,
+    /// Simulated time of the event.
+    pub at: SimTime,
+    /// What happened.
+    pub point: TracePoint,
+}
+
+/// Bounded trace sink: records the first `limit` requests' events.
+#[derive(Debug, Default)]
+pub struct TraceLog {
+    limit: u64,
+    events: Vec<TraceEvent>,
+}
+
+impl TraceLog {
+    /// Trace the first `limit` requests.
+    pub fn new(limit: u64) -> Self {
+        TraceLog { limit, events: Vec::new() }
+    }
+
+    /// Record an event if `request` is within the traced prefix.
+    pub fn record(&mut self, request: u64, at: SimTime, point: TracePoint) {
+        if request < self.limit {
+            self.events.push(TraceEvent { request, at, point });
+        }
+    }
+
+    /// All recorded events, in recording order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events of one request, in time order.
+    pub fn request(&self, request: u64) -> Vec<TraceEvent> {
+        let mut ev: Vec<TraceEvent> =
+            self.events.iter().copied().filter(|e| e.request == request).collect();
+        ev.sort_by_key(|e| e.at);
+        ev
+    }
+
+    /// Render a request's timeline as text (the Figure 1 sequence).
+    pub fn render_request(&self, request: u64) -> String {
+        let events = self.request(request);
+        let mut out = String::new();
+        let t0 = events.first().map(|e| e.at).unwrap_or(SimTime::ZERO);
+        for e in &events {
+            let dt = e.at.saturating_sub(t0);
+            out.push_str(&format!("  +{:>9.3}ms  {:?}\n", dt.as_millis_f64(), e.point));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_only_traced_prefix() {
+        let mut log = TraceLog::new(2);
+        log.record(0, SimTime::from_millis(1), TracePoint::Preprocessed);
+        log.record(1, SimTime::from_millis(2), TracePoint::Preprocessed);
+        log.record(2, SimTime::from_millis(3), TracePoint::Preprocessed);
+        assert_eq!(log.events().len(), 2);
+    }
+
+    #[test]
+    fn per_request_view_is_time_ordered() {
+        let mut log = TraceLog::new(10);
+        log.record(0, SimTime::from_millis(5), TracePoint::Completed);
+        log.record(0, SimTime::from_millis(1), TracePoint::Preprocessed);
+        log.record(1, SimTime::from_millis(3), TracePoint::Preprocessed);
+        let ev = log.request(0);
+        assert_eq!(ev.len(), 2);
+        assert!(ev[0].at < ev[1].at);
+        assert_eq!(ev[1].point, TracePoint::Completed);
+    }
+
+    #[test]
+    fn render_shows_relative_times() {
+        let mut log = TraceLog::new(1);
+        log.record(0, SimTime::from_millis(10), TracePoint::Preprocessed);
+        log.record(0, SimTime::from_millis(15), TracePoint::Completed);
+        let text = log.render_request(0);
+        assert!(text.contains("+    0.000ms"), "{text}");
+        assert!(text.contains("+    5.000ms"), "{text}");
+        assert!(text.contains("Completed"));
+    }
+}

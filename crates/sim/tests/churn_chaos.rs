@@ -1,0 +1,66 @@
+//! Chaos property test: random node leave/join sequences must never break
+//! accounting or strand requests — the paper's §1 requirement that nodes
+//! "can leave and join the system resource pool at any time".
+
+use proptest::prelude::*;
+use sweb_cluster::{presets, NodeId};
+use sweb_core::Policy;
+use sweb_des::SimTime;
+use sweb_sim::{ClusterSim, SimConfig};
+use sweb_workload::{ArrivalSchedule, FilePopulation, Popularity};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_membership_churn_preserves_invariants(
+        nodes in 2usize..6,
+        policy_sel in 0u8..4,
+        // (node, leave_at_s, down_for_s) triples
+        churn in proptest::collection::vec((0u32..6, 1u64..20, 1u64..10), 0..6),
+        seed in any::<u64>(),
+    ) {
+        let policy = match policy_sel {
+            0 => Policy::RoundRobin,
+            1 => Policy::FileLocality,
+            2 => Policy::LeastLoadedCpu,
+            _ => Policy::Sweb,
+        };
+        let cluster = presets::meiko(nodes);
+        let corpus = FilePopulation::uniform(24, 50_000).build(nodes);
+        let schedule = ArrivalSchedule {
+            rps: 6,
+            duration: SimTime::from_secs(25),
+            popularity: Popularity::Uniform,
+            seed,
+            bursty: true,
+        };
+        let arrivals = schedule.generate(&corpus);
+        let mut cfg = SimConfig::with_policy(policy);
+        cfg.seed = seed;
+        cfg.client.timeout = 3600.0;
+        let mut sim = ClusterSim::new(cluster, corpus, cfg);
+        // Keep node 0 always up so the pool is never empty.
+        for (node, leave_at, down_for) in &churn {
+            let node = NodeId(1 + node % (nodes as u32 - 1).max(1));
+            sim.schedule_leave(node, SimTime::from_secs(*leave_at));
+            sim.schedule_join(node, SimTime::from_secs(leave_at + down_for));
+        }
+        let stats = sim.run(&arrivals);
+
+        // Every request resolves, exactly once.
+        prop_assert_eq!(stats.conservation_slack(), 0);
+        prop_assert_eq!(stats.response.count(), stats.completed);
+        // Served equals completed (no double-serving through churn).
+        let served: u64 = stats.nodes.iter().map(|n| n.served).sum();
+        prop_assert_eq!(served, stats.completed);
+        // With node 0 always alive, drops can only be transient refusals
+        // at nodes mid-leave — never the whole workload.
+        prop_assert!(
+            stats.completed > stats.offered / 2,
+            "churn should not destroy the majority of service: {}/{}",
+            stats.completed,
+            stats.offered
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests over whole simulation runs: for *any* small
+//! configuration, the accounting invariants hold.
+
+use proptest::prelude::*;
+use sweb_cluster::presets;
+use sweb_core::{Policy, RedirectMechanism};
+use sweb_des::SimTime;
+use sweb_sim::{ClusterSim, SimConfig};
+use sweb_workload::{ArrivalSchedule, FilePopulation, Popularity};
+
+fn policy_from(i: u8) -> Policy {
+    match i % 4 {
+        0 => Policy::RoundRobin,
+        1 => Policy::FileLocality,
+        2 => Policy::LeastLoadedCpu,
+        _ => Policy::Sweb,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Every offered request is eventually completed or dropped; node
+    /// counters are consistent; histograms count completions exactly.
+    #[test]
+    fn accounting_conservation(
+        nodes in 1usize..5,
+        rps in 1u32..10,
+        files in 1usize..40,
+        file_size in 1u64..2_000_000,
+        policy_sel in any::<u8>(),
+        forward in any::<bool>(),
+        meiko in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let cluster = if meiko { presets::meiko(nodes) } else { presets::now_lx(nodes) };
+        let corpus = FilePopulation::uniform(files, file_size).build(nodes);
+        let schedule = ArrivalSchedule {
+            rps,
+            duration: SimTime::from_secs(5),
+            popularity: Popularity::Uniform,
+            seed,
+            bursty: true,
+        };
+        let arrivals = schedule.generate(&corpus);
+        let mut cfg = SimConfig::with_policy(policy_from(policy_sel));
+        cfg.seed = seed;
+        cfg.client.timeout = 3600.0; // keep late completions countable
+        if forward {
+            cfg.sweb.redirect_mechanism = RedirectMechanism::Forward;
+        }
+        let stats = ClusterSim::new(cluster, corpus, cfg).run(&arrivals);
+
+        prop_assert_eq!(stats.offered, arrivals.len() as u64);
+        prop_assert_eq!(stats.conservation_slack(), 0,
+            "offered {} != completed {} + dropped {}",
+            stats.offered, stats.completed, stats.dropped);
+        prop_assert_eq!(stats.response.count(), stats.completed);
+        prop_assert!(stats.refused <= stats.dropped);
+        prop_assert!(stats.redirected <= stats.completed);
+
+        // Per-node: served requests across nodes == completed (each
+        // completion is served exactly once; timeouts are disabled here).
+        let served: u64 = stats.nodes.iter().map(|n| n.served).sum();
+        prop_assert_eq!(served, stats.completed);
+        // Arrivals at nodes: every request arrives somewhere at least once,
+        // redirected ones exactly twice (URL mode) or twice (forward mode).
+        let arrived: u64 = stats.nodes.iter().map(|n| n.arrived).sum();
+        let redirected_away: u64 = stats.nodes.iter().map(|n| n.redirected_away).sum();
+        prop_assert_eq!(arrived, stats.offered + redirected_away);
+
+        // Utilizations are valid fractions.
+        prop_assert!(stats.mean_cpu_utilization() <= 1.0 + 1e-9);
+        prop_assert!(stats.mean_disk_utilization() <= 1.0 + 1e-9);
+
+        // Cache counters: hits+misses >= completed fulfillments that
+        // looked at a cache (every local fulfillment does exactly one
+        // origin-cache access).
+        let cache_touches: u64 =
+            stats.nodes.iter().map(|n| n.cache_hits + n.cache_misses).sum();
+        prop_assert!(cache_touches >= stats.completed);
+    }
+
+    /// Determinism: identical configs produce identical outcome counts.
+    #[test]
+    fn runs_are_deterministic(
+        nodes in 1usize..4,
+        rps in 1u32..8,
+        policy_sel in any::<u8>(),
+        seed in any::<u64>(),
+    ) {
+        let run = || {
+            let cluster = presets::meiko(nodes);
+            let corpus = FilePopulation::uniform(16, 100_000).build(nodes);
+            let schedule = ArrivalSchedule {
+                rps,
+                duration: SimTime::from_secs(4),
+                popularity: Popularity::Uniform,
+                seed,
+                bursty: true,
+            };
+            let arrivals = schedule.generate(&corpus);
+            let mut cfg = SimConfig::with_policy(policy_from(policy_sel));
+            cfg.seed = seed;
+            ClusterSim::new(cluster, corpus, cfg).run(&arrivals)
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.completed, b.completed);
+        prop_assert_eq!(a.dropped, b.dropped);
+        prop_assert_eq!(a.redirected, b.redirected);
+        prop_assert_eq!(a.response.max(), b.response.max());
+        prop_assert_eq!(a.duration, b.duration);
+    }
+}

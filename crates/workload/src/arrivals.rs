@@ -1,0 +1,277 @@
+//! Arrival schedules: when requests hit the server and which file they ask
+//! for.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sweb_cluster::{FileId, FileMap};
+use sweb_des::SimTime;
+
+/// One scheduled request arrival.
+#[derive(Debug, Clone, Copy)]
+pub struct Arrival {
+    /// When the client initiates the request.
+    pub at: SimTime,
+    /// Which document it asks for.
+    pub file: FileId,
+}
+
+/// Which documents clients ask for.
+#[derive(Debug, Clone, Copy)]
+pub enum Popularity {
+    /// Each request picks a document uniformly at random.
+    Uniform,
+    /// Every request hits the same document — the §4.2 skewed test
+    /// ("each client accessed the same file located on a single server").
+    SingleFile(FileId),
+    /// Zipf-like popularity with the given exponent (0 = uniform); models
+    /// the hot-document skew real 1990s traces showed.
+    Zipf(f64),
+}
+
+/// Generates the paper's arrival patterns.
+///
+/// ```
+/// use sweb_workload::{ArrivalSchedule, FilePopulation};
+///
+/// let corpus = FilePopulation::uniform(10, 1024).build(4);
+/// let arrivals = ArrivalSchedule::burst_30s(16).generate(&corpus);
+/// assert_eq!(arrivals.len(), 16 * 30);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ArrivalSchedule {
+    /// Requests launched per second.
+    pub rps: u32,
+    /// Test duration (30 s bursts, 120 s sustained).
+    pub duration: SimTime,
+    /// Document popularity.
+    pub popularity: Popularity,
+    /// RNG seed.
+    pub seed: u64,
+    /// If true, each second's requests land as one near-simultaneous burst
+    /// at the top of the second (the paper's constant-per-second launcher,
+    /// jittered across 50 ms like a browser opening parallel connections).
+    /// If false, arrivals are uniformly spread within each second.
+    pub bursty: bool,
+}
+
+impl ArrivalSchedule {
+    /// The paper's standard 30-second burst test.
+    pub fn burst_30s(rps: u32) -> Self {
+        ArrivalSchedule {
+            rps,
+            duration: SimTime::from_secs(30),
+            popularity: Popularity::Uniform,
+            seed: 0xa11ce,
+            bursty: true,
+        }
+    }
+
+    /// The paper's 120-second sustained test.
+    pub fn sustained_120s(rps: u32) -> Self {
+        ArrivalSchedule { duration: SimTime::from_secs(120), ..ArrivalSchedule::burst_30s(rps) }
+    }
+
+    /// Total requests this schedule will offer.
+    pub fn total_requests(&self) -> u64 {
+        self.rps as u64 * self.duration.as_micros().div_ceil(1_000_000)
+    }
+
+    /// Materialize arrivals against a document corpus.
+    pub fn generate(&self, files: &FileMap) -> Vec<Arrival> {
+        assert!(!files.is_empty(), "empty corpus");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let seconds = self.duration.as_micros().div_ceil(1_000_000);
+        let mut out = Vec::with_capacity((self.rps as u64 * seconds) as usize);
+        let zipf_weights = self.zipf_weights(files.len());
+        for sec in 0..seconds {
+            for _ in 0..self.rps {
+                let offset_us: u64 = if self.bursty {
+                    rng.gen_range(0..50_000)
+                } else {
+                    rng.gen_range(0..1_000_000)
+                };
+                let at = SimTime::from_micros(sec * 1_000_000 + offset_us);
+                let file = self.pick_file(files, &zipf_weights, &mut rng);
+                out.push(Arrival { at, file });
+            }
+        }
+        out.sort_by_key(|a| a.at);
+        out
+    }
+
+    fn zipf_weights(&self, n: usize) -> Vec<f64> {
+        match self.popularity {
+            Popularity::Zipf(s) => {
+                let mut w: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
+                let total: f64 = w.iter().sum();
+                // Cumulative for binary-search sampling.
+                let mut acc = 0.0;
+                for x in w.iter_mut() {
+                    acc += *x / total;
+                    *x = acc;
+                }
+                w
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    fn pick_file(&self, files: &FileMap, zipf_cum: &[f64], rng: &mut StdRng) -> FileId {
+        match self.popularity {
+            Popularity::Uniform => FileId(rng.gen_range(0..files.len() as u64)),
+            Popularity::SingleFile(f) => f,
+            Popularity::Zipf(_) => {
+                let x: f64 = rng.gen_range(0.0..1.0);
+                let idx = zipf_cum.partition_point(|&c| c < x);
+                FileId(idx.min(files.len() - 1) as u64)
+            }
+        }
+    }
+}
+
+/// Page-view arrivals — the paper's burst motivation made literal:
+/// "simulating the action of a graphical browser such as Netscape where a
+/// number of simultaneous connections are made, one for each graphics
+/// image on the page."
+///
+/// Each page view issues `1 + images_per_page` requests at (nearly) the
+/// same instant: one for the page itself and one per embedded image, all
+/// drawn uniformly from the corpus. `pages_per_sec` page views start each
+/// second, spread across the second.
+pub fn page_view_arrivals(
+    pages_per_sec: u32,
+    images_per_page: u32,
+    duration: SimTime,
+    files: &FileMap,
+    seed: u64,
+) -> Vec<Arrival> {
+    assert!(!files.is_empty(), "empty corpus");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let seconds = duration.as_micros().div_ceil(1_000_000);
+    let per_page = 1 + images_per_page as u64;
+    let mut out = Vec::with_capacity((pages_per_sec as u64 * seconds * per_page) as usize);
+    for sec in 0..seconds {
+        for _ in 0..pages_per_sec {
+            let page_start = sec * 1_000_000 + rng.gen_range(0..1_000_000);
+            for k in 0..per_page {
+                // The browser opens its parallel connections within a few
+                // milliseconds of parsing the page.
+                let jitter = if k == 0 { 0 } else { rng.gen_range(0..5_000) };
+                out.push(Arrival {
+                    at: SimTime::from_micros(page_start + jitter),
+                    file: FileId(rng.gen_range(0..files.len() as u64)),
+                });
+            }
+        }
+    }
+    out.sort_by_key(|a| a.at);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::FilePopulation;
+
+    fn corpus(n: usize) -> FileMap {
+        FilePopulation::uniform(n, 1024).build(4)
+    }
+
+    #[test]
+    fn generates_rps_times_duration_requests() {
+        let s = ArrivalSchedule::burst_30s(16);
+        let arrivals = s.generate(&corpus(10));
+        assert_eq!(arrivals.len(), 16 * 30);
+        assert_eq!(s.total_requests(), 480);
+        // All inside the duration window.
+        assert!(arrivals.iter().all(|a| a.at < SimTime::from_secs(30)));
+        // Sorted by time.
+        for w in arrivals.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+    }
+
+    #[test]
+    fn bursty_arrivals_cluster_at_second_starts() {
+        let s = ArrivalSchedule::burst_30s(10);
+        let arrivals = s.generate(&corpus(10));
+        for a in &arrivals {
+            let within_sec = a.at.as_micros() % 1_000_000;
+            assert!(within_sec < 50_000, "burst arrival at +{within_sec}µs");
+        }
+    }
+
+    #[test]
+    fn smooth_arrivals_spread_out() {
+        let s = ArrivalSchedule { bursty: false, ..ArrivalSchedule::burst_30s(10) };
+        let arrivals = s.generate(&corpus(10));
+        let late = arrivals.iter().filter(|a| a.at.as_micros() % 1_000_000 > 500_000).count();
+        assert!(late > arrivals.len() / 4, "smooth mode should fill the whole second");
+    }
+
+    #[test]
+    fn single_file_popularity_hits_one_file() {
+        let s = ArrivalSchedule {
+            popularity: Popularity::SingleFile(FileId(3)),
+            ..ArrivalSchedule::burst_30s(8)
+        };
+        let arrivals = s.generate(&corpus(10));
+        assert!(arrivals.iter().all(|a| a.file == FileId(3)));
+    }
+
+    #[test]
+    fn uniform_popularity_covers_corpus() {
+        let s = ArrivalSchedule::burst_30s(20);
+        let arrivals = s.generate(&corpus(10));
+        let distinct: std::collections::HashSet<_> = arrivals.iter().map(|a| a.file).collect();
+        assert_eq!(distinct.len(), 10, "600 draws over 10 files must cover all");
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ids() {
+        let s = ArrivalSchedule {
+            popularity: Popularity::Zipf(1.2),
+            ..ArrivalSchedule::burst_30s(64)
+        };
+        let arrivals = s.generate(&corpus(100));
+        let hot = arrivals.iter().filter(|a| a.file.0 < 10).count();
+        assert!(
+            hot as f64 / arrivals.len() as f64 > 0.5,
+            "zipf(1.2): top-10 of 100 files should get >50% of requests, got {}",
+            hot as f64 / arrivals.len() as f64
+        );
+    }
+
+    #[test]
+    fn page_views_issue_simultaneous_batches() {
+        let corpus = corpus(20);
+        let arrivals =
+            page_view_arrivals(2, 4, SimTime::from_secs(10), &corpus, 7);
+        // 2 pages/s * 10 s * (1 page + 4 images) = 100 requests.
+        assert_eq!(arrivals.len(), 100);
+        assert!(arrivals.iter().all(|a| a.at < SimTime::from_secs(11)));
+        // Requests cluster: sort, then check that most arrivals have a
+        // neighbour within 5 ms (its page-mates).
+        let clustered = arrivals
+            .windows(2)
+            .filter(|w| w[1].at.saturating_sub(w[0].at) <= SimTime::from_millis(5))
+            .count();
+        assert!(clustered >= 70, "page-mates must cluster in time: {clustered}/99");
+        // Deterministic per seed.
+        let again = page_view_arrivals(2, 4, SimTime::from_secs(10), &corpus, 7);
+        assert_eq!(arrivals.len(), again.len());
+        assert!(arrivals.iter().zip(&again).all(|(a, b)| a.at == b.at && a.file == b.file));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let s = ArrivalSchedule::burst_30s(8);
+        let a = s.generate(&corpus(10));
+        let b = s.generate(&corpus(10));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.at, y.at);
+            assert_eq!(x.file, y.file);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Replay real server logs: NCSA Common Log Format parsing.
+//!
+//! The NCSA httpd SWEB was built on wrote access logs in CLF:
+//!
+//! ```text
+//! host ident authuser [10/Oct/1995:13:55:36 -0700] "GET /map.gif HTTP/1.0" 200 2326
+//! ```
+//!
+//! [`parse_clf_line`] extracts what the simulator needs (time-of-day,
+//! path, response size) and [`trace_to_workload`] converts a parsed trace
+//! into a file corpus plus an arrival schedule, so real 1990s access logs
+//! (or logs from the live `swebd` cluster) can drive the simulator.
+
+use std::collections::HashMap;
+
+use sweb_cluster::{FileId, FileMap, FileMeta, Placement};
+use sweb_des::SimTime;
+
+use crate::arrivals::Arrival;
+
+/// One parsed access-log record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClfRecord {
+    /// Client host (name or address).
+    pub host: String,
+    /// Seconds since midnight of the log's first day (CLF has absolute
+    /// timestamps; we only need relative arrival times).
+    pub time_of_day: u64,
+    /// Request method token.
+    pub method: String,
+    /// Request target (path + query).
+    pub path: String,
+    /// Response status code.
+    pub status: u16,
+    /// Response size in bytes (`-` parses as 0).
+    pub bytes: u64,
+}
+
+/// Parse one CLF line. Returns `None` for malformed lines (real logs have
+/// them; callers count and skip).
+pub fn parse_clf_line(line: &str) -> Option<ClfRecord> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return None;
+    }
+    // host ident authuser [timestamp] "request" status bytes
+    let (host, rest) = line.split_once(' ')?;
+    let bracket_start = rest.find('[')?;
+    let bracket_end = rest.find(']')?;
+    let timestamp = &rest[bracket_start + 1..bracket_end];
+    let after = &rest[bracket_end + 1..];
+    let quote_start = after.find('"')?;
+    let quote_end = after[quote_start + 1..].find('"')? + quote_start + 1;
+    let request = &after[quote_start + 1..quote_end];
+    let tail: Vec<&str> = after[quote_end + 1..].split_ascii_whitespace().collect();
+    if tail.len() < 2 {
+        return None;
+    }
+    let status: u16 = tail[0].parse().ok()?;
+    let bytes: u64 = if tail[1] == "-" { 0 } else { tail[1].parse().ok()? };
+
+    // Timestamp: dd/Mon/yyyy:HH:MM:SS zone — we need HH:MM:SS.
+    let mut time_parts = timestamp.split(':');
+    let _date = time_parts.next()?;
+    let hh: u64 = time_parts.next()?.parse().ok()?;
+    let mm: u64 = time_parts.next()?.parse().ok()?;
+    let ss: u64 = time_parts.next()?.split_ascii_whitespace().next()?.parse().ok()?;
+    if hh > 23 || mm > 59 || ss > 60 {
+        return None;
+    }
+
+    let mut req_parts = request.split_ascii_whitespace();
+    let method = req_parts.next()?.to_string();
+    let path = req_parts.next()?.to_string();
+
+    Some(ClfRecord {
+        host: host.to_string(),
+        time_of_day: hh * 3600 + mm * 60 + ss,
+        method,
+        path,
+        status,
+        bytes,
+    })
+}
+
+/// Parse a whole log. Returns the good records and the count of skipped
+/// (malformed) lines.
+pub fn parse_clf(text: &str) -> (Vec<ClfRecord>, usize) {
+    let mut records = Vec::new();
+    let mut skipped = 0;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_clf_line(line) {
+            Some(r) => records.push(r),
+            None => skipped += 1,
+        }
+    }
+    (records, skipped)
+}
+
+/// Convert a parsed trace into simulator inputs: a corpus (one file per
+/// distinct path, sized by the largest logged response for it, placed by
+/// `placement` on `p` nodes) and arrivals relative to the first record.
+/// Only successful GETs are replayed (what SWEB serves).
+pub fn trace_to_workload(
+    records: &[ClfRecord],
+    p: usize,
+    placement: Placement,
+) -> (FileMap, Vec<Arrival>) {
+    let mut path_ids: HashMap<&str, FileId> = HashMap::new();
+    let mut sizes: Vec<u64> = Vec::new();
+    let mut arrivals = Vec::new();
+    let replayable = records
+        .iter()
+        .filter(|r| r.method == "GET" && (200..400).contains(&r.status));
+    let t0 = records.iter().map(|r| r.time_of_day).min().unwrap_or(0);
+    for r in replayable {
+        let next_id = FileId(path_ids.len() as u64);
+        let id = *path_ids.entry(r.path.as_str()).or_insert(next_id);
+        if id.0 as usize == sizes.len() {
+            sizes.push(r.bytes.max(1));
+        } else {
+            sizes[id.0 as usize] = sizes[id.0 as usize].max(r.bytes.max(1));
+        }
+        arrivals.push(Arrival { at: SimTime::from_secs(r.time_of_day - t0), file: id });
+    }
+    arrivals.sort_by_key(|a| a.at);
+    let metas: Vec<FileMeta> = sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &size)| FileMeta {
+            id: FileId(i as u64),
+            size,
+            home: placement.home(FileId(i as u64), p),
+        })
+        .collect();
+    (FileMap::from_metas(metas), arrivals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"wile.cs.ucsb.edu - - [10/Oct/1995:13:55:36 -0700] "GET /maps/goleta.gif HTTP/1.0" 200 1500000
+road.runner.edu - frank [10/Oct/1995:13:55:37 -0700] "GET /index.html HTTP/1.0" 200 2326
+wile.cs.ucsb.edu - - [10/Oct/1995:13:55:37 -0700] "GET /missing.gif HTTP/1.0" 404 -
+bad line that should not parse
+wile.cs.ucsb.edu - - [10/Oct/1995:13:56:06 -0700] "POST /cgi-bin/form HTTP/1.0" 200 120
+road.runner.edu - - [10/Oct/1995:13:56:40 -0700] "GET /maps/goleta.gif HTTP/1.0" 200 1500000
+"#;
+
+    #[test]
+    fn parses_well_formed_lines() {
+        let rec = parse_clf_line(
+            r#"wile.cs.ucsb.edu - - [10/Oct/1995:13:55:36 -0700] "GET /maps/goleta.gif HTTP/1.0" 200 1500000"#,
+        )
+        .unwrap();
+        assert_eq!(rec.host, "wile.cs.ucsb.edu");
+        assert_eq!(rec.path, "/maps/goleta.gif");
+        assert_eq!(rec.method, "GET");
+        assert_eq!(rec.status, 200);
+        assert_eq!(rec.bytes, 1_500_000);
+        assert_eq!(rec.time_of_day, 13 * 3600 + 55 * 60 + 36);
+    }
+
+    #[test]
+    fn dash_bytes_parse_as_zero_and_bad_lines_skip() {
+        let (records, skipped) = parse_clf(SAMPLE);
+        assert_eq!(records.len(), 5);
+        assert_eq!(skipped, 1);
+        assert_eq!(records[2].bytes, 0);
+        assert_eq!(records[2].status, 404);
+    }
+
+    #[test]
+    fn rejects_garbage_timestamps() {
+        assert!(parse_clf_line(r#"h - - [10/Oct/1995:99:00:00 -0700] "GET / HTTP/1.0" 200 1"#)
+            .is_none());
+        assert!(parse_clf_line(r#"h - - [no-time] "GET / HTTP/1.0" 200 1"#).is_none());
+        assert!(parse_clf_line("").is_none());
+        assert!(parse_clf_line("# comment").is_none());
+    }
+
+    #[test]
+    fn trace_to_workload_replays_successful_gets() {
+        let (records, _) = parse_clf(SAMPLE);
+        let (files, arrivals) = trace_to_workload(&records, 4, Placement::RoundRobin);
+        // GETs with 2xx: goleta.gif (twice) + index.html => 2 files, 3 arrivals.
+        assert_eq!(files.len(), 2);
+        assert_eq!(arrivals.len(), 3);
+        // First arrival at t=0, last 64 seconds later.
+        assert_eq!(arrivals[0].at, SimTime::ZERO);
+        assert_eq!(arrivals[2].at, SimTime::from_secs(64));
+        // The repeated path maps to one id with its max logged size.
+        assert_eq!(files.meta(arrivals[0].file).size, 1_500_000);
+        // 404s and POSTs are not replayed.
+        assert!(arrivals.iter().all(|a| a.file.0 < 2));
+    }
+
+    #[test]
+    fn empty_trace_is_empty_workload() {
+        let (files, arrivals) = trace_to_workload(&[], 2, Placement::RoundRobin);
+        assert!(files.is_empty());
+        assert!(arrivals.is_empty());
+    }
+}

@@ -1,0 +1,70 @@
+//! Client populations: where the requests come from.
+
+use serde::{Deserialize, Serialize};
+
+/// Network characteristics of the requesting clients. The paper tests two:
+/// clients "primarily situated within UCSB" (high-bandwidth campus network)
+/// and clients at Rutgers ("the East coast of the US ... poor bandwidth and
+/// long latency over the connection from the east coast to the west coast").
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ClientPopulation {
+    /// Label for reports.
+    pub name: &'static str,
+    /// One-way client↔server latency, seconds.
+    pub latency: f64,
+    /// Per-client achievable bandwidth to the server, bytes/second.
+    pub bandwidth: f64,
+    /// Client-side request timeout, seconds; a request still unanswered at
+    /// this point counts as dropped ("Single server test timed out after no
+    /// responses were received", Table 2).
+    pub timeout: f64,
+}
+
+impl ClientPopulation {
+    /// UCSB-local clients: sub-ms latency, campus-Ethernet bandwidth.
+    /// 3 MB/s per client keeps a 1.5 MB transfer at ~0.5 s, the paper's
+    /// Table 5 "Network Costs" row.
+    pub fn ucsb_local() -> Self {
+        ClientPopulation { name: "ucsb", latency: 0.5e-3, bandwidth: 3.0e6, timeout: 60.0 }
+    }
+
+    /// Rutgers east-coast clients: ~45 ms one-way cross-country latency and
+    /// ~150 KB/s of mid-90s Internet path bandwidth.
+    pub fn east_coast() -> Self {
+        ClientPopulation { name: "rutgers", latency: 45e-3, bandwidth: 150e3, timeout: 120.0 }
+    }
+
+    /// Time for this client to pull `size` bytes once the server starts
+    /// sending, ignoring server-side contention (used for estimates only;
+    /// the simulator models the server side with shared resources).
+    pub fn transfer_secs(&self, size: u64) -> f64 {
+        size as f64 / self.bandwidth
+    }
+
+    /// One full round trip.
+    pub fn rtt(&self) -> f64 {
+        2.0 * self.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_clients_match_table5_network_cost() {
+        let c = ClientPopulation::ucsb_local();
+        // Table 5: ~0.5 s network cost for a 1.5 MB file.
+        let t = c.transfer_secs(1_500_000);
+        assert!((t - 0.5).abs() < 0.01, "got {t}");
+    }
+
+    #[test]
+    fn east_coast_is_slower_and_farther() {
+        let local = ClientPopulation::ucsb_local();
+        let east = ClientPopulation::east_coast();
+        assert!(east.latency > 10.0 * local.latency);
+        assert!(east.bandwidth < local.bandwidth / 2.0);
+        assert!(east.rtt() > 0.08);
+    }
+}

@@ -1,0 +1,32 @@
+//! # sweb-workload — workload synthesis for the SWEB experiments
+//!
+//! The paper drives its server with bursts of near-simultaneous requests
+//! ("simulating the action of a graphical browser such as Netscape where a
+//! number of simultaneous connections are made"), at a constant number of
+//! requests launched each second for a fixed duration (30 s bursts, 120 s
+//! sustained). This crate generates those arrival schedules plus the file
+//! populations and client populations the experiments need:
+//!
+//! * [`SizeDist`] — fixed sizes (1 KB / 1.5 MB), the §4.2 non-uniform mix
+//!   (100 B – 1.5 MB), and custom mixes;
+//! * [`FilePopulation`] — builds a [`sweb_cluster::FileMap`] with a given
+//!   placement;
+//! * [`ArrivalSchedule`] — per-second constant-rate bursts or Poisson
+//!   arrivals, each request drawn from a file-popularity distribution
+//!   (uniform or single-hot-file for the skewed test);
+//! * [`ClientPopulation`] — latency/bandwidth of the requesting clients
+//!   (UCSB-local vs Rutgers east-coast).
+
+#![warn(missing_docs)]
+
+mod arrivals;
+mod clf;
+mod clients;
+mod population;
+mod sizes;
+
+pub use arrivals::{page_view_arrivals, Arrival, ArrivalSchedule, Popularity};
+pub use clf::{parse_clf, parse_clf_line, trace_to_workload, ClfRecord};
+pub use clients::ClientPopulation;
+pub use population::FilePopulation;
+pub use sizes::SizeDist;

@@ -1,0 +1,199 @@
+//! File-size distributions.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The size mixes the paper's experiments use.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum SizeDist {
+    /// Every file the same size (Tables 1, 2, 4: 1 KB or 1.5 MB).
+    Fixed(u64),
+    /// The §4.2 non-uniform test: "sizes varying from short, approximately
+    /// 100 bytes, to relatively long, approximately 1.5MB", drawn uniformly
+    /// between the bounds (mean ≈ 750 KB — big files dominate the load,
+    /// which is what makes round-robin's blindness to size hurt).
+    Uniform {
+        /// Smallest file size, bytes.
+        min: u64,
+        /// Largest file size, bytes.
+        max: u64,
+    },
+    /// Log-uniform between the bounds — a heavy-tailed mix where most
+    /// files are small but bytes are dominated by large files, as 1990s
+    /// web traces showed. Used by the digital-library example workload.
+    LogUniform {
+        /// Smallest file size, bytes.
+        min: u64,
+        /// Largest file size, bytes.
+        max: u64,
+    },
+    /// An explicit weighted mix of sizes.
+    Mix(Vec<(u64, f64)>),
+}
+
+impl SizeDist {
+    /// The paper's 1 KB small-file workload.
+    pub fn small() -> Self {
+        SizeDist::Fixed(1 << 10)
+    }
+
+    /// The paper's 1.5 MB large-file workload (a scanned map image).
+    pub fn large() -> Self {
+        SizeDist::Fixed(1_500_000)
+    }
+
+    /// The §4.2 non-uniform workload.
+    pub fn nonuniform() -> Self {
+        SizeDist::Uniform { min: 100, max: 1_500_000 }
+    }
+
+    /// A heavy-tailed corpus for digital-library style workloads.
+    pub fn heavy_tailed() -> Self {
+        SizeDist::LogUniform { min: 100, max: 1_500_000 }
+    }
+
+    /// Draw a size for file `id` using `rng`. Deterministic per (seeded
+    /// rng sequence, call order).
+    pub fn sample(&self, rng: &mut impl Rng) -> u64 {
+        match self {
+            SizeDist::Fixed(s) => *s,
+            SizeDist::Uniform { min, max } => {
+                assert!(max >= min, "bad uniform bounds");
+                rng.gen_range(*min..=*max)
+            }
+            SizeDist::LogUniform { min, max } => {
+                assert!(*min >= 1 && max >= min, "bad log-uniform bounds");
+                let (lo, hi) = ((*min as f64).ln(), (*max as f64).ln());
+                let x: f64 = rng.gen_range(lo..=hi);
+                (x.exp().round() as u64).clamp(*min, *max)
+            }
+            SizeDist::Mix(entries) => {
+                assert!(!entries.is_empty(), "empty mix");
+                let total: f64 = entries.iter().map(|(_, w)| w).sum();
+                let mut pick = rng.gen_range(0.0..total);
+                for (size, w) in entries {
+                    if pick < *w {
+                        return *size;
+                    }
+                    pick -= w;
+                }
+                entries.last().unwrap().0
+            }
+        }
+    }
+
+    /// Expected (mean) size of a draw, for analytic comparisons.
+    pub fn mean(&self) -> f64 {
+        match self {
+            SizeDist::Fixed(s) => *s as f64,
+            SizeDist::Uniform { min, max } => (*min as f64 + *max as f64) / 2.0,
+            SizeDist::LogUniform { min, max } => {
+                // E[X] for log-uniform on [a,b]: (b-a)/ln(b/a).
+                let (a, b) = (*min as f64, *max as f64);
+                if a == b {
+                    a
+                } else {
+                    (b - a) / (b / a).ln()
+                }
+            }
+            SizeDist::Mix(entries) => {
+                let total: f64 = entries.iter().map(|(_, w)| w).sum();
+                entries.iter().map(|(s, w)| *s as f64 * w).sum::<f64>() / total
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_is_fixed() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = SizeDist::large();
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 1_500_000);
+        }
+        assert_eq!(d.mean(), 1_500_000.0);
+    }
+
+    #[test]
+    fn uniform_mean_is_midpoint() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let d = SizeDist::nonuniform();
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| d.sample(&mut rng) as f64).sum();
+        let emp = sum / n as f64;
+        assert!((emp - d.mean()).abs() / d.mean() < 0.02, "empirical {emp:.0} vs {:.0}", d.mean());
+        assert!((d.mean() - 750_050.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn log_uniform_respects_bounds_and_spreads() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = SizeDist::heavy_tailed();
+        let mut below_10k = 0;
+        let mut above_100k = 0;
+        for _ in 0..2000 {
+            let s = d.sample(&mut rng);
+            assert!((100..=1_500_000).contains(&s), "out of bounds: {s}");
+            if s < 10_000 {
+                below_10k += 1;
+            }
+            if s > 100_000 {
+                above_100k += 1;
+            }
+        }
+        // Log-uniform: ~48% below 10k, ~28% above 100k.
+        assert!(below_10k > 600, "too few small files: {below_10k}");
+        assert!(above_100k > 300, "too few large files: {above_100k}");
+    }
+
+    #[test]
+    fn log_uniform_mean_matches_closed_form() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let d = SizeDist::heavy_tailed();
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| d.sample(&mut rng) as f64).sum();
+        let emp = sum / n as f64;
+        let expect = d.mean();
+        assert!(
+            (emp - expect).abs() / expect < 0.03,
+            "empirical {emp:.0} vs closed-form {expect:.0}"
+        );
+    }
+
+    #[test]
+    fn mix_draws_each_component() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = SizeDist::Mix(vec![(100, 0.5), (1000, 0.5)]);
+        let mut seen100 = false;
+        let mut seen1000 = false;
+        for _ in 0..200 {
+            match d.sample(&mut rng) {
+                100 => seen100 = true,
+                1000 => seen1000 = true,
+                other => panic!("unexpected size {other}"),
+            }
+        }
+        assert!(seen100 && seen1000);
+        assert_eq!(d.mean(), 550.0);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let d = SizeDist::nonuniform();
+        let a: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(5);
+            (0..50).map(|_| d.sample(&mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(5);
+            (0..50).map(|_| d.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

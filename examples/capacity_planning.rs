@@ -1,0 +1,83 @@
+//! Capacity planning with the analytic models: "how many nodes do I need
+//! for X rps of Y-byte documents?" — answered three ways and
+//! cross-checked against the simulator.
+//!
+//! 1. the paper's §3.3 serialized bound (conservative),
+//! 2. the per-resource ceilings (which resource saturates first),
+//! 3. a simulation of the recommended configuration.
+//!
+//! ```text
+//! cargo run --release --example capacity_planning
+//! ```
+
+use sweb::cluster::presets;
+use sweb::core::analytic::{
+    bottleneck, max_sustained_rps, resource_bounds, AnalyticParams,
+};
+use sweb::core::Policy;
+use sweb::des::SimTime;
+use sweb::metrics::TextTable;
+use sweb::sim::{ClusterSim, SimConfig};
+use sweb::workload::{ArrivalSchedule, FilePopulation, Popularity};
+
+fn main() {
+    let file_size = 1_500_000u64;
+    let cpu_ops = 5.0e6; // preprocess + analysis + fulfillment of 1.5 MB
+    let target_rps = 16.0; // the paper's load
+
+    println!("Goal: sustain {target_rps} rps of {file_size}-byte documents.\n");
+
+    let mut table = TextTable::new("Per-node-count ceilings (Meiko-class hardware, cold caches)")
+        .header(&["nodes", "SS3.3 bound", "binding resource", "resource bound", "meets goal?"]);
+    let mut recommended = None;
+    for nodes in 1..=8 {
+        let cluster = presets::meiko(nodes);
+        let params = AnalyticParams::from_cluster(&cluster, file_size as f64, 0.0, 0.020, 0.0);
+        let serialized = max_sustained_rps(&params);
+        let binding = bottleneck(&cluster, file_size as f64, cpu_ops, 0.0);
+        let ok = serialized >= target_rps && binding.rps >= target_rps;
+        if ok && recommended.is_none() {
+            recommended = Some(nodes);
+        }
+        table.row(vec![
+            nodes.to_string(),
+            format!("{serialized:.1}"),
+            format!("{:?}", binding.resource),
+            format!("{:.1}", binding.rps),
+            if ok { "yes".into() } else { "no".into() },
+        ]);
+    }
+    println!("{}", table.render());
+
+    let nodes = recommended.unwrap_or(8);
+    println!("recommendation: {nodes} nodes. Resource ceilings there:");
+    let cluster = presets::meiko(nodes);
+    for b in resource_bounds(&cluster, file_size as f64, cpu_ops, 0.0) {
+        println!("  {:?}: {:.1} rps", b.resource, b.rps);
+    }
+
+    // Validate with the simulator at the target load.
+    let corpus = FilePopulation::uniform(120, file_size).build(nodes);
+    let schedule = ArrivalSchedule {
+        rps: target_rps as u32,
+        duration: SimTime::from_secs(60),
+        popularity: Popularity::Uniform,
+        seed: 0xca9,
+        bursty: true,
+    };
+    let arrivals = schedule.generate(&corpus);
+    let mut cfg = SimConfig::with_policy(Policy::Sweb);
+    cfg.client.timeout = 300.0;
+    let stats = ClusterSim::new(cluster, corpus, cfg).run(&arrivals);
+    println!(
+        "\nsimulated at {target_rps} rps on {nodes} nodes: mean {:.2}s, p95 {:.2}s, drops {:.1}%",
+        stats.mean_response_secs(),
+        stats.response_quantile_secs(0.95),
+        stats.drop_rate() * 100.0
+    );
+    if stats.drop_rate() < 0.02 {
+        println!("the recommended configuration sustains the goal.");
+    } else {
+        println!("warning: simulation disagrees with the analytic recommendation.");
+    }
+}

@@ -1,0 +1,61 @@
+//! The workload that motivated SWEB: the Alexandria Digital Library —
+//! spatially-indexed maps, satellite images and aerial photographs with
+//! heavy-tailed sizes, Zipf-popular hot documents, and CGI queries against
+//! the spatial index ("much more intensive I/O and heterogeneous CPU
+//! activities", §1).
+//!
+//! Compares the three §4.2 strategies on this mix.
+//!
+//! ```text
+//! cargo run --release --example digital_library
+//! ```
+
+use sweb::cluster::{presets, Placement};
+use sweb::core::Policy;
+use sweb::metrics::TextTable;
+use sweb::sim::{ClusterSim, SimConfig};
+use sweb::workload::{ArrivalSchedule, FilePopulation, Popularity, SizeDist};
+
+fn main() {
+    let cluster = presets::meiko(6);
+
+    // 300 library objects, log-uniform 100 B – 1.5 MB (thumbnails up to
+    // full map scans), hashed over the nodes' disks.
+    let corpus = FilePopulation {
+        count: 300,
+        sizes: SizeDist::heavy_tailed(),
+        placement: Placement::Hashed,
+        seed: 0xada,
+    };
+
+    let schedule = ArrivalSchedule {
+        rps: 24,
+        duration: sweb::des::SimTime::from_secs(30),
+        popularity: Popularity::Zipf(0.9), // hot maps of Santa Barbara
+        seed: 0x90e7a,
+        bursty: true,
+    };
+
+    let mut table = TextTable::new("Alexandria Digital Library workload, Meiko 6 nodes @ 24 rps")
+        .header(&["policy", "mean resp (s)", "p95 (s)", "drop", "redirects", "cache hits"]);
+
+    for policy in [Policy::RoundRobin, Policy::FileLocality, Policy::LeastLoadedCpu, Policy::Sweb]
+    {
+        let mut cfg = SimConfig::with_policy(policy);
+        // 10% of requests run the spatial-index CGI (extra CPU demand).
+        cfg.cgi_fraction = 0.10;
+        cfg.client.timeout = 300.0;
+        let files = corpus.build(cluster.len());
+        let arrivals = schedule.generate(&files);
+        let stats = ClusterSim::new(cluster.clone(), files, cfg).run(&arrivals);
+        table.row(vec![
+            policy.label().to_string(),
+            format!("{:.2}", stats.mean_response_secs()),
+            format!("{:.2}", stats.response_quantile_secs(0.95)),
+            format!("{:.1}%", stats.drop_rate() * 100.0),
+            format!("{:.1}%", stats.redirect_rate() * 100.0),
+            format!("{:.1}%", stats.cache_hit_ratio() * 100.0),
+        ]);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,77 @@
+//! Replay an NCSA Common Log Format access log through the simulator —
+//! the workflow a site operator in 1996 would use to answer "how many
+//! nodes do I need for yesterday's traffic?".
+//!
+//! ```text
+//! cargo run --release --example trace_replay [path/to/access.log]
+//! ```
+//!
+//! Without an argument, a synthetic Alexandria-flavoured log is generated
+//! and replayed.
+
+use sweb::cluster::{presets, Placement};
+use sweb::core::Policy;
+use sweb::metrics::TextTable;
+use sweb::sim::{ClusterSim, SimConfig};
+use sweb::workload::{parse_clf, trace_to_workload};
+
+fn synthetic_log() -> String {
+    // A burst of digital-library traffic: maps, thumbnails, the index page.
+    let mut log = String::new();
+    let docs: [(&str, u64); 5] = [
+        ("/maps/goleta.gif", 1_500_000),
+        ("/maps/thumbs/goleta-t.gif", 14_000),
+        ("/index.html", 2_326),
+        ("/sat/landsat-sb.tif", 900_000),
+        ("/metadata/goleta.txt", 800),
+    ];
+    for minute in 0..3 {
+        for sec in 0..60 {
+            for (k, (path, bytes)) in docs.iter().enumerate() {
+                // Stagger documents so each second carries a couple.
+                if !(sec + k as u64).is_multiple_of(3) {
+                    continue;
+                }
+                log.push_str(&format!(
+                    "client{k}.ucsb.edu - - [10/Oct/1995:14:{:02}:{:02} -0700] \
+                     \"GET {path} HTTP/1.0\" 200 {bytes}\n",
+                    minute, sec
+                ));
+            }
+        }
+    }
+    log
+}
+
+fn main() {
+    let text = match std::env::args().nth(1) {
+        Some(path) => std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        }),
+        None => synthetic_log(),
+    };
+    let (records, skipped) = parse_clf(&text);
+    println!("parsed {} records ({} malformed lines skipped)", records.len(), skipped);
+
+    let mut table = TextTable::new("Trace replay: response time vs cluster size (SWEB policy)")
+        .header(&["nodes", "mean resp (s)", "p95 (s)", "drop", "throughput (rps)"]);
+    for nodes in [1usize, 2, 4, 6] {
+        let cluster = presets::meiko(nodes);
+        let (files, arrivals) = trace_to_workload(&records, nodes, Placement::RoundRobin);
+        if arrivals.is_empty() {
+            eprintln!("trace contains no replayable GETs");
+            return;
+        }
+        let cfg = SimConfig::with_policy(Policy::Sweb);
+        let stats = ClusterSim::new(cluster, files, cfg).run(&arrivals);
+        table.row(vec![
+            nodes.to_string(),
+            format!("{:.2}", stats.mean_response_secs()),
+            format!("{:.2}", stats.response_quantile_secs(0.95)),
+            format!("{:.1}%", stats.drop_rate() * 100.0),
+            format!("{:.1}", stats.throughput_rps()),
+        ]);
+    }
+    println!("{}", table.render());
+}
