@@ -1,0 +1,245 @@
+//! `enginebench` — threaded vs. reactor engine comparison on a live
+//! localhost cluster.
+//!
+//! ```text
+//! enginebench [--engine reactor|threaded|both] [--nodes 3] [--hold 1000]
+//!             [--workers 32] [--requests 2000] [--out results/engine.csv]
+//! ```
+//!
+//! For each engine the harness starts an `n`-node cluster, opens `hold`
+//! idle connections (spread across nodes) that stay open for the whole
+//! run — the "many slow clients" population thread-per-connection servers
+//! pay one thread each for — then drives `requests` scheduled fetches
+//! through `workers` concurrent redirect-following clients, recording
+//! per-request latency. One CSV row per engine lands in `--out`:
+//!
+//! ```text
+//! engine,nodes,held_conns,workers,requests,errors,duration_s,rps,p50_ms,p99_ms,threads
+//! ```
+//!
+//! `threads` is this process's peak `/proc/self/status` thread count while
+//! the held connections are open — the cluster runs in-process, so the
+//! reactor's bounded pool versus one-thread-per-held-connection shows up
+//! directly in that column.
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use sweb_metrics::Histogram;
+use sweb_server::{client, ClusterConfig, Engine, LiveCluster};
+
+struct Args {
+    engines: Vec<Engine>,
+    nodes: usize,
+    hold: usize,
+    workers: usize,
+    requests: u64,
+    out: std::path::PathBuf,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: enginebench [--engine reactor|threaded|both] [--nodes N] [--hold N] \
+         [--workers N] [--requests N] [--out FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        engines: vec![Engine::Reactor, Engine::ThreadPerConn],
+        nodes: 3,
+        hold: 1000,
+        workers: 32,
+        requests: 2000,
+        out: std::path::PathBuf::from("results/engine.csv"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--engine" => {
+                let v = value();
+                args.engines = match v.as_str() {
+                    "both" => vec![Engine::Reactor, Engine::ThreadPerConn],
+                    s => vec![s.parse().unwrap_or_else(|_| usage())],
+                };
+            }
+            "--nodes" => args.nodes = value().parse().unwrap_or_else(|_| usage()),
+            "--hold" => args.hold = value().parse().unwrap_or_else(|_| usage()),
+            "--workers" => args.workers = value().parse().unwrap_or_else(|_| usage()),
+            "--requests" => args.requests = value().parse().unwrap_or_else(|_| usage()),
+            "--out" => args.out = value().into(),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+/// Current thread count of this process (Linux; 0 elsewhere).
+fn process_threads() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Threads:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// Build a docroot of hashed documents so locality scheduling has
+/// something to route.
+fn make_docroot() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("sweb-enginebench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create docroot");
+    for i in 0..16 {
+        let body = format!("document {i} ").repeat(64 * (1 + i % 4));
+        std::fs::write(dir.join(format!("doc{i}.txt")), body).expect("write doc");
+    }
+    dir
+}
+
+struct RunResult {
+    errors: u64,
+    duration: Duration,
+    hist: Histogram,
+    peak_threads: u64,
+}
+
+fn run_engine(engine: Engine, args: &Args, docroot: &std::path::Path) -> RunResult {
+    let cfg = ClusterConfig {
+        engine,
+        // Room for the held population plus the active workers.
+        max_conns: args.hold + args.workers + 64,
+        ..ClusterConfig::default()
+    };
+    let cluster = LiveCluster::start(args.nodes, docroot.to_path_buf(), cfg)
+        .expect("start cluster");
+    if !cluster.await_loadd_mesh(Duration::from_secs(10)) {
+        eprintln!("enginebench: warning: loadd mesh did not converge");
+    }
+
+    // The held population: idle keep-alive connections, round-robin over
+    // the nodes, open for the entire measured window.
+    let mut held = Vec::with_capacity(args.hold);
+    for i in 0..args.hold {
+        let base = cluster.base_url(i % args.nodes);
+        let addr = base.strip_prefix("http://").unwrap();
+        match std::net::TcpStream::connect(addr) {
+            Ok(s) => held.push(s),
+            Err(e) => {
+                eprintln!("enginebench: could only hold {i} connections: {e}");
+                break;
+            }
+        }
+    }
+    // Give the servers a beat to admit them all, then sample threads.
+    std::thread::sleep(Duration::from_millis(200));
+    let peak_threads = process_threads();
+
+    let urls: Vec<String> = (0..args.nodes).map(|i| cluster.base_url(i).to_string()).collect();
+    let remaining = Arc::new(AtomicU64::new(args.requests));
+    let errors = Arc::new(AtomicU64::new(0));
+    let hist = Arc::new(Mutex::new(Histogram::new()));
+
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for w in 0..args.workers {
+        let urls = urls.clone();
+        let remaining = Arc::clone(&remaining);
+        let errors = Arc::clone(&errors);
+        let hist = Arc::clone(&hist);
+        handles.push(std::thread::spawn(move || {
+            let mut local = Histogram::new();
+            let mut r = w;
+            loop {
+                if remaining.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+                    .is_err()
+                {
+                    break;
+                }
+                let url = format!("{}/doc{}.txt", urls[r % urls.len()], r % 16);
+                r += 1;
+                let t = Instant::now();
+                match client::get_with_timeout(&url, Duration::from_secs(30)) {
+                    Ok(resp) if resp.status == 200 => {
+                        local.record(t.elapsed().as_micros() as u64);
+                    }
+                    _ => {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            hist.lock().unwrap().merge(&local);
+        }));
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    let duration = t0.elapsed();
+    drop(held);
+    cluster.shutdown();
+
+    let hist = Arc::try_unwrap(hist).expect("workers joined").into_inner().unwrap();
+    RunResult { errors: errors.load(Ordering::Relaxed), duration, hist, peak_threads }
+}
+
+fn main() {
+    let args = parse_args();
+    let docroot = make_docroot();
+
+    if let Some(parent) = args.out.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create output directory");
+        }
+    }
+    let new_file = !args.out.exists();
+    let mut out = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&args.out)
+        .expect("open output csv");
+    if new_file {
+        writeln!(
+            out,
+            "engine,nodes,held_conns,workers,requests,errors,duration_s,rps,p50_ms,p99_ms,threads"
+        )
+        .unwrap();
+    }
+
+    for &engine in &args.engines {
+        eprintln!(
+            "enginebench: engine={} nodes={} hold={} workers={} requests={}",
+            engine.name(),
+            args.nodes,
+            args.hold,
+            args.workers,
+            args.requests
+        );
+        let r = run_engine(engine, &args, &docroot);
+        let served = r.hist.count();
+        let rps = served as f64 / r.duration.as_secs_f64().max(1e-9);
+        let row = format!(
+            "{},{},{},{},{},{},{:.3},{:.1},{:.3},{:.3},{}",
+            engine.name(),
+            args.nodes,
+            args.hold,
+            args.workers,
+            args.requests,
+            r.errors,
+            r.duration.as_secs_f64(),
+            rps,
+            r.hist.quantile(0.50) as f64 / 1000.0,
+            r.hist.quantile(0.99) as f64 / 1000.0,
+            r.peak_threads,
+        );
+        writeln!(out, "{row}").unwrap();
+        eprintln!("enginebench: {row}");
+    }
+    println!("enginebench: wrote {}", args.out.display());
+}

@@ -30,7 +30,7 @@ mod url;
 pub use date::{format_http_date, parse_http_date};
 pub use headers::Headers;
 pub use mime::mime_for_path;
-pub use parse::{parse_request, ParseError};
+pub use parse::{parse_request, try_parse_request, Malformed, ParseError};
 pub use request::{Method, Request};
 pub use response::Response;
 pub use response_parse::{parse_response, ParsedResponse, ResponseParseError};

@@ -18,6 +18,13 @@ pub enum ParseError {
     TooLarge,
 }
 
+impl ParseError {
+    /// True for the terminal errors — ones more bytes cannot cure.
+    pub fn is_malformed(&self) -> bool {
+        !matches!(self, ParseError::Incomplete)
+    }
+}
+
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let msg = match self {
@@ -32,6 +39,45 @@ impl std::fmt::Display for ParseError {
 }
 
 impl std::error::Error for ParseError {}
+
+/// A *terminal* parse failure: the bytes seen so far already prove the
+/// request can never parse, no matter what arrives next. Distinct from
+/// [`ParseError::Incomplete`], which only means "read more".
+///
+/// Incremental callers (the reactor's per-connection state machine) use
+/// [`try_parse_request`], which separates the two cases in its type:
+/// `Ok(None)` to keep reading, `Err(Malformed)` to answer 400 and close.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Malformed {
+    /// Request line or headers are not valid ASCII/UTF-8.
+    NotUtf8,
+    /// The request line is malformed.
+    BadRequestLine,
+    /// A header line has no `:` separator.
+    BadHeader,
+    /// The head exceeds `MAX_HEAD_BYTES` — terminal even without a blank
+    /// line, since further bytes only grow it.
+    TooLarge,
+}
+
+impl From<Malformed> for ParseError {
+    fn from(m: Malformed) -> ParseError {
+        match m {
+            Malformed::NotUtf8 => ParseError::NotUtf8,
+            Malformed::BadRequestLine => ParseError::BadRequestLine,
+            Malformed::BadHeader => ParseError::BadHeader,
+            Malformed::TooLarge => ParseError::TooLarge,
+        }
+    }
+}
+
+impl std::fmt::Display for Malformed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        ParseError::from(*self).fmt(f)
+    }
+}
+
+impl std::error::Error for Malformed {}
 
 /// Maximum size of the request head (request line + headers) we accept.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
@@ -53,34 +99,52 @@ pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 /// assert_eq!(used, raw.len());
 /// ```
 pub fn parse_request(buf: &[u8]) -> Result<(Request, usize), ParseError> {
+    match try_parse_request(buf) {
+        Ok(Some(parsed)) => Ok(parsed),
+        Ok(None) => Err(ParseError::Incomplete),
+        Err(m) => Err(m.into()),
+    }
+}
+
+/// Incremental variant of [`parse_request`] for callers that feed the
+/// parser partial reads: `Ok(None)` means the head is not finished yet
+/// (keep the buffer, read more bytes, call again); `Err` means the bytes
+/// already seen can never become a valid request.
+///
+/// ```
+/// use sweb_http::try_parse_request;
+///
+/// let raw = b"GET /doc HTTP/1.0\r\nHost: sweb\r\n\r\n";
+/// assert!(try_parse_request(&raw[..10]).unwrap().is_none()); // keep reading
+/// let (req, used) = try_parse_request(raw).unwrap().unwrap();
+/// assert_eq!(req.target, "/doc");
+/// assert_eq!(used, raw.len());
+/// ```
+pub fn try_parse_request(buf: &[u8]) -> Result<Option<(Request, usize)>, Malformed> {
     // Find end of head: \r\n\r\n or \n\n (or a lone request line for 0.9 —
     // handled by the caller reading until EOF; we still require a newline).
-    let head_end = find_head_end(buf).ok_or({
-        if buf.len() > MAX_HEAD_BYTES {
-            ParseError::TooLarge
-        } else {
-            ParseError::Incomplete
-        }
-    })?;
+    let Some(head_end) = find_head_end(buf) else {
+        return if buf.len() > MAX_HEAD_BYTES { Err(Malformed::TooLarge) } else { Ok(None) };
+    };
     if head_end.consumed > MAX_HEAD_BYTES {
-        return Err(ParseError::TooLarge);
+        return Err(Malformed::TooLarge);
     }
-    let head = std::str::from_utf8(&buf[..head_end.head_len]).map_err(|_| ParseError::NotUtf8)?;
+    let head = std::str::from_utf8(&buf[..head_end.head_len]).map_err(|_| Malformed::NotUtf8)?;
 
     let mut lines = head.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
-    let request_line = lines.next().ok_or(ParseError::BadRequestLine)?;
+    let request_line = lines.next().ok_or(Malformed::BadRequestLine)?;
     let mut parts = request_line.split_ascii_whitespace();
-    let method_tok = parts.next().ok_or(ParseError::BadRequestLine)?;
-    let target = parts.next().ok_or(ParseError::BadRequestLine)?;
+    let method_tok = parts.next().ok_or(Malformed::BadRequestLine)?;
+    let target = parts.next().ok_or(Malformed::BadRequestLine)?;
     let version = parts.next().unwrap_or(""); // HTTP/0.9 simple request
     if parts.next().is_some() {
-        return Err(ParseError::BadRequestLine);
+        return Err(Malformed::BadRequestLine);
     }
     if !version.is_empty() && !version.starts_with("HTTP/") {
-        return Err(ParseError::BadRequestLine);
+        return Err(Malformed::BadRequestLine);
     }
     if !target.starts_with('/') && target != "*" {
-        return Err(ParseError::BadRequestLine);
+        return Err(Malformed::BadRequestLine);
     }
 
     let mut headers = Headers::new();
@@ -88,14 +152,14 @@ pub fn parse_request(buf: &[u8]) -> Result<(Request, usize), ParseError> {
         if line.is_empty() {
             continue;
         }
-        let (name, value) = line.split_once(':').ok_or(ParseError::BadHeader)?;
+        let (name, value) = line.split_once(':').ok_or(Malformed::BadHeader)?;
         if name.is_empty() || name.contains(' ') {
-            return Err(ParseError::BadHeader);
+            return Err(Malformed::BadHeader);
         }
         headers.push(name.trim(), value.trim());
     }
 
-    Ok((
+    Ok(Some((
         Request {
             method: Method::from_token(method_tok),
             target: target.to_string(),
@@ -103,7 +167,7 @@ pub fn parse_request(buf: &[u8]) -> Result<(Request, usize), ParseError> {
             headers,
         },
         head_end.consumed,
-    ))
+    )))
 }
 
 struct HeadEnd {
@@ -229,5 +293,43 @@ mod tests {
     fn non_utf8_rejected() {
         let raw = b"GET /\xff\xfe HTTP/1.0\r\n\r\n";
         assert_eq!(parse_request(raw).unwrap_err(), ParseError::NotUtf8);
+    }
+
+    #[test]
+    fn try_parse_separates_incomplete_from_malformed() {
+        // Every proper prefix of a valid request is Ok(None), never Err.
+        let raw = b"GET /maps/goleta.gif HTTP/1.0\r\nHost: alexandria\r\n\r\n";
+        for cut in 0..raw.len() {
+            assert!(
+                matches!(try_parse_request(&raw[..cut]), Ok(None)),
+                "prefix of {cut} bytes"
+            );
+        }
+        let (req, used) = try_parse_request(raw).unwrap().unwrap();
+        assert_eq!(req.target, "/maps/goleta.gif");
+        assert_eq!(used, raw.len());
+        // A completed-but-bad head is terminal.
+        assert_eq!(
+            try_parse_request(b"GET nopath HTTP/1.0\r\n\r\n").unwrap_err(),
+            Malformed::BadRequestLine
+        );
+        // Oversize without a terminator is terminal too: more bytes only grow it.
+        let huge = vec![b'a'; MAX_HEAD_BYTES + 1];
+        assert_eq!(try_parse_request(&huge).unwrap_err(), Malformed::TooLarge);
+    }
+
+    #[test]
+    fn malformed_maps_onto_parse_error() {
+        for (m, e) in [
+            (Malformed::NotUtf8, ParseError::NotUtf8),
+            (Malformed::BadRequestLine, ParseError::BadRequestLine),
+            (Malformed::BadHeader, ParseError::BadHeader),
+            (Malformed::TooLarge, ParseError::TooLarge),
+        ] {
+            assert_eq!(ParseError::from(m), e);
+            assert!(ParseError::from(m).is_malformed());
+            assert_eq!(m.to_string(), e.to_string());
+        }
+        assert!(!ParseError::Incomplete.is_malformed());
     }
 }

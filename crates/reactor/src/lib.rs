@@ -1,0 +1,724 @@
+//! # sweb-reactor — an event-driven connection engine
+//!
+//! The 1996 SWEB design (NCSA httpd lineage) dedicates one process or
+//! thread to each connection; §4.3 of the paper measures precisely that
+//! overhead ("the overhead for the threads package") eating into
+//! scheduling gains. This crate is the modern counterpoint the paper
+//! anticipates: one readiness loop multiplexing every connection through
+//! a per-connection state machine, so concurrency is bounded by memory
+//! rather than by threads.
+//!
+//! Architecture (one reactor = one loop thread + a bounded worker pool):
+//!
+//! ```text
+//!        accept ──▶ [admission: cap or 503] ──▶ Reading ──▶ ReadingBody
+//!                                                  │ parse (incremental)
+//!                                                  ▼
+//!        workers ◀── dispatch ────────────── Dispatched
+//!           │  respond() (blocking file I/O off the loop)
+//!           ▼
+//!        completion queue ──wakeup──▶ Writing ──▶ close | keep-alive ↺
+//! ```
+//!
+//! * **Readiness** comes from [`sys::Poller`] — epoll on Linux, poll(2)
+//!   everywhere (force with `SWEB_REACTOR_POLL=1`).
+//! * **Parsing is incremental**: partial reads accumulate in a carry
+//!   buffer and [`sweb_http::try_parse_request`] distinguishes "need more
+//!   bytes" from "can never parse" without re-scanning cost blowups.
+//! * **Timeouts** ride a hashed [`timer::TimerWheel`] with lazy
+//!   cancellation: slow or idle clients are evicted without per-timer
+//!   bookkeeping and without ever blocking healthy connections.
+//! * **Blocking work** (file reads, CGI) runs on a bounded
+//!   [`workers::WorkerPool`]; a full queue sheds (503) instead of
+//!   queueing unboundedly.
+//! * **Admission control**: beyond `max_conns` the reactor answers 503
+//!   immediately. The application observes connection counts through
+//!   [`App`] hooks and feeds them into its advertised load vector, so an
+//!   overloaded node repels the cluster's scheduler as §3.3's `A+d(A+O)`
+//!   model intends.
+
+#![warn(missing_docs)]
+
+pub mod slab;
+pub mod sys;
+pub mod timer;
+pub mod workers;
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use sweb_http::{try_parse_request, Method, Request, Response, StatusCode};
+
+use slab::Slab;
+use sys::{Event, Interest, Poller};
+use timer::{TimerEntry, TimerWheel};
+use workers::WorkerPool;
+
+/// What the reactor serves. `respond` runs on a **worker thread** (it may
+/// block on disk); every hook runs on the event-loop thread and must be
+/// cheap and non-blocking (counter bumps).
+pub trait App: Send + Sync + 'static {
+    /// Produce the response for one parsed request.
+    fn respond(&self, peer: &str, req: &Request, body: &[u8]) -> Response;
+
+    /// A connection reached `accept` (before admission control).
+    fn on_accept(&self) {}
+    /// A connection was admitted and is now tracked.
+    fn on_conn_open(&self) {}
+    /// A tracked connection closed (any reason).
+    fn on_conn_close(&self) {}
+    /// A connection was refused with 503 (admission cap or full workers).
+    fn on_shed(&self) {}
+    /// A connection was evicted by the timer wheel (read/write deadline).
+    fn on_evict(&self) {}
+    /// A request failed to parse and was answered 400.
+    fn on_bad_request(&self) {}
+    /// `accept(2)` itself failed (not `WouldBlock`); the listener backs
+    /// off exponentially.
+    fn on_accept_error(&self, _err: &io::Error) {}
+    /// A response write began (`bytes` = wire size), for in-flight
+    /// accounting.
+    fn on_write_start(&self, _bytes: usize) {}
+    /// The matching end of [`App::on_write_start`].
+    fn on_write_end(&self, _bytes: usize) {}
+}
+
+/// Tuning knobs for one reactor instance.
+#[derive(Debug, Clone)]
+pub struct ReactorConfig {
+    /// Admission cap: connections beyond this are answered 503.
+    pub max_conns: usize,
+    /// Worker threads for blocking fulfilment.
+    pub workers: usize,
+    /// Bounded depth of the worker submission queue.
+    pub worker_queue: usize,
+    /// Evict a connection that produces no complete request for this long.
+    pub read_timeout: Duration,
+    /// Evict a connection that accepts no response bytes for this long.
+    pub write_timeout: Duration,
+    /// Maximum requests served over one keep-alive connection.
+    pub keepalive_limit: u32,
+    /// Timer wheel ring size (slots).
+    pub timer_slots: usize,
+    /// Timer wheel tick, ms (eviction resolution).
+    pub timer_tick_ms: u64,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> ReactorConfig {
+        ReactorConfig {
+            max_conns: 1024,
+            workers: 4,
+            worker_queue: 512,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            keepalive_limit: 64,
+            timer_slots: 256,
+            timer_tick_ms: 20,
+        }
+    }
+}
+
+/// Largest accepted POST body (mirrors the threaded engine).
+const MAX_BODY_BYTES: u64 = 1 << 20;
+
+/// Reserved poller tokens.
+const TOKEN_LISTENER: usize = 0;
+const TOKEN_WAKEUP: usize = 1;
+const TOKEN_BASE: usize = 2;
+
+/// A running reactor: join handle plus identity.
+pub struct ReactorHandle {
+    thread: Option<std::thread::JoinHandle<io::Result<()>>>,
+    /// Address the reactor is listening on.
+    pub addr: SocketAddr,
+    /// Readiness backend in use (`"epoll"` or `"poll"`).
+    pub backend: &'static str,
+}
+
+impl ReactorHandle {
+    /// Wait for the loop thread to exit (after `shutdown` was flagged).
+    pub fn join(mut self) -> io::Result<()> {
+        match self.thread.take() {
+            Some(t) => t.join().unwrap_or_else(|_| {
+                Err(io::Error::other("reactor thread panicked"))
+            }),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Spawn a reactor serving `app` on `listener`. The loop runs until
+/// `shutdown` is set (checked at least once per timer tick).
+pub fn spawn(
+    listener: TcpListener,
+    app: Arc<dyn App>,
+    cfg: ReactorConfig,
+    shutdown: Arc<AtomicBool>,
+) -> io::Result<ReactorHandle> {
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let poller = Poller::new()?;
+    let backend = poller.backend();
+
+    // Self-addressed UDP socket: the workers' doorbell into the loop.
+    let wakeup_rx = UdpSocket::bind("127.0.0.1:0")?;
+    wakeup_rx.set_nonblocking(true)?;
+    wakeup_rx.connect(wakeup_rx.local_addr()?)?;
+    let wakeup_tx = wakeup_rx.try_clone()?;
+
+    let thread = std::thread::Builder::new()
+        .name(format!("sweb-reactor-{}", addr.port()))
+        .spawn(move || {
+            Loop::new(listener, app, cfg, shutdown, poller, wakeup_rx, wakeup_tx).run()
+        })?;
+
+    Ok(ReactorHandle { thread: Some(thread), addr, backend })
+}
+
+/// Per-connection protocol position.
+enum ConnState {
+    /// Accumulating bytes of a request head.
+    Reading,
+    /// Head parsed; accumulating `need` bytes of POST body.
+    ReadingBody { req: Box<Request>, need: usize },
+    /// A worker owns the request; the loop ignores the socket (except
+    /// errors) until the completion arrives.
+    Dispatched,
+    /// Draining the serialized response.
+    Writing,
+}
+
+/// One tracked connection.
+struct Conn {
+    stream: TcpStream,
+    peer: String,
+    state: ConnState,
+    /// Read accumulator; may hold pipelined bytes beyond one request.
+    carry: Vec<u8>,
+    out: Vec<u8>,
+    out_pos: usize,
+    keep_alive: bool,
+    /// Close after the in-progress write (protocol errors, shed).
+    rounds: u32,
+    /// Current eviction deadline (reactor ms); timer entries must match
+    /// this exactly to act — anything else is a stale wheel entry.
+    deadline_ms: u64,
+    interest: Interest,
+}
+
+/// A finished `respond` call coming back from the worker pool.
+struct Completion {
+    token: usize,
+    gen: u64,
+    wire: Vec<u8>,
+    keep_alive: bool,
+}
+
+struct Loop {
+    listener: TcpListener,
+    app: Arc<dyn App>,
+    cfg: ReactorConfig,
+    shutdown: Arc<AtomicBool>,
+    poller: Poller,
+    wakeup_rx: UdpSocket,
+    wakeup_tx: Arc<UdpSocket>,
+    conns: Slab<Conn>,
+    wheel: TimerWheel,
+    pool: WorkerPool,
+    completions: Arc<Mutex<Vec<Completion>>>,
+    start: Instant,
+    /// Accept failure streak, for exponential listener backoff.
+    accept_errors: u32,
+    /// When set, the listener is deregistered until this reactor-ms time.
+    listener_parked_until: Option<u64>,
+}
+
+impl Loop {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        listener: TcpListener,
+        app: Arc<dyn App>,
+        cfg: ReactorConfig,
+        shutdown: Arc<AtomicBool>,
+        poller: Poller,
+        wakeup_rx: UdpSocket,
+        wakeup_tx: UdpSocket,
+    ) -> Loop {
+        let wheel = TimerWheel::new(cfg.timer_slots, cfg.timer_tick_ms);
+        let pool = WorkerPool::new(cfg.workers, cfg.worker_queue, "sweb");
+        Loop {
+            listener,
+            app,
+            cfg,
+            shutdown,
+            poller,
+            wakeup_rx,
+            wakeup_tx: Arc::new(wakeup_tx),
+            conns: Slab::new(),
+            wheel,
+            pool,
+            completions: Arc::new(Mutex::new(Vec::new())),
+            start: Instant::now(),
+            accept_errors: 0,
+            listener_parked_until: None,
+        }
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+
+    fn run(mut self) -> io::Result<()> {
+        self.poller.register(self.listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)?;
+        self.poller.register(self.wakeup_rx.as_raw_fd(), TOKEN_WAKEUP, Interest::READ)?;
+
+        let mut events: Vec<Event> = Vec::with_capacity(256);
+        let mut expired: Vec<TimerEntry> = Vec::new();
+        while !self.shutdown.load(Ordering::Relaxed) {
+            let now = self.now_ms();
+            let timeout = self.wheel.ms_to_next_tick(now).clamp(1, 50) as i32;
+            self.poller.wait(&mut events, timeout)?;
+
+            for ev in events.clone() {
+                match ev.token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKEUP => self.drain_wakeup(),
+                    t => self.conn_event(t - TOKEN_BASE, ev),
+                }
+            }
+
+            self.drain_completions();
+
+            let now = self.now_ms();
+            self.wheel.advance(now, &mut expired);
+            for e in expired.drain(..) {
+                self.expire(e);
+            }
+
+            if let Some(until) = self.listener_parked_until {
+                if now >= until {
+                    self.listener_parked_until = None;
+                    self.poller.register(
+                        self.listener.as_raw_fd(),
+                        TOKEN_LISTENER,
+                        Interest::READ,
+                    )?;
+                }
+            }
+        }
+
+        // Drain: close every connection, then join the workers.
+        for (_, conn) in self.conns.drain_all() {
+            let _ = self.poller.deregister(conn.stream.as_raw_fd());
+            self.app.on_conn_close();
+        }
+        self.pool.shutdown();
+        Ok(())
+    }
+
+    // -------------------------------------------------- accept + admission
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, peer)) => {
+                    self.accept_errors = 0;
+                    self.app.on_accept();
+                    if self.conns.len() >= self.cfg.max_conns {
+                        self.shed(stream);
+                        continue;
+                    }
+                    if self.admit(stream, peer).is_err() {
+                        // Couldn't make it nonblocking / register: drop it.
+                        self.app.on_conn_close();
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    // Transient resource errors (EMFILE & friends): back the
+                    // listener off exponentially instead of spinning hot.
+                    self.app.on_accept_error(&e);
+                    self.accept_errors = self.accept_errors.saturating_add(1);
+                    let backoff = 5u64.saturating_mul(1 << self.accept_errors.min(8)).min(1000);
+                    let _ = self.poller.deregister(self.listener.as_raw_fd());
+                    self.listener_parked_until = Some(self.now_ms() + backoff);
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Refuse a connection with 503 (best effort) and drop it.
+    fn shed(&mut self, stream: TcpStream) {
+        self.app.on_shed();
+        let mut resp = Response::error(StatusCode::ServiceUnavailable);
+        resp.headers.set("Connection", "close");
+        let wire = resp.to_bytes(false);
+        let _ = stream.set_nonblocking(true);
+        let mut s = stream;
+        let _ = s.write(&wire); // small; fits the socket buffer or is lost
+    }
+
+    fn admit(&mut self, stream: TcpStream, peer: SocketAddr) -> io::Result<()> {
+        stream.set_nonblocking(true)?;
+        let _ = stream.set_nodelay(true);
+        let deadline_ms = self.now_ms() + self.cfg.read_timeout.as_millis() as u64;
+        let conn = Conn {
+            stream,
+            peer: peer.ip().to_string(),
+            state: ConnState::Reading,
+            carry: Vec::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            keep_alive: false,
+            rounds: 0,
+            deadline_ms,
+            interest: Interest::READ,
+        };
+        let (idx, gen) = self.conns.insert(conn);
+        let fd = self.conns.get_mut(idx).unwrap().stream.as_raw_fd();
+        if let Err(e) = self.poller.register(fd, TOKEN_BASE + idx, Interest::READ) {
+            self.conns.remove(idx);
+            return Err(e);
+        }
+        self.wheel.schedule(TimerEntry { token: idx, gen, deadline_ms });
+        self.app.on_conn_open();
+        Ok(())
+    }
+
+    // -------------------------------------------------------- I/O events
+
+    fn conn_event(&mut self, idx: usize, ev: Event) {
+        let Some(conn) = self.conns.get_mut(idx) else { return };
+        match conn.state {
+            ConnState::Reading | ConnState::ReadingBody { .. } => {
+                if ev.error {
+                    self.close(idx);
+                } else if ev.readable {
+                    self.on_readable(idx);
+                }
+            }
+            ConnState::Writing => {
+                if ev.error {
+                    self.close(idx);
+                } else if ev.writable || ev.readable {
+                    // `readable` here is HUP leaking through: the write
+                    // will surface the broken pipe.
+                    self.on_writable(idx);
+                }
+            }
+            ConnState::Dispatched => {
+                // Interest is NONE; only errors/hangups arrive. The worker
+                // holds a generation-checked key, so closing now is safe.
+                if ev.error || ev.readable {
+                    self.close(idx);
+                }
+            }
+        }
+    }
+
+    fn on_readable(&mut self, idx: usize) {
+        let mut chunk = [0u8; 4096];
+        loop {
+            let Some(conn) = self.conns.get_mut(idx) else { return };
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.close(idx);
+                    return;
+                }
+                Ok(n) => {
+                    conn.carry.extend_from_slice(&chunk[..n]);
+                    if !self.progress(idx) {
+                        return; // state advanced away from reading
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(idx);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Try to advance a Reading/ReadingBody connection using buffered
+    /// bytes only. Returns true while the connection still wants reads.
+    fn progress(&mut self, idx: usize) -> bool {
+        loop {
+            let Some(conn) = self.conns.get_mut(idx) else { return false };
+            match &conn.state {
+                ConnState::Reading => match try_parse_request(&conn.carry) {
+                    Ok(None) => return true,
+                    Ok(Some((req, used))) => {
+                        conn.carry.drain(..used);
+                        let need = match body_length(&req) {
+                            Ok(n) => n,
+                            Err(()) => {
+                                self.bad_request(idx);
+                                return false;
+                            }
+                        };
+                        if conn.carry.len() >= need {
+                            let body: Vec<u8> = conn.carry.drain(..need).collect();
+                            self.dispatch(idx, req, body);
+                            return false;
+                        }
+                        conn.state = ConnState::ReadingBody { req: Box::new(req), need };
+                        // Loop again: maybe the body is already here (it
+                        // isn't — we just checked — so this returns true).
+                    }
+                    Err(_malformed) => {
+                        self.bad_request(idx);
+                        return false;
+                    }
+                },
+                ConnState::ReadingBody { need, .. } => {
+                    let need = *need;
+                    if conn.carry.len() < need {
+                        return true;
+                    }
+                    let body: Vec<u8> = conn.carry.drain(..need).collect();
+                    let ConnState::ReadingBody { req, .. } =
+                        std::mem::replace(&mut conn.state, ConnState::Reading)
+                    else {
+                        unreachable!()
+                    };
+                    self.dispatch(idx, *req, body);
+                    return false;
+                }
+                _ => return false,
+            }
+        }
+    }
+
+    // ----------------------------------------------------- request lifecycle
+
+    fn dispatch(&mut self, idx: usize, req: Request, body: Vec<u8>) {
+        let Some(gen) = self.conns.gen_of(idx) else { return };
+        let Some(conn) = self.conns.get_mut(idx) else { return };
+        conn.rounds += 1;
+        let client_keep = req
+            .headers
+            .get("connection")
+            .map(|v| v.eq_ignore_ascii_case("keep-alive"))
+            .unwrap_or(false);
+        let keep_alive = client_keep && conn.rounds < self.cfg.keepalive_limit;
+        let head_only = req.method == Method::Head;
+        conn.state = ConnState::Dispatched;
+        self.set_interest(idx, Interest::NONE);
+        // The worker may outlive this request's relevance (evicted client);
+        // the generation check on completion makes that harmless.
+        let app = Arc::clone(&self.app);
+        let completions = Arc::clone(&self.completions);
+        let wakeup = Arc::clone(&self.wakeup_tx);
+        let peer = self.conns.get_mut(idx).map(|c| c.peer.clone()).unwrap_or_default();
+        let token = idx;
+        let job = Box::new(move || {
+            let mut resp = app.respond(&peer, &req, &body);
+            if keep_alive {
+                resp.headers.set("Connection", "Keep-Alive");
+            }
+            let wire = resp.to_bytes(head_only);
+            match completions.lock() {
+                Ok(mut q) => q.push(Completion { token, gen, wire, keep_alive }),
+                Err(poisoned) => {
+                    poisoned.into_inner().push(Completion { token, gen, wire, keep_alive })
+                }
+            }
+            let _ = wakeup.send(&[1]);
+        });
+        if let Err(_job) = self.pool.try_submit(job) {
+            // Every worker busy and the queue full: shed at the request
+            // level rather than queue unboundedly.
+            self.app.on_shed();
+            let mut resp = Response::error(StatusCode::ServiceUnavailable);
+            resp.headers.set("Connection", "close");
+            self.start_write(idx, resp.to_bytes(false), false);
+        }
+    }
+
+    fn bad_request(&mut self, idx: usize) {
+        self.app.on_bad_request();
+        let resp = Response::error(StatusCode::BadRequest);
+        self.start_write(idx, resp.to_bytes(false), false);
+    }
+
+    fn drain_wakeup(&mut self) {
+        let mut buf = [0u8; 64];
+        while let Ok(n) = self.wakeup_rx.recv(&mut buf) {
+            if n == 0 {
+                break;
+            }
+        }
+    }
+
+    fn drain_completions(&mut self) {
+        let done: Vec<Completion> = {
+            let mut q = match self.completions.lock() {
+                Ok(q) => q,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            std::mem::take(&mut *q)
+        };
+        for c in done {
+            if self.conns.get_mut_checked(c.token, c.gen).is_none() {
+                continue; // connection died while the worker ran
+            }
+            let Some(conn) = self.conns.get_mut(c.token) else { continue };
+            if !matches!(conn.state, ConnState::Dispatched) {
+                continue;
+            }
+            self.start_write(c.token, c.wire, c.keep_alive);
+        }
+    }
+
+    fn start_write(&mut self, idx: usize, wire: Vec<u8>, keep_alive: bool) {
+        let Some(gen) = self.conns.gen_of(idx) else { return };
+        let deadline_ms = self.now_ms() + self.cfg.write_timeout.as_millis() as u64;
+        {
+            let Some(conn) = self.conns.get_mut(idx) else { return };
+            self.app.on_write_start(wire.len());
+            conn.out = wire;
+            conn.out_pos = 0;
+            conn.keep_alive = keep_alive;
+            conn.state = ConnState::Writing;
+            conn.deadline_ms = deadline_ms;
+        }
+        self.wheel.schedule(TimerEntry { token: idx, gen, deadline_ms });
+        // Optimistic write: most responses fit the socket buffer, saving a
+        // poll round-trip. Falls back to WRITE interest if it blocks.
+        self.on_writable(idx);
+    }
+
+    fn on_writable(&mut self, idx: usize) {
+        loop {
+            let Some(conn) = self.conns.get_mut(idx) else { return };
+            if conn.out_pos >= conn.out.len() {
+                break;
+            }
+            match conn.stream.write(&conn.out[conn.out_pos..]) {
+                Ok(0) => {
+                    self.write_done(idx, false);
+                    return;
+                }
+                Ok(n) => conn.out_pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.set_interest(idx, Interest::WRITE);
+                    return;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.write_done(idx, false);
+                    return;
+                }
+            }
+        }
+        self.write_done(idx, true);
+    }
+
+    /// A write finished (fully, or by error). Account it, then either
+    /// recycle the connection for keep-alive or close it.
+    fn write_done(&mut self, idx: usize, ok: bool) {
+        let Some(gen) = self.conns.gen_of(idx) else { return };
+        let (keep, written) = {
+            let Some(conn) = self.conns.get_mut(idx) else { return };
+            let written = conn.out.len();
+            conn.out = Vec::new();
+            conn.out_pos = 0;
+            (conn.keep_alive, written)
+        };
+        self.app.on_write_end(written);
+        if !ok || !keep {
+            self.close(idx);
+            return;
+        }
+        let deadline_ms = self.now_ms() + self.cfg.read_timeout.as_millis() as u64;
+        {
+            let Some(conn) = self.conns.get_mut(idx) else { return };
+            conn.state = ConnState::Reading;
+            conn.deadline_ms = deadline_ms;
+        }
+        self.wheel.schedule(TimerEntry { token: idx, gen, deadline_ms });
+        self.set_interest(idx, Interest::READ);
+        // Pipelined bytes may already complete the next request.
+        self.progress(idx);
+    }
+
+    // ------------------------------------------------------------ plumbing
+
+    fn set_interest(&mut self, idx: usize, interest: Interest) {
+        let Some(conn) = self.conns.get_mut(idx) else { return };
+        if conn.interest == interest {
+            return;
+        }
+        conn.interest = interest;
+        let fd = conn.stream.as_raw_fd();
+        if self.poller.modify(fd, TOKEN_BASE + idx, interest).is_err() {
+            self.close(idx);
+        }
+    }
+
+    fn expire(&mut self, e: TimerEntry) {
+        let Some(conn) = self.conns.get_mut_checked(e.token, e.gen) else {
+            return; // stale: connection already gone or recycled
+        };
+        if conn.deadline_ms != e.deadline_ms {
+            return; // stale: the deadline moved since this was scheduled
+        }
+        self.app.on_evict();
+        self.close(e.token);
+    }
+
+    fn close(&mut self, idx: usize) {
+        if let Some(conn) = self.conns.remove(idx) {
+            let _ = self.poller.deregister(conn.stream.as_raw_fd());
+            self.app.on_conn_close();
+            // conn.stream drops here, closing the fd.
+        }
+    }
+}
+
+/// Expected body length for a parsed request head; `Err` means the head
+/// is unserviceable (POST without/with oversized `Content-Length`).
+fn body_length(req: &Request) -> Result<usize, ()> {
+    if req.method != Method::Post {
+        return Ok(0);
+    }
+    let len = req.headers.content_length().ok_or(())?;
+    if len > MAX_BODY_BYTES {
+        return Err(());
+    }
+    Ok(len as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn body_length_rules() {
+        let parse = |raw: &[u8]| try_parse_request(raw).unwrap().unwrap().0;
+        let get = parse(b"GET / HTTP/1.0\r\n\r\n");
+        assert_eq!(body_length(&get), Ok(0));
+        let post = parse(b"POST /cgi HTTP/1.0\r\nContent-Length: 12\r\n\r\n");
+        assert_eq!(body_length(&post), Ok(12));
+        let no_len = parse(b"POST /cgi HTTP/1.0\r\n\r\n");
+        assert_eq!(body_length(&no_len), Err(()));
+        let huge = parse(b"POST /cgi HTTP/1.0\r\nContent-Length: 99999999\r\n\r\n");
+        assert_eq!(body_length(&huge), Err(()));
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let cfg = ReactorConfig::default();
+        assert!(cfg.max_conns > 0 && cfg.workers > 0 && cfg.keepalive_limit > 1);
+        assert!(cfg.timer_tick_ms > 0 && cfg.timer_slots > 1);
+    }
+}

@@ -1,0 +1,149 @@
+//! A generational slab: stable integer keys for connection state.
+//!
+//! Keys are `(index, generation)`. Freed slots are reused, but each reuse
+//! bumps the slot's generation, so a stale key (a timer that fired after
+//! its connection closed, a worker completion for an evicted client)
+//! simply fails to resolve instead of touching the wrong connection.
+
+/// Slab of `T` with generation-checked access.
+pub struct Slab<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<usize>,
+    len: usize,
+}
+
+struct Slot<T> {
+    gen: u64,
+    value: Option<T>,
+}
+
+impl<T> Slab<T> {
+    /// An empty slab.
+    pub fn new() -> Slab<T> {
+        Slab { slots: Vec::new(), free: Vec::new(), len: 0 }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert a value; returns its `(index, generation)` key.
+    pub fn insert(&mut self, value: T) -> (usize, u64) {
+        self.len += 1;
+        if let Some(i) = self.free.pop() {
+            let slot = &mut self.slots[i];
+            debug_assert!(slot.value.is_none());
+            slot.value = Some(value);
+            (i, slot.gen)
+        } else {
+            self.slots.push(Slot { gen: 0, value: Some(value) });
+            (self.slots.len() - 1, 0)
+        }
+    }
+
+    /// Access by index alone (the caller already validated liveness).
+    pub fn get_mut(&mut self, index: usize) -> Option<&mut T> {
+        self.slots.get_mut(index).and_then(|s| s.value.as_mut())
+    }
+
+    /// Access only if `gen` matches the slot's current generation.
+    pub fn get_mut_checked(&mut self, index: usize, gen: u64) -> Option<&mut T> {
+        match self.slots.get_mut(index) {
+            Some(s) if s.gen == gen => s.value.as_mut(),
+            _ => None,
+        }
+    }
+
+    /// Current generation of a live slot.
+    pub fn gen_of(&self, index: usize) -> Option<u64> {
+        match self.slots.get(index) {
+            Some(s) if s.value.is_some() => Some(s.gen),
+            _ => None,
+        }
+    }
+
+    /// Remove and return the value at `index`; the slot's generation is
+    /// bumped so outstanding keys go stale.
+    pub fn remove(&mut self, index: usize) -> Option<T> {
+        let slot = self.slots.get_mut(index)?;
+        let value = slot.value.take()?;
+        slot.gen += 1;
+        self.free.push(index);
+        self.len -= 1;
+        Some(value)
+    }
+
+    /// Drain every live entry (shutdown path).
+    pub fn drain_all(&mut self) -> Vec<(usize, T)> {
+        let mut out = Vec::with_capacity(self.len);
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if let Some(v) = slot.value.take() {
+                slot.gen += 1;
+                self.free.push(i);
+                out.push((i, v));
+            }
+        }
+        self.len = 0;
+        out
+    }
+
+    /// Iterate over live `(index, &mut T)` pairs.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (usize, &mut T)> {
+        self.slots.iter_mut().enumerate().filter_map(|(i, s)| s.value.as_mut().map(|v| (i, v)))
+    }
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut slab = Slab::new();
+        let (a, ga) = slab.insert("a");
+        let (b, gb) = slab.insert("b");
+        assert_ne!(a, b);
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.get_mut_checked(a, ga), Some(&mut "a"));
+        assert_eq!(slab.remove(a), Some("a"));
+        assert_eq!(slab.len(), 1);
+        assert_eq!(slab.get_mut_checked(b, gb), Some(&mut "b"));
+    }
+
+    #[test]
+    fn stale_generation_does_not_resolve() {
+        let mut slab = Slab::new();
+        let (i, g) = slab.insert(1u32);
+        slab.remove(i);
+        let (i2, g2) = slab.insert(2u32);
+        // Slot reused with a bumped generation.
+        assert_eq!(i, i2);
+        assert_ne!(g, g2);
+        assert_eq!(slab.get_mut_checked(i, g), None);
+        assert_eq!(slab.get_mut_checked(i2, g2), Some(&mut 2));
+    }
+
+    #[test]
+    fn drain_all_empties_and_invalidates() {
+        let mut slab = Slab::new();
+        let keys: Vec<_> = (0..5).map(|v| slab.insert(v)).collect();
+        let drained = slab.drain_all();
+        assert_eq!(drained.len(), 5);
+        assert!(slab.is_empty());
+        for (i, g) in keys {
+            assert_eq!(slab.get_mut_checked(i, g), None);
+        }
+    }
+}

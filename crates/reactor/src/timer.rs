@@ -1,0 +1,165 @@
+//! A hashed timer wheel with lazy cancellation.
+//!
+//! Deadlines are bucketed into `tick_ms` slots over a fixed ring. The
+//! reactor never cancels an entry explicitly: when a connection's
+//! deadline moves (new request, write progress) it simply schedules a new
+//! entry, and expired entries are validated against the connection's
+//! *current* generation and deadline before acting. A stale entry is a
+//! few bytes of garbage that disappears when its slot next drains —
+//! exactly the trade the classic hashed-wheel design makes to keep
+//! schedule/advance O(1) amortized.
+
+/// One scheduled expiry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerEntry {
+    /// Slab index of the connection.
+    pub token: usize,
+    /// Slab generation the entry was scheduled for.
+    pub gen: u64,
+    /// Absolute deadline in reactor-clock milliseconds.
+    pub deadline_ms: u64,
+}
+
+/// The wheel.
+pub struct TimerWheel {
+    slots: Vec<Vec<TimerEntry>>,
+    tick_ms: u64,
+    /// Last tick fully drained by `advance`.
+    last_tick: u64,
+    /// Live (possibly stale) entries, to size drains.
+    pending: usize,
+}
+
+impl TimerWheel {
+    /// A wheel of `num_slots` buckets of `tick_ms` each. The ring spans
+    /// `num_slots * tick_ms` milliseconds; deadlines beyond that are
+    /// handled correctly (entries further than one revolution away are
+    /// re-queued when their slot drains early).
+    pub fn new(num_slots: usize, tick_ms: u64) -> TimerWheel {
+        assert!(num_slots > 1 && tick_ms > 0);
+        TimerWheel {
+            slots: (0..num_slots).map(|_| Vec::new()).collect(),
+            tick_ms,
+            last_tick: 0,
+            pending: 0,
+        }
+    }
+
+    /// Milliseconds per tick.
+    pub fn tick_ms(&self) -> u64 {
+        self.tick_ms
+    }
+
+    /// Entries currently queued (including stale ones awaiting drain).
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// Schedule an expiry. Deadlines at or before the current tick fire
+    /// on the next `advance`.
+    pub fn schedule(&mut self, entry: TimerEntry) {
+        let tick = (entry.deadline_ms / self.tick_ms).max(self.last_tick + 1);
+        let slot = (tick as usize) % self.slots.len();
+        self.slots[slot].push(entry);
+        self.pending += 1;
+    }
+
+    /// Advance the wheel to `now_ms`, appending every entry whose
+    /// deadline has passed to `expired`. Entries in visited slots whose
+    /// deadline is still in the future (a later revolution) are kept.
+    pub fn advance(&mut self, now_ms: u64, expired: &mut Vec<TimerEntry>) {
+        let now_tick = now_ms / self.tick_ms;
+        if now_tick <= self.last_tick {
+            return;
+        }
+        let n = self.slots.len() as u64;
+        // Visit each slot at most once per advance, even if we fell far
+        // behind (each slot holds every residue class of its index).
+        let span = (now_tick - self.last_tick).min(n);
+        for t in self.last_tick + 1..=self.last_tick + span {
+            let slot = (t as usize) % self.slots.len();
+            let bucket = &mut self.slots[slot];
+            let mut i = 0;
+            while i < bucket.len() {
+                if bucket[i].deadline_ms <= now_ms {
+                    let e = bucket.swap_remove(i);
+                    self.pending -= 1;
+                    expired.push(e);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        self.last_tick = now_tick;
+    }
+
+    /// Milliseconds until the next tick boundary after `now_ms` — the
+    /// natural poll timeout when no I/O is pending.
+    pub fn ms_to_next_tick(&self, now_ms: u64) -> u64 {
+        self.tick_ms - (now_ms % self.tick_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn expired_at(wheel: &mut TimerWheel, now: u64) -> Vec<TimerEntry> {
+        let mut out = Vec::new();
+        wheel.advance(now, &mut out);
+        out
+    }
+
+    #[test]
+    fn fires_at_deadline_not_before() {
+        let mut w = TimerWheel::new(16, 10);
+        w.schedule(TimerEntry { token: 1, gen: 0, deadline_ms: 55 });
+        assert!(expired_at(&mut w, 40).is_empty());
+        let fired = expired_at(&mut w, 60);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].token, 1);
+        assert_eq!(w.pending(), 0);
+    }
+
+    #[test]
+    fn deadline_beyond_one_revolution_waits() {
+        let mut w = TimerWheel::new(8, 10); // ring spans 80 ms
+        w.schedule(TimerEntry { token: 3, gen: 0, deadline_ms: 250 });
+        // Sweep several revolutions below the deadline: nothing fires.
+        for now in (10..250).step_by(10) {
+            assert!(expired_at(&mut w, now).is_empty(), "premature fire at {now}");
+        }
+        assert_eq!(expired_at(&mut w, 250).len(), 1);
+    }
+
+    #[test]
+    fn past_deadline_fires_on_next_advance() {
+        let mut w = TimerWheel::new(8, 10);
+        expired_at(&mut w, 100); // move time forward
+        w.schedule(TimerEntry { token: 9, gen: 2, deadline_ms: 30 }); // already past
+        let fired = expired_at(&mut w, 110);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].gen, 2);
+    }
+
+    #[test]
+    fn big_jump_drains_every_slot_once() {
+        let mut w = TimerWheel::new(4, 10);
+        for t in 0..12 {
+            w.schedule(TimerEntry { token: t, gen: 0, deadline_ms: 10 + (t as u64) * 7 });
+        }
+        // Jump far past everything in one advance.
+        let fired = expired_at(&mut w, 10_000);
+        assert_eq!(fired.len(), 12);
+        assert_eq!(w.pending(), 0);
+    }
+
+    #[test]
+    fn next_tick_timeout_is_bounded() {
+        let w = TimerWheel::new(16, 25);
+        for now in [0, 1, 24, 25, 26, 99] {
+            let ms = w.ms_to_next_tick(now);
+            assert!((1..=25).contains(&ms), "timeout {ms} at now={now}");
+        }
+    }
+}

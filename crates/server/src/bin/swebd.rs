@@ -12,12 +12,13 @@
 use std::time::Duration;
 
 use sweb_core::Policy;
-use sweb_server::{ClusterConfig, LiveCluster};
+use sweb_server::{ClusterConfig, Engine, LiveCluster};
 
 struct Args {
     nodes: usize,
     docroot: std::path::PathBuf,
     policy: Policy,
+    engine: Engine,
     port_base: Option<u16>,
     loadd_ms: u64,
     access_log: Option<std::path::PathBuf>,
@@ -27,7 +28,8 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: swebd [--nodes N] [--docroot DIR] [--policy sweb|rr|locality|cpu] \
-         [--port-base P] [--loadd-ms MS] [--access-log FILE] [--oracle FILE]"
+         [--engine reactor|threaded] [--port-base P] [--loadd-ms MS] \
+         [--access-log FILE] [--oracle FILE]"
     );
     std::process::exit(2);
 }
@@ -37,6 +39,7 @@ fn parse_args() -> Args {
         nodes: 3,
         docroot: std::path::PathBuf::from("."),
         policy: Policy::Sweb,
+        engine: Engine::default(),
         port_base: None,
         loadd_ms: 2500,
         access_log: None,
@@ -57,6 +60,7 @@ fn parse_args() -> Args {
                     _ => usage(),
                 }
             }
+            "--engine" => args.engine = value().parse().unwrap_or_else(|_| usage()),
             "--port-base" => args.port_base = Some(value().parse().unwrap_or_else(|_| usage())),
             "--loadd-ms" => args.loadd_ms = value().parse().unwrap_or_else(|_| usage()),
             "--access-log" => args.access_log = Some(value().into()),
@@ -74,7 +78,12 @@ fn main() {
         eprintln!("swebd: docroot {:?} is not a directory", args.docroot);
         std::process::exit(1);
     }
-    let mut cfg = ClusterConfig { policy: args.policy, port_base: args.port_base, ..Default::default() };
+    let mut cfg = ClusterConfig {
+        policy: args.policy,
+        engine: args.engine,
+        port_base: args.port_base,
+        ..Default::default()
+    };
     cfg.sweb.loadd_period = sweb_des::SimTime::from_millis(args.loadd_ms);
     cfg.sweb.stale_timeout = sweb_des::SimTime::from_millis(args.loadd_ms * 4);
     if let Some(path) = &args.oracle {
@@ -107,7 +116,13 @@ fn main() {
             std::process::exit(1);
         }
     };
-    println!("swebd: {}-node SWEB cluster, policy {:?}, docroot {:?}", cluster.len(), args.policy, args.docroot);
+    println!(
+        "swebd: {}-node SWEB cluster, policy {:?}, engine {}, docroot {:?}",
+        cluster.len(),
+        args.policy,
+        args.engine.name(),
+        args.docroot
+    );
     for i in 0..cluster.len() {
         println!("  node {i}: {}  (status: {}/sweb-status)", cluster.base_url(i), cluster.base_url(i));
     }

@@ -13,11 +13,53 @@ use sweb_des::SimTime;
 
 use crate::node::{NodeHandle, NodeShared, NodeStats};
 
+/// Which connection engine a node runs.
+///
+/// Both engines sit on the same Broker/LoadTable/loadd stack and answer
+/// identical HTTP; they differ only in how connections map to threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Event-driven engine ([`sweb_reactor`]): one poller thread per node
+    /// multiplexes every connection, a small bounded pool runs blocking
+    /// fulfilment, and admission control sheds excess load with 503.
+    #[default]
+    Reactor,
+    /// The classic NCSA-style engine: one OS thread per connection
+    /// (threads being the modern stand-in for fork-per-request).
+    ThreadPerConn,
+}
+
+impl Engine {
+    /// Short name used in status pages and benchmark CSV.
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Reactor => "reactor",
+            Engine::ThreadPerConn => "threaded",
+        }
+    }
+}
+
+impl std::str::FromStr for Engine {
+    type Err = ();
+    fn from_str(s: &str) -> Result<Engine, ()> {
+        match s {
+            "reactor" | "event" => Ok(Engine::Reactor),
+            "threaded" | "thread" | "thread-per-conn" => Ok(Engine::ThreadPerConn),
+            _ => Err(()),
+        }
+    }
+}
+
 /// Configuration for a live cluster.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
     /// Scheduling strategy each node runs.
     pub policy: Policy,
+    /// Connection engine each node runs (default: [`Engine::Reactor`]).
+    pub engine: Engine,
+    /// Per-node admission cap (reactor engine): connections beyond this
+    /// are answered `503` and counted in `NodeStats::shed`.
+    pub max_conns: usize,
     /// Scheduler tunables. The default shortens the loadd period to 200 ms
     /// so tests converge quickly; pass the paper's 2.5 s for realism.
     pub sweb: SwebConfig,
@@ -45,6 +87,8 @@ impl Default for ClusterConfig {
         };
         ClusterConfig {
             policy: Policy::Sweb,
+            engine: Engine::default(),
+            max_conns: 4096,
             sweb,
             cgi: crate::cgi::CgiRegistry::demo(),
             port_base: None,
@@ -91,6 +135,8 @@ impl LiveCluster {
         for (i, (listener, udp)) in listeners.into_iter().zip(udps).enumerate() {
             let shared = Arc::new(NodeShared {
                 id: NodeId(i as u32),
+                engine: cfg.engine,
+                max_conns: cfg.max_conns,
                 cluster: cluster_spec.clone(),
                 peer_http: peer_http.clone(),
                 peer_udp: peer_udp.clone(),

@@ -54,12 +54,7 @@ pub fn handle_connection(shared: Arc<NodeShared>, mut stream: TcpStream) {
                         .get("connection")
                         .map(|v| v.eq_ignore_ascii_case("keep-alive"))
                         .unwrap_or(false);
-                    let method = match req.method {
-                        Method::Get => "GET",
-                        Method::Head => "HEAD",
-                        Method::Post => "POST",
-                        Method::Other => "OTHER",
-                    };
+                    let method = method_str(req.method);
                     let body = match read_body(&mut stream, &mut carry, &req) {
                         Ok(body) => body,
                         Err(()) => {
@@ -151,8 +146,19 @@ fn read_body(
     Ok(body)
 }
 
-/// §3.2 steps 1–4 over a real request.
-fn respond(shared: &NodeShared, req: &Request, body: &[u8]) -> Response {
+/// CLF method tag for a parsed request.
+pub(crate) fn method_str(method: Method) -> &'static str {
+    match method {
+        Method::Get => "GET",
+        Method::Head => "HEAD",
+        Method::Post => "POST",
+        Method::Other => "OTHER",
+    }
+}
+
+/// §3.2 steps 1–4 over a real request. Both connection engines funnel
+/// every parsed request through here.
+pub(crate) fn respond(shared: &NodeShared, req: &Request, body: &[u8]) -> Response {
     // Step 1: preprocess — method check, path completion, existence.
     if !req.method.is_supported() {
         return Response::error(StatusCode::NotImplemented);

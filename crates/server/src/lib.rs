@@ -5,8 +5,12 @@
 //! localhost TCP port, running the same scheduler stack ([`sweb_core`])
 //! the simulator uses:
 //!
-//! * a listener + thread-per-connection **httpd** (NCSA httpd forked per
-//!   request; threads are the modern equivalent);
+//! * an **httpd** in one of two interchangeable connection engines
+//!   (selected by [`ClusterConfig::engine`]): the default event-driven
+//!   reactor (`sweb-reactor`: one poller thread multiplexing every
+//!   connection, bounded workers for blocking fulfilment, 503 admission
+//!   control) or the classic thread-per-connection loop (NCSA httpd
+//!   forked per request; threads are the modern equivalent);
 //! * the **broker** consults the node's live [`sweb_core::LoadTable`] and
 //!   answers `302 Found` with a `Location` on a peer when another node
 //!   would finish the request sooner — marked with the redirect-once query
@@ -47,6 +51,6 @@ pub mod file_cache;
 pub use access_log::AccessLog;
 pub use file_cache::FileCache;
 pub use cgi::{CgiProgram, CgiRegistry};
-pub use cluster::{ClusterConfig, LiveCluster};
+pub use cluster::{ClusterConfig, Engine, LiveCluster};
 pub use node::{NodeHandle, NodeStats};
 pub use status::STATUS_PATH;

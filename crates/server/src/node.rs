@@ -1,4 +1,4 @@
-//! Per-node state and the accept loop.
+//! Per-node state and the connection engines (accept loop / reactor).
 
 use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
@@ -10,7 +10,9 @@ use parking_lot::RwLock;
 use sweb_cluster::{ClusterSpec, NodeId};
 use sweb_core::{Broker, LoadTable, Oracle, SwebConfig};
 use sweb_des::SimTime;
+use sweb_http::{Request, Response};
 
+use crate::cluster::Engine;
 use crate::handler;
 
 /// Counters a node exposes for tests and demos.
@@ -26,12 +28,22 @@ pub struct NodeStats {
     pub received_redirects: AtomicU64,
     /// Malformed requests answered 400.
     pub bad_requests: AtomicU64,
+    /// `accept(2)` failures (fd exhaustion, aborted handshakes, ...).
+    pub accept_errors: AtomicU64,
+    /// Connections refused with 503 by admission control.
+    pub shed: AtomicU64,
+    /// Connections evicted by the reactor's timeout wheel.
+    pub evicted: AtomicU64,
 }
 
 /// Shared state of one live SWEB node.
 pub struct NodeShared {
     /// This node's id.
     pub id: NodeId,
+    /// Connection engine this node runs.
+    pub engine: Engine,
+    /// Admission cap for the reactor engine.
+    pub max_conns: usize,
     /// Synthetic hardware description used by the cost model.
     pub cluster: ClusterSpec,
     /// HTTP base URLs of every node (http://127.0.0.1:port).
@@ -77,6 +89,57 @@ impl NodeShared {
     }
 }
 
+/// Adapter exposing a node to the event-driven engine: `respond` runs the
+/// same §3.2 pipeline the threaded engine uses, and the reactor's hooks
+/// feed the node's live load gauges — so loadd advertises the same load
+/// vector no matter which engine produced it.
+struct ReactorApp {
+    shared: Arc<NodeShared>,
+}
+
+impl sweb_reactor::App for ReactorApp {
+    fn respond(&self, peer: &str, req: &Request, body: &[u8]) -> Response {
+        let resp = handler::respond(&self.shared, req, body);
+        if let Some(log) = &self.shared.access_log {
+            log.log(
+                peer,
+                handler::method_str(req.method),
+                &req.target,
+                resp.status.code(),
+                resp.body.len() as u64,
+            );
+        }
+        resp
+    }
+    fn on_accept(&self) {
+        self.shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+    }
+    fn on_conn_open(&self) {
+        self.shared.active.fetch_add(1, Ordering::Relaxed);
+    }
+    fn on_conn_close(&self) {
+        self.shared.active.fetch_sub(1, Ordering::Relaxed);
+    }
+    fn on_shed(&self) {
+        self.shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+    }
+    fn on_evict(&self) {
+        self.shared.stats.evicted.fetch_add(1, Ordering::Relaxed);
+    }
+    fn on_bad_request(&self) {
+        self.shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+    }
+    fn on_accept_error(&self, _err: &std::io::Error) {
+        self.shared.stats.accept_errors.fetch_add(1, Ordering::Relaxed);
+    }
+    fn on_write_start(&self, bytes: usize) {
+        self.shared.bytes_in_flight.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+    fn on_write_end(&self, bytes: usize) {
+        self.shared.bytes_in_flight.fetch_sub(bytes as u64, Ordering::Relaxed);
+    }
+}
+
 /// A running node: its shared state plus joinable service threads.
 pub struct NodeHandle {
     /// Shared state (also held by connection threads).
@@ -84,51 +147,95 @@ pub struct NodeHandle {
     /// HTTP address the node listens on.
     pub http_addr: SocketAddr,
     threads: Vec<std::thread::JoinHandle<()>>,
+    /// The event loop, when this node runs [`Engine::Reactor`].
+    reactor: Option<sweb_reactor::ReactorHandle>,
+    /// The reactor's own stop flag (it checks this every timer tick).
+    reactor_shutdown: Option<Arc<AtomicBool>>,
 }
 
 impl NodeHandle {
-    /// Spawn the accept loop and loadd threads for a node whose listener
-    /// and UDP socket are already bound.
+    /// Spawn the connection engine and loadd threads for a node whose
+    /// listener and UDP socket are already bound.
     pub fn spawn(
         shared: Arc<NodeShared>,
         listener: TcpListener,
         udp: std::net::UdpSocket,
     ) -> std::io::Result<NodeHandle> {
         let http_addr = listener.local_addr()?;
-        listener.set_nonblocking(true)?;
         let mut threads = Vec::new();
+        let mut reactor = None;
+        let mut reactor_shutdown = None;
 
-        // Accept loop: NCSA httpd forked a worker per connection; we spawn
-        // a thread per connection.
-        let accept_shared = Arc::clone(&shared);
-        threads.push(std::thread::spawn(move || {
-            while !accept_shared.shutdown.load(Ordering::Relaxed) {
-                match listener.accept() {
-                    Ok((stream, _peer)) => {
-                        accept_shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
-                        let conn_shared = Arc::clone(&accept_shared);
-                        std::thread::spawn(move || handler::handle_connection(conn_shared, stream));
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(5));
-                    }
-                    Err(_) => break,
-                }
+        match shared.engine {
+            Engine::Reactor => {
+                let stop = Arc::new(AtomicBool::new(false));
+                let app = Arc::new(ReactorApp { shared: Arc::clone(&shared) });
+                let cfg = sweb_reactor::ReactorConfig {
+                    max_conns: shared.max_conns,
+                    ..sweb_reactor::ReactorConfig::default()
+                };
+                reactor = Some(sweb_reactor::spawn(listener, app, cfg, Arc::clone(&stop))?);
+                reactor_shutdown = Some(stop);
             }
-        }));
+            Engine::ThreadPerConn => {
+                listener.set_nonblocking(true)?;
+                // Accept loop: NCSA httpd forked a worker per connection; we
+                // spawn a thread per connection.
+                let accept_shared = Arc::clone(&shared);
+                threads.push(std::thread::spawn(move || {
+                    accept_loop(accept_shared, listener)
+                }));
+            }
+        }
 
         // loadd: broadcaster + receiver.
         threads.extend(crate::loadd::spawn(Arc::clone(&shared), udp));
 
-        Ok(NodeHandle { shared, http_addr, threads })
+        Ok(NodeHandle { shared, http_addr, threads, reactor, reactor_shutdown })
     }
 
     /// Signal shutdown and join the service threads. In-flight connection
-    /// threads finish on their own (they hold `Arc<NodeShared>`).
+    /// threads finish on their own (they hold `Arc<NodeShared>`); reactor
+    /// connections are closed by the loop on its way out.
     pub fn shutdown(self) {
         self.shared.shutdown.store(true, Ordering::Relaxed);
+        if let Some(stop) = &self.reactor_shutdown {
+            stop.store(true, Ordering::Relaxed);
+        }
+        if let Some(handle) = self.reactor {
+            let _ = handle.join();
+        }
         for t in self.threads {
             let _ = t.join();
+        }
+    }
+}
+
+/// The thread-per-connection accept loop. Transient `accept(2)` failures
+/// (EMFILE, ECONNABORTED, ...) are counted and retried under exponential
+/// backoff — 5 ms doubling to a 1 s cap, reset by the next success — so a
+/// storm of failures can't spin the CPU and one failure can't kill the
+/// node, which is what the old `break`-on-error path did.
+fn accept_loop(shared: Arc<NodeShared>, listener: TcpListener) {
+    let mut error_streak: u32 = 0;
+    while !shared.shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                error_streak = 0;
+                shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                let conn_shared = Arc::clone(&shared);
+                std::thread::spawn(move || handler::handle_connection(conn_shared, stream));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                shared.stats.accept_errors.fetch_add(1, Ordering::Relaxed);
+                let backoff = 5u64.saturating_mul(1 << error_streak.min(8)).min(1000);
+                error_streak = error_streak.saturating_add(1);
+                std::thread::sleep(Duration::from_millis(backoff));
+            }
         }
     }
 }

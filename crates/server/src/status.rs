@@ -15,9 +15,10 @@ pub const STATUS_PATH: &str = "/sweb-status";
 pub fn render(shared: &NodeShared) -> Response {
     let mut out = String::with_capacity(1024);
     out.push_str(&format!(
-        "SWEB node {} — policy {}\n\nload table (this node's view):\n",
+        "SWEB node {} — policy {} — engine {}\n\nload table (this node's view):\n",
         shared.id,
-        shared.broker.policy()
+        shared.broker.policy(),
+        shared.engine.name(),
     ));
     out.push_str("node   cpu     disk    net     alive  age(ms)\n");
     let now = shared.now();
@@ -40,12 +41,16 @@ pub fn render(shared: &NodeShared) -> Response {
     }
     out.push_str(&format!(
         "\ncounters:\n  accepted          {}\n  served            {}\n  redirected-away   {}\n  \
-         received-redirects {}\n  bad-requests      {}\n  active-now        {}\n",
+         received-redirects {}\n  bad-requests      {}\n  accept-errors     {}\n  \
+         shed-503          {}\n  evicted           {}\n  active-now        {}\n",
         shared.stats.accepted.load(Ordering::Relaxed),
         shared.stats.served.load(Ordering::Relaxed),
         shared.stats.redirected.load(Ordering::Relaxed),
         shared.stats.received_redirects.load(Ordering::Relaxed),
         shared.stats.bad_requests.load(Ordering::Relaxed),
+        shared.stats.accept_errors.load(Ordering::Relaxed),
+        shared.stats.shed.load(Ordering::Relaxed),
+        shared.stats.evicted.load(Ordering::Relaxed),
         shared.active.load(Ordering::Relaxed),
     ));
     out.push_str(&format!(

@@ -6,7 +6,7 @@ use std::sync::atomic::Ordering;
 use std::time::Duration;
 
 use sweb_core::Policy;
-use sweb_server::{client, ClusterConfig, LiveCluster};
+use sweb_server::{client, ClusterConfig, Engine, LiveCluster};
 
 /// Build a docroot with a few documents of varying sizes.
 fn docroot(tag: &str) -> std::path::PathBuf {
@@ -21,16 +21,57 @@ fn docroot(tag: &str) -> std::path::PathBuf {
     dir
 }
 
-fn start(tag: &str, n: usize, policy: Policy) -> (LiveCluster, std::path::PathBuf) {
-    let dir = docroot(tag);
-    let cfg = ClusterConfig { policy, ..ClusterConfig::default() };
+fn start(
+    tag: &str,
+    n: usize,
+    policy: Policy,
+    engine: Engine,
+) -> (LiveCluster, std::path::PathBuf) {
+    let dir = docroot(&format!("{tag}-{}", engine.name()));
+    let cfg = ClusterConfig { policy, engine, ..ClusterConfig::default() };
     let cluster = LiveCluster::start(n, dir.clone(), cfg).unwrap();
     (cluster, dir)
 }
 
-#[test]
-fn serves_documents_with_correct_body_and_mime() {
-    let (cluster, dir) = start("basic", 2, Policy::RoundRobin);
+/// Instantiate every listed scenario once per connection engine: the two
+/// engines must be observably interchangeable to clients and to the
+/// scheduler, so the whole suite runs against both.
+macro_rules! engine_tests {
+    ($($name:ident),* $(,)?) => {
+        mod reactor {
+            $(#[test] fn $name() { super::$name(super::Engine::Reactor); })*
+        }
+        mod threaded {
+            $(#[test] fn $name() { super::$name(super::Engine::ThreadPerConn); })*
+        }
+    };
+}
+
+engine_tests!(
+    serves_documents_with_correct_body_and_mime,
+    missing_documents_get_404_and_traversal_gets_403,
+    unsupported_methods_get_501_and_garbage_gets_400,
+    head_returns_headers_without_body,
+    loadd_mesh_converges,
+    file_locality_redirects_to_home_and_client_follows,
+    redirect_once_rule_is_enforced_end_to_end,
+    round_robin_policy_never_redirects,
+    concurrent_clients_all_succeed,
+    file_cache_serves_repeats_from_memory,
+    pipelined_requests_on_one_connection_all_answered,
+    graceful_drain_removes_node_from_scheduling_but_keeps_it_serving,
+    post_runs_cgi_and_pins_local,
+    conditional_get_returns_304_for_fresh_copies,
+    keepalive_session_reuses_one_connection,
+    non_keepalive_clients_still_close_per_request,
+    status_endpoint_reports_cluster_view,
+    cgi_programs_run_and_echo,
+    cgi_requests_participate_in_scheduling,
+    sweb_policy_serves_under_load_spread,
+);
+
+fn serves_documents_with_correct_body_and_mime(engine: Engine) {
+    let (cluster, dir) = start("basic", 2, Policy::RoundRobin, engine);
     let resp = client::get(&format!("{}/index.html", cluster.base_url(0))).unwrap();
     assert_eq!(resp.status, 200);
     assert_eq!(resp.headers.get("content-type"), Some("text/html"));
@@ -42,9 +83,8 @@ fn serves_documents_with_correct_body_and_mime() {
     cluster.shutdown();
 }
 
-#[test]
-fn missing_documents_get_404_and_traversal_gets_403() {
-    let (cluster, _dir) = start("errors", 1, Policy::RoundRobin);
+fn missing_documents_get_404_and_traversal_gets_403(engine: Engine) {
+    let (cluster, _dir) = start("errors", 1, Policy::RoundRobin, engine);
     let resp = client::get(&format!("{}/nope.html", cluster.base_url(0))).unwrap();
     assert_eq!(resp.status, 404);
     let resp = client::get(&format!("{}/../etc/passwd", cluster.base_url(0))).unwrap();
@@ -52,9 +92,8 @@ fn missing_documents_get_404_and_traversal_gets_403() {
     cluster.shutdown();
 }
 
-#[test]
-fn unsupported_methods_get_501_and_garbage_gets_400() {
-    let (cluster, _dir) = start("methods", 1, Policy::RoundRobin);
+fn unsupported_methods_get_501_and_garbage_gets_400(engine: Engine) {
+    let (cluster, _dir) = start("methods", 1, Policy::RoundRobin, engine);
     let addr = cluster.base_url(0).strip_prefix("http://").unwrap().to_string();
 
     let mut stream = TcpStream::connect(&addr).unwrap();
@@ -78,9 +117,8 @@ fn unsupported_methods_get_501_and_garbage_gets_400() {
     cluster.shutdown();
 }
 
-#[test]
-fn head_returns_headers_without_body() {
-    let (cluster, _dir) = start("head", 1, Policy::RoundRobin);
+fn head_returns_headers_without_body(engine: Engine) {
+    let (cluster, _dir) = start("head", 1, Policy::RoundRobin, engine);
     let addr = cluster.base_url(0).strip_prefix("http://").unwrap().to_string();
     let mut stream = TcpStream::connect(&addr).unwrap();
     stream.write_all(b"HEAD /index.html HTTP/1.0\r\n\r\n").unwrap();
@@ -93,9 +131,8 @@ fn head_returns_headers_without_body() {
     cluster.shutdown();
 }
 
-#[test]
-fn loadd_mesh_converges() {
-    let (cluster, _dir) = start("loadd", 3, Policy::Sweb);
+fn loadd_mesh_converges(engine: Engine) {
+    let (cluster, _dir) = start("loadd", 3, Policy::Sweb, engine);
     assert!(
         cluster.await_loadd_mesh(Duration::from_secs(5)),
         "every node should hear from every node within 5s"
@@ -103,9 +140,8 @@ fn loadd_mesh_converges() {
     cluster.shutdown();
 }
 
-#[test]
-fn file_locality_redirects_to_home_and_client_follows() {
-    let (cluster, _dir) = start("locality", 3, Policy::FileLocality);
+fn file_locality_redirects_to_home_and_client_follows(engine: Engine) {
+    let (cluster, _dir) = start("locality", 3, Policy::FileLocality, engine);
     assert!(cluster.await_loadd_mesh(Duration::from_secs(5)));
     // Find a path whose home is NOT node 0, then fetch it from node 0.
     let mut found = false;
@@ -129,9 +165,8 @@ fn file_locality_redirects_to_home_and_client_follows() {
     cluster.shutdown();
 }
 
-#[test]
-fn redirect_once_rule_is_enforced_end_to_end() {
-    let (cluster, _dir) = start("once", 3, Policy::FileLocality);
+fn redirect_once_rule_is_enforced_end_to_end(engine: Engine) {
+    let (cluster, _dir) = start("once", 3, Policy::FileLocality, engine);
     assert!(cluster.await_loadd_mesh(Duration::from_secs(5)));
     // Send a marked request for every doc to the "wrong" node: it must be
     // served locally (no second 302) regardless of where its home is.
@@ -145,9 +180,8 @@ fn redirect_once_rule_is_enforced_end_to_end() {
     cluster.shutdown();
 }
 
-#[test]
-fn round_robin_policy_never_redirects() {
-    let (cluster, _dir) = start("rr", 3, Policy::RoundRobin);
+fn round_robin_policy_never_redirects(engine: Engine) {
+    let (cluster, _dir) = start("rr", 3, Policy::RoundRobin, engine);
     for i in 0..8 {
         let resp = client::get(&format!("{}/doc{i}.txt", cluster.base_url(i % 3))).unwrap();
         assert_eq!(resp.status, 200);
@@ -159,9 +193,8 @@ fn round_robin_policy_never_redirects() {
     cluster.shutdown();
 }
 
-#[test]
-fn concurrent_clients_all_succeed() {
-    let (cluster, _dir) = start("concurrent", 3, Policy::Sweb);
+fn concurrent_clients_all_succeed(engine: Engine) {
+    let (cluster, _dir) = start("concurrent", 3, Policy::Sweb, engine);
     assert!(cluster.await_loadd_mesh(Duration::from_secs(5)));
     let urls: Vec<String> =
         (0..3).map(|i| cluster.base_url(i).to_string()).collect();
@@ -188,9 +221,8 @@ fn concurrent_clients_all_succeed() {
     cluster.shutdown();
 }
 
-#[test]
-fn file_cache_serves_repeats_from_memory() {
-    let (cluster, dir) = start("filecache", 1, Policy::RoundRobin);
+fn file_cache_serves_repeats_from_memory(engine: Engine) {
+    let (cluster, dir) = start("filecache", 1, Policy::RoundRobin, engine);
     let url = format!("{}/maps/goleta.gif", cluster.base_url(0));
     for _ in 0..4 {
         let resp = client::get(&url).unwrap();
@@ -211,9 +243,8 @@ fn file_cache_serves_repeats_from_memory() {
     cluster.shutdown();
 }
 
-#[test]
-fn pipelined_requests_on_one_connection_all_answered() {
-    let (cluster, _dir) = start("pipeline", 1, Policy::RoundRobin);
+fn pipelined_requests_on_one_connection_all_answered(engine: Engine) {
+    let (cluster, _dir) = start("pipeline", 1, Policy::RoundRobin, engine);
     let addr = cluster.base_url(0).strip_prefix("http://").unwrap().to_string();
     let mut stream = TcpStream::connect(&addr).unwrap();
     // Two requests written back-to-back before reading anything.
@@ -237,9 +268,8 @@ fn pipelined_requests_on_one_connection_all_answered() {
     cluster.shutdown();
 }
 
-#[test]
-fn graceful_drain_removes_node_from_scheduling_but_keeps_it_serving() {
-    let (cluster, _dir) = start("drain", 3, Policy::FileLocality);
+fn graceful_drain_removes_node_from_scheduling_but_keeps_it_serving(engine: Engine) {
+    let (cluster, _dir) = start("drain", 3, Policy::FileLocality, engine);
     assert!(cluster.await_loadd_mesh(Duration::from_secs(5)));
     // Find a doc homed on node 1 (fetching from node 0 must redirect there).
     let homed_on_1: Vec<String> = (0..8)
@@ -287,11 +317,10 @@ fn graceful_drain_removes_node_from_scheduling_but_keeps_it_serving() {
     cluster.shutdown();
 }
 
-#[test]
-fn post_runs_cgi_and_pins_local() {
+fn post_runs_cgi_and_pins_local(engine: Engine) {
     // FileLocality would redirect a GET whose hashed home is elsewhere;
     // POST must always be served where it lands.
-    let (cluster, _dir) = start("post", 3, Policy::FileLocality);
+    let (cluster, _dir) = start("post", 3, Policy::FileLocality, engine);
     assert!(cluster.await_loadd_mesh(Duration::from_secs(5)));
     for i in 0..4 {
         let url = format!("{}/cgi-bin/echo?try={i}", cluster.base_url(0));
@@ -313,9 +342,8 @@ fn post_runs_cgi_and_pins_local() {
     cluster.shutdown();
 }
 
-#[test]
-fn conditional_get_returns_304_for_fresh_copies() {
-    let (cluster, _dir) = start("conditional", 1, Policy::RoundRobin);
+fn conditional_get_returns_304_for_fresh_copies(engine: Engine) {
+    let (cluster, _dir) = start("conditional", 1, Policy::RoundRobin, engine);
     let url = format!("{}/index.html", cluster.base_url(0));
     let first = client::get(&url).unwrap();
     assert_eq!(first.status, 200);
@@ -352,9 +380,8 @@ fn conditional_get_returns_304_for_fresh_copies() {
     cluster.shutdown();
 }
 
-#[test]
-fn keepalive_session_reuses_one_connection() {
-    let (cluster, _dir) = start("keepalive", 1, Policy::RoundRobin);
+fn keepalive_session_reuses_one_connection(engine: Engine) {
+    let (cluster, _dir) = start("keepalive", 1, Policy::RoundRobin, engine);
     let mut session = client::Session::connect(cluster.base_url(0)).unwrap();
     for i in 0..6 {
         let resp = session.get(&format!("/doc{}.txt", i % 8)).unwrap();
@@ -371,9 +398,8 @@ fn keepalive_session_reuses_one_connection() {
     cluster.shutdown();
 }
 
-#[test]
-fn non_keepalive_clients_still_close_per_request() {
-    let (cluster, _dir) = start("closing", 1, Policy::RoundRobin);
+fn non_keepalive_clients_still_close_per_request(engine: Engine) {
+    let (cluster, _dir) = start("closing", 1, Policy::RoundRobin, engine);
     for i in 0..3 {
         let resp = client::get(&format!("{}/doc{i}.txt", cluster.base_url(0))).unwrap();
         assert_eq!(resp.status, 200);
@@ -386,9 +412,8 @@ fn non_keepalive_clients_still_close_per_request() {
     cluster.shutdown();
 }
 
-#[test]
-fn status_endpoint_reports_cluster_view() {
-    let (cluster, _dir) = start("status", 3, Policy::Sweb);
+fn status_endpoint_reports_cluster_view(engine: Engine) {
+    let (cluster, _dir) = start("status", 3, Policy::Sweb, engine);
     assert!(cluster.await_loadd_mesh(Duration::from_secs(5)));
     let resp = client::get(&format!("{}/sweb-status", cluster.base_url(1))).unwrap();
     assert_eq!(resp.status, 200);
@@ -399,9 +424,8 @@ fn status_endpoint_reports_cluster_view() {
     assert!(text.contains("counters:"), "{text}");
 }
 
-#[test]
-fn cgi_programs_run_and_echo() {
-    let (cluster, _dir) = start("cgi", 2, Policy::RoundRobin);
+fn cgi_programs_run_and_echo(engine: Engine) {
+    let (cluster, _dir) = start("cgi", 2, Policy::RoundRobin, engine);
     let resp =
         client::get(&format!("{}/cgi-bin/echo?zoom=3&layer=roads", cluster.base_url(0))).unwrap();
     assert_eq!(resp.status, 200);
@@ -415,9 +439,8 @@ fn cgi_programs_run_and_echo() {
     cluster.shutdown();
 }
 
-#[test]
-fn cgi_requests_participate_in_scheduling() {
-    let (cluster, _dir) = start("cgisched", 3, Policy::FileLocality);
+fn cgi_requests_participate_in_scheduling(engine: Engine) {
+    let (cluster, _dir) = start("cgisched", 3, Policy::FileLocality, engine);
     assert!(cluster.await_loadd_mesh(Duration::from_secs(5)));
     // Under FileLocality, CGI paths have hashed homes too; at least one of
     // several program paths should redirect away from node 0.
@@ -434,11 +457,10 @@ fn cgi_requests_participate_in_scheduling() {
     cluster.shutdown();
 }
 
-#[test]
-fn sweb_policy_serves_under_load_spread() {
+fn sweb_policy_serves_under_load_spread(engine: Engine) {
     // Drive enough traffic at one node that redirect decisions fire, then
     // verify every response still arrives intact.
-    let (cluster, _dir) = start("spread", 3, Policy::Sweb);
+    let (cluster, _dir) = start("spread", 3, Policy::Sweb, engine);
     assert!(cluster.await_loadd_mesh(Duration::from_secs(5)));
     for round in 0..30 {
         let resp =

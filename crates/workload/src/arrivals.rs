@@ -152,7 +152,7 @@ pub fn page_view_arrivals(
     let mut out = Vec::with_capacity((pages_per_sec as u64 * seconds * per_page) as usize);
     for sec in 0..seconds {
         for _ in 0..pages_per_sec {
-            let page_start = sec * 1_000_000 + rng.gen_range(0..1_000_000);
+            let page_start = sec * 1_000_000 + rng.gen_range(0u64..1_000_000);
             for k in 0..per_page {
                 // The browser opens its parallel connections within a few
                 // milliseconds of parsing the page.

@@ -1,0 +1,175 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the API subset the workspace's benches use: benchmark
+//! groups, `bench_function`, `Bencher::iter`, throughput labels, and the
+//! `criterion_group!`/`criterion_main!` macros. Instead of criterion's
+//! statistical machinery it runs each closure for a short fixed wall-time
+//! budget and prints the mean iteration time — enough to spot order-of-
+//! magnitude regressions and to keep `cargo bench` runnable offline.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported like criterion's.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput label attached to a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    /// Wall-clock budget per benchmark.
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // `--quick` (and any other harness flag) selects the short budget;
+        // the stub is always quick, so flags are accepted and ignored.
+        Criterion { sample_size: 10, budget: Duration::from_millis(300) }
+    }
+}
+
+impl Criterion {
+    /// Set the number of samples (builder style, like criterion).
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_bench(&id, None, self.sample_size, self.budget, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput label.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Label subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        run_bench(
+            &id,
+            self.throughput,
+            self.criterion.sample_size,
+            self.criterion.budget,
+            f,
+        );
+        self
+    }
+
+    /// Finish the group (no-op; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; `iter` times the workload.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` for the configured number of iterations, timing the total.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F>(id: &str, throughput: Option<Throughput>, samples: usize, budget: Duration, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibrate: one iteration to estimate cost, then size batches so the
+    // whole benchmark fits the budget.
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let per_sample = budget.as_nanos() / samples.max(1) as u128;
+    let iters = (per_sample / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+    let mut total = Duration::ZERO;
+    let mut total_iters = 0u64;
+    for _ in 0..samples {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        total += b.elapsed;
+        total_iters += iters;
+    }
+    let mean_ns = total.as_nanos() as f64 / total_iters.max(1) as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>12.0} elem/s", n as f64 / (mean_ns / 1e9))
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>12.0} MiB/s", n as f64 / (mean_ns / 1e9) / (1 << 20) as f64)
+        }
+        None => String::new(),
+    };
+    println!("bench {id:<48} {mean_ns:>14.1} ns/iter{rate}");
+}
+
+mod macros {
+    /// Define a benchmark group function, in either criterion syntax.
+    #[macro_export]
+    macro_rules! criterion_group {
+        (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)*) => {
+            pub fn $name() {
+                let mut criterion = $config;
+                $( $target(&mut criterion); )+
+            }
+        };
+        ($name:ident, $($target:path),+ $(,)*) => {
+            pub fn $name() {
+                let mut criterion = $crate::Criterion::default();
+                $( $target(&mut criterion); )+
+            }
+        };
+    }
+
+    /// Define `main` running the listed groups; harness flags are ignored.
+    #[macro_export]
+    macro_rules! criterion_main {
+        ($($group:path),+ $(,)*) => {
+            fn main() {
+                $( $group(); )+
+            }
+        };
+    }
+}

@@ -1,0 +1,304 @@
+//! Regex-subset string generation.
+//!
+//! Supports the pattern shapes this workspace's properties use:
+//! literal characters, character classes `[a-z0-9_]` with ranges,
+//! negation (`[^...]`), `&&[...]`/`&&[^...]` intersection (as in
+//! `"[ -~&&[^:\r\n]]"` — printable ASCII minus `:`, CR, LF), the escapes
+//! `\r \n \t \\ \- \[ \] \d \w \s`, and the quantifiers `{m}`, `{m,n}`,
+//! `+` (1..=8), `*` (0..=8), `?` (0..=1). Anything else panics loudly so
+//! an unsupported pattern is caught at test time, not silently weakened.
+
+use crate::TestRng;
+
+/// Membership over the ASCII range (the subset our grammars draw from).
+#[derive(Clone)]
+struct CharSet {
+    included: [bool; 128],
+}
+
+impl CharSet {
+    fn empty() -> CharSet {
+        CharSet { included: [false; 128] }
+    }
+
+    fn insert(&mut self, c: char) {
+        let i = c as usize;
+        assert!(i < 128, "non-ASCII char {c:?} in pattern class");
+        self.included[i] = true;
+    }
+
+    fn insert_range(&mut self, lo: char, hi: char) {
+        assert!(lo <= hi, "inverted class range {lo:?}-{hi:?}");
+        for i in lo as usize..=hi as usize {
+            assert!(i < 128, "non-ASCII range bound in pattern class");
+            self.included[i] = true;
+        }
+    }
+
+    fn negate(&mut self) {
+        for slot in self.included.iter_mut() {
+            *slot = !*slot;
+        }
+    }
+
+    fn intersect(&mut self, other: &CharSet) {
+        for (slot, o) in self.included.iter_mut().zip(other.included.iter()) {
+            *slot &= *o;
+        }
+    }
+
+    fn chars(&self) -> Vec<char> {
+        (0..128u8).filter(|&i| self.included[i as usize]).map(|i| i as char).collect()
+    }
+}
+
+/// One generatable unit: a set of candidate chars and a count range.
+struct Segment {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Generate a string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let segments = parse(pattern);
+    let mut out = String::new();
+    for seg in &segments {
+        let count = rng.gen_range(seg.min..=seg.max);
+        for _ in 0..count {
+            let i = rng.gen_range(0..seg.chars.len());
+            out.push(seg.chars[i]);
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Segment> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut segments = Vec::new();
+    while i < chars.len() {
+        let set = match chars[i] {
+            '[' => {
+                let (set, next) = parse_class(&chars, i);
+                i = next;
+                set
+            }
+            '\\' => {
+                assert!(i + 1 < chars.len(), "dangling escape in pattern {pattern:?}");
+                let set = escape_set(chars[i + 1]);
+                i += 2;
+                set
+            }
+            c @ ('{' | '}' | '+' | '*' | '?' | ']' | '^' | '$' | '|' | '(' | ')') => {
+                panic!("unsupported regex construct {c:?} in pattern {pattern:?}")
+            }
+            c => {
+                let mut set = CharSet::empty();
+                set.insert(c);
+                i += 1;
+                set
+            }
+        };
+        let (min, max, next) = parse_quantifier(&chars, i, pattern);
+        i = next;
+        let candidates = set.chars();
+        assert!(!candidates.is_empty(), "empty character class in pattern {pattern:?}");
+        segments.push(Segment { chars: candidates, min, max });
+    }
+    segments
+}
+
+/// Parse a `[...]` class starting at `chars[start] == '['`. Returns the
+/// set and the index just past the closing `]`.
+fn parse_class(chars: &[char], start: usize) -> (CharSet, usize) {
+    let mut i = start + 1;
+    let negated = chars.get(i) == Some(&'^');
+    if negated {
+        i += 1;
+    }
+    let mut set = CharSet::empty();
+    loop {
+        match chars.get(i) {
+            None => panic!("unterminated character class"),
+            Some(']') => {
+                i += 1;
+                break;
+            }
+            Some('&') if chars.get(i + 1) == Some(&'&') => {
+                // Intersection with the class that follows: `&&[^:\r\n]`.
+                assert_eq!(chars.get(i + 2), Some(&'['), "`&&` must be followed by a class");
+                let (other, next) = parse_class(chars, i + 2);
+                set.intersect(&other);
+                i = next;
+                // The outer class must close right after the operand.
+                assert_eq!(chars.get(i), Some(&']'), "class must close after && operand");
+                i += 1;
+                break;
+            }
+            Some(&c) => {
+                let lo = if c == '\\' {
+                    i += 2;
+                    match single_escape(chars[i - 1]) {
+                        Some(e) => e,
+                        None => {
+                            // Class escape inside brackets (\d, \w, \s).
+                            let sub = escape_set(chars[i - 1]);
+                            for ch in sub.chars() {
+                                set.insert(ch);
+                            }
+                            continue;
+                        }
+                    }
+                } else {
+                    i += 1;
+                    c
+                };
+                // Range `a-z` (a `-` before `]` is a literal dash).
+                if chars.get(i) == Some(&'-') && chars.get(i + 1).is_some_and(|&n| n != ']') {
+                    let hi = if chars[i + 1] == '\\' {
+                        let e = single_escape(chars[i + 2])
+                            .expect("class escape cannot end a range");
+                        i += 3;
+                        e
+                    } else {
+                        let h = chars[i + 1];
+                        i += 2;
+                        h
+                    };
+                    set.insert_range(lo, hi);
+                } else {
+                    set.insert(lo);
+                }
+            }
+        }
+    }
+    if negated {
+        set.negate();
+        // Exclude controls from negated classes except common whitespace,
+        // mirroring how these patterns are used (header values etc.).
+        for c in 0..0x20u8 {
+            if c != b'\t' {
+                set.included[c as usize] = false;
+            }
+        }
+        set.included[0x7F] = false;
+    }
+    (set, i)
+}
+
+fn single_escape(c: char) -> Option<char> {
+    match c {
+        'r' => Some('\r'),
+        'n' => Some('\n'),
+        't' => Some('\t'),
+        '\\' | '-' | '[' | ']' | '{' | '}' | '+' | '*' | '?' | '.' | '^' | '$' | '(' | ')'
+        | '|' | '/' | ' ' => Some(c),
+        _ => None,
+    }
+}
+
+fn escape_set(c: char) -> CharSet {
+    let mut set = CharSet::empty();
+    match c {
+        'd' => set.insert_range('0', '9'),
+        'w' => {
+            set.insert_range('a', 'z');
+            set.insert_range('A', 'Z');
+            set.insert_range('0', '9');
+            set.insert('_');
+        }
+        's' => {
+            set.insert(' ');
+            set.insert('\t');
+        }
+        other => match single_escape(other) {
+            Some(e) => set.insert(e),
+            None => panic!("unsupported escape \\{other}"),
+        },
+    }
+    set
+}
+
+/// Parse an optional quantifier at `chars[i]`; returns (min, max, next).
+fn parse_quantifier(chars: &[char], i: usize, pattern: &str) -> (usize, usize, usize) {
+    match chars.get(i) {
+        Some('{') => {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated quantifier in {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                Some((m, "")) => {
+                    let m = m.trim().parse().expect("bad quantifier");
+                    (m, m + 8)
+                }
+                Some((m, n)) => (
+                    m.trim().parse().expect("bad quantifier"),
+                    n.trim().parse().expect("bad quantifier"),
+                ),
+                None => {
+                    let m = body.trim().parse().expect("bad quantifier");
+                    (m, m)
+                }
+            };
+            assert!(min <= max, "inverted quantifier in {pattern:?}");
+            (min, max, close + 1)
+        }
+        Some('+') => (1, 8, i + 1),
+        Some('*') => (0, 8, i + 1),
+        Some('?') => (0, 1, i + 1),
+        _ => (1, 1, i),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_test("string::tests", 0)
+    }
+
+    #[test]
+    fn basic_classes() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("[a-z0-9]{1,8}", &mut r);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn intersection_excludes() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("[ -~&&[^:\r\n]]{0,20}", &mut r);
+            assert!(s.len() <= 20);
+            assert!(
+                s.chars().all(|c| (' '..='~').contains(&c) && c != ':'),
+                "bad char in {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn literals_and_quantifiers() {
+        let mut r = rng();
+        let s = generate("GET /[a-z]{3}", &mut r);
+        assert!(s.starts_with("GET /"));
+        assert_eq!(s.len(), "GET /".len() + 3);
+    }
+
+    #[test]
+    fn printable_range() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("[ -~]{0,64}", &mut r);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+}

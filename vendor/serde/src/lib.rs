@@ -1,0 +1,20 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` (documenting
+//! which types form the external config surface); nothing in-tree drives
+//! the traits through a data format. The traits are therefore empty
+//! markers here and the derives (from the vendored `serde_derive`) expand
+//! to nothing.
+
+/// Marker for types that could be serialized (no-op subset).
+pub trait Serialize {}
+
+/// Marker for types that could be deserialized (no-op subset).
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker for seed-driven deserialization (unused; kept for API shape).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
