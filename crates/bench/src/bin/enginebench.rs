@@ -1,17 +1,22 @@
-//! `enginebench` — threaded vs. reactor engine comparison on a live
-//! localhost cluster.
+//! `enginebench` — live-cluster benchmarks for the connection engines.
+//!
+//! Two scenarios:
 //!
 //! ```text
-//! enginebench [--engine reactor|threaded|both] [--nodes 3] [--hold 1000]
-//!             [--workers 32] [--requests 2000] [--out results/engine.csv]
+//! enginebench [--scenario engine] [--engine reactor|threaded|both] [--nodes 3]
+//!             [--hold 1000] [--workers 32] [--requests 2000]
+//!             [--out results/engine.csv]
+//! enginebench --scenario zerocopy [--size 1500000] [--workers 16]
+//!             [--requests 600] [--out results/zerocopy.csv]
 //! ```
 //!
-//! For each engine the harness starts an `n`-node cluster, opens `hold`
-//! idle connections (spread across nodes) that stay open for the whole
-//! run — the "many slow clients" population thread-per-connection servers
-//! pay one thread each for — then drives `requests` scheduled fetches
-//! through `workers` concurrent redirect-following clients, recording
-//! per-request latency. One CSV row per engine lands in `--out`:
+//! **engine** (the default): for each engine the harness starts an
+//! `n`-node cluster, opens `hold` idle connections (spread across nodes)
+//! that stay open for the whole run — the "many slow clients" population
+//! thread-per-connection servers pay one thread each for — then drives
+//! `requests` scheduled fetches through `workers` concurrent
+//! redirect-following clients, recording per-request latency. One CSV row
+//! per engine lands in `--out`:
 //!
 //! ```text
 //! engine,nodes,held_conns,workers,requests,errors,duration_s,rps,p50_ms,p99_ms,threads
@@ -21,6 +26,16 @@
 //! the held connections are open — the cluster runs in-process, so the
 //! reactor's bounded pool versus one-thread-per-held-connection shows up
 //! directly in that column.
+//!
+//! **zerocopy**: a single reactor node serving one `--size`-byte document,
+//! measured three ways — `copy` (the contiguous `to_bytes` baseline: every
+//! response allocates and memcpys the body), `writev` (cached body shared
+//! as `Bytes`, gathered at the socket), and `sendfile` (cache disabled so
+//! the document streams from its fd). One CSV row per mode:
+//!
+//! ```text
+//! mode,size_bytes,requests,workers,errors,duration_s,rps,mb_per_s,p50_ms,p99_ms
+//! ```
 
 use std::io::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -28,38 +43,55 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use sweb_metrics::Histogram;
-use sweb_server::{client, ClusterConfig, Engine, LiveCluster};
+use sweb_server::{client, ClusterConfig, Engine, LiveCluster, TransmitMode};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Scenario {
+    Engine,
+    ZeroCopy,
+}
 
 struct Args {
+    scenario: Scenario,
     engines: Vec<Engine>,
     nodes: usize,
     hold: usize,
-    workers: usize,
-    requests: u64,
-    out: std::path::PathBuf,
+    workers: Option<usize>,
+    requests: Option<u64>,
+    size: u64,
+    out: Option<std::path::PathBuf>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: enginebench [--engine reactor|threaded|both] [--nodes N] [--hold N] \
-         [--workers N] [--requests N] [--out FILE]"
+        "usage: enginebench [--scenario engine|zerocopy] [--engine reactor|threaded|both] \
+         [--nodes N] [--hold N] [--workers N] [--requests N] [--size BYTES] [--out FILE]"
     );
     std::process::exit(2);
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
+        scenario: Scenario::Engine,
         engines: vec![Engine::Reactor, Engine::ThreadPerConn],
         nodes: 3,
         hold: 1000,
-        workers: 32,
-        requests: 2000,
-        out: std::path::PathBuf::from("results/engine.csv"),
+        workers: None,
+        requests: None,
+        size: 1_500_000,
+        out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = || it.next().unwrap_or_else(|| usage());
         match flag.as_str() {
+            "--scenario" => {
+                args.scenario = match value().as_str() {
+                    "engine" => Scenario::Engine,
+                    "zerocopy" => Scenario::ZeroCopy,
+                    _ => usage(),
+                };
+            }
             "--engine" => {
                 let v = value();
                 args.engines = match v.as_str() {
@@ -69,9 +101,10 @@ fn parse_args() -> Args {
             }
             "--nodes" => args.nodes = value().parse().unwrap_or_else(|_| usage()),
             "--hold" => args.hold = value().parse().unwrap_or_else(|_| usage()),
-            "--workers" => args.workers = value().parse().unwrap_or_else(|_| usage()),
-            "--requests" => args.requests = value().parse().unwrap_or_else(|_| usage()),
-            "--out" => args.out = value().into(),
+            "--workers" => args.workers = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--requests" => args.requests = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--size" => args.size = value().parse().unwrap_or_else(|_| usage()),
+            "--out" => args.out = Some(value().into()),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -111,11 +144,17 @@ struct RunResult {
     peak_threads: u64,
 }
 
-fn run_engine(engine: Engine, args: &Args, docroot: &std::path::Path) -> RunResult {
+fn run_engine(
+    engine: Engine,
+    args: &Args,
+    workers: usize,
+    requests: u64,
+    docroot: &std::path::Path,
+) -> RunResult {
     let cfg = ClusterConfig {
         engine,
         // Room for the held population plus the active workers.
-        max_conns: args.hold + args.workers + 64,
+        max_conns: args.hold + workers + 64,
         ..ClusterConfig::default()
     };
     let cluster = LiveCluster::start(args.nodes, docroot.to_path_buf(), cfg)
@@ -143,13 +182,13 @@ fn run_engine(engine: Engine, args: &Args, docroot: &std::path::Path) -> RunResu
     let peak_threads = process_threads();
 
     let urls: Vec<String> = (0..args.nodes).map(|i| cluster.base_url(i).to_string()).collect();
-    let remaining = Arc::new(AtomicU64::new(args.requests));
+    let remaining = Arc::new(AtomicU64::new(requests));
     let errors = Arc::new(AtomicU64::new(0));
     let hist = Arc::new(Mutex::new(Histogram::new()));
 
     let t0 = Instant::now();
     let mut handles = Vec::new();
-    for w in 0..args.workers {
+    for w in 0..workers {
         let urls = urls.clone();
         let remaining = Arc::clone(&remaining);
         let errors = Arc::clone(&errors);
@@ -189,28 +228,109 @@ fn run_engine(engine: Engine, args: &Args, docroot: &std::path::Path) -> RunResu
     RunResult { errors: errors.load(Ordering::Relaxed), duration, hist, peak_threads }
 }
 
-fn main() {
-    let args = parse_args();
-    let docroot = make_docroot();
+/// One zero-copy transmit measurement: a single reactor node serving one
+/// `size`-byte document in the given transmit shape. `cache_bytes: 0`
+/// disables the cache, which (for documents past the streaming threshold)
+/// forces the sendfile path.
+fn run_transmit_mode(
+    transmit: TransmitMode,
+    cache_bytes: u64,
+    workers: usize,
+    requests: u64,
+    docroot: &std::path::Path,
+) -> (u64, Duration, Histogram) {
+    let cfg = ClusterConfig {
+        engine: Engine::Reactor,
+        policy: sweb_core::Policy::RoundRobin, // one node; never redirect
+        transmit,
+        file_cache_bytes: cache_bytes,
+        max_conns: workers + 64,
+        ..ClusterConfig::default()
+    };
+    let cluster = LiveCluster::start(1, docroot.to_path_buf(), cfg).expect("start cluster");
+    let url = format!("{}/payload.bin", cluster.base_url(0));
 
-    if let Some(parent) = args.out.parent() {
+    // Warm pass: populate the cache (a no-op when the cache is disabled)
+    // so the measured window compares transmit paths, not disk reads.
+    let warm = client::get(&url).expect("warm fetch");
+    assert_eq!(warm.status, 200, "warm fetch failed");
+
+    let remaining = Arc::new(AtomicU64::new(requests));
+    let errors = Arc::new(AtomicU64::new(0));
+    let hist = Arc::new(Mutex::new(Histogram::new()));
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for _ in 0..workers {
+        let url = url.clone();
+        let remaining = Arc::clone(&remaining);
+        let errors = Arc::clone(&errors);
+        let hist = Arc::clone(&hist);
+        handles.push(std::thread::spawn(move || {
+            let mut local = Histogram::new();
+            let expected = warm_len_hint();
+            loop {
+                if remaining.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+                    .is_err()
+                {
+                    break;
+                }
+                let t = Instant::now();
+                match client::get_with_timeout(&url, Duration::from_secs(30)) {
+                    Ok(resp) if resp.status == 200 && (expected == 0 || resp.body.len() == expected) => {
+                        local.record(t.elapsed().as_micros() as u64);
+                    }
+                    _ => {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            hist.lock().unwrap().merge(&local);
+        }));
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    let duration = t0.elapsed();
+    cluster.shutdown();
+    let hist = Arc::try_unwrap(hist).expect("workers joined").into_inner().unwrap();
+    (errors.load(Ordering::Relaxed), duration, hist)
+}
+
+/// Expected body length for response validation, stashed by `main` before
+/// the worker threads spawn (0 disables the check).
+static EXPECTED_LEN: AtomicU64 = AtomicU64::new(0);
+fn warm_len_hint() -> usize {
+    EXPECTED_LEN.load(Ordering::Relaxed) as usize
+}
+
+fn open_csv(path: &std::path::Path, header: &str) -> std::fs::File {
+    if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
             std::fs::create_dir_all(parent).expect("create output directory");
         }
     }
-    let new_file = !args.out.exists();
+    let new_file = !path.exists();
     let mut out = std::fs::OpenOptions::new()
         .create(true)
         .append(true)
-        .open(&args.out)
+        .open(path)
         .expect("open output csv");
     if new_file {
-        writeln!(
-            out,
-            "engine,nodes,held_conns,workers,requests,errors,duration_s,rps,p50_ms,p99_ms,threads"
-        )
-        .unwrap();
+        writeln!(out, "{header}").unwrap();
     }
+    out
+}
+
+fn main_engine(args: &Args) {
+    let workers = args.workers.unwrap_or(32);
+    let requests = args.requests.unwrap_or(2000);
+    let out_path =
+        args.out.clone().unwrap_or_else(|| std::path::PathBuf::from("results/engine.csv"));
+    let docroot = make_docroot();
+    let mut out = open_csv(
+        &out_path,
+        "engine,nodes,held_conns,workers,requests,errors,duration_s,rps,p50_ms,p99_ms,threads",
+    );
 
     for &engine in &args.engines {
         eprintln!(
@@ -218,10 +338,10 @@ fn main() {
             engine.name(),
             args.nodes,
             args.hold,
-            args.workers,
-            args.requests
+            workers,
+            requests
         );
-        let r = run_engine(engine, &args, &docroot);
+        let r = run_engine(engine, args, workers, requests, &docroot);
         let served = r.hist.count();
         let rps = served as f64 / r.duration.as_secs_f64().max(1e-9);
         let row = format!(
@@ -229,8 +349,8 @@ fn main() {
             engine.name(),
             args.nodes,
             args.hold,
-            args.workers,
-            args.requests,
+            workers,
+            requests,
             r.errors,
             r.duration.as_secs_f64(),
             rps,
@@ -241,5 +361,76 @@ fn main() {
         writeln!(out, "{row}").unwrap();
         eprintln!("enginebench: {row}");
     }
-    println!("enginebench: wrote {}", args.out.display());
+    println!("enginebench: wrote {}", out_path.display());
+}
+
+fn main_zerocopy(args: &Args) {
+    // Enough client concurrency that the copy baseline's per-request
+    // allocate+memcpy contends for memory bandwidth, as a loaded server's
+    // would; at trivial concurrency the loopback write cost masks it.
+    let workers = args.workers.unwrap_or(16);
+    let requests = args.requests.unwrap_or(600);
+    let out_path =
+        args.out.clone().unwrap_or_else(|| std::path::PathBuf::from("results/zerocopy.csv"));
+
+    // One pseudo-random document of the requested size (compressible
+    // constant bytes would flatter loopback less realistically).
+    let dir = std::env::temp_dir().join(format!("sweb-zerocopy-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create docroot");
+    let mut body = vec![0u8; args.size as usize];
+    let mut x: u64 = 0x5eed_cafe;
+    for b in body.iter_mut() {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *b = (x >> 56) as u8;
+    }
+    std::fs::write(dir.join("payload.bin"), &body).expect("write payload");
+    EXPECTED_LEN.store(args.size, Ordering::Relaxed);
+
+    let mut out = open_csv(
+        &out_path,
+        "mode,size_bytes,requests,workers,errors,duration_s,rps,mb_per_s,p50_ms,p99_ms",
+    );
+    let cache = args.size + (64 << 10); // fits the document with headroom
+    let modes: [(&str, TransmitMode, u64); 3] = [
+        ("copy", TransmitMode::Copy, cache),
+        ("writev", TransmitMode::ZeroCopy, cache),
+        ("sendfile", TransmitMode::ZeroCopy, 0),
+    ];
+    for (name, transmit, cache_bytes) in modes {
+        eprintln!(
+            "enginebench: zerocopy mode={name} size={} workers={workers} requests={requests}",
+            args.size
+        );
+        let (errors, duration, hist) = run_transmit_mode(
+            transmit,
+            cache_bytes,
+            workers,
+            requests,
+            &dir,
+        );
+        let served = hist.count();
+        let secs = duration.as_secs_f64().max(1e-9);
+        let rps = served as f64 / secs;
+        let mbps = served as f64 * args.size as f64 / 1e6 / secs;
+        let row = format!(
+            "{name},{},{requests},{workers},{errors},{:.3},{:.1},{:.1},{:.3},{:.3}",
+            args.size,
+            duration.as_secs_f64(),
+            rps,
+            mbps,
+            hist.quantile(0.50) as f64 / 1000.0,
+            hist.quantile(0.99) as f64 / 1000.0,
+        );
+        writeln!(out, "{row}").unwrap();
+        eprintln!("enginebench: {row}");
+    }
+    println!("enginebench: wrote {}", out_path.display());
+}
+
+fn main() {
+    let args = parse_args();
+    match args.scenario {
+        Scenario::Engine => main_engine(&args),
+        Scenario::ZeroCopy => main_zerocopy(&args),
+    }
 }

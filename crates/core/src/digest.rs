@@ -1,0 +1,154 @@
+//! Compact cache-residency digests for loadd broadcasts.
+//!
+//! The paper's load vector (§3.1) tells the broker how *busy* a peer is,
+//! but nothing about what the peer already holds in RAM — so the §3.2
+//! cost model charges a disk (or NFS) read even when a candidate node
+//! could serve the document straight from its page cache. Each node
+//! therefore appends a [`CacheDigest`] — a 256-bit Bloom filter over the
+//! hot [`FileId`]s in its file cache — to its periodic load packet.
+//! Peers then price a digest hit at RAM bandwidth instead of disk.
+//!
+//! Bloom semantics matter for correctness: a digest can return **false
+//! positives** (a file the peer has evicted, or a hash collision) but
+//! never false negatives for the inserted set. A false positive only
+//! *mis-prices* a candidate — the chosen node still serves the true
+//! bytes from its own disk — so scheduling degrades gracefully instead
+//! of ever producing a wrong response.
+
+use sweb_cluster::FileId;
+
+/// Size of a serialized digest on the wire.
+pub const DIGEST_BYTES: usize = 32;
+
+const BITS: u64 = (DIGEST_BYTES as u64) * 8;
+
+/// Finalizer from splitmix64: cheap, well-mixed 64-bit diffusion, giving
+/// two independent 8-bit probe indexes (k = 2) per file id.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// A 256-bit Bloom filter over cached [`FileId`]s (k = 2).
+///
+/// Sized for the working sets SWEB cares about: at the paper's 1.5 MB
+/// documents, even a generous RAM cache holds tens of files, and 256
+/// bits at k = 2 keeps the false-positive rate ≈ (2n/256)² — under 10 %
+/// up to ~40 resident files — while adding only [`DIGEST_BYTES`] bytes
+/// to each loadd packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheDigest {
+    bits: [u64; 4],
+}
+
+impl CacheDigest {
+    /// An empty digest (matches nothing).
+    pub const EMPTY: CacheDigest = CacheDigest { bits: [0; 4] };
+
+    /// Probe positions for `id`.
+    fn probes(id: FileId) -> (u64, u64) {
+        let h = mix(id.0);
+        (h % BITS, (h >> 32) % BITS)
+    }
+
+    /// Mark `id` as resident.
+    pub fn insert(&mut self, id: FileId) {
+        let (a, b) = Self::probes(id);
+        self.bits[(a / 64) as usize] |= 1u64 << (a % 64);
+        self.bits[(b / 64) as usize] |= 1u64 << (b % 64);
+    }
+
+    /// Whether `id` may be resident (false positives possible, false
+    /// negatives not).
+    pub fn contains(&self, id: FileId) -> bool {
+        let (a, b) = Self::probes(id);
+        self.bits[(a / 64) as usize] & (1u64 << (a % 64)) != 0
+            && self.bits[(b / 64) as usize] & (1u64 << (b % 64)) != 0
+    }
+
+    /// True when nothing was ever inserted.
+    pub fn is_empty(&self) -> bool {
+        self.bits == [0; 4]
+    }
+
+    /// Number of set bits (saturation diagnostic).
+    pub fn ones(&self) -> u32 {
+        self.bits.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Wire form: the four words little-endian.
+    pub fn to_bytes(&self) -> [u8; DIGEST_BYTES] {
+        let mut out = [0u8; DIGEST_BYTES];
+        for (i, w) in self.bits.iter().enumerate() {
+            out[i * 8..(i + 1) * 8].copy_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parse the wire form; `None` unless exactly [`DIGEST_BYTES`] bytes.
+    pub fn from_bytes(raw: &[u8]) -> Option<CacheDigest> {
+        if raw.len() != DIGEST_BYTES {
+            return None;
+        }
+        let mut bits = [0u64; 4];
+        for (i, b) in bits.iter_mut().enumerate() {
+            *b = u64::from_le_bytes(raw[i * 8..(i + 1) * 8].try_into().unwrap());
+        }
+        Some(CacheDigest { bits })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut d = CacheDigest::default();
+        let inserted: Vec<FileId> = (0..40).map(|i| FileId(i * 7919 + 13)).collect();
+        for id in &inserted {
+            d.insert(*id);
+        }
+        for id in &inserted {
+            assert!(d.contains(*id), "inserted {id:?} must hit");
+        }
+    }
+
+    #[test]
+    fn empty_matches_nothing() {
+        let d = CacheDigest::EMPTY;
+        assert!(d.is_empty());
+        assert_eq!(d.ones(), 0);
+        for i in 0..1000 {
+            assert!(!d.contains(FileId(i)));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_tolerable() {
+        let mut d = CacheDigest::default();
+        for i in 0..20u64 {
+            d.insert(FileId(i));
+        }
+        let false_pos =
+            (1000..11_000u64).filter(|&i| d.contains(FileId(i))).count();
+        // k=2, 20 inserts: expect ≈ (40/256)² ≈ 2.4 %; allow generous slack.
+        assert!(false_pos < 800, "false-positive rate too high: {false_pos}/10000");
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let mut d = CacheDigest::default();
+        for i in [3u64, 99, 12345, u64::MAX] {
+            d.insert(FileId(i));
+        }
+        let bytes = d.to_bytes();
+        assert_eq!(bytes.len(), DIGEST_BYTES);
+        let back = CacheDigest::from_bytes(&bytes).unwrap();
+        assert_eq!(back, d);
+        assert!(CacheDigest::from_bytes(&bytes[..31]).is_none());
+        assert!(CacheDigest::from_bytes(&[0u8; 33]).is_none());
+    }
+}

@@ -31,6 +31,7 @@ pub mod analytic;
 mod broker;
 mod config;
 mod cost;
+mod digest;
 mod load;
 mod oracle;
 mod policy;
@@ -39,6 +40,7 @@ mod types;
 pub use broker::{Broker, Decision};
 pub use config::{RedirectMechanism, SwebConfig};
 pub use cost::{CostInputs, CostModel};
+pub use digest::{CacheDigest, DIGEST_BYTES};
 pub use load::{LoadTable, LoadVector, LoaddTimer};
 pub use oracle::{CostProfile, Oracle, OracleRule};
 pub use policy::Policy;

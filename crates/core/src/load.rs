@@ -9,6 +9,8 @@
 use sweb_cluster::NodeId;
 use sweb_des::SimTime;
 
+use crate::digest::CacheDigest;
+
 /// A node's advertised load along the three facets the SWEB scheduler
 /// monitors. Each component is a dimensionless *load factor*: 0 = idle,
 /// `k` = roughly `k` jobs' worth of queued demand on that resource, so a
@@ -40,6 +42,10 @@ struct Entry {
     alive: bool,
     /// Whether we have ever heard from this node.
     known: bool,
+    /// Last advertised cache digest (empty until one arrives — legacy
+    /// loadd packets carry none, and an empty digest never matches, so
+    /// the cost model just never discounts such a peer).
+    digest: CacheDigest,
 }
 
 /// Each node's view of every node's load (including its own), fed by loadd
@@ -56,7 +62,13 @@ impl LoadTable {
     pub fn new(n: usize) -> Self {
         LoadTable {
             entries: vec![
-                Entry { load: LoadVector::IDLE, updated: SimTime::ZERO, alive: true, known: false };
+                Entry {
+                    load: LoadVector::IDLE,
+                    updated: SimTime::ZERO,
+                    alive: true,
+                    known: false,
+                    digest: CacheDigest::EMPTY,
+                };
                 n
             ],
         }
@@ -110,6 +122,19 @@ impl LoadTable {
     /// Advertised load of `node`.
     pub fn load(&self, node: NodeId) -> LoadVector {
         self.entries[node.index()].load
+    }
+
+    /// Record `node`'s advertised cache digest (from a v2 loadd packet).
+    /// Kept separate from [`LoadTable::update`] so legacy packets — which
+    /// carry no digest — leave the previous digest in place rather than
+    /// blanking it.
+    pub fn set_digest(&mut self, node: NodeId, digest: CacheDigest) {
+        self.entries[node.index()].digest = digest;
+    }
+
+    /// `node`'s last advertised cache digest (empty if never reported).
+    pub fn digest(&self, node: NodeId) -> &CacheDigest {
+        &self.entries[node.index()].digest
     }
 
     /// When `node` last reported.

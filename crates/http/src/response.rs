@@ -1,10 +1,37 @@
 //! Response construction and wire serialization.
+//!
+//! Serialization comes in two shapes:
+//!
+//! * [`Response::to_bytes`] — one contiguous buffer, head and body. Simple,
+//!   but it copies the body: a cached 1.5 MB document is duplicated for
+//!   every concurrent response, which is exactly the memory traffic the
+//!   `Bytes`-sharing file cache exists to avoid.
+//! * [`Response::to_wire_parts`] — header bytes plus the body as a borrowed
+//!   [`Bytes`] handle (an O(1) refcount clone). A vectored transmit path
+//!   (`writev`) sends both without ever materializing the concatenation,
+//!   so the only per-response allocation is the ~hundred-byte head.
+
+use std::cell::Cell;
 
 use bytes::Bytes;
 
 use crate::headers::Headers;
 use crate::status::StatusCode;
 use crate::url::mark_redirected;
+
+thread_local! {
+    /// Per-thread count of body payloads copied into a contiguous wire
+    /// buffer (test instrumentation for the zero-copy transmit path).
+    static BODY_COPIES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// How many non-empty response bodies the **current thread** has copied
+/// into a contiguous buffer via [`Response::to_bytes`]. The zero-copy
+/// serialization ([`Response::to_wire_parts`]) never increments this;
+/// tests use the delta to prove a transmit path performed no body copy.
+pub fn body_copies() -> u64 {
+    BODY_COPIES.with(|c| c.get())
+}
 
 /// An HTTP/1.0 response.
 #[derive(Debug, Clone)]
@@ -49,10 +76,12 @@ impl Response {
         Response { status, headers, body: body.into() }
     }
 
-    /// Serialize status line, headers (with `Content-Length` and `Server`
-    /// filled in), blank line and body. `head_only` omits the body (HEAD).
-    pub fn to_bytes(&self, head_only: bool) -> Vec<u8> {
-        let mut out = Vec::with_capacity(128 + if head_only { 0 } else { self.body.len() });
+    /// Serialize the status line, headers (with `Content-Length` and
+    /// `Server` filled in) and the terminating blank line — no body bytes.
+    /// `Content-Length` still describes the body (HEAD semantics), unless
+    /// an explicit header already pinned it (e.g. a streamed file body).
+    pub fn head_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128);
         out.extend_from_slice(format!("HTTP/1.0 {}\r\n", self.status).as_bytes());
         let mut wrote_server = false;
         let mut wrote_len = false;
@@ -71,7 +100,26 @@ impl Response {
             out.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
         }
         out.extend_from_slice(b"\r\n");
-        if !head_only {
+        out
+    }
+
+    /// Zero-copy serialization: the head as owned bytes and the body as a
+    /// shared [`Bytes`] handle (refcount bump, no byte copy). `head_only`
+    /// yields an empty body (HEAD) while `Content-Length` keeps describing
+    /// the full document.
+    pub fn to_wire_parts(&self, head_only: bool) -> (Vec<u8>, Bytes) {
+        let head = self.head_bytes();
+        let body = if head_only { Bytes::new() } else { self.body.clone() };
+        (head, body)
+    }
+
+    /// Serialize status line, headers (with `Content-Length` and `Server`
+    /// filled in), blank line and body. `head_only` omits the body (HEAD).
+    pub fn to_bytes(&self, head_only: bool) -> Vec<u8> {
+        let mut out = self.head_bytes();
+        if !head_only && !self.body.is_empty() {
+            BODY_COPIES.with(|c| c.set(c.get() + 1));
+            out.reserve(self.body.len());
             out.extend_from_slice(&self.body);
         }
         out
@@ -121,6 +169,39 @@ mod tests {
     fn error_bodies_mention_status() {
         let r = Response::error(StatusCode::NotFound);
         assert!(std::str::from_utf8(&r.body).unwrap().contains("404 Not Found"));
+    }
+
+    #[test]
+    fn wire_parts_share_the_body_without_copying() {
+        let payload = vec![b'z'; 64 * 1024];
+        let r = Response::ok(payload.clone(), "application/octet-stream");
+        let before = body_copies();
+        let (head, body) = r.to_wire_parts(false);
+        // No body copy happened (thread-local counter unmoved) and the
+        // returned handle aliases the response's own buffer.
+        assert_eq!(body_copies(), before, "to_wire_parts must not copy the body");
+        assert_eq!(body.as_ptr(), r.body.as_ptr(), "body must be shared, not copied");
+        // Head ‖ body is byte-identical to the contiguous serialization.
+        let mut joined = head.clone();
+        joined.extend_from_slice(&body);
+        assert_eq!(joined, r.to_bytes(false));
+        assert_eq!(body_copies(), before + 1, "to_bytes pays the copy");
+        // HEAD keeps the length header but drops the payload.
+        let (head, body) = r.to_wire_parts(true);
+        assert!(body.is_empty());
+        assert!(String::from_utf8(head).unwrap().contains("Content-Length: 65536\r\n"));
+    }
+
+    #[test]
+    fn head_bytes_respects_explicit_content_length() {
+        // A streamed-file response carries an empty in-memory body but an
+        // explicit Content-Length for the file; head_bytes must not clobber
+        // it with the body length (0).
+        let mut r = Response::ok("", "application/octet-stream");
+        r.headers.set("Content-Length", "1500000");
+        let head = String::from_utf8(r.head_bytes()).unwrap();
+        assert!(head.contains("Content-Length: 1500000\r\n"), "{head}");
+        assert_eq!(head.matches("Content-Length").count(), 1, "{head}");
     }
 
     #[test]

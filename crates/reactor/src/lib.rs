@@ -31,6 +31,11 @@
 //! * **Blocking work** (file reads, CGI) runs on a bounded
 //!   [`workers::WorkerPool`]; a full queue sheds (503) instead of
 //!   queueing unboundedly.
+//! * **Transmit is zero-copy**: responses drain as head bytes plus a
+//!   shared [`Bytes`] body gathered by `writev(2)` (no per-request body
+//!   copy), and large [`FileBody`] payloads stream in-kernel via
+//!   `sendfile(2)` with partial-write resumption — the write deadline
+//!   re-arms on progress so slow-but-live readers of big files survive.
 //! * **Admission control**: beyond `max_conns` the reactor answers 503
 //!   immediately. The application observes connection counts through
 //!   [`App`] hooks and feeds them into its advertised load vector, so an
@@ -51,6 +56,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use bytes::Bytes;
 use sweb_http::{try_parse_request, Method, Request, Response, StatusCode};
 
 use slab::Slab;
@@ -58,12 +64,41 @@ use sys::{Event, Interest, Poller};
 use timer::{TimerEntry, TimerWheel};
 use workers::WorkerPool;
 
+/// A file payload to stream instead of an in-memory body: the open fd
+/// travels through the connection state machine and is drained with
+/// `sendfile(2)` (or, where unavailable, materialized on a worker
+/// thread). The reactor sets `Content-Length` from `len`.
+#[derive(Debug)]
+pub struct FileBody {
+    /// Open file positioned at the start of the payload.
+    pub file: std::fs::File,
+    /// Bytes to transmit (the advertised `Content-Length`).
+    pub len: u64,
+}
+
+/// What [`App::respond`] produces: a response head/body plus an optional
+/// file payload that replaces the in-memory body on the wire.
+#[derive(Debug)]
+pub struct Reply {
+    /// Status, headers and (unless `file` is set) the body.
+    pub response: Response,
+    /// When set, the wire body is streamed from this file; any in-memory
+    /// `response.body` is ignored.
+    pub file: Option<FileBody>,
+}
+
+impl From<Response> for Reply {
+    fn from(response: Response) -> Reply {
+        Reply { response, file: None }
+    }
+}
+
 /// What the reactor serves. `respond` runs on a **worker thread** (it may
 /// block on disk); every hook runs on the event-loop thread and must be
 /// cheap and non-blocking (counter bumps).
 pub trait App: Send + Sync + 'static {
     /// Produce the response for one parsed request.
-    fn respond(&self, peer: &str, req: &Request, body: &[u8]) -> Response;
+    fn respond(&self, peer: &str, req: &Request, body: &[u8]) -> Reply;
 
     /// A connection reached `accept` (before admission control).
     fn on_accept(&self) {}
@@ -85,6 +120,24 @@ pub trait App: Send + Sync + 'static {
     fn on_write_start(&self, _bytes: usize) {}
     /// The matching end of [`App::on_write_start`].
     fn on_write_end(&self, _bytes: usize) {}
+    /// A response body was queued for zero-copy transmit from a shared
+    /// `Bytes` handle (`bytes` = body length; no user-space body copy).
+    fn on_zero_copy(&self, _bytes: usize) {}
+    /// A file payload was queued for `sendfile(2)` streaming (`bytes` =
+    /// file length).
+    fn on_sendfile(&self, _bytes: usize) {}
+}
+
+/// How the reactor turns a [`Response`] into wire bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransmitMode {
+    /// Baseline: one contiguous buffer per response — the body is copied
+    /// after serialization (what `to_bytes` always did). Kept for
+    /// benchmark comparison.
+    Copy,
+    /// Head buffer + shared `Bytes` body handle, gathered at the socket
+    /// (`writev`), so cached bodies transmit with zero per-request copies.
+    ZeroCopy,
 }
 
 /// Tuning knobs for one reactor instance.
@@ -106,6 +159,15 @@ pub struct ReactorConfig {
     pub timer_slots: usize,
     /// Timer wheel tick, ms (eviction resolution).
     pub timer_tick_ms: u64,
+    /// Body serialization shape (zero-copy vs contiguous baseline).
+    pub transmit: TransmitMode,
+    /// Gather head+body with `writev(2)`; when false, the portable
+    /// sequential two-write fallback is used (still zero-copy).
+    pub use_writev: bool,
+    /// Stream [`FileBody`] payloads with `sendfile(2)` on the loop
+    /// thread; when false (or on platforms without it), file payloads are
+    /// materialized on a worker thread instead.
+    pub use_sendfile: bool,
 }
 
 impl Default for ReactorConfig {
@@ -119,6 +181,9 @@ impl Default for ReactorConfig {
             keepalive_limit: 64,
             timer_slots: 256,
             timer_tick_ms: 20,
+            transmit: TransmitMode::ZeroCopy,
+            use_writev: true,
+            use_sendfile: true,
         }
     }
 }
@@ -193,6 +258,14 @@ enum ConnState {
     Writing,
 }
 
+/// An in-flight `sendfile` transfer: the open fd rides the connection
+/// until `offset` reaches `end`, resuming across EAGAIN round-trips.
+struct FileTx {
+    file: std::fs::File,
+    offset: u64,
+    end: u64,
+}
+
 /// One tracked connection.
 struct Conn {
     stream: TcpStream,
@@ -200,8 +273,17 @@ struct Conn {
     state: ConnState,
     /// Read accumulator; may hold pipelined bytes beyond one request.
     carry: Vec<u8>,
-    out: Vec<u8>,
+    /// Serialized status line + headers (per-response allocation).
+    out_head: Vec<u8>,
+    /// Body as a shared handle (refcount clone of the cache's buffer, or
+    /// empty when the head already contains the body / a file follows).
+    out_body: Bytes,
+    /// Combined transmit offset across `out_head` ‖ `out_body`.
     out_pos: usize,
+    /// File payload streamed after the buffered part, if any.
+    out_file: Option<FileTx>,
+    /// Planned wire size (head + body + file), for in-flight accounting.
+    out_planned: usize,
     keep_alive: bool,
     /// Close after the in-progress write (protocol errors, shed).
     rounds: u32,
@@ -215,7 +297,9 @@ struct Conn {
 struct Completion {
     token: usize,
     gen: u64,
-    wire: Vec<u8>,
+    head: Vec<u8>,
+    body: Bytes,
+    file: Option<FileTx>,
     keep_alive: bool,
 }
 
@@ -374,8 +458,11 @@ impl Loop {
             peer: peer.ip().to_string(),
             state: ConnState::Reading,
             carry: Vec::new(),
-            out: Vec::new(),
+            out_head: Vec::new(),
+            out_body: Bytes::new(),
             out_pos: 0,
+            out_file: None,
+            out_planned: 0,
             keep_alive: false,
             rounds: 0,
             deadline_ms,
@@ -520,17 +607,47 @@ impl Loop {
         let wakeup = Arc::clone(&self.wakeup_tx);
         let peer = self.conns.get_mut(idx).map(|c| c.peer.clone()).unwrap_or_default();
         let token = idx;
+        let transmit = self.cfg.transmit;
+        let sendfile_ok = self.cfg.use_sendfile && sys::HAS_SENDFILE;
         let job = Box::new(move || {
-            let mut resp = app.respond(&peer, &req, &body);
+            let reply = app.respond(&peer, &req, &body);
+            let mut resp = reply.response;
+            let mut keep_alive = keep_alive;
             if keep_alive {
                 resp.headers.set("Connection", "Keep-Alive");
             }
-            let wire = resp.to_bytes(head_only);
-            match completions.lock() {
-                Ok(mut q) => q.push(Completion { token, gen, wire, keep_alive }),
-                Err(poisoned) => {
-                    poisoned.into_inner().push(Completion { token, gen, wire, keep_alive })
+            let mut file_tx: Option<FileTx> = None;
+            if let Some(fb) = reply.file {
+                resp.headers.set("Content-Length", fb.len.to_string());
+                if head_only {
+                    // Header describes the file; nothing follows.
+                } else if sendfile_ok {
+                    file_tx = Some(FileTx { file: fb.file, offset: 0, end: fb.len });
+                } else {
+                    // Portable fallback: materialize here, on the worker
+                    // thread, so the blocking read stays off the loop.
+                    let mut buf = Vec::with_capacity(fb.len as usize);
+                    let mut f = fb.file;
+                    match Read::by_ref(&mut f).take(fb.len).read_to_end(&mut buf) {
+                        Ok(n) if n as u64 == fb.len => resp.body = buf.into(),
+                        _ => {
+                            // Short read (truncated underneath us) or I/O
+                            // error: better a clean 500 than a wrong body.
+                            resp = Response::error(StatusCode::InternalServerError);
+                            resp.headers.set("Connection", "close");
+                            keep_alive = false;
+                        }
+                    }
                 }
+            }
+            let (head, wire_body) = match transmit {
+                TransmitMode::ZeroCopy => resp.to_wire_parts(head_only),
+                TransmitMode::Copy => (resp.to_bytes(head_only), Bytes::new()),
+            };
+            let done = Completion { token, gen, head, body: wire_body, file: file_tx, keep_alive };
+            match completions.lock() {
+                Ok(mut q) => q.push(done),
+                Err(poisoned) => poisoned.into_inner().push(done),
             }
             let _ = wakeup.send(&[1]);
         });
@@ -540,14 +657,16 @@ impl Loop {
             self.app.on_shed();
             let mut resp = Response::error(StatusCode::ServiceUnavailable);
             resp.headers.set("Connection", "close");
-            self.start_write(idx, resp.to_bytes(false), false);
+            let (head, body) = resp.to_wire_parts(false);
+            self.start_write(idx, head, body, None, false);
         }
     }
 
     fn bad_request(&mut self, idx: usize) {
         self.app.on_bad_request();
         let resp = Response::error(StatusCode::BadRequest);
-        self.start_write(idx, resp.to_bytes(false), false);
+        let (head, body) = resp.to_wire_parts(false);
+        self.start_write(idx, head, body, None, false);
     }
 
     fn drain_wakeup(&mut self) {
@@ -575,18 +694,36 @@ impl Loop {
             if !matches!(conn.state, ConnState::Dispatched) {
                 continue;
             }
-            self.start_write(c.token, c.wire, c.keep_alive);
+            self.start_write(c.token, c.head, c.body, c.file, c.keep_alive);
         }
     }
 
-    fn start_write(&mut self, idx: usize, wire: Vec<u8>, keep_alive: bool) {
+    fn start_write(
+        &mut self,
+        idx: usize,
+        head: Vec<u8>,
+        body: Bytes,
+        file: Option<FileTx>,
+        keep_alive: bool,
+    ) {
         let Some(gen) = self.conns.gen_of(idx) else { return };
         let deadline_ms = self.now_ms() + self.cfg.write_timeout.as_millis() as u64;
+        let file_len = file.as_ref().map(|f| (f.end - f.offset) as usize).unwrap_or(0);
+        let planned = head.len() + body.len() + file_len;
         {
             let Some(conn) = self.conns.get_mut(idx) else { return };
-            self.app.on_write_start(wire.len());
-            conn.out = wire;
+            self.app.on_write_start(planned);
+            if !body.is_empty() {
+                self.app.on_zero_copy(body.len());
+            }
+            if file.is_some() {
+                self.app.on_sendfile(file_len);
+            }
+            conn.out_head = head;
+            conn.out_body = body;
             conn.out_pos = 0;
+            conn.out_file = file;
+            conn.out_planned = planned;
             conn.keep_alive = keep_alive;
             conn.state = ConnState::Writing;
             conn.deadline_ms = deadline_ms;
@@ -598,29 +735,102 @@ impl Loop {
     }
 
     fn on_writable(&mut self, idx: usize) {
+        enum Step {
+            Progress,
+            Retry,
+            Block,
+            Fail,
+            Done,
+        }
+        let mut progressed = false;
         loop {
-            let Some(conn) = self.conns.get_mut(idx) else { return };
-            if conn.out_pos >= conn.out.len() {
-                break;
-            }
-            match conn.stream.write(&conn.out[conn.out_pos..]) {
-                Ok(0) => {
-                    self.write_done(idx, false);
-                    return;
+            let step = {
+                let Some(conn) = self.conns.get_mut(idx) else { return };
+                let head_len = conn.out_head.len();
+                let buf_total = head_len + conn.out_body.len();
+                if conn.out_pos < buf_total {
+                    // Buffered part: head ‖ body gathered in one syscall.
+                    let fd = conn.stream.as_raw_fd();
+                    let (a, b): (&[u8], &[u8]) = if conn.out_pos < head_len {
+                        (&conn.out_head[conn.out_pos..], &conn.out_body)
+                    } else {
+                        (&[], &conn.out_body[conn.out_pos - head_len..])
+                    };
+                    let res = if self.cfg.use_writev {
+                        sys::write_two(fd, a, b)
+                    } else {
+                        sys::write_two_seq(fd, a, b)
+                    };
+                    match res {
+                        Ok(0) => Step::Fail,
+                        Ok(n) => {
+                            conn.out_pos += n;
+                            Step::Progress
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => Step::Block,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => Step::Retry,
+                        Err(_) => Step::Fail,
+                    }
+                } else if let Some(ft) = conn.out_file.as_mut() {
+                    if ft.offset >= ft.end {
+                        Step::Done
+                    } else {
+                        // File part: stream in-kernel, ≤1 MiB per call so
+                        // one huge transfer can't monopolize the loop.
+                        let out_fd = conn.stream.as_raw_fd();
+                        let in_fd = ft.file.as_raw_fd();
+                        let want = (ft.end - ft.offset).min(1u64 << 20) as usize;
+                        match sys::send_file(out_fd, in_fd, &mut ft.offset, want) {
+                            // EOF before the advertised length: the file
+                            // was truncated underneath us; the client sees
+                            // a short body, which closing makes explicit.
+                            Ok(0) => Step::Fail,
+                            Ok(_) => Step::Progress,
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Step::Block,
+                            Err(e) if e.kind() == io::ErrorKind::Interrupted => Step::Retry,
+                            Err(_) => Step::Fail,
+                        }
+                    }
+                } else {
+                    Step::Done
                 }
-                Ok(n) => conn.out_pos += n,
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+            };
+            match step {
+                Step::Progress => progressed = true,
+                Step::Retry => {}
+                Step::Block => {
+                    // The socket buffer is full but the client is making
+                    // progress: push the eviction deadline out so a slow—
+                    // but live—reader of a large file isn't killed mid-body.
+                    if progressed {
+                        self.refresh_write_deadline(idx);
+                    }
                     self.set_interest(idx, Interest::WRITE);
                     return;
                 }
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                Err(_) => {
+                Step::Fail => {
                     self.write_done(idx, false);
+                    return;
+                }
+                Step::Done => {
+                    self.write_done(idx, true);
                     return;
                 }
             }
         }
-        self.write_done(idx, true);
+    }
+
+    /// Re-arm the write deadline after transmit progress. The old wheel
+    /// entry goes stale (deadline mismatch) and is ignored on expiry.
+    fn refresh_write_deadline(&mut self, idx: usize) {
+        let Some(gen) = self.conns.gen_of(idx) else { return };
+        let deadline_ms = self.now_ms() + self.cfg.write_timeout.as_millis() as u64;
+        let Some(conn) = self.conns.get_mut(idx) else { return };
+        if conn.deadline_ms == deadline_ms {
+            return;
+        }
+        conn.deadline_ms = deadline_ms;
+        self.wheel.schedule(TimerEntry { token: idx, gen, deadline_ms });
     }
 
     /// A write finished (fully, or by error). Account it, then either
@@ -629,9 +839,12 @@ impl Loop {
         let Some(gen) = self.conns.gen_of(idx) else { return };
         let (keep, written) = {
             let Some(conn) = self.conns.get_mut(idx) else { return };
-            let written = conn.out.len();
-            conn.out = Vec::new();
+            let written = conn.out_planned;
+            conn.out_head = Vec::new();
+            conn.out_body = Bytes::new();
             conn.out_pos = 0;
+            conn.out_file = None;
+            conn.out_planned = 0;
             (conn.keep_alive, written)
         };
         self.app.on_write_end(written);

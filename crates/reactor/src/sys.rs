@@ -121,6 +121,109 @@ impl Poller {
     }
 }
 
+// ------------------------------------------------------------------
+// Transmit syscalls: vectored writes and in-kernel file streaming.
+// ------------------------------------------------------------------
+
+/// Whether this platform has `sendfile(2)` wired up. When false the
+/// reactor materializes file bodies on a worker thread instead (the
+/// blocking-fallback path).
+pub const HAS_SENDFILE: bool = cfg!(target_os = "linux");
+
+/// POSIX `struct iovec`.
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct IoVec {
+    base: *const u8,
+    len: usize,
+}
+
+extern "C" {
+    fn writev(fd: i32, iov: *const IoVec, iovcnt: i32) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+}
+
+/// Transmit up to two slices with a single `writev(2)`: the serialized
+/// response head and the shared body, gathered by the kernel without the
+/// user-space concatenation `to_bytes` would pay. Returns bytes written
+/// (which may straddle the two slices — the caller resumes from the
+/// combined offset on the next readiness).
+pub fn write_two(fd: RawFd, a: &[u8], b: &[u8]) -> io::Result<usize> {
+    let mut iov = [IoVec { base: std::ptr::null(), len: 0 }; 2];
+    let mut n = 0;
+    for s in [a, b] {
+        if !s.is_empty() {
+            iov[n] = IoVec { base: s.as_ptr(), len: s.len() };
+            n += 1;
+        }
+    }
+    if n == 0 {
+        return Ok(0);
+    }
+    let rc = unsafe { writev(fd, iov.as_ptr(), n as i32) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(rc as usize)
+}
+
+/// Portable two-write fallback for [`write_two`]: sequential `write(2)`
+/// per slice. Same contract (combined byte count, short writes allowed);
+/// one extra syscall when both slices are non-empty.
+pub fn write_two_seq(fd: RawFd, a: &[u8], b: &[u8]) -> io::Result<usize> {
+    let mut total = 0;
+    for s in [a, b] {
+        if s.is_empty() {
+            continue;
+        }
+        let rc = unsafe { write(fd, s.as_ptr(), s.len()) };
+        if rc < 0 {
+            let err = io::Error::last_os_error();
+            // Progress already made counts as success; the error (likely
+            // EAGAIN) resurfaces on the caller's next attempt.
+            if total > 0 {
+                return Ok(total);
+            }
+            return Err(err);
+        }
+        total += rc as usize;
+        if (rc as usize) < s.len() {
+            break; // short write: the socket buffer is full
+        }
+    }
+    Ok(total)
+}
+
+/// Stream up to `count` bytes of `in_fd` (a regular file) to `out_fd` (a
+/// socket) with `sendfile(2)`, advancing `offset`. Returns bytes moved;
+/// `Ok(0)` before the caller's expected end means the file was truncated
+/// underneath us.
+#[cfg(target_os = "linux")]
+pub fn send_file(out_fd: RawFd, in_fd: RawFd, offset: &mut u64, count: usize) -> io::Result<usize> {
+    extern "C" {
+        fn sendfile(out_fd: i32, in_fd: i32, offset: *mut i64, count: usize) -> isize;
+    }
+    let mut off = *offset as i64;
+    let rc = unsafe { sendfile(out_fd, in_fd, &mut off, count) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    *offset = off as u64;
+    Ok(rc as usize)
+}
+
+/// Non-Linux stub: callers must gate on [`HAS_SENDFILE`] and take the
+/// worker-thread fallback instead.
+#[cfg(not(target_os = "linux"))]
+pub fn send_file(
+    _out_fd: RawFd,
+    _in_fd: RawFd,
+    _offset: &mut u64,
+    _count: usize,
+) -> io::Result<usize> {
+    Err(io::Error::new(io::ErrorKind::Unsupported, "sendfile unavailable on this platform"))
+}
+
 #[cfg(target_os = "linux")]
 pub mod epoll {
     //! The Linux epoll backend.
@@ -430,5 +533,93 @@ mod tests {
     #[test]
     fn poll_backend_delivers_events() {
         backend_smoke(Poller::Poll(pollfd::PollPoller::new()));
+    }
+
+    /// A connected blocking stream pair over loopback.
+    fn stream_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    fn read_exact_n(s: &mut TcpStream, n: usize) -> Vec<u8> {
+        use std::io::Read;
+        let mut buf = vec![0u8; n];
+        s.read_exact(&mut buf).unwrap();
+        buf
+    }
+
+    fn two_slice_roundtrip(gather: fn(RawFd, &[u8], &[u8]) -> io::Result<usize>) {
+        let (tx, mut rx) = stream_pair();
+        let head = b"HTTP/1.0 200 OK\r\n\r\n".to_vec();
+        let body = vec![b'x'; 4096];
+        let mut sent = 0;
+        let total = head.len() + body.len();
+        while sent < total {
+            let (a, b): (&[u8], &[u8]) = if sent < head.len() {
+                (&head[sent..], &body)
+            } else {
+                (&[], &body[sent - head.len()..])
+            };
+            sent += gather(tx.as_raw_fd(), a, b).unwrap();
+        }
+        drop(tx);
+        let got = read_exact_n(&mut rx, total);
+        assert_eq!(&got[..head.len()], &head[..]);
+        assert_eq!(&got[head.len()..], &body[..]);
+    }
+
+    #[test]
+    fn write_two_gathers_both_slices() {
+        two_slice_roundtrip(write_two);
+    }
+
+    #[test]
+    fn write_two_seq_matches_writev_contract() {
+        two_slice_roundtrip(write_two_seq);
+    }
+
+    #[test]
+    fn write_two_skips_empty_slices() {
+        let (tx, mut rx) = stream_pair();
+        assert_eq!(write_two(tx.as_raw_fd(), b"", b"").unwrap(), 0);
+        assert_eq!(write_two(tx.as_raw_fd(), b"", b"tail").unwrap(), 4);
+        assert_eq!(write_two(tx.as_raw_fd(), b"head", b"").unwrap(), 4);
+        drop(tx);
+        assert_eq!(read_exact_n(&mut rx, 8), b"tailhead");
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn send_file_streams_and_advances_offset() {
+        use std::io::Read;
+        let dir = std::env::temp_dir().join(format!("sweb-sendfile-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("payload.bin");
+        let payload: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        std::fs::write(&path, &payload).unwrap();
+
+        let (tx, mut rx) = stream_pair();
+        let file = std::fs::File::open(&path).unwrap();
+        let reader = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            rx.read_to_end(&mut got).unwrap();
+            got
+        });
+        let mut offset = 0u64;
+        while offset < payload.len() as u64 {
+            let want = (payload.len() as u64 - offset) as usize;
+            match send_file(tx.as_raw_fd(), file.as_raw_fd(), &mut offset, want) {
+                Ok(0) => panic!("file truncated"),
+                Ok(_) => {}
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => continue,
+                Err(e) => panic!("sendfile: {e}"),
+            }
+        }
+        assert_eq!(offset, payload.len() as u64);
+        drop(tx);
+        assert_eq!(reader.join().unwrap(), payload);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -3,14 +3,18 @@
 
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use bytes::Bytes;
 use sweb_http::{Request, Response};
-use sweb_reactor::{App, ReactorConfig, ReactorHandle};
+use sweb_reactor::{App, FileBody, ReactorConfig, ReactorHandle, Reply};
 
 /// Minimal app: answers with the request target, counts every hook.
+/// `/big` serves the configured in-memory body (the cached-file shape);
+/// `/file` serves the configured file as a streamed [`FileBody`].
 #[derive(Default)]
 struct EchoApp {
     served: AtomicUsize,
@@ -19,12 +23,31 @@ struct EchoApp {
     bad: AtomicUsize,
     open: AtomicUsize,
     closed: AtomicUsize,
+    zero_copy: AtomicUsize,
+    sendfile: AtomicUsize,
+    big: Mutex<Option<Bytes>>,
+    file_path: Mutex<Option<PathBuf>>,
 }
 
 impl App for EchoApp {
-    fn respond(&self, _peer: &str, req: &Request, body: &[u8]) -> Response {
+    fn respond(&self, _peer: &str, req: &Request, body: &[u8]) -> Reply {
         self.served.fetch_add(1, Ordering::SeqCst);
-        Response::ok(format!("target={} body={}", req.target, body.len()), "text/plain")
+        if req.target == "/big" {
+            if let Some(b) = self.big.lock().unwrap().clone() {
+                return Response::ok(b, "application/octet-stream").into();
+            }
+        }
+        if req.target == "/file" {
+            if let Some(p) = self.file_path.lock().unwrap().clone() {
+                let file = std::fs::File::open(&p).unwrap();
+                let len = file.metadata().unwrap().len();
+                return Reply {
+                    response: Response::ok("", "application/octet-stream"),
+                    file: Some(FileBody { file, len }),
+                };
+            }
+        }
+        Response::ok(format!("target={} body={}", req.target, body.len()), "text/plain").into()
     }
     fn on_conn_open(&self) {
         self.open.fetch_add(1, Ordering::SeqCst);
@@ -40,6 +63,12 @@ impl App for EchoApp {
     }
     fn on_bad_request(&self) {
         self.bad.fetch_add(1, Ordering::SeqCst);
+    }
+    fn on_zero_copy(&self, _bytes: usize) {
+        self.zero_copy.fetch_add(1, Ordering::SeqCst);
+    }
+    fn on_sendfile(&self, _bytes: usize) {
+        self.sendfile.fetch_add(1, Ordering::SeqCst);
     }
 }
 
@@ -226,4 +255,180 @@ fn clean_shutdown_closes_open_connections() {
     let mut buf = [0u8; 8];
     let n = idle.read(&mut buf).unwrap_or(0);
     assert_eq!(n, 0, "open connection must be closed on shutdown");
+}
+
+// ---------------------------------------------------------------- transmit
+
+/// Deterministic binary payload (no `rand` needed; not valid UTF-8).
+fn payload(len: usize) -> Vec<u8> {
+    let mut state = 0x9e3779b97f4a7c15u64;
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 56) as u8
+        })
+        .collect()
+}
+
+/// Read a whole response, draining the body in `chunk`-byte nibbles with
+/// `pause` between reads (a deliberately slow client), and return
+/// (head, body) split at the header terminator.
+fn slow_read_response(s: &mut TcpStream, chunk: usize, pause: Duration) -> (String, Vec<u8>) {
+    let mut raw = Vec::new();
+    let mut buf = vec![0u8; chunk];
+    loop {
+        match s.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                raw.extend_from_slice(&buf[..n]);
+                std::thread::sleep(pause);
+            }
+            Err(e) => panic!("read: {e}"),
+        }
+    }
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("no header terminator in response");
+    let head = String::from_utf8(raw[..split + 4].to_vec()).unwrap();
+    (head, raw[split + 4..].to_vec())
+}
+
+#[test]
+fn large_cached_body_resumes_across_partial_writes() {
+    // A body far bigger than any socket buffer forces EAGAIN resumption,
+    // and a write timeout shorter than the total transfer proves the
+    // deadline re-arms on progress (a slow-but-live reader survives).
+    let cfg = ReactorConfig {
+        write_timeout: Duration::from_millis(400),
+        timer_tick_ms: 10,
+        ..ReactorConfig::default()
+    };
+    let srv = TestServer::start(cfg);
+    let body = payload(8 << 20);
+    *srv.app.big.lock().unwrap() = Some(Bytes::from(body.clone()));
+
+    let mut s = srv.connect();
+    s.write_all(b"GET /big HTTP/1.0\r\n\r\n").unwrap();
+    let t0 = Instant::now();
+    let (head, got) = slow_read_response(&mut s, 256 << 10, Duration::from_millis(20));
+    assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+    assert!(head.contains(&format!("Content-Length: {}\r\n", body.len())), "{head}");
+    assert_eq!(got.len(), body.len(), "body truncated after {:?}", t0.elapsed());
+    assert_eq!(got, body, "body corrupted in transit");
+    assert_eq!(srv.app.zero_copy.load(Ordering::SeqCst), 1, "zero-copy path not taken");
+    assert_eq!(srv.app.evicted.load(Ordering::SeqCst), 0, "live reader was evicted");
+}
+
+#[test]
+fn sequential_write_fallback_serves_identical_bytes() {
+    // use_writev: false exercises the portable two-write fallback; the
+    // bytes on the wire must be indistinguishable.
+    let cfg = ReactorConfig { use_writev: false, ..ReactorConfig::default() };
+    let srv = TestServer::start(cfg);
+    let body = payload(4 << 20);
+    *srv.app.big.lock().unwrap() = Some(Bytes::from(body.clone()));
+
+    let mut s = srv.connect();
+    s.write_all(b"GET /big HTTP/1.0\r\n\r\n").unwrap();
+    let (head, got) = slow_read_response(&mut s, 256 << 10, Duration::from_millis(5));
+    assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+    assert_eq!(got, body);
+    assert_eq!(srv.app.zero_copy.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn file_body_streams_intact_with_a_slow_reader() {
+    let dir = std::env::temp_dir().join(format!("sweb-reactor-sf-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("large.bin");
+    let body = payload(8 << 20);
+    std::fs::write(&path, &body).unwrap();
+
+    let cfg = ReactorConfig {
+        write_timeout: Duration::from_millis(400),
+        timer_tick_ms: 10,
+        ..ReactorConfig::default()
+    };
+    let srv = TestServer::start(cfg);
+    *srv.app.file_path.lock().unwrap() = Some(path);
+
+    let mut s = srv.connect();
+    s.write_all(b"GET /file HTTP/1.0\r\n\r\n").unwrap();
+    let (head, got) = slow_read_response(&mut s, 256 << 10, Duration::from_millis(20));
+    assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+    assert!(head.contains(&format!("Content-Length: {}\r\n", body.len())), "{head}");
+    assert_eq!(got.len(), body.len(), "file body truncated");
+    assert_eq!(got, body, "file body corrupted in transit");
+    assert_eq!(srv.app.evicted.load(Ordering::SeqCst), 0, "live reader was evicted");
+    if cfg!(target_os = "linux") {
+        assert_eq!(srv.app.sendfile.load(Ordering::SeqCst), 1, "sendfile path not taken");
+    }
+    let _ = std::fs::remove_dir_all(std::env::temp_dir().join(format!(
+        "sweb-reactor-sf-{}",
+        std::process::id()
+    )));
+}
+
+#[test]
+fn file_body_worker_fallback_when_sendfile_disabled() {
+    let dir = std::env::temp_dir().join(format!("sweb-reactor-nosf-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("large.bin");
+    let body = payload(2 << 20);
+    std::fs::write(&path, &body).unwrap();
+
+    let cfg = ReactorConfig { use_sendfile: false, ..ReactorConfig::default() };
+    let srv = TestServer::start(cfg);
+    *srv.app.file_path.lock().unwrap() = Some(path);
+
+    let mut s = srv.connect();
+    s.write_all(b"GET /file HTTP/1.0\r\n\r\n").unwrap();
+    let (head, got) = slow_read_response(&mut s, 256 << 10, Duration::from_millis(2));
+    assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+    assert_eq!(got, body, "worker-materialized file body corrupted");
+    assert_eq!(srv.app.sendfile.load(Ordering::SeqCst), 0, "sendfile must be disabled");
+    let _ = std::fs::remove_dir_all(std::env::temp_dir().join(format!(
+        "sweb-reactor-nosf-{}",
+        std::process::id()
+    )));
+}
+
+#[test]
+fn head_on_file_body_reports_length_without_body() {
+    let dir = std::env::temp_dir().join(format!("sweb-reactor-head-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("doc.bin");
+    std::fs::write(&path, payload(1 << 20)).unwrap();
+
+    let srv = TestServer::start(ReactorConfig::default());
+    *srv.app.file_path.lock().unwrap() = Some(path);
+
+    let reply = srv.exchange(b"HEAD /file HTTP/1.0\r\n\r\n");
+    assert!(reply.starts_with("HTTP/1.0 200"), "{reply}");
+    assert!(reply.contains(&format!("Content-Length: {}\r\n", 1 << 20)), "{reply}");
+    assert!(reply.ends_with("\r\n\r\n"), "HEAD must carry no body: {reply:?}");
+    let _ = std::fs::remove_dir_all(std::env::temp_dir().join(format!(
+        "sweb-reactor-head-{}",
+        std::process::id()
+    )));
+}
+
+#[test]
+fn copy_mode_still_serves_correct_bytes() {
+    // The benchmark baseline: contiguous serialization, no zero-copy hook.
+    let cfg = ReactorConfig {
+        transmit: sweb_reactor::TransmitMode::Copy,
+        ..ReactorConfig::default()
+    };
+    let srv = TestServer::start(cfg);
+    let body = payload(1 << 20);
+    *srv.app.big.lock().unwrap() = Some(Bytes::from(body.clone()));
+
+    let mut s = srv.connect();
+    s.write_all(b"GET /big HTTP/1.0\r\n\r\n").unwrap();
+    let (head, got) = slow_read_response(&mut s, 256 << 10, Duration::from_millis(2));
+    assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+    assert_eq!(got, body);
+    assert_eq!(srv.app.zero_copy.load(Ordering::SeqCst), 0, "copy mode must not zero-copy");
 }

@@ -60,6 +60,10 @@ pub struct ClusterConfig {
     /// Per-node admission cap (reactor engine): connections beyond this
     /// are answered `503` and counted in `NodeStats::shed`.
     pub max_conns: usize,
+    /// Response transmit shape (reactor engine): zero-copy writev/sendfile
+    /// (the default) or the contiguous-copy baseline, kept selectable so
+    /// benchmarks can measure what the copy costs.
+    pub transmit: sweb_reactor::TransmitMode,
     /// Scheduler tunables. The default shortens the loadd period to 200 ms
     /// so tests converge quickly; pass the paper's 2.5 s for realism.
     pub sweb: SwebConfig,
@@ -83,12 +87,18 @@ impl Default for ClusterConfig {
         let sweb = SwebConfig {
             loadd_period: SimTime::from_millis(200),
             stale_timeout: SimTime::from_millis(1500),
+            // Live nodes gossip cache digests over loadd, so the broker can
+            // price a peer's cache hit below its NFS read by default. A
+            // Bloom false positive merely misprices one candidate — the
+            // response bytes always come from the node that serves them.
+            cache_aware_cost: true,
             ..SwebConfig::default()
         };
         ClusterConfig {
             policy: Policy::Sweb,
             engine: Engine::default(),
             max_conns: 4096,
+            transmit: sweb_reactor::TransmitMode::ZeroCopy,
             sweb,
             cgi: crate::cgi::CgiRegistry::demo(),
             port_base: None,
@@ -137,6 +147,7 @@ impl LiveCluster {
                 id: NodeId(i as u32),
                 engine: cfg.engine,
                 max_conns: cfg.max_conns,
+                transmit: cfg.transmit,
                 cluster: cluster_spec.clone(),
                 peer_http: peer_http.clone(),
                 peer_udp: peer_udp.clone(),

@@ -4,7 +4,11 @@
 //!
 //! Bodies are stored as [`Bytes`], so concurrent responses share one copy
 //! with no duplication. Entries are validated against the file's mtime on
-//! every hit: an edited document is re-read, never served stale.
+//! every hit: an edited document is re-read, never served stale. Each
+//! entry also records the canonical request path it was cached under —
+//! [`FileId`]s are 64-bit FNV-1a hashes, and on the (rare) collision the
+//! path check makes the cache serve the *correct* bytes from disk instead
+//! of another document's body.
 
 use std::collections::HashMap;
 use std::path::Path;
@@ -14,10 +18,15 @@ use std::time::SystemTime;
 use bytes::Bytes;
 use parking_lot::Mutex;
 use sweb_cluster::{FileId, PageCache};
+use sweb_core::CacheDigest;
 
 struct Entry {
     body: Bytes,
     mtime: SystemTime,
+    /// Canonical request path this entry was cached under. Verified on
+    /// every hit: a differing path under the same `FileId` is a hash
+    /// collision, never a valid hit.
+    path: String,
 }
 
 /// Byte-bounded, mtime-validated LRU cache of document bodies.
@@ -25,6 +34,7 @@ pub struct FileCache {
     inner: Mutex<Inner>,
     hits: AtomicU64,
     misses: AtomicU64,
+    collisions: AtomicU64,
 }
 
 struct Inner {
@@ -32,8 +42,9 @@ struct Inner {
     bodies: HashMap<FileId, Entry>,
 }
 
-fn key_of(path: &str) -> FileId {
-    // FNV-1a over the canonical request path.
+/// FNV-1a over the canonical request path — the cache's [`FileId`]
+/// namespace, shared with the scheduler's home placement and digests.
+pub fn key_of(path: &str) -> FileId {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in path.as_bytes() {
         h ^= *b as u64;
@@ -49,6 +60,7 @@ impl FileCache {
             inner: Mutex::new(Inner { lru: PageCache::new(capacity), bodies: HashMap::new() }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            collisions: AtomicU64::new(0),
         }
     }
 
@@ -62,21 +74,67 @@ impl FileCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Lifetime count of FNV `FileId` collisions detected (served
+    /// correctly from disk, not from the colliding entry).
+    pub fn collisions(&self) -> u64 {
+        self.collisions.load(Ordering::Relaxed)
+    }
+
     /// Bytes currently cached.
     pub fn used(&self) -> u64 {
         self.inner.lock().lru.used()
+    }
+
+    /// Configured capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.inner.lock().lru.capacity()
+    }
+
+    /// Whether `path`'s body is resident right now (no I/O, no LRU touch).
+    pub fn resident(&self, path: &str) -> bool {
+        let key = key_of(path);
+        let inner = self.inner.lock();
+        inner.lru.contains(key) && inner.bodies.get(&key).is_some_and(|e| e.path == path)
+    }
+
+    /// Bloom digest of currently-resident [`FileId`]s, for loadd
+    /// broadcasts: peers use it to price this node's cache hits.
+    pub fn digest(&self) -> CacheDigest {
+        let inner = self.inner.lock();
+        let mut d = CacheDigest::default();
+        for key in inner.lru.keys() {
+            d.insert(key);
+        }
+        d
     }
 
     /// Fetch `full` (request path `path` for keying): from memory when the
     /// cached copy's mtime still matches, from disk otherwise. Returns the
     /// body and the file's mtime.
     pub fn read(&self, path: &str, full: &Path) -> std::io::Result<(Bytes, SystemTime)> {
-        let key = key_of(path);
+        self.read_keyed(key_of(path), path, full)
+    }
+
+    /// [`FileCache::read`] with an explicit key — separated so tests can
+    /// force two paths onto one `FileId` (a 64-bit FNV collision is
+    /// otherwise impractical to construct).
+    pub(crate) fn read_keyed(
+        &self,
+        key: FileId,
+        path: &str,
+        full: &Path,
+    ) -> std::io::Result<(Bytes, SystemTime)> {
         let mtime = std::fs::metadata(full)?.modified()?;
+        let mut collided = false;
         {
             let mut inner = self.inner.lock();
             if let Some(entry) = inner.bodies.get(&key) {
-                if entry.mtime == mtime && inner.lru.contains(key) {
+                if entry.path != path {
+                    // Hash collision: this slot holds a different
+                    // document. Serving entry.body would be a wrong
+                    // response; fall through to a disk read.
+                    collided = true;
+                } else if entry.mtime == mtime && inner.lru.contains(key) {
                     let body = entry.body.clone();
                     inner.lru.access(key, body.len() as u64); // LRU touch
                     self.hits.fetch_add(1, Ordering::Relaxed);
@@ -84,14 +142,22 @@ impl FileCache {
                 }
             }
         }
-        // Miss or stale: read outside the lock (large files, slow disks).
+        // Miss, stale, or collision: read outside the lock (large files,
+        // slow disks).
         self.misses.fetch_add(1, Ordering::Relaxed);
         let body = Bytes::from(std::fs::read(full)?);
+        if collided {
+            // Leave the resident entry in place — two documents fighting
+            // over one slot would just thrash it. The loser of the slot is
+            // served from disk, correctly, every time.
+            self.collisions.fetch_add(1, Ordering::Relaxed);
+            return Ok((body, mtime));
+        }
         let mut inner = self.inner.lock();
         inner.lru.invalidate(key);
         if (body.len() as u64) <= inner.lru.capacity() {
             inner.lru.access(key, body.len() as u64);
-            inner.bodies.insert(key, Entry { body: body.clone(), mtime });
+            inner.bodies.insert(key, Entry { body: body.clone(), mtime, path: path.to_string() });
         } else {
             inner.bodies.remove(&key);
         }
@@ -188,5 +254,62 @@ mod tests {
     fn missing_file_is_an_error_not_a_panic() {
         let cache = FileCache::new(100);
         assert!(cache.read("/gone", Path::new("/definitely/not/here")).is_err());
+    }
+
+    #[test]
+    fn fileid_collision_serves_correct_bytes_not_the_cached_entry() {
+        // Two distinct documents forced onto one FileId — the regression
+        // this guards: the cache used to key purely on the hash and would
+        // return /alpha's body for /beta.
+        let fa = tmpfile("col-a", b"contents of alpha");
+        let fb = tmpfile("col-b", b"BETA IS DIFFERENT");
+        let cache = FileCache::new(1 << 20);
+        let key = FileId(0xdead_beef);
+        let (a, _) = cache.read_keyed(key, "/alpha", &fa).unwrap();
+        assert_eq!(&a[..], b"contents of alpha");
+        // Same key, different path: must come back with /beta's bytes.
+        let (b, _) = cache.read_keyed(key, "/beta", &fb).unwrap();
+        assert_eq!(&b[..], b"BETA IS DIFFERENT", "collision served the wrong body");
+        assert_eq!(cache.collisions(), 1);
+        // The resident entry survives and still serves /alpha correctly.
+        let (a2, _) = cache.read_keyed(key, "/alpha", &fa).unwrap();
+        assert_eq!(&a2[..], b"contents of alpha");
+        assert_eq!(cache.hits(), 1);
+        // Repeated /beta reads stay correct (and stay collisions).
+        let (b2, _) = cache.read_keyed(key, "/beta", &fb).unwrap();
+        assert_eq!(&b2[..], b"BETA IS DIFFERENT");
+        assert_eq!(cache.collisions(), 2);
+        let _ = std::fs::remove_file(&fa);
+        let _ = std::fs::remove_file(&fb);
+    }
+
+    #[test]
+    fn digest_tracks_residency() {
+        let f = tmpfile("dig", b"digest me");
+        let cache = FileCache::new(1 << 20);
+        assert!(cache.digest().is_empty());
+        assert!(!cache.resident("/dig"));
+        cache.read("/dig", &f).unwrap();
+        assert!(cache.resident("/dig"));
+        let d = cache.digest();
+        assert!(d.contains(key_of("/dig")), "resident file must be in the digest");
+        assert!(!cache.resident("/other"));
+        let _ = std::fs::remove_file(&f);
+    }
+
+    #[test]
+    fn digest_drops_evicted_files() {
+        let cache = FileCache::new(100);
+        let fa = tmpfile("ev-a", &[b'a'; 80]);
+        let fb = tmpfile("ev-b", &[b'b'; 80]);
+        cache.read("/ev-a", &fa).unwrap();
+        assert!(cache.digest().contains(key_of("/ev-a")));
+        // /ev-b evicts /ev-a (both can't fit in 100 bytes).
+        cache.read("/ev-b", &fb).unwrap();
+        let d = cache.digest();
+        assert!(d.contains(key_of("/ev-b")));
+        assert!(!d.contains(key_of("/ev-a")), "evicted file leaked into the digest");
+        let _ = std::fs::remove_file(&fa);
+        let _ = std::fs::remove_file(&fb);
     }
 }

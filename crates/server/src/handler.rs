@@ -6,7 +6,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
-use sweb_cluster::{FileId, NodeId, Placement};
+use sweb_cluster::{NodeId, Placement};
 use sweb_core::{Decision, RequestInfo};
 use sweb_http::{
     mime_for_path, parse_request, Method, ParseError, Request, Response, StatusCode,
@@ -20,16 +20,16 @@ const READ_TIMEOUT: Duration = Duration::from_secs(10);
 /// Maximum requests served over one keep-alive connection.
 const KEEPALIVE_LIMIT: u32 = 64;
 
+/// Smallest document worth streaming via `sendfile` instead of buffering:
+/// below this the fd bookkeeping costs more than the copy it saves.
+const SENDFILE_MIN: u64 = 256 << 10;
+
 /// The document's "home" node. Every node shares one document root (the
-/// NFS crossmount); homes are assigned by hashing the path, the same
-/// placement rule the simulator's corpus can use.
+/// NFS crossmount); homes are assigned by hashing the path — the same
+/// FNV-1a the file cache keys on, so home placement, cache digests and
+/// residency checks all live in one `FileId` namespace.
 pub fn home_of(path: &str, nodes: usize) -> NodeId {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in path.as_bytes() {
-        h ^= *b as u64;
-        h = h.wrapping_mul(0x1_0000_01b3);
-    }
-    Placement::Hashed.home(FileId(h), nodes)
+    Placement::Hashed.home(crate::file_cache::key_of(path), nodes)
 }
 
 /// Serve one connection. HTTP/1.0 closes after each response; as a
@@ -156,45 +156,66 @@ pub(crate) fn method_str(method: Method) -> &'static str {
     }
 }
 
-/// §3.2 steps 1–4 over a real request. Both connection engines funnel
-/// every parsed request through here.
+/// §3.2 steps 1–4 over a real request, materialized: any streamable file
+/// body is read into memory. The thread-per-conn engine (whose write path
+/// is a single contiguous buffer) funnels requests through here.
 pub(crate) fn respond(shared: &NodeShared, req: &Request, body: &[u8]) -> Response {
+    let (mut resp, file) = respond_parts(shared, req, body);
+    if let Some((mut f, len)) = file {
+        let mut buf = Vec::with_capacity(len as usize);
+        match Read::by_ref(&mut f).take(len).read_to_end(&mut buf) {
+            Ok(n) if n as u64 == len => resp.body = buf.into(),
+            _ => return Response::error(StatusCode::InternalServerError),
+        }
+    }
+    resp
+}
+
+/// §3.2 steps 1–4 over a real request, zero-copy form: large uncacheable
+/// documents come back as `(head-only response, Some((open fd, length)))`
+/// for the caller to stream (`sendfile`), everything else inline. The
+/// reactor engine consumes this shape directly.
+pub(crate) fn respond_parts(
+    shared: &NodeShared,
+    req: &Request,
+    body: &[u8],
+) -> (Response, Option<(std::fs::File, u64)>) {
     // Step 1: preprocess — method check, path completion, existence.
     if !req.method.is_supported() {
-        return Response::error(StatusCode::NotImplemented);
+        return (Response::error(StatusCode::NotImplemented), None);
     }
     let Some(path) = req.path() else {
-        return Response::error(StatusCode::Forbidden); // traversal attempt
+        return (Response::error(StatusCode::Forbidden), None); // traversal attempt
     };
     // Administrative endpoint: always answered by the node it reached.
     if path == crate::status::STATUS_PATH {
-        return crate::status::render(shared);
+        return (crate::status::render(shared), None);
     }
     let is_cgi = req.is_cgi();
     if req.method == Method::Post && !is_cgi {
         // POST targets programs, not documents.
-        return Response::error(StatusCode::MethodNotAllowed);
+        return (Response::error(StatusCode::MethodNotAllowed), None);
     }
     let rel = path.trim_start_matches('/');
     if rel.is_empty() {
-        return Response::error(StatusCode::NotFound);
+        return (Response::error(StatusCode::NotFound), None);
     }
     // Existence + size: a filesystem stat for documents, a registry lookup
     // (with an oracle-side size estimate) for CGI programs.
     let (full, size) = if is_cgi {
         if shared.cgi.lookup(&path).is_none() {
             shared.stats.served.fetch_add(1, Ordering::Relaxed);
-            return Response::error(StatusCode::NotFound);
+            return (Response::error(StatusCode::NotFound), None);
         }
         (shared.docroot.clone(), 4 * 1024)
     } else {
         let full = shared.docroot.join(rel);
         let Ok(meta) = std::fs::metadata(&full) else {
             shared.stats.served.fetch_add(1, Ordering::Relaxed);
-            return Response::error(StatusCode::NotFound);
+            return (Response::error(StatusCode::NotFound), None);
         };
         if !meta.is_file() {
-            return Response::error(StatusCode::Forbidden);
+            return (Response::error(StatusCode::Forbidden), None);
         }
         // Conditional GET: a fresh client copy costs us only the stat —
         // answer 304 here, before any scheduling.
@@ -216,7 +237,7 @@ pub(crate) fn respond(shared: &NodeShared, req: &Request, body: &[u8]) -> Respon
                 };
                 resp.headers.set("Last-Modified", sweb_http::format_http_date(mtime));
                 resp.headers.set("X-SWEB-Node", shared.id.0.to_string());
-                return resp;
+                return (resp, None);
             }
         }
         (full, meta.len())
@@ -228,8 +249,11 @@ pub(crate) fn respond(shared: &NodeShared, req: &Request, body: &[u8]) -> Respon
     if redirected {
         shared.stats.received_redirects.fetch_add(1, Ordering::Relaxed);
     }
+    let file = crate::file_cache::key_of(&path);
     let info = RequestInfo {
-        file: FileId(0), // identity is irrelevant to the live cost model
+        // Real identity: the same FileId the cache digests advertise, so
+        // the broker can match this request against peers' digests.
+        file,
         size,
         home: home_of(&path, nodes),
         cpu_ops: shared.oracle.characterize(&path, size),
@@ -237,7 +261,9 @@ pub(crate) fn respond(shared: &NodeShared, req: &Request, body: &[u8]) -> Respon
         // POST is non-idempotent: never reassign it (§3.2 step 2's
         // "always completed at x" class).
         pinned_local: !req.method.is_redirectable(),
-        cached_at_origin: false,
+        cached_at_origin: !is_cgi
+            && shared.sweb.cache_aware_cost
+            && shared.file_cache.resident(&path),
     };
     // Refresh our own entry so local load is never stale.
     {
@@ -256,7 +282,7 @@ pub(crate) fn respond(shared: &NodeShared, req: &Request, body: &[u8]) -> Respon
         let base = &shared.peer_http[target.index()];
         let mut resp = Response::redirect_to_peer(base, &req.target);
         resp.headers.set("X-SWEB-Node", shared.id.0.to_string());
-        return resp;
+        return (resp, None);
     }
 
     // Step 4: fulfillment — execute the CGI program or read the document.
@@ -265,7 +291,31 @@ pub(crate) fn respond(shared: &NodeShared, req: &Request, body: &[u8]) -> Respon
         shared.stats.served.fetch_add(1, Ordering::Relaxed);
         let mut resp = program(req, body);
         resp.headers.set("X-SWEB-Node", shared.id.0.to_string());
-        return resp;
+        return (resp, None);
+    }
+    // Documents too big to ever fit the cache stream straight from the fd
+    // (`sendfile`): buffering them would evict the whole hot set for one
+    // request and still pay a copy. Everything cacheable goes through the
+    // FileCache so repeat requests share one in-memory body.
+    if size >= SENDFILE_MIN && size > shared.file_cache.capacity() {
+        match std::fs::File::open(&full) {
+            Ok(f) => {
+                shared.stats.served.fetch_add(1, Ordering::Relaxed);
+                let mut resp = Response::ok("", mime_for_path(&path));
+                if let Some(secs) = f
+                    .metadata()
+                    .ok()
+                    .and_then(|m| m.modified().ok())
+                    .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
+                {
+                    resp.headers
+                        .set("Last-Modified", sweb_http::format_http_date(secs.as_secs()));
+                }
+                resp.headers.set("X-SWEB-Node", shared.id.0.to_string());
+                return (resp, Some((f, size)));
+            }
+            Err(_) => return (Response::error(StatusCode::InternalServerError), None),
+        }
     }
     match shared.file_cache.read(&path, &full) {
         Ok((body, mtime)) => {
@@ -276,9 +326,9 @@ pub(crate) fn respond(shared: &NodeShared, req: &Request, body: &[u8]) -> Respon
                     .set("Last-Modified", sweb_http::format_http_date(secs.as_secs()));
             }
             resp.headers.set("X-SWEB-Node", shared.id.0.to_string());
-            resp
+            (resp, None)
         }
-        Err(_) => Response::error(StatusCode::InternalServerError),
+        Err(_) => (Response::error(StatusCode::InternalServerError), None),
     }
 }
 

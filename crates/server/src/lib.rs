@@ -52,5 +52,6 @@ pub use access_log::AccessLog;
 pub use file_cache::FileCache;
 pub use cgi::{CgiProgram, CgiRegistry};
 pub use cluster::{ClusterConfig, Engine, LiveCluster};
+pub use sweb_reactor::TransmitMode;
 pub use node::{NodeHandle, NodeStats};
 pub use status::STATUS_PATH;

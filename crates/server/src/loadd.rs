@@ -1,12 +1,19 @@
 //! The loadd daemon over UDP: periodic load broadcasts, staleness marking.
 //!
-//! Wire format (little-endian, 29 bytes):
-//! `[node_id: u32][cpu: f64][disk: f64][net: f64][leaving: u8]` — small
-//! enough that a datagram never fragments, with no external serialization
-//! dependency (the 1996 original used raw socket writes too). The
-//! `leaving` flag is a graceful-drain announcement: peers immediately take
-//! the sender out of their candidate pools instead of waiting for the
-//! staleness timeout.
+//! Two wire formats, both little-endian and single-datagram:
+//!
+//! * **legacy (v1), 29 bytes** —
+//!   `[node_id: u32][cpu: f64][disk: f64][net: f64][leaving: u8]`;
+//! * **v2, 64 bytes** — `b"SW"`, a version byte (2), the same 29-byte
+//!   core, then a 32-byte [`CacheDigest`] of the sender's file cache.
+//!
+//! The codec is versioned for rolling upgrades: v1 packets still decode
+//! (their digest is simply absent, leaving the previous digest in the
+//! table), and a v2 packet misread by a v1 node yields a node id far
+//! beyond any real cluster (`u32` of `"SW\x02…"` ≈ 150 k), which the
+//! receiver's range check discards. The `leaving` flag is a
+//! graceful-drain announcement: peers immediately take the sender out of
+//! their candidate pools instead of waiting for the staleness timeout.
 
 use std::net::UdpSocket;
 use std::sync::atomic::Ordering;
@@ -14,30 +21,41 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use sweb_cluster::NodeId;
-use sweb_core::LoadVector;
+use sweb_core::{CacheDigest, LoadVector, DIGEST_BYTES};
 
 use crate::node::NodeShared;
 
-/// Encoded datagram size.
+/// Legacy (v1) datagram size.
 pub const PACKET_LEN: usize = 4 + 8 * 3 + 1;
 
-/// Encode a load report. `leaving` announces a graceful drain.
-pub fn encode(node: NodeId, load: &LoadVector, leaving: bool) -> [u8; PACKET_LEN] {
-    let mut buf = [0u8; PACKET_LEN];
+/// v2 datagram size: magic + version + the v1 core + the cache digest.
+pub const PACKET_V2_LEN: usize = 3 + PACKET_LEN + DIGEST_BYTES;
+
+const MAGIC: [u8; 2] = *b"SW";
+const VERSION: u8 = 2;
+
+/// One decoded loadd report, whatever codec version carried it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Reporting node.
+    pub node: NodeId,
+    /// Its advertised load vector.
+    pub load: LoadVector,
+    /// Graceful-drain announcement.
+    pub leaving: bool,
+    /// Cache digest (`None` from legacy packets).
+    pub digest: Option<CacheDigest>,
+}
+
+fn encode_core(buf: &mut [u8], node: NodeId, load: &LoadVector, leaving: bool) {
     buf[0..4].copy_from_slice(&node.0.to_le_bytes());
     buf[4..12].copy_from_slice(&load.cpu.to_le_bytes());
     buf[12..20].copy_from_slice(&load.disk.to_le_bytes());
     buf[20..28].copy_from_slice(&load.net.to_le_bytes());
     buf[28] = u8::from(leaving);
-    buf
 }
 
-/// Decode a load report; `None` for short/garbled packets. Returns
-/// `(node, load, leaving)`.
-pub fn decode(buf: &[u8]) -> Option<(NodeId, LoadVector, bool)> {
-    if buf.len() < PACKET_LEN {
-        return None;
-    }
+fn decode_core(buf: &[u8]) -> Option<(NodeId, LoadVector, bool)> {
     let node = NodeId(u32::from_le_bytes(buf[0..4].try_into().ok()?));
     let cpu = f64::from_le_bytes(buf[4..12].try_into().ok()?);
     let disk = f64::from_le_bytes(buf[12..20].try_into().ok()?);
@@ -46,6 +64,52 @@ pub fn decode(buf: &[u8]) -> Option<(NodeId, LoadVector, bool)> {
         return None;
     }
     Some((node, LoadVector::new(cpu, disk, net), buf[28] != 0))
+}
+
+/// Encode a legacy (v1) load report — what pre-digest nodes emit. The
+/// live broadcaster now sends v2; this stays as the reference encoder
+/// for the rolling-upgrade tests.
+#[cfg_attr(not(test), allow(dead_code))]
+pub fn encode(node: NodeId, load: &LoadVector, leaving: bool) -> [u8; PACKET_LEN] {
+    let mut buf = [0u8; PACKET_LEN];
+    encode_core(&mut buf, node, load, leaving);
+    buf
+}
+
+/// Encode a v2 load report carrying the sender's cache digest.
+pub fn encode_v2(
+    node: NodeId,
+    load: &LoadVector,
+    leaving: bool,
+    digest: &CacheDigest,
+) -> [u8; PACKET_V2_LEN] {
+    let mut buf = [0u8; PACKET_V2_LEN];
+    buf[0..2].copy_from_slice(&MAGIC);
+    buf[2] = VERSION;
+    encode_core(&mut buf[3..3 + PACKET_LEN], node, load, leaving);
+    buf[3 + PACKET_LEN..].copy_from_slice(&digest.to_bytes());
+    buf
+}
+
+/// Decode a load report of either version; `None` for short, garbled, or
+/// unknown-future-version packets.
+pub fn decode(buf: &[u8]) -> Option<LoadReport> {
+    if buf.len() >= 3 && buf[0..2] == MAGIC {
+        // Versioned framing. An unknown version is from a newer node
+        // whose layout we cannot guess — drop it (its digest would be
+        // garbage), staleness marking tolerates the gap.
+        if buf[2] != VERSION || buf.len() < PACKET_V2_LEN {
+            return None;
+        }
+        let (node, load, leaving) = decode_core(&buf[3..3 + PACKET_LEN])?;
+        let digest = CacheDigest::from_bytes(&buf[3 + PACKET_LEN..PACKET_V2_LEN])?;
+        return Some(LoadReport { node, load, leaving, digest: Some(digest) });
+    }
+    if buf.len() < PACKET_LEN {
+        return None;
+    }
+    let (node, load, leaving) = decode_core(&buf[..PACKET_LEN])?;
+    Some(LoadReport { node, load, leaving, digest: None })
 }
 
 /// Sample this node's live load vector from its activity counters.
@@ -73,7 +137,8 @@ pub fn spawn(shared: Arc<NodeShared>, udp: UdpSocket) -> Vec<std::thread::JoinHa
         while !bcast_shared.shutdown.load(Ordering::Relaxed) {
             let load = sample_load(&bcast_shared);
             let leaving = bcast_shared.draining.load(Ordering::Relaxed);
-            let pkt = encode(bcast_shared.id, &load, leaving);
+            let digest = bcast_shared.file_cache.digest();
+            let pkt = encode_v2(bcast_shared.id, &load, leaving, &digest);
             for addr in &bcast_shared.peer_udp {
                 let _ = udp.send_to(&pkt, addr);
             }
@@ -89,11 +154,12 @@ pub fn spawn(shared: Arc<NodeShared>, udp: UdpSocket) -> Vec<std::thread::JoinHa
     // Receiver: fold peer reports into the load table.
     let recv_shared = shared;
     let receiver = std::thread::spawn(move || {
-        let mut buf = [0u8; 64];
+        let mut buf = [0u8; 128];
         while !recv_shared.shutdown.load(Ordering::Relaxed) {
             match recv_socket.recv_from(&mut buf) {
                 Ok((n, _)) => {
-                    if let Some((node, load, leaving)) = decode(&buf[..n]) {
+                    if let Some(report) = decode(&buf[..n]) {
+                        let LoadReport { node, load, leaving, digest } = report;
                         if (node.index()) < recv_shared.loads.read().len() {
                             let now = recv_shared.now();
                             let mut loads = recv_shared.loads.write();
@@ -101,6 +167,9 @@ pub fn spawn(shared: Arc<NodeShared>, udp: UdpSocket) -> Vec<std::thread::JoinHa
                                 loads.mark_dead(node);
                             } else {
                                 loads.update(node, load, now);
+                                if let Some(d) = digest {
+                                    loads.set_digest(node, d);
+                                }
                             }
                         }
                     }
@@ -121,15 +190,65 @@ mod tests {
     use super::*;
 
     #[test]
-    fn codec_round_trip() {
+    fn legacy_codec_round_trip() {
         let load = LoadVector::new(3.5, 1.25, 0.125);
         let pkt = encode(NodeId(7), &load, false);
-        let (node, decoded, leaving) = decode(&pkt).unwrap();
-        assert_eq!(node, NodeId(7));
-        assert_eq!(decoded, load);
-        assert!(!leaving);
+        let r = decode(&pkt).unwrap();
+        assert_eq!(r.node, NodeId(7));
+        assert_eq!(r.load, load);
+        assert!(!r.leaving);
+        assert_eq!(r.digest, None, "v1 packets carry no digest");
         let pkt = encode(NodeId(7), &load, true);
-        assert!(decode(&pkt).unwrap().2, "leaving flag must round-trip");
+        assert!(decode(&pkt).unwrap().leaving, "leaving flag must round-trip");
+    }
+
+    #[test]
+    fn v2_codec_round_trips_digest() {
+        use sweb_cluster::FileId;
+        let load = LoadVector::new(0.5, 2.0, 0.25);
+        let mut digest = CacheDigest::default();
+        digest.insert(FileId(42));
+        digest.insert(FileId(1729));
+        let pkt = encode_v2(NodeId(3), &load, false, &digest);
+        assert_eq!(pkt.len(), PACKET_V2_LEN);
+        let r = decode(&pkt).unwrap();
+        assert_eq!(r.node, NodeId(3));
+        assert_eq!(r.load, load);
+        assert!(!r.leaving);
+        let d = r.digest.expect("v2 packet must carry a digest");
+        assert!(d.contains(FileId(42)) && d.contains(FileId(1729)));
+        assert!(decode(&encode_v2(NodeId(3), &load, true, &digest)).unwrap().leaving);
+    }
+
+    #[test]
+    fn old_version_packets_still_decode() {
+        // A pre-digest node's 29-byte packet decodes on an upgraded node.
+        let pkt = encode(NodeId(2), &LoadVector::new(1.0, 2.0, 3.0), false);
+        assert_eq!(pkt.len(), PACKET_LEN);
+        let r = decode(&pkt).unwrap();
+        assert_eq!(r.node, NodeId(2));
+        assert_eq!(r.load.disk, 2.0);
+        assert_eq!(r.digest, None);
+    }
+
+    #[test]
+    fn unknown_future_version_is_dropped() {
+        let mut pkt = encode_v2(NodeId(1), &LoadVector::IDLE, false, &CacheDigest::EMPTY);
+        pkt[2] = 3; // a version this node does not understand
+        assert!(decode(&pkt).is_none());
+        // Truncated v2 frame: magic present but payload short.
+        let good = encode_v2(NodeId(1), &LoadVector::IDLE, false, &CacheDigest::EMPTY);
+        assert!(decode(&good[..PACKET_V2_LEN - 1]).is_none());
+    }
+
+    #[test]
+    fn v2_misread_as_v1_is_range_rejected() {
+        // A v1 node parses a v2 packet's magic+version as a node id; that
+        // id must be far beyond any realistic cluster so the receiver's
+        // range check (`node.index() < table len`) discards it.
+        let pkt = encode_v2(NodeId(0), &LoadVector::IDLE, false, &CacheDigest::EMPTY);
+        let misread = u32::from_le_bytes(pkt[0..4].try_into().unwrap());
+        assert!(misread > 100_000, "magic must not alias a plausible node id: {misread}");
     }
 
     #[test]
@@ -138,14 +257,17 @@ mod tests {
         let mut pkt = encode(NodeId(1), &LoadVector::IDLE, false);
         pkt[4..12].copy_from_slice(&f64::NAN.to_le_bytes());
         assert!(decode(&pkt).is_none());
+        let mut pkt = encode_v2(NodeId(1), &LoadVector::IDLE, false, &CacheDigest::EMPTY);
+        pkt[3 + 4..3 + 12].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert!(decode(&pkt).is_none());
     }
 
     #[test]
     fn decode_tolerates_trailing_bytes() {
         let mut long = encode(NodeId(2), &LoadVector::new(1.0, 2.0, 3.0), false).to_vec();
         long.extend_from_slice(b"junk");
-        let (node, load, _) = decode(&long).unwrap();
-        assert_eq!(node, NodeId(2));
-        assert_eq!(load.disk, 2.0);
+        let r = decode(&long).unwrap();
+        assert_eq!(r.node, NodeId(2));
+        assert_eq!(r.load.disk, 2.0);
     }
 }

@@ -10,7 +10,7 @@ use parking_lot::RwLock;
 use sweb_cluster::{ClusterSpec, NodeId};
 use sweb_core::{Broker, LoadTable, Oracle, SwebConfig};
 use sweb_des::SimTime;
-use sweb_http::{Request, Response};
+use sweb_http::Request;
 
 use crate::cluster::Engine;
 use crate::handler;
@@ -34,6 +34,11 @@ pub struct NodeStats {
     pub shed: AtomicU64,
     /// Connections evicted by the reactor's timeout wheel.
     pub evicted: AtomicU64,
+    /// Responses whose body left via the zero-copy transmit path (shared
+    /// `Bytes` gathered at the socket, no per-request body copy).
+    pub zero_copy: AtomicU64,
+    /// Responses streamed from an fd via `sendfile(2)`.
+    pub sendfile: AtomicU64,
 }
 
 /// Shared state of one live SWEB node.
@@ -44,6 +49,8 @@ pub struct NodeShared {
     pub engine: Engine,
     /// Admission cap for the reactor engine.
     pub max_conns: usize,
+    /// Transmit shape for the reactor engine (zero-copy vs copy baseline).
+    pub transmit: sweb_reactor::TransmitMode,
     /// Synthetic hardware description used by the cost model.
     pub cluster: ClusterSpec,
     /// HTTP base URLs of every node (http://127.0.0.1:port).
@@ -98,18 +105,16 @@ struct ReactorApp {
 }
 
 impl sweb_reactor::App for ReactorApp {
-    fn respond(&self, peer: &str, req: &Request, body: &[u8]) -> Response {
-        let resp = handler::respond(&self.shared, req, body);
+    fn respond(&self, peer: &str, req: &Request, body: &[u8]) -> sweb_reactor::Reply {
+        let (resp, file) = handler::respond_parts(&self.shared, req, body);
         if let Some(log) = &self.shared.access_log {
-            log.log(
-                peer,
-                handler::method_str(req.method),
-                &req.target,
-                resp.status.code(),
-                resp.body.len() as u64,
-            );
+            let body_len = file.as_ref().map(|(_, len)| *len).unwrap_or(resp.body.len() as u64);
+            log.log(peer, handler::method_str(req.method), &req.target, resp.status.code(), body_len);
         }
-        resp
+        sweb_reactor::Reply {
+            response: resp,
+            file: file.map(|(file, len)| sweb_reactor::FileBody { file, len }),
+        }
     }
     fn on_accept(&self) {
         self.shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
@@ -137,6 +142,12 @@ impl sweb_reactor::App for ReactorApp {
     }
     fn on_write_end(&self, bytes: usize) {
         self.shared.bytes_in_flight.fetch_sub(bytes as u64, Ordering::Relaxed);
+    }
+    fn on_zero_copy(&self, _bytes: usize) {
+        self.shared.stats.zero_copy.fetch_add(1, Ordering::Relaxed);
+    }
+    fn on_sendfile(&self, _bytes: usize) {
+        self.shared.stats.sendfile.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -172,6 +183,7 @@ impl NodeHandle {
                 let app = Arc::new(ReactorApp { shared: Arc::clone(&shared) });
                 let cfg = sweb_reactor::ReactorConfig {
                     max_conns: shared.max_conns,
+                    transmit: shared.transmit,
                     ..sweb_reactor::ReactorConfig::default()
                 };
                 reactor = Some(sweb_reactor::spawn(listener, app, cfg, Arc::clone(&stop))?);

@@ -42,7 +42,8 @@ pub fn render(shared: &NodeShared) -> Response {
     out.push_str(&format!(
         "\ncounters:\n  accepted          {}\n  served            {}\n  redirected-away   {}\n  \
          received-redirects {}\n  bad-requests      {}\n  accept-errors     {}\n  \
-         shed-503          {}\n  evicted           {}\n  active-now        {}\n",
+         shed-503          {}\n  evicted           {}\n  zero-copy         {}\n  \
+         sendfile          {}\n  active-now        {}\n",
         shared.stats.accepted.load(Ordering::Relaxed),
         shared.stats.served.load(Ordering::Relaxed),
         shared.stats.redirected.load(Ordering::Relaxed),
@@ -51,13 +52,18 @@ pub fn render(shared: &NodeShared) -> Response {
         shared.stats.accept_errors.load(Ordering::Relaxed),
         shared.stats.shed.load(Ordering::Relaxed),
         shared.stats.evicted.load(Ordering::Relaxed),
+        shared.stats.zero_copy.load(Ordering::Relaxed),
+        shared.stats.sendfile.load(Ordering::Relaxed),
         shared.active.load(Ordering::Relaxed),
     ));
     out.push_str(&format!(
-        "\nfile cache: {} hits, {} misses, {} bytes\n",
+        "\nfile cache: {} hits, {} misses, {} collisions, {} / {} bytes, digest {} bits set\n",
         shared.file_cache.hits(),
         shared.file_cache.misses(),
+        shared.file_cache.collisions(),
         shared.file_cache.used(),
+        shared.file_cache.capacity(),
+        shared.file_cache.digest().ones(),
     ));
     Response::ok(out, "text/plain")
 }

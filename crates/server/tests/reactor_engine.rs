@@ -120,6 +120,112 @@ fn many_concurrent_connections_with_bounded_threads() {
     cluster.shutdown();
 }
 
+/// Deterministic pseudo-random payload, so truncation and reordering are
+/// both caught by a byte-for-byte comparison.
+fn payload(len: usize) -> Vec<u8> {
+    let mut out = vec![0u8; len];
+    let mut x: u64 = 0x5eed_cafe;
+    for b in out.iter_mut() {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *b = (x >> 56) as u8;
+    }
+    out
+}
+
+#[test]
+fn large_cached_file_served_intact_with_zero_copy() {
+    // The CI smoke target: a 1.5 MB document that fits in the cache must
+    // come back byte-identical through the reactor's writev path, with
+    // the body leaving as shared `Bytes` (no per-request copy) both on
+    // the cold read and on the cache hit.
+    let cfg = ClusterConfig {
+        policy: Policy::RoundRobin,
+        engine: Engine::Reactor,
+        ..ClusterConfig::default()
+    };
+    let dir = docroot("zcopy");
+    let body = payload(1_500_000);
+    std::fs::write(dir.join("big.bin"), &body).unwrap();
+    let cluster = LiveCluster::start(1, dir, cfg).unwrap();
+    for pass in 0..2 {
+        let resp = client::get(&format!("{}/big.bin", cluster.base_url(0))).unwrap();
+        assert_eq!(resp.status, 200, "pass {pass}");
+        assert_eq!(resp.body.len(), body.len(), "pass {pass}: truncated body");
+        assert!(resp.body == body, "pass {pass}: corrupted body");
+    }
+    let node = cluster.node(0);
+    assert!(node.stats.zero_copy.load(Ordering::Relaxed) >= 2, "bodies must go zero-copy");
+    assert_eq!(node.stats.sendfile.load(Ordering::Relaxed), 0, "cacheable file must not stream");
+    assert_eq!(node.file_cache.hits(), 1, "second fetch must hit the cache");
+    cluster.shutdown();
+}
+
+#[test]
+fn oversized_file_streams_intact() {
+    // A document larger than the whole cache takes the sendfile path
+    // (worker-pool read fallback off-Linux) and must still arrive
+    // byte-identical, without displacing anything in the cache.
+    let cfg = ClusterConfig {
+        policy: Policy::RoundRobin,
+        engine: Engine::Reactor,
+        file_cache_bytes: 256 << 10,
+        ..ClusterConfig::default()
+    };
+    let dir = docroot("stream");
+    let body = payload(1 << 20);
+    std::fs::write(dir.join("huge.bin"), &body).unwrap();
+    let cluster = LiveCluster::start(1, dir, cfg).unwrap();
+    let resp = client::get(&format!("{}/huge.bin", cluster.base_url(0))).unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(resp.body == body, "streamed body corrupted or truncated");
+    let node = cluster.node(0);
+    if cfg!(target_os = "linux") {
+        assert!(node.stats.sendfile.load(Ordering::Relaxed) >= 1, "expected sendfile transmit");
+    }
+    assert_eq!(node.file_cache.used(), 0, "oversized file must not enter the cache");
+    cluster.shutdown();
+}
+
+#[test]
+fn loadd_gossips_cache_digests_across_the_mesh() {
+    // Residency on one node must become visible in every peer's load
+    // table via the v2 loadd packets, so the cost model can price the
+    // holder's cache hit (§3.2 t_data at RAM speed).
+    use sweb_cluster::NodeId;
+    use sweb_server::file_cache::key_of;
+
+    let cfg = ClusterConfig {
+        policy: Policy::RoundRobin, // never redirects: the fetch pins residency
+        engine: Engine::Reactor,
+        ..ClusterConfig::default()
+    };
+    let dir = docroot("gossip");
+    std::fs::write(dir.join("hot.html"), "cached and gossiped").unwrap();
+    let cluster = LiveCluster::start(2, dir, cfg).unwrap();
+    assert!(cluster.await_loadd_mesh(Duration::from_secs(5)));
+
+    let resp = client::get(&format!("{}/hot.html", cluster.base_url(1))).unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(cluster.node(1).file_cache.resident("/hot.html"));
+
+    // Node 0 learns of node 1's residency within a few loadd periods.
+    let key = key_of("/hot.html");
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        if cluster.node(0).loads.read().digest(NodeId(1)).contains(key) {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "digest never reached node 0");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // A file nobody fetched is not advertised.
+    assert!(
+        !cluster.node(0).loads.read().digest(NodeId(1)).contains(key_of("/cold.html")),
+        "digest advertises a non-resident file"
+    );
+    cluster.shutdown();
+}
+
 #[test]
 fn reactor_cluster_follows_redirects_under_locality() {
     // The §3.2 redirect path, end to end, specifically on the reactor: a
