@@ -27,6 +27,15 @@
 //! reactor's bounded pool versus one-thread-per-held-connection shows up
 //! directly in that column.
 //!
+//! The engine scenario also drains every node's cost-model feedback ring
+//! (§3.2's predicted `t_redirection + t_data + t_cpu` versus measured
+//! fulfilment wall time) into `prediction_error.csv` beside the latency
+//! CSV, one row per locally served request:
+//!
+//! ```text
+//! scenario,engine,node,predicted_us,measured_us,error_pct
+//! ```
+//!
 //! **zerocopy**: a single reactor node serving one `--size`-byte document,
 //! measured three ways — `copy` (the contiguous `to_bytes` baseline: every
 //! response allocates and memcpys the body), `writev` (cached body shared
@@ -44,6 +53,7 @@ use std::time::{Duration, Instant};
 
 use sweb_metrics::Histogram;
 use sweb_server::{client, ClusterConfig, Engine, LiveCluster, TransmitMode};
+use sweb_telemetry::PredictionSample;
 
 #[derive(Clone, Copy, PartialEq)]
 enum Scenario {
@@ -142,6 +152,9 @@ struct RunResult {
     duration: Duration,
     hist: Histogram,
     peak_threads: u64,
+    /// Cost-model feedback drained from every node before shutdown:
+    /// `(node, predicted vs measured)` for each locally fulfilled request.
+    predictions: Vec<(usize, PredictionSample)>,
 }
 
 fn run_engine(
@@ -222,10 +235,23 @@ fn run_engine(
     }
     let duration = t0.elapsed();
     drop(held);
+    // Drain the cost-model feedback rings before the nodes go away.
+    let mut predictions = Vec::new();
+    for node in 0..args.nodes {
+        for sample in cluster.node(node).stats.feedback.samples() {
+            predictions.push((node, sample));
+        }
+    }
     cluster.shutdown();
 
     let hist = Arc::try_unwrap(hist).expect("workers joined").into_inner().unwrap();
-    RunResult { errors: errors.load(Ordering::Relaxed), duration, hist, peak_threads }
+    RunResult {
+        errors: errors.load(Ordering::Relaxed),
+        duration,
+        hist,
+        peak_threads,
+        predictions,
+    }
 }
 
 /// One zero-copy transmit measurement: a single reactor node serving one
@@ -331,6 +357,14 @@ fn main_engine(args: &Args) {
         &out_path,
         "engine,nodes,held_conns,workers,requests,errors,duration_s,rps,p50_ms,p99_ms,threads",
     );
+    // Cost-model accuracy lands next to the latency CSV: one row per
+    // locally fulfilled request, predicted vs measured service time.
+    let pred_path = out_path
+        .parent()
+        .unwrap_or_else(|| std::path::Path::new("."))
+        .join("prediction_error.csv");
+    let mut pred_out =
+        open_csv(&pred_path, "scenario,engine,node,predicted_us,measured_us,error_pct");
 
     for &engine in &args.engines {
         eprintln!(
@@ -360,8 +394,42 @@ fn main_engine(args: &Args) {
         );
         writeln!(out, "{row}").unwrap();
         eprintln!("enginebench: {row}");
+
+        let mut error_pcts: Vec<u64> = Vec::with_capacity(r.predictions.len());
+        for (node, s) in &r.predictions {
+            let err_pct = if s.predicted_us == 0 {
+                100.0
+            } else {
+                (s.measured_us as f64 - s.predicted_us as f64).abs() / s.predicted_us as f64
+                    * 100.0
+            };
+            error_pcts.push(err_pct as u64);
+            writeln!(
+                pred_out,
+                "engine,{},{node},{},{},{err_pct:.1}",
+                engine.name(),
+                s.predicted_us,
+                s.measured_us,
+            )
+            .unwrap();
+        }
+        error_pcts.sort_unstable();
+        let q = |f: f64| {
+            error_pcts
+                .get(((error_pcts.len().saturating_sub(1)) as f64 * f) as usize)
+                .copied()
+                .unwrap_or(0)
+        };
+        eprintln!(
+            "enginebench: cost model ({}): {} samples, |error| p50={}% p99={}%",
+            engine.name(),
+            error_pcts.len(),
+            q(0.50),
+            q(0.99),
+        );
     }
     println!("enginebench: wrote {}", out_path.display());
+    println!("enginebench: wrote {}", pred_path.display());
 }
 
 fn main_zerocopy(args: &Args) {

@@ -2,18 +2,63 @@
 
 use sweb_cluster::NodeId;
 
-use crate::cost::{CostInputs, CostModel};
+use crate::cost::{CostBreakdown, CostInputs, CostModel};
 use crate::load::LoadTable;
 use crate::policy::Policy;
 use crate::types::RequestInfo;
 
-/// The broker's verdict for one request.
+/// Where one request should be served.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Decision {
+pub enum Route {
     /// Serve on the node the request arrived at.
     Local,
     /// Issue a 302 sending the client to this node.
     Redirect(NodeId),
+}
+
+/// The broker's verdict for one request: the chosen route *and* the
+/// chosen candidate's per-term cost breakdown, so callers (telemetry,
+/// traces, tests) see the estimate the choice was made on instead of
+/// re-deriving it. Policies that never consult the cost model
+/// (round-robin, locality, CPU-least) still report the breakdown of the
+/// node they picked — the prediction is meaningful feedback regardless of
+/// how the choice was made.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Decision {
+    /// Serve locally or redirect.
+    pub route: Route,
+    /// Predicted per-term completion time of the chosen candidate.
+    pub cost: CostBreakdown,
+}
+
+impl Decision {
+    /// A serve-local decision with the origin's cost breakdown.
+    pub fn local(cost: CostBreakdown) -> Decision {
+        Decision { route: Route::Local, cost }
+    }
+
+    /// A redirect decision with the target's cost breakdown.
+    pub fn redirect(target: NodeId, cost: CostBreakdown) -> Decision {
+        Decision { route: Route::Redirect(target), cost }
+    }
+
+    /// Whether the request stays on the origin node.
+    pub fn is_local(&self) -> bool {
+        matches!(self.route, Route::Local)
+    }
+
+    /// The redirect target, when the route is a redirect.
+    pub fn redirect_target(&self) -> Option<NodeId> {
+        match self.route {
+            Route::Local => None,
+            Route::Redirect(t) => Some(t),
+        }
+    }
+
+    /// The node that will serve the request, given where it arrived.
+    pub fn chosen(&self, origin: NodeId) -> NodeId {
+        self.redirect_target().unwrap_or(origin)
+    }
 }
 
 /// Per-node broker: applies the configured [`Policy`] over the node's
@@ -21,7 +66,7 @@ pub enum Decision {
 ///
 /// ```
 /// use sweb_cluster::{presets, FileId, NodeId};
-/// use sweb_core::{Broker, CostModel, Decision, LoadTable, Policy, RequestInfo, SwebConfig};
+/// use sweb_core::{Broker, CostModel, LoadTable, Policy, RequestInfo, Route, SwebConfig};
 ///
 /// let cluster = presets::meiko(4);
 /// let mut loads = LoadTable::new(4);
@@ -29,7 +74,9 @@ pub enum Decision {
 /// // A request for a document homed on node 2 arrives at node 0:
 /// let req = RequestInfo::fetch(FileId(7), 1_500_000, NodeId(2), 2.2e6);
 /// let decision = broker.choose(&req, NodeId(0), &cluster, &mut loads);
-/// assert_eq!(decision, Decision::Redirect(NodeId(2)));
+/// assert_eq!(decision.route, Route::Redirect(NodeId(2)));
+/// // The decision carries the predicted cost of serving at the target:
+/// assert!(decision.cost.total() > 0.0);
 /// ```
 #[derive(Debug, Clone)]
 pub struct Broker {
@@ -67,31 +114,29 @@ impl Broker {
         loads: &mut LoadTable,
     ) -> Decision {
         let decision = self.decide(req, origin, &CostInputs { cluster, loads });
-        let chosen = match decision {
-            Decision::Local => origin,
-            Decision::Redirect(n) => n,
-        };
-        loads.bump_cpu(chosen, self.model.config().delta);
+        loads.bump_cpu(decision.chosen(origin), self.model.config().delta);
         decision
     }
 
     /// Pure decision without the Δ side effect (used by tests and the
-    /// overhead instrumentation).
+    /// overhead instrumentation). Every returned decision carries the
+    /// chosen candidate's [`CostBreakdown`].
     pub fn decide(&self, req: &RequestInfo, origin: NodeId, inputs: &CostInputs<'_>) -> Decision {
+        let at = |candidate: NodeId| self.model.breakdown(req, origin, candidate, inputs);
         if req.redirected || req.pinned_local {
-            return Decision::Local;
+            return Decision::local(at(origin));
         }
         if !inputs.loads.is_alive(origin) {
             // We are being drained but still answering: serve locally.
-            return Decision::Local;
+            return Decision::local(at(origin));
         }
         match self.policy {
-            Policy::RoundRobin => Decision::Local,
+            Policy::RoundRobin => Decision::local(at(origin)),
             Policy::FileLocality => {
                 if req.home == origin || !inputs.loads.is_alive(req.home) {
-                    Decision::Local
+                    Decision::local(at(origin))
                 } else {
-                    Decision::Redirect(req.home)
+                    Decision::redirect(req.home, at(req.home))
                 }
             }
             Policy::LeastLoadedCpu => {
@@ -104,28 +149,28 @@ impl Broker {
                     })
                     .unwrap_or(origin);
                 if best == origin {
-                    Decision::Local
+                    Decision::local(at(origin))
                 } else {
-                    Decision::Redirect(best)
+                    Decision::redirect(best, at(best))
                 }
             }
             Policy::Sweb => {
                 let mut best = origin;
-                let mut best_t = self.model.estimate(req, origin, origin, inputs);
+                let mut best_cost = at(origin);
                 for node in inputs.loads.alive_nodes() {
                     if node == origin {
                         continue;
                     }
-                    let t = self.model.estimate(req, origin, node, inputs);
-                    if t < best_t {
-                        best_t = t;
+                    let cost = at(node);
+                    if cost.total() < best_cost.total() {
+                        best_cost = cost;
                         best = node;
                     }
                 }
                 if best == origin {
-                    Decision::Local
+                    Decision::local(best_cost)
                 } else {
-                    Decision::Redirect(best)
+                    Decision::redirect(best, best_cost)
                 }
             }
         }
@@ -158,15 +203,15 @@ mod tests {
         loads.update(NodeId(0), LoadVector::new(50.0, 50.0, 0.0), SimTime::ZERO);
         let inputs = CostInputs { cluster: &cluster, loads: &loads.clone() };
         let d = broker.decide(&fetch(2, 1_500_000), NodeId(0), &inputs);
-        assert_eq!(d, Decision::Local);
+        assert_eq!(d.route, Route::Local);
     }
 
     #[test]
     fn file_locality_chases_the_home_node() {
         let (cluster, loads, broker) = setup(Policy::FileLocality);
         let inputs = CostInputs { cluster: &cluster, loads: &loads };
-        assert_eq!(broker.decide(&fetch(2, 1024), NodeId(0), &inputs), Decision::Redirect(NodeId(2)));
-        assert_eq!(broker.decide(&fetch(0, 1024), NodeId(0), &inputs), Decision::Local);
+        assert_eq!(broker.decide(&fetch(2, 1024), NodeId(0), &inputs).route, Route::Redirect(NodeId(2)));
+        assert_eq!(broker.decide(&fetch(0, 1024), NodeId(0), &inputs).route, Route::Local);
     }
 
     #[test]
@@ -180,8 +225,8 @@ mod tests {
         let fl = Broker::new(Policy::FileLocality, CostModel::new(SwebConfig::default()));
         let sw = Broker::new(Policy::Sweb, CostModel::new(SwebConfig::default()));
         let r = fetch(2, 1_500_000);
-        assert_eq!(fl.decide(&r, NodeId(0), &inputs), Decision::Redirect(NodeId(2)));
-        assert_eq!(sw.decide(&r, NodeId(0), &inputs), Decision::Local);
+        assert_eq!(fl.decide(&r, NodeId(0), &inputs).route, Route::Redirect(NodeId(2)));
+        assert_eq!(sw.decide(&r, NodeId(0), &inputs).route, Route::Local);
     }
 
     #[test]
@@ -191,7 +236,7 @@ mod tests {
         // where the request landed.
         let (cluster, loads, broker) = setup(Policy::Sweb);
         let inputs = CostInputs { cluster: &cluster, loads: &loads };
-        assert_eq!(broker.decide(&fetch(3, 1_500_000), NodeId(0), &inputs), Decision::Local);
+        assert_eq!(broker.decide(&fetch(3, 1_500_000), NodeId(0), &inputs).route, Route::Local);
         // Congested interconnect: the NFS fetch would crawl through the
         // loaded network while the home node can serve straight from its
         // disk — redirecting to the home node now wins.
@@ -201,8 +246,8 @@ mod tests {
         }
         let inputs = CostInputs { cluster: &cluster, loads: &loads };
         assert_eq!(
-            broker.decide(&fetch(3, 1_500_000), NodeId(0), &inputs),
-            Decision::Redirect(NodeId(3))
+            broker.decide(&fetch(3, 1_500_000), NodeId(0), &inputs).route,
+            Route::Redirect(NodeId(3))
         );
     }
 
@@ -212,7 +257,7 @@ mod tests {
         let inputs = CostInputs { cluster: &cluster, loads: &loads };
         // 1 KB file: the NFS penalty on 1 KB is microseconds, far below the
         // redirect round trip, so serve where it landed.
-        assert_eq!(broker.decide(&fetch(3, 1024), NodeId(0), &inputs), Decision::Local);
+        assert_eq!(broker.decide(&fetch(3, 1024), NodeId(0), &inputs).route, Route::Local);
     }
 
     #[test]
@@ -222,8 +267,8 @@ mod tests {
             let inputs = CostInputs { cluster: &cluster, loads: &loads };
             let r = fetch(3, 1_500_000).redirected();
             assert_eq!(
-                broker.decide(&r, NodeId(0), &inputs),
-                Decision::Local,
+                broker.decide(&r, NodeId(0), &inputs).route,
+                Route::Local,
                 "{policy} bounced a redirected request"
             );
         }
@@ -235,7 +280,7 @@ mod tests {
         loads.mark_dead(NodeId(3));
         let inputs = CostInputs { cluster: &cluster, loads: &loads };
         let d = broker.decide(&fetch(3, 1_500_000), NodeId(0), &inputs);
-        assert_eq!(d, Decision::Local, "must not redirect to a dead home node");
+        assert_eq!(d.route, Route::Local, "must not redirect to a dead home node");
     }
 
     #[test]
@@ -254,8 +299,8 @@ mod tests {
         loads2.update(NodeId(3), LoadVector::new(1.0, 0.0, 0.0), SimTime::ZERO);
         let inputs2 = CostInputs { cluster: &cluster, loads: &loads2 };
         assert_eq!(
-            b.decide(&fetch(0, 1_500_000), NodeId(0), &inputs2),
-            Decision::Redirect(NodeId(1))
+            b.decide(&fetch(0, 1_500_000), NodeId(0), &inputs2).route,
+            Route::Redirect(NodeId(1))
         );
         let _ = inputs;
     }
@@ -268,7 +313,7 @@ mod tests {
         }
         let before = loads.load(NodeId(3)).cpu;
         let d = broker.choose(&fetch(3, 1_500_000), NodeId(0), &cluster, &mut loads);
-        assert_eq!(d, Decision::Redirect(NodeId(3)));
+        assert_eq!(d.route, Route::Redirect(NodeId(3)));
         assert!(
             (loads.load(NodeId(3)).cpu - before - 0.30).abs() < 1e-9,
             "chosen node must get the additive Δ bump"
@@ -276,7 +321,7 @@ mod tests {
         // A local decision bumps the origin instead.
         let before0 = loads.load(NodeId(0)).cpu;
         let d = broker.choose(&fetch(0, 1_024), NodeId(0), &cluster, &mut loads);
-        assert_eq!(d, Decision::Local);
+        assert_eq!(d.route, Route::Local);
         assert!(loads.load(NodeId(0)).cpu > before0);
     }
 }

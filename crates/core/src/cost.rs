@@ -34,6 +34,30 @@ pub struct CostInputs<'a> {
     pub loads: &'a LoadTable,
 }
 
+/// The per-term decomposition of one candidate's estimated completion
+/// time, seconds. This is what the broker now returns with every
+/// [`crate::broker::Decision`], so callers (telemetry, the simulator's
+/// trace) read the terms the choice was made on instead of re-deriving
+/// them.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CostBreakdown {
+    /// `t_redirection`: the 302 round trip (0 when served at the origin).
+    pub t_redirection: f64,
+    /// `t_data`: disk/NFS/cache transfer time under current loads.
+    pub t_data: f64,
+    /// `t_cpu`: request operations over load-degraded CPU speed
+    /// (including re-preprocessing charged to URL-redirected candidates).
+    pub t_cpu: f64,
+}
+
+impl CostBreakdown {
+    /// `t_s = t_redirection + t_data + t_cpu` (`t_net` is equal across
+    /// candidates and not estimated, §3.2).
+    pub fn total(self) -> f64 {
+        self.t_redirection + self.t_data + self.t_cpu
+    }
+}
+
 /// The §3.2 completion-time estimator.
 #[derive(Debug, Clone)]
 pub struct CostModel {
@@ -60,6 +84,17 @@ impl CostModel {
         candidate: NodeId,
         inputs: &CostInputs<'_>,
     ) -> f64 {
+        self.breakdown(req, origin, candidate, inputs).total()
+    }
+
+    /// The per-term [`CostBreakdown`] behind [`CostModel::estimate`].
+    pub fn breakdown(
+        &self,
+        req: &RequestInfo,
+        origin: NodeId,
+        candidate: NodeId,
+        inputs: &CostInputs<'_>,
+    ) -> CostBreakdown {
         // A URL-redirected request is re-parsed at the target node, so a
         // remote candidate is charged the preprocessing ops on top of
         // fulfillment ("t_CPU is the time to fork a process, perform disk
@@ -72,10 +107,12 @@ impl CostModel {
         } else {
             self.cfg.preprocess_ops
         };
-        self.t_redirection(origin, candidate)
-            + self.t_data(req, origin, candidate, inputs)
-            + self.t_cpu_ops(req.cpu_ops + reprocess, candidate, inputs)
-        // + t_net: equal across candidates, not estimated (§3.2).
+        CostBreakdown {
+            t_redirection: self.t_redirection(origin, candidate),
+            t_data: self.t_data(req, origin, candidate, inputs),
+            t_cpu: self.t_cpu_ops(req.cpu_ops + reprocess, candidate, inputs),
+            // + t_net: equal across candidates, not estimated (§3.2).
+        }
     }
 
     /// `t_redirection`: zero when served where it landed; else, for URL
@@ -309,10 +346,7 @@ mod tests {
         );
         let r = RequestInfo::fetch(FileId(7), 1_500_000, NodeId(0), 1e6);
         let decision = broker.choose(&r, NodeId(0), &cluster, &mut loads);
-        let chosen = match decision {
-            crate::broker::Decision::Local => NodeId(0),
-            crate::broker::Decision::Redirect(n) => n,
-        };
+        let chosen = decision.chosen(NodeId(0));
         // The false positive steers toward node 3 …
         assert_eq!(chosen, NodeId(3), "digest hit should attract the request");
         // … and the schedule remains valid: an alive node, within the

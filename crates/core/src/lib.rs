@@ -37,9 +37,9 @@ mod oracle;
 mod policy;
 mod types;
 
-pub use broker::{Broker, Decision};
+pub use broker::{Broker, Decision, Route};
 pub use config::{RedirectMechanism, SwebConfig};
-pub use cost::{CostInputs, CostModel};
+pub use cost::{CostBreakdown, CostInputs, CostModel};
 pub use digest::{CacheDigest, DIGEST_BYTES};
 pub use load::{LoadTable, LoadVector, LoaddTimer};
 pub use oracle::{CostProfile, Oracle, OracleRule};

@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use sweb_cluster::{presets, FileId, NodeId};
-use sweb_core::{Broker, CostInputs, CostModel, Decision, LoadTable, LoadVector, Policy, RequestInfo, SwebConfig};
+use sweb_core::{Broker, CostInputs, CostModel, LoadTable, LoadVector, Policy, RequestInfo, Route, SwebConfig};
 use sweb_des::SimTime;
 
 fn load_table(n: usize, loads: &[(f64, f64, f64)], dead: &[bool]) -> LoadTable {
@@ -44,9 +44,9 @@ proptest! {
             let broker = Broker::new(policy, CostModel::new(SwebConfig::default()));
             let d = broker.decide(&req, NodeId(0), &inputs);
             if redirected {
-                prop_assert_eq!(d, Decision::Local, "{} bounced a redirected request", policy);
+                prop_assert_eq!(d.route, Route::Local, "{} bounced a redirected request", policy);
             }
-            if let Decision::Redirect(target) = d {
+            if let Route::Redirect(target) = d.route {
                 prop_assert_ne!(target, NodeId(0), "{} redirected to origin", policy);
                 prop_assert!(lt.is_alive(target), "{} chose dead node {}", policy, target);
             }
@@ -69,7 +69,7 @@ proptest! {
         let model = CostModel::new(SwebConfig::default());
         let broker = Broker::new(Policy::Sweb, model.clone());
         let d = broker.decide(&req, NodeId(0), &inputs);
-        let chosen = match d { Decision::Local => NodeId(0), Decision::Redirect(t) => t };
+        let chosen = d.chosen(NodeId(0));
         let chosen_cost = model.estimate(&req, NodeId(0), chosen, &inputs);
         for node in lt.alive_nodes() {
             let c = model.estimate(&req, NodeId(0), node, &inputs);

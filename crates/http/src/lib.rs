@@ -35,4 +35,4 @@ pub use request::{Method, Request};
 pub use response::{body_copies, Response};
 pub use response_parse::{parse_response, ParsedResponse, ResponseParseError};
 pub use status::StatusCode;
-pub use url::{is_redirected, mark_redirected, sanitize_path, split_query};
+pub use url::{is_redirected, mark_redirected, mark_trace, sanitize_path, split_query, trace_of};

@@ -59,6 +59,29 @@ fn percent_decode(s: &str) -> Option<String> {
     String::from_utf8(out).ok()
 }
 
+/// The query key carrying a request's trace id across a 302 hop. Clients
+/// do not forward response headers, so the only channel that survives a
+/// redirect is the Location URL itself; the receiving node lifts the id
+/// back out and both nodes log the same trace for one logical request.
+pub const TRACE_KEY: &str = "sweb-trace";
+
+/// Append `sweb-trace=<id>` to a request target.
+pub fn mark_trace(target: &str, id: &str) -> String {
+    if target.contains('?') {
+        format!("{target}&{TRACE_KEY}={id}")
+    } else {
+        format!("{target}?{TRACE_KEY}={id}")
+    }
+}
+
+/// The trace id carried by a request target, if any.
+pub fn trace_of(target: &str) -> Option<&str> {
+    split_query(target).1?.split('&').find_map(|kv| {
+        let (k, v) = kv.split_once('=')?;
+        (k == TRACE_KEY && !v.is_empty()).then_some(v)
+    })
+}
+
 /// Append the redirect-once marker to a request target.
 pub fn mark_redirected(target: &str) -> String {
     if target.contains('?') {
@@ -129,5 +152,19 @@ mod tests {
         // Unrelated keys do not count.
         assert!(!is_redirected("/x?sweb-redirect=2"));
         assert!(!is_redirected("/x?asweb-redirect=1"));
+    }
+
+    #[test]
+    fn trace_marker_round_trip() {
+        let m = mark_trace("/maps/x.gif", "n0-1a2b-3c");
+        assert_eq!(m, "/maps/x.gif?sweb-trace=n0-1a2b-3c");
+        assert_eq!(trace_of(&m), Some("n0-1a2b-3c"));
+        // Composes with the redirect-once marker in either order.
+        let both = mark_redirected(&m);
+        assert!(is_redirected(&both));
+        assert_eq!(trace_of(&both), Some("n0-1a2b-3c"));
+        assert_eq!(trace_of("/maps/x.gif"), None);
+        assert_eq!(trace_of("/x?sweb-trace="), None, "empty id does not count");
+        assert_eq!(trace_of("/x?asweb-trace=1"), None);
     }
 }

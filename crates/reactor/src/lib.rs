@@ -58,6 +58,7 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use sweb_http::{try_parse_request, Method, Request, Response, StatusCode};
+use sweb_telemetry::Phase;
 
 use slab::Slab;
 use sys::{Event, Interest, Poller};
@@ -126,6 +127,11 @@ pub trait App: Send + Sync + 'static {
     /// A file payload was queued for `sendfile(2)` streaming (`bytes` =
     /// file length).
     fn on_sendfile(&self, _bytes: usize) {}
+    /// One request phase finished on this engine: accept (admission
+    /// hand-off), parse (first byte to dispatched request), or write
+    /// (response queued to socket drained). The decide/fetch phases are
+    /// measured inside [`App::respond`] by the application itself.
+    fn on_phase(&self, _phase: Phase, _micros: u64) {}
 }
 
 /// How the reactor turns a [`Response`] into wire bytes.
@@ -291,6 +297,11 @@ struct Conn {
     /// this exactly to act — anything else is a stale wheel entry.
     deadline_ms: u64,
     interest: Interest,
+    /// When the first byte of the in-progress request arrived (parse
+    /// phase start); `None` between requests.
+    req_started: Option<Instant>,
+    /// When the in-progress response was queued (write phase start).
+    write_started: Option<Instant>,
 }
 
 /// A finished `respond` call coming back from the worker pool.
@@ -417,9 +428,12 @@ impl Loop {
                         self.shed(stream);
                         continue;
                     }
+                    let t0 = Instant::now();
                     if self.admit(stream, peer).is_err() {
                         // Couldn't make it nonblocking / register: drop it.
                         self.app.on_conn_close();
+                    } else {
+                        self.app.on_phase(Phase::Accept, t0.elapsed().as_micros() as u64);
                     }
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
@@ -467,6 +481,8 @@ impl Loop {
             rounds: 0,
             deadline_ms,
             interest: Interest::READ,
+            req_started: None,
+            write_started: None,
         };
         let (idx, gen) = self.conns.insert(conn);
         let fd = self.conns.get_mut(idx).unwrap().stream.as_raw_fd();
@@ -520,6 +536,9 @@ impl Loop {
                     return;
                 }
                 Ok(n) => {
+                    if conn.req_started.is_none() {
+                        conn.req_started = Some(Instant::now());
+                    }
                     conn.carry.extend_from_slice(&chunk[..n]);
                     if !self.progress(idx) {
                         return; // state advanced away from reading
@@ -590,6 +609,13 @@ impl Loop {
     fn dispatch(&mut self, idx: usize, req: Request, body: Vec<u8>) {
         let Some(gen) = self.conns.gen_of(idx) else { return };
         let Some(conn) = self.conns.get_mut(idx) else { return };
+        // Pipelined requests whose bytes were already buffered (dispatch
+        // straight out of write_done) have no first-byte mark: count 0.
+        let parse_us = conn
+            .req_started
+            .take()
+            .map(|t| t.elapsed().as_micros() as u64)
+            .unwrap_or(0);
         conn.rounds += 1;
         let client_keep = req
             .headers
@@ -600,6 +626,7 @@ impl Loop {
         let head_only = req.method == Method::Head;
         conn.state = ConnState::Dispatched;
         self.set_interest(idx, Interest::NONE);
+        self.app.on_phase(Phase::Parse, parse_us);
         // The worker may outlive this request's relevance (evicted client);
         // the generation check on completion makes that harmless.
         let app = Arc::clone(&self.app);
@@ -727,6 +754,7 @@ impl Loop {
             conn.keep_alive = keep_alive;
             conn.state = ConnState::Writing;
             conn.deadline_ms = deadline_ms;
+            conn.write_started = Some(Instant::now());
         }
         self.wheel.schedule(TimerEntry { token: idx, gen, deadline_ms });
         // Optimistic write: most responses fit the socket buffer, saving a
@@ -837,7 +865,7 @@ impl Loop {
     /// recycle the connection for keep-alive or close it.
     fn write_done(&mut self, idx: usize, ok: bool) {
         let Some(gen) = self.conns.gen_of(idx) else { return };
-        let (keep, written) = {
+        let (keep, written, write_us) = {
             let Some(conn) = self.conns.get_mut(idx) else { return };
             let written = conn.out_planned;
             conn.out_head = Vec::new();
@@ -845,9 +873,17 @@ impl Loop {
             conn.out_pos = 0;
             conn.out_file = None;
             conn.out_planned = 0;
-            (conn.keep_alive, written)
+            let write_us = conn
+                .write_started
+                .take()
+                .map(|t| t.elapsed().as_micros() as u64)
+                .unwrap_or(0);
+            (conn.keep_alive, written, write_us)
         };
         self.app.on_write_end(written);
+        if ok {
+            self.app.on_phase(Phase::Write, write_us);
+        }
         if !ok || !keep {
             self.close(idx);
             return;

@@ -33,12 +33,31 @@ impl AccessLog {
     }
 
     /// Write one CLF record:
-    /// `host - - [timestamp] "METHOD target HTTP/1.0" status bytes`.
-    pub fn log(&self, host: &str, method: &str, target: &str, status: u16, bytes: u64) {
-        let line = format!(
-            "{host} - - [{}] \"{method} {target} HTTP/1.0\" {status} {bytes}\n",
+    /// `host - - [timestamp] "METHOD target HTTP/1.0" status bytes [trace]`.
+    ///
+    /// The optional trailing trace token is this request's `X-SWEB-Trace`
+    /// id; a request redirected across nodes logs the *same* id on both,
+    /// so one logical request joins across the cluster's logs. CLF parsers
+    /// (including ours) key on the bracketed timestamp and the quoted
+    /// request line, so the extra tail token stays parser-compatible.
+    pub fn log(
+        &self,
+        host: &str,
+        method: &str,
+        target: &str,
+        status: u16,
+        bytes: u64,
+        trace: Option<&str>,
+    ) {
+        let mut line = format!(
+            "{host} - - [{}] \"{method} {target} HTTP/1.0\" {status} {bytes}",
             clf_timestamp()
         );
+        if let Some(trace) = trace {
+            line.push(' ');
+            line.push_str(trace);
+        }
+        line.push('\n');
         let mut sink = self.sink.lock();
         let _ = sink.write_all(line.as_bytes());
         let _ = sink.flush();
@@ -92,8 +111,8 @@ mod tests {
     fn writes_parseable_clf_lines() {
         let buf = Arc::new(Mutex::new(Vec::new()));
         let log = AccessLog::new(Box::new(VecSink(Arc::clone(&buf))));
-        log.log("wile.cs.ucsb.edu", "GET", "/maps/goleta.gif", 200, 1_500_000);
-        log.log("road.runner.edu", "GET", "/missing", 404, 0);
+        log.log("wile.cs.ucsb.edu", "GET", "/maps/goleta.gif", 200, 1_500_000, None);
+        log.log("road.runner.edu", "GET", "/missing", 404, 0, Some("n0-1a-2b"));
         let text = String::from_utf8(buf.lock().clone()).unwrap();
         assert_eq!(text.lines().count(), 2);
         // Our own CLF parser must accept what we write.
@@ -101,6 +120,8 @@ mod tests {
         assert_eq!(skipped, 0);
         assert_eq!(records, 2);
         assert!(text.contains("\"GET /maps/goleta.gif HTTP/1.0\" 200 1500000"));
+        // The trace id rides as a trailing token past the CLF core.
+        assert!(text.contains("\"GET /missing HTTP/1.0\" 404 0 n0-1a-2b"));
     }
 
     // Minimal inline re-parse (sweb-workload is not a dependency of this

@@ -159,12 +159,10 @@ impl LiveCluster {
                 cgi: cfg.cgi.clone(),
                 access_log: cfg.access_log.clone(),
                 file_cache: crate::file_cache::FileCache::new(cfg.file_cache_bytes),
-                active: Default::default(),
-                bytes_in_flight: Default::default(),
                 draining: AtomicBool::new(false),
                 shutdown: AtomicBool::new(false),
                 start,
-                stats: NodeStats::default(),
+                stats: NodeStats::new(),
             });
             nodes.push(NodeHandle::spawn(shared, listener, udp)?);
         }

@@ -2,15 +2,15 @@
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use sweb_cluster::{NodeId, Placement};
-use sweb_core::{Decision, RequestInfo};
+use sweb_core::RequestInfo;
 use sweb_http::{
     mime_for_path, parse_request, Method, ParseError, Request, Response, StatusCode,
 };
+use sweb_telemetry::Phase;
 
 use crate::node::NodeShared;
 
@@ -35,8 +35,9 @@ pub fn home_of(path: &str, nodes: usize) -> NodeId {
 /// Serve one connection. HTTP/1.0 closes after each response; as a
 /// labelled *extension* the server honors `Connection: Keep-Alive`
 /// (responses always carry `Content-Length`, so framing is unambiguous).
-pub fn handle_connection(shared: Arc<NodeShared>, mut stream: TcpStream) {
-    shared.active.fetch_add(1, Ordering::Relaxed);
+pub fn handle_connection(shared: Arc<NodeShared>, mut stream: TcpStream, accepted_at: Instant) {
+    shared.stats.active.inc();
+    shared.stats.phases.record(Phase::Accept, accepted_at.elapsed().as_micros() as u64);
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
     let _ = stream.set_nodelay(true);
     let peer_host = stream
@@ -47,7 +48,7 @@ pub fn handle_connection(shared: Arc<NodeShared>, mut stream: TcpStream) {
     for _round in 0..KEEPALIVE_LIMIT {
         let (mut response, head_only, keep_alive, logged) =
             match read_request(&mut stream, &mut carry) {
-                Ok(req) => {
+                Ok((req, parse_started)) => {
                     let head_only = req.method == Method::Head;
                     let keep = req
                         .headers
@@ -58,12 +59,16 @@ pub fn handle_connection(shared: Arc<NodeShared>, mut stream: TcpStream) {
                     let body = match read_body(&mut stream, &mut carry, &req) {
                         Ok(body) => body,
                         Err(()) => {
-                            shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                            shared.stats.bad_requests.inc();
                             let resp = Response::error(StatusCode::BadRequest);
                             let _ = stream.write_all(&resp.to_bytes(false));
                             break;
                         }
                     };
+                    shared
+                        .stats
+                        .phases
+                        .record(Phase::Parse, parse_started.elapsed().as_micros() as u64);
                     (
                         respond(&shared, &req, &body),
                         head_only,
@@ -73,43 +78,60 @@ pub fn handle_connection(shared: Arc<NodeShared>, mut stream: TcpStream) {
                 }
                 Err(ParseError::Incomplete) => break, // client closed / idle
                 Err(_) => {
-                    shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                    shared.stats.bad_requests.inc();
                     (Response::error(StatusCode::BadRequest), false, false, None)
                 }
             };
         if let (Some(log), Some((method, target))) = (&shared.access_log, &logged) {
-            log.log(&peer_host, method, target, response.status.code(), response.body.len() as u64);
+            let trace = response.headers.get("x-sweb-trace");
+            log.log(&peer_host, method, target, response.status.code(), response.body.len() as u64, trace);
         }
         if keep_alive {
             response.headers.set("Connection", "Keep-Alive");
         }
         let wire = response.to_bytes(head_only);
-        shared.bytes_in_flight.fetch_add(wire.len() as u64, Ordering::Relaxed);
+        shared.stats.bytes_in_flight.add(wire.len() as i64);
+        let write_started = Instant::now();
         let write_ok = stream.write_all(&wire).is_ok() && stream.flush().is_ok();
-        shared.bytes_in_flight.fetch_sub(wire.len() as u64, Ordering::Relaxed);
+        shared.stats.bytes_in_flight.sub(wire.len() as i64);
+        if write_ok {
+            shared
+                .stats
+                .phases
+                .record(Phase::Write, write_started.elapsed().as_micros() as u64);
+        }
         if !write_ok || !keep_alive {
             break;
         }
     }
-    shared.active.fetch_sub(1, Ordering::Relaxed);
+    shared.stats.active.dec();
 }
 
 /// Read one request head from the stream. `carry` holds bytes already read
-/// beyond the previous request (keep-alive pipelining).
-fn read_request(stream: &mut TcpStream, carry: &mut Vec<u8>) -> Result<Request, ParseError> {
+/// beyond the previous request (keep-alive pipelining). The returned
+/// instant is when the request's first byte became available (parse-phase
+/// start), so keep-alive idle time is not charged to parsing.
+fn read_request(
+    stream: &mut TcpStream,
+    carry: &mut Vec<u8>,
+) -> Result<(Request, Instant), ParseError> {
     let mut chunk = [0u8; 1024];
+    let mut first_byte: Option<Instant> = (!carry.is_empty()).then(Instant::now);
     loop {
         match parse_request(carry) {
             Ok((req, used)) => {
                 carry.drain(..used);
-                return Ok(req);
+                return Ok((req, first_byte.unwrap_or_else(Instant::now)));
             }
             Err(ParseError::Incomplete) => {}
             Err(e) => return Err(e),
         }
         match stream.read(&mut chunk) {
             Ok(0) => return Err(ParseError::Incomplete),
-            Ok(n) => carry.extend_from_slice(&chunk[..n]),
+            Ok(n) => {
+                first_byte.get_or_insert_with(Instant::now);
+                carry.extend_from_slice(&chunk[..n]);
+            }
             Err(_) => return Err(ParseError::Incomplete),
         }
     }
@@ -175,10 +197,32 @@ pub(crate) fn respond(shared: &NodeShared, req: &Request, body: &[u8]) -> Respon
 /// documents come back as `(head-only response, Some((open fd, length)))`
 /// for the caller to stream (`sendfile`), everything else inline. The
 /// reactor engine consumes this shape directly.
+///
+/// Every response carries an `X-SWEB-Trace` header: the id the request
+/// arrived with (carried through a 302 hop as a `sweb-trace` query
+/// parameter) or a freshly minted one, so one logical request is joinable
+/// across nodes in the access logs.
 pub(crate) fn respond_parts(
     shared: &NodeShared,
     req: &Request,
     body: &[u8],
+) -> (Response, Option<(std::fs::File, u64)>) {
+    let trace = sweb_http::trace_of(&req.target)
+        .map(str::to_owned)
+        .unwrap_or_else(|| shared.stats.new_trace_id(shared.id));
+    let (mut resp, file) = respond_routed(shared, req, body, &trace);
+    resp.headers.set("X-SWEB-Trace", trace);
+    (resp, file)
+}
+
+/// The routed pipeline behind [`respond_parts`]: preprocess, analyze,
+/// schedule, and either redirect (carrying `trace` in the Location URL)
+/// or fulfill locally.
+fn respond_routed(
+    shared: &NodeShared,
+    req: &Request,
+    body: &[u8],
+    trace: &str,
 ) -> (Response, Option<(std::fs::File, u64)>) {
     // Step 1: preprocess — method check, path completion, existence.
     if !req.method.is_supported() {
@@ -187,9 +231,12 @@ pub(crate) fn respond_parts(
     let Some(path) = req.path() else {
         return (Response::error(StatusCode::Forbidden), None); // traversal attempt
     };
-    // Administrative endpoint: always answered by the node it reached.
+    // Administrative endpoints: always answered by the node they reached.
     if path == crate::status::STATUS_PATH {
-        return (crate::status::render(shared), None);
+        return (crate::status::render(shared, req.query()), None);
+    }
+    if path == crate::status::METRICS_PATH {
+        return (crate::status::render_metrics(shared), None);
     }
     let is_cgi = req.is_cgi();
     if req.method == Method::Post && !is_cgi {
@@ -204,14 +251,14 @@ pub(crate) fn respond_parts(
     // (with an oracle-side size estimate) for CGI programs.
     let (full, size) = if is_cgi {
         if shared.cgi.lookup(&path).is_none() {
-            shared.stats.served.fetch_add(1, Ordering::Relaxed);
+            shared.stats.served.inc();
             return (Response::error(StatusCode::NotFound), None);
         }
         (shared.docroot.clone(), 4 * 1024)
     } else {
         let full = shared.docroot.join(rel);
         let Ok(meta) = std::fs::metadata(&full) else {
-            shared.stats.served.fetch_add(1, Ordering::Relaxed);
+            shared.stats.served.inc();
             return (Response::error(StatusCode::NotFound), None);
         };
         if !meta.is_file() {
@@ -229,7 +276,7 @@ pub(crate) fn respond_parts(
             req.headers.get("if-modified-since").and_then(sweb_http::parse_http_date),
         ) {
             if mtime <= ims {
-                shared.stats.served.fetch_add(1, Ordering::Relaxed);
+                shared.stats.served.inc();
                 let mut resp = Response {
                     status: StatusCode::NotModified,
                     headers: Default::default(),
@@ -247,7 +294,7 @@ pub(crate) fn respond_parts(
     let nodes = shared.cluster.len();
     let redirected = req.already_redirected();
     if redirected {
-        shared.stats.received_redirects.fetch_add(1, Ordering::Relaxed);
+        shared.stats.received_redirects.inc();
     }
     let file = crate::file_cache::key_of(&path);
     let info = RequestInfo {
@@ -265,6 +312,7 @@ pub(crate) fn respond_parts(
             && shared.sweb.cache_aware_cost
             && shared.file_cache.resident(&path),
     };
+    let decide_started = Instant::now();
     // Refresh our own entry so local load is never stale.
     {
         let mut loads = shared.loads.write();
@@ -275,20 +323,44 @@ pub(crate) fn respond_parts(
         let mut loads = shared.loads.write();
         shared.broker.choose(&info, shared.id, &shared.cluster, &mut loads)
     };
+    shared.stats.phases.record(Phase::Decide, decide_started.elapsed().as_micros() as u64);
 
-    // Step 3: redirection.
-    if let Decision::Redirect(target) = decision {
-        shared.stats.redirected.fetch_add(1, Ordering::Relaxed);
+    // Step 3: redirection — the trace id rides the Location URL, because
+    // clients do not forward response headers across a 302.
+    if let Some(target) = decision.redirect_target() {
+        shared.stats.redirected.inc();
         let base = &shared.peer_http[target.index()];
-        let mut resp = Response::redirect_to_peer(base, &req.target);
+        let marked = sweb_http::mark_trace(&req.target, trace);
+        let mut resp = Response::redirect_to_peer(base, &marked);
         resp.headers.set("X-SWEB-Node", shared.id.0.to_string());
         return (resp, None);
     }
 
-    // Step 4: fulfillment — execute the CGI program or read the document.
+    // Step 4: fulfillment, timed against the broker's prediction: the
+    // chosen candidate's per-term estimate is what this very fetch was
+    // scheduled on, so the pair feeds the prediction-error histograms.
+    let fetch_started = Instant::now();
+    let result = fulfill(shared, req, body, &path, is_cgi, &full, size);
+    let fetch_us = fetch_started.elapsed().as_micros() as u64;
+    shared.stats.phases.record(Phase::Fetch, fetch_us);
+    let cost = decision.cost;
+    shared.stats.feedback.record(cost.t_redirection, cost.t_data, cost.t_cpu, fetch_us);
+    result
+}
+
+/// Local fulfillment: execute the CGI program or read the document.
+fn fulfill(
+    shared: &NodeShared,
+    req: &Request,
+    body: &[u8],
+    path: &str,
+    is_cgi: bool,
+    full: &std::path::Path,
+    size: u64,
+) -> (Response, Option<(std::fs::File, u64)>) {
     if is_cgi {
-        let program = shared.cgi.lookup(&path).expect("existence checked above");
-        shared.stats.served.fetch_add(1, Ordering::Relaxed);
+        let program = shared.cgi.lookup(path).expect("existence checked above");
+        shared.stats.served.inc();
         let mut resp = program(req, body);
         resp.headers.set("X-SWEB-Node", shared.id.0.to_string());
         return (resp, None);
@@ -298,10 +370,10 @@ pub(crate) fn respond_parts(
     // request and still pay a copy. Everything cacheable goes through the
     // FileCache so repeat requests share one in-memory body.
     if size >= SENDFILE_MIN && size > shared.file_cache.capacity() {
-        match std::fs::File::open(&full) {
+        match std::fs::File::open(full) {
             Ok(f) => {
-                shared.stats.served.fetch_add(1, Ordering::Relaxed);
-                let mut resp = Response::ok("", mime_for_path(&path));
+                shared.stats.served.inc();
+                let mut resp = Response::ok("", mime_for_path(path));
                 if let Some(secs) = f
                     .metadata()
                     .ok()
@@ -317,10 +389,10 @@ pub(crate) fn respond_parts(
             Err(_) => return (Response::error(StatusCode::InternalServerError), None),
         }
     }
-    match shared.file_cache.read(&path, &full) {
+    match shared.file_cache.read(path, full) {
         Ok((body, mtime)) => {
-            shared.stats.served.fetch_add(1, Ordering::Relaxed);
-            let mut resp = Response::ok(body, mime_for_path(&path));
+            shared.stats.served.inc();
+            let mut resp = Response::ok(body, mime_for_path(path));
             if let Ok(secs) = mtime.duration_since(std::time::UNIX_EPOCH) {
                 resp.headers
                     .set("Last-Modified", sweb_http::format_http_date(secs.as_secs()));

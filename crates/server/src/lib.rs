@@ -41,12 +41,12 @@ mod cluster;
 mod handler;
 mod loadd;
 mod node;
-mod status;
 
 pub mod access_log;
 pub mod cgi;
 pub mod client;
 pub mod file_cache;
+pub mod status;
 
 pub use access_log::AccessLog;
 pub use file_cache::FileCache;
@@ -54,4 +54,4 @@ pub use cgi::{CgiProgram, CgiRegistry};
 pub use cluster::{ClusterConfig, Engine, LiveCluster};
 pub use sweb_reactor::TransmitMode;
 pub use node::{NodeHandle, NodeStats};
-pub use status::STATUS_PATH;
+pub use status::{StatusReport, METRICS_PATH, STATUS_PATH, STATUS_SCHEMA_VERSION};

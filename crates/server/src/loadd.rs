@@ -112,10 +112,10 @@ pub fn decode(buf: &[u8]) -> Option<LoadReport> {
     Some(LoadReport { node, load, leaving, digest: None })
 }
 
-/// Sample this node's live load vector from its activity counters.
+/// Sample this node's live load vector from its activity gauges.
 pub fn sample_load(shared: &NodeShared) -> LoadVector {
-    let active = shared.active.load(Ordering::Relaxed) as f64;
-    let net = shared.bytes_in_flight.load(Ordering::Relaxed) as f64 / 1e6;
+    let active = shared.stats.active.get().max(0) as f64;
+    let net = shared.stats.bytes_in_flight.get().max(0) as f64 / 1e6;
     // Disk pressure tracks concurrent fulfillments; on a localhost cluster
     // the OS page cache absorbs reads, so active requests is the best
     // observable proxy for the disk channel too.

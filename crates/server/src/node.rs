@@ -11,34 +11,101 @@ use sweb_cluster::{ClusterSpec, NodeId};
 use sweb_core::{Broker, LoadTable, Oracle, SwebConfig};
 use sweb_des::SimTime;
 use sweb_http::Request;
+use sweb_telemetry::{CostFeedback, Counter, Gauge, Phase, PhaseTimes, Registry};
 
 use crate::cluster::Engine;
 use crate::handler;
 
-/// Counters a node exposes for tests and demos.
-#[derive(Debug, Default)]
+/// A node's telemetry surface: every counter, gauge, and histogram both
+/// engines increment, all registered on one [`Registry`] so the status
+/// page, the JSON report, and the `/metrics` exposition are three views of
+/// the same atomics.
 pub struct NodeStats {
+    /// The metric registry behind every handle below (renders `/metrics`).
+    pub registry: Arc<Registry>,
     /// Connections accepted.
-    pub accepted: AtomicU64,
+    pub accepted: Arc<Counter>,
     /// Requests fulfilled locally with 200/404/...
-    pub served: AtomicU64,
+    pub served: Arc<Counter>,
     /// Requests answered with a 302 to a peer.
-    pub redirected: AtomicU64,
+    pub redirected: Arc<Counter>,
     /// Requests that arrived already carrying the redirect marker.
-    pub received_redirects: AtomicU64,
+    pub received_redirects: Arc<Counter>,
     /// Malformed requests answered 400.
-    pub bad_requests: AtomicU64,
+    pub bad_requests: Arc<Counter>,
     /// `accept(2)` failures (fd exhaustion, aborted handshakes, ...).
-    pub accept_errors: AtomicU64,
+    pub accept_errors: Arc<Counter>,
     /// Connections refused with 503 by admission control.
-    pub shed: AtomicU64,
+    pub shed: Arc<Counter>,
     /// Connections evicted by the reactor's timeout wheel.
-    pub evicted: AtomicU64,
+    pub evicted: Arc<Counter>,
     /// Responses whose body left via the zero-copy transmit path (shared
     /// `Bytes` gathered at the socket, no per-request body copy).
-    pub zero_copy: AtomicU64,
+    pub zero_copy: Arc<Counter>,
     /// Responses streamed from an fd via `sendfile(2)`.
-    pub sendfile: AtomicU64,
+    pub sendfile: Arc<Counter>,
+    /// Requests currently in flight on this node (the live "CPU load").
+    pub active: Arc<Gauge>,
+    /// Bytes currently being transferred (the live "net load", scaled).
+    pub bytes_in_flight: Arc<Gauge>,
+    /// Per-request phase latency (accept → parse → decide → fetch → write).
+    pub phases: PhaseTimes,
+    /// Cost-model feedback: predicted `t_s` terms vs measured wall time.
+    pub feedback: CostFeedback,
+    /// Trace-id epoch (wall-clock salt, so ids don't repeat across runs).
+    trace_epoch: u32,
+    /// Trace-id sequence number.
+    trace_seq: AtomicU64,
+}
+
+impl NodeStats {
+    /// Build a node's telemetry surface on a fresh registry.
+    pub fn new() -> NodeStats {
+        let registry = Arc::new(Registry::new());
+        let c = |name: &str, help: &str| registry.counter(name, &[], help);
+        let epoch = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos() ^ d.as_secs() as u32)
+            .unwrap_or(0);
+        NodeStats {
+            accepted: c("sweb_connections_accepted_total", "Connections accepted"),
+            served: c("sweb_requests_served_total", "Requests fulfilled locally"),
+            redirected: c("sweb_redirects_issued_total", "Requests answered with a 302 to a peer"),
+            received_redirects: c(
+                "sweb_redirects_received_total",
+                "Requests arriving already redirected once",
+            ),
+            bad_requests: c("sweb_bad_requests_total", "Malformed requests answered 400"),
+            accept_errors: c("sweb_accept_errors_total", "accept(2) failures"),
+            shed: c("sweb_connections_shed_total", "Connections refused 503 by admission control"),
+            evicted: c("sweb_connections_evicted_total", "Connections evicted on timeout"),
+            zero_copy: c("sweb_zero_copy_responses_total", "Responses sent via zero-copy writev"),
+            sendfile: c("sweb_sendfile_responses_total", "Responses streamed via sendfile(2)"),
+            active: registry.gauge("sweb_active_requests", &[], "Requests currently in flight"),
+            bytes_in_flight: registry.gauge(
+                "sweb_bytes_in_flight",
+                &[],
+                "Response bytes currently being transmitted",
+            ),
+            phases: PhaseTimes::register(&registry),
+            feedback: CostFeedback::register(&registry),
+            trace_epoch: epoch,
+            trace_seq: AtomicU64::new(0),
+            registry,
+        }
+    }
+
+    /// Mint a fresh trace id: `n<node>-<epoch>-<seq>`, URL- and CLF-safe.
+    pub fn new_trace_id(&self, node: NodeId) -> String {
+        let seq = self.trace_seq.fetch_add(1, Ordering::Relaxed);
+        format!("n{}-{:x}-{:x}", node.0, self.trace_epoch, seq)
+    }
+}
+
+impl Default for NodeStats {
+    fn default() -> NodeStats {
+        NodeStats::new()
+    }
 }
 
 /// Shared state of one live SWEB node.
@@ -73,10 +140,6 @@ pub struct NodeShared {
     pub access_log: Option<crate::access_log::AccessLog>,
     /// In-memory document cache (extension; mtime-validated).
     pub file_cache: crate::file_cache::FileCache,
-    /// Requests currently in flight on this node (the live "CPU load").
-    pub active: AtomicU64,
-    /// Bytes currently being transferred (the live "net load", scaled).
-    pub bytes_in_flight: AtomicU64,
     /// Graceful-drain flag: while set, loadd announces "leaving" and peers
     /// stop choosing this node; it keeps serving what it receives.
     pub draining: AtomicBool,
@@ -84,7 +147,7 @@ pub struct NodeShared {
     pub shutdown: AtomicBool,
     /// Server start, for load-table timestamps.
     pub start: Instant,
-    /// Public counters.
+    /// The node's telemetry surface (counters, gauges, histograms).
     pub stats: NodeStats,
 }
 
@@ -109,7 +172,15 @@ impl sweb_reactor::App for ReactorApp {
         let (resp, file) = handler::respond_parts(&self.shared, req, body);
         if let Some(log) = &self.shared.access_log {
             let body_len = file.as_ref().map(|(_, len)| *len).unwrap_or(resp.body.len() as u64);
-            log.log(peer, handler::method_str(req.method), &req.target, resp.status.code(), body_len);
+            let trace = resp.headers.get("x-sweb-trace");
+            log.log(
+                peer,
+                handler::method_str(req.method),
+                &req.target,
+                resp.status.code(),
+                body_len,
+                trace,
+            );
         }
         sweb_reactor::Reply {
             response: resp,
@@ -117,37 +188,40 @@ impl sweb_reactor::App for ReactorApp {
         }
     }
     fn on_accept(&self) {
-        self.shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+        self.shared.stats.accepted.inc();
     }
     fn on_conn_open(&self) {
-        self.shared.active.fetch_add(1, Ordering::Relaxed);
+        self.shared.stats.active.inc();
     }
     fn on_conn_close(&self) {
-        self.shared.active.fetch_sub(1, Ordering::Relaxed);
+        self.shared.stats.active.dec();
     }
     fn on_shed(&self) {
-        self.shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+        self.shared.stats.shed.inc();
     }
     fn on_evict(&self) {
-        self.shared.stats.evicted.fetch_add(1, Ordering::Relaxed);
+        self.shared.stats.evicted.inc();
     }
     fn on_bad_request(&self) {
-        self.shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+        self.shared.stats.bad_requests.inc();
     }
     fn on_accept_error(&self, _err: &std::io::Error) {
-        self.shared.stats.accept_errors.fetch_add(1, Ordering::Relaxed);
+        self.shared.stats.accept_errors.inc();
     }
     fn on_write_start(&self, bytes: usize) {
-        self.shared.bytes_in_flight.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.shared.stats.bytes_in_flight.add(bytes as i64);
     }
     fn on_write_end(&self, bytes: usize) {
-        self.shared.bytes_in_flight.fetch_sub(bytes as u64, Ordering::Relaxed);
+        self.shared.stats.bytes_in_flight.sub(bytes as i64);
     }
     fn on_zero_copy(&self, _bytes: usize) {
-        self.shared.stats.zero_copy.fetch_add(1, Ordering::Relaxed);
+        self.shared.stats.zero_copy.inc();
     }
     fn on_sendfile(&self, _bytes: usize) {
-        self.shared.stats.sendfile.fetch_add(1, Ordering::Relaxed);
+        self.shared.stats.sendfile.inc();
+    }
+    fn on_phase(&self, phase: Phase, micros: u64) {
+        self.shared.stats.phases.record(phase, micros);
     }
 }
 
@@ -234,16 +308,19 @@ fn accept_loop(shared: Arc<NodeShared>, listener: TcpListener) {
         match listener.accept() {
             Ok((stream, _peer)) => {
                 error_streak = 0;
-                shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                shared.stats.accepted.inc();
+                let accepted_at = Instant::now();
                 let conn_shared = Arc::clone(&shared);
-                std::thread::spawn(move || handler::handle_connection(conn_shared, stream));
+                std::thread::spawn(move || {
+                    handler::handle_connection(conn_shared, stream, accepted_at)
+                });
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(5));
             }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
             Err(_) => {
-                shared.stats.accept_errors.fetch_add(1, Ordering::Relaxed);
+                shared.stats.accept_errors.inc();
                 let backoff = 5u64.saturating_mul(1 << error_streak.min(8)).min(1000);
                 error_streak = error_streak.saturating_add(1);
                 std::thread::sleep(Duration::from_millis(backoff));

@@ -1,69 +1,464 @@
-//! The `/sweb-status` administrative endpoint: a node's view of the
-//! cluster (load table, counters), always served locally.
-
-use std::sync::atomic::Ordering;
+//! The introspection API: a typed, versioned [`StatusReport`] served as
+//! text or JSON from `/sweb-status`, and a Prometheus-style exposition at
+//! `/metrics`. Both administrative endpoints are always answered by the
+//! node they reached (never redirected).
+//!
+//! The report is one value with two serializers: the human text page and
+//! the machine JSON document are views of the same struct, so they cannot
+//! drift apart, and `StatusReport::from_json` gives API consumers a
+//! schema-checked round trip.
 
 use sweb_cluster::NodeId;
 use sweb_http::Response;
+use sweb_telemetry::Json;
 
 use crate::node::NodeShared;
 
-/// Path of the status endpoint.
+/// Path of the status endpoint (`?format=json` selects the JSON view).
 pub const STATUS_PATH: &str = "/sweb-status";
 
-/// Render the status page for `shared`.
-pub fn render(shared: &NodeShared) -> Response {
-    let mut out = String::with_capacity(1024);
-    out.push_str(&format!(
-        "SWEB node {} — policy {} — engine {}\n\nload table (this node's view):\n",
-        shared.id,
-        shared.broker.policy(),
-        shared.engine.name(),
-    ));
-    out.push_str("node   cpu     disk    net     alive  age(ms)\n");
-    let now = shared.now();
-    {
-        let loads = shared.loads.read();
-        for i in 0..loads.len() {
-            let id = NodeId(i as u32);
-            let l = loads.load(id);
-            let age = now.saturating_sub(loads.updated_at(id));
-            out.push_str(&format!(
-                "{:<6} {:<7.2} {:<7.2} {:<7.2} {:<6} {:.0}\n",
-                id.to_string(),
-                l.cpu,
-                l.disk,
-                l.net,
-                loads.is_alive(id),
-                age.as_millis_f64(),
-            ));
+/// Path of the Prometheus-style metric exposition.
+pub const METRICS_PATH: &str = "/metrics";
+
+/// Version stamped into every JSON report; consumers must check it.
+pub const STATUS_SCHEMA_VERSION: u64 = 1;
+
+/// One node's full introspection snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatusReport {
+    /// JSON schema version ([`STATUS_SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Reporting node id.
+    pub node: u32,
+    /// Scheduling policy the node runs.
+    pub policy: String,
+    /// Connection engine the node runs.
+    pub engine: String,
+    /// The node's view of every peer's load.
+    pub load: Vec<LoadRow>,
+    /// Lifetime request counters.
+    pub counters: CounterSnapshot,
+    /// File-cache state.
+    pub cache: CacheSnapshot,
+}
+
+/// One row of the load table as this node sees it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadRow {
+    /// Peer node id.
+    pub node: u32,
+    /// CPU channel load.
+    pub cpu: f64,
+    /// Disk channel load.
+    pub disk: f64,
+    /// Network channel load.
+    pub net: f64,
+    /// Whether the peer is in the candidate pool.
+    pub alive: bool,
+    /// Milliseconds since the last report from this peer.
+    pub age_ms: f64,
+}
+
+/// Lifetime counters, snapshotted atomically enough for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CounterSnapshot {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Requests fulfilled locally.
+    pub served: u64,
+    /// Requests answered with a 302 to a peer.
+    pub redirected: u64,
+    /// Requests that arrived already redirected once.
+    pub received_redirects: u64,
+    /// Malformed requests answered 400.
+    pub bad_requests: u64,
+    /// `accept(2)` failures.
+    pub accept_errors: u64,
+    /// Connections refused 503.
+    pub shed: u64,
+    /// Connections evicted on timeout.
+    pub evicted: u64,
+    /// Zero-copy transmits.
+    pub zero_copy: u64,
+    /// `sendfile(2)` transmits.
+    pub sendfile: u64,
+    /// Requests in flight right now.
+    pub active: i64,
+    /// Response bytes in flight right now.
+    pub bytes_in_flight: i64,
+}
+
+/// File-cache state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheSnapshot {
+    /// Cache hits.
+    pub hits: u64,
+    /// Cache misses.
+    pub misses: u64,
+    /// Key collisions detected.
+    pub collisions: u64,
+    /// Bytes currently cached.
+    pub used_bytes: u64,
+    /// Capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Bits set in the advertised Bloom digest.
+    pub digest_bits: u64,
+}
+
+impl StatusReport {
+    /// Snapshot `shared` into a report.
+    pub fn gather(shared: &NodeShared) -> StatusReport {
+        let now = shared.now();
+        let load = {
+            let loads = shared.loads.read();
+            (0..loads.len())
+                .map(|i| {
+                    let id = NodeId(i as u32);
+                    let l = loads.load(id);
+                    LoadRow {
+                        node: id.0,
+                        cpu: l.cpu,
+                        disk: l.disk,
+                        net: l.net,
+                        alive: loads.is_alive(id),
+                        age_ms: now.saturating_sub(loads.updated_at(id)).as_millis_f64(),
+                    }
+                })
+                .collect()
+        };
+        let s = &shared.stats;
+        StatusReport {
+            schema_version: STATUS_SCHEMA_VERSION,
+            node: shared.id.0,
+            policy: shared.broker.policy().to_string(),
+            engine: shared.engine.name().to_string(),
+            load,
+            counters: CounterSnapshot {
+                accepted: s.accepted.get(),
+                served: s.served.get(),
+                redirected: s.redirected.get(),
+                received_redirects: s.received_redirects.get(),
+                bad_requests: s.bad_requests.get(),
+                accept_errors: s.accept_errors.get(),
+                shed: s.shed.get(),
+                evicted: s.evicted.get(),
+                zero_copy: s.zero_copy.get(),
+                sendfile: s.sendfile.get(),
+                active: s.active.get(),
+                bytes_in_flight: s.bytes_in_flight.get(),
+            },
+            cache: CacheSnapshot {
+                hits: shared.file_cache.hits(),
+                misses: shared.file_cache.misses(),
+                collisions: shared.file_cache.collisions(),
+                used_bytes: shared.file_cache.used(),
+                capacity_bytes: shared.file_cache.capacity(),
+                digest_bits: shared.file_cache.digest().ones() as u64,
+            },
         }
     }
-    out.push_str(&format!(
-        "\ncounters:\n  accepted          {}\n  served            {}\n  redirected-away   {}\n  \
-         received-redirects {}\n  bad-requests      {}\n  accept-errors     {}\n  \
-         shed-503          {}\n  evicted           {}\n  zero-copy         {}\n  \
-         sendfile          {}\n  active-now        {}\n",
-        shared.stats.accepted.load(Ordering::Relaxed),
-        shared.stats.served.load(Ordering::Relaxed),
-        shared.stats.redirected.load(Ordering::Relaxed),
-        shared.stats.received_redirects.load(Ordering::Relaxed),
-        shared.stats.bad_requests.load(Ordering::Relaxed),
-        shared.stats.accept_errors.load(Ordering::Relaxed),
-        shared.stats.shed.load(Ordering::Relaxed),
-        shared.stats.evicted.load(Ordering::Relaxed),
-        shared.stats.zero_copy.load(Ordering::Relaxed),
-        shared.stats.sendfile.load(Ordering::Relaxed),
-        shared.active.load(Ordering::Relaxed),
-    ));
-    out.push_str(&format!(
-        "\nfile cache: {} hits, {} misses, {} collisions, {} / {} bytes, digest {} bits set\n",
-        shared.file_cache.hits(),
-        shared.file_cache.misses(),
-        shared.file_cache.collisions(),
-        shared.file_cache.used(),
-        shared.file_cache.capacity(),
-        shared.file_cache.digest().ones(),
-    ));
-    Response::ok(out, "text/plain")
+
+    /// The human-readable status page (the pre-JSON format, unchanged).
+    pub fn to_text(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str(&format!(
+            "SWEB node n{} — policy {} — engine {}\n\nload table (this node's view):\n",
+            self.node, self.policy, self.engine,
+        ));
+        out.push_str("node   cpu     disk    net     alive  age(ms)\n");
+        for row in &self.load {
+            out.push_str(&format!(
+                "{:<6} {:<7.2} {:<7.2} {:<7.2} {:<6} {:.0}\n",
+                format!("n{}", row.node),
+                row.cpu,
+                row.disk,
+                row.net,
+                row.alive,
+                row.age_ms,
+            ));
+        }
+        let c = &self.counters;
+        out.push_str(&format!(
+            "\ncounters:\n  accepted          {}\n  served            {}\n  redirected-away   {}\n  \
+             received-redirects {}\n  bad-requests      {}\n  accept-errors     {}\n  \
+             shed-503          {}\n  evicted           {}\n  zero-copy         {}\n  \
+             sendfile          {}\n  active-now        {}\n",
+            c.accepted,
+            c.served,
+            c.redirected,
+            c.received_redirects,
+            c.bad_requests,
+            c.accept_errors,
+            c.shed,
+            c.evicted,
+            c.zero_copy,
+            c.sendfile,
+            c.active,
+        ));
+        out.push_str(&format!(
+            "\nfile cache: {} hits, {} misses, {} collisions, {} / {} bytes, digest {} bits set\n",
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.collisions,
+            self.cache.used_bytes,
+            self.cache.capacity_bytes,
+            self.cache.digest_bits,
+        ));
+        out
+    }
+
+    /// The JSON view (`/sweb-status?format=json`).
+    pub fn to_json(&self) -> Json {
+        let obj = |members: Vec<(&str, Json)>| {
+            Json::Obj(members.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+        };
+        let c = &self.counters;
+        obj(vec![
+            ("schema_version", Json::Num(self.schema_version as f64)),
+            ("node", Json::Num(self.node as f64)),
+            ("policy", Json::Str(self.policy.clone())),
+            ("engine", Json::Str(self.engine.clone())),
+            (
+                "load",
+                Json::Arr(
+                    self.load
+                        .iter()
+                        .map(|row| {
+                            obj(vec![
+                                ("node", Json::Num(row.node as f64)),
+                                ("cpu", Json::Num(row.cpu)),
+                                ("disk", Json::Num(row.disk)),
+                                ("net", Json::Num(row.net)),
+                                ("alive", Json::Bool(row.alive)),
+                                ("age_ms", Json::Num(row.age_ms)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "counters",
+                obj(vec![
+                    ("accepted", Json::Num(c.accepted as f64)),
+                    ("served", Json::Num(c.served as f64)),
+                    ("redirected", Json::Num(c.redirected as f64)),
+                    ("received_redirects", Json::Num(c.received_redirects as f64)),
+                    ("bad_requests", Json::Num(c.bad_requests as f64)),
+                    ("accept_errors", Json::Num(c.accept_errors as f64)),
+                    ("shed", Json::Num(c.shed as f64)),
+                    ("evicted", Json::Num(c.evicted as f64)),
+                    ("zero_copy", Json::Num(c.zero_copy as f64)),
+                    ("sendfile", Json::Num(c.sendfile as f64)),
+                    ("active", Json::Num(c.active as f64)),
+                    ("bytes_in_flight", Json::Num(c.bytes_in_flight as f64)),
+                ]),
+            ),
+            (
+                "cache",
+                obj(vec![
+                    ("hits", Json::Num(self.cache.hits as f64)),
+                    ("misses", Json::Num(self.cache.misses as f64)),
+                    ("collisions", Json::Num(self.cache.collisions as f64)),
+                    ("used_bytes", Json::Num(self.cache.used_bytes as f64)),
+                    ("capacity_bytes", Json::Num(self.cache.capacity_bytes as f64)),
+                    ("digest_bits", Json::Num(self.cache.digest_bits as f64)),
+                ]),
+            ),
+        ])
+    }
+
+    /// Parse a JSON document back into a report, strictly checking the
+    /// schema version. This is the consumer-side contract test: anything a
+    /// node serves must round-trip through here unchanged.
+    pub fn from_json(v: &Json) -> Result<StatusReport, String> {
+        let field = |obj: &Json, key: &str| -> Result<Json, String> {
+            obj.get(key).cloned().ok_or_else(|| format!("missing field {key:?}"))
+        };
+        let num_u64 = |obj: &Json, key: &str| -> Result<u64, String> {
+            field(obj, key)?.as_u64().ok_or_else(|| format!("field {key:?} is not a u64"))
+        };
+        let num_i64 = |obj: &Json, key: &str| -> Result<i64, String> {
+            field(obj, key)?.as_i64().ok_or_else(|| format!("field {key:?} is not an i64"))
+        };
+        let num_f64 = |obj: &Json, key: &str| -> Result<f64, String> {
+            field(obj, key)?.as_f64().ok_or_else(|| format!("field {key:?} is not a number"))
+        };
+        let schema_version = num_u64(v, "schema_version")?;
+        if schema_version != STATUS_SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported schema_version {schema_version} (want {STATUS_SCHEMA_VERSION})"
+            ));
+        }
+        let load = field(v, "load")?
+            .as_arr()
+            .ok_or("load is not an array")?
+            .iter()
+            .map(|row| {
+                Ok(LoadRow {
+                    node: num_u64(row, "node")? as u32,
+                    cpu: num_f64(row, "cpu")?,
+                    disk: num_f64(row, "disk")?,
+                    net: num_f64(row, "net")?,
+                    alive: field(row, "alive")?.as_bool().ok_or("alive is not a bool")?,
+                    age_ms: num_f64(row, "age_ms")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let c = field(v, "counters")?;
+        let counters = CounterSnapshot {
+            accepted: num_u64(&c, "accepted")?,
+            served: num_u64(&c, "served")?,
+            redirected: num_u64(&c, "redirected")?,
+            received_redirects: num_u64(&c, "received_redirects")?,
+            bad_requests: num_u64(&c, "bad_requests")?,
+            accept_errors: num_u64(&c, "accept_errors")?,
+            shed: num_u64(&c, "shed")?,
+            evicted: num_u64(&c, "evicted")?,
+            zero_copy: num_u64(&c, "zero_copy")?,
+            sendfile: num_u64(&c, "sendfile")?,
+            active: num_i64(&c, "active")?,
+            bytes_in_flight: num_i64(&c, "bytes_in_flight")?,
+        };
+        let k = field(v, "cache")?;
+        let cache = CacheSnapshot {
+            hits: num_u64(&k, "hits")?,
+            misses: num_u64(&k, "misses")?,
+            collisions: num_u64(&k, "collisions")?,
+            used_bytes: num_u64(&k, "used_bytes")?,
+            capacity_bytes: num_u64(&k, "capacity_bytes")?,
+            digest_bits: num_u64(&k, "digest_bits")?,
+        };
+        Ok(StatusReport {
+            schema_version,
+            node: num_u64(v, "node")? as u32,
+            policy: field(v, "policy")?.as_str().ok_or("policy is not a string")?.to_string(),
+            engine: field(v, "engine")?.as_str().ok_or("engine is not a string")?.to_string(),
+            load,
+            counters,
+            cache,
+        })
+    }
+}
+
+/// Render the status endpoint: the text page, or the JSON document when
+/// the query selects `format=json`.
+pub fn render(shared: &NodeShared, query: Option<&str>) -> Response {
+    let report = StatusReport::gather(shared);
+    let json = query
+        .map(|q| q.split('&').any(|kv| kv == "format=json"))
+        .unwrap_or(false);
+    if json {
+        Response::ok(report.to_json().render(), "application/json")
+    } else {
+        Response::ok(report.to_text(), "text/plain")
+    }
+}
+
+/// Render the `/metrics` exposition: every registry series, plus the
+/// file-cache series (the cache predates the registry and keeps its own
+/// atomics; it is rendered as first-class metrics here).
+pub fn render_metrics(shared: &NodeShared) -> Response {
+    let mut out = shared.stats.registry.render_prometheus();
+    let cache = &shared.file_cache;
+    out.push_str("# HELP sweb_file_cache_hits_total Document cache hits\n");
+    out.push_str("# TYPE sweb_file_cache_hits_total counter\n");
+    out.push_str(&format!("sweb_file_cache_hits_total {}\n", cache.hits()));
+    out.push_str("# HELP sweb_file_cache_misses_total Document cache misses\n");
+    out.push_str("# TYPE sweb_file_cache_misses_total counter\n");
+    out.push_str(&format!("sweb_file_cache_misses_total {}\n", cache.misses()));
+    out.push_str("# HELP sweb_file_cache_collisions_total Cache key collisions\n");
+    out.push_str("# TYPE sweb_file_cache_collisions_total counter\n");
+    out.push_str(&format!("sweb_file_cache_collisions_total {}\n", cache.collisions()));
+    out.push_str("# HELP sweb_file_cache_used_bytes Bytes currently cached\n");
+    out.push_str("# TYPE sweb_file_cache_used_bytes gauge\n");
+    out.push_str(&format!("sweb_file_cache_used_bytes {}\n", cache.used()));
+    out.push_str("# HELP sweb_file_cache_capacity_bytes Cache capacity\n");
+    out.push_str("# TYPE sweb_file_cache_capacity_bytes gauge\n");
+    out.push_str(&format!("sweb_file_cache_capacity_bytes {}\n", cache.capacity()));
+    out.push_str("# HELP sweb_file_cache_digest_bits Bits set in the advertised Bloom digest\n");
+    out.push_str("# TYPE sweb_file_cache_digest_bits gauge\n");
+    out.push_str(&format!("sweb_file_cache_digest_bits {}\n", cache.digest().ones()));
+    Response::ok(out, "text/plain; version=0.0.4")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> StatusReport {
+        StatusReport {
+            schema_version: STATUS_SCHEMA_VERSION,
+            node: 2,
+            policy: "sweb".to_string(),
+            engine: "reactor".to_string(),
+            load: vec![
+                LoadRow { node: 0, cpu: 1.5, disk: 0.25, net: 0.0, alive: true, age_ms: 12.0 },
+                LoadRow { node: 1, cpu: 0.0, disk: 0.0, net: 3.5, alive: false, age_ms: 2000.0 },
+            ],
+            counters: CounterSnapshot {
+                accepted: 100,
+                served: 90,
+                redirected: 8,
+                received_redirects: 3,
+                bad_requests: 1,
+                accept_errors: 0,
+                shed: 2,
+                evicted: 1,
+                zero_copy: 42,
+                sendfile: 7,
+                active: 5,
+                bytes_in_flight: 123456,
+            },
+            cache: CacheSnapshot {
+                hits: 50,
+                misses: 40,
+                collisions: 0,
+                used_bytes: 1 << 20,
+                capacity_bytes: 16 << 20,
+                digest_bits: 12,
+            },
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let report = sample_report();
+        let text = report.to_json().render();
+        let parsed = Json::parse(&text).expect("our own JSON must parse");
+        let back = StatusReport::from_json(&parsed).expect("schema round trip");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn from_json_rejects_wrong_schema_version() {
+        let report = sample_report();
+        let mut v = report.to_json();
+        if let Json::Obj(members) = &mut v {
+            members[0].1 = Json::Num(99.0);
+        }
+        let err = StatusReport::from_json(&v).unwrap_err();
+        assert!(err.contains("schema_version"), "{err}");
+    }
+
+    #[test]
+    fn from_json_rejects_missing_fields() {
+        let report = sample_report();
+        let mut v = report.to_json();
+        if let Json::Obj(members) = &mut v {
+            members.retain(|(k, _)| k != "counters");
+        }
+        assert!(StatusReport::from_json(&v).is_err());
+    }
+
+    #[test]
+    fn text_view_carries_the_same_numbers() {
+        let report = sample_report();
+        let text = report.to_text();
+        assert!(text.contains("SWEB node n2 — policy sweb — engine reactor"), "{text}");
+        assert!(text.contains("zero-copy         42"), "{text}");
+        assert!(text.contains("active-now        5"), "{text}");
+        assert!(text.contains("file cache: 50 hits, 40 misses"), "{text}");
+        // Two load rows, one per peer.
+        assert!(text.contains("n0") && text.contains("n1"), "{text}");
+    }
 }

@@ -2,7 +2,6 @@
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
-use std::sync::atomic::Ordering;
 use std::time::Duration;
 
 use sweb_core::Policy;
@@ -157,9 +156,9 @@ fn file_locality_redirects_to_home_and_client_follows(engine: Engine) {
     }
     assert!(found, "at least one of 8 hashed docs must be homed off node 0");
     // The origin recorded redirects; some target recorded marked arrivals.
-    assert!(cluster.node(0).stats.redirected.load(Ordering::Relaxed) > 0);
+    assert!(cluster.node(0).stats.redirected.get() > 0);
     let marked: u64 = (0..3)
-        .map(|i| cluster.node(i).stats.received_redirects.load(Ordering::Relaxed))
+        .map(|i| cluster.node(i).stats.received_redirects.get())
         .sum();
     assert!(marked > 0, "targets must observe the redirect-once marker");
     cluster.shutdown();
@@ -188,7 +187,7 @@ fn round_robin_policy_never_redirects(engine: Engine) {
         assert_eq!(resp.redirects, 0);
     }
     for i in 0..3 {
-        assert_eq!(cluster.node(i).stats.redirected.load(Ordering::Relaxed), 0);
+        assert_eq!(cluster.node(i).stats.redirected.get(), 0);
     }
     cluster.shutdown();
 }
@@ -216,7 +215,7 @@ fn concurrent_clients_all_succeed(engine: Engine) {
     let total: u32 = handles.into_iter().map(|h| h.join().unwrap()).sum();
     assert_eq!(total, 80);
     let served: u64 =
-        (0..3).map(|i| cluster.node(i).stats.served.load(Ordering::Relaxed)).sum();
+        (0..3).map(|i| cluster.node(i).stats.served.get()).sum();
     assert!(served >= 80, "all requests must be served somewhere, got {served}");
     cluster.shutdown();
 }
@@ -264,7 +263,7 @@ fn pipelined_requests_on_one_connection_all_answered(engine: Engine) {
         "both pipelined requests must be answered: {text}"
     );
     // Second request had no Keep-Alive, so the connection closed after it.
-    assert_eq!(cluster.node(0).stats.served.load(Ordering::Relaxed), 2);
+    assert_eq!(cluster.node(0).stats.served.get(), 2);
     cluster.shutdown();
 }
 
@@ -391,7 +390,7 @@ fn keepalive_session_reuses_one_connection(engine: Engine) {
     assert!(session.reused >= 5, "connection must be reused, got {}", session.reused);
     // Exactly one connection was accepted for all six requests.
     assert_eq!(
-        cluster.node(0).stats.accepted.load(Ordering::Relaxed),
+        cluster.node(0).stats.accepted.get(),
         1,
         "keep-alive must not open new connections"
     );
@@ -408,7 +407,7 @@ fn non_keepalive_clients_still_close_per_request(engine: Engine) {
             Some("keep-alive")
         );
     }
-    assert_eq!(cluster.node(0).stats.accepted.load(Ordering::Relaxed), 3);
+    assert_eq!(cluster.node(0).stats.accepted.get(), 3);
     cluster.shutdown();
 }
 

@@ -4,7 +4,6 @@
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
-use std::sync::atomic::Ordering;
 use std::time::Duration;
 
 use sweb_core::Policy;
@@ -42,7 +41,7 @@ fn admission_control_sheds_with_503_and_counts_it() {
     // Fill the admission cap with idle connections.
     let idle: Vec<TcpStream> = (0..4).map(|_| TcpStream::connect(&addr).unwrap()).collect();
     let deadline = std::time::Instant::now() + Duration::from_secs(2);
-    while cluster.node(0).active.load(Ordering::Relaxed) < 4 {
+    while cluster.node(0).stats.active.get() < 4 {
         assert!(std::time::Instant::now() < deadline, "cap never filled");
         std::thread::sleep(Duration::from_millis(10));
     }
@@ -53,13 +52,13 @@ fn admission_control_sheds_with_503_and_counts_it() {
     let mut out = String::new();
     let _ = extra.read_to_string(&mut out);
     assert!(out.starts_with("HTTP/1.0 503"), "expected shed, got {out:?}");
-    assert!(cluster.node(0).stats.shed.load(Ordering::Relaxed) >= 1);
+    assert!(cluster.node(0).stats.shed.get() >= 1);
 
     // Freeing a slot restores service, and the status page reports the
     // shed (the admission signal the load vector reflects via `active`).
     drop(idle);
     let deadline = std::time::Instant::now() + Duration::from_secs(2);
-    while cluster.node(0).active.load(Ordering::Relaxed) > 0 {
+    while cluster.node(0).stats.active.get() > 0 {
         assert!(std::time::Instant::now() < deadline, "idle conns never reaped");
         std::thread::sleep(Duration::from_millis(10));
     }
@@ -154,8 +153,8 @@ fn large_cached_file_served_intact_with_zero_copy() {
         assert!(resp.body == body, "pass {pass}: corrupted body");
     }
     let node = cluster.node(0);
-    assert!(node.stats.zero_copy.load(Ordering::Relaxed) >= 2, "bodies must go zero-copy");
-    assert_eq!(node.stats.sendfile.load(Ordering::Relaxed), 0, "cacheable file must not stream");
+    assert!(node.stats.zero_copy.get() >= 2, "bodies must go zero-copy");
+    assert_eq!(node.stats.sendfile.get(), 0, "cacheable file must not stream");
     assert_eq!(node.file_cache.hits(), 1, "second fetch must hit the cache");
     cluster.shutdown();
 }
@@ -180,7 +179,7 @@ fn oversized_file_streams_intact() {
     assert!(resp.body == body, "streamed body corrupted or truncated");
     let node = cluster.node(0);
     if cfg!(target_os = "linux") {
-        assert!(node.stats.sendfile.load(Ordering::Relaxed) >= 1, "expected sendfile transmit");
+        assert!(node.stats.sendfile.get() >= 1, "expected sendfile transmit");
     }
     assert_eq!(node.file_cache.used(), 0, "oversized file must not enter the cache");
     cluster.shutdown();

@@ -11,7 +11,7 @@
 //! that completes after the client gave up counts as dropped).
 
 use sweb_cluster::{FileId, NodeId};
-use sweb_core::{Decision, RequestInfo};
+use sweb_core::{RequestInfo, Route};
 use sweb_des::{Sim, SimTime, Thunk};
 use sweb_metrics::Phase;
 
@@ -164,16 +164,11 @@ fn decide(w: &mut World, s: &mut Sim<World>, node: NodeId, mut req: Req) {
     w.trace.record(
         req.id,
         s.now(),
-        TracePoint::Decided {
-            redirect_to: match decision {
-                Decision::Local => None,
-                Decision::Redirect(t) => Some(t),
-            },
-        },
+        TracePoint::Decided { redirect_to: decision.redirect_target() },
     );
-    match decision {
-        Decision::Local => fulfill(w, s, node, req),
-        Decision::Redirect(target) => {
+    match decision.route {
+        Route::Local => fulfill(w, s, node, req),
+        Route::Redirect(target) => {
             let ops = w.cfg.sweb.redirect_ops;
             w.stats.nodes[i].scheduling_ops += ops;
             w.stats.nodes[i].redirected_away += 1;

@@ -1,0 +1,193 @@
+//! Cost-model feedback: predicted `t_s` terms vs measured wall time.
+//!
+//! §3.2's broker estimates `t_s = t_redirection + t_data + t_cpu` for the
+//! node it picks — and the original system never looked back. Here every
+//! locally-fulfilled decision records the winning candidate's predicted
+//! per-term breakdown against the measured fulfillment time, so the
+//! prediction-*error* distribution is a first-class metric: a fleet whose
+//! p99 error drifts has a stale oracle or a mispriced channel, which is
+//! exactly the §6 "dynamic parameter adjustment" future work made
+//! observable.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::hist::AtomicHistogram;
+use crate::registry::{Counter, Registry};
+
+/// Sample slots retained for offline analysis (`enginebench` drains these
+/// into `results/prediction_error.csv`). A ring: newest overwrite oldest.
+const RING_SLOTS: usize = 1024;
+
+/// Sentinel marking an unwritten ring slot.
+const EMPTY: u64 = u64::MAX;
+
+/// One retained prediction/measurement pair, microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredictionSample {
+    /// The broker's predicted completion time for the chosen candidate.
+    pub predicted_us: u64,
+    /// Measured local fulfillment wall time.
+    pub measured_us: u64,
+}
+
+impl PredictionSample {
+    /// Unsigned prediction error as a percentage of the prediction
+    /// (capped at 10 000 % to keep one wild outlier chartable).
+    pub fn error_pct(&self) -> u64 {
+        let p = self.predicted_us.max(1) as f64;
+        let e = (self.measured_us as f64 - p).abs() / p * 100.0;
+        e.min(10_000.0) as u64
+    }
+}
+
+/// Lock-free feedback recorder for one node.
+#[derive(Debug)]
+pub struct CostFeedback {
+    predicted: Arc<AtomicHistogram>,
+    measured: Arc<AtomicHistogram>,
+    error_pct: Arc<AtomicHistogram>,
+    term_us: [Arc<Counter>; 3],
+    decisions: Arc<Counter>,
+    ring: Box<[(AtomicU64, AtomicU64)]>,
+    next: AtomicUsize,
+}
+
+impl CostFeedback {
+    /// Register the feedback metrics on `registry`.
+    pub fn register(registry: &Registry) -> CostFeedback {
+        let predicted = registry.histogram(
+            "sweb_cost_predicted_us",
+            &[],
+            "Broker-predicted completion time of the chosen candidate, microseconds",
+        );
+        let measured = registry.histogram(
+            "sweb_cost_measured_us",
+            &[],
+            "Measured local fulfillment wall time, microseconds",
+        );
+        let error_pct = registry.histogram(
+            "sweb_cost_error_pct",
+            &[],
+            "Unsigned prediction error as percent of prediction",
+        );
+        let term_us = ["redirection", "data", "cpu"].map(|term| {
+            registry.counter(
+                "sweb_cost_predicted_term_us_total",
+                &[("term", term)],
+                "Cumulative predicted microseconds attributed to each cost-model term",
+            )
+        });
+        let decisions = registry.counter(
+            "sweb_cost_feedback_total",
+            &[],
+            "Decisions with both a prediction and a measurement recorded",
+        );
+        let ring = (0..RING_SLOTS)
+            .map(|_| (AtomicU64::new(EMPTY), AtomicU64::new(EMPTY)))
+            .collect();
+        CostFeedback {
+            predicted,
+            measured,
+            error_pct,
+            term_us,
+            decisions,
+            ring,
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// Record one decision: the chosen candidate's predicted per-term
+    /// breakdown (seconds, as the cost model emits) against the measured
+    /// fulfillment wall time.
+    pub fn record(
+        &self,
+        t_redirection_s: f64,
+        t_data_s: f64,
+        t_cpu_s: f64,
+        measured_us: u64,
+    ) {
+        let us = |s: f64| (s.max(0.0) * 1e6) as u64;
+        let (red, data, cpu) = (us(t_redirection_s), us(t_data_s), us(t_cpu_s));
+        let predicted_us = red + data + cpu;
+        self.term_us[0].add(red);
+        self.term_us[1].add(data);
+        self.term_us[2].add(cpu);
+        self.predicted.record(predicted_us);
+        self.measured.record(measured_us);
+        let sample = PredictionSample { predicted_us, measured_us };
+        self.error_pct.record(sample.error_pct());
+        self.decisions.inc();
+        let slot = self.next.fetch_add(1, Ordering::Relaxed) % RING_SLOTS;
+        self.ring[slot].0.store(predicted_us, Ordering::Relaxed);
+        self.ring[slot].1.store(measured_us, Ordering::Relaxed);
+    }
+
+    /// Decisions recorded so far.
+    pub fn decisions(&self) -> u64 {
+        self.decisions.get()
+    }
+
+    /// Approximate `q`-quantile of the prediction-error distribution, in
+    /// percent (log-bucket resolution).
+    pub fn error_pct_quantile(&self, q: f64) -> u64 {
+        self.error_pct.quantile(q)
+    }
+
+    /// Drain a snapshot of the retained (predicted, measured) pairs,
+    /// newest-last up to the ring capacity. Torn pairs under concurrent
+    /// writes are possible and harmless — this feeds offline CSVs, not
+    /// scheduling.
+    pub fn samples(&self) -> Vec<PredictionSample> {
+        self.ring
+            .iter()
+            .filter_map(|(p, m)| {
+                let (p, m) = (p.load(Ordering::Relaxed), m.load(Ordering::Relaxed));
+                (p != EMPTY && m != EMPTY)
+                    .then_some(PredictionSample { predicted_us: p, measured_us: m })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_terms_and_samples() {
+        let reg = Registry::new();
+        let fb = CostFeedback::register(&reg);
+        // Predict 1 ms redirection + 2 ms data + 3 ms cpu; measure 9 ms.
+        fb.record(0.001, 0.002, 0.003, 9_000);
+        assert_eq!(fb.decisions(), 1);
+        let s = fb.samples();
+        assert_eq!(s, vec![PredictionSample { predicted_us: 6_000, measured_us: 9_000 }]);
+        assert_eq!(s[0].error_pct(), 50);
+        let text = reg.render_prometheus();
+        assert!(text.contains("sweb_cost_predicted_term_us_total{term=\"data\"} 2000"));
+        assert!(text.contains("sweb_cost_feedback_total 1"));
+    }
+
+    #[test]
+    fn ring_keeps_the_newest_samples() {
+        let reg = Registry::new();
+        let fb = CostFeedback::register(&reg);
+        for i in 0..(RING_SLOTS + 10) {
+            fb.record(0.0, 0.0, i as f64 * 1e-6, i as u64);
+        }
+        let samples = fb.samples();
+        assert_eq!(samples.len(), RING_SLOTS);
+        assert_eq!(fb.decisions(), (RING_SLOTS + 10) as u64);
+        // The overwritten slots now hold the wrap-around values.
+        assert!(samples.iter().any(|s| s.measured_us == RING_SLOTS as u64 + 9));
+    }
+
+    #[test]
+    fn error_pct_guards_division_and_caps() {
+        let zero_pred = PredictionSample { predicted_us: 0, measured_us: 1_000_000 };
+        assert_eq!(zero_pred.error_pct(), 10_000, "capped, not infinite");
+        let exact = PredictionSample { predicted_us: 500, measured_us: 500 };
+        assert_eq!(exact.error_pct(), 0);
+    }
+}

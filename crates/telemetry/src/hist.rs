@@ -1,0 +1,174 @@
+//! A concurrent fixed-bucket log-scale histogram.
+//!
+//! `sweb_metrics::Histogram` records through `&mut self` — fine for the
+//! simulator's single-threaded statistics pass, unusable for dozens of
+//! connection threads sharing one latency distribution. This histogram
+//! trades its cousin's adaptive range for a fixed, power-of-four bucket
+//! ladder so every `record` is two relaxed atomic adds and the exposition
+//! format is stable enough to golden-test.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Upper bounds (inclusive) of the finite buckets, in the recorded unit
+/// (microseconds for latencies, percent for prediction error). Powers of
+/// four from 1 to ~4.2 M: 1 µs resolution at the bottom, ~4.2 s at the
+/// top, 12 finite buckets + one overflow — small enough to scrape per
+/// phase, wide enough for a slow disk or a 10 s eviction timeout.
+pub(crate) const BUCKET_BOUNDS: [u64; 12] = [
+    1,
+    4,
+    16,
+    64,
+    256,
+    1_024,
+    4_096,
+    16_384,
+    65_536,
+    262_144,
+    1_048_576,
+    4_194_304,
+];
+
+/// A lock-free log-scale histogram: fixed bucket bounds, relaxed atomic
+/// counts, recordable from any thread through a shared reference.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    /// One count per finite bound plus the `+Inf` overflow bucket.
+    buckets: [AtomicU64; BUCKET_BOUNDS.len() + 1],
+    /// Total recorded observations.
+    count: AtomicU64,
+    /// Sum of recorded values (saturating; the unit of whatever is fed in).
+    sum: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        AtomicHistogram::new()
+    }
+}
+
+impl AtomicHistogram {
+    /// An empty histogram over the standard power-of-four bucket ladder.
+    pub fn new() -> AtomicHistogram {
+        AtomicHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&self, value: u64) {
+        let idx = BUCKET_BOUNDS
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(BUCKET_BOUNDS.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean recorded value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Approximate `q`-quantile (`0.0 ..= 1.0`): the upper bound of the
+    /// bucket containing the `q`-th observation, `u64::MAX` when it landed
+    /// in the overflow bucket, 0 when empty. Log-bucket resolution — good
+    /// for "p99 within 4×", which is what a scheduler sanity check needs.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return BUCKET_BOUNDS.get(i).copied().unwrap_or(u64::MAX);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Per-bucket counts paired with their upper bounds; the final entry
+    /// is the `+Inf` overflow bucket (`None` bound). Counts are
+    /// *non-cumulative*; the Prometheus renderer accumulates.
+    pub fn snapshot(&self) -> Vec<(Option<u64>, u64)> {
+        let mut out = Vec::with_capacity(self.buckets.len());
+        for (i, b) in self.buckets.iter().enumerate() {
+            out.push((BUCKET_BOUNDS.get(i).copied(), b.load(Ordering::Relaxed)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_log_buckets() {
+        let h = AtomicHistogram::new();
+        h.record(0); // ≤ 1
+        h.record(1); // ≤ 1
+        h.record(2); // ≤ 4
+        h.record(1_000_000); // ≤ 1_048_576
+        h.record(u64::MAX / 2); // overflow
+        assert_eq!(h.count(), 5);
+        let snap = h.snapshot();
+        assert_eq!(snap[0], (Some(1), 2));
+        assert_eq!(snap[1], (Some(4), 1));
+        assert_eq!(snap.last().unwrap(), &(None, 1));
+        assert_eq!(snap.iter().map(|&(_, c)| c).sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn quantiles_bound_the_distribution() {
+        let h = AtomicHistogram::new();
+        for _ in 0..99 {
+            h.record(10); // bucket ≤ 16
+        }
+        h.record(100_000); // bucket ≤ 262_144
+        assert_eq!(h.quantile(0.5), 16);
+        assert_eq!(h.quantile(1.0), 262_144);
+        assert_eq!(AtomicHistogram::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn concurrent_records_never_lose_counts() {
+        let h = std::sync::Arc::new(AtomicHistogram::new());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1_000u64 {
+                        h.record(t * 1_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 8_000);
+        assert_eq!(h.snapshot().iter().map(|&(_, c)| c).sum::<u64>(), 8_000);
+    }
+}

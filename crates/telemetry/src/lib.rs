@@ -1,0 +1,39 @@
+//! # sweb-telemetry — live observability for the SWEB cluster
+//!
+//! The paper's scheduler (§3.2) is only as good as the load and cost
+//! information it acts on, yet the original system never *checked* its own
+//! predictions. This crate is the measurement layer both live connection
+//! engines share:
+//!
+//! * a **lock-free metric registry** ([`Registry`]) of atomic
+//!   [`Counter`]s, [`Gauge`]s and fixed-bucket log-scale
+//!   [`AtomicHistogram`]s — registration takes a lock once, every
+//!   increment after that is a single atomic op on an `Arc` handle;
+//! * **per-request phase timing** ([`PhaseTimes`]): accept → parse →
+//!   decide → fetch → write, recorded identically by the reactor and the
+//!   thread-per-connection engine;
+//! * **cost-model feedback** ([`CostFeedback`]): every locally-served
+//!   decision records the broker's predicted `t_redirection`/`t_data`/
+//!   `t_cpu` against the measured fulfillment wall time, making
+//!   prediction-error histograms first-class metrics;
+//! * a **Prometheus-style text exposition**
+//!   ([`Registry::render_prometheus`]) and a minimal, dependency-free
+//!   [`Json`] value type (writer *and* parser) for the typed
+//!   `/sweb-status?format=json` API.
+//!
+//! Everything here is `std`-only by design: the registry must be usable
+//! from the innermost I/O loops without pulling in a dependency tree.
+
+#![warn(missing_docs)]
+
+mod feedback;
+mod hist;
+mod json;
+mod phases;
+mod registry;
+
+pub use feedback::{CostFeedback, PredictionSample};
+pub use hist::AtomicHistogram;
+pub use json::Json;
+pub use phases::{Phase, PhaseTimes};
+pub use registry::{line_is_well_formed, Counter, Gauge, Registry};

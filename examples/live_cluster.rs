@@ -54,9 +54,9 @@ fn main() {
         let stats = &cluster.node(i).stats;
         println!(
             "  node {i}: accepted {:2}  served {:2}  redirected-away {:2}",
-            stats.accepted.load(std::sync::atomic::Ordering::Relaxed),
-            stats.served.load(std::sync::atomic::Ordering::Relaxed),
-            stats.redirected.load(std::sync::atomic::Ordering::Relaxed),
+            stats.accepted.get(),
+            stats.served.get(),
+            stats.redirected.get(),
         );
     }
     cluster.shutdown();

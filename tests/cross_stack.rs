@@ -4,7 +4,7 @@
 use std::time::Duration;
 
 use sweb::cluster::{presets, FileId, NodeId};
-use sweb::core::{analytic, Broker, CostModel, Decision, LoadTable, Policy, RequestInfo, SwebConfig};
+use sweb::core::{analytic, Broker, CostModel, LoadTable, Policy, RequestInfo, Route, SwebConfig};
 use sweb::server::{client, ClusterConfig, LiveCluster};
 use sweb::sim::{ClusterSim, SimConfig};
 use sweb::workload::{ArrivalSchedule, FilePopulation};
@@ -169,5 +169,5 @@ fn broker_with_dead_peers_serves_locally() {
     let broker = Broker::new(Policy::FileLocality, CostModel::new(SwebConfig::default()));
     let req = RequestInfo::fetch(FileId(0), 1_500_000, NodeId(2), 1e6);
     let d = broker.decide(&req, NodeId(0), &sweb::core::CostInputs { cluster: &cluster, loads: &loads });
-    assert_eq!(d, Decision::Local);
+    assert_eq!(d.route, Route::Local);
 }
