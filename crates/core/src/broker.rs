@@ -133,7 +133,14 @@ impl Broker {
         match self.policy {
             Policy::RoundRobin => Decision::local(at(origin)),
             Policy::FileLocality => {
-                if req.home == origin || !inputs.loads.is_alive(req.home) {
+                // A 302 is a commitment the client pays a round trip for:
+                // it is only made to a strictly-Alive home. A Suspect home
+                // (silent for more than a loadd period) degrades to local
+                // service — the at-most-one-redirect rule means a wrong
+                // 302 cannot be repaired downstream.
+                if req.home == origin
+                    || inputs.loads.health(req.home) != crate::load::PeerHealth::Alive
+                {
                     Decision::local(at(origin))
                 } else {
                     Decision::redirect(req.home, at(req.home))
@@ -142,7 +149,7 @@ impl Broker {
             Policy::LeastLoadedCpu => {
                 let best = inputs
                     .loads
-                    .alive_nodes()
+                    .candidates()
                     .min_by(|&a, &b| {
                         let (la, lb) = (inputs.loads.load(a).cpu, inputs.loads.load(b).cpu);
                         la.partial_cmp(&lb).expect("loads are finite")
@@ -157,7 +164,7 @@ impl Broker {
             Policy::Sweb => {
                 let mut best = origin;
                 let mut best_cost = at(origin);
-                for node in inputs.loads.alive_nodes() {
+                for node in inputs.loads.candidates() {
                     if node == origin {
                         continue;
                     }
@@ -281,6 +288,31 @@ mod tests {
         let inputs = CostInputs { cluster: &cluster, loads: &loads };
         let d = broker.decide(&fetch(3, 1_500_000), NodeId(0), &inputs);
         assert_eq!(d.route, Route::Local, "must not redirect to a dead home node");
+    }
+
+    #[test]
+    fn suspect_nodes_are_not_redirect_targets() {
+        // Congested interconnect: SWEB would redirect to the home node
+        // (see the contention test above) — unless that node went silent
+        // for a loadd period, in which case the broker degrades to local
+        // service rather than 302 a client at a possibly-dead peer.
+        let cluster = presets::meiko(4);
+        let mut loads = LoadTable::new(4);
+        for n in 0..4 {
+            loads.update(NodeId(n), LoadVector::new(0.0, 0.0, 6.0), SimTime::ZERO);
+        }
+        // Node 0 stays fresh; 1-3 have missed one period but not the
+        // staleness timeout: Suspect, still counted for capacity.
+        loads.update(NodeId(0), LoadVector::new(0.0, 0.0, 6.0), SimTime::from_secs(3));
+        loads.mark_stale(SimTime::from_secs(3), SimTime::from_secs(2), SimTime::from_secs(8));
+        assert_eq!(loads.health(NodeId(3)), crate::load::PeerHealth::Suspect);
+        assert_eq!(loads.alive_nodes().count(), 4, "suspects still count for capacity");
+        let inputs = CostInputs { cluster: &cluster, loads: &loads };
+        for policy in [Policy::Sweb, Policy::FileLocality, Policy::LeastLoadedCpu] {
+            let broker = Broker::new(policy, CostModel::new(SwebConfig::default()));
+            let d = broker.decide(&fetch(3, 1_500_000), NodeId(0), &inputs);
+            assert_eq!(d.route, Route::Local, "{policy} redirected to a Suspect node");
+        }
     }
 
     #[test]

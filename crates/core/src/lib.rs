@@ -41,7 +41,7 @@ pub use broker::{Broker, Decision, Route};
 pub use config::{RedirectMechanism, SwebConfig};
 pub use cost::{CostBreakdown, CostInputs, CostModel};
 pub use digest::{CacheDigest, DIGEST_BYTES};
-pub use load::{LoadTable, LoadVector, LoaddTimer};
+pub use load::{HealthChurn, LoadTable, LoadVector, LoaddTimer, PeerHealth};
 pub use oracle::{CostProfile, Oracle, OracleRule};
 pub use policy::Policy;
 pub use types::RequestInfo;

@@ -35,11 +35,81 @@ impl LoadVector {
     }
 }
 
+/// A peer's availability as this node believes it — the three-state
+/// health machine the failure-domain hardening runs on:
+///
+/// ```text
+///            fresh packet                fresh packet
+///        ┌────────────────┐          ┌─────────────────┐
+///        ▼                │          ▼                 │
+///   ┌─────────┐  silence > 1 period  ┌─────────┐  silence > stale
+///   │  Alive  │ ───────────────────▶ │ Suspect │ ────────────────▶ Dead
+///   └─────────┘                      └─────────┘
+/// ```
+///
+/// `Suspect` is the asymmetric middle state: the peer is *excluded from
+/// redirect candidates* (the broker will not 302 a client at a node that
+/// has gone silent past the suspicion threshold — the live cluster and
+/// sim use two loadd periods, one missed packet plus a period of margin
+/// for jitter) but still *counted for
+/// capacity* (`is_alive`/[`LoadTable::alive_nodes`]), because one missed
+/// datagram is far more often loss than death. Only `Dead` — staleness
+/// past the full timeout, or an explicit leave — removes the peer from
+/// the pool. The only way out of `Dead` is a fresh packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerHealth {
+    /// Heard from within the suspicion threshold: full scheduling candidate.
+    Alive,
+    /// Silent past the suspicion threshold but short of the staleness
+    /// timeout: kept for capacity, excluded from redirect candidacy.
+    Suspect,
+    /// Silent past the staleness timeout, or announced leaving.
+    Dead,
+}
+
+impl PeerHealth {
+    /// Lowercase name, as the status API serializes it.
+    pub fn name(self) -> &'static str {
+        match self {
+            PeerHealth::Alive => "alive",
+            PeerHealth::Suspect => "suspect",
+            PeerHealth::Dead => "dead",
+        }
+    }
+
+    /// Parse the lowercase name back (the status JSON round trip).
+    pub fn parse(s: &str) -> Option<PeerHealth> {
+        match s {
+            "alive" => Some(PeerHealth::Alive),
+            "suspect" => Some(PeerHealth::Suspect),
+            "dead" => Some(PeerHealth::Dead),
+            _ => None,
+        }
+    }
+}
+
+/// What one staleness pass changed: the membership churn a node's loadd
+/// should count and log.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HealthChurn {
+    /// Nodes that just went `Alive → Suspect`.
+    pub suspected: Vec<NodeId>,
+    /// Nodes that just went `Alive`/`Suspect` `→ Dead`.
+    pub died: Vec<NodeId>,
+}
+
+impl HealthChurn {
+    /// True when the pass changed nothing.
+    pub fn is_empty(&self) -> bool {
+        self.suspected.is_empty() && self.died.is_empty()
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Entry {
     load: LoadVector,
     updated: SimTime,
-    alive: bool,
+    health: PeerHealth,
     /// Whether we have ever heard from this node.
     known: bool,
     /// Last advertised cache digest (empty until one arrives — legacy
@@ -65,7 +135,7 @@ impl LoadTable {
                 Entry {
                     load: LoadVector::IDLE,
                     updated: SimTime::ZERO,
-                    alive: true,
+                    health: PeerHealth::Alive,
                     known: false,
                     digest: CacheDigest::EMPTY,
                 };
@@ -85,38 +155,68 @@ impl LoadTable {
     }
 
     /// Record a load report from `node` at time `now`. Hearing from a node
-    /// (re)marks it alive — this is how leaving nodes rejoin the pool.
-    pub fn update(&mut self, node: NodeId, load: LoadVector, now: SimTime) {
+    /// (re)marks it [`PeerHealth::Alive`] — this is how leaving nodes
+    /// rejoin the pool, and the *only* path out of `Dead`. Returns the
+    /// previous health so callers can count/log revivals.
+    pub fn update(&mut self, node: NodeId, load: LoadVector, now: SimTime) -> PeerHealth {
         let e = &mut self.entries[node.index()];
+        let prev = e.health;
         e.load = load;
         e.updated = now;
-        e.alive = true;
+        e.health = PeerHealth::Alive;
         e.known = true;
+        prev
     }
 
-    /// Mark nodes that have been silent longer than `timeout` as
-    /// unavailable. Returns the nodes that just transitioned to dead.
-    /// Nodes never heard from are exempt until they first report (the boot
-    /// grace the paper's "preset period" implies).
-    pub fn mark_stale(&mut self, now: SimTime, timeout: SimTime) -> Vec<NodeId> {
-        let mut newly_dead = Vec::new();
+    /// Run one staleness pass: nodes silent longer than `suspect_after`
+    /// become [`PeerHealth::Suspect`] (out of redirect candidacy, still
+    /// counted for capacity); nodes silent longer than `dead_after`
+    /// become [`PeerHealth::Dead`]. Each transition is reported once, in
+    /// the returned [`HealthChurn`]. Nodes never heard from are exempt
+    /// until they first report (the boot grace the paper's "preset
+    /// period" implies).
+    pub fn mark_stale(
+        &mut self,
+        now: SimTime,
+        suspect_after: SimTime,
+        dead_after: SimTime,
+    ) -> HealthChurn {
+        let mut churn = HealthChurn::default();
         for (i, e) in self.entries.iter_mut().enumerate() {
-            if e.alive && e.known && now.saturating_sub(e.updated) > timeout {
-                e.alive = false;
-                newly_dead.push(NodeId(i as u32));
+            if !e.known || e.health == PeerHealth::Dead {
+                continue;
+            }
+            let silence = now.saturating_sub(e.updated);
+            if silence > dead_after {
+                e.health = PeerHealth::Dead;
+                churn.died.push(NodeId(i as u32));
+            } else if silence > suspect_after && e.health == PeerHealth::Alive {
+                e.health = PeerHealth::Suspect;
+                churn.suspected.push(NodeId(i as u32));
             }
         }
-        newly_dead
+        churn
     }
 
-    /// Explicitly remove a node from the pool (administrative leave).
-    pub fn mark_dead(&mut self, node: NodeId) {
-        self.entries[node.index()].alive = false;
+    /// Explicitly remove a node from the pool (administrative leave, or a
+    /// loadd "leaving" announcement). Returns the previous health so
+    /// callers can count/log the eviction.
+    pub fn mark_dead(&mut self, node: NodeId) -> PeerHealth {
+        let e = &mut self.entries[node.index()];
+        std::mem::replace(&mut e.health, PeerHealth::Dead)
     }
 
-    /// Whether `node` is currently believed available.
+    /// Whether `node` is currently counted in the pool's capacity: not
+    /// `Dead`. A `Suspect` node is still "alive" in this sense — it is
+    /// only barred from *receiving redirects* (see
+    /// [`LoadTable::candidates`]).
     pub fn is_alive(&self, node: NodeId) -> bool {
-        self.entries[node.index()].alive
+        self.entries[node.index()].health != PeerHealth::Dead
+    }
+
+    /// `node`'s current three-state health.
+    pub fn health(&self, node: NodeId) -> PeerHealth {
+        self.entries[node.index()].health
     }
 
     /// Advertised load of `node`.
@@ -142,12 +242,26 @@ impl LoadTable {
         self.entries[node.index()].updated
     }
 
-    /// Iterate currently-available nodes.
+    /// Iterate nodes counted in the pool's capacity (everything not
+    /// `Dead`, including `Suspect`). Use [`LoadTable::candidates`] when
+    /// picking a redirect target.
     pub fn alive_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.entries
             .iter()
             .enumerate()
-            .filter(|(_, e)| e.alive)
+            .filter(|(_, e)| e.health != PeerHealth::Dead)
+            .map(|(i, _)| NodeId(i as u32))
+    }
+
+    /// Iterate redirect candidates: strictly `Alive` nodes. The broker
+    /// must never 302 a client at a `Suspect` peer — the 302 is a
+    /// commitment the client pays a round trip for, so it is only made to
+    /// a node heard from within the last loadd period.
+    pub fn candidates(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.health == PeerHealth::Alive)
             .map(|(i, _)| NodeId(i as u32))
     }
 
@@ -225,26 +339,55 @@ mod tests {
         lt.update(NodeId(0), LoadVector::IDLE, t(0));
         lt.update(NodeId(1), LoadVector::IDLE, t(0));
         lt.update(NodeId(0), LoadVector::IDLE, t(8));
-        let dead = lt.mark_stale(t(11), t(10));
-        assert_eq!(dead, vec![NodeId(1)]);
+        let churn = lt.mark_stale(t(11), t(2), t(10));
+        assert_eq!(churn.died, vec![NodeId(1)]);
         assert!(!lt.is_alive(NodeId(1)));
         assert!(lt.is_alive(NodeId(0)));
         assert_eq!(lt.alive_nodes().collect::<Vec<_>>(), vec![NodeId(0)]);
-        // The node rejoins by reporting again.
-        lt.update(NodeId(1), LoadVector::IDLE, t(12));
+        // The node rejoins by reporting again, and the revival is visible
+        // to the caller as the previous health.
+        assert_eq!(lt.update(NodeId(1), LoadVector::IDLE, t(12)), PeerHealth::Dead);
         assert!(lt.is_alive(NodeId(1)));
         // mark_stale reports each death once.
-        assert!(lt.mark_stale(t(13), t(10)).is_empty());
+        assert!(lt.mark_stale(t(13), t(2), t(10)).died.is_empty());
+    }
+
+    #[test]
+    fn silence_goes_through_suspect_before_dead() {
+        let mut lt = LoadTable::new(2);
+        lt.update(NodeId(0), LoadVector::IDLE, t(0));
+        lt.update(NodeId(1), LoadVector::IDLE, t(0));
+        // One missed period: suspect, not dead.
+        let churn = lt.mark_stale(t(3), t(2), t(10));
+        assert_eq!(churn.suspected, vec![NodeId(0), NodeId(1)]);
+        assert!(churn.died.is_empty());
+        for n in [NodeId(0), NodeId(1)] {
+            assert_eq!(lt.health(n), PeerHealth::Suspect);
+            assert!(lt.is_alive(n), "suspect still counts for capacity");
+        }
+        // Suspect nodes are out of the redirect candidate pool...
+        assert_eq!(lt.candidates().count(), 0);
+        assert_eq!(lt.alive_nodes().count(), 2);
+        // ...each transition is reported exactly once...
+        assert!(lt.mark_stale(t(4), t(2), t(10)).is_empty());
+        // ...a fresh packet restores full candidacy...
+        assert_eq!(lt.update(NodeId(0), LoadVector::IDLE, t(5)), PeerHealth::Suspect);
+        assert_eq!(lt.health(NodeId(0)), PeerHealth::Alive);
+        assert_eq!(lt.candidates().collect::<Vec<_>>(), vec![NodeId(0)]);
+        // ...and continued silence crosses into dead.
+        let churn = lt.mark_stale(t(11), t(2), t(10));
+        assert_eq!(churn.died, vec![NodeId(1)]);
+        assert_eq!(lt.health(NodeId(1)), PeerHealth::Dead);
     }
 
     #[test]
     fn unknown_nodes_get_boot_grace() {
         let mut lt = LoadTable::new(2);
         // Never heard from either; must not be declared dead.
-        assert!(lt.mark_stale(t(100), t(10)).is_empty());
+        assert!(lt.mark_stale(t(100), t(10), t(50)).is_empty());
         assert!(lt.is_alive(NodeId(0)));
         lt.update(NodeId(0), LoadVector::IDLE, t(100));
-        assert_eq!(lt.mark_stale(t(200), t(10)), vec![NodeId(0)]);
+        assert_eq!(lt.mark_stale(t(200), t(10), t(50)).died, vec![NodeId(0)]);
     }
 
     #[test]
@@ -265,8 +408,10 @@ mod tests {
     #[test]
     fn mark_dead_removes_from_pool() {
         let mut lt = LoadTable::new(3);
-        lt.mark_dead(NodeId(2));
+        assert_eq!(lt.mark_dead(NodeId(2)), PeerHealth::Alive);
         assert_eq!(lt.alive_nodes().count(), 2);
+        // Marking dead twice reports Dead the second time (idempotent).
+        assert_eq!(lt.mark_dead(NodeId(2)), PeerHealth::Dead);
     }
 
     #[test]

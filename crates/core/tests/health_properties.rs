@@ -1,0 +1,165 @@
+//! Property tests for the `Alive → Suspect → Dead` peer health machine.
+//!
+//! These pin the two safety invariants the chaos harness leans on:
+//! a peer never resurrects without a fresh loadd packet, and the broker's
+//! redirect candidate pool never contains a `Suspect` or `Dead` peer.
+
+use proptest::prelude::*;
+use sweb_cluster::{presets, FileId, NodeId};
+use sweb_core::{
+    Broker, CostInputs, CostModel, LoadTable, LoadVector, PeerHealth, Policy, RequestInfo, Route,
+    SwebConfig,
+};
+use sweb_des::SimTime;
+
+/// One step an operator or the network can take against a load table.
+/// Decoded from a `(kind, node, at_ms)` tuple (the vendored proptest
+/// subset has no `prop_oneof`): kind 0 = fresh packet from `node` at
+/// `at_ms`, kind 1 = explicit leave / hard eviction, kind 2 = staleness
+/// sweep at `at_ms`.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    Packet { node: u32, at_ms: u64 },
+    Kill { node: u32 },
+    Sweep { at_ms: u64 },
+}
+
+fn decode_step((kind, node, at_ms): (u8, u32, u64), n: u32) -> Step {
+    match kind % 3 {
+        0 => Step::Packet { node: node % n, at_ms },
+        1 => Step::Kill { node: node % n },
+        _ => Step::Sweep { at_ms },
+    }
+}
+
+fn step_tuples() -> proptest::collection::VecStrategy<(std::ops::Range<u8>, std::ops::Range<u32>, std::ops::Range<u64>)> {
+    proptest::collection::vec((0u8..3, 0u32..8, 0u64..20_000), 1..64)
+}
+
+const SUSPECT_AFTER: SimTime = SimTime::from_millis(500);
+const DEAD_AFTER: SimTime = SimTime::from_millis(2_000);
+
+proptest! {
+    /// A `Dead` peer only ever becomes `Alive` again through a fresh
+    /// packet (`update`), never through a staleness sweep or the passage
+    /// of time. Conversely, `update` always restores `Alive`.
+    #[test]
+    fn dead_needs_a_fresh_packet_to_revive(
+        n in 2u32..8,
+        raw_steps in step_tuples(),
+    ) {
+        let mut lt = LoadTable::new(n as usize);
+        for i in 0..n {
+            lt.update(NodeId(i), LoadVector::new(1.0, 1.0, 1.0), SimTime::ZERO);
+        }
+        let mut clock = SimTime::ZERO;
+        for step in raw_steps.into_iter().map(|t| decode_step(t, n)) {
+            let before: Vec<PeerHealth> = (0..n).map(|i| lt.health(NodeId(i))).collect();
+            match step {
+                Step::Packet { node, at_ms } => {
+                    let node = NodeId(node % n);
+                    clock = clock.max(SimTime::from_millis(at_ms));
+                    lt.update(node, LoadVector::new(1.0, 1.0, 1.0), clock);
+                    prop_assert_eq!(lt.health(node), PeerHealth::Alive,
+                        "a fresh packet must always restore Alive");
+                }
+                Step::Kill { node } => {
+                    lt.mark_dead(NodeId(node % n));
+                }
+                Step::Sweep { at_ms } => {
+                    clock = clock.max(SimTime::from_millis(at_ms));
+                    lt.mark_stale(clock, SUSPECT_AFTER, DEAD_AFTER);
+                    for i in 0..n {
+                        if before[i as usize] == PeerHealth::Dead {
+                            prop_assert_eq!(lt.health(NodeId(i)), PeerHealth::Dead,
+                                "sweep resurrected node {} without a packet", i);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// `candidates()` is exactly the `Alive` subset: it never yields a
+    /// `Suspect` or `Dead` peer, and `alive_nodes()` (the capacity view)
+    /// is always a superset that additionally keeps `Suspect` peers.
+    #[test]
+    fn candidates_exclude_suspects(
+        n in 2u32..8,
+        raw_steps in step_tuples(),
+    ) {
+        let mut lt = LoadTable::new(n as usize);
+        for i in 0..n {
+            lt.update(NodeId(i), LoadVector::new(1.0, 1.0, 1.0), SimTime::ZERO);
+        }
+        let mut clock = SimTime::ZERO;
+        for step in raw_steps.into_iter().map(|t| decode_step(t, n)) {
+            match step {
+                Step::Packet { node, at_ms } => {
+                    clock = clock.max(SimTime::from_millis(at_ms));
+                    lt.update(NodeId(node), LoadVector::new(1.0, 1.0, 1.0), clock);
+                }
+                Step::Kill { node } => {
+                    lt.mark_dead(NodeId(node));
+                }
+                Step::Sweep { at_ms } => {
+                    clock = clock.max(SimTime::from_millis(at_ms));
+                    lt.mark_stale(clock, SUSPECT_AFTER, DEAD_AFTER);
+                }
+            }
+            let candidates: Vec<NodeId> = lt.candidates().collect();
+            for node in &candidates {
+                prop_assert_eq!(lt.health(*node), PeerHealth::Alive,
+                    "candidate {} is not Alive", node);
+            }
+            let alive: Vec<NodeId> = lt.alive_nodes().collect();
+            for node in &candidates {
+                prop_assert!(alive.contains(node),
+                    "candidate {} missing from the capacity view", node);
+            }
+            for node in alive {
+                let h = lt.health(node);
+                prop_assert!(h == PeerHealth::Alive || h == PeerHealth::Suspect,
+                    "capacity view contains {} in state {:?}", node, h);
+            }
+        }
+    }
+
+    /// End-to-end: no policy ever issues a redirect to a peer that is
+    /// `Suspect` or `Dead` at decision time.
+    #[test]
+    fn no_policy_redirects_to_unhealthy_peers(
+        n in 2u32..8,
+        silent in proptest::collection::vec(any::<bool>(), 8),
+        killed in proptest::collection::vec(any::<bool>(), 8),
+        home in 0u32..8,
+        size in 1u64..2_000_000,
+    ) {
+        let cluster = presets::meiko(n as usize);
+        let mut lt = LoadTable::new(n as usize);
+        // Node 0 (the origin) always stays fresh; others may have gone
+        // silent past the suspect threshold or been killed outright.
+        let now = SimTime::from_millis(1_000);
+        lt.update(NodeId(0), LoadVector::new(5.0, 5.0, 5.0), now);
+        for i in 1..n {
+            let at = if silent[i as usize] { SimTime::ZERO } else { now };
+            lt.update(NodeId(i), LoadVector::new(0.0, 0.0, 0.0), at);
+        }
+        lt.mark_stale(now, SUSPECT_AFTER, DEAD_AFTER);
+        for i in 1..n {
+            if killed[i as usize] {
+                lt.mark_dead(NodeId(i));
+            }
+        }
+        let inputs = CostInputs { cluster: &cluster, loads: &lt };
+        let req = RequestInfo::fetch(FileId(0), size, NodeId(home % n), 1e6);
+        for policy in [Policy::RoundRobin, Policy::FileLocality, Policy::LeastLoadedCpu, Policy::Sweb] {
+            let broker = Broker::new(policy, CostModel::new(SwebConfig::default()));
+            let d = broker.decide(&req, NodeId(0), &inputs);
+            if let Route::Redirect(target) = d.route {
+                prop_assert_eq!(lt.health(target), PeerHealth::Alive,
+                    "{} redirected to {} in state {:?}", policy, target, lt.health(target));
+            }
+        }
+    }
+}

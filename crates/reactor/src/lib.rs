@@ -58,7 +58,7 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use sweb_http::{try_parse_request, Method, Request, Response, StatusCode};
-use sweb_telemetry::Phase;
+use sweb_telemetry::{Phase, RequestDeadline};
 
 use slab::Slab;
 use sys::{Event, Interest, Poller};
@@ -94,6 +94,21 @@ impl From<Response> for Reply {
     }
 }
 
+/// Verdict from [`App::accept_gate`], consulted before each accept burst.
+/// Lets the application (or a fault injector riding inside it) throttle
+/// the listener without owning the loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcceptGate {
+    /// Accept normally.
+    Proceed,
+    /// Don't accept right now; re-check after a short park. Pending
+    /// connections wait in the kernel backlog.
+    Pause,
+    /// Treat the accept as if the process were out of file descriptors
+    /// (synthetic `EMFILE`): report the error and back off.
+    FailFd,
+}
+
 /// What the reactor serves. `respond` runs on a **worker thread** (it may
 /// block on disk); every hook runs on the event-loop thread and must be
 /// cheap and non-blocking (counter bumps).
@@ -101,6 +116,14 @@ pub trait App: Send + Sync + 'static {
     /// Produce the response for one parsed request.
     fn respond(&self, peer: &str, req: &Request, body: &[u8]) -> Reply;
 
+    /// Consulted before each accept burst; see [`AcceptGate`].
+    fn accept_gate(&self) -> AcceptGate {
+        AcceptGate::Proceed
+    }
+    /// A request missed a phase checkpoint of its
+    /// [`RequestDeadline`] and was
+    /// answered 503 (or evicted) instead of being allowed to hang.
+    fn on_deadline_overrun(&self) {}
     /// A connection reached `accept` (before admission control).
     fn on_accept(&self) {}
     /// A connection was admitted and is now tracked.
@@ -174,6 +197,12 @@ pub struct ReactorConfig {
     /// thread; when false (or on platforms without it), file payloads are
     /// materialized on a worker thread instead.
     pub use_sendfile: bool,
+    /// Wall-clock budget for one request (first byte to response
+    /// drained). Phase checkpoints are derived from it via
+    /// [`RequestDeadline`]; a request
+    /// missing one is answered 503 + `Retry-After` (or evicted mid-write)
+    /// instead of hanging its client.
+    pub request_budget: Duration,
 }
 
 impl Default for ReactorConfig {
@@ -190,6 +219,7 @@ impl Default for ReactorConfig {
             transmit: TransmitMode::ZeroCopy,
             use_writev: true,
             use_sendfile: true,
+            request_budget: Duration::from_secs(10),
         }
     }
 }
@@ -302,6 +332,11 @@ struct Conn {
     req_started: Option<Instant>,
     /// When the in-progress response was queued (write phase start).
     write_started: Option<Instant>,
+    /// Absolute cutoff (reactor ms) from the request's
+    /// [`RequestDeadline`]: write deadlines are clamped to it so a
+    /// response that can't drain inside the budget is evicted at the
+    /// budget, not at the rolling write timeout.
+    budget_deadline_ms: Option<u64>,
 }
 
 /// A finished `respond` call coming back from the worker pool.
@@ -419,6 +454,27 @@ impl Loop {
     // -------------------------------------------------- accept + admission
 
     fn accept_ready(&mut self) {
+        match self.app.accept_gate() {
+            AcceptGate::Proceed => {}
+            AcceptGate::Pause => {
+                // Hold the backlog: park the listener briefly and re-check
+                // the gate on the way back in.
+                let _ = self.poller.deregister(self.listener.as_raw_fd());
+                self.listener_parked_until = Some(self.now_ms() + 20);
+                return;
+            }
+            AcceptGate::FailFd => {
+                // Synthetic EMFILE: exercise the same backoff path a real
+                // fd-exhausted process would take.
+                let e = io::Error::from_raw_os_error(24);
+                self.app.on_accept_error(&e);
+                self.accept_errors = self.accept_errors.saturating_add(1);
+                let backoff = 5u64.saturating_mul(1 << self.accept_errors.min(8)).min(1000);
+                let _ = self.poller.deregister(self.listener.as_raw_fd());
+                self.listener_parked_until = Some(self.now_ms() + backoff);
+                return;
+            }
+        }
         loop {
             match self.listener.accept() {
                 Ok((stream, peer)) => {
@@ -483,6 +539,7 @@ impl Loop {
             interest: Interest::READ,
             req_started: None,
             write_started: None,
+            budget_deadline_ms: None,
         };
         let (idx, gen) = self.conns.insert(conn);
         let fd = self.conns.get_mut(idx).unwrap().stream.as_raw_fd();
@@ -608,14 +665,14 @@ impl Loop {
 
     fn dispatch(&mut self, idx: usize, req: Request, body: Vec<u8>) {
         let Some(gen) = self.conns.gen_of(idx) else { return };
+        let loop_now_ms = self.now_ms();
         let Some(conn) = self.conns.get_mut(idx) else { return };
         // Pipelined requests whose bytes were already buffered (dispatch
         // straight out of write_done) have no first-byte mark: count 0.
-        let parse_us = conn
-            .req_started
-            .take()
-            .map(|t| t.elapsed().as_micros() as u64)
-            .unwrap_or(0);
+        let started = conn.req_started.take();
+        let parse_us = started.map(|t| t.elapsed().as_micros() as u64).unwrap_or(0);
+        let deadline =
+            RequestDeadline::new(started.unwrap_or_else(Instant::now), self.cfg.request_budget);
         conn.rounds += 1;
         let client_keep = req
             .headers
@@ -625,8 +682,21 @@ impl Loop {
         let keep_alive = client_keep && conn.rounds < self.cfg.keepalive_limit;
         let head_only = req.method == Method::Head;
         conn.state = ConnState::Dispatched;
+        // Clamp this request's eviction to its budget: whatever else
+        // happens, the connection is resolved by the budget's end.
+        conn.budget_deadline_ms =
+            Some(loop_now_ms + deadline.remaining().as_millis() as u64);
         self.set_interest(idx, Interest::NONE);
         self.app.on_phase(Phase::Parse, parse_us);
+        if deadline.overrun(Phase::Parse) {
+            // A trickled head already ate most of the budget: refuse the
+            // work before paying for fulfillment.
+            self.app.on_deadline_overrun();
+            let resp = overloaded_response();
+            let (head, body) = resp.to_wire_parts(false);
+            self.start_write(idx, head, body, None, false);
+            return;
+        }
         // The worker may outlive this request's relevance (evicted client);
         // the generation check on completion makes that harmless.
         let app = Arc::clone(&self.app);
@@ -637,9 +707,23 @@ impl Loop {
         let transmit = self.cfg.transmit;
         let sendfile_ok = self.cfg.use_sendfile && sys::HAS_SENDFILE;
         let job = Box::new(move || {
-            let reply = app.respond(&peer, &req, &body);
+            // Budget checks bracket fulfillment: skip the work entirely if
+            // the fetch checkpoint already passed (queueing delay), and
+            // replace a too-late response with a definite 503 — under
+            // injected slow-disk both engines then fail identically.
+            let mut overrun = deadline.overrun(Phase::Fetch);
+            let reply = if overrun {
+                Reply::from(overloaded_response())
+            } else {
+                let r = app.respond(&peer, &req, &body);
+                overrun = deadline.overrun(Phase::Fetch);
+                if overrun { Reply::from(overloaded_response()) } else { r }
+            };
+            if overrun {
+                app.on_deadline_overrun();
+            }
             let mut resp = reply.response;
-            let mut keep_alive = keep_alive;
+            let mut keep_alive = keep_alive && !overrun;
             if keep_alive {
                 resp.headers.set("Connection", "Keep-Alive");
             }
@@ -734,7 +818,10 @@ impl Loop {
         keep_alive: bool,
     ) {
         let Some(gen) = self.conns.gen_of(idx) else { return };
-        let deadline_ms = self.now_ms() + self.cfg.write_timeout.as_millis() as u64;
+        let mut deadline_ms = self.now_ms() + self.cfg.write_timeout.as_millis() as u64;
+        if let Some(budget) = self.conns.get_mut(idx).and_then(|c| c.budget_deadline_ms) {
+            deadline_ms = deadline_ms.min(budget);
+        }
         let file_len = file.as_ref().map(|f| (f.end - f.offset) as usize).unwrap_or(0);
         let planned = head.len() + body.len() + file_len;
         {
@@ -852,8 +939,12 @@ impl Loop {
     /// entry goes stale (deadline mismatch) and is ignored on expiry.
     fn refresh_write_deadline(&mut self, idx: usize) {
         let Some(gen) = self.conns.gen_of(idx) else { return };
-        let deadline_ms = self.now_ms() + self.cfg.write_timeout.as_millis() as u64;
+        let mut deadline_ms = self.now_ms() + self.cfg.write_timeout.as_millis() as u64;
         let Some(conn) = self.conns.get_mut(idx) else { return };
+        if let Some(budget) = conn.budget_deadline_ms {
+            // Progress keeps the client alive, but never past the budget.
+            deadline_ms = deadline_ms.min(budget);
+        }
         if conn.deadline_ms == deadline_ms {
             return;
         }
@@ -873,6 +964,7 @@ impl Loop {
             conn.out_pos = 0;
             conn.out_file = None;
             conn.out_planned = 0;
+            conn.budget_deadline_ms = None;
             let write_us = conn
                 .write_started
                 .take()
@@ -932,6 +1024,15 @@ impl Loop {
             // conn.stream drops here, closing the fd.
         }
     }
+}
+
+/// The definite answer for a request that missed a deadline checkpoint:
+/// 503 with `Retry-After`, closing the connection.
+fn overloaded_response() -> Response {
+    let mut resp = Response::error(StatusCode::ServiceUnavailable);
+    resp.headers.set("Retry-After", "1");
+    resp.headers.set("Connection", "close");
+    resp
 }
 
 /// Expected body length for a parsed request head; `Err` means the head

@@ -224,6 +224,71 @@ pub fn send_file(
     Err(io::Error::new(io::ErrorKind::Unsupported, "sendfile unavailable on this platform"))
 }
 
+/// Bind a listener with `SO_REUSEADDR`, so a revived node can reclaim
+/// its old address while connections it accepted before dying still sit
+/// in `TIME_WAIT` (a plain `TcpListener::bind` fails with `EADDRINUSE`
+/// for the staleness timeout's worth of seconds).
+#[cfg(target_os = "linux")]
+pub fn bind_reuseaddr(addr: std::net::SocketAddr) -> io::Result<std::net::TcpListener> {
+    use std::os::fd::FromRawFd;
+
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn setsockopt(fd: i32, level: i32, name: i32, value: *const i32, len: u32) -> i32;
+        fn bind(fd: i32, addr: *const SockAddrIn, len: u32) -> i32;
+        fn listen(fd: i32, backlog: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+    #[repr(C)]
+    struct SockAddrIn {
+        family: u16,
+        port_be: u16,
+        addr_be: u32,
+        zero: [u8; 8],
+    }
+    const AF_INET: i32 = 2;
+    const SOCK_STREAM: i32 = 1;
+    const SOL_SOCKET: i32 = 1;
+    const SO_REUSEADDR: i32 = 2;
+
+    let std::net::SocketAddr::V4(v4) = addr else {
+        return Err(io::Error::new(io::ErrorKind::Unsupported, "IPv4 addresses only"));
+    };
+    let fd = unsafe { socket(AF_INET, SOCK_STREAM, 0) };
+    if fd < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    let fail = |fd: i32| {
+        let err = io::Error::last_os_error();
+        unsafe { close(fd) };
+        Err(err)
+    };
+    let one: i32 = 1;
+    if unsafe { setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, 4) } < 0 {
+        return fail(fd);
+    }
+    let sa = SockAddrIn {
+        family: AF_INET as u16,
+        port_be: v4.port().to_be(),
+        addr_be: u32::from(*v4.ip()).to_be(),
+        zero: [0; 8],
+    };
+    if unsafe { bind(fd, &sa, std::mem::size_of::<SockAddrIn>() as u32) } < 0 {
+        return fail(fd);
+    }
+    if unsafe { listen(fd, 128) } < 0 {
+        return fail(fd);
+    }
+    Ok(unsafe { std::net::TcpListener::from_raw_fd(fd) })
+}
+
+/// Portable fallback: a plain bind (no `SO_REUSEADDR`), so revival may
+/// fail with `EADDRINUSE` until `TIME_WAIT` sockets clear.
+#[cfg(not(target_os = "linux"))]
+pub fn bind_reuseaddr(addr: std::net::SocketAddr) -> io::Result<std::net::TcpListener> {
+    std::net::TcpListener::bind(addr)
+}
+
 #[cfg(target_os = "linux")]
 pub mod epoll {
     //! The Linux epoll backend.

@@ -23,13 +23,14 @@ struct Args {
     loadd_ms: u64,
     access_log: Option<std::path::PathBuf>,
     oracle: Option<std::path::PathBuf>,
+    fault_plan: Option<std::path::PathBuf>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: swebd [--nodes N] [--docroot DIR] [--policy sweb|rr|locality|cpu] \
          [--engine reactor|threaded] [--port-base P] [--loadd-ms MS] \
-         [--access-log FILE] [--oracle FILE]"
+         [--access-log FILE] [--oracle FILE] [--fault-plan FILE]"
     );
     std::process::exit(2);
 }
@@ -44,6 +45,7 @@ fn parse_args() -> Args {
         loadd_ms: 2500,
         access_log: None,
         oracle: None,
+        fault_plan: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -65,6 +67,7 @@ fn parse_args() -> Args {
             "--loadd-ms" => args.loadd_ms = value().parse().unwrap_or_else(|_| usage()),
             "--access-log" => args.access_log = Some(value().into()),
             "--oracle" => args.oracle = Some(value().into()),
+            "--fault-plan" => args.fault_plan = Some(value().into()),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -104,6 +107,26 @@ fn main() {
             Ok(log) => cfg.access_log = Some(log),
             Err(e) => {
                 eprintln!("swebd: cannot open access log {path:?}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = &args.fault_plan {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("swebd: cannot read fault plan {path:?}: {e}");
+            std::process::exit(1);
+        });
+        match sweb_server::FaultPlan::from_text(&text) {
+            Ok(plan) => {
+                eprintln!(
+                    "swebd: CHAOS MODE — injecting {} fault(s) from {path:?} (seed {})",
+                    plan.faults.len(),
+                    plan.seed
+                );
+                cfg.fault_plan = Some(plan);
+            }
+            Err(e) => {
+                eprintln!("swebd: malformed fault plan {path:?}: {e}");
                 std::process::exit(1);
             }
         }

@@ -2,11 +2,12 @@
 
 use std::net::{TcpListener, UdpSocket};
 use std::path::PathBuf;
-use std::sync::atomic::AtomicBool;
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use parking_lot::RwLock;
+use sweb_chaos::{FaultPlan, Injector, ScriptedOp};
 use sweb_cluster::{presets, NodeId};
 use sweb_core::{Broker, CostModel, LoadTable, Oracle, Policy, SwebConfig};
 use sweb_des::SimTime;
@@ -80,6 +81,13 @@ pub struct ClusterConfig {
     /// Request CPU-demand oracle (load a site-specific table with
     /// `Oracle::from_config_str`; defaults to the NCSA calibration).
     pub oracle: Oracle,
+    /// Deterministic fault plan for chaos runs (`None` = no injection;
+    /// the injector then short-circuits on every hot-path query).
+    pub fault_plan: Option<FaultPlan>,
+    /// Wall-clock budget for one request on any node; per-phase deadlines
+    /// (parse/fetch/write) derive from it and overruns are answered 503 +
+    /// `Retry-After` instead of hanging the client.
+    pub request_budget: Duration,
 }
 
 impl Default for ClusterConfig {
@@ -105,13 +113,28 @@ impl Default for ClusterConfig {
             access_log: None,
             file_cache_bytes: 16 << 20,
             oracle: Oracle::ncsa_default(),
+            fault_plan: None,
+            request_budget: Duration::from_secs(10),
         }
     }
 }
 
+/// One cluster slot: the node's shared state (stable across restarts)
+/// plus its currently running engine, if any. The handle sits behind a
+/// mutex so chaos tests can kill and revive nodes through `&LiveCluster`
+/// while clients hammer the others.
+struct NodeSlot {
+    shared: Arc<NodeShared>,
+    handle: Mutex<Option<NodeHandle>>,
+}
+
 /// A running cluster of live SWEB nodes on localhost.
 pub struct LiveCluster {
-    nodes: Vec<NodeHandle>,
+    slots: Vec<NodeSlot>,
+    /// Shared fault injector (disabled when no plan was configured).
+    chaos: Arc<Injector>,
+    /// Next scripted crash/revive op to execute (see [`Self::drive_scripted`]).
+    script_pos: Mutex<usize>,
 }
 
 impl LiveCluster {
@@ -140,8 +163,10 @@ impl LiveCluster {
         let cluster_spec = presets::meiko(n);
         let model = CostModel::new(cfg.sweb.clone());
         let start = Instant::now();
+        let chaos = Arc::new(Injector::from_plan(&cfg.fault_plan.clone().unwrap_or_default()));
+        chaos.arm(start);
 
-        let mut nodes = Vec::with_capacity(n);
+        let mut slots = Vec::with_capacity(n);
         for (i, (listener, udp)) in listeners.into_iter().zip(udps).enumerate() {
             let shared = Arc::new(NodeShared {
                 id: NodeId(i as u32),
@@ -163,40 +188,53 @@ impl LiveCluster {
                 shutdown: AtomicBool::new(false),
                 start,
                 stats: NodeStats::new(),
+                chaos: Arc::clone(&chaos),
+                request_budget: cfg.request_budget,
             });
-            nodes.push(NodeHandle::spawn(shared, listener, udp)?);
+            let handle = NodeHandle::spawn(Arc::clone(&shared), listener, udp)?;
+            slots.push(NodeSlot { shared, handle: Mutex::new(Some(handle)) });
         }
-        Ok(LiveCluster { nodes })
+        Ok(LiveCluster { slots, chaos, script_pos: Mutex::new(0) })
     }
 
     /// Number of nodes.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.slots.len()
     }
 
     /// True when the cluster has no nodes (never, post-construction).
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.slots.is_empty()
     }
 
     /// `http://127.0.0.1:port` of node `i`.
     pub fn base_url(&self, i: usize) -> &str {
-        &self.nodes[i].shared.peer_http[i]
+        &self.slots[i].shared.peer_http[i]
     }
 
     /// Access a node's shared state (stats, load table).
     pub fn node(&self, i: usize) -> &Arc<NodeShared> {
-        &self.nodes[i].shared
+        &self.slots[i].shared
+    }
+
+    /// The cluster's fault injector (disabled unless a plan was set).
+    pub fn chaos(&self) -> &Arc<Injector> {
+        &self.chaos
+    }
+
+    /// Whether node `i` currently has a running engine.
+    pub fn is_running(&self, i: usize) -> bool {
+        self.slots[i].handle.lock().map(|h| h.is_some()).unwrap_or(false)
     }
 
     /// Wait until every node has heard a loadd report from every other
     /// node, or the deadline passes. Returns whether the mesh converged.
     pub fn await_loadd_mesh(&self, deadline: std::time::Duration) -> bool {
         let t0 = Instant::now();
-        let n = self.nodes.len();
+        let n = self.slots.len();
         while t0.elapsed() < deadline {
-            let converged = self.nodes.iter().all(|node| {
-                let loads = node.shared.loads.read();
+            let converged = self.slots.iter().all(|slot| {
+                let loads = slot.shared.loads.read();
                 (0..n as u32).all(|p| loads.updated_at(NodeId(p)) > SimTime::ZERO)
             });
             if converged {
@@ -212,22 +250,135 @@ impl LiveCluster {
     /// redirect target for peers). In-flight and newly arriving requests
     /// are still served — the node only leaves the *scheduling* pool.
     pub fn drain(&self, i: usize) {
-        self.nodes[i].shared.draining.store(true, std::sync::atomic::Ordering::Relaxed);
+        self.slots[i].shared.draining.store(true, Ordering::Relaxed);
     }
 
     /// Return a draining node to the pool; peers revive it on its next
     /// normal broadcast.
     pub fn undrain(&self, i: usize) {
-        self.nodes[i].shared.draining.store(false, std::sync::atomic::Ordering::Relaxed);
+        self.slots[i].shared.draining.store(false, Ordering::Relaxed);
+    }
+
+    /// Hard-kill node `i`: stop its engine and loadd threads and close
+    /// its sockets, with no drain and no leaving packet — the process
+    /// equivalent of yanking power. Peers only find out through silence
+    /// (Suspect after two silent loadd periods, Dead after the staleness
+    /// timeout). Idempotent; in-flight threaded connections finish on
+    /// their own.
+    pub fn kill(&self, i: usize) {
+        let handle = {
+            let mut slot = match self.slots[i].handle.lock() {
+                Ok(s) => s,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            slot.take()
+        };
+        if let Some(handle) = handle {
+            self.slots[i].shared.shutdown.store(true, Ordering::Relaxed);
+            handle.shutdown();
+        }
+    }
+
+    /// Restart a killed node `i` on its original HTTP and UDP addresses.
+    /// The node rejoins with its accumulated stats and its stale view of
+    /// the cluster; peers revive it on its first fresh broadcast. The
+    /// listener rebinds with `SO_REUSEADDR` because sockets the dead node
+    /// accepted linger in `TIME_WAIT` on the same address.
+    pub fn revive(&self, i: usize) -> std::io::Result<()> {
+        let mut slot = match self.slots[i].handle.lock() {
+            Ok(s) => s,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if slot.is_some() {
+            return Ok(()); // already running
+        }
+        let shared = &self.slots[i].shared;
+        let http_addr: std::net::SocketAddr = shared.peer_http[i]
+            .trim_start_matches("http://")
+            .parse()
+            .map_err(|_| std::io::Error::other("unparseable node address"))?;
+        let listener = sweb_reactor::sys::bind_reuseaddr(http_addr)?;
+        let udp = UdpSocket::bind(shared.peer_udp[i])?;
+        // Flags must reset *before* spawn or the new threads exit at once.
+        shared.shutdown.store(false, Ordering::Relaxed);
+        shared.draining.store(false, Ordering::Relaxed);
+        *slot = Some(NodeHandle::spawn(Arc::clone(shared), listener, udp)?);
+        Ok(())
+    }
+
+    /// Gracefully stop node `i`: drain (stop being chosen), wait up to
+    /// `deadline` for in-flight requests to finish, announce departure
+    /// with a final `leaving` packet so peers evict *now* rather than a
+    /// staleness timeout later, then stop the engine. Returns whether the
+    /// node drained fully before the deadline.
+    pub fn stop_gracefully(&self, i: usize, deadline: Duration) -> bool {
+        let shared = &self.slots[i].shared;
+        self.drain(i);
+        let t0 = Instant::now();
+        while t0.elapsed() < deadline && shared.stats.active.get() > 0 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let drained = shared.stats.active.get() <= 0;
+        // Stop the node *before* announcing: kill() joins the broadcaster,
+        // so no straggling normal packet can race behind the leaving one
+        // and resurrect the node in a peer's table.
+        self.kill(i);
+        // The final announcement goes out from an ephemeral socket (the
+        // node's own loadd is gone); receivers don't check source
+        // addresses, only the node id inside the packet.
+        let pkt = crate::loadd::encode_v2(
+            shared.id,
+            &crate::loadd::sample_load(shared),
+            true,
+            &shared.file_cache.digest(),
+        );
+        if let Ok(sock) = UdpSocket::bind("127.0.0.1:0") {
+            for (peer, addr) in shared.peer_udp.iter().enumerate() {
+                if peer != i {
+                    let _ = sock.send_to(&pkt, addr);
+                }
+            }
+        }
+        drained
+    }
+
+    /// Execute every scripted crash/revive op that has come due (per the
+    /// injector's clock) and return whether any ops are still pending.
+    /// Chaos tests call this from their workload loop, so lifecycle
+    /// events land deterministically between requests rather than on a
+    /// background thread's whim.
+    pub fn drive_scripted(&self) -> bool {
+        let ops = self.chaos.scripted_ops();
+        let mut pos = match self.script_pos.lock() {
+            Ok(p) => p,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let now = self.chaos.now_ms();
+        while *pos < ops.len() && ops[*pos].at_ms() <= now {
+            match ops[*pos] {
+                ScriptedOp::Crash { node, .. } => self.kill(node as usize),
+                ScriptedOp::Revive { node, .. } => {
+                    let _ = self.revive(node as usize);
+                }
+            }
+            *pos += 1;
+        }
+        *pos < ops.len()
     }
 
     /// Stop every node and join their service threads.
     pub fn shutdown(self) {
-        for node in &self.nodes {
-            node.shared.shutdown.store(true, std::sync::atomic::Ordering::Relaxed);
+        for slot in &self.slots {
+            slot.shared.shutdown.store(true, Ordering::Relaxed);
         }
-        for node in self.nodes {
-            node.shutdown();
+        for slot in self.slots {
+            let handle = match slot.handle.lock() {
+                Ok(mut h) => h.take(),
+                Err(poisoned) => poisoned.into_inner().take(),
+            };
+            if let Some(handle) = handle {
+                handle.shutdown();
+            }
         }
     }
 }

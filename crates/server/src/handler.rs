@@ -10,7 +10,7 @@ use sweb_core::RequestInfo;
 use sweb_http::{
     mime_for_path, parse_request, Method, ParseError, Request, Response, StatusCode,
 };
-use sweb_telemetry::Phase;
+use sweb_telemetry::{Phase, RequestDeadline};
 
 use crate::node::NodeShared;
 
@@ -69,12 +69,14 @@ pub fn handle_connection(shared: Arc<NodeShared>, mut stream: TcpStream, accepte
                         .stats
                         .phases
                         .record(Phase::Parse, parse_started.elapsed().as_micros() as u64);
-                    (
-                        respond(&shared, &req, &body),
-                        head_only,
-                        keep,
-                        Some((method, req.target.clone())),
-                    )
+                    let deadline = RequestDeadline::new(parse_started, shared.request_budget);
+                    let resp = if deadline.overrun(Phase::Parse) {
+                        shared.stats.deadline_overruns.inc();
+                        overloaded(&shared)
+                    } else {
+                        respond(&shared, &req, &body, Some(&deadline))
+                    };
+                    (resp, head_only, keep, Some((method, req.target.clone())))
                 }
                 Err(ParseError::Incomplete) => break, // client closed / idle
                 Err(_) => {
@@ -86,6 +88,14 @@ pub fn handle_connection(shared: Arc<NodeShared>, mut stream: TcpStream, accepte
             let trace = response.headers.get("x-sweb-trace");
             log.log(&peer_host, method, target, response.status.code(), response.body.len() as u64, trace);
         }
+        // A response that asked for `Connection: close` (deadline overrun,
+        // overload shedding) overrides the client's keep-alive wish.
+        let keep_alive = keep_alive
+            && !response
+                .headers
+                .get("connection")
+                .map(|v| v.eq_ignore_ascii_case("close"))
+                .unwrap_or(false);
         if keep_alive {
             response.headers.set("Connection", "Keep-Alive");
         }
@@ -178,11 +188,27 @@ pub(crate) fn method_str(method: Method) -> &'static str {
     }
 }
 
+/// The load-shedding answer for a request that blew its budget: `503`
+/// with `Retry-After`, on a connection we are about to close. A definite
+/// refusal the client can act on beats an open socket that never answers.
+pub(crate) fn overloaded(shared: &NodeShared) -> Response {
+    let mut resp = Response::error(StatusCode::ServiceUnavailable);
+    resp.headers.set("Retry-After", "1");
+    resp.headers.set("Connection", "close");
+    resp.headers.set("X-SWEB-Node", shared.id.0.to_string());
+    resp
+}
+
 /// §3.2 steps 1–4 over a real request, materialized: any streamable file
 /// body is read into memory. The thread-per-conn engine (whose write path
 /// is a single contiguous buffer) funnels requests through here.
-pub(crate) fn respond(shared: &NodeShared, req: &Request, body: &[u8]) -> Response {
-    let (mut resp, file) = respond_parts(shared, req, body);
+pub(crate) fn respond(
+    shared: &NodeShared,
+    req: &Request,
+    body: &[u8],
+    deadline: Option<&RequestDeadline>,
+) -> Response {
+    let (mut resp, file) = respond_parts_deadlined(shared, req, body, deadline);
     if let Some((mut f, len)) = file {
         let mut buf = Vec::with_capacity(len as usize);
         match Read::by_ref(&mut f).take(len).read_to_end(&mut buf) {
@@ -207,10 +233,22 @@ pub(crate) fn respond_parts(
     req: &Request,
     body: &[u8],
 ) -> (Response, Option<(std::fs::File, u64)>) {
+    respond_parts_deadlined(shared, req, body, None)
+}
+
+/// [`respond_parts`] with an optional per-request deadline. Phase budgets
+/// are checked before scheduling and after fulfillment; an overrun yields
+/// the [`overloaded`] refusal instead of the (possibly half-built) answer.
+pub(crate) fn respond_parts_deadlined(
+    shared: &NodeShared,
+    req: &Request,
+    body: &[u8],
+    deadline: Option<&RequestDeadline>,
+) -> (Response, Option<(std::fs::File, u64)>) {
     let trace = sweb_http::trace_of(&req.target)
         .map(str::to_owned)
         .unwrap_or_else(|| shared.stats.new_trace_id(shared.id));
-    let (mut resp, file) = respond_routed(shared, req, body, &trace);
+    let (mut resp, file) = respond_routed(shared, req, body, &trace, deadline);
     resp.headers.set("X-SWEB-Trace", trace);
     (resp, file)
 }
@@ -223,6 +261,7 @@ fn respond_routed(
     req: &Request,
     body: &[u8],
     trace: &str,
+    deadline: Option<&RequestDeadline>,
 ) -> (Response, Option<(std::fs::File, u64)>) {
     // Step 1: preprocess — method check, path completion, existence.
     if !req.method.is_supported() {
@@ -336,6 +375,13 @@ fn respond_routed(
         return (resp, None);
     }
 
+    // A request that used most of its budget before fetching even starts
+    // will not finish in time — refuse now, before paying for the I/O.
+    if deadline.is_some_and(|d| d.overrun(Phase::Decide)) {
+        shared.stats.deadline_overruns.inc();
+        return (overloaded(shared), None);
+    }
+
     // Step 4: fulfillment, timed against the broker's prediction: the
     // chosen candidate's per-term estimate is what this very fetch was
     // scheduled on, so the pair feeds the prediction-error histograms.
@@ -345,7 +391,36 @@ fn respond_routed(
     shared.stats.phases.record(Phase::Fetch, fetch_us);
     let cost = decision.cost;
     shared.stats.feedback.record(cost.t_redirection, cost.t_data, cost.t_cpu, fetch_us);
+    if deadline.is_some_and(|d| d.overrun(Phase::Fetch)) {
+        shared.stats.deadline_overruns.inc();
+        return (overloaded(shared), None);
+    }
     result
+}
+
+/// Run a filesystem read, retrying transient failures with bounded
+/// backoff (two retries, 1 ms then 2 ms). `NotFound` is definitive — the
+/// file will not appear because we waited — so it returns immediately;
+/// anything else (EMFILE under fd pressure, EINTR, a flaky NFS mount)
+/// gets a second and third chance before becoming a 500.
+fn read_with_retry<T>(
+    shared: &NodeShared,
+    mut op: impl FnMut() -> std::io::Result<T>,
+) -> std::io::Result<T> {
+    let mut backoff = Duration::from_millis(1);
+    for attempt in 0..3 {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Err(e),
+            Err(e) if attempt == 2 => return Err(e),
+            Err(_) => {
+                shared.stats.fetch_retries.inc();
+                std::thread::sleep(backoff);
+                backoff *= 2;
+            }
+        }
+    }
+    unreachable!("loop returns on attempt == 2")
 }
 
 /// Local fulfillment: execute the CGI program or read the document.
@@ -365,12 +440,20 @@ fn fulfill(
         resp.headers.set("X-SWEB-Node", shared.id.0.to_string());
         return (resp, None);
     }
+    // Fault injection: a degraded disk/NFS mount serves reads late, not
+    // wrong. The stall sits where a real slow device would put it — in
+    // the fetch phase, where the deadline check after fulfillment sees it.
+    if shared.chaos.is_active() {
+        if let Some(extra) = shared.chaos.disk_delay(shared.id.0) {
+            std::thread::sleep(extra);
+        }
+    }
     // Documents too big to ever fit the cache stream straight from the fd
     // (`sendfile`): buffering them would evict the whole hot set for one
     // request and still pay a copy. Everything cacheable goes through the
     // FileCache so repeat requests share one in-memory body.
     if size >= SENDFILE_MIN && size > shared.file_cache.capacity() {
-        match std::fs::File::open(full) {
+        match read_with_retry(shared, || std::fs::File::open(full)) {
             Ok(f) => {
                 shared.stats.served.inc();
                 let mut resp = Response::ok("", mime_for_path(path));
@@ -389,7 +472,7 @@ fn fulfill(
             Err(_) => return (Response::error(StatusCode::InternalServerError), None),
         }
     }
-    match shared.file_cache.read(path, full) {
+    match read_with_retry(shared, || shared.file_cache.read(path, full)) {
         Ok((body, mtime)) => {
             shared.stats.served.inc();
             let mut resp = Response::ok(body, mime_for_path(path));

@@ -52,6 +52,7 @@ pub use access_log::AccessLog;
 pub use file_cache::FileCache;
 pub use cgi::{CgiProgram, CgiRegistry};
 pub use cluster::{ClusterConfig, Engine, LiveCluster};
+pub use sweb_chaos::{Fault, FaultPlan, Injector, ScriptedOp, Window};
 pub use sweb_reactor::TransmitMode;
 pub use node::{NodeHandle, NodeStats};
 pub use status::{StatusReport, METRICS_PATH, STATUS_PATH, STATUS_SCHEMA_VERSION};

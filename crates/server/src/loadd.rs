@@ -15,13 +15,14 @@
 //! graceful-drain announcement: peers immediately take the sender out of
 //! their candidate pools instead of waiting for the staleness timeout.
 
-use std::net::UdpSocket;
+use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use sweb_chaos::TxVerdict;
 use sweb_cluster::NodeId;
-use sweb_core::{CacheDigest, LoadVector, DIGEST_BYTES};
+use sweb_core::{CacheDigest, LoadVector, PeerHealth, DIGEST_BYTES};
 
 use crate::node::NodeShared;
 
@@ -122,6 +123,44 @@ pub fn sample_load(shared: &NodeShared) -> LoadVector {
     LoadVector::new(active, active, net)
 }
 
+/// Write a membership-churn line to the shared access log, CLF-shaped so
+/// operator tooling (and `sweb_workload::parse_clf`) reads it alongside
+/// request lines: `n0 ... "MEMBER /membership/n2/dead HTTP/1.0" 204 0`.
+pub(crate) fn log_membership(shared: &NodeShared, peer: NodeId, event: &str) {
+    if let Some(log) = &shared.access_log {
+        log.log(
+            &format!("n{}", shared.id.0),
+            "MEMBER",
+            &format!("/membership/n{}/{}", peer.0, event),
+            204,
+            0,
+            None,
+        );
+    }
+}
+
+/// Apply one staleness sweep and surface the churn: counters plus one
+/// membership log line per transition, so operator logs show exactly when
+/// this node's view demoted each peer.
+fn sweep_staleness(shared: &NodeShared) {
+    let now = shared.now();
+    // Two silent periods before suspicion, not one: the sweep runs at this
+    // node's own period boundary, so a healthy peer's latest report is
+    // routinely almost a full period old and a 1x threshold flaps
+    // Suspect/Alive on scheduling jitter alone.
+    let suspect_after = shared.sweb.loadd_period + shared.sweb.loadd_period;
+    let timeout = shared.sweb.stale_timeout;
+    let churn = shared.loads.write().mark_stale(now, suspect_after, timeout);
+    for peer in churn.suspected {
+        shared.stats.peer_suspect.inc();
+        log_membership(shared, peer, "suspect");
+    }
+    for peer in churn.died {
+        shared.stats.peer_dead.inc();
+        log_membership(shared, peer, "dead");
+    }
+}
+
 /// Spawn the broadcaster and receiver threads for one node.
 pub fn spawn(shared: Arc<NodeShared>, udp: UdpSocket) -> Vec<std::thread::JoinHandle<()>> {
     let period = Duration::from_micros(shared.sweb.loadd_period.as_micros());
@@ -129,49 +168,100 @@ pub fn spawn(shared: Arc<NodeShared>, udp: UdpSocket) -> Vec<std::thread::JoinHa
     recv_socket
         .set_read_timeout(Some(Duration::from_millis(20)))
         .expect("udp read timeout");
+    shared.chaos.arm(shared.start);
 
     // Broadcaster: send own load to every peer (including self, which
-    // keeps the code uniform), then run the staleness pass.
+    // keeps the code uniform), then run the staleness pass. The loop
+    // sleeps in short slices so shutdown latency and injected packet
+    // delays are both ~10 ms, not a whole loadd period.
     let bcast_shared = Arc::clone(&shared);
     let broadcaster = std::thread::spawn(move || {
+        let tick = Duration::from_millis(10);
+        let mut next_broadcast = Instant::now();
+        let mut delayed: Vec<(Instant, SocketAddr, [u8; PACKET_V2_LEN])> = Vec::new();
         while !bcast_shared.shutdown.load(Ordering::Relaxed) {
-            let load = sample_load(&bcast_shared);
-            let leaving = bcast_shared.draining.load(Ordering::Relaxed);
-            let digest = bcast_shared.file_cache.digest();
-            let pkt = encode_v2(bcast_shared.id, &load, leaving, &digest);
-            for addr in &bcast_shared.peer_udp {
-                let _ = udp.send_to(&pkt, addr);
+            let now = Instant::now();
+            delayed.retain(|(due, addr, pkt)| {
+                if *due <= now {
+                    let _ = udp.send_to(pkt, addr);
+                    false
+                } else {
+                    true
+                }
+            });
+            if now >= next_broadcast {
+                next_broadcast = now + period;
+                let load = sample_load(&bcast_shared);
+                let leaving = bcast_shared.draining.load(Ordering::Relaxed);
+                let digest = bcast_shared.file_cache.digest();
+                let pkt = encode_v2(bcast_shared.id, &load, leaving, &digest);
+                let me = bcast_shared.id.0;
+                for (peer, addr) in bcast_shared.peer_udp.iter().enumerate() {
+                    // Self-reports bypass injection: a node always knows
+                    // its own load; chaos models the *network* between
+                    // distinct nodes.
+                    let verdict = if peer as u32 == me || !bcast_shared.chaos.is_active() {
+                        TxVerdict::Deliver
+                    } else {
+                        bcast_shared.chaos.loadd_tx(me, peer as u32)
+                    };
+                    match verdict {
+                        TxVerdict::Deliver => {
+                            let _ = udp.send_to(&pkt, addr);
+                        }
+                        TxVerdict::Drop => {}
+                        TxVerdict::Delay(d) => delayed.push((now + d, *addr, pkt)),
+                    }
+                }
+                sweep_staleness(&bcast_shared);
             }
-            {
-                let now = bcast_shared.now();
-                let timeout = bcast_shared.sweb.stale_timeout;
-                bcast_shared.loads.write().mark_stale(now, timeout);
-            }
-            std::thread::sleep(period);
+            std::thread::sleep(tick);
         }
     });
 
-    // Receiver: fold peer reports into the load table.
+    // Receiver: fold peer reports into the load table. Decode failures —
+    // garbage bytes, short datagrams, node ids beyond the table — are
+    // counted instead of silently dropped, so a partition-era config
+    // mismatch (or a chaos garbling) is visible in telemetry.
     let recv_shared = shared;
     let receiver = std::thread::spawn(move || {
         let mut buf = [0u8; 128];
         while !recv_shared.shutdown.load(Ordering::Relaxed) {
             match recv_socket.recv_from(&mut buf) {
                 Ok((n, _)) => {
-                    if let Some(report) = decode(&buf[..n]) {
-                        let LoadReport { node, load, leaving, digest } = report;
-                        if (node.index()) < recv_shared.loads.read().len() {
-                            let now = recv_shared.now();
-                            let mut loads = recv_shared.loads.write();
-                            if leaving && node != recv_shared.id {
-                                loads.mark_dead(node);
-                            } else {
-                                loads.update(node, load, now);
-                                if let Some(d) = digest {
-                                    loads.set_digest(node, d);
-                                }
+                    let Some(report) = decode(&buf[..n]) else {
+                        recv_shared.stats.loadd_decode_errors.inc();
+                        continue;
+                    };
+                    let LoadReport { node, load, leaving, digest } = report;
+                    if node.index() >= recv_shared.loads.read().len() {
+                        recv_shared.stats.loadd_decode_errors.inc();
+                        continue;
+                    }
+                    let now = recv_shared.now();
+                    let prev = {
+                        let mut loads = recv_shared.loads.write();
+                        if leaving && node != recv_shared.id {
+                            loads.mark_dead(node)
+                        } else {
+                            let prev = loads.update(node, load, now);
+                            if let Some(d) = digest {
+                                loads.set_digest(node, d);
                             }
+                            prev
                         }
+                    };
+                    if node == recv_shared.id {
+                        continue;
+                    }
+                    if leaving {
+                        if prev != PeerHealth::Dead {
+                            recv_shared.stats.peer_dead.inc();
+                            log_membership(&recv_shared, node, "dead");
+                        }
+                    } else if prev != PeerHealth::Alive {
+                        recv_shared.stats.peer_revived.inc();
+                        log_membership(&recv_shared, node, "revived");
                     }
                 }
                 Err(ref e)

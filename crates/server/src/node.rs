@@ -44,6 +44,18 @@ pub struct NodeStats {
     pub zero_copy: Arc<Counter>,
     /// Responses streamed from an fd via `sendfile(2)`.
     pub sendfile: Arc<Counter>,
+    /// loadd packets that failed to decode (garbage, short, bad node id).
+    pub loadd_decode_errors: Arc<Counter>,
+    /// Peers this node demoted Alive → Suspect (silent for two loadd periods).
+    pub peer_suspect: Arc<Counter>,
+    /// Peers this node marked Dead (staleness timeout or leaving packet).
+    pub peer_dead: Arc<Counter>,
+    /// Peers revived from Suspect/Dead by a fresh loadd packet.
+    pub peer_revived: Arc<Counter>,
+    /// Requests answered 503 (or evicted) for missing a deadline phase.
+    pub deadline_overruns: Arc<Counter>,
+    /// Transient file-fetch errors retried under bounded backoff.
+    pub fetch_retries: Arc<Counter>,
     /// Requests currently in flight on this node (the live "CPU load").
     pub active: Arc<Gauge>,
     /// Bytes currently being transferred (the live "net load", scaled).
@@ -81,6 +93,30 @@ impl NodeStats {
             evicted: c("sweb_connections_evicted_total", "Connections evicted on timeout"),
             zero_copy: c("sweb_zero_copy_responses_total", "Responses sent via zero-copy writev"),
             sendfile: c("sweb_sendfile_responses_total", "Responses streamed via sendfile(2)"),
+            loadd_decode_errors: c(
+                "sweb_loadd_decode_errors_total",
+                "loadd packets that failed to decode",
+            ),
+            peer_suspect: c(
+                "sweb_peer_suspect_total",
+                "Peers demoted Alive to Suspect after a missed loadd period",
+            ),
+            peer_dead: c(
+                "sweb_peer_dead_total",
+                "Peers marked Dead (staleness timeout or leaving packet)",
+            ),
+            peer_revived: c(
+                "sweb_peer_revived_total",
+                "Suspect/Dead peers revived by a fresh loadd packet",
+            ),
+            deadline_overruns: c(
+                "sweb_deadline_overruns_total",
+                "Requests failed definitively for missing a deadline phase",
+            ),
+            fetch_retries: c(
+                "sweb_fetch_retries_total",
+                "Transient file-fetch errors retried under bounded backoff",
+            ),
             active: registry.gauge("sweb_active_requests", &[], "Requests currently in flight"),
             bytes_in_flight: registry.gauge(
                 "sweb_bytes_in_flight",
@@ -149,6 +185,11 @@ pub struct NodeShared {
     pub start: Instant,
     /// The node's telemetry surface (counters, gauges, histograms).
     pub stats: NodeStats,
+    /// Fault injector shared by every node of the cluster (disabled by
+    /// default: every query short-circuits).
+    pub chaos: Arc<sweb_chaos::Injector>,
+    /// Wall-clock budget for one request; phase deadlines derive from it.
+    pub request_budget: Duration,
 }
 
 impl NodeShared {
@@ -186,6 +227,23 @@ impl sweb_reactor::App for ReactorApp {
             response: resp,
             file: file.map(|(file, len)| sweb_reactor::FileBody { file, len }),
         }
+    }
+    fn accept_gate(&self) -> sweb_reactor::AcceptGate {
+        let chaos = &self.shared.chaos;
+        if !chaos.is_active() {
+            return sweb_reactor::AcceptGate::Proceed;
+        }
+        let node = self.shared.id.0;
+        if chaos.fd_pressure(node) {
+            sweb_reactor::AcceptGate::FailFd
+        } else if chaos.accept_paused(node) {
+            sweb_reactor::AcceptGate::Pause
+        } else {
+            sweb_reactor::AcceptGate::Proceed
+        }
+    }
+    fn on_deadline_overrun(&self) {
+        self.shared.stats.deadline_overruns.inc();
     }
     fn on_accept(&self) {
         self.shared.stats.accepted.inc();
@@ -258,6 +316,7 @@ impl NodeHandle {
                 let cfg = sweb_reactor::ReactorConfig {
                     max_conns: shared.max_conns,
                     transmit: shared.transmit,
+                    request_budget: shared.request_budget,
                     ..sweb_reactor::ReactorConfig::default()
                 };
                 reactor = Some(sweb_reactor::spawn(listener, app, cfg, Arc::clone(&stop))?);
@@ -305,10 +364,23 @@ impl NodeHandle {
 fn accept_loop(shared: Arc<NodeShared>, listener: TcpListener) {
     let mut error_streak: u32 = 0;
     while !shared.shutdown.load(Ordering::Relaxed) {
+        if shared.chaos.is_active() && shared.chaos.accept_paused(shared.id.0) {
+            // Injected pause: hold the backlog without touching the socket.
+            std::thread::sleep(Duration::from_millis(5));
+            continue;
+        }
         match listener.accept() {
             Ok((stream, _peer)) => {
                 error_streak = 0;
                 shared.stats.accepted.inc();
+                if shared.chaos.is_active() && shared.chaos.fd_pressure(shared.id.0) {
+                    // Injected fd exhaustion: the accept "succeeded" but the
+                    // process can't service it — count and drop, as a real
+                    // EMFILE-looping server effectively does.
+                    shared.stats.accept_errors.inc();
+                    drop(stream);
+                    continue;
+                }
                 let accepted_at = Instant::now();
                 let conn_shared = Arc::clone(&shared);
                 std::thread::spawn(move || {

@@ -8,6 +8,7 @@
 //! drift apart, and `StatusReport::from_json` gives API consumers a
 //! schema-checked round trip.
 
+use sweb_chaos::FaultCountsSnapshot;
 use sweb_cluster::NodeId;
 use sweb_http::Response;
 use sweb_telemetry::Json;
@@ -21,7 +22,10 @@ pub const STATUS_PATH: &str = "/sweb-status";
 pub const METRICS_PATH: &str = "/metrics";
 
 /// Version stamped into every JSON report; consumers must check it.
-pub const STATUS_SCHEMA_VERSION: u64 = 1;
+///
+/// v2 added per-peer `health` and the node's `draining` flag and
+/// injected-fault counters (the failure-domain view).
+pub const STATUS_SCHEMA_VERSION: u64 = 2;
 
 /// One node's full introspection snapshot.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,12 +38,16 @@ pub struct StatusReport {
     pub policy: String,
     /// Connection engine the node runs.
     pub engine: String,
+    /// Whether this node is draining (leaving the scheduling pool).
+    pub draining: bool,
     /// The node's view of every peer's load.
     pub load: Vec<LoadRow>,
     /// Lifetime request counters.
     pub counters: CounterSnapshot,
     /// File-cache state.
     pub cache: CacheSnapshot,
+    /// Faults injected so far by the chaos harness (all zero without one).
+    pub faults: FaultCountsSnapshot,
 }
 
 /// One row of the load table as this node sees it.
@@ -53,8 +61,10 @@ pub struct LoadRow {
     pub disk: f64,
     /// Network channel load.
     pub net: f64,
-    /// Whether the peer is in the candidate pool.
+    /// Whether the peer still counts toward cluster capacity (not Dead).
     pub alive: bool,
+    /// Tri-state health: `"alive"`, `"suspect"` or `"dead"`.
+    pub health: String,
     /// Milliseconds since the last report from this peer.
     pub age_ms: f64,
 }
@@ -86,6 +96,18 @@ pub struct CounterSnapshot {
     pub active: i64,
     /// Response bytes in flight right now.
     pub bytes_in_flight: i64,
+    /// loadd packets that failed to decode (garbage, bad magic, bad id).
+    pub loadd_decode_errors: u64,
+    /// Peers marked Suspect after one silent loadd period.
+    pub peer_suspect: u64,
+    /// Peers marked Dead (staleness timeout or a leaving packet).
+    pub peer_dead: u64,
+    /// Dead/Suspect peers revived by a fresh loadd packet.
+    pub peer_revived: u64,
+    /// Requests refused 503 for blowing their per-phase deadline.
+    pub deadline_overruns: u64,
+    /// Transient fetch errors retried with backoff.
+    pub fetch_retries: u64,
 }
 
 /// File-cache state.
@@ -121,6 +143,7 @@ impl StatusReport {
                         disk: l.disk,
                         net: l.net,
                         alive: loads.is_alive(id),
+                        health: loads.health(id).name().to_string(),
                         age_ms: now.saturating_sub(loads.updated_at(id)).as_millis_f64(),
                     }
                 })
@@ -132,6 +155,7 @@ impl StatusReport {
             node: shared.id.0,
             policy: shared.broker.policy().to_string(),
             engine: shared.engine.name().to_string(),
+            draining: shared.draining.load(std::sync::atomic::Ordering::Relaxed),
             load,
             counters: CounterSnapshot {
                 accepted: s.accepted.get(),
@@ -146,6 +170,12 @@ impl StatusReport {
                 sendfile: s.sendfile.get(),
                 active: s.active.get(),
                 bytes_in_flight: s.bytes_in_flight.get(),
+                loadd_decode_errors: s.loadd_decode_errors.get(),
+                peer_suspect: s.peer_suspect.get(),
+                peer_dead: s.peer_dead.get(),
+                peer_revived: s.peer_revived.get(),
+                deadline_overruns: s.deadline_overruns.get(),
+                fetch_retries: s.fetch_retries.get(),
             },
             cache: CacheSnapshot {
                 hits: shared.file_cache.hits(),
@@ -155,6 +185,7 @@ impl StatusReport {
                 capacity_bytes: shared.file_cache.capacity(),
                 digest_bits: shared.file_cache.digest().ones() as u64,
             },
+            faults: shared.chaos.counts().snapshot(),
         }
     }
 
@@ -162,18 +193,21 @@ impl StatusReport {
     pub fn to_text(&self) -> String {
         let mut out = String::with_capacity(1024);
         out.push_str(&format!(
-            "SWEB node n{} — policy {} — engine {}\n\nload table (this node's view):\n",
-            self.node, self.policy, self.engine,
+            "SWEB node n{} — policy {} — engine {}{}\n\nload table (this node's view):\n",
+            self.node,
+            self.policy,
+            self.engine,
+            if self.draining { " — DRAINING" } else { "" },
         ));
-        out.push_str("node   cpu     disk    net     alive  age(ms)\n");
+        out.push_str("node   cpu     disk    net     health   age(ms)\n");
         for row in &self.load {
             out.push_str(&format!(
-                "{:<6} {:<7.2} {:<7.2} {:<7.2} {:<6} {:.0}\n",
+                "{:<6} {:<7.2} {:<7.2} {:<7.2} {:<8} {:.0}\n",
                 format!("n{}", row.node),
                 row.cpu,
                 row.disk,
                 row.net,
-                row.alive,
+                row.health,
                 row.age_ms,
             ));
         }
@@ -182,7 +216,9 @@ impl StatusReport {
             "\ncounters:\n  accepted          {}\n  served            {}\n  redirected-away   {}\n  \
              received-redirects {}\n  bad-requests      {}\n  accept-errors     {}\n  \
              shed-503          {}\n  evicted           {}\n  zero-copy         {}\n  \
-             sendfile          {}\n  active-now        {}\n",
+             sendfile          {}\n  active-now        {}\n  \
+             decode-errors     {}\n  peer-suspect      {}\n  peer-dead         {}\n  \
+             peer-revived      {}\n  deadline-overruns {}\n  fetch-retries     {}\n",
             c.accepted,
             c.served,
             c.redirected,
@@ -194,6 +230,12 @@ impl StatusReport {
             c.zero_copy,
             c.sendfile,
             c.active,
+            c.loadd_decode_errors,
+            c.peer_suspect,
+            c.peer_dead,
+            c.peer_revived,
+            c.deadline_overruns,
+            c.fetch_retries,
         ));
         out.push_str(&format!(
             "\nfile cache: {} hits, {} misses, {} collisions, {} / {} bytes, digest {} bits set\n",
@@ -204,6 +246,14 @@ impl StatusReport {
             self.cache.capacity_bytes,
             self.cache.digest_bits,
         ));
+        let f = &self.faults;
+        if f != &FaultCountsSnapshot::default() {
+            out.push_str(&format!(
+                "\ninjected faults: {} pkts dropped, {} pkts delayed, {} accepts paused, \
+                 {} fd rejections, {} slow reads\n",
+                f.packets_dropped, f.packets_delayed, f.accepts_paused, f.fd_rejections, f.slow_reads,
+            ));
+        }
         out
     }
 
@@ -218,6 +268,7 @@ impl StatusReport {
             ("node", Json::Num(self.node as f64)),
             ("policy", Json::Str(self.policy.clone())),
             ("engine", Json::Str(self.engine.clone())),
+            ("draining", Json::Bool(self.draining)),
             (
                 "load",
                 Json::Arr(
@@ -230,6 +281,7 @@ impl StatusReport {
                                 ("disk", Json::Num(row.disk)),
                                 ("net", Json::Num(row.net)),
                                 ("alive", Json::Bool(row.alive)),
+                                ("health", Json::Str(row.health.clone())),
                                 ("age_ms", Json::Num(row.age_ms)),
                             ])
                         })
@@ -251,6 +303,12 @@ impl StatusReport {
                     ("sendfile", Json::Num(c.sendfile as f64)),
                     ("active", Json::Num(c.active as f64)),
                     ("bytes_in_flight", Json::Num(c.bytes_in_flight as f64)),
+                    ("loadd_decode_errors", Json::Num(c.loadd_decode_errors as f64)),
+                    ("peer_suspect", Json::Num(c.peer_suspect as f64)),
+                    ("peer_dead", Json::Num(c.peer_dead as f64)),
+                    ("peer_revived", Json::Num(c.peer_revived as f64)),
+                    ("deadline_overruns", Json::Num(c.deadline_overruns as f64)),
+                    ("fetch_retries", Json::Num(c.fetch_retries as f64)),
                 ]),
             ),
             (
@@ -262,6 +320,16 @@ impl StatusReport {
                     ("used_bytes", Json::Num(self.cache.used_bytes as f64)),
                     ("capacity_bytes", Json::Num(self.cache.capacity_bytes as f64)),
                     ("digest_bits", Json::Num(self.cache.digest_bits as f64)),
+                ]),
+            ),
+            (
+                "faults",
+                obj(vec![
+                    ("packets_dropped", Json::Num(self.faults.packets_dropped as f64)),
+                    ("packets_delayed", Json::Num(self.faults.packets_delayed as f64)),
+                    ("accepts_paused", Json::Num(self.faults.accepts_paused as f64)),
+                    ("fd_rejections", Json::Num(self.faults.fd_rejections as f64)),
+                    ("slow_reads", Json::Num(self.faults.slow_reads as f64)),
                 ]),
             ),
         ])
@@ -300,6 +368,10 @@ impl StatusReport {
                     disk: num_f64(row, "disk")?,
                     net: num_f64(row, "net")?,
                     alive: field(row, "alive")?.as_bool().ok_or("alive is not a bool")?,
+                    health: field(row, "health")?
+                        .as_str()
+                        .ok_or("health is not a string")?
+                        .to_string(),
                     age_ms: num_f64(row, "age_ms")?,
                 })
             })
@@ -318,6 +390,12 @@ impl StatusReport {
             sendfile: num_u64(&c, "sendfile")?,
             active: num_i64(&c, "active")?,
             bytes_in_flight: num_i64(&c, "bytes_in_flight")?,
+            loadd_decode_errors: num_u64(&c, "loadd_decode_errors")?,
+            peer_suspect: num_u64(&c, "peer_suspect")?,
+            peer_dead: num_u64(&c, "peer_dead")?,
+            peer_revived: num_u64(&c, "peer_revived")?,
+            deadline_overruns: num_u64(&c, "deadline_overruns")?,
+            fetch_retries: num_u64(&c, "fetch_retries")?,
         };
         let k = field(v, "cache")?;
         let cache = CacheSnapshot {
@@ -328,14 +406,24 @@ impl StatusReport {
             capacity_bytes: num_u64(&k, "capacity_bytes")?,
             digest_bits: num_u64(&k, "digest_bits")?,
         };
+        let f = field(v, "faults")?;
+        let faults = FaultCountsSnapshot {
+            packets_dropped: num_u64(&f, "packets_dropped")?,
+            packets_delayed: num_u64(&f, "packets_delayed")?,
+            accepts_paused: num_u64(&f, "accepts_paused")?,
+            fd_rejections: num_u64(&f, "fd_rejections")?,
+            slow_reads: num_u64(&f, "slow_reads")?,
+        };
         Ok(StatusReport {
             schema_version,
             node: num_u64(v, "node")? as u32,
             policy: field(v, "policy")?.as_str().ok_or("policy is not a string")?.to_string(),
             engine: field(v, "engine")?.as_str().ok_or("engine is not a string")?.to_string(),
+            draining: field(v, "draining")?.as_bool().ok_or("draining is not a bool")?,
             load,
             counters,
             cache,
+            faults,
         })
     }
 }
@@ -391,9 +479,26 @@ mod tests {
             node: 2,
             policy: "sweb".to_string(),
             engine: "reactor".to_string(),
+            draining: true,
             load: vec![
-                LoadRow { node: 0, cpu: 1.5, disk: 0.25, net: 0.0, alive: true, age_ms: 12.0 },
-                LoadRow { node: 1, cpu: 0.0, disk: 0.0, net: 3.5, alive: false, age_ms: 2000.0 },
+                LoadRow {
+                    node: 0,
+                    cpu: 1.5,
+                    disk: 0.25,
+                    net: 0.0,
+                    alive: true,
+                    health: "alive".to_string(),
+                    age_ms: 12.0,
+                },
+                LoadRow {
+                    node: 1,
+                    cpu: 0.0,
+                    disk: 0.0,
+                    net: 3.5,
+                    alive: false,
+                    health: "dead".to_string(),
+                    age_ms: 2000.0,
+                },
             ],
             counters: CounterSnapshot {
                 accepted: 100,
@@ -408,6 +513,12 @@ mod tests {
                 sendfile: 7,
                 active: 5,
                 bytes_in_flight: 123456,
+                loadd_decode_errors: 4,
+                peer_suspect: 3,
+                peer_dead: 2,
+                peer_revived: 1,
+                deadline_overruns: 6,
+                fetch_retries: 9,
             },
             cache: CacheSnapshot {
                 hits: 50,
@@ -416,6 +527,13 @@ mod tests {
                 used_bytes: 1 << 20,
                 capacity_bytes: 16 << 20,
                 digest_bits: 12,
+            },
+            faults: FaultCountsSnapshot {
+                packets_dropped: 17,
+                packets_delayed: 5,
+                accepts_paused: 2,
+                fd_rejections: 1,
+                slow_reads: 3,
             },
         }
     }
@@ -454,11 +572,29 @@ mod tests {
     fn text_view_carries_the_same_numbers() {
         let report = sample_report();
         let text = report.to_text();
-        assert!(text.contains("SWEB node n2 — policy sweb — engine reactor"), "{text}");
+        assert!(
+            text.contains("SWEB node n2 — policy sweb — engine reactor — DRAINING"),
+            "{text}"
+        );
         assert!(text.contains("zero-copy         42"), "{text}");
         assert!(text.contains("active-now        5"), "{text}");
+        assert!(text.contains("deadline-overruns 6"), "{text}");
         assert!(text.contains("file cache: 50 hits, 40 misses"), "{text}");
-        // Two load rows, one per peer.
+        // Two load rows, one per peer, with tri-state health.
         assert!(text.contains("n0") && text.contains("n1"), "{text}");
+        assert!(text.contains("alive") && text.contains("dead"), "{text}");
+        assert!(text.contains("17 pkts dropped"), "{text}");
+    }
+
+    #[test]
+    fn fault_block_hidden_when_nothing_injected() {
+        let mut report = sample_report();
+        report.faults = FaultCountsSnapshot::default();
+        let text = report.to_text();
+        assert!(!text.contains("injected faults"), "{text}");
+        // But the JSON keeps the (zero) block: the schema is unconditional.
+        let parsed = Json::parse(&report.to_json().render()).unwrap();
+        let back = StatusReport::from_json(&parsed).unwrap();
+        assert_eq!(back, report);
     }
 }

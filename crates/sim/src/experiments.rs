@@ -977,10 +977,12 @@ pub fn wide_area(scale: Scale) -> (Vec<AblationRow>, TextTable) {
 }
 
 /// Failure detection: how fast the cluster notices a dead node is set by
-/// loadd's staleness timeout ("marking those processors which have not
-/// responded in a preset period of time as unavailable", §3.1). A
-/// FileLocality cluster keeps redirecting clients into the hole until the
-/// timeout fires — drops scale with the detection window.
+/// loadd's gossip cadence ("marking those processors which have not
+/// responded in a preset period of time as unavailable", §3.1). With
+/// tri-state health, two silent loadd periods suspend a peer's redirect
+/// candidacy — so the loadd period sets the detection window, and a
+/// FileLocality cluster keeps redirecting clients into the hole for a
+/// couple of periods. Drops scale with the window.
 pub fn failover_sweep(scale: Scale) -> (Vec<AblationRow>, TextTable) {
     use crate::driver::ClusterSim;
     let cluster = presets::meiko(6);
@@ -994,9 +996,10 @@ pub fn failover_sweep(scale: Scale) -> (Vec<AblationRow>, TextTable) {
         bursty: true,
     };
     let mut rows = Vec::new();
-    for timeout_ms in [2_000u64, 8_000, 20_000] {
+    for window_ms in [500u64, 2_000, 8_000] {
         let mut cfg = SimConfig::with_policy(Policy::FileLocality);
-        cfg.sweb.stale_timeout = SimTime::from_millis(timeout_ms);
+        cfg.sweb.loadd_period = SimTime::from_millis(window_ms);
+        cfg.sweb.stale_timeout = SimTime::from_millis(window_ms * 4);
         cfg.client.timeout = 300.0;
         let files = corpus.build(cluster.len());
         let arrivals = schedule.generate(&files);
@@ -1006,7 +1009,7 @@ pub fn failover_sweep(scale: Scale) -> (Vec<AblationRow>, TextTable) {
         sim.schedule_join(NodeId(0), third + third);
         let stats = sim.run(&arrivals);
         rows.push(AblationRow {
-            variant: format!("stale-timeout={}s", timeout_ms as f64 / 1e3),
+            variant: format!("loadd-period={}s", window_ms as f64 / 1e3),
             response_secs: stats.mean_response_secs(),
             drop_rate: stats.drop_rate(),
             redirect_rate: stats.redirect_rate(),
@@ -1015,7 +1018,7 @@ pub fn failover_sweep(scale: Scale) -> (Vec<AblationRow>, TextTable) {
     let mut table = TextTable::new(
         "Failure detection: node 0 down for the middle third (FileLocality, 20 rps)",
     )
-    .header(&["loadd staleness", "response", "drop", "redirects"]);
+    .header(&["detection window", "response", "drop", "redirects"]);
     for r in &rows {
         table.row(vec![
             r.variant.clone(),

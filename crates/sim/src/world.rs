@@ -263,9 +263,13 @@ impl World {
             }
             world.stats.nodes[i].loadd_msgs_local += local_msgs;
             world.stats.nodes[i].loadd_msgs_wan += wan_msgs;
-            // Staleness pass on this node's own view.
+            // Staleness pass on this node's own view: silence past two
+            // loadd periods (one missed packet plus a period of margin,
+            // matching the live sweep) suspends redirect candidacy, silence
+            // past the staleness timeout removes the peer from the pool.
+            let suspect_after = world.cfg.sweb.loadd_period + world.cfg.sweb.loadd_period;
             let timeout = world.cfg.sweb.stale_timeout;
-            world.nodes[i].view.mark_stale(now, timeout);
+            world.nodes[i].view.mark_stale(now, suspect_after, timeout);
             // The monitoring overhead is real CPU work (§4.3: ~0.2 %).
             let ops = world.cfg.loadd_ops_per_broadcast;
             world.stats.nodes[i].loadd_ops += ops;

@@ -26,12 +26,14 @@
 
 #![warn(missing_docs)]
 
+mod deadline;
 mod feedback;
 mod hist;
 mod json;
 mod phases;
 mod registry;
 
+pub use deadline::RequestDeadline;
 pub use feedback::{CostFeedback, PredictionSample};
 pub use hist::AtomicHistogram;
 pub use json::Json;
