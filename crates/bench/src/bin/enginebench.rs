@@ -1,6 +1,6 @@
 //! `enginebench` — live-cluster benchmarks for the connection engines.
 //!
-//! Two scenarios:
+//! Three scenarios:
 //!
 //! ```text
 //! enginebench [--scenario engine] [--engine reactor|threaded|both] [--nodes 3]
@@ -8,6 +8,8 @@
 //!             [--out results/engine.csv]
 //! enginebench --scenario zerocopy [--size 1500000] [--workers 16]
 //!             [--requests 600] [--out results/zerocopy.csv]
+//! enginebench --scenario shards [--workers 16] [--requests 2000]
+//!             [--out results/shard_scaling.csv]
 //! ```
 //!
 //! **engine** (the default): for each engine the harness starts an
@@ -45,6 +47,17 @@
 //! ```text
 //! mode,size_bytes,requests,workers,errors,duration_s,rps,mb_per_s,p50_ms,p99_ms
 //! ```
+//!
+//! **shards**: intra-node scaling — a single reactor node is restarted
+//! with 1, 2, 4 and 8 shards and driven with a warmed, cache-resident
+//! small-file workload (the regime where the old single epoll loop
+//! serializes). One CSV row per shard count; on a multi-core host the
+//! rps column should grow with the shard count until it hits the
+//! physical core count:
+//!
+//! ```text
+//! shards,requests,workers,errors,duration_s,rps,p50_ms,p99_ms
+//! ```
 
 use std::io::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -59,6 +72,7 @@ use sweb_telemetry::PredictionSample;
 enum Scenario {
     Engine,
     ZeroCopy,
+    Shards,
 }
 
 struct Args {
@@ -74,7 +88,7 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: enginebench [--scenario engine|zerocopy] [--engine reactor|threaded|both] \
+        "usage: enginebench [--scenario engine|zerocopy|shards] [--engine reactor|threaded|both] \
          [--nodes N] [--hold N] [--workers N] [--requests N] [--size BYTES] [--out FILE]"
     );
     std::process::exit(2);
@@ -99,6 +113,7 @@ fn parse_args() -> Args {
                 args.scenario = match value().as_str() {
                     "engine" => Scenario::Engine,
                     "zerocopy" => Scenario::ZeroCopy,
+                    "shards" => Scenario::Shards,
                     _ => usage(),
                 };
             }
@@ -168,6 +183,9 @@ fn run_engine(
         engine,
         // Room for the held population plus the active workers.
         max_conns: args.hold + workers + 64,
+        // The engine comparison isolates the event-loop design; intra-node
+        // scaling has its own scenario (`--scenario shards`).
+        shards: 1,
         ..ClusterConfig::default()
     };
     let cluster = LiveCluster::start(args.nodes, docroot.to_path_buf(), cfg)
@@ -271,6 +289,7 @@ fn run_transmit_mode(
         transmit,
         file_cache_bytes: cache_bytes,
         max_conns: workers + 64,
+        shards: 1, // compare transmit paths, not loop counts
         ..ClusterConfig::default()
     };
     let cluster = LiveCluster::start(1, docroot.to_path_buf(), cfg).expect("start cluster");
@@ -458,7 +477,9 @@ fn main_zerocopy(args: &Args) {
         &out_path,
         "mode,size_bytes,requests,workers,errors,duration_s,rps,mb_per_s,p50_ms,p99_ms",
     );
-    let cache = args.size + (64 << 10); // fits the document with headroom
+    // The cache is lock-striped: a document must fit its *segment's*
+    // share of the capacity, so scale the headroom by the segment count.
+    let cache = (args.size + (64 << 10)) * sweb_server::file_cache::DEFAULT_SEGMENTS as u64;
     let modes: [(&str, TransmitMode, u64); 3] = [
         ("copy", TransmitMode::Copy, cache),
         ("writev", TransmitMode::ZeroCopy, cache),
@@ -495,10 +516,114 @@ fn main_zerocopy(args: &Args) {
     println!("enginebench: wrote {}", out_path.display());
 }
 
+/// One shard-scaling measurement: a single reactor node with `shards`
+/// event loops serving a warmed small-file workload.
+fn run_shards(
+    shards: usize,
+    workers: usize,
+    requests: u64,
+    docroot: &std::path::Path,
+) -> (u64, Duration, Histogram) {
+    let cfg = ClusterConfig {
+        engine: Engine::Reactor,
+        policy: sweb_core::Policy::RoundRobin, // one node; never redirect
+        shards,
+        // Generous node-wide cap: under SO_REUSEPORT the kernel hashes
+        // connections across shards unevenly, and the cap divides by the
+        // shard count — leave room so admission never sheds the workload.
+        max_conns: 4096,
+        ..ClusterConfig::default()
+    };
+    let cluster = LiveCluster::start(1, docroot.to_path_buf(), cfg).expect("start cluster");
+    let base = cluster.base_url(0).to_string();
+
+    // Warm pass: pull every document into the striped cache so the
+    // measured window exercises the event loops, not the disk.
+    for i in 0..16 {
+        let resp = client::get(&format!("{base}/doc{i}.txt")).expect("warm fetch");
+        assert_eq!(resp.status, 200, "warm fetch of doc{i} failed");
+    }
+
+    let remaining = Arc::new(AtomicU64::new(requests));
+    let errors = Arc::new(AtomicU64::new(0));
+    let hist = Arc::new(Mutex::new(Histogram::new()));
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for w in 0..workers {
+        let base = base.clone();
+        let remaining = Arc::clone(&remaining);
+        let errors = Arc::clone(&errors);
+        let hist = Arc::clone(&hist);
+        handles.push(std::thread::spawn(move || {
+            let mut local = Histogram::new();
+            let mut r = w;
+            loop {
+                if remaining.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+                    .is_err()
+                {
+                    break;
+                }
+                let url = format!("{base}/doc{}.txt", r % 16);
+                r += 1;
+                let t = Instant::now();
+                match client::get_with_timeout(&url, Duration::from_secs(30)) {
+                    Ok(resp) if resp.status == 200 => {
+                        local.record(t.elapsed().as_micros() as u64);
+                    }
+                    _ => {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            hist.lock().unwrap().merge(&local);
+        }));
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    let duration = t0.elapsed();
+    cluster.shutdown();
+    let hist = Arc::try_unwrap(hist).expect("workers joined").into_inner().unwrap();
+    (errors.load(Ordering::Relaxed), duration, hist)
+}
+
+fn main_shards(args: &Args) {
+    let workers = args.workers.unwrap_or(16);
+    let requests = args.requests.unwrap_or(2000);
+    let out_path = args
+        .out
+        .clone()
+        .unwrap_or_else(|| std::path::PathBuf::from("results/shard_scaling.csv"));
+    let docroot = make_docroot();
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    eprintln!("enginebench: shards sweep on a {cores}-core host");
+    let mut out = open_csv(
+        &out_path,
+        "shards,requests,workers,errors,duration_s,rps,p50_ms,p99_ms",
+    );
+    for shards in [1usize, 2, 4, 8] {
+        eprintln!("enginebench: shards={shards} workers={workers} requests={requests}");
+        let (errors, duration, hist) = run_shards(shards, workers, requests, &docroot);
+        let served = hist.count();
+        let secs = duration.as_secs_f64().max(1e-9);
+        let row = format!(
+            "{shards},{requests},{workers},{errors},{:.3},{:.1},{:.3},{:.3}",
+            duration.as_secs_f64(),
+            served as f64 / secs,
+            hist.quantile(0.50) as f64 / 1000.0,
+            hist.quantile(0.99) as f64 / 1000.0,
+        );
+        writeln!(out, "{row}").unwrap();
+        eprintln!("enginebench: {row}");
+    }
+    println!("enginebench: wrote {}", out_path.display());
+}
+
 fn main() {
     let args = parse_args();
     match args.scenario {
         Scenario::Engine => main_engine(&args),
         Scenario::ZeroCopy => main_zerocopy(&args),
+        Scenario::Shards => main_shards(&args),
     }
 }

@@ -33,6 +33,20 @@ impl LoadVector {
     pub fn new(cpu: f64, disk: f64, net: f64) -> Self {
         LoadVector { cpu, disk, net }
     }
+
+    /// Scale the CPU and disk components down by `slots` parallel service
+    /// slots (reactor shards / cores). The load factors advertised by
+    /// loadd are *per-resource queue depths*: a node running `p` shards
+    /// serves `k` concurrent jobs at depth `k/p`, matching the analytic
+    /// model's per-node capacity `p` (§2). The net component is left
+    /// alone — the shards share one NIC. Identity at `slots <= 1`.
+    pub fn normalized_by(self, slots: usize) -> Self {
+        if slots <= 1 {
+            return self;
+        }
+        let p = slots as f64;
+        LoadVector { cpu: self.cpu / p, disk: self.disk / p, net: self.net }
+    }
 }
 
 /// A peer's availability as this node believes it — the three-state
@@ -321,6 +335,16 @@ mod tests {
 
     fn t(s: u64) -> SimTime {
         SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn normalized_by_scales_cpu_and_disk_but_not_net() {
+        let l = LoadVector::new(8.0, 4.0, 2.0);
+        let n = l.normalized_by(4);
+        assert_eq!(n, LoadVector::new(2.0, 1.0, 2.0));
+        // Identity for a single slot (and the degenerate zero).
+        assert_eq!(l.normalized_by(1), l);
+        assert_eq!(l.normalized_by(0), l);
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub mod sys;
 pub mod timer;
 pub mod workers;
 
+use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
 use std::os::fd::AsRawFd;
@@ -155,6 +156,13 @@ pub trait App: Send + Sync + 'static {
     /// (response queued to socket drained). The decide/fetch phases are
     /// measured inside [`App::respond`] by the application itself.
     fn on_phase(&self, _phase: Phase, _micros: u64) {}
+    /// This app's event loop is about to start polling (called on the
+    /// loop thread). With [`spawn_sharded`], each shard's app hears its
+    /// own loop come up — the hook marks the shard live.
+    fn on_shard_start(&self) {}
+    /// The matching end of [`App::on_shard_start`]: the loop has drained
+    /// its connections and is exiting (shutdown or loop error).
+    fn on_shard_stop(&self) {}
 }
 
 /// How the reactor turns a [`Response`] into wire bytes.
@@ -173,10 +181,15 @@ pub enum TransmitMode {
 #[derive(Debug, Clone)]
 pub struct ReactorConfig {
     /// Admission cap: connections beyond this are answered 503.
+    /// [`spawn_sharded`] divides this node-wide total evenly per shard.
     pub max_conns: usize,
-    /// Worker threads for blocking fulfilment.
+    /// Worker threads for blocking fulfilment. Defaults to
+    /// [`default_workers`] (the machine's `available_parallelism()`
+    /// clamped to `[4, 32]`; override with `SWEB_REACTOR_WORKERS`).
+    /// [`spawn_sharded`] divides this node-wide total evenly per shard.
     pub workers: usize,
-    /// Bounded depth of the worker submission queue.
+    /// Bounded depth of the worker submission queue (divided per shard by
+    /// [`spawn_sharded`]).
     pub worker_queue: usize,
     /// Evict a connection that produces no complete request for this long.
     pub read_timeout: Duration,
@@ -203,13 +216,35 @@ pub struct ReactorConfig {
     /// missing one is answered 503 + `Retry-After` (or evicted mid-write)
     /// instead of hanging its client.
     pub request_budget: Duration,
+    /// Force [`spawn_sharded`]'s single-acceptor hand-off path even where
+    /// `SO_REUSEPORT` is available (also forced by the
+    /// `SWEB_REACTOR_NO_REUSEPORT=1` environment variable). Exists so
+    /// tests exercise the portable fallback deterministically; ignored by
+    /// single-shard reactors.
+    pub force_handoff_accept: bool,
+}
+
+/// Default worker-pool size: `SWEB_REACTOR_WORKERS` when set to a
+/// positive integer, otherwise [`std::thread::available_parallelism`]
+/// clamped to `[4, 32]` — the old fixed constant (4) is the floor, so
+/// small machines behave exactly as before, while larger ones stop
+/// serializing blocking fulfilment behind four threads.
+pub fn default_workers() -> usize {
+    if let Some(n) =
+        std::env::var("SWEB_REACTOR_WORKERS").ok().and_then(|v| v.parse::<usize>().ok())
+    {
+        if n > 0 {
+            return n;
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).clamp(4, 32)
 }
 
 impl Default for ReactorConfig {
     fn default() -> ReactorConfig {
         ReactorConfig {
             max_conns: 1024,
-            workers: 4,
+            workers: default_workers(),
             worker_queue: 512,
             read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
@@ -220,6 +255,7 @@ impl Default for ReactorConfig {
             use_writev: true,
             use_sendfile: true,
             request_budget: Duration::from_secs(10),
+            force_handoff_accept: false,
         }
     }
 }
@@ -261,24 +297,268 @@ pub fn spawn(
     cfg: ReactorConfig,
     shutdown: Arc<AtomicBool>,
 ) -> io::Result<ReactorHandle> {
-    listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
+    let (handle, _doorbell) = spawn_shard(Some(listener), app, cfg, shutdown, None, addr, 0)?;
+    Ok(handle)
+}
+
+/// Accepted connections waiting for a shard that doesn't own a listener
+/// (the portable accept fallback).
+type Handoff = Arc<Mutex<VecDeque<TcpStream>>>;
+
+/// Spawn one shard's loop thread. `listener` is `None` in hand-off mode,
+/// where `handoff` carries accepted streams in; the returned doorbell
+/// socket wakes the loop after a push.
+fn spawn_shard(
+    listener: Option<TcpListener>,
+    app: Arc<dyn App>,
+    cfg: ReactorConfig,
+    shutdown: Arc<AtomicBool>,
+    handoff: Option<Handoff>,
+    addr: SocketAddr,
+    shard: usize,
+) -> io::Result<(ReactorHandle, Arc<UdpSocket>)> {
+    if let Some(l) = &listener {
+        l.set_nonblocking(true)?;
+    }
     let poller = Poller::new()?;
     let backend = poller.backend();
 
-    // Self-addressed UDP socket: the workers' doorbell into the loop.
+    // Self-addressed UDP socket: the workers' (and acceptor's) doorbell
+    // into the loop.
     let wakeup_rx = UdpSocket::bind("127.0.0.1:0")?;
     wakeup_rx.set_nonblocking(true)?;
     wakeup_rx.connect(wakeup_rx.local_addr()?)?;
-    let wakeup_tx = wakeup_rx.try_clone()?;
+    let wakeup_tx = Arc::new(wakeup_rx.try_clone()?);
+    let doorbell = Arc::clone(&wakeup_tx);
 
     let thread = std::thread::Builder::new()
-        .name(format!("sweb-reactor-{}", addr.port()))
+        .name(format!("sweb-reactor-{}-s{shard}", addr.port()))
         .spawn(move || {
-            Loop::new(listener, app, cfg, shutdown, poller, wakeup_rx, wakeup_tx).run()
+            Loop::new(listener, app, cfg, shutdown, poller, wakeup_rx, wakeup_tx, handoff).run()
         })?;
 
-    Ok(ReactorHandle { thread: Some(thread), addr, backend })
+    Ok((ReactorHandle { thread: Some(thread), addr, backend }, doorbell))
+}
+
+/// A running sharded reactor: per-shard loop handles, plus the fallback
+/// acceptor thread when the kernel isn't distributing accepts.
+pub struct ShardedHandle {
+    shards: Vec<ReactorHandle>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    /// Address the shard group is listening on.
+    pub addr: SocketAddr,
+    /// Readiness backend in use (`"epoll"` or `"poll"`).
+    pub backend: &'static str,
+    /// How accepts reach the shards: `"single"` (one shard owns the only
+    /// listener), `"reuseport"` (one `SO_REUSEPORT` listener per shard,
+    /// kernel-distributed), or `"handoff"` (one acceptor thread
+    /// round-robining streams into per-shard queues).
+    pub accept_mode: &'static str,
+}
+
+impl ShardedHandle {
+    /// Number of shard loops.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Wait for the acceptor (if any) and every shard loop to exit (after
+    /// `shutdown` was flagged). Returns the first shard error, if any.
+    pub fn join(mut self) -> io::Result<()> {
+        if let Some(t) = self.acceptor.take() {
+            let _ = t.join();
+        }
+        let mut result = Ok(());
+        for shard in self.shards.drain(..) {
+            if let Err(e) = shard.join() {
+                result = Err(e);
+            }
+        }
+        result
+    }
+}
+
+/// Spawn `apps.len()` reactor shards all serving the same port. `cfg`
+/// describes the node-wide totals: `max_conns`, `workers`, and
+/// `worker_queue` are divided evenly across shards (each at least 1), so
+/// a sharded node has the same aggregate budgets as a single-loop one.
+///
+/// With one app this is exactly [`spawn`]. With several, each shard binds
+/// its own `SO_REUSEPORT` listener on the shared port and the kernel
+/// distributes accepts — `listener` itself must have been bound with
+/// [`sys::bind_reuseport`] so later group members can join. Where that
+/// isn't possible (non-Linux, `SWEB_REACTOR_NO_REUSEPORT=1`, or
+/// [`ReactorConfig::force_handoff_accept`]), a single acceptor thread
+/// owns the listener and hands accepted streams round-robin to per-shard
+/// queues, ringing each shard's doorbell socket.
+pub fn spawn_sharded(
+    listener: TcpListener,
+    apps: Vec<Arc<dyn App>>,
+    cfg: ReactorConfig,
+    shutdown: Arc<AtomicBool>,
+) -> io::Result<ShardedHandle> {
+    assert!(!apps.is_empty(), "spawn_sharded needs at least one shard app");
+    let n = apps.len();
+    let addr = listener.local_addr()?;
+    let shard_cfg = ReactorConfig {
+        max_conns: (cfg.max_conns / n).max(1),
+        workers: (cfg.workers / n).max(1),
+        worker_queue: (cfg.worker_queue / n).max(1),
+        ..cfg
+    };
+
+    if n == 1 {
+        let app = apps.into_iter().next().unwrap();
+        let (handle, _) = spawn_shard(Some(listener), app, shard_cfg, shutdown, None, addr, 0)?;
+        let backend = handle.backend;
+        return Ok(ShardedHandle {
+            shards: vec![handle],
+            acceptor: None,
+            addr,
+            backend,
+            accept_mode: "single",
+        });
+    }
+
+    let force_handoff = shard_cfg.force_handoff_accept
+        || std::env::var_os("SWEB_REACTOR_NO_REUSEPORT").is_some_and(|v| v == "1");
+
+    // Happy path: one SO_REUSEPORT listener per shard, kernel-distributed
+    // accepts. Any bind failure (non-Linux; `listener` not itself bound
+    // with the flag) abandons the group and falls back to hand-off.
+    let mut extra: Vec<TcpListener> = Vec::new();
+    if !force_handoff {
+        for _ in 1..n {
+            match sys::bind_reuseport(addr) {
+                Ok(l) => extra.push(l),
+                Err(_) => {
+                    extra.clear();
+                    break;
+                }
+            }
+        }
+    }
+
+    if extra.len() == n - 1 {
+        let mut listeners = vec![listener];
+        listeners.append(&mut extra);
+        let mut shards = Vec::with_capacity(n);
+        let mut backend = "";
+        for (shard, (l, app)) in listeners.into_iter().zip(apps).enumerate() {
+            let (handle, _) = spawn_shard(
+                Some(l),
+                app,
+                shard_cfg.clone(),
+                Arc::clone(&shutdown),
+                None,
+                addr,
+                shard,
+            )?;
+            backend = handle.backend;
+            shards.push(handle);
+        }
+        return Ok(ShardedHandle {
+            shards,
+            acceptor: None,
+            addr,
+            backend,
+            accept_mode: "reuseport",
+        });
+    }
+
+    // Portable fallback: shards own no listener; one acceptor thread
+    // distributes streams round-robin and rings each shard's doorbell.
+    let acceptor_apps = apps.clone();
+    let mut shards = Vec::with_capacity(n);
+    let mut handoffs: Vec<Handoff> = Vec::with_capacity(n);
+    let mut doorbells = Vec::with_capacity(n);
+    let mut backend = "";
+    for (shard, app) in apps.into_iter().enumerate() {
+        let handoff: Handoff = Arc::new(Mutex::new(VecDeque::new()));
+        let (handle, doorbell) = spawn_shard(
+            None,
+            app,
+            shard_cfg.clone(),
+            Arc::clone(&shutdown),
+            Some(Arc::clone(&handoff)),
+            addr,
+            shard,
+        )?;
+        backend = handle.backend;
+        shards.push(handle);
+        handoffs.push(handoff);
+        doorbells.push(doorbell);
+    }
+    listener.set_nonblocking(true)?;
+    let stop = Arc::clone(&shutdown);
+    let acceptor = std::thread::Builder::new()
+        .name(format!("sweb-acceptor-{}", addr.port()))
+        .spawn(move || acceptor_loop(listener, acceptor_apps, handoffs, doorbells, stop))?;
+    Ok(ShardedHandle {
+        shards,
+        acceptor: Some(acceptor),
+        addr,
+        backend,
+        accept_mode: "handoff",
+    })
+}
+
+/// The fallback acceptor: owns the only listener, consults shard 0's
+/// accept gate (chaos pause / fd-pressure, same semantics as the in-loop
+/// accept path), and deals accepted streams round-robin into the shard
+/// hand-off queues.
+fn acceptor_loop(
+    listener: TcpListener,
+    apps: Vec<Arc<dyn App>>,
+    handoffs: Vec<Handoff>,
+    doorbells: Vec<Arc<UdpSocket>>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let n = handoffs.len();
+    let mut rr = 0usize;
+    let mut error_streak: u32 = 0;
+    let backoff = |streak: &mut u32, e: &io::Error, app: &Arc<dyn App>| {
+        app.on_accept_error(e);
+        *streak = streak.saturating_add(1);
+        let ms = 5u64.saturating_mul(1 << (*streak).min(8)).min(1000);
+        std::thread::sleep(Duration::from_millis(ms));
+    };
+    while !shutdown.load(Ordering::Relaxed) {
+        match apps[0].accept_gate() {
+            AcceptGate::Proceed => {}
+            AcceptGate::Pause => {
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+            AcceptGate::FailFd => {
+                let e = io::Error::from_raw_os_error(24);
+                backoff(&mut error_streak, &e, &apps[0]);
+                continue;
+            }
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                error_streak = 0;
+                let t = rr % n;
+                rr = rr.wrapping_add(1);
+                apps[t].on_accept();
+                {
+                    let mut q = match handoffs[t].lock() {
+                        Ok(g) => g,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
+                    q.push_back(stream);
+                }
+                let _ = doorbells[t].send(&[1]);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => backoff(&mut error_streak, &e, &apps[0]),
+        }
+    }
 }
 
 /// Per-connection protocol position.
@@ -350,13 +630,16 @@ struct Completion {
 }
 
 struct Loop {
-    listener: TcpListener,
+    /// `None` in hand-off mode: accepts arrive via `handoff` instead.
+    listener: Option<TcpListener>,
     app: Arc<dyn App>,
     cfg: ReactorConfig,
     shutdown: Arc<AtomicBool>,
     poller: Poller,
     wakeup_rx: UdpSocket,
     wakeup_tx: Arc<UdpSocket>,
+    /// Streams dealt to this shard by the fallback acceptor thread.
+    handoff: Option<Handoff>,
     conns: Slab<Conn>,
     wheel: TimerWheel,
     pool: WorkerPool,
@@ -371,13 +654,14 @@ struct Loop {
 impl Loop {
     #[allow(clippy::too_many_arguments)]
     fn new(
-        listener: TcpListener,
+        listener: Option<TcpListener>,
         app: Arc<dyn App>,
         cfg: ReactorConfig,
         shutdown: Arc<AtomicBool>,
         poller: Poller,
         wakeup_rx: UdpSocket,
-        wakeup_tx: UdpSocket,
+        wakeup_tx: Arc<UdpSocket>,
+        handoff: Option<Handoff>,
     ) -> Loop {
         let wheel = TimerWheel::new(cfg.timer_slots, cfg.timer_tick_ms);
         let pool = WorkerPool::new(cfg.workers, cfg.worker_queue, "sweb");
@@ -388,7 +672,8 @@ impl Loop {
             shutdown,
             poller,
             wakeup_rx,
-            wakeup_tx: Arc::new(wakeup_tx),
+            wakeup_tx,
+            handoff,
             conns: Slab::new(),
             wheel,
             pool,
@@ -404,7 +689,23 @@ impl Loop {
     }
 
     fn run(mut self) -> io::Result<()> {
-        self.poller.register(self.listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)?;
+        self.app.on_shard_start();
+        let result = self.run_inner();
+
+        // Drain: close every connection, then join the workers.
+        for (_, conn) in self.conns.drain_all() {
+            let _ = self.poller.deregister(conn.stream.as_raw_fd());
+            self.app.on_conn_close();
+        }
+        self.pool.shutdown();
+        self.app.on_shard_stop();
+        result
+    }
+
+    fn run_inner(&mut self) -> io::Result<()> {
+        if let Some(fd) = self.listener.as_ref().map(|l| l.as_raw_fd()) {
+            self.poller.register(fd, TOKEN_LISTENER, Interest::READ)?;
+        }
         self.poller.register(self.wakeup_rx.as_raw_fd(), TOKEN_WAKEUP, Interest::READ)?;
 
         let mut events: Vec<Event> = Vec::with_capacity(256);
@@ -422,6 +723,9 @@ impl Loop {
                 }
             }
 
+            // Checked every iteration, not only on a doorbell event: a
+            // dropped wakeup datagram must not strand a handed-off stream.
+            self.drain_handoff();
             self.drain_completions();
 
             let now = self.now_ms();
@@ -433,33 +737,27 @@ impl Loop {
             if let Some(until) = self.listener_parked_until {
                 if now >= until {
                     self.listener_parked_until = None;
-                    self.poller.register(
-                        self.listener.as_raw_fd(),
-                        TOKEN_LISTENER,
-                        Interest::READ,
-                    )?;
+                    if let Some(fd) = self.listener.as_ref().map(|l| l.as_raw_fd()) {
+                        self.poller.register(fd, TOKEN_LISTENER, Interest::READ)?;
+                    }
                 }
             }
         }
-
-        // Drain: close every connection, then join the workers.
-        for (_, conn) in self.conns.drain_all() {
-            let _ = self.poller.deregister(conn.stream.as_raw_fd());
-            self.app.on_conn_close();
-        }
-        self.pool.shutdown();
         Ok(())
     }
 
     // -------------------------------------------------- accept + admission
 
     fn accept_ready(&mut self) {
+        let Some(listener_fd) = self.listener.as_ref().map(|l| l.as_raw_fd()) else {
+            return;
+        };
         match self.app.accept_gate() {
             AcceptGate::Proceed => {}
             AcceptGate::Pause => {
                 // Hold the backlog: park the listener briefly and re-check
                 // the gate on the way back in.
-                let _ = self.poller.deregister(self.listener.as_raw_fd());
+                let _ = self.poller.deregister(listener_fd);
                 self.listener_parked_until = Some(self.now_ms() + 20);
                 return;
             }
@@ -470,13 +768,17 @@ impl Loop {
                 self.app.on_accept_error(&e);
                 self.accept_errors = self.accept_errors.saturating_add(1);
                 let backoff = 5u64.saturating_mul(1 << self.accept_errors.min(8)).min(1000);
-                let _ = self.poller.deregister(self.listener.as_raw_fd());
+                let _ = self.poller.deregister(listener_fd);
                 self.listener_parked_until = Some(self.now_ms() + backoff);
                 return;
             }
         }
         loop {
-            match self.listener.accept() {
+            let accepted = match &self.listener {
+                Some(l) => l.accept(),
+                None => return,
+            };
+            match accepted {
                 Ok((stream, peer)) => {
                     self.accept_errors = 0;
                     self.app.on_accept();
@@ -500,7 +802,7 @@ impl Loop {
                     self.app.on_accept_error(&e);
                     self.accept_errors = self.accept_errors.saturating_add(1);
                     let backoff = 5u64.saturating_mul(1 << self.accept_errors.min(8)).min(1000);
-                    let _ = self.poller.deregister(self.listener.as_raw_fd());
+                    let _ = self.poller.deregister(listener_fd);
                     self.listener_parked_until = Some(self.now_ms() + backoff);
                     break;
                 }
@@ -785,6 +1087,39 @@ impl Loop {
         while let Ok(n) = self.wakeup_rx.recv(&mut buf) {
             if n == 0 {
                 break;
+            }
+        }
+    }
+
+    /// Admit streams dealt to this shard by the fallback acceptor. The
+    /// acceptor already counted the accept (`on_accept`); this mirrors the
+    /// cap-check / admit / close accounting of [`Loop::accept_ready`].
+    fn drain_handoff(&mut self) {
+        if self.handoff.is_none() {
+            return;
+        }
+        loop {
+            let next = {
+                let q = self.handoff.as_ref().unwrap();
+                let mut q = match q.lock() {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                q.pop_front()
+            };
+            let Some(stream) = next else { return };
+            if self.conns.len() >= self.cfg.max_conns {
+                self.shed(stream);
+                continue;
+            }
+            let peer = stream
+                .peer_addr()
+                .unwrap_or_else(|_| SocketAddr::from(([0, 0, 0, 0], 0)));
+            let t0 = Instant::now();
+            if self.admit(stream, peer).is_err() {
+                self.app.on_conn_close();
+            } else {
+                self.app.on_phase(Phase::Accept, t0.elapsed().as_micros() as u64);
             }
         }
     }

@@ -230,6 +230,22 @@ pub fn send_file(
 /// for the staleness timeout's worth of seconds).
 #[cfg(target_os = "linux")]
 pub fn bind_reuseaddr(addr: std::net::SocketAddr) -> io::Result<std::net::TcpListener> {
+    bind_with(addr, false)
+}
+
+/// Bind a listener with `SO_REUSEADDR` **and** `SO_REUSEPORT`, so several
+/// listeners — one per reactor shard — share one port and the kernel
+/// distributes incoming connections across them (hashed on the 4-tuple).
+/// Every listener on the port must set the flag *before* bind, or the
+/// kernel refuses the group: sharded callers bind their first listener
+/// through here too, never through a plain `TcpListener::bind`.
+#[cfg(target_os = "linux")]
+pub fn bind_reuseport(addr: std::net::SocketAddr) -> io::Result<std::net::TcpListener> {
+    bind_with(addr, true)
+}
+
+#[cfg(target_os = "linux")]
+fn bind_with(addr: std::net::SocketAddr, reuseport: bool) -> io::Result<std::net::TcpListener> {
     use std::os::fd::FromRawFd;
 
     extern "C" {
@@ -250,6 +266,7 @@ pub fn bind_reuseaddr(addr: std::net::SocketAddr) -> io::Result<std::net::TcpLis
     const SOCK_STREAM: i32 = 1;
     const SOL_SOCKET: i32 = 1;
     const SO_REUSEADDR: i32 = 2;
+    const SO_REUSEPORT: i32 = 15;
 
     let std::net::SocketAddr::V4(v4) = addr else {
         return Err(io::Error::new(io::ErrorKind::Unsupported, "IPv4 addresses only"));
@@ -265,6 +282,9 @@ pub fn bind_reuseaddr(addr: std::net::SocketAddr) -> io::Result<std::net::TcpLis
     };
     let one: i32 = 1;
     if unsafe { setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, 4) } < 0 {
+        return fail(fd);
+    }
+    if reuseport && unsafe { setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, 4) } < 0 {
         return fail(fd);
     }
     let sa = SockAddrIn {
@@ -286,6 +306,14 @@ pub fn bind_reuseaddr(addr: std::net::SocketAddr) -> io::Result<std::net::TcpLis
 /// fail with `EADDRINUSE` until `TIME_WAIT` sockets clear.
 #[cfg(not(target_os = "linux"))]
 pub fn bind_reuseaddr(addr: std::net::SocketAddr) -> io::Result<std::net::TcpListener> {
+    std::net::TcpListener::bind(addr)
+}
+
+/// Portable fallback: a plain bind. The second shard's bind then fails
+/// with `EADDRINUSE`, which sharded callers detect and use to fall back
+/// to the single-acceptor hand-off path.
+#[cfg(not(target_os = "linux"))]
+pub fn bind_reuseport(addr: std::net::SocketAddr) -> io::Result<std::net::TcpListener> {
     std::net::TcpListener::bind(addr)
 }
 
@@ -653,6 +681,35 @@ mod tests {
         assert_eq!(write_two(tx.as_raw_fd(), b"head", b"").unwrap(), 4);
         drop(tx);
         assert_eq!(read_exact_n(&mut rx, 8), b"tailhead");
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn reuseport_listeners_share_one_port() {
+        // Two listeners bound to one port form a kernel accept group; a
+        // plain second bind on the same port must still fail.
+        let a = bind_reuseport("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = a.local_addr().unwrap();
+        let b = bind_reuseport(addr).expect("second reuseport bind joins the group");
+        assert_eq!(b.local_addr().unwrap(), addr);
+        assert!(
+            TcpListener::bind(addr).is_err(),
+            "a non-reuseport bind must not join the group"
+        );
+        // Connections land on *some* member of the group and are served.
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+        for _ in 0..8 {
+            let _client = TcpStream::connect(addr).unwrap();
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+            loop {
+                if a.accept().is_ok() || b.accept().is_ok() {
+                    break;
+                }
+                assert!(std::time::Instant::now() < deadline, "accept never arrived");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
     }
 
     #[test]

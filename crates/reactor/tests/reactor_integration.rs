@@ -25,6 +25,8 @@ struct EchoApp {
     closed: AtomicUsize,
     zero_copy: AtomicUsize,
     sendfile: AtomicUsize,
+    shard_starts: AtomicUsize,
+    shard_stops: AtomicUsize,
     big: Mutex<Option<Bytes>>,
     file_path: Mutex<Option<PathBuf>>,
 }
@@ -69,6 +71,12 @@ impl App for EchoApp {
     }
     fn on_sendfile(&self, _bytes: usize) {
         self.sendfile.fetch_add(1, Ordering::SeqCst);
+    }
+    fn on_shard_start(&self) {
+        self.shard_starts.fetch_add(1, Ordering::SeqCst);
+    }
+    fn on_shard_stop(&self) {
+        self.shard_stops.fetch_add(1, Ordering::SeqCst);
     }
 }
 
@@ -412,6 +420,86 @@ fn head_on_file_body_reports_length_without_body() {
         "sweb-reactor-head-{}",
         std::process::id()
     )));
+}
+
+// ---------------------------------------------------------------- sharded
+
+/// One HTTP/1.0 exchange against `addr` on a fresh connection.
+fn exchange_at(addr: std::net::SocketAddr, raw: &[u8]) -> String {
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    s.write_all(raw).unwrap();
+    let mut out = String::new();
+    let _ = s.read_to_string(&mut out);
+    out
+}
+
+#[test]
+fn sharded_group_serves_every_request_and_runs_all_loops() {
+    // Four shards, one app per shard so per-shard activity is visible.
+    let listener = sweb_reactor::sys::bind_reuseport("127.0.0.1:0".parse().unwrap()).unwrap();
+    let apps: Vec<Arc<EchoApp>> = (0..4).map(|_| Arc::new(EchoApp::default())).collect();
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let handle = sweb_reactor::spawn_sharded(
+        listener,
+        apps.iter().map(|a| Arc::clone(a) as Arc<dyn App>).collect(),
+        ReactorConfig::default(),
+        Arc::clone(&shutdown),
+    )
+    .unwrap();
+    assert_eq!(handle.shard_count(), 4);
+    if cfg!(target_os = "linux") {
+        assert_eq!(handle.accept_mode, "reuseport");
+    }
+    let addr = handle.addr;
+
+    let total_started =
+        || apps.iter().map(|a| a.shard_starts.load(Ordering::SeqCst)).sum::<usize>();
+    assert!(wait_until(Duration::from_secs(2), || total_started() == 4), "shards never started");
+
+    for i in 0..24 {
+        let reply = exchange_at(addr, format!("GET /r{i} HTTP/1.0\r\n\r\n").as_bytes());
+        assert!(reply.starts_with("HTTP/1.0 200"), "{reply}");
+        assert!(reply.contains(&format!("target=/r{i}")), "{reply}");
+    }
+    let total_served = apps.iter().map(|a| a.served.load(Ordering::SeqCst)).sum::<usize>();
+    assert_eq!(total_served, 24, "every request must be served exactly once across shards");
+
+    shutdown.store(true, Ordering::Relaxed);
+    handle.join().unwrap();
+    let total_stopped = apps.iter().map(|a| a.shard_stops.load(Ordering::SeqCst)).sum::<usize>();
+    assert_eq!(total_stopped, 4, "every shard loop must report stopping");
+}
+
+#[test]
+fn handoff_fallback_round_robins_accepts_across_shards() {
+    // force_handoff_accept exercises the portable path even on Linux: a
+    // single acceptor thread deals streams into per-shard queues.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let apps: Vec<Arc<EchoApp>> = (0..2).map(|_| Arc::new(EchoApp::default())).collect();
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let cfg = ReactorConfig { force_handoff_accept: true, ..ReactorConfig::default() };
+    let handle = sweb_reactor::spawn_sharded(
+        listener,
+        apps.iter().map(|a| Arc::clone(a) as Arc<dyn App>).collect(),
+        cfg,
+        Arc::clone(&shutdown),
+    )
+    .unwrap();
+    assert_eq!(handle.accept_mode, "handoff");
+    let addr = handle.addr;
+
+    for i in 0..8 {
+        let reply = exchange_at(addr, format!("GET /h{i} HTTP/1.0\r\n\r\n").as_bytes());
+        assert!(reply.starts_with("HTTP/1.0 200"), "{reply}");
+        assert!(reply.contains(&format!("target=/h{i}")), "{reply}");
+    }
+    // Strict round-robin: 8 connections over 2 shards is 4 each.
+    assert_eq!(apps[0].served.load(Ordering::SeqCst), 4);
+    assert_eq!(apps[1].served.load(Ordering::SeqCst), 4);
+
+    shutdown.store(true, Ordering::Relaxed);
+    handle.join().unwrap();
 }
 
 #[test]

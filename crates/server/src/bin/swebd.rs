@@ -24,12 +24,13 @@ struct Args {
     access_log: Option<std::path::PathBuf>,
     oracle: Option<std::path::PathBuf>,
     fault_plan: Option<std::path::PathBuf>,
+    shards: usize,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: swebd [--nodes N] [--docroot DIR] [--policy sweb|rr|locality|cpu] \
-         [--engine reactor|threaded] [--port-base P] [--loadd-ms MS] \
+         [--engine reactor|threaded] [--shards N] [--port-base P] [--loadd-ms MS] \
          [--access-log FILE] [--oracle FILE] [--fault-plan FILE]"
     );
     std::process::exit(2);
@@ -46,6 +47,7 @@ fn parse_args() -> Args {
         access_log: None,
         oracle: None,
         fault_plan: None,
+        shards: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -63,6 +65,7 @@ fn parse_args() -> Args {
                 }
             }
             "--engine" => args.engine = value().parse().unwrap_or_else(|_| usage()),
+            "--shards" => args.shards = value().parse().unwrap_or_else(|_| usage()),
             "--port-base" => args.port_base = Some(value().parse().unwrap_or_else(|_| usage())),
             "--loadd-ms" => args.loadd_ms = value().parse().unwrap_or_else(|_| usage()),
             "--access-log" => args.access_log = Some(value().into()),
@@ -86,6 +89,13 @@ fn main() {
         engine: args.engine,
         port_base: args.port_base,
         ..Default::default()
+    };
+    if args.shards > 0 {
+        cfg.shards = args.shards;
+    }
+    let shards_desc = match cfg.shards {
+        0 => "auto".to_string(),
+        n => n.to_string(),
     };
     cfg.sweb.loadd_period = sweb_des::SimTime::from_millis(args.loadd_ms);
     cfg.sweb.stale_timeout = sweb_des::SimTime::from_millis(args.loadd_ms * 4);
@@ -140,10 +150,11 @@ fn main() {
         }
     };
     println!(
-        "swebd: {}-node SWEB cluster, policy {:?}, engine {}, docroot {:?}",
+        "swebd: {}-node SWEB cluster, policy {:?}, engine {}, shards {}, docroot {:?}",
         cluster.len(),
         args.policy,
         args.engine.name(),
+        shards_desc,
         args.docroot
     );
     for i in 0..cluster.len() {

@@ -58,9 +58,15 @@ pub struct ClusterConfig {
     pub policy: Policy,
     /// Connection engine each node runs (default: [`Engine::Reactor`]).
     pub engine: Engine,
-    /// Per-node admission cap (reactor engine): connections beyond this
+    /// Per-node admission cap (both engines): connections beyond this
     /// are answered `503` and counted in `NodeStats::shed`.
     pub max_conns: usize,
+    /// Reactor shards per node: per-core event loops sharing the node's
+    /// port via `SO_REUSEPORT`. `0` (the default) means auto — one shard
+    /// per available core. Ignored by [`Engine::ThreadPerConn`]. The
+    /// default can also be set with the `SWEB_SHARDS` environment
+    /// variable (an explicit non-zero value here wins).
+    pub shards: usize,
     /// Response transmit shape (reactor engine): zero-copy writev/sendfile
     /// (the default) or the contiguous-copy baseline, kept selectable so
     /// benchmarks can measure what the copy costs.
@@ -106,6 +112,10 @@ impl Default for ClusterConfig {
             policy: Policy::Sweb,
             engine: Engine::default(),
             max_conns: 4096,
+            shards: std::env::var("SWEB_SHARDS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0),
             transmit: sweb_reactor::TransmitMode::ZeroCopy,
             sweb,
             cgi: crate::cgi::CgiRegistry::demo(),
@@ -117,6 +127,23 @@ impl Default for ClusterConfig {
             request_budget: Duration::from_secs(10),
         }
     }
+}
+
+/// Resolve the configured shard count to the one the cluster will run:
+/// the threaded engine is always a single logical shard; the reactor
+/// defaults (`shards == 0`) to one shard per available core, capped at
+/// [`sweb_telemetry::MAX_SHARD_CELLS`] so every shard gets its own
+/// metric cell.
+fn resolve_shards(cfg: &ClusterConfig) -> usize {
+    if cfg.engine == Engine::ThreadPerConn {
+        return 1;
+    }
+    let n = if cfg.shards == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        cfg.shards
+    };
+    n.clamp(1, sweb_telemetry::MAX_SHARD_CELLS)
 }
 
 /// One cluster slot: the node's shared state (stable across restarts)
@@ -142,11 +169,19 @@ impl LiveCluster {
     /// standing in for the NFS crossmounted disks).
     pub fn start(n: usize, docroot: PathBuf, cfg: ClusterConfig) -> std::io::Result<LiveCluster> {
         assert!(n >= 1, "at least one node");
-        // Bind everything first so every node knows every address.
+        let shards = resolve_shards(&cfg);
+        // Bind everything first so every node knows every address. A
+        // multi-shard reactor node binds its port with `SO_REUSEPORT` so
+        // the other shards can join the accept group later.
         let listeners: Vec<TcpListener> = (0..n)
-            .map(|i| match cfg.port_base {
-                Some(base) => TcpListener::bind(("127.0.0.1", base + i as u16)),
-                None => TcpListener::bind("127.0.0.1:0"),
+            .map(|i| {
+                let addr = ("127.0.0.1", cfg.port_base.map_or(0, |base| base + i as u16));
+                if shards > 1 {
+                    let sa = std::net::SocketAddr::from((std::net::Ipv4Addr::LOCALHOST, addr.1));
+                    sweb_reactor::sys::bind_reuseport(sa)
+                } else {
+                    TcpListener::bind(addr)
+                }
             })
             .collect::<Result<_, _>>()?;
         let udps: Vec<UdpSocket> =
@@ -171,6 +206,8 @@ impl LiveCluster {
             let shared = Arc::new(NodeShared {
                 id: NodeId(i as u32),
                 engine: cfg.engine,
+                shards,
+                shard_live: (0..shards).map(|_| AtomicBool::new(false)).collect(),
                 max_conns: cfg.max_conns,
                 transmit: cfg.transmit,
                 cluster: cluster_spec.clone(),
@@ -187,7 +224,7 @@ impl LiveCluster {
                 draining: AtomicBool::new(false),
                 shutdown: AtomicBool::new(false),
                 start,
-                stats: NodeStats::new(),
+                stats: NodeStats::new(shards),
                 chaos: Arc::clone(&chaos),
                 request_budget: cfg.request_budget,
             });
@@ -297,7 +334,12 @@ impl LiveCluster {
             .trim_start_matches("http://")
             .parse()
             .map_err(|_| std::io::Error::other("unparseable node address"))?;
-        let listener = sweb_reactor::sys::bind_reuseaddr(http_addr)?;
+        let listener = if shared.shards > 1 {
+            // Shard groups need the flag back on the primary bind too.
+            sweb_reactor::sys::bind_reuseport(http_addr)?
+        } else {
+            sweb_reactor::sys::bind_reuseaddr(http_addr)?
+        };
         let udp = UdpSocket::bind(shared.peer_udp[i])?;
         // Flags must reset *before* spawn or the new threads exit at once.
         shared.shutdown.store(false, Ordering::Relaxed);

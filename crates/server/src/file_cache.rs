@@ -9,6 +9,15 @@
 //! [`FileId`]s are 64-bit FNV-1a hashes, and on the (rare) collision the
 //! path check makes the cache serve the *correct* bytes from disk instead
 //! of another document's body.
+//!
+//! The cache is **lock-striped** for the sharded reactor: the capacity is
+//! split across [`DEFAULT_SEGMENTS`] independent segments, each with its
+//! own mutex, LRU, and hit/miss/eviction/collision counters. A `FileId`
+//! hashes to exactly one segment, so two shards faulting in different
+//! documents never contend on one lock, while two shards reading the same
+//! hot document still share a single [`Bytes`] body. A single-segment
+//! cache ([`FileCache::with_segments`] with `segments = 1`) behaves
+//! exactly like the old global-mutex cache, global LRU order included.
 
 use std::collections::HashMap;
 use std::path::Path;
@@ -20,6 +29,11 @@ use parking_lot::Mutex;
 use sweb_cluster::{FileId, PageCache};
 use sweb_core::CacheDigest;
 
+/// Default stripe count: enough segments that 8 reactor shards rarely
+/// collide on a lock, few enough that per-segment capacity shares stay
+/// useful (16 MiB default capacity → 2 MiB per segment).
+pub const DEFAULT_SEGMENTS: usize = 8;
+
 struct Entry {
     body: Bytes,
     mtime: SystemTime,
@@ -29,17 +43,41 @@ struct Entry {
     path: String,
 }
 
-/// Byte-bounded, mtime-validated LRU cache of document bodies.
+/// Byte-bounded, mtime-validated, lock-striped LRU cache of document
+/// bodies.
 pub struct FileCache {
+    segments: Box<[Segment]>,
+}
+
+/// One independent stripe: its own lock, LRU, and counters.
+struct Segment {
     inner: Mutex<Inner>,
     hits: AtomicU64,
     misses: AtomicU64,
     collisions: AtomicU64,
+    evictions: AtomicU64,
 }
 
 struct Inner {
     lru: PageCache,
     bodies: HashMap<FileId, Entry>,
+}
+
+/// Point-in-time counters for one cache segment, for `/sweb-status`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SegmentStats {
+    /// Lifetime hits served from this segment.
+    pub hits: u64,
+    /// Lifetime misses (including invalidations and read errors).
+    pub misses: u64,
+    /// Lifetime FNV collisions detected in this segment.
+    pub collisions: u64,
+    /// Lifetime LRU evictions from this segment.
+    pub evictions: u64,
+    /// Bytes currently resident in this segment.
+    pub used: u64,
+    /// This segment's capacity share in bytes.
+    pub capacity: u64,
 }
 
 /// FNV-1a over the canonical request path — the cache's [`FileId`]
@@ -54,56 +92,113 @@ pub fn key_of(path: &str) -> FileId {
 }
 
 impl FileCache {
-    /// A cache holding at most `capacity` bytes of document bodies.
+    /// A cache holding at most `capacity` bytes of document bodies,
+    /// striped across [`DEFAULT_SEGMENTS`] segments.
     pub fn new(capacity: u64) -> Self {
-        FileCache {
-            inner: Mutex::new(Inner { lru: PageCache::new(capacity), bodies: HashMap::new() }),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            collisions: AtomicU64::new(0),
-        }
+        FileCache::with_segments(capacity, DEFAULT_SEGMENTS)
     }
 
-    /// Lifetime hit count.
+    /// A cache striped across `segments` stripes (clamped to `1..=64`),
+    /// each owning an even share of `capacity`. With one segment this is
+    /// the old single-mutex cache, global LRU order included.
+    pub fn with_segments(capacity: u64, segments: usize) -> Self {
+        let n = segments.clamp(1, 64);
+        let share = capacity / n as u64;
+        let segments = (0..n)
+            .map(|_| Segment {
+                inner: Mutex::new(Inner {
+                    lru: PageCache::new(share),
+                    bodies: HashMap::new(),
+                }),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                collisions: AtomicU64::new(0),
+                evictions: AtomicU64::new(0),
+            })
+            .collect();
+        FileCache { segments }
+    }
+
+    /// Number of stripes.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Which stripe `key` lives in. Fibonacci-hash the FileId first so
+    /// stripe choice isn't correlated with FNV's low-byte patterns.
+    fn segment_of(&self, key: FileId) -> &Segment {
+        let mixed = key.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.segments[(mixed >> 56) as usize % self.segments.len()]
+    }
+
+    /// Lifetime hit count (summed across segments).
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.segments.iter().map(|s| s.hits.load(Ordering::Relaxed)).sum()
     }
 
-    /// Lifetime miss count (including invalidations and read errors).
+    /// Lifetime miss count, including invalidations and read errors
+    /// (summed across segments).
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.segments.iter().map(|s| s.misses.load(Ordering::Relaxed)).sum()
     }
 
     /// Lifetime count of FNV `FileId` collisions detected (served
     /// correctly from disk, not from the colliding entry).
     pub fn collisions(&self) -> u64 {
-        self.collisions.load(Ordering::Relaxed)
+        self.segments.iter().map(|s| s.collisions.load(Ordering::Relaxed)).sum()
     }
 
-    /// Bytes currently cached.
+    /// Lifetime count of bodies evicted by per-segment LRU pressure.
+    pub fn evictions(&self) -> u64 {
+        self.segments.iter().map(|s| s.evictions.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Bytes currently cached (summed across segments).
     pub fn used(&self) -> u64 {
-        self.inner.lock().lru.used()
+        self.segments.iter().map(|s| s.inner.lock().lru.used()).sum()
     }
 
-    /// Configured capacity in bytes.
+    /// Configured capacity in bytes: the sum of segment shares (at most
+    /// the requested capacity; integer division may round each share
+    /// down).
     pub fn capacity(&self) -> u64 {
-        self.inner.lock().lru.capacity()
+        self.segments.iter().map(|s| s.inner.lock().lru.capacity()).sum()
+    }
+
+    /// Per-segment counter snapshot, in stripe order.
+    pub fn segment_stats(&self) -> Vec<SegmentStats> {
+        self.segments
+            .iter()
+            .map(|s| {
+                let inner = s.inner.lock();
+                SegmentStats {
+                    hits: s.hits.load(Ordering::Relaxed),
+                    misses: s.misses.load(Ordering::Relaxed),
+                    collisions: s.collisions.load(Ordering::Relaxed),
+                    evictions: s.evictions.load(Ordering::Relaxed),
+                    used: inner.lru.used(),
+                    capacity: inner.lru.capacity(),
+                }
+            })
+            .collect()
     }
 
     /// Whether `path`'s body is resident right now (no I/O, no LRU touch).
     pub fn resident(&self, path: &str) -> bool {
         let key = key_of(path);
-        let inner = self.inner.lock();
+        let inner = self.segment_of(key).inner.lock();
         inner.lru.contains(key) && inner.bodies.get(&key).is_some_and(|e| e.path == path)
     }
 
     /// Bloom digest of currently-resident [`FileId`]s, for loadd
     /// broadcasts: peers use it to price this node's cache hits.
     pub fn digest(&self) -> CacheDigest {
-        let inner = self.inner.lock();
         let mut d = CacheDigest::default();
-        for key in inner.lru.keys() {
-            d.insert(key);
+        for seg in self.segments.iter() {
+            let inner = seg.inner.lock();
+            for key in inner.lru.keys() {
+                d.insert(key);
+            }
         }
         d
     }
@@ -124,10 +219,11 @@ impl FileCache {
         path: &str,
         full: &Path,
     ) -> std::io::Result<(Bytes, SystemTime)> {
+        let seg = self.segment_of(key);
         let mtime = std::fs::metadata(full)?.modified()?;
         let mut collided = false;
         {
-            let mut inner = self.inner.lock();
+            let mut inner = seg.inner.lock();
             if let Some(entry) = inner.bodies.get(&key) {
                 if entry.path != path {
                     // Hash collision: this slot holds a different
@@ -137,23 +233,23 @@ impl FileCache {
                 } else if entry.mtime == mtime && inner.lru.contains(key) {
                     let body = entry.body.clone();
                     inner.lru.access(key, body.len() as u64); // LRU touch
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    seg.hits.fetch_add(1, Ordering::Relaxed);
                     return Ok((body, mtime));
                 }
             }
         }
         // Miss, stale, or collision: read outside the lock (large files,
         // slow disks).
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        seg.misses.fetch_add(1, Ordering::Relaxed);
         let body = Bytes::from(std::fs::read(full)?);
         if collided {
             // Leave the resident entry in place — two documents fighting
             // over one slot would just thrash it. The loser of the slot is
             // served from disk, correctly, every time.
-            self.collisions.fetch_add(1, Ordering::Relaxed);
+            seg.collisions.fetch_add(1, Ordering::Relaxed);
             return Ok((body, mtime));
         }
-        let mut inner = self.inner.lock();
+        let mut inner = seg.inner.lock();
         inner.lru.invalidate(key);
         if (body.len() as u64) <= inner.lru.capacity() {
             inner.lru.access(key, body.len() as u64);
@@ -164,7 +260,12 @@ impl FileCache {
         // Drop bodies the LRU evicted (PageCache only tracks ids/sizes).
         let lru = &inner.lru;
         let live: std::collections::HashSet<FileId> = lru.keys().collect();
+        let before = inner.bodies.len();
         inner.bodies.retain(|k, _| live.contains(k));
+        let dropped = before - inner.bodies.len();
+        if dropped > 0 {
+            seg.evictions.fetch_add(dropped as u64, Ordering::Relaxed);
+        }
         Ok((body, mtime))
     }
 }
@@ -172,6 +273,7 @@ impl FileCache {
 impl std::fmt::Debug for FileCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FileCache")
+            .field("segments", &self.segments.len())
             .field("hits", &self.hits())
             .field("misses", &self.misses())
             .field("used", &self.used())
@@ -218,7 +320,8 @@ mod tests {
 
     #[test]
     fn capacity_bounds_and_eviction() {
-        let cache = FileCache::new(100);
+        // Single segment: the old global-LRU semantics, verbatim.
+        let cache = FileCache::with_segments(100, 1);
         let files: Vec<_> = (0..5)
             .map(|i| tmpfile(&format!("cap{i}"), &[b'x'; 40]))
             .collect();
@@ -228,6 +331,7 @@ mod tests {
         }
         // Only the two most recent 40-byte bodies fit.
         assert_eq!(cache.used(), 80);
+        assert_eq!(cache.evictions(), 3, "three bodies must have been evicted");
         // Oldest entries miss again; newest hits.
         cache.read("/cap4", &files[4]).unwrap();
         assert_eq!(cache.hits(), 1);
@@ -299,7 +403,8 @@ mod tests {
 
     #[test]
     fn digest_drops_evicted_files() {
-        let cache = FileCache::new(100);
+        // Single segment so the two 80-byte bodies genuinely compete.
+        let cache = FileCache::with_segments(100, 1);
         let fa = tmpfile("ev-a", &[b'a'; 80]);
         let fb = tmpfile("ev-b", &[b'b'; 80]);
         cache.read("/ev-a", &fa).unwrap();
@@ -311,5 +416,87 @@ mod tests {
         assert!(!d.contains(key_of("/ev-a")), "evicted file leaked into the digest");
         let _ = std::fs::remove_file(&fa);
         let _ = std::fs::remove_file(&fb);
+    }
+
+    #[test]
+    fn capacity_is_split_across_segments() {
+        let cache = FileCache::with_segments(800, 8);
+        assert_eq!(cache.segment_count(), 8);
+        assert_eq!(cache.capacity(), 800);
+        let stats = cache.segment_stats();
+        assert_eq!(stats.len(), 8);
+        assert!(stats.iter().all(|s| s.capacity == 100));
+        // Clamping: zero segments becomes one.
+        assert_eq!(FileCache::with_segments(100, 0).segment_count(), 1);
+    }
+
+    #[test]
+    fn concurrent_striped_reads_never_serve_wrong_bytes() {
+        // The striped-cache property test: many threads hammering get /
+        // insert across segments — including two documents *forced onto
+        // one FileId* — must always receive the bytes of the path they
+        // asked for, and no segment may ever exceed its capacity share.
+        use std::sync::Arc;
+
+        let n_docs = 16usize;
+        let body_len = 64usize;
+        // Room for roughly half the documents: constant eviction churn.
+        let cache = Arc::new(FileCache::with_segments((n_docs * body_len / 2) as u64, 4));
+        let files: Vec<(String, std::path::PathBuf, Vec<u8>)> = (0..n_docs)
+            .map(|i| {
+                let body = vec![b'a' + (i as u8 % 26); body_len];
+                (format!("/p{i}"), tmpfile(&format!("prop{i}"), &body), body)
+            })
+            .collect();
+        let files = Arc::new(files);
+        // Forced-collision pair: distinct paths, one FileId.
+        let col_key = FileId(0x0dd0_c0de);
+        let col_a = tmpfile("prop-col-a", b"ALPHA-ALPHA-ALPHA");
+        let col_b = tmpfile("prop-col-b", b"beta-beta-beta-bb");
+
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                let files = Arc::clone(&files);
+                let (col_a, col_b) = (col_a.clone(), col_b.clone());
+                std::thread::spawn(move || {
+                    for round in 0..200 {
+                        let (path, full, want) = &files[(t * 7 + round * 3) % files.len()];
+                        let (got, _) = cache.read(path, full).unwrap();
+                        assert_eq!(&got[..], &want[..], "wrong body for {path}");
+                        // Interleave the forced-collision pair.
+                        let (cp, cf, cw): (&str, &std::path::PathBuf, &[u8]) =
+                            if (t + round) % 2 == 0 {
+                                ("/col-a", &col_a, b"ALPHA-ALPHA-ALPHA")
+                            } else {
+                                ("/col-b", &col_b, b"beta-beta-beta-bb")
+                            };
+                        let (got, _) = cache.read_keyed(col_key, cp, cf).unwrap();
+                        assert_eq!(&got[..], cw, "collision served the wrong body for {cp}");
+                        // Segment shares are a hard bound at all times.
+                        for (i, s) in cache.segment_stats().iter().enumerate() {
+                            assert!(
+                                s.used <= s.capacity,
+                                "segment {i} over its share: {} > {}",
+                                s.used,
+                                s.capacity
+                            );
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert!(cache.hits() > 0, "the workload must produce some hits");
+        assert!(cache.collisions() > 0, "forced collisions must be detected");
+        assert!(cache.used() <= cache.capacity());
+
+        for (_, f, _) in files.iter() {
+            let _ = std::fs::remove_file(f);
+        }
+        let _ = std::fs::remove_file(&col_a);
+        let _ = std::fs::remove_file(&col_b);
     }
 }

@@ -119,8 +119,11 @@ pub fn sample_load(shared: &NodeShared) -> LoadVector {
     let net = shared.stats.bytes_in_flight.get().max(0) as f64 / 1e6;
     // Disk pressure tracks concurrent fulfillments; on a localhost cluster
     // the OS page cache absorbs reads, so active requests is the best
-    // observable proxy for the disk channel too.
-    LoadVector::new(active, active, net)
+    // observable proxy for the disk channel too. A sharded node divides
+    // the CPU/disk queue depth by its shard count: k concurrent jobs over
+    // p per-core loops is depth k/p, the analytic model's per-node
+    // capacity p made visible to the scheduler.
+    LoadVector::new(active, active, net).normalized_by(shared.shards)
 }
 
 /// Write a membership-churn line to the shared access log, CLF-shaped so

@@ -11,7 +11,9 @@ use sweb_cluster::{ClusterSpec, NodeId};
 use sweb_core::{Broker, LoadTable, Oracle, SwebConfig};
 use sweb_des::SimTime;
 use sweb_http::Request;
-use sweb_telemetry::{CostFeedback, Counter, Gauge, Phase, PhaseTimes, Registry};
+use sweb_telemetry::{
+    CostFeedback, Counter, Phase, PhaseTimes, Registry, ShardedCounter, ShardedGauge,
+};
 
 use crate::cluster::Engine;
 use crate::handler;
@@ -23,10 +25,10 @@ use crate::handler;
 pub struct NodeStats {
     /// The metric registry behind every handle below (renders `/metrics`).
     pub registry: Arc<Registry>,
-    /// Connections accepted.
-    pub accepted: Arc<Counter>,
-    /// Requests fulfilled locally with 200/404/...
-    pub served: Arc<Counter>,
+    /// Connections accepted (shard-local cells: hot on every accept).
+    pub accepted: Arc<ShardedCounter>,
+    /// Requests fulfilled locally with 200/404/... (shard-local cells).
+    pub served: Arc<ShardedCounter>,
     /// Requests answered with a 302 to a peer.
     pub redirected: Arc<Counter>,
     /// Requests that arrived already carrying the redirect marker.
@@ -35,15 +37,15 @@ pub struct NodeStats {
     pub bad_requests: Arc<Counter>,
     /// `accept(2)` failures (fd exhaustion, aborted handshakes, ...).
     pub accept_errors: Arc<Counter>,
-    /// Connections refused with 503 by admission control.
-    pub shed: Arc<Counter>,
-    /// Connections evicted by the reactor's timeout wheel.
-    pub evicted: Arc<Counter>,
+    /// Connections refused with 503 by admission control (shard-local).
+    pub shed: Arc<ShardedCounter>,
+    /// Connections evicted by the reactor's timeout wheel (shard-local).
+    pub evicted: Arc<ShardedCounter>,
     /// Responses whose body left via the zero-copy transmit path (shared
     /// `Bytes` gathered at the socket, no per-request body copy).
-    pub zero_copy: Arc<Counter>,
-    /// Responses streamed from an fd via `sendfile(2)`.
-    pub sendfile: Arc<Counter>,
+    pub zero_copy: Arc<ShardedCounter>,
+    /// Responses streamed from an fd via `sendfile(2)` (shard-local).
+    pub sendfile: Arc<ShardedCounter>,
     /// loadd packets that failed to decode (garbage, short, bad node id).
     pub loadd_decode_errors: Arc<Counter>,
     /// Peers this node demoted Alive → Suspect (silent for two loadd periods).
@@ -56,10 +58,12 @@ pub struct NodeStats {
     pub deadline_overruns: Arc<Counter>,
     /// Transient file-fetch errors retried under bounded backoff.
     pub fetch_retries: Arc<Counter>,
-    /// Requests currently in flight on this node (the live "CPU load").
-    pub active: Arc<Gauge>,
-    /// Bytes currently being transferred (the live "net load", scaled).
-    pub bytes_in_flight: Arc<Gauge>,
+    /// Requests currently in flight on this node (the live "CPU load";
+    /// shard-local cells, summed on read).
+    pub active: Arc<ShardedGauge>,
+    /// Bytes currently being transferred (the live "net load", scaled;
+    /// shard-local cells, summed on read).
+    pub bytes_in_flight: Arc<ShardedGauge>,
     /// Per-request phase latency (accept → parse → decide → fetch → write).
     pub phases: PhaseTimes,
     /// Cost-model feedback: predicted `t_s` terms vs measured wall time.
@@ -71,17 +75,22 @@ pub struct NodeStats {
 }
 
 impl NodeStats {
-    /// Build a node's telemetry surface on a fresh registry.
-    pub fn new() -> NodeStats {
+    /// Build a node's telemetry surface on a fresh registry. `shards` is
+    /// the number of per-shard cells behind the hot counters (accept /
+    /// serve / shed / in-flight): each reactor shard increments its own
+    /// cacheline, and scrapes sum the cells, so totals stay exact without
+    /// cross-core ping-pong. Single-engine nodes pass 1.
+    pub fn new(shards: usize) -> NodeStats {
         let registry = Arc::new(Registry::new());
         let c = |name: &str, help: &str| registry.counter(name, &[], help);
+        let sc = |name: &str, help: &str| registry.sharded_counter(name, &[], help, shards);
         let epoch = std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.subsec_nanos() ^ d.as_secs() as u32)
             .unwrap_or(0);
         NodeStats {
-            accepted: c("sweb_connections_accepted_total", "Connections accepted"),
-            served: c("sweb_requests_served_total", "Requests fulfilled locally"),
+            accepted: sc("sweb_connections_accepted_total", "Connections accepted"),
+            served: sc("sweb_requests_served_total", "Requests fulfilled locally"),
             redirected: c("sweb_redirects_issued_total", "Requests answered with a 302 to a peer"),
             received_redirects: c(
                 "sweb_redirects_received_total",
@@ -89,10 +98,10 @@ impl NodeStats {
             ),
             bad_requests: c("sweb_bad_requests_total", "Malformed requests answered 400"),
             accept_errors: c("sweb_accept_errors_total", "accept(2) failures"),
-            shed: c("sweb_connections_shed_total", "Connections refused 503 by admission control"),
-            evicted: c("sweb_connections_evicted_total", "Connections evicted on timeout"),
-            zero_copy: c("sweb_zero_copy_responses_total", "Responses sent via zero-copy writev"),
-            sendfile: c("sweb_sendfile_responses_total", "Responses streamed via sendfile(2)"),
+            shed: sc("sweb_connections_shed_total", "Connections refused 503 by admission control"),
+            evicted: sc("sweb_connections_evicted_total", "Connections evicted on timeout"),
+            zero_copy: sc("sweb_zero_copy_responses_total", "Responses sent via zero-copy writev"),
+            sendfile: sc("sweb_sendfile_responses_total", "Responses streamed via sendfile(2)"),
             loadd_decode_errors: c(
                 "sweb_loadd_decode_errors_total",
                 "loadd packets that failed to decode",
@@ -117,11 +126,17 @@ impl NodeStats {
                 "sweb_fetch_retries_total",
                 "Transient file-fetch errors retried under bounded backoff",
             ),
-            active: registry.gauge("sweb_active_requests", &[], "Requests currently in flight"),
-            bytes_in_flight: registry.gauge(
+            active: registry.sharded_gauge(
+                "sweb_active_requests",
+                &[],
+                "Requests currently in flight",
+                shards,
+            ),
+            bytes_in_flight: registry.sharded_gauge(
                 "sweb_bytes_in_flight",
                 &[],
                 "Response bytes currently being transmitted",
+                shards,
             ),
             phases: PhaseTimes::register(&registry),
             feedback: CostFeedback::register(&registry),
@@ -140,7 +155,7 @@ impl NodeStats {
 
 impl Default for NodeStats {
     fn default() -> NodeStats {
-        NodeStats::new()
+        NodeStats::new(1)
     }
 }
 
@@ -150,7 +165,12 @@ pub struct NodeShared {
     pub id: NodeId,
     /// Connection engine this node runs.
     pub engine: Engine,
-    /// Admission cap for the reactor engine.
+    /// Reactor shards this node runs (1 for the threaded engine).
+    pub shards: usize,
+    /// Liveness of each shard's event loop, set/cleared by the loop
+    /// thread itself; the threaded engine marks slot 0 live at spawn.
+    pub shard_live: Vec<AtomicBool>,
+    /// Node-wide admission cap (divided across shards by the reactor).
     pub max_conns: usize,
     /// Transmit shape for the reactor engine (zero-copy vs copy baseline).
     pub transmit: sweb_reactor::TransmitMode,
@@ -203,13 +223,18 @@ impl NodeShared {
 /// Adapter exposing a node to the event-driven engine: `respond` runs the
 /// same §3.2 pipeline the threaded engine uses, and the reactor's hooks
 /// feed the node's live load gauges — so loadd advertises the same load
-/// vector no matter which engine produced it.
+/// vector no matter which engine produced it. One `ReactorApp` exists per
+/// shard; loop-thread hooks attribute to this shard's metric cell
+/// explicitly, and `respond` pins the worker thread's shard hint so
+/// handler-path increments attribute the same way.
 struct ReactorApp {
     shared: Arc<NodeShared>,
+    shard: usize,
 }
 
 impl sweb_reactor::App for ReactorApp {
     fn respond(&self, peer: &str, req: &Request, body: &[u8]) -> sweb_reactor::Reply {
+        sweb_telemetry::set_shard(self.shard);
         let (resp, file) = handler::respond_parts(&self.shared, req, body);
         if let Some(log) = &self.shared.access_log {
             let body_len = file.as_ref().map(|(_, len)| *len).unwrap_or(resp.body.len() as u64);
@@ -246,19 +271,19 @@ impl sweb_reactor::App for ReactorApp {
         self.shared.stats.deadline_overruns.inc();
     }
     fn on_accept(&self) {
-        self.shared.stats.accepted.inc();
+        self.shared.stats.accepted.inc_at(self.shard);
     }
     fn on_conn_open(&self) {
-        self.shared.stats.active.inc();
+        self.shared.stats.active.inc_at(self.shard);
     }
     fn on_conn_close(&self) {
-        self.shared.stats.active.dec();
+        self.shared.stats.active.dec_at(self.shard);
     }
     fn on_shed(&self) {
-        self.shared.stats.shed.inc();
+        self.shared.stats.shed.inc_at(self.shard);
     }
     fn on_evict(&self) {
-        self.shared.stats.evicted.inc();
+        self.shared.stats.evicted.inc_at(self.shard);
     }
     fn on_bad_request(&self) {
         self.shared.stats.bad_requests.inc();
@@ -267,19 +292,30 @@ impl sweb_reactor::App for ReactorApp {
         self.shared.stats.accept_errors.inc();
     }
     fn on_write_start(&self, bytes: usize) {
-        self.shared.stats.bytes_in_flight.add(bytes as i64);
+        self.shared.stats.bytes_in_flight.add_at(self.shard, bytes as i64);
     }
     fn on_write_end(&self, bytes: usize) {
-        self.shared.stats.bytes_in_flight.sub(bytes as i64);
+        self.shared.stats.bytes_in_flight.sub_at(self.shard, bytes as i64);
     }
     fn on_zero_copy(&self, _bytes: usize) {
-        self.shared.stats.zero_copy.inc();
+        self.shared.stats.zero_copy.inc_at(self.shard);
     }
     fn on_sendfile(&self, _bytes: usize) {
-        self.shared.stats.sendfile.inc();
+        self.shared.stats.sendfile.inc_at(self.shard);
     }
     fn on_phase(&self, phase: Phase, micros: u64) {
         self.shared.stats.phases.record(phase, micros);
+    }
+    fn on_shard_start(&self) {
+        sweb_telemetry::set_shard(self.shard);
+        if let Some(live) = self.shared.shard_live.get(self.shard) {
+            live.store(true, Ordering::Relaxed);
+        }
+    }
+    fn on_shard_stop(&self) {
+        if let Some(live) = self.shared.shard_live.get(self.shard) {
+            live.store(false, Ordering::Relaxed);
+        }
     }
 }
 
@@ -290,8 +326,8 @@ pub struct NodeHandle {
     /// HTTP address the node listens on.
     pub http_addr: SocketAddr,
     threads: Vec<std::thread::JoinHandle<()>>,
-    /// The event loop, when this node runs [`Engine::Reactor`].
-    reactor: Option<sweb_reactor::ReactorHandle>,
+    /// The event loops, when this node runs [`Engine::Reactor`].
+    reactor: Option<sweb_reactor::ShardedHandle>,
     /// The reactor's own stop flag (it checks this every timer tick).
     reactor_shutdown: Option<Arc<AtomicBool>>,
 }
@@ -312,18 +348,27 @@ impl NodeHandle {
         match shared.engine {
             Engine::Reactor => {
                 let stop = Arc::new(AtomicBool::new(false));
-                let app = Arc::new(ReactorApp { shared: Arc::clone(&shared) });
+                let apps: Vec<Arc<dyn sweb_reactor::App>> = (0..shared.shards.max(1))
+                    .map(|shard| {
+                        Arc::new(ReactorApp { shared: Arc::clone(&shared), shard })
+                            as Arc<dyn sweb_reactor::App>
+                    })
+                    .collect();
                 let cfg = sweb_reactor::ReactorConfig {
                     max_conns: shared.max_conns,
                     transmit: shared.transmit,
                     request_budget: shared.request_budget,
                     ..sweb_reactor::ReactorConfig::default()
                 };
-                reactor = Some(sweb_reactor::spawn(listener, app, cfg, Arc::clone(&stop))?);
+                reactor = Some(sweb_reactor::spawn_sharded(listener, apps, cfg, Arc::clone(&stop))?);
                 reactor_shutdown = Some(stop);
             }
             Engine::ThreadPerConn => {
                 listener.set_nonblocking(true)?;
+                // One logical "shard": the accept loop itself.
+                if let Some(live) = shared.shard_live.first() {
+                    live.store(true, Ordering::Relaxed);
+                }
                 // Accept loop: NCSA httpd forked a worker per connection; we
                 // spawn a thread per connection.
                 let accept_shared = Arc::clone(&shared);
@@ -353,6 +398,11 @@ impl NodeHandle {
         for t in self.threads {
             let _ = t.join();
         }
+        // Reactor shards clear their own flags on the way out; the
+        // threaded engine's logical shard goes down with its accept loop.
+        for live in self.shared.shard_live.iter() {
+            live.store(false, Ordering::Relaxed);
+        }
     }
 }
 
@@ -361,6 +411,11 @@ impl NodeHandle {
 /// backoff — 5 ms doubling to a 1 s cap, reset by the next success — so a
 /// storm of failures can't spin the CPU and one failure can't kill the
 /// node, which is what the old `break`-on-error path did.
+///
+/// Admission control matches the reactor: beyond `max_conns` in-flight
+/// requests, a connection is accepted, answered `503` + `Retry-After`,
+/// and counted as *shed* — never as served — so both engines' overload
+/// behavior reads identically in `/metrics`.
 fn accept_loop(shared: Arc<NodeShared>, listener: TcpListener) {
     let mut error_streak: u32 = 0;
     while !shared.shutdown.load(Ordering::Relaxed) {
@@ -381,6 +436,10 @@ fn accept_loop(shared: Arc<NodeShared>, listener: TcpListener) {
                     drop(stream);
                     continue;
                 }
+                if shared.stats.active.get() >= shared.max_conns as i64 {
+                    shed(&shared, stream);
+                    continue;
+                }
                 let accepted_at = Instant::now();
                 let conn_shared = Arc::clone(&shared);
                 std::thread::spawn(move || {
@@ -399,4 +458,19 @@ fn accept_loop(shared: Arc<NodeShared>, listener: TcpListener) {
             }
         }
     }
+}
+
+/// Refuse an accepted-but-over-cap connection: best-effort 503 with
+/// `Retry-After`, counted as shed (the same wire shape the reactor's
+/// admission path writes).
+fn shed(shared: &NodeShared, stream: std::net::TcpStream) {
+    shared.stats.shed.inc();
+    let mut resp = sweb_http::Response::error(sweb_http::StatusCode::ServiceUnavailable);
+    resp.headers.set("Retry-After", "1");
+    resp.headers.set("Connection", "close");
+    let wire = resp.to_bytes(false);
+    let _ = stream.set_nonblocking(true);
+    let mut s = stream;
+    use std::io::Write as _;
+    let _ = s.write(&wire); // small; fits the socket buffer or is lost
 }

@@ -25,7 +25,9 @@ pub const METRICS_PATH: &str = "/metrics";
 ///
 /// v2 added per-peer `health` and the node's `draining` flag and
 /// injected-fault counters (the failure-domain view).
-pub const STATUS_SCHEMA_VERSION: u64 = 2;
+/// v3 added the `shards` array: one row per reactor shard (liveness plus
+/// the shard's slice of the hot counters).
+pub const STATUS_SCHEMA_VERSION: u64 = 3;
 
 /// One node's full introspection snapshot.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,12 +44,34 @@ pub struct StatusReport {
     pub draining: bool,
     /// The node's view of every peer's load.
     pub load: Vec<LoadRow>,
-    /// Lifetime request counters.
+    /// Lifetime request counters (sums across shards).
     pub counters: CounterSnapshot,
+    /// Per-shard breakdown of the hot counters (one row for the threaded
+    /// engine's single logical shard).
+    pub shards: Vec<ShardRow>,
     /// File-cache state.
     pub cache: CacheSnapshot,
     /// Faults injected so far by the chaos harness (all zero without one).
     pub faults: FaultCountsSnapshot,
+}
+
+/// One reactor shard's slice of the node's hot counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRow {
+    /// Shard index.
+    pub shard: u32,
+    /// Whether this shard's event loop is currently running.
+    pub live: bool,
+    /// Connections this shard accepted.
+    pub accepted: u64,
+    /// Requests this shard served.
+    pub served: u64,
+    /// Connections this shard refused 503.
+    pub shed: u64,
+    /// Requests in flight on this shard right now (may go negative for a
+    /// single cell when a connection closes on a different shard's
+    /// thread; only the sum is a true gauge).
+    pub active: i64,
 }
 
 /// One row of the load table as this node sees it.
@@ -177,6 +201,19 @@ impl StatusReport {
                 deadline_overruns: s.deadline_overruns.get(),
                 fetch_retries: s.fetch_retries.get(),
             },
+            shards: (0..shared.shards.max(1))
+                .map(|i| ShardRow {
+                    shard: i as u32,
+                    live: shared
+                        .shard_live
+                        .get(i)
+                        .is_some_and(|l| l.load(std::sync::atomic::Ordering::Relaxed)),
+                    accepted: s.accepted.cell_value(i),
+                    served: s.served.cell_value(i),
+                    shed: s.shed.cell_value(i),
+                    active: s.active.cell_value(i),
+                })
+                .collect(),
             cache: CacheSnapshot {
                 hits: shared.file_cache.hits(),
                 misses: shared.file_cache.misses(),
@@ -237,6 +274,18 @@ impl StatusReport {
             c.deadline_overruns,
             c.fetch_retries,
         ));
+        out.push_str("\nshards:\nshard  live   accepted  served    shed      active\n");
+        for row in &self.shards {
+            out.push_str(&format!(
+                "{:<6} {:<6} {:<9} {:<9} {:<9} {}\n",
+                format!("s{}", row.shard),
+                if row.live { "yes" } else { "no" },
+                row.accepted,
+                row.served,
+                row.shed,
+                row.active,
+            ));
+        }
         out.push_str(&format!(
             "\nfile cache: {} hits, {} misses, {} collisions, {} / {} bytes, digest {} bits set\n",
             self.cache.hits,
@@ -310,6 +359,24 @@ impl StatusReport {
                     ("deadline_overruns", Json::Num(c.deadline_overruns as f64)),
                     ("fetch_retries", Json::Num(c.fetch_retries as f64)),
                 ]),
+            ),
+            (
+                "shards",
+                Json::Arr(
+                    self.shards
+                        .iter()
+                        .map(|row| {
+                            obj(vec![
+                                ("shard", Json::Num(row.shard as f64)),
+                                ("live", Json::Bool(row.live)),
+                                ("accepted", Json::Num(row.accepted as f64)),
+                                ("served", Json::Num(row.served as f64)),
+                                ("shed", Json::Num(row.shed as f64)),
+                                ("active", Json::Num(row.active as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
             ),
             (
                 "cache",
@@ -397,6 +464,21 @@ impl StatusReport {
             deadline_overruns: num_u64(&c, "deadline_overruns")?,
             fetch_retries: num_u64(&c, "fetch_retries")?,
         };
+        let shards = field(v, "shards")?
+            .as_arr()
+            .ok_or("shards is not an array")?
+            .iter()
+            .map(|row| {
+                Ok(ShardRow {
+                    shard: num_u64(row, "shard")? as u32,
+                    live: field(row, "live")?.as_bool().ok_or("live is not a bool")?,
+                    accepted: num_u64(row, "accepted")?,
+                    served: num_u64(row, "served")?,
+                    shed: num_u64(row, "shed")?,
+                    active: num_i64(row, "active")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
         let k = field(v, "cache")?;
         let cache = CacheSnapshot {
             hits: num_u64(&k, "hits")?,
@@ -422,6 +504,7 @@ impl StatusReport {
             draining: field(v, "draining")?.as_bool().ok_or("draining is not a bool")?,
             load,
             counters,
+            shards,
             cache,
             faults,
         })
@@ -520,6 +603,10 @@ mod tests {
                 deadline_overruns: 6,
                 fetch_retries: 9,
             },
+            shards: vec![
+                ShardRow { shard: 0, live: true, accepted: 60, served: 55, shed: 2, active: 3 },
+                ShardRow { shard: 1, live: false, accepted: 40, served: 35, shed: 0, active: 2 },
+            ],
             cache: CacheSnapshot {
                 hits: 50,
                 misses: 40,
@@ -584,6 +671,20 @@ mod tests {
         assert!(text.contains("n0") && text.contains("n1"), "{text}");
         assert!(text.contains("alive") && text.contains("dead"), "{text}");
         assert!(text.contains("17 pkts dropped"), "{text}");
+        // The per-shard breakdown: one row per shard, liveness included.
+        assert!(text.contains("shards:"), "{text}");
+        assert!(text.contains("s0     yes    60        55        2         3"), "{text}");
+        assert!(text.contains("s1     no     40        35        0         2"), "{text}");
+    }
+
+    #[test]
+    fn from_json_rejects_missing_shards() {
+        let report = sample_report();
+        let mut v = report.to_json();
+        if let Json::Obj(members) = &mut v {
+            members.retain(|(k, _)| k != "shards");
+        }
+        assert!(StatusReport::from_json(&v).is_err(), "v3 requires the shards array");
     }
 
     #[test]

@@ -217,12 +217,12 @@ fn partition_marks_suspect_then_dead_then_heals(engine: Engine) {
             "no {event} membership line in access log:\n{log}"
         );
     }
-    // ...and in the v2 status API: per-peer health, plus the injected
-    // packet drops that caused all of this.
+    // ...and in the versioned status API: per-peer health, plus the
+    // injected packet drops that caused all of this.
     let resp = client::get(&format!("{}/sweb-status?format=json", cluster.base_url(0))).unwrap();
     let json = sweb_telemetry::Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
-    let report = StatusReport::from_json(&json).expect("status must parse under schema v2");
-    assert_eq!(report.schema_version, 2);
+    let report = StatusReport::from_json(&json).expect("status must parse under schema v3");
+    assert_eq!(report.schema_version, 3);
     assert_eq!(report.load.len(), 2);
     assert!(report.load.iter().all(|row| row.health == "alive"), "{:?}", report.load);
     assert!(report.faults.packets_dropped > 0, "partition dropped no packets?");

@@ -58,6 +58,8 @@ engine_tests!(
     concurrent_clients_all_succeed,
     file_cache_serves_repeats_from_memory,
     pipelined_requests_on_one_connection_all_answered,
+    pipelined_keepalive_requests_answered_in_order,
+    admission_cap_sheds_excess_connections_with_503,
     graceful_drain_removes_node_from_scheduling_but_keeps_it_serving,
     post_runs_cgi_and_pins_local,
     conditional_get_returns_304_for_fresh_copies,
@@ -267,6 +269,100 @@ fn pipelined_requests_on_one_connection_all_answered(engine: Engine) {
     cluster.shutdown();
 }
 
+fn pipelined_keepalive_requests_answered_in_order(engine: Engine) {
+    // Both requests keep the connection alive, so the server must answer
+    // them *in order* on the same socket — the client tells them apart
+    // only by position.
+    let (cluster, _dir) = start("pipeorder", 1, Policy::RoundRobin, engine);
+    let addr = cluster.base_url(0).strip_prefix("http://").unwrap().to_string();
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream
+        .write_all(
+            b"GET /doc0.txt HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n\
+              GET /doc1.txt HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n",
+        )
+        .unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+
+    // Peel complete responses off the front of the byte stream.
+    let mut buf = Vec::new();
+    let mut bodies: Vec<Vec<u8>> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    while bodies.len() < 2 {
+        let n = stream.read(&mut chunk).unwrap();
+        assert!(n > 0, "connection closed before both responses arrived");
+        buf.extend_from_slice(&chunk[..n]);
+        while let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            let head = String::from_utf8_lossy(&buf[..head_end]).to_string();
+            assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+            let len: usize = head
+                .lines()
+                .find_map(|l| {
+                    let low = l.to_ascii_lowercase();
+                    low.strip_prefix("content-length:")
+                        .map(|v| v.trim().parse().unwrap())
+                })
+                .expect("Content-Length header");
+            let total = head_end + 4 + len;
+            if buf.len() < total {
+                break;
+            }
+            bodies.push(buf[head_end + 4..total].to_vec());
+            buf.drain(..total);
+        }
+    }
+    assert!(
+        bodies[0].starts_with(b"document 0"),
+        "first response must be doc0, got {:?}",
+        String::from_utf8_lossy(&bodies[0][..20.min(bodies[0].len())])
+    );
+    assert!(
+        bodies[1].starts_with(b"document 1"),
+        "second response must be doc1, got {:?}",
+        String::from_utf8_lossy(&bodies[1][..20.min(bodies[1].len())])
+    );
+    drop(stream);
+    assert_eq!(cluster.node(0).stats.accepted.get(), 1, "both requests share one connection");
+    assert_eq!(cluster.node(0).stats.served.get(), 2);
+    cluster.shutdown();
+}
+
+fn admission_cap_sheds_excess_connections_with_503(engine: Engine) {
+    // Over-cap connections are refused with a counted 503 on BOTH
+    // engines — the scheduler reads `shed` as a node-pressure signal, so
+    // the engines must agree on what it means.
+    let dir = docroot(&format!("shedcap-{}", engine.name()));
+    let cfg = ClusterConfig {
+        policy: Policy::RoundRobin,
+        engine,
+        max_conns: 4,
+        shards: 1, // the cap is divided across shards; pin for determinism
+        ..ClusterConfig::default()
+    };
+    let cluster = LiveCluster::start(1, dir, cfg).unwrap();
+    let addr = cluster.base_url(0).strip_prefix("http://").unwrap().to_string();
+
+    // Fill the admission cap with idle connections.
+    let idle: Vec<TcpStream> = (0..4).map(|_| TcpStream::connect(&addr).unwrap()).collect();
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while cluster.node(0).stats.active.get() < 4 {
+        assert!(std::time::Instant::now() < deadline, "cap never filled");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // The next connection is turned away, counted as shed — not served.
+    let mut extra = TcpStream::connect(&addr).unwrap();
+    extra.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut out = String::new();
+    let _ = extra.read_to_string(&mut out);
+    assert!(out.starts_with("HTTP/1.0 503"), "expected shed, got {out:?}");
+    let stats = &cluster.node(0).stats;
+    assert!(stats.shed.get() >= 1, "shed must be counted");
+    assert_eq!(stats.served.get(), 0, "a shed connection is not a served request");
+    drop(idle);
+    cluster.shutdown();
+}
+
 fn graceful_drain_removes_node_from_scheduling_but_keeps_it_serving(engine: Engine) {
     let (cluster, _dir) = start("drain", 3, Policy::FileLocality, engine);
     assert!(cluster.await_loadd_mesh(Duration::from_secs(5)));
@@ -453,6 +549,43 @@ fn cgi_requests_participate_in_scheduling(engine: Engine) {
     // All six share one path => identical home; either all or none
     // redirect. Check consistency rather than a specific count.
     assert!(redirected == 0 || redirected == 6, "got {redirected}");
+    cluster.shutdown();
+}
+
+/// Reactor-only: with `--shards 4` every shard must come up live and the
+/// v3 status report's per-shard breakdown must account for every request
+/// exactly (the rows are read from the same shard-local cells the summed
+/// counters are).
+#[test]
+fn sharded_reactor_reports_every_shard_live_and_exact() {
+    let dir = docroot("shards4");
+    let cfg = ClusterConfig {
+        policy: Policy::RoundRobin,
+        engine: Engine::Reactor,
+        shards: 4,
+        ..ClusterConfig::default()
+    };
+    let cluster = LiveCluster::start(1, dir.clone(), cfg).unwrap();
+    let expected = std::fs::read(dir.join("doc3.txt")).unwrap();
+    for i in 0..12 {
+        let resp = client::get(&format!("{}/doc{}.txt", cluster.base_url(0), i % 8)).unwrap();
+        assert_eq!(resp.status, 200, "request {i}");
+        if i % 8 == 3 {
+            assert_eq!(resp.body, expected, "sharded reactor must serve identical bytes");
+        }
+    }
+    let resp = client::get(&format!("{}/sweb-status?format=json", cluster.base_url(0))).unwrap();
+    let json = sweb_telemetry::Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+    let report = sweb_server::StatusReport::from_json(&json).unwrap();
+    assert_eq!(report.schema_version, 3);
+    assert_eq!(report.shards.len(), 4, "{:?}", report.shards);
+    assert!(report.shards.iter().all(|s| s.live), "{:?}", report.shards);
+    let served: u64 = report.shards.iter().map(|s| s.served).sum();
+    assert!(served >= 12, "per-shard served must cover all requests: {:?}", report.shards);
+    assert_eq!(
+        served, report.counters.served,
+        "shard breakdown must sum to the node counter exactly"
+    );
     cluster.shutdown();
 }
 

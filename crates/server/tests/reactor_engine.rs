@@ -33,6 +33,7 @@ fn admission_control_sheds_with_503_and_counts_it() {
         policy: Policy::RoundRobin,
         engine: Engine::Reactor,
         max_conns: 4,
+        shards: 1, // the cap is divided across shards; pin for determinism
         ..ClusterConfig::default()
     };
     let cluster = LiveCluster::start(1, docroot("shed"), cfg).unwrap();

@@ -9,6 +9,10 @@
 //!   [`Counter`]s, [`Gauge`]s and fixed-bucket log-scale
 //!   [`AtomicHistogram`]s — registration takes a lock once, every
 //!   increment after that is a single atomic op on an `Arc` handle;
+//! * **shard-local cells** ([`ShardedCounter`], [`ShardedGauge`]): hot
+//!   per-request counters split into cacheline-padded per-shard cells so
+//!   multi-core reactor shards never contend on one cacheline — summed on
+//!   scrape, exact, and broken down per shard by `/sweb-status`;
 //! * **per-request phase timing** ([`PhaseTimes`]): accept → parse →
 //!   decide → fetch → write, recorded identically by the reactor and the
 //!   thread-per-connection engine;
@@ -32,6 +36,7 @@ mod hist;
 mod json;
 mod phases;
 mod registry;
+mod sharded;
 
 pub use deadline::RequestDeadline;
 pub use feedback::{CostFeedback, PredictionSample};
@@ -39,3 +44,4 @@ pub use hist::AtomicHistogram;
 pub use json::Json;
 pub use phases::{Phase, PhaseTimes};
 pub use registry::{line_is_well_formed, Counter, Gauge, Registry};
+pub use sharded::{set_shard, ShardedCounter, ShardedGauge, MAX_SHARD_CELLS};

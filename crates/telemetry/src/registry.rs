@@ -11,6 +11,7 @@ use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::hist::AtomicHistogram;
+use crate::sharded::{ShardedCounter, ShardedGauge};
 
 /// A monotonically increasing atomic counter.
 #[derive(Debug, Default)]
@@ -75,6 +76,8 @@ impl Gauge {
 enum Handle {
     Counter(Arc<Counter>),
     Gauge(Arc<Gauge>),
+    ShardedCounter(Arc<ShardedCounter>),
+    ShardedGauge(Arc<ShardedGauge>),
     Histogram(Arc<AtomicHistogram>),
 }
 
@@ -123,6 +126,35 @@ impl Registry {
         g
     }
 
+    /// Register a shard-local counter with `cells` per-shard cells. The
+    /// exposition renders one series carrying the summed value, so sharded
+    /// and plain counters are indistinguishable to scrapers.
+    pub fn sharded_counter(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        cells: usize,
+    ) -> Arc<ShardedCounter> {
+        let c = Arc::new(ShardedCounter::new(cells));
+        self.push(name, labels, help, Handle::ShardedCounter(Arc::clone(&c)));
+        c
+    }
+
+    /// Register a shard-local gauge with `cells` per-shard cells (summed
+    /// into one exposition series, like [`Registry::sharded_counter`]).
+    pub fn sharded_gauge(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        cells: usize,
+    ) -> Arc<ShardedGauge> {
+        let g = Arc::new(ShardedGauge::new(cells));
+        self.push(name, labels, help, Handle::ShardedGauge(Arc::clone(&g)));
+        g
+    }
+
     /// Register a histogram over the standard log-scale bucket ladder.
     pub fn histogram(
         &self,
@@ -155,7 +187,10 @@ impl Registry {
         entries
             .iter()
             .map(|e| match &e.handle {
-                Handle::Counter(_) | Handle::Gauge(_) => 1,
+                Handle::Counter(_)
+                | Handle::Gauge(_)
+                | Handle::ShardedCounter(_)
+                | Handle::ShardedGauge(_) => 1,
                 Handle::Histogram(h) => h.snapshot().len() + 2,
             })
             .sum()
@@ -173,8 +208,8 @@ impl Registry {
             if !described.contains(&e.name.as_str()) {
                 described.push(&e.name);
                 let ty = match e.handle {
-                    Handle::Counter(_) => "counter",
-                    Handle::Gauge(_) => "gauge",
+                    Handle::Counter(_) | Handle::ShardedCounter(_) => "counter",
+                    Handle::Gauge(_) | Handle::ShardedGauge(_) => "gauge",
                     Handle::Histogram(_) => "histogram",
                 };
                 out.push_str(&format!("# HELP {} {}\n# TYPE {} {}\n", e.name, e.help, e.name, ty));
@@ -184,6 +219,12 @@ impl Registry {
                     out.push_str(&series_line(&e.name, &e.labels, None, &c.get().to_string()));
                 }
                 Handle::Gauge(g) => {
+                    out.push_str(&series_line(&e.name, &e.labels, None, &g.get().to_string()));
+                }
+                Handle::ShardedCounter(c) => {
+                    out.push_str(&series_line(&e.name, &e.labels, None, &c.get().to_string()));
+                }
+                Handle::ShardedGauge(g) => {
                     out.push_str(&series_line(&e.name, &e.labels, None, &g.get().to_string()));
                 }
                 Handle::Histogram(h) => {
@@ -365,6 +406,24 @@ sweb_request_phase_us_count{phase=\"parse\"} 2
         assert!(!line_is_well_formed("Bad_Name 1"));
         assert!(!line_is_well_formed("sweb_no_value"));
         assert!(!line_is_well_formed("sweb_bad_value x7"));
+    }
+
+    #[test]
+    fn sharded_handles_render_as_single_summed_series() {
+        let reg = Registry::new();
+        let c = reg.sharded_counter("sweb_sharded_total", &[], "sharded", 4);
+        let g = reg.sharded_gauge("sweb_sharded_active", &[], "sharded", 4);
+        c.inc_at(0);
+        c.add_at(3, 6);
+        g.inc_at(1);
+        g.inc_at(2);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE sweb_sharded_total counter"), "{text}");
+        assert!(text.contains("sweb_sharded_total 7"), "{text}");
+        assert!(text.contains("# TYPE sweb_sharded_active gauge"), "{text}");
+        assert!(text.contains("sweb_sharded_active 2"), "{text}");
+        assert!(text.lines().all(line_is_well_formed), "{text}");
+        assert_eq!(reg.series_count(), 2);
     }
 
     #[test]
