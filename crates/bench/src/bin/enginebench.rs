@@ -1,6 +1,6 @@
 //! `enginebench` — live-cluster benchmarks for the connection engines.
 //!
-//! Three scenarios:
+//! Four scenarios:
 //!
 //! ```text
 //! enginebench [--scenario engine] [--engine reactor|threaded|both] [--nodes 3]
@@ -10,6 +10,8 @@
 //!             [--requests 600] [--out results/zerocopy.csv]
 //! enginebench --scenario shards [--workers 16] [--requests 2000]
 //!             [--out results/shard_scaling.csv]
+//! enginebench --scenario forward [--workers 8] [--requests 1200]
+//!             [--out results/forwarding.csv]
 //! ```
 //!
 //! **engine** (the default): for each engine the harness starts an
@@ -58,6 +60,21 @@
 //! ```text
 //! shards,requests,workers,errors,duration_s,rps,p50_ms,p99_ms
 //! ```
+//!
+//! **forward**: the peer transfer A/B — a 2-node `FileLocality` cluster
+//! driven from node 0 with a Zipf(1.1) request stream whose hottest
+//! documents live on node 1, measured three ways: `redirect` (the
+//! baseline: every remote document costs the client a 302 round trip),
+//! `peer_fetch` (cluster-internal pull over the peer channel, cache
+//! disabled so every remote request pays the relay), and `replicated`
+//! (peer transfer + digest-driven hot-file replication, warmed, so the
+//! hot set serves from local RAM). One CSV row per mode, and a
+//! machine-readable `BENCH_forwarding.json` beside the repo root for the
+//! committed perf trajectory:
+//!
+//! ```text
+//! mode,nodes,requests,workers,zipf_alpha,errors,duration_s,rps,p50_ms,p99_ms,client_redirects,peer_fetches,pushes
+//! ```
 
 use std::io::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -73,6 +90,7 @@ enum Scenario {
     Engine,
     ZeroCopy,
     Shards,
+    Forward,
 }
 
 struct Args {
@@ -88,7 +106,7 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: enginebench [--scenario engine|zerocopy|shards] [--engine reactor|threaded|both] \
+        "usage: enginebench [--scenario engine|zerocopy|shards|forward] [--engine reactor|threaded|both] \
          [--nodes N] [--hold N] [--workers N] [--requests N] [--size BYTES] [--out FILE]"
     );
     std::process::exit(2);
@@ -114,6 +132,7 @@ fn parse_args() -> Args {
                     "engine" => Scenario::Engine,
                     "zerocopy" => Scenario::ZeroCopy,
                     "shards" => Scenario::Shards,
+                    "forward" => Scenario::Forward,
                     _ => usage(),
                 };
             }
@@ -619,11 +638,255 @@ fn main_shards(args: &Args) {
     println!("enginebench: wrote {}", out_path.display());
 }
 
+/// One forward-scenario configuration: how remote documents reach the
+/// client.
+struct ForwardMode {
+    name: &'static str,
+    /// Pull remote documents over the peer channel instead of 302ing.
+    peer_transfer: bool,
+    /// Run the digest-driven replicator (implies a warm-up phase).
+    replicate_hot: bool,
+    /// Document cache on: pulls and pushes seed local RAM. Off isolates
+    /// the per-request relay cost.
+    cache: bool,
+}
+
+struct ForwardOutcome {
+    errors: u64,
+    duration: Duration,
+    hist: Histogram,
+    /// 302 hops the *client* paid during the measured window.
+    client_redirects: u64,
+    /// Peer-channel pulls node 0 performed during the measured window.
+    peer_fetches: u64,
+    /// Replication pushes sent cluster-wide during the measured window.
+    pushes: u64,
+}
+
+/// Cumulative distribution of a Zipf(`alpha`) law over ranks `1..=n`.
+fn zipf_cdf(n: usize, alpha: f64) -> Vec<f64> {
+    let mut acc = 0.0;
+    let mut cdf: Vec<f64> = (1..=n)
+        .map(|rank| {
+            acc += 1.0 / (rank as f64).powf(alpha);
+            acc
+        })
+        .collect();
+    for c in cdf.iter_mut() {
+        *c /= acc;
+    }
+    cdf
+}
+
+/// splitmix64: deterministic per-worker request stream.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn run_forward(
+    mode: &ForwardMode,
+    workers: usize,
+    requests: u64,
+    docroot: &std::path::Path,
+    ranked: &[String],
+    cdf: &[f64],
+) -> ForwardOutcome {
+    let mut cfg = ClusterConfig {
+        engine: Engine::Reactor,
+        policy: sweb_core::Policy::FileLocality,
+        shards: 1,
+        max_conns: workers * 2 + 64,
+        ..ClusterConfig::default()
+    };
+    cfg.sweb.peer_transfer = mode.peer_transfer;
+    cfg.sweb.replicate_hot = mode.replicate_hot;
+    if !mode.cache {
+        cfg.file_cache_bytes = 0;
+    }
+    if mode.replicate_hot {
+        // Tighten the gossip period so replication sweeps (2× loadd)
+        // land inside the warm-up window.
+        cfg.sweb.loadd_period = sweb_des::SimTime::from_millis(100);
+        cfg.sweb.stale_timeout = sweb_des::SimTime::from_millis(1000);
+    }
+    let cluster =
+        LiveCluster::start(2, docroot.to_path_buf(), cfg).expect("start cluster");
+    if !cluster.await_loadd_mesh(Duration::from_secs(10)) {
+        eprintln!("enginebench: warning: loadd mesh did not converge");
+    }
+    let base = cluster.base_url(0).to_string();
+
+    // Pushes are counted from cluster start: replication runs *ahead of
+    // demand*, so its work happens during warm-up, not the measured
+    // window. Pulls and 302s are measured-window deltas.
+    let pushes_before: u64 =
+        (0..2).map(|i| cluster.node(i).stats.pushes_sent.get()).sum();
+
+    if mode.replicate_hot {
+        // Warm-up drives the *home* of the hot set (node 1) with the same
+        // Zipf stream: its popularity counters rise, its cache fills, and
+        // the replicator pushes the hot documents to idle node 0 — whose
+        // digest misses them — *ahead of demand*. The measured window then
+        // arrives at node 0 and finds the hot set already RAM-resident.
+        let home_base = cluster.base_url(1).to_string();
+        let mut rng = 0x5eed_f0f0u64;
+        for _ in 0..requests / 4 {
+            let u = splitmix64(&mut rng) as f64 / u64::MAX as f64;
+            let idx = cdf.iter().position(|&c| u <= c).unwrap_or(ranked.len() - 1);
+            let _ = client::get_with_timeout(
+                &format!("{home_base}{}", ranked[idx]),
+                Duration::from_secs(10),
+            );
+        }
+        // A few replication sweeps (2× the 100 ms loadd period each).
+        std::thread::sleep(Duration::from_millis(700));
+    }
+
+    let fetches_before = cluster.node(0).stats.peer_fetches.get();
+
+    let remaining = Arc::new(AtomicU64::new(requests));
+    let errors = Arc::new(AtomicU64::new(0));
+    let redirects = Arc::new(AtomicU64::new(0));
+    let hist = Arc::new(Mutex::new(Histogram::new()));
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for w in 0..workers {
+        let base = base.clone();
+        let ranked = ranked.to_vec();
+        let cdf = cdf.to_vec();
+        let remaining = Arc::clone(&remaining);
+        let errors = Arc::clone(&errors);
+        let redirects = Arc::clone(&redirects);
+        let hist = Arc::clone(&hist);
+        handles.push(std::thread::spawn(move || {
+            let mut local = Histogram::new();
+            let mut rng = 0x00C0_FFEE ^ (w as u64).wrapping_mul(0x9E37_79B9);
+            loop {
+                if remaining.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+                    .is_err()
+                {
+                    break;
+                }
+                let u = splitmix64(&mut rng) as f64 / u64::MAX as f64;
+                let idx = cdf.iter().position(|&c| u <= c).unwrap_or(ranked.len() - 1);
+                let url = format!("{base}{}", ranked[idx]);
+                let t = Instant::now();
+                match client::get_with_timeout(&url, Duration::from_secs(30)) {
+                    Ok(resp) if resp.status == 200 => {
+                        local.record(t.elapsed().as_micros() as u64);
+                        redirects.fetch_add(resp.redirects as u64, Ordering::Relaxed);
+                    }
+                    _ => {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            hist.lock().unwrap().merge(&local);
+        }));
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    let duration = t0.elapsed();
+    let peer_fetches = cluster.node(0).stats.peer_fetches.get() - fetches_before;
+    let pushes: u64 =
+        (0..2).map(|i| cluster.node(i).stats.pushes_sent.get()).sum::<u64>() - pushes_before;
+    cluster.shutdown();
+    let hist = Arc::try_unwrap(hist).expect("workers joined").into_inner().unwrap();
+    ForwardOutcome {
+        errors: errors.load(Ordering::Relaxed),
+        duration,
+        hist,
+        client_redirects: redirects.load(Ordering::Relaxed),
+        peer_fetches,
+        pushes,
+    }
+}
+
+fn main_forward(args: &Args) {
+    let workers = args.workers.unwrap_or(8);
+    let requests = args.requests.unwrap_or(1200);
+    let alpha = 1.1;
+    let out_path = args
+        .out
+        .clone()
+        .unwrap_or_else(|| std::path::PathBuf::from("results/forwarding.csv"));
+    let docroot = make_docroot();
+
+    // Rank the working set remote-first: Zipf rank 1 (the hottest
+    // document) must live on node 1, so the baseline actually pays the
+    // 302 and the peer modes actually forward. Home assignment is the
+    // same path hash the servers use.
+    let mut ranked: Vec<String> = (0..16).map(|i| format!("/doc{i}.txt")).collect();
+    ranked.sort_by_key(|p| sweb_server::home_of(p, 2) != sweb_cluster::NodeId(1));
+    let cdf = zipf_cdf(ranked.len(), alpha);
+
+    let modes = [
+        ForwardMode { name: "redirect", peer_transfer: false, replicate_hot: false, cache: true },
+        ForwardMode { name: "peer_fetch", peer_transfer: true, replicate_hot: false, cache: false },
+        ForwardMode { name: "replicated", peer_transfer: true, replicate_hot: true, cache: true },
+    ];
+    let mut out = open_csv(
+        &out_path,
+        "mode,nodes,requests,workers,zipf_alpha,errors,duration_s,rps,p50_ms,p99_ms,\
+         client_redirects,peer_fetches,pushes",
+    );
+    let mut json_rows = Vec::new();
+    for mode in &modes {
+        eprintln!(
+            "enginebench: forward mode={} workers={workers} requests={requests}",
+            mode.name
+        );
+        let r = run_forward(mode, workers, requests, &docroot, &ranked, &cdf);
+        let served = r.hist.count();
+        let secs = r.duration.as_secs_f64().max(1e-9);
+        let rps = served as f64 / secs;
+        let p50 = r.hist.quantile(0.50) as f64 / 1000.0;
+        let p99 = r.hist.quantile(0.99) as f64 / 1000.0;
+        let row = format!(
+            "{},2,{requests},{workers},{alpha},{},{:.3},{rps:.1},{p50:.3},{p99:.3},{},{},{}",
+            mode.name,
+            r.errors,
+            r.duration.as_secs_f64(),
+            r.client_redirects,
+            r.peer_fetches,
+            r.pushes,
+        );
+        writeln!(out, "{row}").unwrap();
+        eprintln!("enginebench: {row}");
+        json_rows.push(format!(
+            "    {{\"mode\": \"{}\", \"errors\": {}, \"duration_s\": {:.3}, \"rps\": {rps:.1}, \
+             \"p50_ms\": {p50:.3}, \"p99_ms\": {p99:.3}, \"client_redirects\": {}, \
+             \"peer_fetches\": {}, \"pushes\": {}}}",
+            mode.name,
+            r.errors,
+            r.duration.as_secs_f64(),
+            r.client_redirects,
+            r.peer_fetches,
+            r.pushes,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"forwarding\",\n  \"schema_version\": 1,\n  \"nodes\": 2,\n  \
+         \"requests\": {requests},\n  \"workers\": {workers},\n  \"zipf_alpha\": {alpha},\n  \
+         \"modes\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    std::fs::write("BENCH_forwarding.json", json).expect("write BENCH_forwarding.json");
+    println!("enginebench: wrote {}", out_path.display());
+    println!("enginebench: wrote BENCH_forwarding.json");
+}
+
 fn main() {
     let args = parse_args();
     match args.scenario {
         Scenario::Engine => main_engine(&args),
         Scenario::ZeroCopy => main_zerocopy(&args),
         Scenario::Shards => main_shards(&args),
+        Scenario::Forward => main_forward(&args),
     }
 }

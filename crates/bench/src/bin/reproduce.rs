@@ -141,7 +141,10 @@ fn main() {
     }
     if want("forwarding") {
         let (_, table) = experiments::forwarding_comparison(scale);
-        reporter.emit("forwarding", &table);
+        // `forwarding.csv` belongs to the live-cluster A/B
+        // (`enginebench --scenario forward`); the simulator's model-level
+        // comparison lands beside it as `forwarding_model.csv`.
+        reporter.emit("forwarding_model", &table);
     }
     if want("coopcache") {
         let (_, table) = experiments::coop_cache(scale);

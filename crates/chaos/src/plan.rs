@@ -104,6 +104,33 @@ pub enum Fault {
         /// When the fault is active.
         window: Window,
     },
+    /// Break peer-channel transfers (FETCH/PUSH) from `from` to `to`
+    /// with probability `rate_ppm` / 1_000_000, decided
+    /// deterministically per attempt. A broken attempt fails fast on the
+    /// origin side (as if the channel reset), exercising the
+    /// fall-back-to-redirect path.
+    PeerLoss {
+        /// Pulling/pushing node.
+        from: u32,
+        /// Source/target peer.
+        to: u32,
+        /// Break probability in parts per million (1_000_000 = all).
+        rate_ppm: u32,
+        /// When the fault is active.
+        window: Window,
+    },
+    /// Delay peer-channel transfers from `from` to `to` by `delay_ms`
+    /// before the attempt starts (a congested or lossy channel).
+    PeerDelay {
+        /// Pulling/pushing node.
+        from: u32,
+        /// Source/target peer.
+        to: u32,
+        /// Added latency per transfer, in milliseconds.
+        delay_ms: u64,
+        /// When the fault is active.
+        window: Window,
+    },
 }
 
 /// A complete chaos run description: a seed for every probabilistic
@@ -180,6 +207,14 @@ impl FaultPlan {
                 Fault::FdPressure { node, window } => {
                     format!("fd-pressure node={node} {}", window_fields(window))
                 }
+                Fault::PeerLoss { from, to, rate_ppm, window } => format!(
+                    "peer-loss from={from} to={to} rate_ppm={rate_ppm} {}",
+                    window_fields(window)
+                ),
+                Fault::PeerDelay { from, to, delay_ms, window } => format!(
+                    "peer-delay from={from} to={to} delay_ms={delay_ms} {}",
+                    window_fields(window)
+                ),
             };
             out.push_str(&line);
             out.push('\n');
@@ -256,6 +291,18 @@ impl FaultPlan {
                 "fd-pressure" => plan
                     .faults
                     .push(Fault::FdPressure { node: num("node")? as u32, window: window()? }),
+                "peer-loss" => plan.faults.push(Fault::PeerLoss {
+                    from: num("from")? as u32,
+                    to: num("to")? as u32,
+                    rate_ppm: num("rate_ppm")? as u32,
+                    window: window()?,
+                }),
+                "peer-delay" => plan.faults.push(Fault::PeerDelay {
+                    from: num("from")? as u32,
+                    to: num("to")? as u32,
+                    delay_ms: num("delay_ms")?,
+                    window: window()?,
+                }),
                 other => return Err(err(format!("unknown directive `{other}`"))),
             }
         }
@@ -282,6 +329,13 @@ mod tests {
             .with(Fault::Pause { node: 1, window: Window::between(300, 600) })
             .with(Fault::SlowDisk { node: 0, extra_ms: 40, window: Window::ALWAYS })
             .with(Fault::FdPressure { node: 3, window: Window::between(200, 400) })
+            .with(Fault::PeerLoss {
+                from: 0,
+                to: 2,
+                rate_ppm: 1_000_000,
+                window: Window::between(50, 450),
+            })
+            .with(Fault::PeerDelay { from: 3, to: 1, delay_ms: 20, window: Window::ALWAYS })
     }
 
     #[test]

@@ -25,13 +25,16 @@ struct Args {
     oracle: Option<std::path::PathBuf>,
     fault_plan: Option<std::path::PathBuf>,
     shards: usize,
+    peer_transfer: bool,
+    replicate_hot: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: swebd [--nodes N] [--docroot DIR] [--policy sweb|rr|locality|cpu] \
          [--engine reactor|threaded] [--shards N] [--port-base P] [--loadd-ms MS] \
-         [--access-log FILE] [--oracle FILE] [--fault-plan FILE]"
+         [--access-log FILE] [--oracle FILE] [--fault-plan FILE] \
+         [--peer-transfer] [--replicate-hot]"
     );
     std::process::exit(2);
 }
@@ -48,6 +51,8 @@ fn parse_args() -> Args {
         oracle: None,
         fault_plan: None,
         shards: 0,
+        peer_transfer: false,
+        replicate_hot: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -71,6 +76,8 @@ fn parse_args() -> Args {
             "--access-log" => args.access_log = Some(value().into()),
             "--oracle" => args.oracle = Some(value().into()),
             "--fault-plan" => args.fault_plan = Some(value().into()),
+            "--peer-transfer" => args.peer_transfer = true,
+            "--replicate-hot" => args.replicate_hot = true,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -99,6 +106,8 @@ fn main() {
     };
     cfg.sweb.loadd_period = sweb_des::SimTime::from_millis(args.loadd_ms);
     cfg.sweb.stale_timeout = sweb_des::SimTime::from_millis(args.loadd_ms * 4);
+    cfg.sweb.peer_transfer = args.peer_transfer;
+    cfg.sweb.replicate_hot = args.replicate_hot;
     if let Some(path) = &args.oracle {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
             eprintln!("swebd: cannot read oracle config {path:?}: {e}");

@@ -186,12 +186,19 @@ impl LiveCluster {
             .collect::<Result<_, _>>()?;
         let udps: Vec<UdpSocket> =
             (0..n).map(|_| UdpSocket::bind("127.0.0.1:0")).collect::<Result<_, _>>()?;
+        // The peer transfer channel: one TCP listener per node, bound up
+        // front (like the UDP sockets) so every node knows every peer's
+        // channel address before any node starts serving.
+        let peer_listeners: Vec<TcpListener> =
+            (0..n).map(|_| TcpListener::bind("127.0.0.1:0")).collect::<Result<_, _>>()?;
         let peer_http: Vec<String> = listeners
             .iter()
             .map(|l| Ok(format!("http://{}", l.local_addr()?)))
             .collect::<std::io::Result<_>>()?;
         let peer_udp: Vec<std::net::SocketAddr> =
             udps.iter().map(|u| u.local_addr()).collect::<Result<_, _>>()?;
+        let peer_tcp: Vec<std::net::SocketAddr> =
+            peer_listeners.iter().map(|l| l.local_addr()).collect::<Result<_, _>>()?;
 
         // The cost model needs hardware parameters; a localhost cluster
         // borrows the Meiko calibration (homogeneous nodes).
@@ -202,7 +209,9 @@ impl LiveCluster {
         chaos.arm(start);
 
         let mut slots = Vec::with_capacity(n);
-        for (i, (listener, udp)) in listeners.into_iter().zip(udps).enumerate() {
+        for (i, ((listener, udp), peer_listener)) in
+            listeners.into_iter().zip(udps).zip(peer_listeners).enumerate()
+        {
             let shared = Arc::new(NodeShared {
                 id: NodeId(i as u32),
                 engine: cfg.engine,
@@ -213,6 +222,10 @@ impl LiveCluster {
                 cluster: cluster_spec.clone(),
                 peer_http: peer_http.clone(),
                 peer_udp: peer_udp.clone(),
+                peer_tcp: peer_tcp.clone(),
+                peer_pool: sweb_peer::PeerPool::new(peer_tcp.clone()),
+                popularity: crate::peer_transfer::Popularity::new(),
+                peer_hot: RwLock::new(vec![Vec::new(); n]),
                 loads: RwLock::new(LoadTable::new(n)),
                 broker: Broker::new(cfg.policy, model.clone()),
                 oracle: cfg.oracle.clone(),
@@ -228,7 +241,7 @@ impl LiveCluster {
                 chaos: Arc::clone(&chaos),
                 request_budget: cfg.request_budget,
             });
-            let handle = NodeHandle::spawn(Arc::clone(&shared), listener, udp)?;
+            let handle = NodeHandle::spawn(Arc::clone(&shared), listener, udp, peer_listener)?;
             slots.push(NodeSlot { shared, handle: Mutex::new(Some(handle)) });
         }
         Ok(LiveCluster { slots, chaos, script_pos: Mutex::new(0) })
@@ -341,10 +354,15 @@ impl LiveCluster {
             sweb_reactor::sys::bind_reuseaddr(http_addr)?
         };
         let udp = UdpSocket::bind(shared.peer_udp[i])?;
+        // The peer channel rebinds its original address too (REUSEADDR:
+        // connections the dead node held linger in TIME_WAIT), and every
+        // stale pooled connection to the old incarnation is dropped.
+        let peer_listener = sweb_reactor::sys::bind_reuseaddr(shared.peer_tcp[i])?;
+        shared.peer_pool.disconnect(i);
         // Flags must reset *before* spawn or the new threads exit at once.
         shared.shutdown.store(false, Ordering::Relaxed);
         shared.draining.store(false, Ordering::Relaxed);
-        *slot = Some(NodeHandle::spawn(Arc::clone(shared), listener, udp)?);
+        *slot = Some(NodeHandle::spawn(Arc::clone(shared), listener, udp, peer_listener)?);
         Ok(())
     }
 

@@ -270,6 +270,60 @@ impl FileCache {
     }
 }
 
+impl FileCache {
+    /// Look up a resident body by key — no filesystem stat, no disk
+    /// fallback. Returns the body, its recorded mtime, and the canonical
+    /// path it was cached under. The peer-transfer listener serves FETCH
+    /// requests from here so a pull reads the source's RAM, not its disk.
+    pub fn get(&self, key: FileId) -> Option<(Bytes, SystemTime, String)> {
+        let seg = self.segment_of(key);
+        let mut inner = seg.inner.lock();
+        if !inner.lru.contains(key) {
+            return None;
+        }
+        let (body, mtime, path) = {
+            let entry = inner.bodies.get(&key)?;
+            (entry.body.clone(), entry.mtime, entry.path.clone())
+        };
+        inner.lru.access(key, body.len() as u64); // LRU touch
+        seg.hits.fetch_add(1, Ordering::Relaxed);
+        Some((body, mtime, path))
+    }
+
+    /// Adopt a body that arrived over the peer channel (a pull or a PUSH)
+    /// without touching the filesystem. Returns whether the body was
+    /// actually cached (an oversized body, or one whose `FileId` slot is
+    /// held by a colliding path, is dropped — the next local request will
+    /// read it from the shared docroot, correctly). The entry is keyed and
+    /// mtime-stamped exactly as a disk read would key it, so later reads
+    /// revalidate against the real file and hit.
+    pub fn insert(&self, path: &str, body: Bytes, mtime: SystemTime) -> bool {
+        let key = key_of(path);
+        let seg = self.segment_of(key);
+        let mut inner = seg.inner.lock();
+        if inner.bodies.get(&key).is_some_and(|e| e.path != path) {
+            // Collision: the slot belongs to a different document.
+            seg.collisions.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        if (body.len() as u64) > inner.lru.capacity() {
+            return false;
+        }
+        inner.lru.invalidate(key);
+        inner.lru.access(key, body.len() as u64);
+        inner.bodies.insert(key, Entry { body, mtime, path: path.to_string() });
+        let lru = &inner.lru;
+        let live: std::collections::HashSet<FileId> = lru.keys().collect();
+        let before = inner.bodies.len();
+        inner.bodies.retain(|k, _| live.contains(k));
+        let dropped = before - inner.bodies.len();
+        if dropped > 0 {
+            seg.evictions.fetch_add(dropped as u64, Ordering::Relaxed);
+        }
+        true
+    }
+}
+
 impl std::fmt::Debug for FileCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FileCache")
@@ -416,6 +470,41 @@ mod tests {
         assert!(!d.contains(key_of("/ev-a")), "evicted file leaked into the digest");
         let _ = std::fs::remove_file(&fa);
         let _ = std::fs::remove_file(&fb);
+    }
+
+    #[test]
+    fn inserted_bodies_read_back_byte_identical() {
+        // A body adopted over the peer channel must come back bit-for-bit
+        // through the striped cache — same Bytes, same mtime — and must
+        // revalidate against the real file once one exists.
+        let cache = FileCache::new(1 << 20);
+        let body = Bytes::from_static(b"pushed from a peer");
+        let mtime = SystemTime::UNIX_EPOCH + std::time::Duration::new(1_234_567, 890);
+        assert!(cache.insert("/pushed", body.clone(), mtime));
+        assert!(cache.resident("/pushed"));
+        let (got, got_mtime, path) = cache.get(key_of("/pushed")).unwrap();
+        assert_eq!(got, body, "peer-inserted body must read back identical");
+        assert_eq!(got_mtime, mtime, "mtime must survive adoption exactly");
+        assert_eq!(path, "/pushed");
+        // A matching on-disk file makes the normal read path hit the entry.
+        let f = tmpfile("push", b"pushed from a peer");
+        let disk_mtime = std::fs::metadata(&f).unwrap().modified().unwrap();
+        assert!(cache.insert("/pushed", body.clone(), disk_mtime));
+        let (via_read, _) = cache.read("/pushed", &f).unwrap();
+        assert_eq!(via_read, body);
+        assert!(cache.hits() >= 2);
+        let _ = std::fs::remove_file(&f);
+    }
+
+    #[test]
+    fn insert_refuses_oversized_bodies() {
+        let cache = FileCache::with_segments(64, 1);
+        let t = SystemTime::UNIX_EPOCH;
+        assert!(!cache.insert("/huge", Bytes::from(vec![b'z'; 100]), t), "oversized");
+        assert_eq!(cache.used(), 0);
+        assert!(cache.insert("/small", Bytes::from_static(b"ok"), t));
+        // get() on a missing key is a clean None.
+        assert!(cache.get(FileId(0x1)).is_none());
     }
 
     #[test]

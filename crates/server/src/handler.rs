@@ -24,6 +24,10 @@ const KEEPALIVE_LIMIT: u32 = 64;
 /// below this the fd bookkeeping costs more than the copy it saves.
 const SENDFILE_MIN: u64 = 256 << 10;
 
+/// Wall-clock bound on one peer pull when the request carries no
+/// deadline of its own (thread engine without a budget, tests).
+const FORWARD_BUDGET: Duration = Duration::from_secs(2);
+
 /// The document's "home" node. Every node shares one document root (the
 /// NFS crossmount); homes are assigned by hashing the path — the same
 /// FNV-1a the file cache keys on, so home placement, cache digests and
@@ -347,8 +351,10 @@ fn respond_routed(
         // POST is non-idempotent: never reassign it (§3.2 step 2's
         // "always completed at x" class).
         pinned_local: !req.method.is_redirectable(),
+        // Residency feeds both the cache-aware cost terms and the
+        // peer-transfer pull gate (a resident document is never pulled).
         cached_at_origin: !is_cgi
-            && shared.sweb.cache_aware_cost
+            && (shared.sweb.cache_aware_cost || shared.sweb.peer_transfer)
             && shared.file_cache.resident(&path),
     };
     let decide_started = Instant::now();
@@ -382,10 +388,73 @@ fn respond_routed(
         return (overloaded(shared), None);
     }
 
+    // Step 3½: peer pull — the comparison picked a peer that holds the
+    // document in RAM, close enough to a tie that bouncing the client
+    // (302) would cost more than it saves. Pull the body over the
+    // cluster-internal peer channel instead: the client is answered by
+    // the node it reached (no extra round trip, no Location chase), and
+    // the pulled body seeds the local striped cache so repeats become
+    // plain local hits. CGI never forwards — a Bloom false positive on a
+    // program path must not turn into a FETCH for a file that isn't one.
+    if let (Some(source), false) = (decision.peer_source(), is_cgi) {
+        let budget = deadline
+            .map(|d| d.remaining())
+            .filter(|d| !d.is_zero())
+            .unwrap_or(FORWARD_BUDGET)
+            .min(FORWARD_BUDGET);
+        let forward_started = Instant::now();
+        match crate::peer_transfer::fetch_via_peer(shared, source, info.file, &path, trace, budget)
+        {
+            Ok(doc) => {
+                let forward_us = forward_started.elapsed().as_micros() as u64;
+                shared.stats.phases.record(Phase::Forward, forward_us);
+                shared.stats.peer_fetches.inc();
+                shared.popularity.record(info.file, &path);
+                let body = bytes::Bytes::from(doc.body);
+                shared.file_cache.insert(&path, body.clone(), doc.mtime);
+                let cost = decision.cost;
+                shared.stats.feedback.record(cost.t_redirection, cost.t_data, cost.t_cpu, forward_us);
+                if deadline.is_some_and(|d| d.overrun(Phase::Forward)) {
+                    shared.stats.deadline_overruns.inc();
+                    return (overloaded(shared), None);
+                }
+                shared.stats.served.inc();
+                let mut resp = Response::ok(body, mime_for_path(&path));
+                if let Ok(secs) = doc.mtime.duration_since(std::time::UNIX_EPOCH) {
+                    resp.headers
+                        .set("Last-Modified", sweb_http::format_http_date(secs.as_secs()));
+                }
+                resp.headers.set("X-SWEB-Node", shared.id.0.to_string());
+                return (resp, None);
+            }
+            Err(_) => {
+                // Degrade, never hang: bounce the client to the source
+                // with a classic 302 when it can still be bounced (not
+                // already redirected, source not known dead); otherwise
+                // fall through and serve from the shared docroot.
+                shared.stats.forward_failures.inc();
+                let source_up = shared.loads.read().is_alive(source);
+                if !redirected && source_up {
+                    shared.stats.redirected.inc();
+                    let base = &shared.peer_http[source.index()];
+                    let marked = sweb_http::mark_trace(&req.target, trace);
+                    let mut resp = Response::redirect_to_peer(base, &marked);
+                    resp.headers.set("X-SWEB-Node", shared.id.0.to_string());
+                    return (resp, None);
+                }
+            }
+        }
+    }
+
     // Step 4: fulfillment, timed against the broker's prediction: the
     // chosen candidate's per-term estimate is what this very fetch was
     // scheduled on, so the pair feeds the prediction-error histograms.
     let fetch_started = Instant::now();
+    if !is_cgi {
+        // Count the serve toward this node's popularity table: these
+        // counts feed loadd's hot-list piggyback and the replicator.
+        shared.popularity.record(info.file, &path);
+    }
     let result = fulfill(shared, req, body, &path, is_cgi, &full, size);
     let fetch_us = fetch_started.elapsed().as_micros() as u64;
     shared.stats.phases.record(Phase::Fetch, fetch_us);

@@ -41,6 +41,7 @@ mod cluster;
 mod handler;
 mod loadd;
 mod node;
+mod peer_transfer;
 
 pub mod access_log;
 pub mod cgi;
@@ -52,6 +53,7 @@ pub use access_log::AccessLog;
 pub use file_cache::FileCache;
 pub use cgi::{CgiProgram, CgiRegistry};
 pub use cluster::{ClusterConfig, Engine, LiveCluster};
+pub use handler::home_of;
 pub use sweb_chaos::{Fault, FaultPlan, Injector, ScriptedOp, Window};
 pub use sweb_reactor::TransmitMode;
 pub use node::{NodeHandle, NodeStats};

@@ -1,19 +1,25 @@
 //! The loadd daemon over UDP: periodic load broadcasts, staleness marking.
 //!
-//! Two wire formats, both little-endian and single-datagram:
+//! Three wire formats, all little-endian and single-datagram:
 //!
 //! * **legacy (v1), 29 bytes** —
 //!   `[node_id: u32][cpu: f64][disk: f64][net: f64][leaving: u8]`;
 //! * **v2, 64 bytes** — `b"SW"`, a version byte (2), the same 29-byte
-//!   core, then a 32-byte [`CacheDigest`] of the sender's file cache.
+//!   core, then a 32-byte [`CacheDigest`] of the sender's file cache;
+//! * **v3, ≤ 129 bytes** — the v2 layout with version byte 3, then a
+//!   count byte and up to [`MAX_HOT`] `u64` [`FileId`]s of the sender's
+//!   hottest documents (its popularity counters' top-k). Receivers keep
+//!   the list per peer; the replicator uses it to push hot files where
+//!   demand already exists.
 //!
-//! The codec is versioned for rolling upgrades: v1 packets still decode
-//! (their digest is simply absent, leaving the previous digest in the
-//! table), and a v2 packet misread by a v1 node yields a node id far
-//! beyond any real cluster (`u32` of `"SW\x02…"` ≈ 150 k), which the
-//! receiver's range check discards. The `leaving` flag is a
-//! graceful-drain announcement: peers immediately take the sender out of
-//! their candidate pools instead of waiting for the staleness timeout.
+//! The codec is versioned for rolling upgrades: v1 and v2 packets still
+//! decode (their digest / hot list is simply absent, leaving the previous
+//! value in the table), and a versioned packet misread by a v1 node
+//! yields a node id far beyond any real cluster (`u32` of `"SW\x03…"`
+//! ≈ 150 k), which the receiver's range check discards. The `leaving`
+//! flag is a graceful-drain announcement: peers immediately take the
+//! sender out of their candidate pools instead of waiting for the
+//! staleness timeout.
 
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::Ordering;
@@ -21,7 +27,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sweb_chaos::TxVerdict;
-use sweb_cluster::NodeId;
+use sweb_cluster::{FileId, NodeId};
 use sweb_core::{CacheDigest, LoadVector, PeerHealth, DIGEST_BYTES};
 
 use crate::node::NodeShared;
@@ -32,8 +38,15 @@ pub const PACKET_LEN: usize = 4 + 8 * 3 + 1;
 /// v2 datagram size: magic + version + the v1 core + the cache digest.
 pub const PACKET_V2_LEN: usize = 3 + PACKET_LEN + DIGEST_BYTES;
 
+/// Most hot-file ids a v3 packet carries.
+pub const MAX_HOT: usize = 8;
+
+/// Largest v3 datagram: the v2 layout + count byte + `MAX_HOT` ids.
+pub const PACKET_V3_MAX: usize = PACKET_V2_LEN + 1 + MAX_HOT * 8;
+
 const MAGIC: [u8; 2] = *b"SW";
-const VERSION: u8 = 2;
+const VERSION_V2: u8 = 2;
+const VERSION: u8 = 3;
 
 /// One decoded loadd report, whatever codec version carried it.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,6 +59,8 @@ pub struct LoadReport {
     pub leaving: bool,
     /// Cache digest (`None` from legacy packets).
     pub digest: Option<CacheDigest>,
+    /// The sender's hottest documents (empty from pre-v3 packets).
+    pub hot: Vec<FileId>,
 }
 
 fn encode_core(buf: &mut [u8], node: NodeId, load: &LoadVector, leaving: bool) {
@@ -86,31 +101,70 @@ pub fn encode_v2(
 ) -> [u8; PACKET_V2_LEN] {
     let mut buf = [0u8; PACKET_V2_LEN];
     buf[0..2].copy_from_slice(&MAGIC);
-    buf[2] = VERSION;
+    buf[2] = VERSION_V2;
     encode_core(&mut buf[3..3 + PACKET_LEN], node, load, leaving);
     buf[3 + PACKET_LEN..].copy_from_slice(&digest.to_bytes());
     buf
 }
 
-/// Decode a load report of either version; `None` for short, garbled, or
-/// unknown-future-version packets.
+/// Encode a v3 load report: the v2 layout plus the sender's hottest
+/// documents (at most [`MAX_HOT`]; extras are silently dropped — the
+/// list is advisory, not an inventory).
+pub fn encode_v3(
+    node: NodeId,
+    load: &LoadVector,
+    leaving: bool,
+    digest: &CacheDigest,
+    hot: &[FileId],
+) -> Vec<u8> {
+    let hot = &hot[..hot.len().min(MAX_HOT)];
+    let mut buf = Vec::with_capacity(PACKET_V2_LEN + 1 + hot.len() * 8);
+    buf.extend_from_slice(&MAGIC);
+    buf.push(VERSION);
+    let mut core = [0u8; PACKET_LEN];
+    encode_core(&mut core, node, load, leaving);
+    buf.extend_from_slice(&core);
+    buf.extend_from_slice(&digest.to_bytes());
+    buf.push(hot.len() as u8);
+    for id in hot {
+        buf.extend_from_slice(&id.0.to_le_bytes());
+    }
+    buf
+}
+
+/// Decode a load report of any known version; `None` for short, garbled,
+/// or unknown-future-version packets.
 pub fn decode(buf: &[u8]) -> Option<LoadReport> {
     if buf.len() >= 3 && buf[0..2] == MAGIC {
         // Versioned framing. An unknown version is from a newer node
         // whose layout we cannot guess — drop it (its digest would be
         // garbage), staleness marking tolerates the gap.
-        if buf[2] != VERSION || buf.len() < PACKET_V2_LEN {
+        if !(buf[2] == VERSION_V2 || buf[2] == VERSION) || buf.len() < PACKET_V2_LEN {
             return None;
         }
         let (node, load, leaving) = decode_core(&buf[3..3 + PACKET_LEN])?;
         let digest = CacheDigest::from_bytes(&buf[3 + PACKET_LEN..PACKET_V2_LEN])?;
-        return Some(LoadReport { node, load, leaving, digest: Some(digest) });
+        let hot = if buf[2] == VERSION {
+            let count = *buf.get(PACKET_V2_LEN)? as usize;
+            if count > MAX_HOT || buf.len() < PACKET_V2_LEN + 1 + count * 8 {
+                return None;
+            }
+            (0..count)
+                .map(|i| {
+                    let at = PACKET_V2_LEN + 1 + i * 8;
+                    Some(FileId(u64::from_le_bytes(buf[at..at + 8].try_into().ok()?)))
+                })
+                .collect::<Option<Vec<_>>>()?
+        } else {
+            Vec::new()
+        };
+        return Some(LoadReport { node, load, leaving, digest: Some(digest), hot });
     }
     if buf.len() < PACKET_LEN {
         return None;
     }
     let (node, load, leaving) = decode_core(&buf[..PACKET_LEN])?;
-    Some(LoadReport { node, load, leaving, digest: None })
+    Some(LoadReport { node, load, leaving, digest: None, hot: Vec::new() })
 }
 
 /// Sample this node's live load vector from its activity gauges.
@@ -181,7 +235,7 @@ pub fn spawn(shared: Arc<NodeShared>, udp: UdpSocket) -> Vec<std::thread::JoinHa
     let broadcaster = std::thread::spawn(move || {
         let tick = Duration::from_millis(10);
         let mut next_broadcast = Instant::now();
-        let mut delayed: Vec<(Instant, SocketAddr, [u8; PACKET_V2_LEN])> = Vec::new();
+        let mut delayed: Vec<(Instant, SocketAddr, Vec<u8>)> = Vec::new();
         while !bcast_shared.shutdown.load(Ordering::Relaxed) {
             let now = Instant::now();
             delayed.retain(|(due, addr, pkt)| {
@@ -197,7 +251,8 @@ pub fn spawn(shared: Arc<NodeShared>, udp: UdpSocket) -> Vec<std::thread::JoinHa
                 let load = sample_load(&bcast_shared);
                 let leaving = bcast_shared.draining.load(Ordering::Relaxed);
                 let digest = bcast_shared.file_cache.digest();
-                let pkt = encode_v2(bcast_shared.id, &load, leaving, &digest);
+                let hot = bcast_shared.popularity.hot_ids(MAX_HOT);
+                let pkt = encode_v3(bcast_shared.id, &load, leaving, &digest, &hot);
                 let me = bcast_shared.id.0;
                 for (peer, addr) in bcast_shared.peer_udp.iter().enumerate() {
                     // Self-reports bypass injection: a node always knows
@@ -213,7 +268,7 @@ pub fn spawn(shared: Arc<NodeShared>, udp: UdpSocket) -> Vec<std::thread::JoinHa
                             let _ = udp.send_to(&pkt, addr);
                         }
                         TxVerdict::Drop => {}
-                        TxVerdict::Delay(d) => delayed.push((now + d, *addr, pkt)),
+                        TxVerdict::Delay(d) => delayed.push((now + d, *addr, pkt.clone())),
                     }
                 }
                 sweep_staleness(&bcast_shared);
@@ -228,7 +283,7 @@ pub fn spawn(shared: Arc<NodeShared>, udp: UdpSocket) -> Vec<std::thread::JoinHa
     // mismatch (or a chaos garbling) is visible in telemetry.
     let recv_shared = shared;
     let receiver = std::thread::spawn(move || {
-        let mut buf = [0u8; 128];
+        let mut buf = [0u8; PACKET_V3_MAX + 64]; // headroom for trailing junk
         while !recv_shared.shutdown.load(Ordering::Relaxed) {
             match recv_socket.recv_from(&mut buf) {
                 Ok((n, _)) => {
@@ -236,7 +291,7 @@ pub fn spawn(shared: Arc<NodeShared>, udp: UdpSocket) -> Vec<std::thread::JoinHa
                         recv_shared.stats.loadd_decode_errors.inc();
                         continue;
                     };
-                    let LoadReport { node, load, leaving, digest } = report;
+                    let LoadReport { node, load, leaving, digest, hot } = report;
                     if node.index() >= recv_shared.loads.read().len() {
                         recv_shared.stats.loadd_decode_errors.inc();
                         continue;
@@ -254,6 +309,13 @@ pub fn spawn(shared: Arc<NodeShared>, udp: UdpSocket) -> Vec<std::thread::JoinHa
                             prev
                         }
                     };
+                    if node != recv_shared.id {
+                        // Remember the peer's advertised hot list (v3);
+                        // pre-v3 packets leave the previous list alone.
+                        if !hot.is_empty() {
+                            recv_shared.peer_hot.write()[node.index()] = hot;
+                        }
+                    }
                     if node == recv_shared.id {
                         continue;
                     }
@@ -327,11 +389,57 @@ mod tests {
     #[test]
     fn unknown_future_version_is_dropped() {
         let mut pkt = encode_v2(NodeId(1), &LoadVector::IDLE, false, &CacheDigest::EMPTY);
-        pkt[2] = 3; // a version this node does not understand
+        pkt[2] = 4; // a version this node does not understand
         assert!(decode(&pkt).is_none());
         // Truncated v2 frame: magic present but payload short.
         let good = encode_v2(NodeId(1), &LoadVector::IDLE, false, &CacheDigest::EMPTY);
         assert!(decode(&good[..PACKET_V2_LEN - 1]).is_none());
+    }
+
+    #[test]
+    fn v3_codec_round_trips_hot_list() {
+        use sweb_cluster::FileId;
+        let load = LoadVector::new(1.0, 0.5, 0.25);
+        let mut digest = CacheDigest::default();
+        digest.insert(FileId(9));
+        let hot = vec![FileId(9), FileId(1729), FileId(u64::MAX)];
+        let pkt = encode_v3(NodeId(4), &load, false, &digest, &hot);
+        assert!(pkt.len() <= PACKET_V3_MAX);
+        let r = decode(&pkt).unwrap();
+        assert_eq!(r.node, NodeId(4));
+        assert_eq!(r.load, load);
+        assert_eq!(r.hot, hot, "hot list must round-trip in order");
+        assert!(r.digest.unwrap().contains(FileId(9)));
+        // Empty hot list is legal and one byte longer than v2.
+        let pkt = encode_v3(NodeId(4), &load, false, &digest, &[]);
+        assert_eq!(pkt.len(), PACKET_V2_LEN + 1);
+        assert!(decode(&pkt).unwrap().hot.is_empty());
+    }
+
+    #[test]
+    fn v3_caps_and_validates_the_hot_list() {
+        use sweb_cluster::FileId;
+        // Oversupplied list is truncated to MAX_HOT at encode time.
+        let many: Vec<FileId> = (0..20).map(FileId).collect();
+        let pkt = encode_v3(NodeId(0), &LoadVector::IDLE, false, &CacheDigest::EMPTY, &many);
+        assert_eq!(pkt.len(), PACKET_V3_MAX);
+        assert_eq!(decode(&pkt).unwrap().hot.len(), MAX_HOT);
+        // A count byte promising more ids than the datagram carries is
+        // garbage, not a partial list.
+        let mut short = encode_v3(
+            NodeId(0),
+            &LoadVector::IDLE,
+            false,
+            &CacheDigest::EMPTY,
+            &[FileId(1), FileId(2)],
+        );
+        short.truncate(short.len() - 8);
+        assert!(decode(&short).is_none());
+        // A count beyond MAX_HOT is from no encoder of ours.
+        let mut bad = encode_v3(NodeId(0), &LoadVector::IDLE, false, &CacheDigest::EMPTY, &[]);
+        bad[PACKET_V2_LEN] = (MAX_HOT + 1) as u8;
+        bad.extend_from_slice(&[0u8; (MAX_HOT + 1) * 8]);
+        assert!(decode(&bad).is_none());
     }
 
     #[test]

@@ -54,6 +54,18 @@ pub struct NodeStats {
     pub peer_dead: Arc<Counter>,
     /// Peers revived from Suspect/Dead by a fresh loadd packet.
     pub peer_revived: Arc<Counter>,
+    /// Requests served after pulling the document from a peer over the
+    /// transfer channel (the client saw no redirect).
+    pub peer_fetches: Arc<Counter>,
+    /// Peer pulls that failed and degraded to a redirect or local read.
+    pub forward_failures: Arc<Counter>,
+    /// Peer-channel frames that failed to decode or violated the
+    /// protocol (counted like `loadd_decode_errors`; never fatal).
+    pub peer_frames_bad: Arc<Counter>,
+    /// Hot documents this node pushed into peers' caches (accepted).
+    pub pushes_sent: Arc<Counter>,
+    /// Documents peers pushed into this node's cache (accepted).
+    pub pushes_received: Arc<Counter>,
     /// Requests answered 503 (or evicted) for missing a deadline phase.
     pub deadline_overruns: Arc<Counter>,
     /// Transient file-fetch errors retried under bounded backoff.
@@ -118,6 +130,26 @@ impl NodeStats {
                 "sweb_peer_revived_total",
                 "Suspect/Dead peers revived by a fresh loadd packet",
             ),
+            peer_fetches: c(
+                "sweb_peer_fetches_total",
+                "Requests served after pulling the document over the peer channel",
+            ),
+            forward_failures: c(
+                "sweb_forward_failures_total",
+                "Peer pulls that failed and degraded to a redirect or local read",
+            ),
+            peer_frames_bad: c(
+                "sweb_peer_frames_bad_total",
+                "Peer-channel frames that failed to decode or violated the protocol",
+            ),
+            pushes_sent: c(
+                "sweb_pushes_sent_total",
+                "Hot documents pushed into peers' caches",
+            ),
+            pushes_received: c(
+                "sweb_pushes_received_total",
+                "Documents peers pushed into this node's cache",
+            ),
             deadline_overruns: c(
                 "sweb_deadline_overruns_total",
                 "Requests failed definitively for missing a deadline phase",
@@ -180,6 +212,16 @@ pub struct NodeShared {
     pub peer_http: Vec<String>,
     /// UDP loadd addresses of every node.
     pub peer_udp: Vec<SocketAddr>,
+    /// Peer-transfer channel (TCP) addresses of every node.
+    pub peer_tcp: Vec<SocketAddr>,
+    /// Pooled connections to every peer's transfer channel.
+    pub peer_pool: sweb_peer::PeerPool,
+    /// Per-file request counters feeding loadd's hot list and the
+    /// replicator.
+    pub popularity: crate::peer_transfer::Popularity,
+    /// Each peer's advertised hot list (from loadd v3 packets), indexed
+    /// by node.
+    pub peer_hot: RwLock<Vec<Vec<sweb_cluster::FileId>>>,
     /// This node's view of everyone's load.
     pub loads: RwLock<LoadTable>,
     /// The scheduling broker.
@@ -333,12 +375,14 @@ pub struct NodeHandle {
 }
 
 impl NodeHandle {
-    /// Spawn the connection engine and loadd threads for a node whose
-    /// listener and UDP socket are already bound.
+    /// Spawn the connection engine, loadd, and peer-channel threads for
+    /// a node whose listener, UDP socket, and peer-channel listener are
+    /// already bound.
     pub fn spawn(
         shared: Arc<NodeShared>,
         listener: TcpListener,
         udp: std::net::UdpSocket,
+        peer_listener: TcpListener,
     ) -> std::io::Result<NodeHandle> {
         let http_addr = listener.local_addr()?;
         let mut threads = Vec::new();
@@ -380,6 +424,14 @@ impl NodeHandle {
 
         // loadd: broadcaster + receiver.
         threads.extend(crate::loadd::spawn(Arc::clone(&shared), udp));
+
+        // Peer transfer channel: the listener always runs (serving FETCH
+        // costs nothing when nobody pulls); the replicator only when
+        // configured.
+        threads.push(crate::peer_transfer::spawn_listener(Arc::clone(&shared), peer_listener));
+        if shared.sweb.replicate_hot {
+            threads.push(crate::peer_transfer::spawn_replicator(Arc::clone(&shared)));
+        }
 
         Ok(NodeHandle { shared, http_addr, threads, reactor, reactor_shutdown })
     }

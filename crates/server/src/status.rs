@@ -27,7 +27,11 @@ pub const METRICS_PATH: &str = "/metrics";
 /// injected-fault counters (the failure-domain view).
 /// v3 added the `shards` array: one row per reactor shard (liveness plus
 /// the shard's slice of the hot counters).
-pub const STATUS_SCHEMA_VERSION: u64 = 3;
+/// v4 added the peer-transfer counters (`peer_fetches`,
+/// `forward_failures`, `peer_frames_bad`, `pushes_sent`,
+/// `pushes_received`) and the peer-channel fault counters (`peer_drops`,
+/// `peer_delays`) in the faults block.
+pub const STATUS_SCHEMA_VERSION: u64 = 4;
 
 /// One node's full introspection snapshot.
 #[derive(Debug, Clone, PartialEq)]
@@ -132,6 +136,16 @@ pub struct CounterSnapshot {
     pub deadline_overruns: u64,
     /// Transient fetch errors retried with backoff.
     pub fetch_retries: u64,
+    /// Requests served by pulling the document over the peer channel.
+    pub peer_fetches: u64,
+    /// Peer pulls that failed (and degraded to a redirect or local read).
+    pub forward_failures: u64,
+    /// Garbled/unexpected peer-channel frames (counted, never fatal).
+    pub peer_frames_bad: u64,
+    /// Hot documents this node pushed to peers (replication).
+    pub pushes_sent: u64,
+    /// Replication pushes this node accepted into its cache.
+    pub pushes_received: u64,
 }
 
 /// File-cache state.
@@ -200,6 +214,11 @@ impl StatusReport {
                 peer_revived: s.peer_revived.get(),
                 deadline_overruns: s.deadline_overruns.get(),
                 fetch_retries: s.fetch_retries.get(),
+                peer_fetches: s.peer_fetches.get(),
+                forward_failures: s.forward_failures.get(),
+                peer_frames_bad: s.peer_frames_bad.get(),
+                pushes_sent: s.pushes_sent.get(),
+                pushes_received: s.pushes_received.get(),
             },
             shards: (0..shared.shards.max(1))
                 .map(|i| ShardRow {
@@ -255,7 +274,9 @@ impl StatusReport {
              shed-503          {}\n  evicted           {}\n  zero-copy         {}\n  \
              sendfile          {}\n  active-now        {}\n  \
              decode-errors     {}\n  peer-suspect      {}\n  peer-dead         {}\n  \
-             peer-revived      {}\n  deadline-overruns {}\n  fetch-retries     {}\n",
+             peer-revived      {}\n  deadline-overruns {}\n  fetch-retries     {}\n  \
+             peer-fetches      {}\n  forward-failures  {}\n  peer-frames-bad   {}\n  \
+             pushes-sent       {}\n  pushes-received   {}\n",
             c.accepted,
             c.served,
             c.redirected,
@@ -273,6 +294,11 @@ impl StatusReport {
             c.peer_revived,
             c.deadline_overruns,
             c.fetch_retries,
+            c.peer_fetches,
+            c.forward_failures,
+            c.peer_frames_bad,
+            c.pushes_sent,
+            c.pushes_received,
         ));
         out.push_str("\nshards:\nshard  live   accepted  served    shed      active\n");
         for row in &self.shards {
@@ -302,6 +328,12 @@ impl StatusReport {
                  {} fd rejections, {} slow reads\n",
                 f.packets_dropped, f.packets_delayed, f.accepts_paused, f.fd_rejections, f.slow_reads,
             ));
+            if f.peer_drops + f.peer_delays > 0 {
+                out.push_str(&format!(
+                    "peer channel: {} frames dropped, {} frames delayed\n",
+                    f.peer_drops, f.peer_delays,
+                ));
+            }
         }
         out
     }
@@ -358,6 +390,11 @@ impl StatusReport {
                     ("peer_revived", Json::Num(c.peer_revived as f64)),
                     ("deadline_overruns", Json::Num(c.deadline_overruns as f64)),
                     ("fetch_retries", Json::Num(c.fetch_retries as f64)),
+                    ("peer_fetches", Json::Num(c.peer_fetches as f64)),
+                    ("forward_failures", Json::Num(c.forward_failures as f64)),
+                    ("peer_frames_bad", Json::Num(c.peer_frames_bad as f64)),
+                    ("pushes_sent", Json::Num(c.pushes_sent as f64)),
+                    ("pushes_received", Json::Num(c.pushes_received as f64)),
                 ]),
             ),
             (
@@ -397,6 +434,8 @@ impl StatusReport {
                     ("accepts_paused", Json::Num(self.faults.accepts_paused as f64)),
                     ("fd_rejections", Json::Num(self.faults.fd_rejections as f64)),
                     ("slow_reads", Json::Num(self.faults.slow_reads as f64)),
+                    ("peer_drops", Json::Num(self.faults.peer_drops as f64)),
+                    ("peer_delays", Json::Num(self.faults.peer_delays as f64)),
                 ]),
             ),
         ])
@@ -463,6 +502,11 @@ impl StatusReport {
             peer_revived: num_u64(&c, "peer_revived")?,
             deadline_overruns: num_u64(&c, "deadline_overruns")?,
             fetch_retries: num_u64(&c, "fetch_retries")?,
+            peer_fetches: num_u64(&c, "peer_fetches")?,
+            forward_failures: num_u64(&c, "forward_failures")?,
+            peer_frames_bad: num_u64(&c, "peer_frames_bad")?,
+            pushes_sent: num_u64(&c, "pushes_sent")?,
+            pushes_received: num_u64(&c, "pushes_received")?,
         };
         let shards = field(v, "shards")?
             .as_arr()
@@ -495,6 +539,8 @@ impl StatusReport {
             accepts_paused: num_u64(&f, "accepts_paused")?,
             fd_rejections: num_u64(&f, "fd_rejections")?,
             slow_reads: num_u64(&f, "slow_reads")?,
+            peer_drops: num_u64(&f, "peer_drops")?,
+            peer_delays: num_u64(&f, "peer_delays")?,
         };
         Ok(StatusReport {
             schema_version,
@@ -602,6 +648,11 @@ mod tests {
                 peer_revived: 1,
                 deadline_overruns: 6,
                 fetch_retries: 9,
+                peer_fetches: 11,
+                forward_failures: 2,
+                peer_frames_bad: 1,
+                pushes_sent: 4,
+                pushes_received: 3,
             },
             shards: vec![
                 ShardRow { shard: 0, live: true, accepted: 60, served: 55, shed: 2, active: 3 },
@@ -621,6 +672,8 @@ mod tests {
                 accepts_paused: 2,
                 fd_rejections: 1,
                 slow_reads: 3,
+                peer_drops: 2,
+                peer_delays: 1,
             },
         }
     }
@@ -666,11 +719,14 @@ mod tests {
         assert!(text.contains("zero-copy         42"), "{text}");
         assert!(text.contains("active-now        5"), "{text}");
         assert!(text.contains("deadline-overruns 6"), "{text}");
+        assert!(text.contains("peer-fetches      11"), "{text}");
+        assert!(text.contains("pushes-sent       4"), "{text}");
         assert!(text.contains("file cache: 50 hits, 40 misses"), "{text}");
         // Two load rows, one per peer, with tri-state health.
         assert!(text.contains("n0") && text.contains("n1"), "{text}");
         assert!(text.contains("alive") && text.contains("dead"), "{text}");
         assert!(text.contains("17 pkts dropped"), "{text}");
+        assert!(text.contains("peer channel: 2 frames dropped, 1 frames delayed"), "{text}");
         // The per-shard breakdown: one row per shard, liveness included.
         assert!(text.contains("shards:"), "{text}");
         assert!(text.contains("s0     yes    60        55        2         3"), "{text}");

@@ -96,6 +96,7 @@ engine_tests!(
     slow_disk_blows_deadline_and_sheds_503,
     fd_pressure_and_pause_give_definite_outcomes,
     garbled_loadd_packets_counted_never_fatal,
+    blackholed_peer_channel_degrades_pull_to_redirect,
 );
 
 /// Kill a node under live traffic, revive it, and require every single
@@ -221,8 +222,8 @@ fn partition_marks_suspect_then_dead_then_heals(engine: Engine) {
     // injected packet drops that caused all of this.
     let resp = client::get(&format!("{}/sweb-status?format=json", cluster.base_url(0))).unwrap();
     let json = sweb_telemetry::Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
-    let report = StatusReport::from_json(&json).expect("status must parse under schema v3");
-    assert_eq!(report.schema_version, 3);
+    let report = StatusReport::from_json(&json).expect("status must parse under schema v4");
+    assert_eq!(report.schema_version, 4);
     assert_eq!(report.load.len(), 2);
     assert!(report.load.iter().all(|row| row.health == "alive"), "{:?}", report.load);
     assert!(report.faults.packets_dropped > 0, "partition dropped no packets?");
@@ -333,6 +334,41 @@ fn fd_pressure_and_pause_give_definite_outcomes(engine: Engine) {
     let faults = cluster.chaos().counts().snapshot();
     assert!(faults.fd_rejections >= 1, "fd fault never fired");
     assert!(faults.accepts_paused >= 1, "pause fault never fired");
+    cluster.shutdown();
+}
+
+/// Blackhole the peer transfer channel between the only two nodes: every
+/// pull the broker schedules fails the injected loss check, and every
+/// failure degrades to the classic 302 — correct bytes, zero hangs, and
+/// the degradation visible in both the node counters and the injector's.
+fn blackholed_peer_channel_degrades_pull_to_redirect(engine: Engine) {
+    let plan = FaultPlan::seeded(plan_seed())
+        .with(Fault::PeerLoss { from: 1, to: 0, rate_ppm: 1_000_000, window: Window::ALWAYS });
+    save_plan("peer-loss", engine, &plan);
+    let dir = docroot(&format!("peer-loss-{}", engine.name()));
+    let mut cfg = chaos_config(engine, plan);
+    cfg.policy = Policy::FileLocality; // deterministic pull targets: the home
+    cfg.sweb.peer_transfer = true;
+    let cluster = LiveCluster::start(2, dir.clone(), cfg).unwrap();
+    assert!(cluster.await_loadd_mesh(Duration::from_secs(10)));
+
+    for i in 0..8 {
+        let url = format!("{}/doc{i}.txt", cluster.base_url(0));
+        let resp = client::get_with_timeout(&url, Duration::from_secs(5)).unwrap();
+        assert_eq!(resp.status, 200, "doc{i}");
+        assert_eq!(
+            resp.body,
+            std::fs::read(dir.join(format!("doc{i}.txt"))).unwrap(),
+            "degraded path must still serve identical bytes"
+        );
+    }
+    let stats = &cluster.node(0).stats;
+    assert_eq!(stats.peer_fetches.get(), 0, "no pull survives a 100% loss rate");
+    assert!(stats.forward_failures.get() >= 1, "failed pulls must be counted");
+    assert!(stats.redirected.get() >= 1, "failed pulls must degrade to the 302");
+    assert!(cluster.chaos().counts().snapshot().peer_drops >= 1, "injector must log the drops");
+    // loadd shares the pair but not the fault: the mesh stayed healthy.
+    assert_eq!(health_seen(&cluster, 0, 1), PeerHealth::Alive);
     cluster.shutdown();
 }
 

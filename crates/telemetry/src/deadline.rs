@@ -33,7 +33,8 @@ impl RequestDeadline {
             // Accept and Decide are sub-microsecond bookkeeping phases;
             // they share the neighbouring checkpoint.
             Phase::Accept | Phase::Parse => 25,
-            Phase::Decide | Phase::Fetch => 80,
+            // A peer pull happens inside the fetch window: same cutoff.
+            Phase::Decide | Phase::Forward | Phase::Fetch => 80,
             Phase::Write => 100,
         }
     }

@@ -19,6 +19,9 @@ pub enum Phase {
     Parse,
     /// The broker's §3.2 scheduling decision (load refresh + cost scan).
     Decide,
+    /// Pulling the document from a peer over the transfer channel (only
+    /// requests routed `PeerFetch` spend time here).
+    Forward,
     /// Local fulfillment: cache/disk read or CGI execution.
     Fetch,
     /// Response serialization drained to the socket.
@@ -27,8 +30,8 @@ pub enum Phase {
 
 impl Phase {
     /// Every phase, in request-lifecycle order.
-    pub const ALL: [Phase; 5] =
-        [Phase::Accept, Phase::Parse, Phase::Decide, Phase::Fetch, Phase::Write];
+    pub const ALL: [Phase; 6] =
+        [Phase::Accept, Phase::Parse, Phase::Decide, Phase::Forward, Phase::Fetch, Phase::Write];
 
     /// Label value used in the exposition (`phase="..."`).
     pub fn name(self) -> &'static str {
@@ -36,6 +39,7 @@ impl Phase {
             Phase::Accept => "accept",
             Phase::Parse => "parse",
             Phase::Decide => "decide",
+            Phase::Forward => "forward",
             Phase::Fetch => "fetch",
             Phase::Write => "write",
         }
@@ -50,11 +54,11 @@ impl Phase {
 /// `sweb_request_phase_us{phase=...}`.
 #[derive(Debug)]
 pub struct PhaseTimes {
-    hists: [Arc<AtomicHistogram>; 5],
+    hists: [Arc<AtomicHistogram>; 6],
 }
 
 impl PhaseTimes {
-    /// Register the five phase histograms on `registry`.
+    /// Register the per-phase histograms on `registry`.
     pub fn register(registry: &Registry) -> PhaseTimes {
         let hists = Phase::ALL.map(|p| {
             registry.histogram(
