@@ -1,6 +1,6 @@
 //! `enginebench` — live-cluster benchmarks for the connection engines.
 //!
-//! Four scenarios:
+//! Five scenarios:
 //!
 //! ```text
 //! enginebench [--scenario engine] [--engine reactor|threaded|both] [--nodes 3]
@@ -12,6 +12,8 @@
 //!             [--out results/shard_scaling.csv]
 //! enginebench --scenario forward [--workers 8] [--requests 1200]
 //!             [--out results/forwarding.csv]
+//! enginebench --scenario uring [--hold 10000] [--workers 16]
+//!             [--requests 3000] [--out results/uring.csv]
 //! ```
 //!
 //! **engine** (the default): for each engine the harness starts an
@@ -75,6 +77,23 @@
 //! ```text
 //! mode,nodes,requests,workers,zipf_alpha,errors,duration_s,rps,p50_ms,p99_ms,client_redirects,peer_fetches,pushes
 //! ```
+//!
+//! **uring**: the I/O backend A/B — a single reactor node is started
+//! once per poller backend (epoll, then io_uring), loaded with `--hold`
+//! idle keep-alive connections (default 10 000; the client ends live in
+//! a re-exec'd helper process with its own `RLIMIT_NOFILE`, spread over
+//! `127.0.0.x` source addresses so ephemeral ports never run out), and
+//! driven
+//! with `--requests` fresh-connection fetches. Besides latency, each row
+//! records the node's poller-syscall telemetry — the point of the
+//! completion backend is the `io_syscalls` column shrinking while
+//! `syscalls_saved` grows. One CSV row per backend, and the run lands in
+//! `BENCH_uring.json` (with the kernel version) for the committed perf
+//! trajectory:
+//!
+//! ```text
+//! backend,chosen,nodes,held_conns,workers,requests,errors,duration_s,rps,p50_ms,p99_ms,io_syscalls,sqe_submitted,cqe_completed,syscalls_saved
+//! ```
 
 use std::io::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -91,13 +110,14 @@ enum Scenario {
     ZeroCopy,
     Shards,
     Forward,
+    Uring,
 }
 
 struct Args {
     scenario: Scenario,
     engines: Vec<Engine>,
     nodes: usize,
-    hold: usize,
+    hold: Option<usize>,
     workers: Option<usize>,
     requests: Option<u64>,
     size: u64,
@@ -106,7 +126,8 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: enginebench [--scenario engine|zerocopy|shards|forward] [--engine reactor|threaded|both] \
+        "usage: enginebench [--scenario engine|zerocopy|shards|forward|uring] \
+         [--engine reactor|threaded|both] \
          [--nodes N] [--hold N] [--workers N] [--requests N] [--size BYTES] [--out FILE]"
     );
     std::process::exit(2);
@@ -117,7 +138,7 @@ fn parse_args() -> Args {
         scenario: Scenario::Engine,
         engines: vec![Engine::Reactor, Engine::ThreadPerConn],
         nodes: 3,
-        hold: 1000,
+        hold: None,
         workers: None,
         requests: None,
         size: 1_500_000,
@@ -133,6 +154,7 @@ fn parse_args() -> Args {
                     "zerocopy" => Scenario::ZeroCopy,
                     "shards" => Scenario::Shards,
                     "forward" => Scenario::Forward,
+                    "uring" => Scenario::Uring,
                     _ => usage(),
                 };
             }
@@ -144,7 +166,7 @@ fn parse_args() -> Args {
                 };
             }
             "--nodes" => args.nodes = value().parse().unwrap_or_else(|_| usage()),
-            "--hold" => args.hold = value().parse().unwrap_or_else(|_| usage()),
+            "--hold" => args.hold = Some(value().parse().unwrap_or_else(|_| usage())),
             "--workers" => args.workers = Some(value().parse().unwrap_or_else(|_| usage())),
             "--requests" => args.requests = Some(value().parse().unwrap_or_else(|_| usage())),
             "--size" => args.size = value().parse().unwrap_or_else(|_| usage()),
@@ -194,6 +216,7 @@ struct RunResult {
 fn run_engine(
     engine: Engine,
     args: &Args,
+    hold: usize,
     workers: usize,
     requests: u64,
     docroot: &std::path::Path,
@@ -201,7 +224,7 @@ fn run_engine(
     let cfg = ClusterConfig {
         engine,
         // Room for the held population plus the active workers.
-        max_conns: args.hold + workers + 64,
+        max_conns: hold + workers + 64,
         // The engine comparison isolates the event-loop design; intra-node
         // scaling has its own scenario (`--scenario shards`).
         shards: 1,
@@ -215,8 +238,8 @@ fn run_engine(
 
     // The held population: idle keep-alive connections, round-robin over
     // the nodes, open for the entire measured window.
-    let mut held = Vec::with_capacity(args.hold);
-    for i in 0..args.hold {
+    let mut held = Vec::with_capacity(hold);
+    for i in 0..hold {
         let base = cluster.base_url(i % args.nodes);
         let addr = base.strip_prefix("http://").unwrap();
         match std::net::TcpStream::connect(addr) {
@@ -386,6 +409,7 @@ fn open_csv(path: &std::path::Path, header: &str) -> std::fs::File {
 }
 
 fn main_engine(args: &Args) {
+    let hold = args.hold.unwrap_or(1000);
     let workers = args.workers.unwrap_or(32);
     let requests = args.requests.unwrap_or(2000);
     let out_path =
@@ -404,34 +428,42 @@ fn main_engine(args: &Args) {
     let mut pred_out =
         open_csv(&pred_path, "scenario,engine,node,predicted_us,measured_us,error_pct");
 
+    let mut json_rows = Vec::new();
     for &engine in &args.engines {
         eprintln!(
             "enginebench: engine={} nodes={} hold={} workers={} requests={}",
             engine.name(),
             args.nodes,
-            args.hold,
+            hold,
             workers,
             requests
         );
-        let r = run_engine(engine, args, workers, requests, &docroot);
+        let r = run_engine(engine, args, hold, workers, requests, &docroot);
         let served = r.hist.count();
         let rps = served as f64 / r.duration.as_secs_f64().max(1e-9);
+        let p50 = r.hist.quantile(0.50) as f64 / 1000.0;
+        let p99 = r.hist.quantile(0.99) as f64 / 1000.0;
         let row = format!(
-            "{},{},{},{},{},{},{:.3},{:.1},{:.3},{:.3},{}",
+            "{},{},{},{},{},{},{:.3},{rps:.1},{p50:.3},{p99:.3},{}",
             engine.name(),
             args.nodes,
-            args.hold,
+            hold,
             workers,
             requests,
             r.errors,
             r.duration.as_secs_f64(),
-            rps,
-            r.hist.quantile(0.50) as f64 / 1000.0,
-            r.hist.quantile(0.99) as f64 / 1000.0,
             r.peak_threads,
         );
         writeln!(out, "{row}").unwrap();
         eprintln!("enginebench: {row}");
+        json_rows.push(format!(
+            "    {{\"engine\": \"{}\", \"errors\": {}, \"duration_s\": {:.3}, \
+             \"rps\": {rps:.1}, \"p50_ms\": {p50:.3}, \"p99_ms\": {p99:.3}, \"threads\": {}}}",
+            engine.name(),
+            r.errors,
+            r.duration.as_secs_f64(),
+            r.peak_threads,
+        ));
 
         let mut error_pcts: Vec<u64> = Vec::with_capacity(r.predictions.len());
         for (node, s) in &r.predictions {
@@ -466,8 +498,17 @@ fn main_engine(args: &Args) {
             q(0.99),
         );
     }
+    let json = format!(
+        "{{\n  \"bench\": \"engine\",\n  \"schema_version\": 1,\n  \"nodes\": {},\n  \
+         \"held_conns\": {hold},\n  \"requests\": {requests},\n  \"workers\": {workers},\n  \
+         \"engines\": [\n{}\n  ]\n}}\n",
+        args.nodes,
+        json_rows.join(",\n")
+    );
+    std::fs::write("BENCH_engine.json", json).expect("write BENCH_engine.json");
     println!("enginebench: wrote {}", out_path.display());
     println!("enginebench: wrote {}", pred_path.display());
+    println!("enginebench: wrote BENCH_engine.json");
 }
 
 fn main_zerocopy(args: &Args) {
@@ -504,6 +545,7 @@ fn main_zerocopy(args: &Args) {
         ("writev", TransmitMode::ZeroCopy, cache),
         ("sendfile", TransmitMode::ZeroCopy, 0),
     ];
+    let mut json_rows = Vec::new();
     for (name, transmit, cache_bytes) in modes {
         eprintln!(
             "enginebench: zerocopy mode={name} size={} workers={workers} requests={requests}",
@@ -520,19 +562,31 @@ fn main_zerocopy(args: &Args) {
         let secs = duration.as_secs_f64().max(1e-9);
         let rps = served as f64 / secs;
         let mbps = served as f64 * args.size as f64 / 1e6 / secs;
+        let p50 = hist.quantile(0.50) as f64 / 1000.0;
+        let p99 = hist.quantile(0.99) as f64 / 1000.0;
         let row = format!(
-            "{name},{},{requests},{workers},{errors},{:.3},{:.1},{:.1},{:.3},{:.3}",
+            "{name},{},{requests},{workers},{errors},{:.3},{rps:.1},{mbps:.1},{p50:.3},{p99:.3}",
             args.size,
             duration.as_secs_f64(),
-            rps,
-            mbps,
-            hist.quantile(0.50) as f64 / 1000.0,
-            hist.quantile(0.99) as f64 / 1000.0,
         );
         writeln!(out, "{row}").unwrap();
         eprintln!("enginebench: {row}");
+        json_rows.push(format!(
+            "    {{\"mode\": \"{name}\", \"errors\": {errors}, \"duration_s\": {:.3}, \
+             \"rps\": {rps:.1}, \"mb_per_s\": {mbps:.1}, \"p50_ms\": {p50:.3}, \
+             \"p99_ms\": {p99:.3}}}",
+            duration.as_secs_f64(),
+        ));
     }
+    let json = format!(
+        "{{\n  \"bench\": \"zerocopy\",\n  \"schema_version\": 1,\n  \"size_bytes\": {},\n  \
+         \"requests\": {requests},\n  \"workers\": {workers},\n  \"modes\": [\n{}\n  ]\n}}\n",
+        args.size,
+        json_rows.join(",\n")
+    );
+    std::fs::write("BENCH_zerocopy.json", json).expect("write BENCH_zerocopy.json");
     println!("enginebench: wrote {}", out_path.display());
+    println!("enginebench: wrote BENCH_zerocopy.json");
 }
 
 /// One shard-scaling measurement: a single reactor node with `shards`
@@ -881,12 +935,292 @@ fn main_forward(args: &Args) {
     println!("enginebench: wrote BENCH_forwarding.json");
 }
 
+/// Raise `RLIMIT_NOFILE` to at least `target` (both ends of every held
+/// connection live in this process, so the default 1024 dies at ~500).
+/// Returns the effective soft limit.
+fn raise_nofile(target: u64) -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        #[repr(C)]
+        struct Rlimit {
+            cur: u64,
+            max: u64,
+        }
+        extern "C" {
+            fn getrlimit(resource: i32, rlim: *mut Rlimit) -> i32;
+            fn setrlimit(resource: i32, rlim: *const Rlimit) -> i32;
+        }
+        const RLIMIT_NOFILE: i32 = 7;
+        unsafe {
+            let mut cur = Rlimit { cur: 0, max: 0 };
+            if getrlimit(RLIMIT_NOFILE, &mut cur) != 0 {
+                return 1024;
+            }
+            if cur.cur >= target {
+                return cur.cur;
+            }
+            // Privileged processes may raise the hard cap too.
+            let want = Rlimit { cur: target, max: target.max(cur.max) };
+            if setrlimit(RLIMIT_NOFILE, &want) == 0 {
+                return target;
+            }
+            let want = Rlimit { cur: cur.max, max: cur.max };
+            if setrlimit(RLIMIT_NOFILE, &want) == 0 {
+                return cur.max;
+            }
+            cur.cur
+        }
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = target;
+        1024
+    }
+}
+
+struct UringOutcome {
+    chosen: String,
+    errors: u64,
+    held: usize,
+    duration: Duration,
+    hist: Histogram,
+    io: sweb_reactor::IoStats,
+}
+
+/// One backend leg of the A/B: a single reactor node pinned to
+/// `backend`, loaded with `hold` idle connections, driven with
+/// `requests` fresh-connection fetches.
+fn run_uring_backend(
+    backend: sweb_reactor::IoBackend,
+    hold: usize,
+    workers: usize,
+    requests: u64,
+    docroot: &std::path::Path,
+) -> UringOutcome {
+    let cfg = ClusterConfig {
+        engine: Engine::Reactor,
+        policy: sweb_core::Policy::RoundRobin, // one node; never redirect
+        io_backend: backend,
+        shards: 1, // one loop: the syscall columns compare like for like
+        max_conns: hold + workers + 64,
+        ..ClusterConfig::default()
+    };
+    let cluster = LiveCluster::start(1, docroot.to_path_buf(), cfg).expect("start cluster");
+    let base = cluster.base_url(0).to_string();
+    let dest: std::net::SocketAddr =
+        base.strip_prefix("http://").unwrap().parse().expect("node address");
+
+    // The held population lives in a child process: the server end of
+    // every connection is an fd in *this* process, so holding the client
+    // ends here too would need 2× `hold` against one RLIMIT_NOFILE.
+    // The helper re-execs this binary (see `hold_helper`), reports how
+    // many connections it planted, and keeps them open until its stdin
+    // closes.
+    let mut helper = std::process::Command::new(
+        std::env::current_exe().expect("own executable path"),
+    )
+    .arg("--hold-helper")
+    .arg(dest.to_string())
+    .arg(hold.to_string())
+    .stdin(std::process::Stdio::piped())
+    .stdout(std::process::Stdio::piped())
+    .spawn()
+    .expect("spawn hold helper");
+    let held_count = {
+        use std::io::BufRead as _;
+        let out = helper.stdout.take().expect("helper stdout");
+        let mut line = String::new();
+        std::io::BufReader::new(out).read_line(&mut line).expect("helper report");
+        line.trim().parse::<usize>().expect("helper count")
+    };
+    if held_count < hold {
+        eprintln!("enginebench: helper could only hold {held_count} of {hold} connections");
+    }
+    // Let the shard admit the whole population before the measured window.
+    std::thread::sleep(Duration::from_millis(500));
+
+    // Reset the counters so the columns cover exactly the measured
+    // window (startup arming and the held-population admission differ
+    // between backends and would blur the per-request comparison).
+    let stats = &cluster.node(0).stats;
+    let sys0 = stats.io_syscalls.get();
+    let sqe0 = stats.io_sqe_submitted.get();
+    let cqe0 = stats.io_cqe_completed.get();
+    let saved0 = stats.io_syscalls_saved.get();
+
+    let remaining = Arc::new(AtomicU64::new(requests));
+    let errors = Arc::new(AtomicU64::new(0));
+    let hist = Arc::new(Mutex::new(Histogram::new()));
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for w in 0..workers {
+        let base = base.clone();
+        let remaining = Arc::clone(&remaining);
+        let errors = Arc::clone(&errors);
+        let hist = Arc::clone(&hist);
+        handles.push(std::thread::spawn(move || {
+            let mut local = Histogram::new();
+            let mut r = w;
+            loop {
+                if remaining.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+                    .is_err()
+                {
+                    break;
+                }
+                let url = format!("{base}/doc{}.txt", r % 16);
+                r += 1;
+                let t = Instant::now();
+                match client::get_with_timeout(&url, Duration::from_secs(30)) {
+                    Ok(resp) if resp.status == 200 => {
+                        local.record(t.elapsed().as_micros() as u64);
+                    }
+                    _ => {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            hist.lock().unwrap().merge(&local);
+        }));
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    let duration = t0.elapsed();
+    // One stats-drain period so the shard's final tick lands.
+    std::thread::sleep(Duration::from_millis(100));
+    let io = sweb_reactor::IoStats {
+        syscalls: stats.io_syscalls.get() - sys0,
+        sqe_submitted: stats.io_sqe_submitted.get() - sqe0,
+        cqe_completed: stats.io_cqe_completed.get() - cqe0,
+        syscalls_saved: stats.io_syscalls_saved.get() - saved0,
+    };
+    let chosen = cluster.node(0).shard_io_backend[0].read().to_string();
+    drop(helper.stdin.take()); // EOF releases the held population
+    let _ = helper.wait();
+    cluster.shutdown();
+    let hist = Arc::try_unwrap(hist).expect("workers joined").into_inner().unwrap();
+    UringOutcome {
+        chosen,
+        errors: errors.load(Ordering::Relaxed),
+        held: held_count,
+        duration,
+        hist,
+        io,
+    }
+}
+
+/// The re-exec target for the held population (see `run_uring_backend`):
+/// plant `count` idle connections to `dest`, report the number planted on
+/// stdout, hold them until stdin reaches EOF.
+fn hold_helper(dest_arg: &str, count_arg: &str) {
+    let dest: std::net::SocketAddr = dest_arg.parse().expect("helper dest");
+    let count: usize = count_arg.parse().expect("helper count");
+    raise_nofile(count as u64 + 1024);
+    // A single (source, destination) pair runs out of ephemeral ports
+    // around 28k; shard the clients across loopback source addresses so
+    // the population can grow past that.
+    let mut held = Vec::with_capacity(count);
+    for i in 0..count {
+        let source = std::net::Ipv4Addr::new(127, 0, 0, 1 + (i / 8192) as u8);
+        match sweb_reactor::sys::connect_from(dest, source) {
+            Ok(s) => held.push(s),
+            Err(e) => {
+                eprintln!("enginebench hold-helper: stopped at {i}: {e}");
+                break;
+            }
+        }
+    }
+    println!("{}", held.len());
+    let mut sink = String::new();
+    let _ = std::io::stdin().read_line(&mut sink);
+}
+
+fn main_uring(args: &Args) {
+    let hold = args.hold.unwrap_or(10_000);
+    let workers = args.workers.unwrap_or(16);
+    let requests = args.requests.unwrap_or(3000);
+    let out_path =
+        args.out.clone().unwrap_or_else(|| std::path::PathBuf::from("results/uring.csv"));
+    // This process keeps the *server* end of every held connection (the
+    // client ends live in the helper), plus the active workers' sockets.
+    let limit = raise_nofile(hold as u64 + 4096);
+    let hold = hold.min((limit.saturating_sub(2048)) as usize);
+    let kernel = std::fs::read_to_string("/proc/sys/kernel/osrelease")
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|_| "unknown".to_string());
+    eprintln!("enginebench: uring A/B on kernel {kernel}, nofile limit {limit}, hold {hold}");
+    let docroot = make_docroot();
+    let mut out = open_csv(
+        &out_path,
+        "backend,chosen,nodes,held_conns,workers,requests,errors,duration_s,rps,p50_ms,p99_ms,\
+         io_syscalls,sqe_submitted,cqe_completed,syscalls_saved",
+    );
+    let backends = [sweb_reactor::IoBackend::Epoll, sweb_reactor::IoBackend::Uring];
+    let mut json_rows = Vec::new();
+    for backend in backends {
+        eprintln!(
+            "enginebench: backend={} hold={hold} workers={workers} requests={requests}",
+            backend.name()
+        );
+        let r = run_uring_backend(backend, hold, workers, requests, &docroot);
+        let served = r.hist.count();
+        let secs = r.duration.as_secs_f64().max(1e-9);
+        let rps = served as f64 / secs;
+        let p50 = r.hist.quantile(0.50) as f64 / 1000.0;
+        let p99 = r.hist.quantile(0.99) as f64 / 1000.0;
+        let row = format!(
+            "{},{},1,{},{workers},{requests},{},{:.3},{rps:.1},{p50:.3},{p99:.3},{},{},{},{}",
+            backend.name(),
+            r.chosen,
+            r.held,
+            r.errors,
+            r.duration.as_secs_f64(),
+            r.io.syscalls,
+            r.io.sqe_submitted,
+            r.io.cqe_completed,
+            r.io.syscalls_saved,
+        );
+        writeln!(out, "{row}").unwrap();
+        eprintln!("enginebench: {row}");
+        json_rows.push(format!(
+            "    {{\"backend\": \"{}\", \"chosen\": \"{}\", \"held_conns\": {}, \
+             \"errors\": {}, \"duration_s\": {:.3}, \"rps\": {rps:.1}, \"p50_ms\": {p50:.3}, \
+             \"p99_ms\": {p99:.3}, \"io_syscalls\": {}, \"sqe_submitted\": {}, \
+             \"cqe_completed\": {}, \"syscalls_saved\": {}}}",
+            backend.name(),
+            r.chosen,
+            r.held,
+            r.errors,
+            r.duration.as_secs_f64(),
+            r.io.syscalls,
+            r.io.sqe_submitted,
+            r.io.cqe_completed,
+            r.io.syscalls_saved,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"uring\",\n  \"schema_version\": 1,\n  \"kernel\": \"{kernel}\",\n  \
+         \"nodes\": 1,\n  \"requests\": {requests},\n  \"workers\": {workers},\n  \
+         \"backends\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    std::fs::write("BENCH_uring.json", json).expect("write BENCH_uring.json");
+    println!("enginebench: wrote {}", out_path.display());
+    println!("enginebench: wrote BENCH_uring.json");
+}
+
 fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    if argv.get(1).map(String::as_str) == Some("--hold-helper") {
+        hold_helper(&argv[2], &argv[3]);
+        return;
+    }
     let args = parse_args();
     match args.scenario {
         Scenario::Engine => main_engine(&args),
         Scenario::ZeroCopy => main_zerocopy(&args),
         Scenario::Shards => main_shards(&args),
         Scenario::Forward => main_forward(&args),
+        Scenario::Uring => main_uring(&args),
     }
 }

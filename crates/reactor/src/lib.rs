@@ -20,8 +20,13 @@
 //!        completion queue ──wakeup──▶ Writing ──▶ close | keep-alive ↺
 //! ```
 //!
-//! * **Readiness** comes from [`sys::Poller`] — epoll on Linux, poll(2)
-//!   everywhere (force with `SWEB_REACTOR_POLL=1`).
+//! * **Events** come from [`sys::Poller`] — epoll readiness on Linux,
+//!   poll(2) everywhere (force with `SWEB_REACTOR_POLL=1`), or
+//!   completion-based io_uring ([`sys::uring`], select with
+//!   `SWEB_IO_BACKEND=uring` / [`ReactorConfig::io_backend`]): multishot
+//!   accept delivers already-accepted fds, buffered responses drain as
+//!   queued `WRITEV` completions with the next-request poll linked
+//!   behind them, and a whole loop tick costs at most one syscall.
 //! * **Parsing is incremental**: partial reads accumulate in a carry
 //!   buffer and [`sweb_http::try_parse_request`] distinguishes "need more
 //!   bytes" from "can never parse" without re-scanning cost blowups.
@@ -65,6 +70,8 @@ use slab::Slab;
 use sys::{Event, Interest, Poller};
 use timer::{TimerEntry, TimerWheel};
 use workers::WorkerPool;
+
+pub use sys::{IoBackend, IoStats};
 
 /// A file payload to stream instead of an in-memory body: the open fd
 /// travels through the connection state machine and is drained with
@@ -163,6 +170,15 @@ pub trait App: Send + Sync + 'static {
     /// The matching end of [`App::on_shard_start`]: the loop has drained
     /// its connections and is exiting (shutdown or loop error).
     fn on_shard_stop(&self) {}
+    /// Reports which I/O backend this shard's loop actually runs on
+    /// (`"uring"`, `"epoll"`, or `"poll"`) — after any startup fallback.
+    /// Called once on the loop thread, before [`App::on_shard_start`]'s
+    /// loop begins polling.
+    fn on_io_backend(&self, _backend: &'static str) {}
+    /// Periodic flush of the poller's syscall accounting ([`IoStats`]),
+    /// called on the loop thread whenever a tick did I/O work. Deltas,
+    /// not totals: sum them into counters.
+    fn on_io_stats(&self, _stats: IoStats) {}
 }
 
 /// How the reactor turns a [`Response`] into wire bytes.
@@ -222,6 +238,11 @@ pub struct ReactorConfig {
     /// tests exercise the portable fallback deterministically; ignored by
     /// single-shard reactors.
     pub force_handoff_accept: bool,
+    /// Which event backend each shard's [`sys::Poller`] should use.
+    /// Defaults to [`IoBackend::from_env`] (`SWEB_IO_BACKEND`, then the
+    /// legacy `SWEB_REACTOR_POLL=1`, then epoll). `Uring` and `Auto` fall
+    /// back to epoll when the kernel lacks io_uring support.
+    pub io_backend: IoBackend,
 }
 
 /// Default worker-pool size: `SWEB_REACTOR_WORKERS` when set to a
@@ -256,6 +277,7 @@ impl Default for ReactorConfig {
             use_sendfile: true,
             request_budget: Duration::from_secs(10),
             force_handoff_accept: false,
+            io_backend: IoBackend::from_env(),
         }
     }
 }
@@ -273,7 +295,7 @@ pub struct ReactorHandle {
     thread: Option<std::thread::JoinHandle<io::Result<()>>>,
     /// Address the reactor is listening on.
     pub addr: SocketAddr,
-    /// Readiness backend in use (`"epoll"` or `"poll"`).
+    /// I/O backend in use (`"uring"`, `"epoll"`, or `"poll"`).
     pub backend: &'static str,
 }
 
@@ -321,7 +343,7 @@ fn spawn_shard(
     if let Some(l) = &listener {
         l.set_nonblocking(true)?;
     }
-    let poller = Poller::new()?;
+    let poller = Poller::with_backend(cfg.io_backend)?;
     let backend = poller.backend();
 
     // Self-addressed UDP socket: the workers' (and acceptor's) doorbell
@@ -348,7 +370,7 @@ pub struct ShardedHandle {
     acceptor: Option<std::thread::JoinHandle<()>>,
     /// Address the shard group is listening on.
     pub addr: SocketAddr,
-    /// Readiness backend in use (`"epoll"` or `"poll"`).
+    /// I/O backend in use (`"uring"`, `"epoll"`, or `"poll"`).
     pub backend: &'static str,
     /// How accepts reach the shards: `"single"` (one shard owns the only
     /// listener), `"reuseport"` (one `SO_REUSEPORT` listener per shard,
@@ -617,6 +639,14 @@ struct Conn {
     /// response that can't drain inside the budget is evicted at the
     /// budget, not at the rolling write timeout.
     budget_deadline_ms: Option<u64>,
+    /// The in-progress response was handed to the uring backend as a
+    /// queued `WRITEV`; progress arrives as completion events
+    /// ([`Event::wrote`]) instead of writable readiness.
+    uring_write: bool,
+    /// A readable edge arrived while a queued write was still draining
+    /// (the linked read-poll completing early): service it right after
+    /// the write finishes instead of waiting for another poll cycle.
+    pending_read: bool,
 }
 
 /// A finished `respond` call coming back from the worker pool.
@@ -689,6 +719,7 @@ impl Loop {
     }
 
     fn run(mut self) -> io::Result<()> {
+        self.app.on_io_backend(self.poller.backend());
         self.app.on_shard_start();
         let result = self.run_inner();
 
@@ -697,6 +728,11 @@ impl Loop {
             let _ = self.poller.deregister(conn.stream.as_raw_fd());
             self.app.on_conn_close();
         }
+        // Quiesce the poller (a no-op for readiness backends) so the
+        // listener port is genuinely free the moment this shard exits —
+        // io_uring would otherwise release its kernel-held file
+        // references asynchronously, racing an immediate rebind.
+        self.poller.shutdown();
         self.pool.shutdown();
         self.app.on_shard_stop();
         result
@@ -704,7 +740,9 @@ impl Loop {
 
     fn run_inner(&mut self) -> io::Result<()> {
         if let Some(fd) = self.listener.as_ref().map(|l| l.as_raw_fd()) {
-            self.poller.register(fd, TOKEN_LISTENER, Interest::READ)?;
+            // Under uring this arms a multishot accept: completions carry
+            // already-accepted fds and no accept(2) is ever issued.
+            self.poller.register_accept(fd, TOKEN_LISTENER)?;
         }
         self.poller.register(self.wakeup_rx.as_raw_fd(), TOKEN_WAKEUP, Interest::READ)?;
 
@@ -717,7 +755,10 @@ impl Loop {
 
             for ev in events.clone() {
                 match ev.token {
-                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_LISTENER => match ev.accepted {
+                        Some(fd) => self.accept_incoming(fd),
+                        None => self.accept_ready(),
+                    },
                     TOKEN_WAKEUP => self.drain_wakeup(),
                     t => self.conn_event(t - TOKEN_BASE, ev),
                 }
@@ -738,9 +779,14 @@ impl Loop {
                 if now >= until {
                     self.listener_parked_until = None;
                     if let Some(fd) = self.listener.as_ref().map(|l| l.as_raw_fd()) {
-                        self.poller.register(fd, TOKEN_LISTENER, Interest::READ)?;
+                        self.poller.register_accept(fd, TOKEN_LISTENER)?;
                     }
                 }
+            }
+
+            let stats = self.poller.take_stats();
+            if !stats.is_zero() {
+                self.app.on_io_stats(stats);
             }
         }
         Ok(())
@@ -810,6 +856,52 @@ impl Loop {
         }
     }
 
+    /// One connection delivered by a multishot-accept completion: the
+    /// kernel already accepted it, so the fd is in hand before the gate
+    /// runs. Gate semantics mirror [`Loop::accept_ready`] for everything
+    /// *after* this connection — `Pause` parks the listener but still
+    /// admits the stream we hold (its bytes are already ours), `FailFd`
+    /// drops it and backs off exactly like a real `EMFILE`.
+    fn accept_incoming(&mut self, fd: std::os::fd::RawFd) {
+        use std::os::fd::FromRawFd;
+        let stream = unsafe { TcpStream::from_raw_fd(fd) };
+        match self.app.accept_gate() {
+            AcceptGate::Proceed => {
+                self.accept_errors = 0;
+            }
+            AcceptGate::Pause => {
+                if let Some(lfd) = self.listener.as_ref().map(|l| l.as_raw_fd()) {
+                    let _ = self.poller.deregister(lfd);
+                    self.listener_parked_until = Some(self.now_ms() + 20);
+                }
+            }
+            AcceptGate::FailFd => {
+                let e = io::Error::from_raw_os_error(24);
+                self.app.on_accept_error(&e);
+                self.accept_errors = self.accept_errors.saturating_add(1);
+                let backoff = 5u64.saturating_mul(1 << self.accept_errors.min(8)).min(1000);
+                if let Some(lfd) = self.listener.as_ref().map(|l| l.as_raw_fd()) {
+                    let _ = self.poller.deregister(lfd);
+                    self.listener_parked_until = Some(self.now_ms() + backoff);
+                }
+                return; // stream drops: refused, as an fd-starved accept would
+            }
+        }
+        self.app.on_accept();
+        if self.conns.len() >= self.cfg.max_conns {
+            self.shed(stream);
+            return;
+        }
+        let peer =
+            stream.peer_addr().unwrap_or_else(|_| SocketAddr::from(([0, 0, 0, 0], 0)));
+        let t0 = Instant::now();
+        if self.admit(stream, peer).is_err() {
+            self.app.on_conn_close();
+        } else {
+            self.app.on_phase(Phase::Accept, t0.elapsed().as_micros() as u64);
+        }
+    }
+
     /// Refuse a connection with 503 (best effort) and drop it.
     fn shed(&mut self, stream: TcpStream) {
         self.app.on_shed();
@@ -842,6 +934,8 @@ impl Loop {
             req_started: None,
             write_started: None,
             budget_deadline_ms: None,
+            uring_write: false,
+            pending_read: false,
         };
         let (idx, gen) = self.conns.insert(conn);
         let fd = self.conns.get_mut(idx).unwrap().stream.as_raw_fd();
@@ -869,6 +963,16 @@ impl Loop {
             ConnState::Writing => {
                 if ev.error {
                     self.close(idx);
+                } else if let Some(n) = ev.wrote {
+                    // Completion from a queued uring WRITEV.
+                    self.uring_wrote(idx, n);
+                } else if conn.uring_write {
+                    // The linked read-poll fired while the write is still
+                    // in flight (pipelined client): remember the edge, the
+                    // write completion will service it.
+                    if ev.readable {
+                        conn.pending_read = true;
+                    }
                 } else if ev.writable || ev.readable {
                     // `readable` here is HUP leaking through: the write
                     // will surface the broken pipe.
@@ -1177,11 +1281,54 @@ impl Loop {
             conn.state = ConnState::Writing;
             conn.deadline_ms = deadline_ms;
             conn.write_started = Some(Instant::now());
+            conn.uring_write = false;
+            conn.pending_read = false;
         }
         self.wheel.schedule(TimerEntry { token: idx, gen, deadline_ms });
+
+        // Completion-based fast path: hand the whole buffered response to
+        // the ring as a queued WRITEV, with the next-request read-poll
+        // linked behind it on keep-alive connections — the kernel chains
+        // both without the loop re-entering in between. File payloads keep
+        // the classic sendfile path. On refusal (fd not registered, poll
+        // still armed) the buffers are left in place and the readiness
+        // path below takes over.
+        if self.poller.supports_queued_write() {
+            let Some(conn) = self.conns.get_mut(idx) else { return };
+            if conn.out_file.is_none() && conn.out_planned > 0 {
+                let fd = conn.stream.as_raw_fd();
+                let keep = conn.keep_alive;
+                let (head, body) = (&mut conn.out_head, &mut conn.out_body);
+                if self.poller.queue_writev(fd, TOKEN_BASE + idx, head, body, keep) {
+                    conn.uring_write = true;
+                    return;
+                }
+            }
+        }
+
         // Optimistic write: most responses fit the socket buffer, saving a
         // poll round-trip. Falls back to WRITE interest if it blocks.
         self.on_writable(idx);
+    }
+
+    /// Progress report from a queued uring write: `n` bytes hit the wire
+    /// (or a negative errno). The poller resubmits partial writes itself;
+    /// this just advances accounting and finishes when the plan is met.
+    fn uring_wrote(&mut self, idx: usize, n: i32) {
+        if n <= 0 {
+            self.write_done(idx, false);
+            return;
+        }
+        let done = {
+            let Some(conn) = self.conns.get_mut(idx) else { return };
+            conn.out_pos += n as usize;
+            conn.out_pos >= conn.out_planned
+        };
+        if done {
+            self.write_done(idx, true);
+        } else {
+            self.refresh_write_deadline(idx);
+        }
     }
 
     fn on_writable(&mut self, idx: usize) {
@@ -1291,7 +1438,7 @@ impl Loop {
     /// recycle the connection for keep-alive or close it.
     fn write_done(&mut self, idx: usize, ok: bool) {
         let Some(gen) = self.conns.gen_of(idx) else { return };
-        let (keep, written, write_us) = {
+        let (keep, written, write_us, pending_read) = {
             let Some(conn) = self.conns.get_mut(idx) else { return };
             let written = conn.out_planned;
             conn.out_head = Vec::new();
@@ -1300,12 +1447,14 @@ impl Loop {
             conn.out_file = None;
             conn.out_planned = 0;
             conn.budget_deadline_ms = None;
+            conn.uring_write = false;
+            let pending_read = std::mem::take(&mut conn.pending_read);
             let write_us = conn
                 .write_started
                 .take()
                 .map(|t| t.elapsed().as_micros() as u64)
                 .unwrap_or(0);
-            (conn.keep_alive, written, write_us)
+            (conn.keep_alive, written, write_us, pending_read)
         };
         self.app.on_write_end(written);
         if ok {
@@ -1323,8 +1472,13 @@ impl Loop {
         }
         self.wheel.schedule(TimerEntry { token: idx, gen, deadline_ms });
         self.set_interest(idx, Interest::READ);
-        // Pipelined bytes may already complete the next request.
-        self.progress(idx);
+        // Pipelined bytes may already complete the next request; under a
+        // queued write, a readable edge consumed mid-write (the linked
+        // poll completing early) must also be serviced now — its event is
+        // spent and won't be re-delivered.
+        if self.progress(idx) && pending_read {
+            self.on_readable(idx);
+        }
     }
 
     // ------------------------------------------------------------ plumbing

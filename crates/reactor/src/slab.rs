@@ -52,6 +52,11 @@ impl<T> Slab<T> {
         self.slots.get_mut(index).and_then(|s| s.value.as_mut())
     }
 
+    /// Shared access by index alone.
+    pub fn get(&self, index: usize) -> Option<&T> {
+        self.slots.get(index).and_then(|s| s.value.as_ref())
+    }
+
     /// Access only if `gen` matches the slot's current generation.
     pub fn get_mut_checked(&mut self, index: usize, gen: u64) -> Option<&mut T> {
         match self.slots.get_mut(index) {

@@ -1,16 +1,28 @@
 //! Readiness polling over raw OS interfaces.
 //!
-//! Two interchangeable backends behind [`Poller`]:
+//! Three interchangeable backends behind [`Poller`]:
 //!
-//! * **epoll** (Linux): O(1) event delivery, the backend a production
-//!   build uses;
+//! * **io_uring** (Linux 5.11+): completion-based, batched — one
+//!   `io_uring_enter` per loop tick (often zero), multishot accept,
+//!   queued writes with linked SQE chains (see [`uring`]). Selected via
+//!   `--io-backend uring` / `SWEB_IO_BACKEND=uring` (or `auto`), with a
+//!   startup probe falling back to epoll on unsupporting kernels;
+//! * **epoll** (Linux): O(1) readiness delivery, the default backend;
 //! * **poll(2)** (portable POSIX): linear scan over the fd set, used on
 //!   non-Linux targets and force-selectable via `SWEB_REACTOR_POLL=1` so
 //!   tests exercise both code paths on one machine.
 //!
-//! Both are used level-triggered: the loop re-arms interest explicitly
+//! All are used level-triggered: the loop re-arms interest explicitly
 //! when a connection changes state, which keeps the state machine simple
-//! (no starvation bookkeeping for edge-triggered wakeups).
+//! (no starvation bookkeeping for edge-triggered wakeups). The io_uring
+//! backend preserves this contract because `POLL_ADD` performs a
+//! readiness check at arm time; spurious wakeups (allowed for every
+//! backend) are bounded at one per interest transition.
+//!
+//! Every backend counts its kernel crossings into [`IoStats`]
+//! (syscalls made, SQEs/CQEs moved, syscalls the completion model
+//! avoided), drained per tick via [`Poller::take_stats`] so telemetry
+//! can prove the batching claim instead of asserting it.
 //!
 //! The FFI declarations are hand-written because this crate is
 //! dependency-light by design (no `libc`): the reactor must build in the
@@ -18,6 +30,100 @@
 
 use std::io;
 use std::os::fd::RawFd;
+
+#[cfg(target_os = "linux")]
+pub mod uring;
+
+/// Which I/O backend a reactor shard should run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoBackend {
+    /// Probe io_uring at startup; fall back to epoll if unavailable.
+    Auto,
+    /// io_uring, falling back to epoll (with a logged warning) if the
+    /// kernel does not support it.
+    Uring,
+    /// epoll (Linux) — the default, matching prior releases.
+    #[default]
+    Epoll,
+    /// poll(2) — the portable fallback, mostly for tests.
+    Poll,
+}
+
+impl IoBackend {
+    /// Parse a backend name (`uring`/`epoll`/`auto`/`poll`).
+    pub fn parse(s: &str) -> Option<IoBackend> {
+        match s {
+            "uring" | "io_uring" => Some(IoBackend::Uring),
+            "epoll" => Some(IoBackend::Epoll),
+            "auto" => Some(IoBackend::Auto),
+            "poll" => Some(IoBackend::Poll),
+            _ => None,
+        }
+    }
+
+    /// Backend from the environment: `SWEB_IO_BACKEND` if set (unknown
+    /// values fall back to the default), else the legacy
+    /// `SWEB_REACTOR_POLL=1` switch, else epoll.
+    pub fn from_env() -> IoBackend {
+        if let Some(v) = std::env::var_os("SWEB_IO_BACKEND") {
+            if let Some(b) = v.to_str().and_then(IoBackend::parse) {
+                return b;
+            }
+        }
+        if std::env::var_os("SWEB_REACTOR_POLL").is_some_and(|v| v == "1") {
+            return IoBackend::Poll;
+        }
+        IoBackend::Epoll
+    }
+
+    /// The requested backend's name (what `Poller::backend` reports
+    /// once a concrete backend is running; `Auto` resolves at open).
+    pub fn name(&self) -> &'static str {
+        match self {
+            IoBackend::Auto => "auto",
+            IoBackend::Uring => "uring",
+            IoBackend::Epoll => "epoll",
+            IoBackend::Poll => "poll",
+        }
+    }
+}
+
+/// Kernel-crossing counters, drained per loop tick via
+/// [`Poller::take_stats`].
+///
+/// `syscalls` counts actual kernel entries (`epoll_wait`/`epoll_ctl`,
+/// `poll`, `io_uring_enter`). `syscalls_saved` counts operations that a
+/// readiness backend would have paid a dedicated syscall for but the
+/// active backend absorbed (registrations folded into SQEs, accepts and
+/// writes completed via CQEs, waits satisfied from the completion ring
+/// without entering the kernel). SQE/CQE counts are zero for the
+/// readiness backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoStats {
+    /// Syscalls actually made.
+    pub syscalls: u64,
+    /// io_uring submission entries queued.
+    pub sqe_submitted: u64,
+    /// io_uring completion entries reaped.
+    pub cqe_completed: u64,
+    /// Dedicated syscalls avoided by the completion model.
+    pub syscalls_saved: u64,
+}
+
+impl IoStats {
+    /// True when nothing was counted since the last drain.
+    pub fn is_zero(&self) -> bool {
+        *self == IoStats::default()
+    }
+
+    /// Accumulate another sample into this one.
+    pub fn add(&mut self, other: &IoStats) {
+        self.syscalls += other.syscalls;
+        self.sqe_submitted += other.sqe_submitted;
+        self.cqe_completed += other.cqe_completed;
+        self.syscalls_saved += other.syscalls_saved;
+    }
+}
 
 /// Which readiness events a registration cares about.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -37,7 +143,8 @@ impl Interest {
     pub const NONE: Interest = Interest { readable: false, writable: false };
 }
 
-/// One delivered readiness event.
+/// One delivered event: a readiness edge, or (io_uring only) a
+/// completion carrying its payload directly.
 #[derive(Debug, Clone, Copy)]
 pub struct Event {
     /// The token the fd was registered under.
@@ -48,10 +155,30 @@ pub struct Event {
     pub writable: bool,
     /// Error condition on the fd (the owner should close it).
     pub error: bool,
+    /// io_uring multishot accept: the already-accepted connection fd
+    /// (the listener needs no `accept(2)` call). Always `None` on the
+    /// readiness backends.
+    pub accepted: Option<RawFd>,
+    /// io_uring queued write: bytes written by a completed `WRITEV` SQE
+    /// (negative = the op failed with that `-errno`). Always `None` on
+    /// the readiness backends.
+    pub wrote: Option<i32>,
 }
 
-/// A readiness poller over one of the two backends.
+impl Event {
+    /// A plain readiness event (what the epoll/poll backends deliver).
+    pub fn ready(token: usize, readable: bool, writable: bool, error: bool) -> Event {
+        Event { token, readable, writable, error, accepted: None, wrote: None }
+    }
+}
+
+/// A poller over one of the compiled backends.
 pub enum Poller {
+    /// Linux io_uring (completion-based). Boxed: the ring bookkeeping
+    /// dwarfs the readiness backends and the enum is stored inline in
+    /// every shard.
+    #[cfg(target_os = "linux")]
+    Uring(Box<uring::UringPoller>),
     /// Linux epoll.
     #[cfg(target_os = "linux")]
     Epoll(epoll::EpollPoller),
@@ -60,21 +187,62 @@ pub enum Poller {
 }
 
 impl Poller {
-    /// Open a poller: epoll on Linux unless `SWEB_REACTOR_POLL=1`,
+    /// Open a poller for the backend named by the environment
+    /// ([`IoBackend::from_env`]): epoll on Linux unless overridden,
     /// poll(2) otherwise.
     pub fn new() -> io::Result<Poller> {
+        Poller::with_backend(IoBackend::from_env())
+    }
+
+    /// Open a poller for `backend`. `Uring`/`Auto` probe io_uring and
+    /// fall back to epoll when the kernel lacks support — an explicit
+    /// `uring` request logs the downgrade to stderr, `auto` is silent.
+    pub fn with_backend(backend: IoBackend) -> io::Result<Poller> {
         #[cfg(target_os = "linux")]
         {
-            if std::env::var_os("SWEB_REACTOR_POLL").is_none_or(|v| v != "1") {
-                return Ok(Poller::Epoll(epoll::EpollPoller::new()?));
+            match backend {
+                IoBackend::Uring | IoBackend::Auto => match uring::UringPoller::new() {
+                    Ok(p) => return Ok(Poller::Uring(Box::new(p))),
+                    Err(e) => {
+                        if backend == IoBackend::Uring {
+                            eprintln!(
+                                "sweb-reactor: io_uring unavailable ({e}); falling back to epoll"
+                            );
+                        }
+                        return Ok(Poller::Epoll(epoll::EpollPoller::new()?));
+                    }
+                },
+                IoBackend::Epoll => return Ok(Poller::Epoll(epoll::EpollPoller::new()?)),
+                IoBackend::Poll => {}
             }
         }
+        let _ = backend;
         Ok(Poller::Poll(pollfd::PollPoller::new()))
+    }
+
+    /// Open exactly the requested backend — no fallback. Errors when
+    /// the backend is unsupported on this kernel/platform. Used by the
+    /// conformance tests so a silent fallback can't mask a missing
+    /// backend.
+    pub fn strict(backend: IoBackend) -> io::Result<Poller> {
+        match backend {
+            #[cfg(target_os = "linux")]
+            IoBackend::Uring | IoBackend::Auto => {
+                Ok(Poller::Uring(Box::new(uring::UringPoller::new()?)))
+            }
+            #[cfg(target_os = "linux")]
+            IoBackend::Epoll => Ok(Poller::Epoll(epoll::EpollPoller::new()?)),
+            IoBackend::Poll => Ok(Poller::Poll(pollfd::PollPoller::new())),
+            #[cfg(not(target_os = "linux"))]
+            _ => Err(io::Error::new(io::ErrorKind::Unsupported, "backend requires Linux")),
+        }
     }
 
     /// Name of the active backend (surfaced in status output).
     pub fn backend(&self) -> &'static str {
         match self {
+            #[cfg(target_os = "linux")]
+            Poller::Uring(_) => "uring",
             #[cfg(target_os = "linux")]
             Poller::Epoll(_) => "epoll",
             Poller::Poll(_) => "poll",
@@ -85,8 +253,22 @@ impl Poller {
     pub fn register(&mut self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
         match self {
             #[cfg(target_os = "linux")]
+            Poller::Uring(p) => p.register(fd, token, interest),
+            #[cfg(target_os = "linux")]
             Poller::Epoll(p) => p.register(fd, token, interest),
             Poller::Poll(p) => p.register(fd, token, interest),
+        }
+    }
+
+    /// Start watching a listener. On io_uring this arms a multishot
+    /// accept whose completions carry the accepted fd in
+    /// [`Event::accepted`]; readiness backends treat it as a plain READ
+    /// registration (the caller keeps its `accept(2)` loop for them).
+    pub fn register_accept(&mut self, fd: RawFd, token: usize) -> io::Result<()> {
+        match self {
+            #[cfg(target_os = "linux")]
+            Poller::Uring(p) => p.register_accept(fd, token),
+            _ => self.register(fd, token, Interest::READ),
         }
     }
 
@@ -94,26 +276,109 @@ impl Poller {
     pub fn modify(&mut self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
         match self {
             #[cfg(target_os = "linux")]
+            Poller::Uring(p) => p.modify(fd, token, interest),
+            #[cfg(target_os = "linux")]
             Poller::Epoll(p) => p.modify(fd, token, interest),
             Poller::Poll(p) => p.modify(fd, token, interest),
         }
     }
 
-    /// Stop watching `fd`. Must be called before the fd is closed when the
-    /// poll(2) backend is active (it keeps its own fd list).
+    /// Stop watching `fd`. Must be called before the fd is closed: the
+    /// poll(2) backend keeps its own fd list, and the io_uring backend
+    /// must cancel in-flight SQEs targeting the fd.
     pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
         match self {
+            #[cfg(target_os = "linux")]
+            Poller::Uring(p) => p.deregister(fd),
             #[cfg(target_os = "linux")]
             Poller::Epoll(p) => p.deregister(fd),
             Poller::Poll(p) => p.deregister(fd),
         }
     }
 
-    /// Wait up to `timeout_ms` for events, appending them to `events`
-    /// (which is cleared first). Returns the number of events delivered.
+    /// True when [`Poller::queue_writev`] can take buffered responses
+    /// (io_uring with queued writes enabled).
+    pub fn supports_queued_write(&self) -> bool {
+        match self {
+            #[cfg(target_os = "linux")]
+            Poller::Uring(p) => p.supports_queued_write(),
+            _ => false,
+        }
+    }
+
+    /// Submit a whole buffered response for completion-based transmit
+    /// (io_uring only; see [`uring::UringPoller::queue_writev`]). On
+    /// success the buffers are taken (left empty); on refusal they are
+    /// untouched and the caller must use the readiness + `writev(2)`
+    /// path instead.
+    pub fn queue_writev(
+        &mut self,
+        fd: RawFd,
+        token: usize,
+        head: &mut Vec<u8>,
+        body: &mut bytes::Bytes,
+        link_read: bool,
+    ) -> bool {
+        match self {
+            #[cfg(target_os = "linux")]
+            Poller::Uring(p) => p.queue_writev(fd, token, head, body, link_read),
+            _ => {
+                let _ = (fd, token, head, body, link_read);
+                false
+            }
+        }
+    }
+
+    /// Drain the kernel-crossing counters accumulated since the last
+    /// call (see [`IoStats`]).
+    pub fn take_stats(&mut self) -> IoStats {
+        match self {
+            #[cfg(target_os = "linux")]
+            Poller::Uring(p) => p.take_stats(),
+            #[cfg(target_os = "linux")]
+            Poller::Epoll(p) => p.take_stats(),
+            Poller::Poll(p) => p.take_stats(),
+        }
+    }
+
+    /// Synchronously release every kernel-held resource before drop.
+    ///
+    /// Readiness backends need nothing (closing an fd detaches it at
+    /// once), so this is a no-op there. io_uring holds file references
+    /// in the kernel — a multishot accept pins its listener, the fixed
+    /// table pins connection fds — and plain `close(ring_fd)` releases
+    /// them *asynchronously*, so a listener port can linger in `LISTEN`
+    /// state briefly after the owning thread exits. Callers that rebind
+    /// addresses right after stopping a shard (graceful stop → revive)
+    /// need this fence; the reactor loop calls it during drain.
+    pub fn shutdown(&mut self) {
+        match self {
+            #[cfg(target_os = "linux")]
+            Poller::Uring(p) => p.shutdown(),
+            #[cfg(target_os = "linux")]
+            Poller::Epoll(_) => {}
+            Poller::Poll(_) => {}
+        }
+    }
+
+    /// Wait for events, appending them to `events` (which is cleared
+    /// first). Returns the number of events delivered.
+    ///
+    /// Timeout contract, identical across backends:
+    /// * `timeout_ms > 0` — block up to that many milliseconds;
+    /// * `timeout_ms == 0` — non-blocking: deliver whatever is ready
+    ///   right now (io_uring still submits queued SQEs) and return
+    ///   immediately;
+    /// * `timeout_ms < 0` — block until at least one event arrives.
+    ///
+    /// Every backend may return early with zero events (EINTR, stale
+    /// completions); callers must treat an empty return as a timeout
+    /// tick, not end-of-stream.
     pub fn wait(&mut self, events: &mut Vec<Event>, timeout_ms: i32) -> io::Result<usize> {
         events.clear();
         match self {
+            #[cfg(target_os = "linux")]
+            Poller::Uring(p) => p.wait(events, timeout_ms),
             #[cfg(target_os = "linux")]
             Poller::Epoll(p) => p.wait(events, timeout_ms),
             Poller::Poll(p) => p.wait(events, timeout_ms),
@@ -244,6 +509,16 @@ pub fn bind_reuseport(addr: std::net::SocketAddr) -> io::Result<std::net::TcpLis
     bind_with(addr, true)
 }
 
+/// The kernel's `struct sockaddr_in` (IPv4).
+#[cfg(target_os = "linux")]
+#[repr(C)]
+struct SockAddrIn {
+    family: u16,
+    port_be: u16,
+    addr_be: u32,
+    zero: [u8; 8],
+}
+
 #[cfg(target_os = "linux")]
 fn bind_with(addr: std::net::SocketAddr, reuseport: bool) -> io::Result<std::net::TcpListener> {
     use std::os::fd::FromRawFd;
@@ -254,13 +529,6 @@ fn bind_with(addr: std::net::SocketAddr, reuseport: bool) -> io::Result<std::net
         fn bind(fd: i32, addr: *const SockAddrIn, len: u32) -> i32;
         fn listen(fd: i32, backlog: i32) -> i32;
         fn close(fd: i32) -> i32;
-    }
-    #[repr(C)]
-    struct SockAddrIn {
-        family: u16,
-        port_be: u16,
-        addr_be: u32,
-        zero: [u8; 8],
     }
     const AF_INET: i32 = 2;
     const SOCK_STREAM: i32 = 1;
@@ -302,6 +570,78 @@ fn bind_with(addr: std::net::SocketAddr, reuseport: bool) -> io::Result<std::net
     Ok(unsafe { std::net::TcpListener::from_raw_fd(fd) })
 }
 
+/// Connect to `dest` from a specific source address (port 0 =
+/// ephemeral), with `SO_REUSEADDR` set on the client socket. Load
+/// generators use this for client-side sharding: binding each opener
+/// thread to its own `127.0.0.x` source widens the 4-tuple space past
+/// the ~28k-ephemeral-ports-per-source ceiling, which is what makes
+/// 10k+ (toward C10M) held connections from one box possible, and
+/// spreads the server's `SO_REUSEPORT` hash across shards.
+#[cfg(target_os = "linux")]
+pub fn connect_from(
+    dest: std::net::SocketAddr,
+    source: std::net::Ipv4Addr,
+) -> io::Result<std::net::TcpStream> {
+    use std::os::fd::FromRawFd;
+
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn setsockopt(fd: i32, level: i32, name: i32, value: *const i32, len: u32) -> i32;
+        fn bind(fd: i32, addr: *const SockAddrIn, len: u32) -> i32;
+        fn connect(fd: i32, addr: *const SockAddrIn, len: u32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+    const AF_INET: i32 = 2;
+    const SOCK_STREAM: i32 = 1;
+    const SOL_SOCKET: i32 = 1;
+    const SO_REUSEADDR: i32 = 2;
+
+    let std::net::SocketAddr::V4(v4) = dest else {
+        return Err(io::Error::new(io::ErrorKind::Unsupported, "IPv4 addresses only"));
+    };
+    let fd = unsafe { socket(AF_INET, SOCK_STREAM, 0) };
+    if fd < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    let fail = |fd: i32| {
+        let err = io::Error::last_os_error();
+        unsafe { close(fd) };
+        Err(err)
+    };
+    let one: i32 = 1;
+    if unsafe { setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, 4) } < 0 {
+        return fail(fd);
+    }
+    let src = SockAddrIn {
+        family: AF_INET as u16,
+        port_be: 0,
+        addr_be: u32::from(source).to_be(),
+        zero: [0; 8],
+    };
+    if unsafe { bind(fd, &src, std::mem::size_of::<SockAddrIn>() as u32) } < 0 {
+        return fail(fd);
+    }
+    let dst = SockAddrIn {
+        family: AF_INET as u16,
+        port_be: v4.port().to_be(),
+        addr_be: u32::from(*v4.ip()).to_be(),
+        zero: [0; 8],
+    };
+    if unsafe { connect(fd, &dst, std::mem::size_of::<SockAddrIn>() as u32) } < 0 {
+        return fail(fd);
+    }
+    Ok(unsafe { std::net::TcpStream::from_raw_fd(fd) })
+}
+
+/// Portable fallback: ignores the requested source address.
+#[cfg(not(target_os = "linux"))]
+pub fn connect_from(
+    dest: std::net::SocketAddr,
+    _source: std::net::Ipv4Addr,
+) -> io::Result<std::net::TcpStream> {
+    std::net::TcpStream::connect(dest)
+}
+
 /// Portable fallback: a plain bind (no `SO_REUSEADDR`), so revival may
 /// fail with `EADDRINUSE` until `TIME_WAIT` sockets clear.
 #[cfg(not(target_os = "linux"))]
@@ -321,7 +661,7 @@ pub fn bind_reuseport(addr: std::net::SocketAddr) -> io::Result<std::net::TcpLis
 pub mod epoll {
     //! The Linux epoll backend.
 
-    use super::{Event, Interest};
+    use super::{Event, Interest, IoStats};
     use std::io;
     use std::os::fd::RawFd;
 
@@ -376,6 +716,7 @@ pub mod epoll {
     pub struct EpollPoller {
         epfd: RawFd,
         buf: Vec<EpollEvent>,
+        stats: IoStats,
     }
 
     impl EpollPoller {
@@ -385,10 +726,20 @@ pub mod epoll {
             if epfd < 0 {
                 return Err(io::Error::last_os_error());
             }
-            Ok(EpollPoller { epfd, buf: vec![EpollEvent { events: 0, data: 0 }; 256] })
+            Ok(EpollPoller {
+                epfd,
+                buf: vec![EpollEvent { events: 0, data: 0 }; 256],
+                stats: IoStats::default(),
+            })
         }
 
-        fn ctl(&self, op: i32, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+        /// Drain stats accumulated since the last call.
+        pub fn take_stats(&mut self) -> IoStats {
+            std::mem::take(&mut self.stats)
+        }
+
+        fn ctl(&mut self, op: i32, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+            self.stats.syscalls += 1;
             let mut ev = EpollEvent { events: mask_of(interest), data: token as u64 };
             let arg = if op == EPOLL_CTL_DEL { std::ptr::null_mut() } else { &mut ev };
             let rc = unsafe { epoll_ctl(self.epfd, op, fd, arg) };
@@ -416,6 +767,7 @@ pub mod epoll {
         /// See [`super::Poller::wait`].
         pub fn wait(&mut self, events: &mut Vec<Event>, timeout_ms: i32) -> io::Result<usize> {
             let n = loop {
+                self.stats.syscalls += 1;
                 let rc = unsafe {
                     epoll_wait(self.epfd, self.buf.as_mut_ptr(), self.buf.len() as i32, timeout_ms)
                 };
@@ -431,12 +783,12 @@ pub mod epoll {
                 // Copy out of the (possibly packed) struct before use.
                 let mask = raw.events;
                 let token = raw.data as usize;
-                events.push(Event {
+                events.push(Event::ready(
                     token,
-                    readable: mask & (EPOLLIN | EPOLLHUP | EPOLLRDHUP) != 0,
-                    writable: mask & EPOLLOUT != 0,
-                    error: mask & EPOLLERR != 0,
-                });
+                    mask & (EPOLLIN | EPOLLHUP | EPOLLRDHUP) != 0,
+                    mask & EPOLLOUT != 0,
+                    mask & EPOLLERR != 0,
+                ));
             }
             Ok(n)
         }
@@ -452,7 +804,7 @@ pub mod epoll {
 pub mod pollfd {
     //! The portable poll(2) backend: a linear fd list.
 
-    use super::{Event, Interest};
+    use super::{Event, Interest, IoStats};
     use std::io;
     use std::os::fd::RawFd;
 
@@ -490,12 +842,18 @@ pub mod pollfd {
     pub struct PollPoller {
         fds: Vec<PollFd>,
         tokens: Vec<usize>,
+        stats: IoStats,
     }
 
     impl PollPoller {
         /// Create an empty fd set.
         pub fn new() -> PollPoller {
-            PollPoller { fds: Vec::new(), tokens: Vec::new() }
+            PollPoller { fds: Vec::new(), tokens: Vec::new(), stats: IoStats::default() }
+        }
+
+        /// Drain stats accumulated since the last call.
+        pub fn take_stats(&mut self) -> IoStats {
+            std::mem::take(&mut self.stats)
         }
 
         fn position(&self, fd: RawFd) -> Option<usize> {
@@ -535,6 +893,7 @@ pub mod pollfd {
         /// See [`super::Poller::wait`].
         pub fn wait(&mut self, events: &mut Vec<Event>, timeout_ms: i32) -> io::Result<usize> {
             let n = loop {
+                self.stats.syscalls += 1;
                 let rc =
                     unsafe { poll(self.fds.as_mut_ptr(), self.fds.len() as u64, timeout_ms) };
                 if rc >= 0 {
@@ -550,12 +909,12 @@ pub mod pollfd {
                     if p.revents == 0 {
                         continue;
                     }
-                    events.push(Event {
+                    events.push(Event::ready(
                         token,
-                        readable: p.revents & (POLLIN | POLLHUP) != 0,
-                        writable: p.revents & POLLOUT != 0,
-                        error: p.revents & (POLLERR | POLLNVAL) != 0,
-                    });
+                        p.revents & (POLLIN | POLLHUP) != 0,
+                        p.revents & POLLOUT != 0,
+                        p.revents & (POLLERR | POLLNVAL) != 0,
+                    ));
                 }
             }
             Ok(events.len())
@@ -626,6 +985,51 @@ mod tests {
     #[test]
     fn poll_backend_delivers_events() {
         backend_smoke(Poller::Poll(pollfd::PollPoller::new()));
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn uring_backend_delivers_events() {
+        match uring::UringPoller::new() {
+            Ok(p) => backend_smoke(Poller::Uring(Box::new(p))),
+            Err(e) => eprintln!("skipping: io_uring unavailable on this kernel: {e}"),
+        }
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn explicit_uring_request_falls_back_to_epoll() {
+        // SWEB_URING_DISABLE simulates a kernel without io_uring; the
+        // explicit request must still yield a working poller.
+        std::env::set_var("SWEB_URING_DISABLE", "1");
+        let p = Poller::with_backend(IoBackend::Uring).unwrap();
+        std::env::remove_var("SWEB_URING_DISABLE");
+        assert_eq!(p.backend(), "epoll");
+        backend_smoke(p);
+    }
+
+    #[test]
+    fn io_backend_parses_names() {
+        assert_eq!(IoBackend::parse("uring"), Some(IoBackend::Uring));
+        assert_eq!(IoBackend::parse("epoll"), Some(IoBackend::Epoll));
+        assert_eq!(IoBackend::parse("auto"), Some(IoBackend::Auto));
+        assert_eq!(IoBackend::parse("poll"), Some(IoBackend::Poll));
+        assert_eq!(IoBackend::parse("kqueue"), None);
+        assert_eq!(IoBackend::default().name(), "epoll");
+    }
+
+    #[test]
+    fn connect_from_binds_requested_source() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let src: std::net::Ipv4Addr = "127.0.0.5".parse().unwrap();
+        let client = connect_from(addr, src).unwrap();
+        #[cfg(target_os = "linux")]
+        assert_eq!(client.local_addr().unwrap().ip(), std::net::IpAddr::V4(src));
+        let (server, peer) = listener.accept().unwrap();
+        #[cfg(target_os = "linux")]
+        assert_eq!(peer.ip(), std::net::IpAddr::V4(src));
+        drop((client, server));
     }
 
     /// A connected blocking stream pair over loopback.

@@ -25,6 +25,7 @@ struct Args {
     oracle: Option<std::path::PathBuf>,
     fault_plan: Option<std::path::PathBuf>,
     shards: usize,
+    io_backend: Option<sweb_reactor::IoBackend>,
     peer_transfer: bool,
     replicate_hot: bool,
 }
@@ -32,9 +33,9 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: swebd [--nodes N] [--docroot DIR] [--policy sweb|rr|locality|cpu] \
-         [--engine reactor|threaded] [--shards N] [--port-base P] [--loadd-ms MS] \
-         [--access-log FILE] [--oracle FILE] [--fault-plan FILE] \
-         [--peer-transfer] [--replicate-hot]"
+         [--engine reactor|threaded] [--io-backend uring|epoll|auto|poll] [--shards N] \
+         [--port-base P] [--loadd-ms MS] [--access-log FILE] [--oracle FILE] \
+         [--fault-plan FILE] [--peer-transfer] [--replicate-hot]"
     );
     std::process::exit(2);
 }
@@ -51,6 +52,7 @@ fn parse_args() -> Args {
         oracle: None,
         fault_plan: None,
         shards: 0,
+        io_backend: None,
         peer_transfer: false,
         replicate_hot: false,
     };
@@ -70,6 +72,10 @@ fn parse_args() -> Args {
                 }
             }
             "--engine" => args.engine = value().parse().unwrap_or_else(|_| usage()),
+            "--io-backend" => {
+                args.io_backend =
+                    Some(sweb_reactor::IoBackend::parse(&value()).unwrap_or_else(|| usage()))
+            }
             "--shards" => args.shards = value().parse().unwrap_or_else(|_| usage()),
             "--port-base" => args.port_base = Some(value().parse().unwrap_or_else(|_| usage())),
             "--loadd-ms" => args.loadd_ms = value().parse().unwrap_or_else(|_| usage()),
@@ -99,6 +105,9 @@ fn main() {
     };
     if args.shards > 0 {
         cfg.shards = args.shards;
+    }
+    if let Some(backend) = args.io_backend {
+        cfg.io_backend = backend;
     }
     let shards_desc = match cfg.shards {
         0 => "auto".to_string(),
@@ -159,10 +168,12 @@ fn main() {
         }
     };
     println!(
-        "swebd: {}-node SWEB cluster, policy {:?}, engine {}, shards {}, docroot {:?}",
+        "swebd: {}-node SWEB cluster, policy {:?}, engine {}, io-backend {}, shards {}, \
+         docroot {:?}",
         cluster.len(),
         args.policy,
         args.engine.name(),
+        cluster.node(0).io_backend.name(),
         shards_desc,
         args.docroot
     );

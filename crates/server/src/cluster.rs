@@ -71,6 +71,12 @@ pub struct ClusterConfig {
     /// (the default) or the contiguous-copy baseline, kept selectable so
     /// benchmarks can measure what the copy costs.
     pub transmit: sweb_reactor::TransmitMode,
+    /// I/O backend for the reactor shards (`--io-backend` /
+    /// `SWEB_IO_BACKEND`): completion-based io_uring, readiness-based
+    /// epoll (the default), or `Auto` (uring where the kernel supports
+    /// it). `Uring`/`Auto` fall back to epoll on unsupporting kernels;
+    /// each shard reports the backend it actually runs on `/sweb-status`.
+    pub io_backend: sweb_reactor::IoBackend,
     /// Scheduler tunables. The default shortens the loadd period to 200 ms
     /// so tests converge quickly; pass the paper's 2.5 s for realism.
     pub sweb: SwebConfig,
@@ -117,6 +123,7 @@ impl Default for ClusterConfig {
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(0),
             transmit: sweb_reactor::TransmitMode::ZeroCopy,
+            io_backend: sweb_reactor::IoBackend::from_env(),
             sweb,
             cgi: crate::cgi::CgiRegistry::demo(),
             port_base: None,
@@ -219,6 +226,8 @@ impl LiveCluster {
                 shard_live: (0..shards).map(|_| AtomicBool::new(false)).collect(),
                 max_conns: cfg.max_conns,
                 transmit: cfg.transmit,
+                io_backend: cfg.io_backend,
+                shard_io_backend: (0..shards).map(|_| RwLock::new("none")).collect(),
                 cluster: cluster_spec.clone(),
                 peer_http: peer_http.clone(),
                 peer_udp: peer_udp.clone(),

@@ -12,7 +12,7 @@ use sweb_core::{Broker, LoadTable, Oracle, SwebConfig};
 use sweb_des::SimTime;
 use sweb_http::Request;
 use sweb_telemetry::{
-    CostFeedback, Counter, Phase, PhaseTimes, Registry, ShardedCounter, ShardedGauge,
+    CostFeedback, Counter, Gauge, Phase, PhaseTimes, Registry, ShardedCounter, ShardedGauge,
 };
 
 use crate::cluster::Engine;
@@ -76,6 +76,21 @@ pub struct NodeStats {
     /// Bytes currently being transferred (the live "net load", scaled;
     /// shard-local cells, summed on read).
     pub bytes_in_flight: Arc<ShardedGauge>,
+    /// Kernel entries the connection engine made (`epoll_wait`/`epoll_ctl`
+    /// / `poll` / `io_uring_enter`; shard-local cells).
+    pub io_syscalls: Arc<ShardedCounter>,
+    /// Submission-queue entries pushed to io_uring (0 on readiness backends).
+    pub io_sqe_submitted: Arc<ShardedCounter>,
+    /// Completion-queue entries reaped from io_uring (0 on readiness backends).
+    pub io_cqe_completed: Arc<ShardedCounter>,
+    /// Syscalls the completion backend absorbed that a readiness backend
+    /// would have paid for (folded registrations, CQE-carried accepts and
+    /// writes, ring-satisfied waits).
+    pub io_syscalls_saved: Arc<ShardedCounter>,
+    /// `sweb_io_backend{backend=...}` gauges: number of shards running
+    /// each backend (all zero until the loops report in). Order matches
+    /// [`NodeStats::io_backend_gauge`].
+    io_backends: [Arc<Gauge>; 3],
     /// Per-request phase latency (accept → parse → decide → fetch → write).
     pub phases: PhaseTimes,
     /// Cost-model feedback: predicted `t_s` terms vs measured wall time.
@@ -158,6 +173,29 @@ impl NodeStats {
                 "sweb_fetch_retries_total",
                 "Transient file-fetch errors retried under bounded backoff",
             ),
+            io_syscalls: sc(
+                "sweb_io_syscalls_total",
+                "Kernel entries made by the connection engine's poller",
+            ),
+            io_sqe_submitted: sc(
+                "sweb_io_sqe_submitted_total",
+                "io_uring submission-queue entries pushed",
+            ),
+            io_cqe_completed: sc(
+                "sweb_io_cqe_completed_total",
+                "io_uring completion-queue entries reaped",
+            ),
+            io_syscalls_saved: sc(
+                "sweb_io_syscalls_saved_total",
+                "Syscalls avoided by the completion-based backend",
+            ),
+            io_backends: ["uring", "epoll", "poll"].map(|b| {
+                registry.gauge(
+                    "sweb_io_backend",
+                    &[("backend", b)],
+                    "Shards running each I/O backend",
+                )
+            }),
             active: registry.sharded_gauge(
                 "sweb_active_requests",
                 &[],
@@ -175,6 +213,17 @@ impl NodeStats {
             trace_epoch: epoch,
             trace_seq: AtomicU64::new(0),
             registry,
+        }
+    }
+
+    /// The `sweb_io_backend` gauge for `backend` (`"uring"`, `"epoll"`,
+    /// or `"poll"`); counts the shards running it.
+    pub fn io_backend_gauge(&self, backend: &str) -> Option<&Arc<Gauge>> {
+        match backend {
+            "uring" => Some(&self.io_backends[0]),
+            "epoll" => Some(&self.io_backends[1]),
+            "poll" => Some(&self.io_backends[2]),
+            _ => None,
         }
     }
 
@@ -206,6 +255,13 @@ pub struct NodeShared {
     pub max_conns: usize,
     /// Transmit shape for the reactor engine (zero-copy vs copy baseline).
     pub transmit: sweb_reactor::TransmitMode,
+    /// Requested I/O backend for the reactor shards (`Uring`/`Auto` fall
+    /// back to epoll when the kernel lacks support).
+    pub io_backend: sweb_reactor::IoBackend,
+    /// The backend each shard's loop actually runs on, reported by the
+    /// loop thread itself (`"none"` until it starts; always `"none"` for
+    /// the threaded engine).
+    pub shard_io_backend: Vec<RwLock<&'static str>>,
     /// Synthetic hardware description used by the cost model.
     pub cluster: ClusterSpec,
     /// HTTP base URLs of every node (http://127.0.0.1:port).
@@ -354,6 +410,26 @@ impl sweb_reactor::App for ReactorApp {
             live.store(true, Ordering::Relaxed);
         }
     }
+    fn on_io_backend(&self, backend: &'static str) {
+        if let Some(slot) = self.shared.shard_io_backend.get(self.shard) {
+            let mut b = slot.write();
+            // Idempotent across restarts: move this shard's count over.
+            if let Some(g) = self.shared.stats.io_backend_gauge(&b) {
+                g.dec();
+            }
+            if let Some(g) = self.shared.stats.io_backend_gauge(backend) {
+                g.inc();
+            }
+            *b = backend;
+        }
+    }
+    fn on_io_stats(&self, stats: sweb_reactor::IoStats) {
+        let s = &self.shared.stats;
+        s.io_syscalls.add_at(self.shard, stats.syscalls);
+        s.io_sqe_submitted.add_at(self.shard, stats.sqe_submitted);
+        s.io_cqe_completed.add_at(self.shard, stats.cqe_completed);
+        s.io_syscalls_saved.add_at(self.shard, stats.syscalls_saved);
+    }
     fn on_shard_stop(&self) {
         if let Some(live) = self.shared.shard_live.get(self.shard) {
             live.store(false, Ordering::Relaxed);
@@ -402,6 +478,7 @@ impl NodeHandle {
                     max_conns: shared.max_conns,
                     transmit: shared.transmit,
                     request_budget: shared.request_budget,
+                    io_backend: shared.io_backend,
                     ..sweb_reactor::ReactorConfig::default()
                 };
                 reactor = Some(sweb_reactor::spawn_sharded(listener, apps, cfg, Arc::clone(&stop))?);

@@ -31,7 +31,10 @@ pub const METRICS_PATH: &str = "/metrics";
 /// `forward_failures`, `peer_frames_bad`, `pushes_sent`,
 /// `pushes_received`) and the peer-channel fault counters (`peer_drops`,
 /// `peer_delays`) in the faults block.
-pub const STATUS_SCHEMA_VERSION: u64 = 4;
+/// v5 added `io_backend` to each shard row: the poller backend the
+/// shard's loop actually runs (`"uring"`, `"epoll"`, `"poll"`, or
+/// `"none"` for the threaded engine / a not-yet-started loop).
+pub const STATUS_SCHEMA_VERSION: u64 = 5;
 
 /// One node's full introspection snapshot.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,12 +63,15 @@ pub struct StatusReport {
 }
 
 /// One reactor shard's slice of the node's hot counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardRow {
     /// Shard index.
     pub shard: u32,
     /// Whether this shard's event loop is currently running.
     pub live: bool,
+    /// I/O backend the shard's loop runs (`"uring"`, `"epoll"`,
+    /// `"poll"`; `"none"` for the threaded engine or before start).
+    pub io_backend: String,
     /// Connections this shard accepted.
     pub accepted: u64,
     /// Requests this shard served.
@@ -227,6 +233,11 @@ impl StatusReport {
                         .shard_live
                         .get(i)
                         .is_some_and(|l| l.load(std::sync::atomic::Ordering::Relaxed)),
+                    io_backend: shared
+                        .shard_io_backend
+                        .get(i)
+                        .map(|b| b.read().to_string())
+                        .unwrap_or_else(|| "none".to_string()),
                     accepted: s.accepted.cell_value(i),
                     served: s.served.cell_value(i),
                     shed: s.shed.cell_value(i),
@@ -300,12 +311,15 @@ impl StatusReport {
             c.pushes_sent,
             c.pushes_received,
         ));
-        out.push_str("\nshards:\nshard  live   accepted  served    shed      active\n");
+        out.push_str(
+            "\nshards:\nshard  live   backend  accepted  served    shed      active\n",
+        );
         for row in &self.shards {
             out.push_str(&format!(
-                "{:<6} {:<6} {:<9} {:<9} {:<9} {}\n",
+                "{:<6} {:<6} {:<8} {:<9} {:<9} {:<9} {}\n",
                 format!("s{}", row.shard),
                 if row.live { "yes" } else { "no" },
+                row.io_backend,
                 row.accepted,
                 row.served,
                 row.shed,
@@ -406,6 +420,7 @@ impl StatusReport {
                             obj(vec![
                                 ("shard", Json::Num(row.shard as f64)),
                                 ("live", Json::Bool(row.live)),
+                                ("io_backend", Json::Str(row.io_backend.clone())),
                                 ("accepted", Json::Num(row.accepted as f64)),
                                 ("served", Json::Num(row.served as f64)),
                                 ("shed", Json::Num(row.shed as f64)),
@@ -516,6 +531,10 @@ impl StatusReport {
                 Ok(ShardRow {
                     shard: num_u64(row, "shard")? as u32,
                     live: field(row, "live")?.as_bool().ok_or("live is not a bool")?,
+                    io_backend: field(row, "io_backend")?
+                        .as_str()
+                        .ok_or("io_backend is not a string")?
+                        .to_string(),
                     accepted: num_u64(row, "accepted")?,
                     served: num_u64(row, "served")?,
                     shed: num_u64(row, "shed")?,
@@ -655,8 +674,24 @@ mod tests {
                 pushes_received: 3,
             },
             shards: vec![
-                ShardRow { shard: 0, live: true, accepted: 60, served: 55, shed: 2, active: 3 },
-                ShardRow { shard: 1, live: false, accepted: 40, served: 35, shed: 0, active: 2 },
+                ShardRow {
+                    shard: 0,
+                    live: true,
+                    io_backend: "uring".to_string(),
+                    accepted: 60,
+                    served: 55,
+                    shed: 2,
+                    active: 3,
+                },
+                ShardRow {
+                    shard: 1,
+                    live: false,
+                    io_backend: "epoll".to_string(),
+                    accepted: 40,
+                    served: 35,
+                    shed: 0,
+                    active: 2,
+                },
             ],
             cache: CacheSnapshot {
                 hits: 50,
@@ -727,10 +762,11 @@ mod tests {
         assert!(text.contains("alive") && text.contains("dead"), "{text}");
         assert!(text.contains("17 pkts dropped"), "{text}");
         assert!(text.contains("peer channel: 2 frames dropped, 1 frames delayed"), "{text}");
-        // The per-shard breakdown: one row per shard, liveness included.
+        // The per-shard breakdown: one row per shard, liveness and
+        // backend included.
         assert!(text.contains("shards:"), "{text}");
-        assert!(text.contains("s0     yes    60        55        2         3"), "{text}");
-        assert!(text.contains("s1     no     40        35        0         2"), "{text}");
+        assert!(text.contains("s0     yes    uring    60        55        2         3"), "{text}");
+        assert!(text.contains("s1     no     epoll    40        35        0         2"), "{text}");
     }
 
     #[test]
