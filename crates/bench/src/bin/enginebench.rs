@@ -1,6 +1,6 @@
 //! `enginebench` — live-cluster benchmarks for the connection engines.
 //!
-//! Five scenarios:
+//! Six scenarios:
 //!
 //! ```text
 //! enginebench [--scenario engine] [--engine reactor|threaded|both] [--nodes 3]
@@ -14,6 +14,8 @@
 //!             [--out results/forwarding.csv]
 //! enginebench --scenario uring [--hold 10000] [--workers 16]
 //!             [--requests 3000] [--out results/uring.csv]
+//! enginebench --scenario dynamic [--workers 8] [--requests 1200]
+//!             [--out results/dynamic.csv]
 //! ```
 //!
 //! **engine** (the default): for each engine the harness starts an
@@ -94,6 +96,25 @@
 //! ```text
 //! backend,chosen,nodes,held_conns,workers,requests,errors,duration_s,rps,p50_ms,p99_ms,io_syscalls,sqe_submitted,cqe_completed,syscalls_saved
 //! ```
+//!
+//! **dynamic**: the dynamic-content dispatch A/B — a single reactor node
+//! driving `/cgi-bin/` three ways: `fork` (the legacy fork-per-request
+//! CGI path, a trivial shell script behind [`ForkCgiHandler`]), `inproc`
+//! (the in-process `burn` handler with unique arguments, so every request
+//! invokes the handler), and `cached` (the same handler with a small
+//! repeated argument set, so the response cache absorbs the work). Before
+//! the A/B, a sequential convergence pass drives the `burn` handler with
+//! unique arguments and drains the cost-model feedback ring: the oracle's
+//! per-class `t_cpu` table starts from the static prior and learns the
+//! measured handler cost, so the prediction-error p50 of the *last*
+//! quartile of requests should land well under the *first* quartile's.
+//! One CSV row per mode in `--out`, per-request prediction rows appended
+//! to `prediction_error.csv` beside it, and the run lands in
+//! `BENCH_dynamic.json` for the committed perf trajectory:
+//!
+//! ```text
+//! mode,requests,workers,errors,duration_s,rps,p50_ms,p99_ms,invocations,cache_hits
+//! ```
 
 use std::io::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -101,7 +122,10 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use sweb_metrics::Histogram;
-use sweb_server::{client, ClusterConfig, Engine, LiveCluster, TransmitMode};
+use sweb_server::{
+    client, ClusterConfig, DynamicRegistry, Engine, ForkCgiHandler, LiveCluster, ServerOptions,
+    TransmitMode,
+};
 use sweb_telemetry::PredictionSample;
 
 #[derive(Clone, Copy, PartialEq)]
@@ -111,6 +135,7 @@ enum Scenario {
     Shards,
     Forward,
     Uring,
+    Dynamic,
 }
 
 struct Args {
@@ -126,7 +151,7 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: enginebench [--scenario engine|zerocopy|shards|forward|uring] \
+        "usage: enginebench [--scenario engine|zerocopy|shards|forward|uring|dynamic] \
          [--engine reactor|threaded|both] \
          [--nodes N] [--hold N] [--workers N] [--requests N] [--size BYTES] [--out FILE]"
     );
@@ -155,6 +180,7 @@ fn parse_args() -> Args {
                     "shards" => Scenario::Shards,
                     "forward" => Scenario::Forward,
                     "uring" => Scenario::Uring,
+                    "dynamic" => Scenario::Dynamic,
                     _ => usage(),
                 };
             }
@@ -1209,6 +1235,286 @@ fn main_uring(args: &Args) {
     println!("enginebench: wrote BENCH_uring.json");
 }
 
+/// One dynamic-scenario dispatch shape: how `/cgi-bin/` work reaches the
+/// handler.
+struct DynMode {
+    name: &'static str,
+    /// Handler class whose invocation/cache counters the row reports.
+    class: &'static str,
+    /// Request path for global request index `i`.
+    path: fn(u64) -> String,
+    /// Prime the repeated-argument working set before the measured window.
+    warm: bool,
+    /// Mount the fork-CGI probe script (the legacy path under test).
+    fork: bool,
+}
+
+struct DynOutcome {
+    errors: u64,
+    duration: Duration,
+    hist: Histogram,
+    /// Real handler invocations during the run (cache hits excluded).
+    invocations: u64,
+    /// Requests answered from the dynamic response cache.
+    cache_hits: u64,
+}
+
+/// The fork-CGI probe: a trivial shell script, so the `fork` row prices
+/// the dispatch mechanism (fork + exec + pipe + reap), not script work.
+fn write_probe_script(docroot: &std::path::Path) -> std::path::PathBuf {
+    let script = docroot.join("probe.sh");
+    std::fs::write(
+        &script,
+        "#!/bin/sh\necho \"Content-Type: text/plain\"\necho\necho \"fork probe: $QUERY_STRING\"\n",
+    )
+    .expect("write probe script");
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::PermissionsExt as _;
+        std::fs::set_permissions(&script, std::fs::Permissions::from_mode(0o755))
+            .expect("chmod probe script");
+    }
+    script
+}
+
+/// One dispatch-mode leg of the dynamic A/B: a fresh single-node reactor
+/// (fresh counters and an empty response cache) driven with `requests`
+/// fetches shaped by `mode.path`.
+fn run_dynamic_mode(mode: &DynMode, workers: usize, requests: u64, docroot: &std::path::Path) -> DynOutcome {
+    let mut handlers = DynamicRegistry::demo();
+    if mode.fork {
+        let script = write_probe_script(docroot);
+        handlers.register("forkprobe", Arc::new(ForkCgiHandler::new(script)));
+    }
+    let cluster = ServerOptions::new()
+        .policy(sweb_core::Policy::RoundRobin) // one node; never redirect
+        .engine(Engine::Reactor)
+        .shards(1)
+        .max_conns(workers * 2 + 64)
+        .handlers(handlers)
+        .start(1, docroot.to_path_buf())
+        .expect("start cluster");
+    let base = cluster.base_url(0).to_string();
+
+    if mode.warm {
+        // Prime the repeated working set so the measured window is all
+        // cache hits (the regime the response cache exists for).
+        for i in 0..8 {
+            let resp = client::get(&format!("{base}{}", (mode.path)(i))).expect("warm fetch");
+            assert_eq!(resp.status, 200, "warm fetch {i} failed");
+        }
+    }
+
+    let remaining = Arc::new(AtomicU64::new(requests));
+    let errors = Arc::new(AtomicU64::new(0));
+    let hist = Arc::new(Mutex::new(Histogram::new()));
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for _ in 0..workers {
+        let base = base.clone();
+        let path = mode.path;
+        let remaining = Arc::clone(&remaining);
+        let errors = Arc::clone(&errors);
+        let hist = Arc::clone(&hist);
+        handles.push(std::thread::spawn(move || {
+            let mut local = Histogram::new();
+            // `prev` descends requests..=1; flip it so every request gets
+            // a unique ascending index for the path shaper.
+            while let Ok(prev) =
+                remaining.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+            {
+                let url = format!("{base}{}", path(requests - prev));
+                let t = Instant::now();
+                match client::get_with_timeout(&url, Duration::from_secs(30)) {
+                    Ok(resp) if resp.status == 200 => {
+                        local.record(t.elapsed().as_micros() as u64);
+                    }
+                    _ => {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            hist.lock().unwrap().merge(&local);
+        }));
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    let duration = t0.elapsed();
+    let (invocations, cache_hits) = cluster
+        .node(0)
+        .dynamic
+        .class_stats(mode.class)
+        .map(|s| (s.invocations.get(), s.cache_hits.get()))
+        .unwrap_or((0, 0));
+    cluster.shutdown();
+    let hist = Arc::try_unwrap(hist).expect("workers joined").into_inner().unwrap();
+    DynOutcome {
+        errors: errors.load(Ordering::Relaxed),
+        duration,
+        hist,
+        invocations,
+        cache_hits,
+    }
+}
+
+/// Sequential convergence pass: drive the `burn` handler with unique
+/// arguments (every request a cache miss, so every request feeds the
+/// oracle), then drain the cost-model feedback ring in arrival order and
+/// split the per-request |error| stream into quartiles. Returns
+/// `(error_pcts, first_quartile_p50, last_quartile_p50)`.
+fn run_dynamic_convergence(
+    probes: u64,
+    docroot: &std::path::Path,
+) -> (Vec<(PredictionSample, u64)>, u64, u64) {
+    let cluster = ServerOptions::new()
+        .policy(sweb_core::Policy::RoundRobin)
+        .engine(Engine::Reactor)
+        .shards(1)
+        .start(1, docroot.to_path_buf())
+        .expect("start cluster");
+    let base = cluster.base_url(0).to_string();
+    for i in 0..probes {
+        let url = format!("{base}/cgi-bin/burn?cost=2000000&u=c{i}");
+        match client::get_with_timeout(&url, Duration::from_secs(10)) {
+            Ok(resp) => assert_eq!(resp.status, 200, "convergence probe {i} failed"),
+            Err(e) => panic!("convergence probe {i} failed: {e}"),
+        }
+    }
+    // Sequential single-connection probes under the 1024-slot ring: the
+    // drained samples are the whole run, in arrival order.
+    let samples: Vec<(PredictionSample, u64)> = cluster
+        .node(0)
+        .stats
+        .feedback
+        .samples()
+        .into_iter()
+        .map(|s| {
+            let err = s.error_pct();
+            (s, err)
+        })
+        .collect();
+    cluster.shutdown();
+
+    let p50_of = |window: &[(PredictionSample, u64)]| -> u64 {
+        let mut errs: Vec<u64> = window.iter().map(|(_, e)| *e).collect();
+        errs.sort_unstable();
+        errs.get(errs.len() / 2).copied().unwrap_or(0)
+    };
+    let q = samples.len() / 4;
+    let first = p50_of(&samples[..q.max(1).min(samples.len())]);
+    let last = p50_of(&samples[samples.len() - q.max(1).min(samples.len())..]);
+    (samples, first, last)
+}
+
+fn main_dynamic(args: &Args) {
+    let workers = args.workers.unwrap_or(8);
+    let requests = args.requests.unwrap_or(1200);
+    let out_path =
+        args.out.clone().unwrap_or_else(|| std::path::PathBuf::from("results/dynamic.csv"));
+    let docroot = make_docroot();
+
+    // Convergence pass first, on its own node: the A/B below must start
+    // from the same cold oracle the convergence run measures. The probe
+    // count is sized to the oracle's EWMA (alpha 0.25 converges in ~15
+    // requests): the first quartile must still contain the warm-up
+    // samples, or both quartile medians just measure the steady state.
+    let probes = 96u64;
+    eprintln!("enginebench: dynamic convergence, {probes} sequential burn probes");
+    let (samples, err_first, err_last) = run_dynamic_convergence(probes, &docroot);
+    eprintln!(
+        "enginebench: oracle convergence: {} samples, |error| p50 first quartile {err_first}% \
+         -> last quartile {err_last}%",
+        samples.len(),
+    );
+    let pred_path = out_path
+        .parent()
+        .unwrap_or_else(|| std::path::Path::new("."))
+        .join("prediction_error.csv");
+    let mut pred_out =
+        open_csv(&pred_path, "scenario,engine,node,predicted_us,measured_us,error_pct");
+    for (s, err) in &samples {
+        writeln!(pred_out, "dynamic,reactor,0,{},{},{err}", s.predicted_us, s.measured_us)
+            .unwrap();
+    }
+
+    // The A/B: same request budget through each dispatch shape. `fork`
+    // and `inproc` get unique arguments (every request does real work);
+    // `cached` cycles 8 argument sets so the response cache absorbs it.
+    let modes = [
+        DynMode {
+            name: "fork",
+            class: "fork",
+            path: |i| format!("/cgi-bin/forkprobe?u={i}"),
+            warm: false,
+            fork: true,
+        },
+        DynMode {
+            name: "inproc",
+            class: "burn",
+            path: |i| format!("/cgi-bin/burn?cost=20000&u={i}"),
+            warm: false,
+            fork: false,
+        },
+        DynMode {
+            name: "cached",
+            class: "burn",
+            path: |i| format!("/cgi-bin/burn?cost=20000&u={}", i % 8),
+            warm: true,
+            fork: false,
+        },
+    ];
+    let mut out = open_csv(
+        &out_path,
+        "mode,requests,workers,errors,duration_s,rps,p50_ms,p99_ms,invocations,cache_hits",
+    );
+    let mut json_rows = Vec::new();
+    for mode in &modes {
+        eprintln!(
+            "enginebench: dynamic mode={} workers={workers} requests={requests}",
+            mode.name
+        );
+        let r = run_dynamic_mode(mode, workers, requests, &docroot);
+        let served = r.hist.count();
+        let secs = r.duration.as_secs_f64().max(1e-9);
+        let rps = served as f64 / secs;
+        let p50 = r.hist.quantile(0.50) as f64 / 1000.0;
+        let p99 = r.hist.quantile(0.99) as f64 / 1000.0;
+        let row = format!(
+            "{},{requests},{workers},{},{:.3},{rps:.1},{p50:.3},{p99:.3},{},{}",
+            mode.name,
+            r.errors,
+            r.duration.as_secs_f64(),
+            r.invocations,
+            r.cache_hits,
+        );
+        writeln!(out, "{row}").unwrap();
+        eprintln!("enginebench: {row}");
+        json_rows.push(format!(
+            "    {{\"mode\": \"{}\", \"errors\": {}, \"duration_s\": {:.3}, \"rps\": {rps:.1}, \
+             \"p50_ms\": {p50:.3}, \"p99_ms\": {p99:.3}, \"invocations\": {}, \
+             \"cache_hits\": {}}}",
+            mode.name,
+            r.errors,
+            r.duration.as_secs_f64(),
+            r.invocations,
+            r.cache_hits,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"dynamic\",\n  \"schema_version\": 1,\n  \"nodes\": 1,\n  \
+         \"requests\": {requests},\n  \"workers\": {workers},\n  \"convergence\": {{\n    \
+         \"probes\": {},\n    \"error_p50_first_quartile_pct\": {err_first},\n    \
+         \"error_p50_last_quartile_pct\": {err_last}\n  }},\n  \"modes\": [\n{}\n  ]\n}}\n",
+        samples.len(),
+        json_rows.join(",\n")
+    );
+    std::fs::write("BENCH_dynamic.json", json).expect("write BENCH_dynamic.json");
+    println!("enginebench: wrote {}", out_path.display());
+    println!("enginebench: wrote {}", pred_path.display());
+    println!("enginebench: wrote BENCH_dynamic.json");
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().collect();
     if argv.get(1).map(String::as_str) == Some("--hold-helper") {
@@ -1222,5 +1528,6 @@ fn main() {
         Scenario::Shards => main_shards(&args),
         Scenario::Forward => main_forward(&args),
         Scenario::Uring => main_uring(&args),
+        Scenario::Dynamic => main_dynamic(&args),
     }
 }

@@ -165,7 +165,7 @@ impl Broker {
                     || inputs.loads.health(req.home) != crate::load::PeerHealth::Alive
                 {
                     Decision::local(at(origin))
-                } else if self.model.config().peer_transfer {
+                } else if self.model.config().peer_transfer && !req.class.is_dynamic() {
                     // Chase the home's bytes, not the home: pull the
                     // document over the peer channel instead of bouncing
                     // the client. Same Alive-only gate as the 302. A
@@ -237,14 +237,16 @@ impl Broker {
     /// extension is on and some peer's loadd cache digest advertises the
     /// file. Sources come from [`LoadTable::candidates`] — strictly-Alive
     /// peers only, the exact gate redirect targets pass (a Suspect peer
-    /// is no better a pull source than a 302 target).
+    /// is no better a pull source than a 302 target). Dynamic requests
+    /// never pull: a handler's output is produced, not stored, so there
+    /// are no bytes at a peer to chase.
     fn best_peer_fetch(
         &self,
         req: &RequestInfo,
         origin: NodeId,
         inputs: &CostInputs<'_>,
     ) -> Option<Decision> {
-        if !self.model.config().peer_transfer {
+        if !self.model.config().peer_transfer || req.class.is_dynamic() {
             return None;
         }
         let mut best: Option<Decision> = None;
@@ -487,6 +489,26 @@ mod tests {
         let mut pinned = fetch(2, 200_000);
         pinned.pinned_local = true;
         assert_eq!(on.decide(&pinned, NodeId(0), &inputs).route, Route::Local);
+    }
+
+    #[test]
+    fn dynamic_requests_never_peer_fetch() {
+        // A digest hit that would be pulled for a static fetch is ignored
+        // for dynamic work — the handler runs somewhere, its output is not
+        // stored bytes a peer can ship. Redirects remain allowed.
+        let cluster = presets::meiko(4);
+        let mut loads = LoadTable::new(4);
+        with_digest(&mut loads, 2, FileId(9));
+        let inputs = CostInputs { cluster: &cluster, loads: &loads };
+        let sweb = Broker::new(Policy::Sweb, CostModel::new(peer_cfg()));
+        let req = fetch(2, 200_000).dynamic("burn");
+        assert_eq!(sweb.decide(&req, NodeId(0), &inputs).route, Route::Local);
+        let fl = Broker::new(Policy::FileLocality, CostModel::new(peer_cfg()));
+        assert_eq!(
+            fl.decide(&fetch(2, 1024).dynamic("burn"), NodeId(0), &inputs).route,
+            Route::Redirect(NodeId(2)),
+            "dynamic requests still redirect, they just never pull"
+        );
     }
 
     #[test]

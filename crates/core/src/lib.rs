@@ -44,4 +44,4 @@ pub use digest::{CacheDigest, DIGEST_BYTES};
 pub use load::{HealthChurn, LoadTable, LoadVector, LoaddTimer, PeerHealth};
 pub use oracle::{CostProfile, Oracle, OracleRule};
 pub use policy::Policy;
-pub use types::RequestInfo;
+pub use types::{RequestClass, RequestInfo};

@@ -6,6 +6,14 @@
 //! saved in a configuration file."
 
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+/// Decay factor for measured-`t_cpu` feedback: each new sample pulls the
+/// tuned estimate 25% of the way toward the measurement, so the table
+/// tracks drift (a handler whose working set grew) while one outlier
+/// request cannot wreck the estimate.
+const TUNE_ALPHA: f64 = 0.25;
 
 /// CPU demand of a request class: `base_ops + ops_per_byte * size`.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -36,7 +44,9 @@ pub struct OracleRule {
     pub profile: CostProfile,
 }
 
-/// The oracle: a rule table plus defaults for plain fetches and CGI.
+/// The oracle: a rule table plus defaults for plain fetches and CGI, and a
+/// measured-feedback table that auto-tunes `t_cpu` per dynamic handler
+/// class.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Oracle {
     rules: Vec<OracleRule>,
@@ -44,6 +54,15 @@ pub struct Oracle {
     pub static_default: CostProfile,
     /// Default profile for CGI executions (adds compute beyond the fetch).
     pub cgi_default: CostProfile,
+    /// Measured CPU demand (ops) per dynamic handler class: a decayed EWMA
+    /// fed by `observe()` with per-request phase timings. Shared across
+    /// clones on purpose — the paper keeps the oracle table in one
+    /// user-visible file for the whole machine, and likewise every copy of
+    /// the oracle a node hands out (broker, status page, bench probes)
+    /// reads and writes the same live table. Not serialized: the config
+    /// file carries the *user-supplied* priors, never the learned state.
+    #[serde(skip, default)]
+    tuned: Arc<RwLock<HashMap<String, f64>>>,
 }
 
 impl Oracle {
@@ -60,6 +79,7 @@ impl Oracle {
             rules: Vec::new(),
             static_default: CostProfile { base_ops: 0.4e6, ops_per_byte: 1.2 },
             cgi_default: CostProfile { base_ops: 4.0e6, ops_per_byte: 1.2 },
+            tuned: Arc::default(),
         }
     }
 
@@ -141,6 +161,48 @@ impl Oracle {
         };
         profile.ops(size)
     }
+
+    /// Estimated CPU operations for a dynamic request of handler class
+    /// `class`: the measured (tuned) estimate when feedback has arrived,
+    /// else the static table via [`Oracle::characterize`] — so a fresh
+    /// server prices dynamic work from the user-supplied priors and
+    /// converges onto reality as requests flow.
+    pub fn characterize_dynamic(&self, class: &str, path: &str, size: u64) -> f64 {
+        self.tuned_ops(class).unwrap_or_else(|| self.characterize(path, size))
+    }
+
+    /// Feed one measured fulfillment back into the tuned table. `measured_ops`
+    /// is wall-clock handler time converted to operations at the node's
+    /// clock (`secs * cpu_ops_per_sec`); non-finite or non-positive samples
+    /// are dropped. First sample seeds the entry, later samples decay in
+    /// with `TUNE_ALPHA`.
+    pub fn observe(&self, class: &str, measured_ops: f64) {
+        if !measured_ops.is_finite() || measured_ops <= 0.0 {
+            return;
+        }
+        let mut tuned = self.tuned.write().unwrap();
+        match tuned.get_mut(class) {
+            Some(est) => *est += TUNE_ALPHA * (measured_ops - *est),
+            None => {
+                tuned.insert(class.to_string(), measured_ops);
+            }
+        }
+    }
+
+    /// Current tuned estimate for a handler class, if any feedback has been
+    /// observed.
+    pub fn tuned_ops(&self, class: &str) -> Option<f64> {
+        self.tuned.read().unwrap().get(class).copied()
+    }
+
+    /// Snapshot of the whole tuned table, sorted by class name (for the
+    /// status page).
+    pub fn tuned_snapshot(&self) -> Vec<(String, f64)> {
+        let mut rows: Vec<(String, f64)> =
+            self.tuned.read().unwrap().iter().map(|(k, v)| (k.clone(), *v)).collect();
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        rows
+    }
 }
 
 #[cfg(test)]
@@ -208,6 +270,49 @@ cgi-default       3.0e6   1.2
         let oracle = Oracle::from_config_str(&text).expect("example config valid");
         assert_eq!(oracle.rules(), 3);
         assert_eq!(oracle.characterize("/cgi-bin/search?q=x", 0), 8.0e6);
+    }
+
+    #[test]
+    fn tuned_table_overrides_static_priors() {
+        let o = Oracle::ncsa_default();
+        // Untuned: dynamic characterization falls back to the path rules.
+        let prior = o.characterize_dynamic("burn", "/cgi-bin/burn", 4096);
+        assert_eq!(prior, o.characterize("/cgi-bin/burn", 4096));
+        // First observation seeds the entry outright.
+        o.observe("burn", 1.0e6);
+        assert_eq!(o.tuned_ops("burn"), Some(1.0e6));
+        assert_eq!(o.characterize_dynamic("burn", "/cgi-bin/burn", 4096), 1.0e6);
+        // Other classes stay on priors.
+        assert_eq!(o.tuned_ops("echo"), None);
+    }
+
+    #[test]
+    fn observe_decays_toward_measurements() {
+        let o = Oracle::ncsa_default();
+        o.observe("burn", 4.0e6);
+        for _ in 0..40 {
+            o.observe("burn", 1.0e6);
+        }
+        let est = o.tuned_ops("burn").unwrap();
+        assert!((est - 1.0e6).abs() < 1.0e4, "EWMA should converge, got {est}");
+        // One wild outlier moves the estimate by at most alpha of the gap.
+        o.observe("burn", 100.0e6);
+        let after = o.tuned_ops("burn").unwrap();
+        assert!(after < 30.0e6, "outlier over-weighted: {after}");
+        // Garbage samples are dropped.
+        o.observe("burn", f64::NAN);
+        o.observe("burn", -5.0);
+        assert_eq!(o.tuned_ops("burn"), Some(after));
+    }
+
+    #[test]
+    fn tuned_table_is_shared_across_clones() {
+        let o = Oracle::ncsa_default();
+        let copy = o.clone();
+        o.observe("search", 2.0e6);
+        assert_eq!(copy.tuned_ops("search"), Some(2.0e6));
+        let snap = copy.tuned_snapshot();
+        assert_eq!(snap, vec![("search".to_string(), 2.0e6)]);
     }
 
     #[test]

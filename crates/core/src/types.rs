@@ -2,6 +2,36 @@
 
 use sweb_cluster::{FileId, NodeId};
 
+/// What kind of work fulfilling a request entails. The broker carries this
+/// in routing decisions so dynamic requests are priced per handler class
+/// (the oracle's tuned `t_cpu` table is keyed on the class name) and never
+/// peer-fetched — a handler's output lives nowhere but the node that runs
+/// it, so the only non-local route for dynamic work is a redirect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestClass {
+    /// A plain static-document fetch: bytes from disk or the file cache.
+    Static,
+    /// Dynamic content produced by a registered in-process handler (or the
+    /// legacy fork-CGI fallback). The payload names the handler class used
+    /// to key the oracle's measured-`t_cpu` table (e.g. `"burn"`, `"fork"`).
+    Dynamic(&'static str),
+}
+
+impl RequestClass {
+    /// True for any handler-generated (non-static) request.
+    pub fn is_dynamic(&self) -> bool {
+        matches!(self, RequestClass::Dynamic(_))
+    }
+
+    /// Handler class name, or `None` for static fetches.
+    pub fn name(&self) -> Option<&'static str> {
+        match self {
+            RequestClass::Static => None,
+            RequestClass::Dynamic(class) => Some(class),
+        }
+    }
+}
+
 /// Everything the scheduler needs to know about one HTTP request after
 /// preprocessing (§3.2 step 1): the document, its size and home disk, the
 /// oracle's CPU estimate, and whether the request was already redirected.
@@ -27,6 +57,9 @@ pub struct RequestInfo {
     /// the *extension* behind `SwebConfig::cache_aware_cost`); when the
     /// flag is enabled, a cached local copy zeroes `t_data` at the origin.
     pub cached_at_origin: bool,
+    /// Static fetch or dynamic handler invocation (and which handler
+    /// class). Dynamic requests are never routed via `PeerFetch`.
+    pub class: RequestClass,
 }
 
 impl RequestInfo {
@@ -40,7 +73,14 @@ impl RequestInfo {
             redirected: false,
             pinned_local: false,
             cached_at_origin: false,
+            class: RequestClass::Static,
         }
+    }
+
+    /// A dynamic-handler invocation of the named class.
+    pub fn dynamic(mut self, class: &'static str) -> Self {
+        self.class = RequestClass::Dynamic(class);
+        self
     }
 
     /// Mark as already-redirected (must serve locally).
@@ -58,8 +98,18 @@ mod tests {
     fn builders() {
         let r = RequestInfo::fetch(FileId(3), 1024, NodeId(1), 5e5);
         assert!(!r.redirected && !r.pinned_local);
+        assert_eq!(r.class, RequestClass::Static);
+        assert!(!r.class.is_dynamic());
         let r = r.redirected();
         assert!(r.redirected);
         assert_eq!(r.size, 1024);
+    }
+
+    #[test]
+    fn dynamic_builder_sets_class() {
+        let r = RequestInfo::fetch(FileId(7), 4096, NodeId(0), 4e6).dynamic("burn");
+        assert!(r.class.is_dynamic());
+        assert_eq!(r.class.name(), Some("burn"));
+        assert_eq!(RequestClass::Static.name(), None);
     }
 }

@@ -69,6 +69,9 @@ const IORING_ACCEPT_MULTISHOT: u16 = 1 << 0;
 
 const IORING_CQE_F_MORE: u32 = 1 << 1;
 
+/// `SOCK_CLOEXEC` for the `ACCEPT` op's accept4-style flags.
+const SOCK_CLOEXEC: u32 = 0o2000000;
+
 const IORING_ENTER_GETEVENTS: u32 = 1 << 0;
 const IORING_ENTER_EXT_ARG: u32 = 1 << 3;
 
@@ -611,6 +614,13 @@ impl UringPoller {
         sqe.opcode = IORING_OP_ACCEPT;
         sqe.fd = reg.fd;
         sqe.ioprio = IORING_ACCEPT_MULTISHOT;
+        // `accept4(2)` flags ride in op_flags. CLOEXEC matters: without
+        // it every accepted connection leaks into forked CGI children,
+        // and a child (or grandchild) outliving its request holds the
+        // socket open — the server's close() then sends no FIN and
+        // clients waiting for EOF hang. The readiness paths get this
+        // from std's accept; the ring op must ask for it explicitly.
+        sqe.op_flags = SOCK_CLOEXEC;
         sqe.user_data = pack(KIND_ACCEPT, ridx, seq);
         self.push(sqe);
     }

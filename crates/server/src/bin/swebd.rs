@@ -8,23 +8,28 @@
 //! ephemeral ports when `--port-base` is omitted), wires their loadd
 //! daemons together, prints each node's URL, and serves until killed.
 //! `GET /sweb-status` on any node shows its view of the cluster.
+//!
+//! Configuration resolves through [`sweb_server::ServerOptions`]:
+//! **CLI flags > environment > defaults.** The env-overridable knobs are
+//! `SWEB_ENGINE`, `SWEB_SHARDS`, `SWEB_IO_BACKEND`, `SWEB_PEER_TRANSFER`
+//! and `SWEB_REPLICATE_HOT`; their flags always win when given.
 
 use std::time::Duration;
 
 use sweb_core::Policy;
-use sweb_server::{ClusterConfig, Engine, LiveCluster};
+use sweb_server::{Engine, LiveCluster, ServerOptions};
 
 struct Args {
     nodes: usize,
     docroot: std::path::PathBuf,
     policy: Policy,
-    engine: Engine,
+    engine: Option<Engine>,
     port_base: Option<u16>,
     loadd_ms: u64,
     access_log: Option<std::path::PathBuf>,
     oracle: Option<std::path::PathBuf>,
     fault_plan: Option<std::path::PathBuf>,
-    shards: usize,
+    shards: Option<usize>,
     io_backend: Option<sweb_reactor::IoBackend>,
     peer_transfer: bool,
     replicate_hot: bool,
@@ -35,7 +40,9 @@ fn usage() -> ! {
         "usage: swebd [--nodes N] [--docroot DIR] [--policy sweb|rr|locality|cpu] \
          [--engine reactor|threaded] [--io-backend uring|epoll|auto|poll] [--shards N] \
          [--port-base P] [--loadd-ms MS] [--access-log FILE] [--oracle FILE] \
-         [--fault-plan FILE] [--peer-transfer] [--replicate-hot]"
+         [--fault-plan FILE] [--peer-transfer] [--replicate-hot]\n\
+         env: SWEB_ENGINE, SWEB_SHARDS, SWEB_IO_BACKEND, SWEB_PEER_TRANSFER, \
+         SWEB_REPLICATE_HOT (flags win over env)"
     );
     std::process::exit(2);
 }
@@ -45,13 +52,13 @@ fn parse_args() -> Args {
         nodes: 3,
         docroot: std::path::PathBuf::from("."),
         policy: Policy::Sweb,
-        engine: Engine::default(),
+        engine: None,
         port_base: None,
         loadd_ms: 2500,
         access_log: None,
         oracle: None,
         fault_plan: None,
-        shards: 0,
+        shards: None,
         io_backend: None,
         peer_transfer: false,
         replicate_hot: false,
@@ -71,12 +78,12 @@ fn parse_args() -> Args {
                     _ => usage(),
                 }
             }
-            "--engine" => args.engine = value().parse().unwrap_or_else(|_| usage()),
+            "--engine" => args.engine = Some(value().parse().unwrap_or_else(|_| usage())),
             "--io-backend" => {
                 args.io_backend =
                     Some(sweb_reactor::IoBackend::parse(&value()).unwrap_or_else(|| usage()))
             }
-            "--shards" => args.shards = value().parse().unwrap_or_else(|_| usage()),
+            "--shards" => args.shards = Some(value().parse().unwrap_or_else(|_| usage())),
             "--port-base" => args.port_base = Some(value().parse().unwrap_or_else(|_| usage())),
             "--loadd-ms" => args.loadd_ms = value().parse().unwrap_or_else(|_| usage()),
             "--access-log" => args.access_log = Some(value().into()),
@@ -97,33 +104,34 @@ fn main() {
         eprintln!("swebd: docroot {:?} is not a directory", args.docroot);
         std::process::exit(1);
     }
-    let mut cfg = ClusterConfig {
-        policy: args.policy,
-        engine: args.engine,
-        port_base: args.port_base,
-        ..Default::default()
-    };
-    if args.shards > 0 {
-        cfg.shards = args.shards;
+    // CLI tier: only flags the user actually passed become explicit
+    // settings, so the environment keeps its say over everything else.
+    let mut opts = ServerOptions::new().policy(args.policy).loadd_ms(args.loadd_ms);
+    if let Some(engine) = args.engine {
+        opts = opts.engine(engine);
+    }
+    if let Some(shards) = args.shards {
+        opts = opts.shards(shards);
     }
     if let Some(backend) = args.io_backend {
-        cfg.io_backend = backend;
+        opts = opts.io_backend(backend);
     }
-    let shards_desc = match cfg.shards {
-        0 => "auto".to_string(),
-        n => n.to_string(),
-    };
-    cfg.sweb.loadd_period = sweb_des::SimTime::from_millis(args.loadd_ms);
-    cfg.sweb.stale_timeout = sweb_des::SimTime::from_millis(args.loadd_ms * 4);
-    cfg.sweb.peer_transfer = args.peer_transfer;
-    cfg.sweb.replicate_hot = args.replicate_hot;
+    if args.peer_transfer {
+        opts = opts.peer_transfer(true);
+    }
+    if args.replicate_hot {
+        opts = opts.replicate_hot(true);
+    }
+    if let Some(port) = args.port_base {
+        opts = opts.port_base(port);
+    }
     if let Some(path) = &args.oracle {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
             eprintln!("swebd: cannot read oracle config {path:?}: {e}");
             std::process::exit(1);
         });
         match sweb_core::Oracle::from_config_str(&text) {
-            Ok(oracle) => cfg.oracle = oracle,
+            Ok(oracle) => opts = opts.oracle(oracle),
             Err(line) => {
                 eprintln!("swebd: malformed oracle config {path:?} at line {line}");
                 std::process::exit(1);
@@ -132,7 +140,7 @@ fn main() {
     }
     if let Some(path) = &args.access_log {
         match sweb_server::AccessLog::to_file(path) {
-            Ok(log) => cfg.access_log = Some(log),
+            Ok(log) => opts = opts.access_log(log),
             Err(e) => {
                 eprintln!("swebd: cannot open access log {path:?}: {e}");
                 std::process::exit(1);
@@ -151,7 +159,7 @@ fn main() {
                     plan.faults.len(),
                     plan.seed
                 );
-                cfg.fault_plan = Some(plan);
+                opts = opts.fault_plan(Some(plan));
             }
             Err(e) => {
                 eprintln!("swebd: malformed fault plan {path:?}: {e}");
@@ -160,6 +168,12 @@ fn main() {
         }
     }
 
+    let cfg = opts.build();
+    let engine_name = cfg.engine.name();
+    let shards_desc = match cfg.shards {
+        0 => "auto".to_string(),
+        n => n.to_string(),
+    };
     let cluster = match LiveCluster::start(args.nodes, args.docroot.clone(), cfg) {
         Ok(c) => c,
         Err(e) => {
@@ -172,7 +186,7 @@ fn main() {
          docroot {:?}",
         cluster.len(),
         args.policy,
-        args.engine.name(),
+        engine_name,
         cluster.node(0).io_backend.name(),
         shards_desc,
         args.docroot

@@ -1,115 +1,225 @@
-//! Dynamic content: the CGI mechanism, 1996's "heterogeneous CPU
-//! activities".
+//! Legacy CGI: the closure ABI and the demoted fork-per-request fallback.
 //!
-//! NCSA httpd executed programs under `/cgi-bin/`; here CGI programs are
-//! registered Rust closures (a registry shared by all nodes, as the same
-//! binaries would be NFS-visible everywhere). The broker schedules CGI
-//! requests like any other — their CPU demand comes from the oracle table.
+//! NCSA httpd executed programs under `/cgi-bin/` by forking a process
+//! per request. This server's dynamic path is the in-process
+//! [`crate::dynamic::DynamicHandler`] ABI; what remains here is
+//!
+//! * [`CgiProgram`], the original closure signature, which rides the new
+//!   ABI through [`crate::dynamic::FnHandler`] /
+//!   [`crate::dynamic::DynamicRegistry::register_fn`];
+//! * [`ForkCgiHandler`], the fork-per-request path demoted to *one
+//!   handler implementation* behind the same trait — kept for untrusted
+//!   external programs and as the A/B baseline `enginebench --scenario
+//!   dynamic` measures against. It honors the per-request
+//!   [`RequestDeadline`](sweb_telemetry::RequestDeadline): a child
+//!   still running at the fetch-phase
+//!   cutoff is killed *and reaped*, and the request fails definitively
+//!   with 503 + `Retry-After` instead of outliving its budget.
 
-use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use sweb_http::{Request, Response};
+use sweb_http::{Request, Response, StatusCode};
+use sweb_telemetry::Phase;
+
+use crate::dynamic::{DynamicHandler, HandlerCtx};
 
 /// A CGI program: request (and POST body, empty for GET) in, response out.
 pub type CgiProgram = Arc<dyn Fn(&Request, &[u8]) -> Response + Send + Sync>;
 
-/// Registry of CGI programs by path prefix under `/cgi-bin/`.
-#[derive(Clone, Default)]
-pub struct CgiRegistry {
-    programs: HashMap<String, CgiProgram>,
+/// Backwards-compatible name for the handler registry: the closure-keyed
+/// `CgiRegistry` grew into [`crate::dynamic::DynamicRegistry`]; the old
+/// name remains for callers registering legacy closures via
+/// [`crate::dynamic::DynamicRegistry::register_fn`].
+pub type CgiRegistry = crate::dynamic::DynamicRegistry;
+
+/// Budget for a forked child when the engine runs no request deadline
+/// (the threaded engine outside chaos configs): generous, but bounded —
+/// no child outlives the server's patience.
+const DEFAULT_FORK_BUDGET: Duration = Duration::from_secs(2);
+
+/// How a forked child's run ended.
+#[derive(Debug)]
+enum ForkOutcome {
+    /// Child exited in time; its stdout parsed into a response.
+    Done(Response),
+    /// Child overran the budget and was killed (and reaped).
+    TimedOut,
+    /// Child could not be spawned or piped. The error is carried for
+    /// `Debug` diagnostics only.
+    Failed(#[allow(dead_code)] std::io::Error),
 }
 
-impl CgiRegistry {
-    /// An empty registry.
-    pub fn new() -> Self {
-        CgiRegistry::default()
+/// The fork-per-request CGI path as one [`DynamicHandler`]: spawns the
+/// configured program with the standard CGI environment
+/// (`QUERY_STRING`, `REQUEST_METHOD`, `CONTENT_LENGTH`, ...), feeds the
+/// POST body on stdin, and parses an optional CGI header block
+/// (`Content-Type: ...`) off stdout. Responses are never cached — an
+/// external program may have side effects the server cannot see.
+pub struct ForkCgiHandler {
+    program: PathBuf,
+}
+
+impl ForkCgiHandler {
+    /// A handler that forks `program` per request.
+    pub fn new(program: impl Into<PathBuf>) -> Self {
+        ForkCgiHandler { program: program.into() }
     }
 
-    /// Register `program` at `/cgi-bin/<name>`.
-    pub fn register(&mut self, name: &str, program: CgiProgram) {
-        self.programs.insert(format!("/cgi-bin/{name}"), program);
-    }
-
-    /// Number of registered programs.
-    pub fn len(&self) -> usize {
-        self.programs.len()
-    }
-
-    /// True when no programs are registered.
-    pub fn is_empty(&self) -> bool {
-        self.programs.is_empty()
-    }
-
-    /// Find the program for `path` (longest prefix match).
-    pub fn lookup(&self, path: &str) -> Option<&CgiProgram> {
-        self.programs
-            .iter()
-            .filter(|(prefix, _)| path.starts_with(prefix.as_str()))
-            .max_by_key(|(prefix, _)| prefix.len())
-            .map(|(_, p)| p)
-    }
-
-    /// The demo programs used by examples and tests:
-    ///
-    /// * `/cgi-bin/echo` — echoes the query string back as text;
-    /// * `/cgi-bin/search` — a toy Alexandria spatial-index search: burns
-    ///   deterministic CPU proportional to the `cost` query parameter and
-    ///   returns an HTML result list.
-    pub fn demo() -> Self {
-        let mut reg = CgiRegistry::new();
-        reg.register(
-            "echo",
-            Arc::new(|req: &Request, body: &[u8]| {
-                let q = req.query().unwrap_or("");
-                if body.is_empty() {
-                    Response::ok(format!("echo: {q}\n"), "text/plain")
-                } else {
-                    let posted = String::from_utf8_lossy(body);
-                    Response::ok(format!("echo: {q}\nposted: {posted}\n"), "text/plain")
+    /// Spawn the child and wait at most `budget` for it. Split from
+    /// [`DynamicHandler::handle`] so the kill-and-reap path is unit
+    /// testable without a live node.
+    fn run(&self, req: &Request, body: &[u8], budget: Duration) -> ForkOutcome {
+        let mut cmd = Command::new(&self.program);
+        cmd.env("GATEWAY_INTERFACE", "CGI/1.1")
+            .env("SERVER_SOFTWARE", "SWEB/0.1")
+            .env("REQUEST_METHOD", crate::handler::method_str(req.method))
+            .env("SCRIPT_NAME", req.path().unwrap_or_default())
+            .env("QUERY_STRING", req.query().unwrap_or(""))
+            .env("CONTENT_LENGTH", body.len().to_string())
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null());
+        let mut child = match cmd.spawn() {
+            Ok(c) => c,
+            Err(e) => return ForkOutcome::Failed(e),
+        };
+        // Feed the body and close stdin so the child sees EOF. A child
+        // ignoring its stdin while we block on a full pipe would deadlock;
+        // bodies here are small (requests are bounded upstream), so a
+        // single write fits the pipe buffer in practice — and the read
+        // side below runs on its own thread regardless.
+        if let Some(mut stdin) = child.stdin.take() {
+            let _ = stdin.write_all(body);
+        }
+        // Drain stdout on a separate thread: the parent polls the child's
+        // exit below without reading, and a child producing more than a
+        // pipe buffer would otherwise block forever (a self-inflicted
+        // "hang" the deadline would then kill).
+        let mut stdout = child.stdout.take();
+        let reader = std::thread::spawn(move || {
+            let mut out = Vec::new();
+            if let Some(pipe) = stdout.as_mut() {
+                let _ = pipe.read_to_end(&mut out);
+            }
+            out
+        });
+        let t0 = Instant::now();
+        loop {
+            match child.try_wait() {
+                Ok(Some(status)) => {
+                    let out = reader.join().unwrap_or_default();
+                    if !status.success() {
+                        return ForkOutcome::Done(Response::error(StatusCode::InternalServerError));
+                    }
+                    return ForkOutcome::Done(parse_cgi_output(&out));
                 }
-            }),
-        );
-        reg.register(
-            "search",
-            Arc::new(|req: &Request, body: &[u8]| {
-                // POSTed form data takes precedence over the query string
-                // (an HTML search form submits either way).
-                let owned;
-                let query = if body.is_empty() {
-                    req.query().unwrap_or("")
-                } else {
-                    owned = String::from_utf8_lossy(body).into_owned();
-                    owned.as_str()
-                };
-                let cost: u64 = query
-                    .split('&')
-                    .find_map(|kv| kv.strip_prefix("cost="))
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or(10_000);
-                // Deterministic busy work standing in for the spatial
-                // index lookup (so load tests exercise the CPU facet).
-                let mut acc: u64 = 0xdead_beef;
-                for i in 0..cost.min(50_000_000) {
-                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+                Ok(None) => {
+                    if t0.elapsed() >= budget {
+                        // Kill and *reap*: `kill()` sends SIGKILL, `wait()`
+                        // collects the zombie so the child cannot outlive
+                        // the request it was forked for. The reader thread
+                        // is NOT joined here: a grandchild (e.g. `sleep`
+                        // forked by a shell script) may inherit the stdout
+                        // pipe and hold it open past the kill — the
+                        // detached thread exits when the pipe finally
+                        // closes, and its buffer is discarded either way.
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        drop(reader);
+                        return ForkOutcome::TimedOut;
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
                 }
-                let body = format!(
-                    "<HTML><BODY><H1>Alexandria search</H1>\
-                     <P>query: {query}</P><P>digest: {acc:016x}</P></BODY></HTML>"
-                );
-                Response::ok(body, "text/html")
-            }),
-        );
-        reg
+                Err(e) => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    drop(reader);
+                    return ForkOutcome::Failed(e);
+                }
+            }
+        }
     }
 }
 
-impl std::fmt::Debug for CgiRegistry {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let mut names: Vec<&str> = self.programs.keys().map(|s| s.as_str()).collect();
-        names.sort_unstable();
-        f.debug_struct("CgiRegistry").field("programs", &names).finish()
+impl DynamicHandler for ForkCgiHandler {
+    fn class(&self) -> &'static str {
+        "fork"
     }
+
+    fn handle(&self, ctx: &HandlerCtx<'_>, req: &Request, body: &[u8]) -> Response {
+        // The child must finish inside the request's *fetch-phase* cutoff
+        // (fulfillment may take 80% of the budget; the write needs the
+        // rest), or the default bound when no deadline is active.
+        let budget = ctx
+            .deadline
+            .map(|d| d.phase_deadline(Phase::Fetch).saturating_duration_since(Instant::now()))
+            .unwrap_or(DEFAULT_FORK_BUDGET);
+        match self.run(req, body, budget) {
+            ForkOutcome::Done(resp) => resp,
+            ForkOutcome::TimedOut => {
+                ctx.shared.stats.deadline_overruns.inc();
+                let mut resp = Response::error(StatusCode::ServiceUnavailable);
+                resp.headers.set("Retry-After", "1");
+                resp.headers.set("Connection", "close");
+                resp
+            }
+            ForkOutcome::Failed(_) => Response::error(StatusCode::InternalServerError),
+        }
+    }
+}
+
+/// Parse a CGI program's stdout: an optional header block terminated by a
+/// blank line (only `Content-Type` is honored), then the body. Programs
+/// that emit no header block get `text/plain`.
+fn parse_cgi_output(out: &[u8]) -> Response {
+    let (headers, body) = match split_header_block(out) {
+        Some((h, b)) => (h, b),
+        None => (&[][..], out),
+    };
+    let mut ctype = "text/plain".to_string();
+    for line in headers.split(|&b| b == b'\n') {
+        let line = std::str::from_utf8(line).unwrap_or("").trim_end_matches('\r');
+        if let Some(v) = line
+            .split_once(':')
+            .filter(|(k, _)| k.eq_ignore_ascii_case("content-type"))
+            .map(|(_, v)| v.trim())
+        {
+            v.clone_into(&mut ctype);
+        }
+    }
+    Response::ok(body.to_vec(), &ctype)
+}
+
+/// Find the CGI header/body split: the first `\n\n` or `\r\n\r\n`,
+/// provided the bytes before it look like header lines (contain `:`).
+fn split_header_block(out: &[u8]) -> Option<(&[u8], &[u8])> {
+    let mut i = 0;
+    while i < out.len() {
+        if out[i] == b'\n' {
+            let (sep_end, header_end) = if out[i + 1..].first() == Some(&b'\r')
+                && out.get(i + 2) == Some(&b'\n')
+            {
+                (i + 3, i)
+            } else if out.get(i + 1) == Some(&b'\n') {
+                (i + 2, i)
+            } else {
+                i += 1;
+                continue;
+            };
+            let head = &out[..header_end];
+            let looks_like_headers = !head.is_empty()
+                && head
+                    .split(|&b| b == b'\n')
+                    .all(|l| l.is_empty() || l.contains(&b':'));
+            return looks_like_headers.then(|| (head, &out[sep_end..]));
+        }
+        i += 1;
+    }
+    None
 }
 
 #[cfg(test)]
@@ -126,32 +236,82 @@ mod tests {
         }
     }
 
-    #[test]
-    fn lookup_matches_longest_prefix() {
-        let mut reg = CgiRegistry::new();
-        reg.register("a", Arc::new(|_, _: &[u8]| Response::ok("short", "text/plain")));
-        reg.register("a/b", Arc::new(|_, _: &[u8]| Response::ok("long", "text/plain")));
-        let r = reg.lookup("/cgi-bin/a/b/c").unwrap()(&req("/cgi-bin/a/b/c"), b"");
-        assert_eq!(&r.body[..], b"long");
-        let r = reg.lookup("/cgi-bin/a/x").unwrap()(&req("/cgi-bin/a/x"), b"");
-        assert_eq!(&r.body[..], b"short");
-        assert!(reg.lookup("/cgi-bin/zzz").is_none());
-        assert_eq!(reg.len(), 2);
+    fn script(name: &str, text: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sweb-cgi-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, text).unwrap();
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::PermissionsExt;
+            std::fs::set_permissions(&path, std::fs::Permissions::from_mode(0o755)).unwrap();
+        }
+        path
     }
 
     #[test]
-    fn demo_echo_reflects_query() {
-        let reg = CgiRegistry::demo();
-        let r = reg.lookup("/cgi-bin/echo").unwrap()(&req("/cgi-bin/echo?x=1&y=2"), b"");
-        assert_eq!(std::str::from_utf8(&r.body).unwrap(), "echo: x=1&y=2\n");
+    fn fork_runs_a_script_with_cgi_env() {
+        let sh = script(
+            "env.sh",
+            "#!/bin/sh\nprintf 'Content-Type: text/html\\n\\nq=%s m=%s' \"$QUERY_STRING\" \"$REQUEST_METHOD\"\n",
+        );
+        let h = ForkCgiHandler::new(&sh);
+        let out = h.run(&req("/cgi-bin/env?x=1"), b"", Duration::from_secs(5));
+        match out {
+            ForkOutcome::Done(resp) => {
+                assert_eq!(resp.status, StatusCode::Ok);
+                assert_eq!(std::str::from_utf8(&resp.body).unwrap(), "q=x=1 m=GET");
+                assert_eq!(resp.headers.get("content-type"), Some("text/html"));
+            }
+            other => panic!("expected Done, got {other:?}"),
+        }
     }
 
     #[test]
-    fn demo_search_is_deterministic() {
-        let reg = CgiRegistry::demo();
-        let a = reg.lookup("/cgi-bin/search").unwrap()(&req("/cgi-bin/search?cost=1000"), b"");
-        let b = reg.lookup("/cgi-bin/search").unwrap()(&req("/cgi-bin/search?cost=1000"), b"");
-        assert_eq!(a.body, b.body);
-        assert!(std::str::from_utf8(&a.body).unwrap().contains("digest"));
+    fn fork_feeds_post_body_on_stdin() {
+        let sh = script("cat.sh", "#!/bin/sh\ncat\n");
+        let h = ForkCgiHandler::new(&sh);
+        match h.run(&req("/cgi-bin/cat"), b"posted-bytes", Duration::from_secs(5)) {
+            ForkOutcome::Done(resp) => {
+                assert_eq!(&resp.body[..], b"posted-bytes");
+                assert_eq!(resp.headers.get("content-type"), Some("text/plain"));
+            }
+            other => panic!("expected Done, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hung_child_is_killed_and_reaped_within_budget() {
+        let sh = script("hang.sh", "#!/bin/sh\nsleep 30\n");
+        let h = ForkCgiHandler::new(&sh);
+        let t0 = Instant::now();
+        let out = h.run(&req("/cgi-bin/hang"), b"", Duration::from_millis(100));
+        assert!(matches!(out, ForkOutcome::TimedOut), "expected timeout, got {out:?}");
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "kill+reap must not wait out the child's sleep"
+        );
+    }
+
+    #[test]
+    fn missing_program_fails_cleanly() {
+        let h = ForkCgiHandler::new("/nonexistent/sweb-cgi-test");
+        assert!(matches!(
+            h.run(&req("/cgi-bin/x"), b"", Duration::from_secs(1)),
+            ForkOutcome::Failed(_)
+        ));
+    }
+
+    #[test]
+    fn cgi_output_parsing_handles_headers_and_raw_bodies() {
+        let r = parse_cgi_output(b"Content-Type: application/json\r\n\r\n{\"a\":1}");
+        assert_eq!(r.headers.get("content-type"), Some("application/json"));
+        assert_eq!(&r.body[..], b"{\"a\":1}");
+        let r = parse_cgi_output(b"no headers here, just text");
+        assert_eq!(r.headers.get("content-type"), Some("text/plain"));
+        assert_eq!(&r.body[..], b"no headers here, just text");
+        // A blank line whose prefix isn't header-shaped is body, not headers.
+        let r = parse_cgi_output(b"hello world\n\nsecond paragraph");
+        assert_eq!(&r.body[..], b"hello world\n\nsecond paragraph");
     }
 }

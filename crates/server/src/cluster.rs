@@ -80,8 +80,13 @@ pub struct ClusterConfig {
     /// Scheduler tunables. The default shortens the loadd period to 200 ms
     /// so tests converge quickly; pass the paper's 2.5 s for realism.
     pub sweb: SwebConfig,
-    /// CGI programs served under `/cgi-bin/` (default: the demo registry).
-    pub cgi: crate::cgi::CgiRegistry,
+    /// Dynamic handlers served under `/cgi-bin/` (default: the demo
+    /// registry — echo, search, burn, template, introspect).
+    pub handlers: crate::dynamic::DynamicRegistry,
+    /// Total-entry bound for the dynamic response cache (per node).
+    pub dynamic_cache_entries: usize,
+    /// Default TTL for cached dynamic responses (handlers may override).
+    pub dynamic_cache_ttl: Duration,
     /// When set, node `i` listens on `127.0.0.1:(port_base + i)` instead
     /// of an ephemeral port (used by the `swebd` binary).
     pub port_base: Option<u16>,
@@ -125,7 +130,9 @@ impl Default for ClusterConfig {
             transmit: sweb_reactor::TransmitMode::ZeroCopy,
             io_backend: sweb_reactor::IoBackend::from_env(),
             sweb,
-            cgi: crate::cgi::CgiRegistry::demo(),
+            handlers: crate::dynamic::DynamicRegistry::demo(),
+            dynamic_cache_entries: crate::dynamic::DEFAULT_MAX_ENTRIES,
+            dynamic_cache_ttl: crate::dynamic::DEFAULT_TTL,
             port_base: None,
             access_log: None,
             file_cache_bytes: 16 << 20,
@@ -219,6 +226,15 @@ impl LiveCluster {
         for (i, ((listener, udp), peer_listener)) in
             listeners.into_iter().zip(udps).zip(peer_listeners).enumerate()
         {
+            // Per-class metrics hang off the node's registry, so stats are
+            // built first and dynamic state registered on them.
+            let stats = NodeStats::new(shards);
+            let dynamic = crate::dynamic::DynamicState::new(
+                cfg.handlers.clone(),
+                &stats.registry,
+                cfg.dynamic_cache_entries,
+                cfg.dynamic_cache_ttl,
+            );
             let shared = Arc::new(NodeShared {
                 id: NodeId(i as u32),
                 engine: cfg.engine,
@@ -240,13 +256,13 @@ impl LiveCluster {
                 oracle: cfg.oracle.clone(),
                 sweb: cfg.sweb.clone(),
                 docroot: docroot.clone(),
-                cgi: cfg.cgi.clone(),
+                dynamic,
                 access_log: cfg.access_log.clone(),
                 file_cache: crate::file_cache::FileCache::new(cfg.file_cache_bytes),
                 draining: AtomicBool::new(false),
                 shutdown: AtomicBool::new(false),
                 start,
-                stats: NodeStats::new(shards),
+                stats,
                 chaos: Arc::clone(&chaos),
                 request_budget: cfg.request_budget,
             });

@@ -1,0 +1,700 @@
+//! The dynamic-content fast path: an in-process handler ABI.
+//!
+//! NCSA httpd forked a process per `/cgi-bin/` request — the exact
+//! bottleneck a scalable server must remove. Here dynamic content is
+//! produced by registered in-process implementations of
+//! [`DynamicHandler`], dispatched on the engines' existing worker pools
+//! (the reactor's bounded pool, or the connection thread under the
+//! threaded engine). The legacy fork-per-request path survives as one
+//! handler implementation behind the same trait
+//! ([`crate::cgi::ForkCgiHandler`]), so the A/B between the two is a
+//! registration choice, not a code path.
+//!
+//! Three pieces live here:
+//!
+//! * the [`DynamicHandler`] trait and [`DynamicRegistry`] (longest-prefix
+//!   dispatch under `/cgi-bin/`, same namespace the 1996 server used);
+//! * [`DynamicCache`], a lock-striped response cache keyed on
+//!   `(handler class, canonicalized args)` with TTL + max-entries —
+//!   the striped-segment design of [`crate::file_cache::FileCache`]
+//!   applied to generated replies;
+//! * [`DynamicState`] + [`ClassStats`], the per-handler-class telemetry
+//!   (invocations, cache hits, measured `t_cpu` histogram) whose
+//!   measurements feed the oracle's tuned table
+//!   ([`sweb_core::Oracle::observe`]).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use sweb_http::{Request, Response};
+use sweb_telemetry::{AtomicHistogram, Counter, Registry, RequestDeadline};
+
+use crate::cgi::CgiProgram;
+
+/// Default TTL for cacheable dynamic responses when the handler does not
+/// override it.
+pub const DEFAULT_TTL: Duration = Duration::from_secs(2);
+
+/// Default total-entry bound for the dynamic response cache.
+pub const DEFAULT_MAX_ENTRIES: usize = 1024;
+
+/// Context a handler runs with: the serving node's shared state (for
+/// introspection-style handlers) and the request's deadline, when the
+/// engine enforces one (handlers that shell out, like the fork-CGI
+/// fallback, must honor it).
+pub struct HandlerCtx<'a> {
+    /// The node executing the handler.
+    pub shared: &'a crate::node::NodeShared,
+    /// Remaining request budget, when a deadline is active.
+    pub deadline: Option<&'a RequestDeadline>,
+}
+
+/// An in-process dynamic-content handler. Implementations are registered
+/// under `/cgi-bin/<name>` and invoked on the engine's worker pool; the
+/// `class` name keys both the response cache and the oracle's measured
+/// `t_cpu` table.
+pub trait DynamicHandler: Send + Sync {
+    /// Handler class name: the key for per-class stats, the response
+    /// cache, and the oracle's tuned table. Lowercase `[a-z_]` only (it
+    /// becomes a metric label).
+    fn class(&self) -> &'static str;
+
+    /// Cache key for this invocation — the *canonicalized* argument
+    /// string (sorted `k=v` pairs), or `None` when the response must not
+    /// be cached (side effects, per-request output). Two requests with
+    /// the same class and key are assumed interchangeable.
+    fn cache_key(&self, req: &Request, body: &[u8]) -> Option<String> {
+        let _ = (req, body);
+        None
+    }
+
+    /// Per-handler TTL override for cached responses; `None` uses the
+    /// cache-wide default.
+    fn ttl(&self) -> Option<Duration> {
+        None
+    }
+
+    /// Expected response size in bytes, used by the oracle's *prior*
+    /// (before measured feedback arrives) and by the broker's `t_data`
+    /// term.
+    fn size_hint(&self) -> u64 {
+        4 * 1024
+    }
+
+    /// Produce the response. Runs on a worker-pool thread; blocking is
+    /// acceptable but must respect `ctx.deadline` when present.
+    fn handle(&self, ctx: &HandlerCtx<'_>, req: &Request, body: &[u8]) -> Response;
+}
+
+/// Sort a query/form string's `&`-separated pairs so that `a=1&b=2` and
+/// `b=2&a=1` share a cache entry. Empty segments are dropped; the POST
+/// body (when present) is appended after the query under a separator that
+/// cannot appear in either.
+pub fn canonicalize_args(query: &str, body: &[u8]) -> String {
+    let mut pairs: Vec<&str> = query.split('&').filter(|s| !s.is_empty()).collect();
+    pairs.sort_unstable();
+    let mut key = pairs.join("&");
+    if !body.is_empty() {
+        key.push('\n');
+        key.push_str(&String::from_utf8_lossy(body));
+    }
+    key
+}
+
+/// Adapter running a legacy [`CgiProgram`] closure behind the
+/// [`DynamicHandler`] trait — how the pre-existing closure registry rides
+/// the new ABI unchanged.
+pub struct FnHandler {
+    class: &'static str,
+    cacheable: bool,
+    program: CgiProgram,
+}
+
+impl FnHandler {
+    /// Wrap `program` as a handler of the given class. `cacheable`
+    /// handlers key the response cache on their canonicalized
+    /// query-plus-body.
+    pub fn new(class: &'static str, cacheable: bool, program: CgiProgram) -> Self {
+        FnHandler { class, cacheable, program }
+    }
+}
+
+impl DynamicHandler for FnHandler {
+    fn class(&self) -> &'static str {
+        self.class
+    }
+    fn cache_key(&self, req: &Request, body: &[u8]) -> Option<String> {
+        self.cacheable.then(|| canonicalize_args(req.query().unwrap_or(""), body))
+    }
+    fn handle(&self, _ctx: &HandlerCtx<'_>, req: &Request, body: &[u8]) -> Response {
+        (self.program)(req, body)
+    }
+}
+
+/// Registry of dynamic handlers by path prefix under `/cgi-bin/` —
+/// longest prefix wins, exactly as the legacy CGI registry dispatched.
+/// Shared by all nodes of a cluster (the same handler code would be
+/// NFS-visible everywhere in 1996).
+#[derive(Clone, Default)]
+pub struct DynamicRegistry {
+    handlers: HashMap<String, Arc<dyn DynamicHandler>>,
+}
+
+impl DynamicRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        DynamicRegistry::default()
+    }
+
+    /// Register `handler` at `/cgi-bin/<name>`.
+    pub fn register(&mut self, name: &str, handler: Arc<dyn DynamicHandler>) {
+        self.handlers.insert(format!("/cgi-bin/{name}"), handler);
+    }
+
+    /// Register a legacy [`CgiProgram`] closure at `/cgi-bin/<name>`. The
+    /// handler class is the (leaked) name; closure results are cached.
+    pub fn register_fn(&mut self, name: &str, program: CgiProgram) {
+        let class: &'static str = Box::leak(name.to_string().into_boxed_str());
+        self.register(name, Arc::new(FnHandler::new(class, true, program)));
+    }
+
+    /// Number of registered handlers.
+    pub fn len(&self) -> usize {
+        self.handlers.len()
+    }
+
+    /// True when no handlers are registered.
+    pub fn is_empty(&self) -> bool {
+        self.handlers.is_empty()
+    }
+
+    /// Find the handler for `path` (longest prefix match).
+    pub fn lookup(&self, path: &str) -> Option<&Arc<dyn DynamicHandler>> {
+        self.handlers
+            .iter()
+            .filter(|(prefix, _)| path.starts_with(prefix.as_str()))
+            .max_by_key(|(prefix, _)| prefix.len())
+            .map(|(_, h)| h)
+    }
+
+    /// All registered handler classes, sorted and deduplicated (stats are
+    /// per class, and several names may share one).
+    pub fn classes(&self) -> Vec<&'static str> {
+        let mut classes: Vec<&'static str> =
+            self.handlers.values().map(|h| h.class()).collect();
+        classes.sort_unstable();
+        classes.dedup();
+        classes
+    }
+
+    /// The demo handlers used by examples and tests:
+    ///
+    /// * `/cgi-bin/echo` — echoes the query string back (legacy closure
+    ///   behind [`FnHandler`]);
+    /// * `/cgi-bin/search` — the toy Alexandria spatial-index search
+    ///   (legacy closure; burns CPU per the `cost` parameter);
+    /// * `/cgi-bin/burn` — delay/cpu-burn probe: `cost=N` LCG iterations
+    ///   and optional `ms=N` sleep;
+    /// * `/cgi-bin/template` — query-parameter templating into an HTML
+    ///   page;
+    /// * `/cgi-bin/introspect` — status-like node summary (never cached).
+    pub fn demo() -> Self {
+        let mut reg = DynamicRegistry::new();
+        reg.register("echo", Arc::new(FnHandler::new("echo", true, echo_program())));
+        reg.register("search", Arc::new(FnHandler::new("search", true, search_program())));
+        reg.register("burn", Arc::new(BurnHandler));
+        reg.register("template", Arc::new(TemplateHandler));
+        reg.register("introspect", Arc::new(IntrospectHandler));
+        reg
+    }
+}
+
+impl std::fmt::Debug for DynamicRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut names: Vec<&str> = self.handlers.keys().map(|s| s.as_str()).collect();
+        names.sort_unstable();
+        f.debug_struct("DynamicRegistry").field("handlers", &names).finish()
+    }
+}
+
+/// The legacy echo closure: query string (and POST body) reflected back.
+fn echo_program() -> CgiProgram {
+    Arc::new(|req: &Request, body: &[u8]| {
+        let q = req.query().unwrap_or("");
+        if body.is_empty() {
+            Response::ok(format!("echo: {q}\n"), "text/plain")
+        } else {
+            let posted = String::from_utf8_lossy(body);
+            Response::ok(format!("echo: {q}\nposted: {posted}\n"), "text/plain")
+        }
+    })
+}
+
+/// The legacy toy Alexandria search closure: deterministic CPU burn
+/// proportional to the `cost` parameter, HTML result page.
+fn search_program() -> CgiProgram {
+    Arc::new(|req: &Request, body: &[u8]| {
+        // POSTed form data takes precedence over the query string (an
+        // HTML search form submits either way).
+        let owned;
+        let query = if body.is_empty() {
+            req.query().unwrap_or("")
+        } else {
+            owned = String::from_utf8_lossy(body).into_owned();
+            owned.as_str()
+        };
+        let cost: u64 = query
+            .split('&')
+            .find_map(|kv| kv.strip_prefix("cost="))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10_000);
+        let acc = lcg_burn(cost);
+        let body = format!(
+            "<HTML><BODY><H1>Alexandria search</H1>\
+             <P>query: {query}</P><P>digest: {acc:016x}</P></BODY></HTML>"
+        );
+        Response::ok(body, "text/html")
+    })
+}
+
+/// Deterministic busy work standing in for real handler compute (an LCG,
+/// so the optimizer cannot delete it and two runs agree on the digest).
+fn lcg_burn(cost: u64) -> u64 {
+    let mut acc: u64 = 0xdead_beef;
+    for i in 0..cost.min(50_000_000) {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+    }
+    acc
+}
+
+/// `/cgi-bin/burn` — the delay/cpu-burn probe handler: `cost=N` LCG
+/// iterations (default 250k, ~sub-ms) plus optional `ms=N` sleep (capped
+/// at 1 s), so tests and benches can dial in any `t_cpu` they need.
+struct BurnHandler;
+
+impl DynamicHandler for BurnHandler {
+    fn class(&self) -> &'static str {
+        "burn"
+    }
+    fn cache_key(&self, req: &Request, body: &[u8]) -> Option<String> {
+        Some(canonicalize_args(req.query().unwrap_or(""), body))
+    }
+    fn size_hint(&self) -> u64 {
+        64
+    }
+    fn handle(&self, _ctx: &HandlerCtx<'_>, req: &Request, _body: &[u8]) -> Response {
+        let q = req.query().unwrap_or("");
+        let param = |k: &str| q.split('&').find_map(|kv| kv.strip_prefix(k)).map(str::to_string);
+        let cost: u64 = param("cost=").and_then(|v| v.parse().ok()).unwrap_or(250_000);
+        let ms: u64 = param("ms=").and_then(|v| v.parse().ok()).unwrap_or(0);
+        if ms > 0 {
+            std::thread::sleep(Duration::from_millis(ms.min(1000)));
+        }
+        let acc = lcg_burn(cost);
+        Response::ok(format!("burn: cost={cost} ms={ms} digest={acc:016x}\n"), "text/plain")
+    }
+}
+
+/// `/cgi-bin/template` — query-parameter templating: `title` and `name`
+/// parameters substituted into a fixed HTML page. Canonicalized-args
+/// caching means `?name=x&title=y` and `?title=y&name=x` share an entry.
+struct TemplateHandler;
+
+impl DynamicHandler for TemplateHandler {
+    fn class(&self) -> &'static str {
+        "template"
+    }
+    fn cache_key(&self, req: &Request, body: &[u8]) -> Option<String> {
+        Some(canonicalize_args(req.query().unwrap_or(""), body))
+    }
+    fn handle(&self, _ctx: &HandlerCtx<'_>, req: &Request, _body: &[u8]) -> Response {
+        let q = req.query().unwrap_or("");
+        let param = |k: &str, default: &str| {
+            q.split('&')
+                .find_map(|kv| kv.strip_prefix(k))
+                .filter(|v| !v.is_empty())
+                .unwrap_or(default)
+                .to_string()
+        };
+        let title = param("title=", "SWEB");
+        let name = param("name=", "world");
+        let body = format!(
+            "<HTML><HEAD><TITLE>{title}</TITLE></HEAD>\
+             <BODY><H1>{title}</H1><P>Hello, {name}.</P></BODY></HTML>"
+        );
+        Response::ok(body, "text/html")
+    }
+}
+
+/// `/cgi-bin/introspect` — a status-like node summary produced by a
+/// handler instead of the admin endpoint, demonstrating handlers that
+/// read node state. Never cached: the numbers move between requests.
+struct IntrospectHandler;
+
+impl DynamicHandler for IntrospectHandler {
+    fn class(&self) -> &'static str {
+        "introspect"
+    }
+    fn handle(&self, ctx: &HandlerCtx<'_>, _req: &Request, _body: &[u8]) -> Response {
+        let shared = ctx.shared;
+        let body = format!(
+            "{{\"node\":{},\"engine\":\"{}\",\"policy\":\"{}\",\
+             \"served\":{},\"accepted\":{},\"handlers\":{}}}\n",
+            shared.id.0,
+            shared.engine.name(),
+            shared.broker.policy(),
+            shared.stats.served.get(),
+            shared.stats.accepted.get(),
+            shared.dynamic.registry().len(),
+        );
+        Response::ok(body, "application/json")
+    }
+}
+
+const SEGMENTS: usize = 8;
+
+/// One cached dynamic reply.
+struct CacheEntry {
+    /// Handler class — verified on hit, so an FNV collision between two
+    /// `(class, args)` identities can never serve the wrong body.
+    class: &'static str,
+    /// Canonicalized argument string — verified on hit, same reason.
+    args: String,
+    resp: Response,
+    expires: Instant,
+    /// Insert order within the segment; smallest evicts first (FIFO).
+    seq: u64,
+}
+
+#[derive(Default)]
+struct Segment {
+    entries: Mutex<HashMap<u64, CacheEntry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    expired: AtomicU64,
+    evictions: AtomicU64,
+    seq: AtomicU64,
+}
+
+/// Counter snapshot of the dynamic response cache, summed across
+/// segments (for the status page).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DynamicCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing (or only an expired entry).
+    pub misses: u64,
+    /// Entries dropped because their TTL had passed.
+    pub expired: u64,
+    /// Entries evicted to hold the max-entries bound.
+    pub evictions: u64,
+    /// Live entries right now.
+    pub entries: u64,
+    /// Configured total-entry bound.
+    pub max_entries: u64,
+}
+
+/// Lock-striped response cache for dynamic replies, keyed on
+/// `(handler class, canonicalized args)` with TTL and a max-entries
+/// bound — the same segment design as the striped
+/// [`crate::file_cache::FileCache`]: FNV-1a key hash, Fibonacci segment
+/// spread, identity verification on hit so hash collisions degrade to
+/// misses instead of wrong bodies.
+pub struct DynamicCache {
+    segments: Box<[Segment]>,
+    default_ttl: Duration,
+    /// Per-segment entry bound (total bound split across segments).
+    per_segment: usize,
+    max_entries: usize,
+}
+
+impl DynamicCache {
+    /// A cache bounded at `max_entries` total entries with the given
+    /// default TTL.
+    pub fn new(max_entries: usize, default_ttl: Duration) -> Self {
+        let per_segment = max_entries.div_ceil(SEGMENTS).max(1);
+        DynamicCache {
+            segments: (0..SEGMENTS).map(|_| Segment::default()).collect(),
+            default_ttl,
+            per_segment,
+            max_entries,
+        }
+    }
+
+    /// FNV-1a over `class NUL args` — the same hash the file cache keys
+    /// paths with, applied to the cache identity.
+    fn key_hash(class: &str, args: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for chunk in [class.as_bytes(), b"\0", args.as_bytes()] {
+            for &b in chunk {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1_0000_01b3);
+            }
+        }
+        h
+    }
+
+    fn segment_of(&self, key: u64) -> &Segment {
+        let idx = (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 56) as usize % self.segments.len();
+        &self.segments[idx]
+    }
+
+    /// Cached response for `(class, args)`, if present and unexpired.
+    pub fn get(&self, class: &str, args: &str) -> Option<Response> {
+        let key = Self::key_hash(class, args);
+        let seg = self.segment_of(key);
+        let mut entries = seg.entries.lock().unwrap();
+        match entries.get(&key) {
+            Some(e) if e.class == class && e.args == args => {
+                if e.expires <= Instant::now() {
+                    entries.remove(&key);
+                    seg.expired.fetch_add(1, Ordering::Relaxed);
+                    seg.misses.fetch_add(1, Ordering::Relaxed);
+                    None
+                } else {
+                    seg.hits.fetch_add(1, Ordering::Relaxed);
+                    Some(e.resp.clone())
+                }
+            }
+            _ => {
+                seg.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert a reply for `(class, args)`; `ttl` of `None` uses the
+    /// cache default. Evicts the segment's oldest entry beyond the
+    /// per-segment bound.
+    pub fn insert(&self, class: &'static str, args: &str, resp: Response, ttl: Option<Duration>) {
+        let key = Self::key_hash(class, args);
+        let seg = self.segment_of(key);
+        let mut entries = seg.entries.lock().unwrap();
+        let seq = seg.seq.fetch_add(1, Ordering::Relaxed);
+        entries.insert(
+            key,
+            CacheEntry {
+                class,
+                args: args.to_string(),
+                resp,
+                expires: Instant::now() + ttl.unwrap_or(self.default_ttl),
+                seq,
+            },
+        );
+        while entries.len() > self.per_segment {
+            let oldest = entries.iter().min_by_key(|(_, e)| e.seq).map(|(k, _)| *k);
+            match oldest {
+                Some(k) => {
+                    entries.remove(&k);
+                    seg.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Summed counters across segments.
+    pub fn stats(&self) -> DynamicCacheStats {
+        let mut s = DynamicCacheStats { max_entries: self.max_entries as u64, ..Default::default() };
+        for seg in self.segments.iter() {
+            s.hits += seg.hits.load(Ordering::Relaxed);
+            s.misses += seg.misses.load(Ordering::Relaxed);
+            s.expired += seg.expired.load(Ordering::Relaxed);
+            s.evictions += seg.evictions.load(Ordering::Relaxed);
+            s.entries += seg.entries.lock().unwrap().len() as u64;
+        }
+        s
+    }
+}
+
+/// Per-handler-class telemetry: registered on the node's metric registry
+/// (labeled `{handler="<class>"}`) so `/metrics` and `/sweb-status` read
+/// the same atomics.
+pub struct ClassStats {
+    /// Real handler invocations (cache hits excluded).
+    pub invocations: Arc<Counter>,
+    /// Requests answered from the dynamic response cache.
+    pub cache_hits: Arc<Counter>,
+    /// Measured handler wall time per invocation, microseconds.
+    pub tcpu_us: Arc<AtomicHistogram>,
+}
+
+/// A node's dynamic-content state: the handler registry, the response
+/// cache, and per-class stats.
+pub struct DynamicState {
+    registry: DynamicRegistry,
+    /// The striped response cache.
+    pub cache: DynamicCache,
+    stats: HashMap<&'static str, ClassStats>,
+}
+
+impl DynamicState {
+    /// Build the node's dynamic state, registering per-class metrics for
+    /// every handler class in `registry` on `metrics`.
+    pub fn new(
+        registry: DynamicRegistry,
+        metrics: &Registry,
+        max_entries: usize,
+        default_ttl: Duration,
+    ) -> Self {
+        let stats = registry
+            .classes()
+            .into_iter()
+            .map(|class| {
+                let labels = [("handler", class)];
+                (
+                    class,
+                    ClassStats {
+                        invocations: metrics.counter(
+                            "sweb_dynamic_invocations_total",
+                            &labels,
+                            "Dynamic handler invocations (cache hits excluded)",
+                        ),
+                        cache_hits: metrics.counter(
+                            "sweb_dynamic_cache_hits_total",
+                            &labels,
+                            "Dynamic requests answered from the response cache",
+                        ),
+                        tcpu_us: metrics.histogram(
+                            "sweb_dynamic_tcpu_us",
+                            &labels,
+                            "Measured handler wall time per invocation (us)",
+                        ),
+                    },
+                )
+            })
+            .collect();
+        DynamicState { registry, cache: DynamicCache::new(max_entries, default_ttl), stats }
+    }
+
+    /// The handler registry.
+    pub fn registry(&self) -> &DynamicRegistry {
+        &self.registry
+    }
+
+    /// Stats for a handler class (present for every class registered at
+    /// construction).
+    pub fn class_stats(&self, class: &str) -> Option<&ClassStats> {
+        self.stats.get(class)
+    }
+
+    /// All per-class stats, sorted by class name (for the status page).
+    pub fn class_rows(&self) -> Vec<(&'static str, &ClassStats)> {
+        let mut rows: Vec<_> = self.stats.iter().map(|(c, s)| (*c, s)).collect();
+        rows.sort_unstable_by_key(|(c, _)| *c);
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sweb_http::{Headers, Method};
+
+    fn req(target: &str) -> Request {
+        Request {
+            method: Method::Get,
+            target: target.into(),
+            version: "HTTP/1.0".into(),
+            headers: Headers::new(),
+        }
+    }
+
+    #[test]
+    fn canonicalize_sorts_and_appends_body() {
+        assert_eq!(canonicalize_args("b=2&a=1", b""), "a=1&b=2");
+        assert_eq!(canonicalize_args("a=1&b=2", b""), "a=1&b=2");
+        assert_eq!(canonicalize_args("", b"x=9"), "\nx=9");
+        assert_ne!(canonicalize_args("a=1", b""), canonicalize_args("a=2", b""));
+    }
+
+    #[test]
+    fn registry_matches_longest_prefix() {
+        let mut reg = DynamicRegistry::new();
+        reg.register_fn("a", Arc::new(|_, _: &[u8]| Response::ok("short", "text/plain")));
+        reg.register_fn("a/b", Arc::new(|_, _: &[u8]| Response::ok("long", "text/plain")));
+        assert_eq!(reg.lookup("/cgi-bin/a/b/c").unwrap().class(), "a/b");
+        assert_eq!(reg.lookup("/cgi-bin/a/x").unwrap().class(), "a");
+        assert!(reg.lookup("/cgi-bin/zzz").is_none());
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn demo_classes_are_sorted_and_complete() {
+        let reg = DynamicRegistry::demo();
+        assert_eq!(reg.classes(), vec!["burn", "echo", "introspect", "search", "template"]);
+    }
+
+    #[test]
+    fn burn_and_template_have_canonical_cache_keys() {
+        let reg = DynamicRegistry::demo();
+        let burn = reg.lookup("/cgi-bin/burn").unwrap();
+        let a = burn.cache_key(&req("/cgi-bin/burn?cost=5&ms=0"), b"").unwrap();
+        let b = burn.cache_key(&req("/cgi-bin/burn?ms=0&cost=5"), b"").unwrap();
+        assert_eq!(a, b, "argument order must not split the cache");
+        let tpl = reg.lookup("/cgi-bin/template").unwrap();
+        assert!(tpl.cache_key(&req("/cgi-bin/template?x=1"), b"").is_some());
+        let intro = reg.lookup("/cgi-bin/introspect").unwrap();
+        assert!(intro.cache_key(&req("/cgi-bin/introspect"), b"").is_none());
+    }
+
+    #[test]
+    fn cache_isolates_class_and_args() {
+        let cache = DynamicCache::new(64, Duration::from_secs(60));
+        cache.insert("burn", "cost=1", Response::ok("one", "text/plain"), None);
+        cache.insert("burn", "cost=2", Response::ok("two", "text/plain"), None);
+        cache.insert("echo", "cost=1", Response::ok("echo", "text/plain"), None);
+        assert_eq!(&cache.get("burn", "cost=1").unwrap().body[..], b"one");
+        assert_eq!(&cache.get("burn", "cost=2").unwrap().body[..], b"two");
+        assert_eq!(&cache.get("echo", "cost=1").unwrap().body[..], b"echo");
+        assert!(cache.get("burn", "cost=3").is_none());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (3, 1, 3));
+    }
+
+    #[test]
+    fn cache_expires_by_ttl() {
+        let cache = DynamicCache::new(64, Duration::from_millis(20));
+        cache.insert("burn", "k", Response::ok("v", "text/plain"), None);
+        assert!(cache.get("burn", "k").is_some());
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(cache.get("burn", "k").is_none(), "entry must expire");
+        let s = cache.stats();
+        assert_eq!(s.expired, 1);
+        assert_eq!(s.entries, 0);
+        // Per-handler TTL override beats the default.
+        cache.insert("burn", "k2", Response::ok("v", "text/plain"), Some(Duration::from_secs(60)));
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(cache.get("burn", "k2").is_some());
+    }
+
+    #[test]
+    fn cache_bounds_entries_fifo() {
+        // One segment's bound is max_entries/8; hammer one identity class
+        // with distinct args until evictions must have happened.
+        let cache = DynamicCache::new(8, Duration::from_secs(60));
+        for i in 0..64 {
+            cache.insert("burn", &format!("cost={i}"), Response::ok("x", "text/plain"), None);
+        }
+        let s = cache.stats();
+        assert!(s.entries <= 8, "bound violated: {} entries", s.entries);
+        assert!(s.evictions >= 56, "expected evictions, saw {}", s.evictions);
+    }
+
+    #[test]
+    fn state_registers_class_stats() {
+        let metrics = Registry::new();
+        let state =
+            DynamicState::new(DynamicRegistry::demo(), &metrics, 64, Duration::from_secs(1));
+        let burn = state.class_stats("burn").expect("burn stats");
+        burn.invocations.inc();
+        burn.tcpu_us.record(1234);
+        assert!(state.class_stats("nope").is_none());
+        let rows = state.class_rows();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0].0, "burn");
+        assert_eq!(rows[0].1.invocations.get(), 1);
+    }
+}

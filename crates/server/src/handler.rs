@@ -6,7 +6,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sweb_cluster::{NodeId, Placement};
-use sweb_core::RequestInfo;
+use sweb_core::{RequestClass, RequestInfo};
 use sweb_http::{
     mime_for_path, parse_request, Method, ParseError, Request, Response, StatusCode,
 };
@@ -281,8 +281,8 @@ fn respond_routed(
     if path == crate::status::METRICS_PATH {
         return (crate::status::render_metrics(shared), None);
     }
-    let is_cgi = req.is_cgi();
-    if req.method == Method::Post && !is_cgi {
+    let is_dynamic = req.is_cgi();
+    if req.method == Method::Post && !is_dynamic {
         // POST targets programs, not documents.
         return (Response::error(StatusCode::MethodNotAllowed), None);
     }
@@ -291,13 +291,17 @@ fn respond_routed(
         return (Response::error(StatusCode::NotFound), None);
     }
     // Existence + size: a filesystem stat for documents, a registry lookup
-    // (with an oracle-side size estimate) for CGI programs.
-    let (full, size) = if is_cgi {
-        if shared.cgi.lookup(&path).is_none() {
-            shared.stats.served.inc();
-            return (Response::error(StatusCode::NotFound), None);
+    // (with the handler's own size hint) for dynamic requests. The
+    // handler class rides into the scheduler so the oracle prices the
+    // class, not just "CGI".
+    let (full, size, class) = if is_dynamic {
+        match shared.dynamic.registry().lookup(&path) {
+            Some(handler) => (shared.docroot.clone(), handler.size_hint(), Some(handler.class())),
+            None => {
+                shared.stats.served.inc();
+                return (Response::error(StatusCode::NotFound), None);
+            }
         }
-        (shared.docroot.clone(), 4 * 1024)
     } else {
         let full = shared.docroot.join(rel);
         let Ok(meta) = std::fs::metadata(&full) else {
@@ -330,7 +334,7 @@ fn respond_routed(
                 return (resp, None);
             }
         }
-        (full, meta.len())
+        (full, meta.len(), None)
     };
 
     // Step 2: analyze — build the scheduler's view of the request.
@@ -346,16 +350,22 @@ fn respond_routed(
         file,
         size,
         home: home_of(&path, nodes),
-        cpu_ops: shared.oracle.characterize(&path, size),
+        // Dynamic classes are priced from the oracle's measured-feedback
+        // table once it has samples; static paths from the rule table.
+        cpu_ops: match class {
+            Some(c) => shared.oracle.characterize_dynamic(c, &path, size),
+            None => shared.oracle.characterize(&path, size),
+        },
         redirected,
         // POST is non-idempotent: never reassign it (§3.2 step 2's
         // "always completed at x" class).
         pinned_local: !req.method.is_redirectable(),
         // Residency feeds both the cache-aware cost terms and the
         // peer-transfer pull gate (a resident document is never pulled).
-        cached_at_origin: !is_cgi
+        cached_at_origin: !is_dynamic
             && (shared.sweb.cache_aware_cost || shared.sweb.peer_transfer)
             && shared.file_cache.resident(&path),
+        class: class.map_or(RequestClass::Static, RequestClass::Dynamic),
     };
     let decide_started = Instant::now();
     // Refresh our own entry so local load is never stale.
@@ -394,9 +404,10 @@ fn respond_routed(
     // cluster-internal peer channel instead: the client is answered by
     // the node it reached (no extra round trip, no Location chase), and
     // the pulled body seeds the local striped cache so repeats become
-    // plain local hits. CGI never forwards — a Bloom false positive on a
-    // program path must not turn into a FETCH for a file that isn't one.
-    if let (Some(source), false) = (decision.peer_source(), is_cgi) {
+    // plain local hits. Dynamic requests never forward — the broker
+    // doesn't propose it, and a Bloom false positive on a handler path
+    // must not turn into a FETCH for a file that isn't one.
+    if let (Some(source), false) = (decision.peer_source(), is_dynamic) {
         let budget = deadline
             .map(|d| d.remaining())
             .filter(|d| !d.is_zero())
@@ -450,12 +461,12 @@ fn respond_routed(
     // chosen candidate's per-term estimate is what this very fetch was
     // scheduled on, so the pair feeds the prediction-error histograms.
     let fetch_started = Instant::now();
-    if !is_cgi {
+    if !is_dynamic {
         // Count the serve toward this node's popularity table: these
         // counts feed loadd's hot-list piggyback and the replicator.
         shared.popularity.record(info.file, &path);
     }
-    let result = fulfill(shared, req, body, &path, is_cgi, &full, size);
+    let result = fulfill(shared, req, body, &path, class, &full, size, deadline);
     let fetch_us = fetch_started.elapsed().as_micros() as u64;
     shared.stats.phases.record(Phase::Fetch, fetch_us);
     let cost = decision.cost;
@@ -492,22 +503,20 @@ fn read_with_retry<T>(
     unreachable!("loop returns on attempt == 2")
 }
 
-/// Local fulfillment: execute the CGI program or read the document.
+/// Local fulfillment: invoke the dynamic handler or read the document.
+#[allow(clippy::too_many_arguments)]
 fn fulfill(
     shared: &NodeShared,
     req: &Request,
     body: &[u8],
     path: &str,
-    is_cgi: bool,
+    class: Option<&'static str>,
     full: &std::path::Path,
     size: u64,
+    deadline: Option<&RequestDeadline>,
 ) -> (Response, Option<(std::fs::File, u64)>) {
-    if is_cgi {
-        let program = shared.cgi.lookup(path).expect("existence checked above");
-        shared.stats.served.inc();
-        let mut resp = program(req, body);
-        resp.headers.set("X-SWEB-Node", shared.id.0.to_string());
-        return (resp, None);
+    if class.is_some() {
+        return (fulfill_dynamic(shared, req, body, path, deadline), None);
     }
     // Fault injection: a degraded disk/NFS mount serves reads late, not
     // wrong. The stall sits where a real slow device would put it — in
@@ -554,6 +563,64 @@ fn fulfill(
         }
         Err(_) => (Response::error(StatusCode::InternalServerError), None),
     }
+}
+
+/// Dynamic fulfillment on the worker-pool thread the engine dispatched
+/// us to: response-cache lookup, then handler invocation, timed — the
+/// measurement feeds the per-class `t_cpu` histogram *and* the oracle's
+/// tuned table (converted to ops at this node's clock), closing the
+/// predicted-vs-measured loop per handler class. Only real invocations
+/// feed the oracle: a cache hit measures the cache, not the handler.
+fn fulfill_dynamic(
+    shared: &NodeShared,
+    req: &Request,
+    body: &[u8],
+    path: &str,
+    deadline: Option<&RequestDeadline>,
+) -> Response {
+    let handler = shared.dynamic.registry().lookup(path).expect("existence checked above");
+    let class = handler.class();
+    let class_stats = shared.dynamic.class_stats(class);
+    let key = handler.cache_key(req, body);
+    if let Some(k) = key.as_deref() {
+        if let Some(mut resp) = shared.dynamic.cache.get(class, k) {
+            if let Some(s) = class_stats {
+                s.cache_hits.inc();
+            }
+            shared.stats.served.inc();
+            resp.headers.set("X-SWEB-Dynamic-Cache", "hit");
+            resp.headers.set("X-SWEB-Node", shared.id.0.to_string());
+            return resp;
+        }
+    }
+    let ctx = crate::dynamic::HandlerCtx { shared, deadline };
+    let invoke_started = Instant::now();
+    let mut resp = handler.handle(&ctx, req, body);
+    let invoke_us = invoke_started.elapsed().as_micros() as u64;
+    if let Some(s) = class_stats {
+        s.invocations.inc();
+        s.tcpu_us.record(invoke_us);
+    }
+    // Convert wall time to load-independent work: the invocation ran at
+    // the *effective* (load-degraded) rate, so that is the rate that maps
+    // its duration back to operations. The cost model re-divides by the
+    // same `1 + cpu_load` factor at prediction time (§3.2 t_cpu); feeding
+    // the idle rate here would double-count the load.
+    let ops_per_sec = shared.cluster.nodes[shared.id.index()].cpu_ops_per_sec;
+    let cpu_load = shared.loads.read().load(shared.id).cpu;
+    let effective = ops_per_sec / (1.0 + cpu_load);
+    shared.oracle.observe(class, invoke_us as f64 * 1e-6 * effective);
+    if resp.status == StatusCode::Ok {
+        if let Some(k) = key.as_deref() {
+            // Cache the reply *before* the per-request headers go on: a
+            // future hit stamps its own node and cache markers.
+            shared.dynamic.cache.insert(class, k, resp.clone(), handler.ttl());
+            resp.headers.set("X-SWEB-Dynamic-Cache", "miss");
+        }
+    }
+    shared.stats.served.inc();
+    resp.headers.set("X-SWEB-Node", shared.id.0.to_string());
+    resp
 }
 
 #[cfg(test)]

@@ -46,15 +46,19 @@ mod peer_transfer;
 pub mod access_log;
 pub mod cgi;
 pub mod client;
+pub mod dynamic;
 pub mod file_cache;
+pub mod options;
 pub mod status;
 
 pub use access_log::AccessLog;
 pub use file_cache::FileCache;
-pub use cgi::{CgiProgram, CgiRegistry};
+pub use cgi::{CgiProgram, CgiRegistry, ForkCgiHandler};
 pub use cluster::{ClusterConfig, Engine, LiveCluster};
+pub use dynamic::{DynamicHandler, DynamicRegistry, FnHandler, HandlerCtx};
 pub use handler::home_of;
+pub use options::ServerOptions;
 pub use sweb_chaos::{Fault, FaultPlan, Injector, ScriptedOp, Window};
 pub use sweb_reactor::TransmitMode;
-pub use node::{NodeHandle, NodeStats};
+pub use node::{NodeHandle, NodeShared, NodeStats};
 pub use status::{StatusReport, METRICS_PATH, STATUS_PATH, STATUS_SCHEMA_VERSION};

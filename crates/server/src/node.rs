@@ -288,8 +288,10 @@ pub struct NodeShared {
     pub sweb: SwebConfig,
     /// Document root (shared across nodes, standing in for NFS).
     pub docroot: PathBuf,
-    /// CGI programs (shared registry, as NFS-visible binaries would be).
-    pub cgi: crate::cgi::CgiRegistry,
+    /// Dynamic-content state: the handler registry (shared across nodes,
+    /// as NFS-visible binaries would be), the striped response cache, and
+    /// per-handler-class stats.
+    pub dynamic: crate::dynamic::DynamicState,
     /// Optional CLF access log (shared across nodes, like an NFS logfile).
     pub access_log: Option<crate::access_log::AccessLog>,
     /// In-memory document cache (extension; mtime-validated).

@@ -34,7 +34,14 @@ pub const METRICS_PATH: &str = "/metrics";
 /// v5 added `io_backend` to each shard row: the poller backend the
 /// shard's loop actually runs (`"uring"`, `"epoll"`, `"poll"`, or
 /// `"none"` for the threaded engine / a not-yet-started loop).
-pub const STATUS_SCHEMA_VERSION: u64 = 5;
+/// v6 added the `handlers` array (one row per dynamic handler class:
+/// invocations, cache hits, measured t_cpu p50/p99, and the oracle's
+/// current per-class estimate) and the `dynamic_cache` block. The
+/// per-class table is now the *only* dynamic-content accounting; no
+/// aggregate top-level CGI counters were ever part of the schema, so
+/// nothing is removed — consumers that summed `served` to approximate
+/// CGI traffic should read `handlers[].invocations` instead.
+pub const STATUS_SCHEMA_VERSION: u64 = 6;
 
 /// One node's full introspection snapshot.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,6 +63,10 @@ pub struct StatusReport {
     /// Per-shard breakdown of the hot counters (one row for the threaded
     /// engine's single logical shard).
     pub shards: Vec<ShardRow>,
+    /// Per-class dynamic handler accounting, sorted by class name.
+    pub handlers: Vec<HandlerRow>,
+    /// Dynamic response-cache state.
+    pub dynamic_cache: crate::dynamic::DynamicCacheStats,
     /// File-cache state.
     pub cache: CacheSnapshot,
     /// Faults injected so far by the chaos harness (all zero without one).
@@ -82,6 +93,28 @@ pub struct ShardRow {
     /// single cell when a connection closes on a different shard's
     /// thread; only the sum is a true gauge).
     pub active: i64,
+}
+
+/// One dynamic handler class's accounting: how often it ran, how often
+/// the response cache answered for it, what its invocations actually
+/// cost, and what the oracle currently believes they cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HandlerRow {
+    /// Handler class name (`"echo"`, `"burn"`, `"fork"`, ...).
+    pub class: String,
+    /// Real handler invocations (cache hits excluded).
+    pub invocations: u64,
+    /// Requests answered from the dynamic response cache.
+    pub cache_hits: u64,
+    /// Median measured handler wall time, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile measured handler wall time, microseconds.
+    pub p99_us: u64,
+    /// The oracle's current CPU-demand estimate for this class, in ops —
+    /// the tuned EWMA once measurements have fed back, the static prior
+    /// until then. This is the `t_cpu` input the broker's cost model
+    /// uses for the class.
+    pub oracle_ops: f64,
 }
 
 /// One row of the load table as this node sees it.
@@ -244,6 +277,24 @@ impl StatusReport {
                     active: s.active.cell_value(i),
                 })
                 .collect(),
+            handlers: shared
+                .dynamic
+                .class_rows()
+                .into_iter()
+                .map(|(class, cs)| HandlerRow {
+                    class: class.to_string(),
+                    invocations: cs.invocations.get(),
+                    cache_hits: cs.cache_hits.get(),
+                    p50_us: cs.tcpu_us.quantile(0.5),
+                    p99_us: cs.tcpu_us.quantile(0.99),
+                    oracle_ops: shared.oracle.characterize_dynamic(
+                        class,
+                        &format!("/cgi-bin/{class}"),
+                        4096,
+                    ),
+                })
+                .collect(),
+            dynamic_cache: shared.dynamic.cache.stats(),
             cache: CacheSnapshot {
                 hits: shared.file_cache.hits(),
                 misses: shared.file_cache.misses(),
@@ -326,6 +377,20 @@ impl StatusReport {
                 row.active,
             ));
         }
+        out.push_str(
+            "\nhandlers:\nclass       invoked   cache-hit p50(us)   p99(us)   oracle(ops)\n",
+        );
+        for row in &self.handlers {
+            out.push_str(&format!(
+                "{:<11} {:<9} {:<9} {:<9} {:<9} {:.0}\n",
+                row.class, row.invocations, row.cache_hits, row.p50_us, row.p99_us, row.oracle_ops,
+            ));
+        }
+        let d = &self.dynamic_cache;
+        out.push_str(&format!(
+            "dynamic cache: {} hits, {} misses, {} expired, {} evicted, {} / {} entries\n",
+            d.hits, d.misses, d.expired, d.evictions, d.entries, d.max_entries,
+        ));
         out.push_str(&format!(
             "\nfile cache: {} hits, {} misses, {} collisions, {} / {} bytes, digest {} bits set\n",
             self.cache.hits,
@@ -429,6 +494,35 @@ impl StatusReport {
                         })
                         .collect(),
                 ),
+            ),
+            (
+                "handlers",
+                Json::Arr(
+                    self.handlers
+                        .iter()
+                        .map(|row| {
+                            obj(vec![
+                                ("class", Json::Str(row.class.clone())),
+                                ("invocations", Json::Num(row.invocations as f64)),
+                                ("cache_hits", Json::Num(row.cache_hits as f64)),
+                                ("p50_us", Json::Num(row.p50_us as f64)),
+                                ("p99_us", Json::Num(row.p99_us as f64)),
+                                ("oracle_ops", Json::Num(row.oracle_ops)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "dynamic_cache",
+                obj(vec![
+                    ("hits", Json::Num(self.dynamic_cache.hits as f64)),
+                    ("misses", Json::Num(self.dynamic_cache.misses as f64)),
+                    ("expired", Json::Num(self.dynamic_cache.expired as f64)),
+                    ("evictions", Json::Num(self.dynamic_cache.evictions as f64)),
+                    ("entries", Json::Num(self.dynamic_cache.entries as f64)),
+                    ("max_entries", Json::Num(self.dynamic_cache.max_entries as f64)),
+                ]),
             ),
             (
                 "cache",
@@ -542,6 +636,33 @@ impl StatusReport {
                 })
             })
             .collect::<Result<Vec<_>, String>>()?;
+        let handlers = field(v, "handlers")?
+            .as_arr()
+            .ok_or("handlers is not an array")?
+            .iter()
+            .map(|row| {
+                Ok(HandlerRow {
+                    class: field(row, "class")?
+                        .as_str()
+                        .ok_or("class is not a string")?
+                        .to_string(),
+                    invocations: num_u64(row, "invocations")?,
+                    cache_hits: num_u64(row, "cache_hits")?,
+                    p50_us: num_u64(row, "p50_us")?,
+                    p99_us: num_u64(row, "p99_us")?,
+                    oracle_ops: num_f64(row, "oracle_ops")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let d = field(v, "dynamic_cache")?;
+        let dynamic_cache = crate::dynamic::DynamicCacheStats {
+            hits: num_u64(&d, "hits")?,
+            misses: num_u64(&d, "misses")?,
+            expired: num_u64(&d, "expired")?,
+            evictions: num_u64(&d, "evictions")?,
+            entries: num_u64(&d, "entries")?,
+            max_entries: num_u64(&d, "max_entries")?,
+        };
         let k = field(v, "cache")?;
         let cache = CacheSnapshot {
             hits: num_u64(&k, "hits")?,
@@ -570,6 +691,8 @@ impl StatusReport {
             load,
             counters,
             shards,
+            handlers,
+            dynamic_cache,
             cache,
             faults,
         })
@@ -693,6 +816,32 @@ mod tests {
                     active: 2,
                 },
             ],
+            handlers: vec![
+                HandlerRow {
+                    class: "burn".to_string(),
+                    invocations: 25,
+                    cache_hits: 75,
+                    p50_us: 1800,
+                    p99_us: 4200,
+                    oracle_ops: 250000.0,
+                },
+                HandlerRow {
+                    class: "echo".to_string(),
+                    invocations: 10,
+                    cache_hits: 0,
+                    p50_us: 30,
+                    p99_us: 90,
+                    oracle_ops: 5000.0,
+                },
+            ],
+            dynamic_cache: crate::dynamic::DynamicCacheStats {
+                hits: 75,
+                misses: 35,
+                expired: 4,
+                evictions: 2,
+                entries: 29,
+                max_entries: 1024,
+            },
             cache: CacheSnapshot {
                 hits: 50,
                 misses: 40,
@@ -767,6 +916,33 @@ mod tests {
         assert!(text.contains("shards:"), "{text}");
         assert!(text.contains("s0     yes    uring    60        55        2         3"), "{text}");
         assert!(text.contains("s1     no     epoll    40        35        0         2"), "{text}");
+    }
+
+    #[test]
+    fn from_json_rejects_missing_handlers() {
+        let report = sample_report();
+        let mut v = report.to_json();
+        if let Json::Obj(members) = &mut v {
+            members.retain(|(k, _)| k != "handlers");
+        }
+        assert!(StatusReport::from_json(&v).is_err(), "v6 requires the handlers array");
+        let mut v = report.to_json();
+        if let Json::Obj(members) = &mut v {
+            members.retain(|(k, _)| k != "dynamic_cache");
+        }
+        assert!(StatusReport::from_json(&v).is_err(), "v6 requires the dynamic_cache block");
+    }
+
+    #[test]
+    fn text_view_has_the_handler_table() {
+        let text = sample_report().to_text();
+        assert!(text.contains("handlers:"), "{text}");
+        assert!(text.contains("burn        25        75        1800      4200      250000"), "{text}");
+        assert!(text.contains("echo        10        0         30        90        5000"), "{text}");
+        assert!(
+            text.contains("dynamic cache: 75 hits, 35 misses, 4 expired, 2 evicted, 29 / 1024 entries"),
+            "{text}"
+        );
     }
 
     #[test]

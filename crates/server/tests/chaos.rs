@@ -16,9 +16,9 @@ use std::time::{Duration, Instant};
 
 use sweb_cluster::NodeId;
 use sweb_core::{PeerHealth, Policy};
-use sweb_des::SimTime;
 use sweb_server::{
-    client, AccessLog, ClusterConfig, Engine, Fault, FaultPlan, LiveCluster, StatusReport, Window,
+    client, AccessLog, ClusterConfig, Engine, Fault, FaultPlan, LiveCluster, ServerOptions,
+    StatusReport, Window,
 };
 
 /// Build a docroot with a few documents.
@@ -53,11 +53,12 @@ fn save_plan(name: &str, engine: Engine, plan: &FaultPlan) {
 /// Short gossip windows so failure detection fits in a test run: Suspect
 /// after 100 ms of silence, Dead after 500 ms.
 fn chaos_config(engine: Engine, plan: FaultPlan) -> ClusterConfig {
-    let mut cfg = ClusterConfig { policy: Policy::Sweb, engine, ..ClusterConfig::default() };
-    cfg.sweb.loadd_period = SimTime::from_millis(100);
-    cfg.sweb.stale_timeout = SimTime::from_millis(500);
-    cfg.fault_plan = Some(plan);
-    cfg
+    ServerOptions::new()
+        .policy(Policy::Sweb)
+        .engine(engine)
+        .loadd_timing(100, 500)
+        .fault_plan(Some(plan))
+        .build()
 }
 
 /// Poll until `check` passes or the deadline expires; panics with `what`
@@ -223,7 +224,7 @@ fn partition_marks_suspect_then_dead_then_heals(engine: Engine) {
     let resp = client::get(&format!("{}/sweb-status?format=json", cluster.base_url(0))).unwrap();
     let json = sweb_telemetry::Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
     let report = StatusReport::from_json(&json).expect("status must parse under schema v5");
-    assert_eq!(report.schema_version, 5);
+    assert_eq!(report.schema_version, 6);
     assert_eq!(report.load.len(), 2);
     assert!(report.load.iter().all(|row| row.health == "alive"), "{:?}", report.load);
     assert!(report.faults.packets_dropped > 0, "partition dropped no packets?");
@@ -236,10 +237,12 @@ fn partition_marks_suspect_then_dead_then_heals(engine: Engine) {
 /// loadd period — instead of waiting out the staleness timeout.
 fn graceful_stop_evicts_within_one_loadd_period(engine: Engine) {
     let dir = docroot(&format!("drain-{}", engine.name()));
-    let mut cfg = ClusterConfig { policy: Policy::Sweb, engine, ..ClusterConfig::default() };
-    cfg.sweb.loadd_period = SimTime::from_millis(200);
-    cfg.sweb.stale_timeout = SimTime::from_millis(5_000); // silence alone is far too slow
-    let cluster = LiveCluster::start(3, dir, cfg).unwrap();
+    let cluster = ServerOptions::new()
+        .policy(Policy::Sweb)
+        .engine(engine)
+        .loadd_timing(200, 5_000) // silence alone is far too slow
+        .start(3, dir)
+        .unwrap();
     assert!(cluster.await_loadd_mesh(Duration::from_secs(10)));
 
     let drained = cluster.stop_gracefully(2, Duration::from_secs(5));

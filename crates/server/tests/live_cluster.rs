@@ -5,7 +5,7 @@ use std::net::TcpStream;
 use std::time::Duration;
 
 use sweb_core::Policy;
-use sweb_server::{client, AccessLog, ClusterConfig, Engine, LiveCluster};
+use sweb_server::{client, AccessLog, Engine, LiveCluster, ServerOptions};
 
 /// Build a docroot with a few documents of varying sizes.
 fn docroot(tag: &str) -> std::path::PathBuf {
@@ -27,8 +27,8 @@ fn start(
     engine: Engine,
 ) -> (LiveCluster, std::path::PathBuf) {
     let dir = docroot(&format!("{tag}-{}", engine.name()));
-    let cfg = ClusterConfig { policy, engine, ..ClusterConfig::default() };
-    let cluster = LiveCluster::start(n, dir.clone(), cfg).unwrap();
+    let cluster =
+        ServerOptions::new().policy(policy).engine(engine).start(n, dir.clone()).unwrap();
     (cluster, dir)
 }
 
@@ -334,14 +334,13 @@ fn admission_cap_sheds_excess_connections_with_503(engine: Engine) {
     // engines — the scheduler reads `shed` as a node-pressure signal, so
     // the engines must agree on what it means.
     let dir = docroot(&format!("shedcap-{}", engine.name()));
-    let cfg = ClusterConfig {
-        policy: Policy::RoundRobin,
-        engine,
-        max_conns: 4,
-        shards: 1, // the cap is divided across shards; pin for determinism
-        ..ClusterConfig::default()
-    };
-    let cluster = LiveCluster::start(1, dir, cfg).unwrap();
+    let cluster = ServerOptions::new()
+        .policy(Policy::RoundRobin)
+        .engine(engine)
+        .max_conns(4)
+        .shards(1) // the cap is divided across shards; pin for determinism
+        .start(1, dir)
+        .unwrap();
     let addr = cluster.base_url(0).strip_prefix("http://").unwrap().to_string();
 
     // Fill the admission cap with idle connections.
@@ -561,13 +560,12 @@ fn cgi_requests_participate_in_scheduling(engine: Engine) {
 #[test]
 fn sharded_reactor_reports_every_shard_live_and_exact() {
     let dir = docroot("shards4");
-    let cfg = ClusterConfig {
-        policy: Policy::RoundRobin,
-        engine: Engine::Reactor,
-        shards: 4,
-        ..ClusterConfig::default()
-    };
-    let cluster = LiveCluster::start(1, dir.clone(), cfg).unwrap();
+    let cluster = ServerOptions::new()
+        .policy(Policy::RoundRobin)
+        .engine(Engine::Reactor)
+        .shards(4)
+        .start(1, dir.clone())
+        .unwrap();
     let expected = std::fs::read(dir.join("doc3.txt")).unwrap();
     for i in 0..12 {
         let resp = client::get(&format!("{}/doc{}.txt", cluster.base_url(0), i % 8)).unwrap();
@@ -579,7 +577,7 @@ fn sharded_reactor_reports_every_shard_live_and_exact() {
     let resp = client::get(&format!("{}/sweb-status?format=json", cluster.base_url(0))).unwrap();
     let json = sweb_telemetry::Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
     let report = sweb_server::StatusReport::from_json(&json).unwrap();
-    assert_eq!(report.schema_version, 5);
+    assert_eq!(report.schema_version, 6);
     assert_eq!(report.shards.len(), 4, "{:?}", report.shards);
     assert!(report.shards.iter().all(|s| s.live), "{:?}", report.shards);
     let served: u64 = report.shards.iter().map(|s| s.served).sum();
@@ -599,11 +597,13 @@ fn sharded_reactor_reports_every_shard_live_and_exact() {
 fn peer_transfer_serves_remote_files_with_zero_redirects(engine: Engine) {
     let dir = docroot(&format!("peer-pull-{}", engine.name()));
     let log_path = dir.join("access.log");
-    let mut cfg =
-        ClusterConfig { policy: Policy::FileLocality, engine, ..ClusterConfig::default() };
-    cfg.sweb.peer_transfer = true;
-    cfg.access_log = Some(AccessLog::to_file(&log_path).unwrap());
-    let cluster = LiveCluster::start(2, dir.clone(), cfg).unwrap();
+    let cluster = ServerOptions::new()
+        .policy(Policy::FileLocality)
+        .engine(engine)
+        .peer_transfer(true)
+        .access_log(AccessLog::to_file(&log_path).unwrap())
+        .start(2, dir.clone())
+        .unwrap();
     assert!(cluster.await_loadd_mesh(Duration::from_secs(5)));
 
     let mut traces = Vec::new();
@@ -660,13 +660,15 @@ fn peer_transfer_serves_remote_files_with_zero_redirects(engine: Engine) {
 /// node 1 (whose digest lacks it) ahead of any request arriving there.
 fn hot_files_replicate_to_peers_ahead_of_demand(engine: Engine) {
     let dir = docroot(&format!("replicate-{}", engine.name()));
-    let mut cfg = ClusterConfig { policy: Policy::Sweb, engine, ..ClusterConfig::default() };
-    cfg.sweb.peer_transfer = true;
-    cfg.sweb.replicate_hot = true;
-    // Short loadd period: the replicator sweeps every two periods.
-    cfg.sweb.loadd_period = sweb_des::SimTime::from_millis(100);
-    cfg.sweb.stale_timeout = sweb_des::SimTime::from_millis(2_000);
-    let cluster = LiveCluster::start(2, dir.clone(), cfg).unwrap();
+    let cluster = ServerOptions::new()
+        .policy(Policy::Sweb)
+        .engine(engine)
+        .peer_transfer(true)
+        .replicate_hot(true)
+        // Short loadd period: the replicator sweeps every two periods.
+        .loadd_timing(100, 2_000)
+        .start(2, dir.clone())
+        .unwrap();
     assert!(cluster.await_loadd_mesh(Duration::from_secs(5)));
 
     // The redirect-once marker pins every request local, so the heat all

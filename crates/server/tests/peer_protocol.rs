@@ -9,7 +9,7 @@ use std::time::{Duration, Instant};
 use sweb_core::Policy;
 use sweb_peer::{fetch_err, read_frame, write_frame, Frame, PeerPool};
 use sweb_server::file_cache::key_of;
-use sweb_server::{client, ClusterConfig, Engine, LiveCluster};
+use sweb_server::{client, Engine, LiveCluster, ServerOptions};
 
 fn docroot(tag: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join(format!("sweb-peerproto-{tag}-{}", std::process::id()));
@@ -24,10 +24,12 @@ fn docroot(tag: &str) -> std::path::PathBuf {
 
 fn start(tag: &str, n: usize) -> (LiveCluster, std::path::PathBuf) {
     let dir = docroot(tag);
-    let mut cfg =
-        ClusterConfig { policy: Policy::RoundRobin, engine: Engine::Reactor, ..Default::default() };
-    cfg.sweb.peer_transfer = true;
-    let cluster = LiveCluster::start(n, dir.clone(), cfg).unwrap();
+    let cluster = ServerOptions::new()
+        .policy(Policy::RoundRobin)
+        .engine(Engine::Reactor)
+        .peer_transfer(true)
+        .start(n, dir.clone())
+        .unwrap();
     (cluster, dir)
 }
 
@@ -169,15 +171,13 @@ fn mid_stream_death_fails_fast_never_hangs() {
 #[test]
 fn dead_peer_is_excluded_from_forward_targets() {
     let dir = docroot("deadpeer");
-    let mut cfg = ClusterConfig {
-        policy: Policy::FileLocality,
-        engine: Engine::Reactor,
-        ..Default::default()
-    };
-    cfg.sweb.peer_transfer = true;
-    cfg.sweb.loadd_period = sweb_des::SimTime::from_millis(100);
-    cfg.sweb.stale_timeout = sweb_des::SimTime::from_millis(500);
-    let cluster = LiveCluster::start(2, dir.clone(), cfg).unwrap();
+    let cluster = ServerOptions::new()
+        .policy(Policy::FileLocality)
+        .engine(Engine::Reactor)
+        .peer_transfer(true)
+        .loadd_timing(100, 500)
+        .start(2, dir.clone())
+        .unwrap();
     assert!(cluster.await_loadd_mesh(Duration::from_secs(10)));
 
     cluster.kill(1);

@@ -7,7 +7,7 @@ use std::net::TcpStream;
 use std::time::Duration;
 
 use sweb_core::Policy;
-use sweb_server::{client, ClusterConfig, Engine, LiveCluster};
+use sweb_server::{client, Engine, ServerOptions};
 
 fn docroot(tag: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join(format!("sweb-rtest-{tag}-{}", std::process::id()));
@@ -29,14 +29,13 @@ fn process_threads() -> Option<usize> {
 
 #[test]
 fn admission_control_sheds_with_503_and_counts_it() {
-    let cfg = ClusterConfig {
-        policy: Policy::RoundRobin,
-        engine: Engine::Reactor,
-        max_conns: 4,
-        shards: 1, // the cap is divided across shards; pin for determinism
-        ..ClusterConfig::default()
-    };
-    let cluster = LiveCluster::start(1, docroot("shed"), cfg).unwrap();
+    let cluster = ServerOptions::new()
+        .policy(Policy::RoundRobin)
+        .engine(Engine::Reactor)
+        .max_conns(4)
+        .shards(1) // the cap is divided across shards; pin for determinism
+        .start(1, docroot("shed"))
+        .unwrap();
     let addr = cluster.base_url(0).strip_prefix("http://").unwrap().to_string();
 
     // Fill the admission cap with idle connections.
@@ -75,12 +74,11 @@ fn admission_control_sheds_with_503_and_counts_it() {
 #[test]
 fn many_concurrent_connections_with_bounded_threads() {
     const CONNS: usize = 256;
-    let cfg = ClusterConfig {
-        policy: Policy::RoundRobin,
-        engine: Engine::Reactor,
-        ..ClusterConfig::default()
-    };
-    let cluster = LiveCluster::start(1, docroot("many"), cfg).unwrap();
+    let cluster = ServerOptions::new()
+        .policy(Policy::RoundRobin)
+        .engine(Engine::Reactor)
+        .start(1, docroot("many"))
+        .unwrap();
     let addr = cluster.base_url(0).strip_prefix("http://").unwrap().to_string();
     let before = process_threads();
 
@@ -138,15 +136,14 @@ fn large_cached_file_served_intact_with_zero_copy() {
     // come back byte-identical through the reactor's writev path, with
     // the body leaving as shared `Bytes` (no per-request copy) both on
     // the cold read and on the cache hit.
-    let cfg = ClusterConfig {
-        policy: Policy::RoundRobin,
-        engine: Engine::Reactor,
-        ..ClusterConfig::default()
-    };
     let dir = docroot("zcopy");
     let body = payload(1_500_000);
     std::fs::write(dir.join("big.bin"), &body).unwrap();
-    let cluster = LiveCluster::start(1, dir, cfg).unwrap();
+    let cluster = ServerOptions::new()
+        .policy(Policy::RoundRobin)
+        .engine(Engine::Reactor)
+        .start(1, dir)
+        .unwrap();
     for pass in 0..2 {
         let resp = client::get(&format!("{}/big.bin", cluster.base_url(0))).unwrap();
         assert_eq!(resp.status, 200, "pass {pass}");
@@ -165,16 +162,15 @@ fn oversized_file_streams_intact() {
     // A document larger than the whole cache takes the sendfile path
     // (worker-pool read fallback off-Linux) and must still arrive
     // byte-identical, without displacing anything in the cache.
-    let cfg = ClusterConfig {
-        policy: Policy::RoundRobin,
-        engine: Engine::Reactor,
-        file_cache_bytes: 256 << 10,
-        ..ClusterConfig::default()
-    };
     let dir = docroot("stream");
     let body = payload(1 << 20);
     std::fs::write(dir.join("huge.bin"), &body).unwrap();
-    let cluster = LiveCluster::start(1, dir, cfg).unwrap();
+    let cluster = ServerOptions::new()
+        .policy(Policy::RoundRobin)
+        .engine(Engine::Reactor)
+        .file_cache_bytes(256 << 10)
+        .start(1, dir)
+        .unwrap();
     let resp = client::get(&format!("{}/huge.bin", cluster.base_url(0))).unwrap();
     assert_eq!(resp.status, 200);
     assert!(resp.body == body, "streamed body corrupted or truncated");
@@ -194,14 +190,13 @@ fn loadd_gossips_cache_digests_across_the_mesh() {
     use sweb_cluster::NodeId;
     use sweb_server::file_cache::key_of;
 
-    let cfg = ClusterConfig {
-        policy: Policy::RoundRobin, // never redirects: the fetch pins residency
-        engine: Engine::Reactor,
-        ..ClusterConfig::default()
-    };
     let dir = docroot("gossip");
     std::fs::write(dir.join("hot.html"), "cached and gossiped").unwrap();
-    let cluster = LiveCluster::start(2, dir, cfg).unwrap();
+    let cluster = ServerOptions::new()
+        .policy(Policy::RoundRobin) // never redirects: the fetch pins residency
+        .engine(Engine::Reactor)
+        .start(2, dir)
+        .unwrap();
     assert!(cluster.await_loadd_mesh(Duration::from_secs(5)));
 
     let resp = client::get(&format!("{}/hot.html", cluster.base_url(1))).unwrap();
@@ -230,16 +225,15 @@ fn loadd_gossips_cache_digests_across_the_mesh() {
 fn reactor_cluster_follows_redirects_under_locality() {
     // The §3.2 redirect path, end to end, specifically on the reactor: a
     // doc homed off node 0 must 302 once and be served by its home.
-    let cfg = ClusterConfig {
-        policy: Policy::FileLocality,
-        engine: Engine::Reactor,
-        ..ClusterConfig::default()
-    };
     let dir = docroot("redir");
     for i in 0..8 {
         std::fs::write(dir.join(format!("doc{i}.txt")), format!("doc {i}")).unwrap();
     }
-    let cluster = LiveCluster::start(3, dir, cfg).unwrap();
+    let cluster = ServerOptions::new()
+        .policy(Policy::FileLocality)
+        .engine(Engine::Reactor)
+        .start(3, dir)
+        .unwrap();
     assert!(cluster.await_loadd_mesh(Duration::from_secs(5)));
     let mut redirected = 0;
     for i in 0..8 {

@@ -8,7 +8,7 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 use sweb_core::Policy;
 use sweb_server::{
-    client, AccessLog, ClusterConfig, Engine, LiveCluster, StatusReport, STATUS_SCHEMA_VERSION,
+    client, AccessLog, Engine, ServerOptions, StatusReport, STATUS_SCHEMA_VERSION,
 };
 use sweb_telemetry::{line_is_well_formed, Json};
 
@@ -61,13 +61,12 @@ engine_tests!(
 fn trace_id_joins_access_logs_across_a_redirect_hop(engine: Engine) {
     let buf = Arc::new(Mutex::new(Vec::new()));
     let dir = docroot(&format!("trace-{}", engine.name()));
-    let cfg = ClusterConfig {
-        policy: Policy::FileLocality,
-        engine,
-        access_log: Some(AccessLog::new(Box::new(VecSink(Arc::clone(&buf))))),
-        ..ClusterConfig::default()
-    };
-    let cluster = LiveCluster::start(2, dir, cfg).unwrap();
+    let cluster = ServerOptions::new()
+        .policy(Policy::FileLocality)
+        .engine(engine)
+        .access_log(AccessLog::new(Box::new(VecSink(Arc::clone(&buf)))))
+        .start(2, dir)
+        .unwrap();
     assert!(cluster.await_loadd_mesh(Duration::from_secs(5)));
 
     // Find a document homed on node 1 by asking node 0 until one bounces.
@@ -108,8 +107,8 @@ fn trace_id_joins_access_logs_across_a_redirect_hop(engine: Engine) {
 /// non-trivial number of distinct series.
 fn metrics_exposition_is_well_formed_and_rich(engine: Engine) {
     let dir = docroot(&format!("metrics-{}", engine.name()));
-    let cfg = ClusterConfig { policy: Policy::RoundRobin, engine, ..ClusterConfig::default() };
-    let cluster = LiveCluster::start(1, dir, cfg).unwrap();
+    let cluster =
+        ServerOptions::new().policy(Policy::RoundRobin).engine(engine).start(1, dir).unwrap();
 
     // Touch several code paths so counters and histograms have samples.
     for i in 0..4 {
@@ -142,8 +141,8 @@ fn metrics_exposition_is_well_formed_and_rich(engine: Engine) {
 /// [`StatusReport`] the text view renders from.
 fn status_json_round_trips_through_the_typed_report(engine: Engine) {
     let dir = docroot(&format!("json-{}", engine.name()));
-    let cfg = ClusterConfig { policy: Policy::Sweb, engine, ..ClusterConfig::default() };
-    let cluster = LiveCluster::start(2, dir, cfg).unwrap();
+    let cluster =
+        ServerOptions::new().policy(Policy::Sweb).engine(engine).start(2, dir).unwrap();
     assert!(cluster.await_loadd_mesh(Duration::from_secs(5)));
     let _ = client::get(&format!("{}/index.html", cluster.base_url(1))).unwrap();
 

@@ -7,7 +7,7 @@
 //! 1. **Byte identity**: every response body served under io_uring is
 //!    byte-for-byte what epoll serves for the same document.
 //! 2. **Observability**: `/sweb-status` reports `"uring"` for every live
-//!    shard (schema v5), and the `sweb_io_*` telemetry counters move.
+//!    shard (schema v6), and the `sweb_io_*` telemetry counters move.
 //! 3. **Fewer syscalls**: for the same request batch, the uring shard
 //!    issues measurably fewer poller syscalls than the epoll shard — the
 //!    whole point of batched submission.
@@ -21,7 +21,9 @@ use std::time::{Duration, Instant};
 use sweb_core::Policy;
 use sweb_reactor::sys::Poller;
 use sweb_reactor::IoBackend;
-use sweb_server::{client, ClusterConfig, Engine, Fault, FaultPlan, LiveCluster, Window};
+use sweb_server::{
+    client, ClusterConfig, Engine, Fault, FaultPlan, LiveCluster, ServerOptions, Window,
+};
 
 /// True when this kernel can actually open an io_uring ring (no silent
 /// fallback — `strict` refuses to downgrade).
@@ -56,13 +58,12 @@ fn docroot(tag: &str) -> std::path::PathBuf {
 }
 
 fn config(io_backend: IoBackend) -> ClusterConfig {
-    ClusterConfig {
-        policy: Policy::RoundRobin,
-        engine: Engine::Reactor,
-        io_backend,
-        shards: 1,
-        ..ClusterConfig::default()
-    }
+    ServerOptions::new()
+        .policy(Policy::RoundRobin)
+        .engine(Engine::Reactor)
+        .io_backend(io_backend)
+        .shards(1)
+        .build()
 }
 
 const PATHS: &[&str] =
@@ -90,7 +91,7 @@ fn uring_serves_byte_identical_responses() {
     epoll.shutdown();
 }
 
-/// `/sweb-status` must expose the backend actually chosen: schema v5,
+/// `/sweb-status` must expose the backend actually chosen: schema v6,
 /// every shard row reporting `"uring"`.
 #[test]
 fn status_reports_uring_backend_per_shard() {
@@ -113,7 +114,7 @@ fn status_reports_uring_backend_per_shard() {
         assert!(Instant::now() < deadline, "shards never reported a backend: {report:?}");
         std::thread::sleep(Duration::from_millis(25));
     };
-    assert_eq!(report.schema_version, 5);
+    assert_eq!(report.schema_version, 6);
     assert_eq!(report.shards.len(), 2);
     for row in &report.shards {
         assert_eq!(row.io_backend, "uring", "shard {} not on uring", row.shard);

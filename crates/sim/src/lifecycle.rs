@@ -155,6 +155,13 @@ fn decide(w: &mut World, s: &mut Sim<World>, node: NodeId, mut req: Req) {
         redirected: req.redirected,
         pinned_local: req.pinned,
         cached_at_origin: w.cfg.sweb.cache_aware_cost && w.nodes[i].cache.contains(req.file),
+        // The simulator models one generic CGI class; the live server
+        // carries the real per-handler class name here.
+        class: if req.is_cgi {
+            sweb_core::RequestClass::Dynamic("cgi")
+        } else {
+            sweb_core::RequestClass::Static
+        },
     };
     let decision = {
         let cluster = &w.cluster;
