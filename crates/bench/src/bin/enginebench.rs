@@ -1,6 +1,6 @@
 //! `enginebench` — live-cluster benchmarks for the connection engines.
 //!
-//! Six scenarios:
+//! Seven scenarios:
 //!
 //! ```text
 //! enginebench [--scenario engine] [--engine reactor|threaded|both] [--nodes 3]
@@ -16,6 +16,7 @@
 //!             [--requests 3000] [--out results/uring.csv]
 //! enginebench --scenario dynamic [--workers 8] [--requests 1200]
 //!             [--out results/dynamic.csv]
+//! enginebench --scenario overload [--workers 96] [--out results/overload.csv]
 //! ```
 //!
 //! **engine** (the default): for each engine the harness starts an
@@ -115,6 +116,19 @@
 //! ```text
 //! mode,requests,workers,errors,duration_s,rps,p50_ms,p99_ms,invocations,cache_hits
 //! ```
+//!
+//! **overload**: the admission-controller A/B — a single reactor node
+//! with a pinned 4-thread worker pool, every request 10 ms of handler
+//! spin, driven *open-loop* at 0.5/1/2/3x its measured capacity, once
+//! with the adaptive controller and once with only the static shed
+//! points (full worker queue, deadline overruns). The figure of merit is
+//! goodput: 200s delivered inside a 1 s SLO per second. One CSV row per
+//! (mode, offered-load) pair, and the ramp lands in
+//! `BENCH_overload.json` for the committed perf trajectory:
+//!
+//! ```text
+//! mode,offered_x,offered_rps,sent,ok200,good,shed503,errors,duration_s,goodput_rps,p50_ms,p99_ms
+//! ```
 
 use std::io::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -136,6 +150,7 @@ enum Scenario {
     Forward,
     Uring,
     Dynamic,
+    Overload,
 }
 
 struct Args {
@@ -151,7 +166,7 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: enginebench [--scenario engine|zerocopy|shards|forward|uring|dynamic] \
+        "usage: enginebench [--scenario engine|zerocopy|shards|forward|uring|dynamic|overload] \
          [--engine reactor|threaded|both] \
          [--nodes N] [--hold N] [--workers N] [--requests N] [--size BYTES] [--out FILE]"
     );
@@ -181,6 +196,7 @@ fn parse_args() -> Args {
                     "forward" => Scenario::Forward,
                     "uring" => Scenario::Uring,
                     "dynamic" => Scenario::Dynamic,
+                    "overload" => Scenario::Overload,
                     _ => usage(),
                 };
             }
@@ -1515,6 +1531,290 @@ fn main_dynamic(args: &Args) {
     println!("enginebench: wrote BENCH_dynamic.json");
 }
 
+/// One leg of the overload ramp: `sent` open-loop arrivals, outcomes
+/// bucketed by what the client saw.
+struct OverloadOutcome {
+    sent: u64,
+    ok200: u64,
+    /// 200s that also landed inside the goodput SLO.
+    good: u64,
+    shed503: u64,
+    /// 503s that carried `Retry-After` (must equal `shed503`).
+    shed_with_retry_after: u64,
+    /// Client-side timeouts and transport errors — definite badput.
+    errors: u64,
+    duration: Duration,
+    /// Latency of the 200s only (shed responses return in microseconds
+    /// and would flatter the percentile columns).
+    hist: Histogram,
+}
+
+/// Drive one cluster leg at `offered_rps` for `window` with an open-loop
+/// arrival schedule: request `i` launches at `t0 + i/offered_rps`
+/// whether or not earlier requests have finished — offered load is a
+/// property of the *clients*, which is what makes overload possible.
+/// Each request is a unique-argument `burn` invocation occupying a
+/// server worker for `burn_ms` (a sleep, so capacity is the pool's and
+/// identical on every host), and the response cache never absorbs the
+/// ramp.
+fn run_overload_leg(
+    controller: bool,
+    offered_rps: f64,
+    window: Duration,
+    burn_ms: u64,
+    slo: Duration,
+    client_pool: usize,
+    docroot: &std::path::Path,
+) -> OverloadOutcome {
+    let cluster = ServerOptions::new()
+        .policy(sweb_core::Policy::RoundRobin) // one node; never redirect
+        .engine(Engine::Reactor)
+        .shards(1)
+        .max_conns(4096)
+        .handlers(DynamicRegistry::demo())
+        .overload_control(controller)
+        // Tight enough that the baseline's standing queue converts to
+        // definite 503 overruns instead of 10 s client waits.
+        .request_budget(Duration::from_secs(2))
+        .start(1, docroot.to_path_buf())
+        .expect("start cluster");
+    let base = cluster.base_url(0).to_string();
+
+    let total = (offered_rps * window.as_secs_f64()) as u64;
+    let interval_ns = (1e9 / offered_rps) as u64;
+    let next = Arc::new(AtomicU64::new(0));
+    let ok200 = Arc::new(AtomicU64::new(0));
+    let good = Arc::new(AtomicU64::new(0));
+    let shed = Arc::new(AtomicU64::new(0));
+    let shed_ra = Arc::new(AtomicU64::new(0));
+    let errors = Arc::new(AtomicU64::new(0));
+    let hist = Arc::new(Mutex::new(Histogram::new()));
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for _ in 0..client_pool {
+        let base = base.clone();
+        let next = Arc::clone(&next);
+        let ok200 = Arc::clone(&ok200);
+        let good = Arc::clone(&good);
+        let shed = Arc::clone(&shed);
+        let shed_ra = Arc::clone(&shed_ra);
+        let errors = Arc::clone(&errors);
+        let hist = Arc::clone(&hist);
+        let builder = std::thread::Builder::new().stack_size(128 * 1024);
+        handles.push(builder.spawn(move || {
+            let mut local = Histogram::new();
+            loop {
+                let i = next.fetch_add(1, Ordering::SeqCst);
+                if i >= total {
+                    break;
+                }
+                let due = t0 + Duration::from_nanos(i * interval_ns);
+                let now = Instant::now();
+                if due > now {
+                    std::thread::sleep(due - now);
+                }
+                let url = format!("{base}/cgi-bin/burn?cost=1&ms={burn_ms}&u=ov{i}");
+                match client::get_with_timeout(&url, Duration::from_secs(3)) {
+                    Ok(resp) if resp.status == 200 => {
+                        // Latency from the *scheduled* arrival, not the
+                        // send: when the pool falls behind the schedule
+                        // the wait in line is response time the offered
+                        // load experienced (no coordinated omission).
+                        let lat = due.elapsed();
+                        local.record(lat.as_micros() as u64);
+                        ok200.fetch_add(1, Ordering::Relaxed);
+                        if lat <= slo {
+                            good.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    Ok(resp) if resp.status == 503 => {
+                        shed.fetch_add(1, Ordering::Relaxed);
+                        if resp.headers.get("retry-after").is_some() {
+                            shed_ra.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    _ => {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            hist.lock().unwrap().merge(&local);
+        }).expect("spawn client"));
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    let duration = t0.elapsed();
+    cluster.shutdown();
+    let hist = Arc::try_unwrap(hist).expect("workers joined").into_inner().unwrap();
+    OverloadOutcome {
+        sent: total,
+        ok200: ok200.load(Ordering::Relaxed),
+        good: good.load(Ordering::Relaxed),
+        shed503: shed.load(Ordering::Relaxed),
+        shed_with_retry_after: shed_ra.load(Ordering::Relaxed),
+        errors: errors.load(Ordering::Relaxed),
+        duration,
+        hist,
+    }
+}
+
+/// Closed-loop calibration: a handful of clients hammer the node
+/// back-to-back for `window`; the 200 rate they sustain is the worker
+/// pool's delivered capacity (nominally `workers * 1000 / burn_ms` rps).
+/// Runs with the controller *off* — mild closed-loop queueing at 2x the
+/// pool is the measurement, not something to shed.
+fn run_overload_calibration(burn_ms: u64, docroot: &std::path::Path) -> f64 {
+    let cluster = ServerOptions::new()
+        .policy(sweb_core::Policy::RoundRobin)
+        .engine(Engine::Reactor)
+        .shards(1)
+        .max_conns(4096)
+        .handlers(DynamicRegistry::demo())
+        .overload_control(false)
+        .start(1, docroot.to_path_buf())
+        .expect("start cluster");
+    let base = cluster.base_url(0).to_string();
+    let window = Duration::from_secs(2);
+    let ok200 = Arc::new(AtomicU64::new(0));
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for w in 0..8 {
+        let base = base.clone();
+        let ok200 = Arc::clone(&ok200);
+        handles.push(std::thread::spawn(move || {
+            let mut i = 0u64;
+            while t0.elapsed() < window {
+                let url = format!("{base}/cgi-bin/burn?cost=1&ms={burn_ms}&u=cal{w}x{i}");
+                i += 1;
+                if let Ok(resp) = client::get_with_timeout(&url, Duration::from_secs(3)) {
+                    if resp.status == 200 {
+                        ok200.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }));
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    let secs = t0.elapsed().as_secs_f64().max(1e-9);
+    cluster.shutdown();
+    ok200.load(Ordering::Relaxed) as f64 / secs
+}
+
+/// **overload**: the admission-controller A/B — a single reactor node
+/// whose only workload occupies a worker for `burn_ms` per request,
+/// driven open-loop at multiples of its measured capacity, once with the
+/// adaptive controller (`overload on`) and once with only the static
+/// shed points (full worker queue, deadline overruns — `overload off`).
+/// The figure of merit is *goodput*: 200s delivered inside the SLO per
+/// second. Past capacity the baseline's standing queue pushes every
+/// response over the SLO, while the controller sheds early (fast 503 +
+/// `Retry-After`) and keeps the admitted fraction fast.
+fn main_overload(args: &Args) {
+    // Pin the server worker pool so capacity is the same on every host
+    // (and small enough to saturate from one process).
+    std::env::set_var("SWEB_REACTOR_WORKERS", "4");
+    let burn_ms: u64 = 10; // per-request worker occupancy
+    let slo = Duration::from_millis(1000);
+    let window = Duration::from_secs(4);
+    // Enough client threads that in-flight demand can exceed the worker
+    // submission queue (512): the baseline's static shed point must be
+    // reachable, not fenced off by client-side concurrency.
+    let client_pool = args.workers.unwrap_or(700);
+    let out_path =
+        args.out.clone().unwrap_or_else(|| std::path::PathBuf::from("results/overload.csv"));
+    let docroot = make_docroot();
+
+    let capacity = run_overload_calibration(burn_ms, &docroot);
+    eprintln!(
+        "enginebench: overload calibration: {capacity:.0} rps capacity \
+         (4 workers x {burn_ms} ms)"
+    );
+
+    let mut out = open_csv(
+        &out_path,
+        "mode,offered_x,offered_rps,sent,ok200,good,shed503,errors,duration_s,goodput_rps,\
+         p50_ms,p99_ms",
+    );
+    let mut json_steps = Vec::new();
+    for offered_x in [0.5f64, 1.0, 2.0, 3.0] {
+        let offered = (capacity * offered_x).max(10.0);
+        let mut json_legs = Vec::new();
+        for (mode, controller) in [("controller", true), ("static503", false)] {
+            eprintln!(
+                "enginebench: overload {mode} offered {offered:.0} rps ({offered_x}x capacity)"
+            );
+            let r = run_overload_leg(
+                controller,
+                offered,
+                window,
+                burn_ms,
+                slo,
+                client_pool,
+                &docroot,
+            );
+            // Goodput is normalized by the *scheduled* window: the
+            // offered load is defined over those seconds, and a leg
+            // that stretches past them (clients queueing behind a
+            // saturated server) earns no denominator relief for it.
+            let goodput = r.good as f64 / window.as_secs_f64();
+            let p50 = r.hist.quantile(0.50) as f64 / 1000.0;
+            let p99 = r.hist.quantile(0.99) as f64 / 1000.0;
+            let row = format!(
+                "{mode},{offered_x},{offered:.0},{},{},{},{},{},{:.3},{goodput:.1},\
+                 {p50:.3},{p99:.3}",
+                r.sent,
+                r.ok200,
+                r.good,
+                r.shed503,
+                r.errors,
+                r.duration.as_secs_f64(),
+            );
+            writeln!(out, "{row}").unwrap();
+            eprintln!("enginebench: {row}");
+            if r.shed_with_retry_after != r.shed503 {
+                eprintln!(
+                    "enginebench: WARNING: {} of {} 503s lacked Retry-After",
+                    r.shed503 - r.shed_with_retry_after,
+                    r.shed503
+                );
+            }
+            json_legs.push(format!(
+                "      \"{mode}\": {{\"sent\": {}, \"ok200\": {}, \"good\": {}, \
+                 \"shed503\": {}, \"shed_with_retry_after\": {}, \"errors\": {}, \
+                 \"duration_s\": {:.3}, \"goodput_rps\": {goodput:.1}, \"p50_ms\": {p50:.3}, \
+                 \"p99_ms\": {p99:.3}}}",
+                r.sent,
+                r.ok200,
+                r.good,
+                r.shed503,
+                r.shed_with_retry_after,
+                r.errors,
+                r.duration.as_secs_f64(),
+            ));
+        }
+        json_steps.push(format!(
+            "    {{\n      \"offered_x\": {offered_x},\n      \"offered_rps\": {offered:.0},\n\
+             {}\n    }}",
+            json_legs.join(",\n")
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"overload\",\n  \"schema_version\": 1,\n  \"nodes\": 1,\n  \
+         \"server_workers\": 4,\n  \"burn_ms\": {burn_ms},\n  \"slo_ms\": {},\n  \
+         \"window_s\": {},\n  \"client_pool\": {client_pool},\n  \
+         \"capacity_rps\": {capacity:.0},\n  \"steps\": [\n{}\n  ]\n}}\n",
+        slo.as_millis(),
+        window.as_secs(),
+        json_steps.join(",\n")
+    );
+    std::fs::write("BENCH_overload.json", json).expect("write BENCH_overload.json");
+    println!("enginebench: wrote {}", out_path.display());
+    println!("enginebench: wrote BENCH_overload.json");
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().collect();
     if argv.get(1).map(String::as_str) == Some("--hold-helper") {
@@ -1529,5 +1829,6 @@ fn main() {
         Scenario::Forward => main_forward(&args),
         Scenario::Uring => main_uring(&args),
         Scenario::Dynamic => main_dynamic(&args),
+        Scenario::Overload => main_overload(&args),
     }
 }

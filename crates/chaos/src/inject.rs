@@ -63,6 +63,10 @@ pub struct FaultCounts {
     pub peer_drops: AtomicU64,
     /// Peer-channel transfers delayed (peer-delay).
     pub peer_delays: AtomicU64,
+    /// Sojourn samples inflated by a synthetic overload fault.
+    pub overload_samples: AtomicU64,
+    /// Requests slowed by an injected brownout.
+    pub brownout_delays: AtomicU64,
 }
 
 /// A point-in-time copy of [`FaultCounts`], cheap to ship in a status
@@ -83,6 +87,10 @@ pub struct FaultCountsSnapshot {
     pub peer_drops: u64,
     /// Peer-channel transfers delayed (peer-delay).
     pub peer_delays: u64,
+    /// Sojourn samples inflated by a synthetic overload fault.
+    pub overload_samples: u64,
+    /// Requests slowed by an injected brownout.
+    pub brownout_delays: u64,
 }
 
 impl FaultCounts {
@@ -96,6 +104,8 @@ impl FaultCounts {
             slow_reads: self.slow_reads.load(Ordering::Relaxed),
             peer_drops: self.peer_drops.load(Ordering::Relaxed),
             peer_delays: self.peer_delays.load(Ordering::Relaxed),
+            overload_samples: self.overload_samples.load(Ordering::Relaxed),
+            brownout_delays: self.brownout_delays.load(Ordering::Relaxed),
         }
     }
 }
@@ -388,6 +398,60 @@ impl Injector {
             None
         }
     }
+
+    /// Microseconds of synthetic queueing to add to `node`'s sojourn
+    /// samples right now (the overload fault shape).
+    pub fn overload_sojourn(&self, node: u32) -> Option<u64> {
+        if !self.active {
+            return None;
+        }
+        self.overload_sojourn_at(node, self.now_ms())
+    }
+
+    /// Overload query at an explicit run offset.
+    pub fn overload_sojourn_at(&self, node: u32, now_ms: u64) -> Option<u64> {
+        let mut extra = 0u64;
+        for f in &self.faults {
+            if let Fault::Overload { node: n, sojourn_us, window } = *f {
+                if n == node && window.contains(now_ms) {
+                    extra = extra.max(sojourn_us);
+                }
+            }
+        }
+        if extra > 0 {
+            self.counts.overload_samples.fetch_add(1, Ordering::Relaxed);
+            Some(extra)
+        } else {
+            None
+        }
+    }
+
+    /// Artificial latency every request on `node` pays right now (the
+    /// brownout fault shape: the whole node degraded, not just disk).
+    pub fn brownout_delay(&self, node: u32) -> Option<Duration> {
+        if !self.active {
+            return None;
+        }
+        self.brownout_delay_at(node, self.now_ms())
+    }
+
+    /// Brownout query at an explicit run offset.
+    pub fn brownout_delay_at(&self, node: u32, now_ms: u64) -> Option<Duration> {
+        let mut extra = Duration::ZERO;
+        for f in &self.faults {
+            if let Fault::Brownout { node: n, delay_ms, window } = *f {
+                if n == node && window.contains(now_ms) {
+                    extra = extra.max(Duration::from_millis(delay_ms));
+                }
+            }
+        }
+        if extra > Duration::ZERO {
+            self.counts.brownout_delays.fetch_add(1, Ordering::Relaxed);
+            Some(extra)
+        } else {
+            None
+        }
+    }
 }
 
 #[cfg(test)]
@@ -507,6 +571,32 @@ mod tests {
         let snap = inj.counts().snapshot();
         assert_eq!((snap.peer_drops, snap.peer_delays), (20, 1));
         assert_eq!(snap.packets_dropped, 0, "peer faults must not count as loadd losses");
+    }
+
+    #[test]
+    fn overload_inflates_sojourns_only_inside_window() {
+        let plan = FaultPlan::seeded(3)
+            .with(Fault::Overload { node: 1, sojourn_us: 30_000, window: Window::between(100, 500) })
+            .with(Fault::Overload { node: 1, sojourn_us: 80_000, window: Window::between(200, 300) });
+        let inj = Injector::from_plan(&plan);
+        assert_eq!(inj.overload_sojourn_at(1, 150), Some(30_000));
+        assert_eq!(inj.overload_sojourn_at(1, 250), Some(80_000), "overlapping faults take the max");
+        assert_eq!(inj.overload_sojourn_at(1, 600), None, "window over");
+        assert_eq!(inj.overload_sojourn_at(0, 150), None, "other node unaffected");
+        assert_eq!(inj.counts().snapshot().overload_samples, 2);
+    }
+
+    #[test]
+    fn brownout_slows_every_request_on_the_node() {
+        let plan = FaultPlan::seeded(4)
+            .with(Fault::Brownout { node: 0, delay_ms: 15, window: Window::between(0, 800) });
+        let inj = Injector::from_plan(&plan);
+        assert_eq!(inj.brownout_delay_at(0, 400), Some(Duration::from_millis(15)));
+        assert_eq!(inj.brownout_delay_at(0, 900), None, "window over");
+        assert_eq!(inj.brownout_delay_at(2, 400), None, "other node unaffected");
+        let snap = inj.counts().snapshot();
+        assert_eq!(snap.brownout_delays, 1);
+        assert_eq!(snap.slow_reads, 0, "brownout must not count as slow-disk");
     }
 
     #[test]

@@ -131,6 +131,30 @@ pub enum Fault {
         /// When the fault is active.
         window: Window,
     },
+    /// Synthetic overload on `node`: every worker-queue sojourn sample
+    /// the node observes is inflated by `sojourn_us` microseconds, so
+    /// the adaptive admission controller sees a standing queue without
+    /// the test having to generate real saturating load.
+    Overload {
+        /// Affected node.
+        node: u32,
+        /// Microseconds added to each observed sojourn sample.
+        sojourn_us: u64,
+        /// When the fault is active.
+        window: Window,
+    },
+    /// Brownout on `node`: every request's fulfillment is slowed by
+    /// `delay_ms` — the whole node runs degraded (CPU starvation,
+    /// thermal throttle), unlike [`Fault::SlowDisk`] which only touches
+    /// file reads.
+    Brownout {
+        /// Affected node.
+        node: u32,
+        /// Added latency per request, in milliseconds.
+        delay_ms: u64,
+        /// When the fault is active.
+        window: Window,
+    },
 }
 
 /// A complete chaos run description: a seed for every probabilistic
@@ -213,6 +237,14 @@ impl FaultPlan {
                 ),
                 Fault::PeerDelay { from, to, delay_ms, window } => format!(
                     "peer-delay from={from} to={to} delay_ms={delay_ms} {}",
+                    window_fields(window)
+                ),
+                Fault::Overload { node, sojourn_us, window } => format!(
+                    "overload node={node} sojourn_us={sojourn_us} {}",
+                    window_fields(window)
+                ),
+                Fault::Brownout { node, delay_ms, window } => format!(
+                    "brownout node={node} delay_ms={delay_ms} {}",
                     window_fields(window)
                 ),
             };
@@ -303,6 +335,16 @@ impl FaultPlan {
                     delay_ms: num("delay_ms")?,
                     window: window()?,
                 }),
+                "overload" => plan.faults.push(Fault::Overload {
+                    node: num("node")? as u32,
+                    sojourn_us: num("sojourn_us")?,
+                    window: window()?,
+                }),
+                "brownout" => plan.faults.push(Fault::Brownout {
+                    node: num("node")? as u32,
+                    delay_ms: num("delay_ms")?,
+                    window: window()?,
+                }),
                 other => return Err(err(format!("unknown directive `{other}`"))),
             }
         }
@@ -336,6 +378,12 @@ mod tests {
                 window: Window::between(50, 450),
             })
             .with(Fault::PeerDelay { from: 3, to: 1, delay_ms: 20, window: Window::ALWAYS })
+            .with(Fault::Overload {
+                node: 1,
+                sojourn_us: 30_000,
+                window: Window::between(100, 700),
+            })
+            .with(Fault::Brownout { node: 0, delay_ms: 15, window: Window::between(0, 800) })
     }
 
     #[test]

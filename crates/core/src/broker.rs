@@ -1,9 +1,12 @@
 //! The broker: per-request server selection (§3.2 steps 1–3).
 
+use std::sync::Arc;
+
 use sweb_cluster::NodeId;
 
 use crate::cost::{CostBreakdown, CostInputs, CostModel};
 use crate::load::LoadTable;
+use crate::overload::PeerBreakers;
 use crate::policy::Policy;
 use crate::types::RequestInfo;
 
@@ -105,12 +108,31 @@ impl Decision {
 pub struct Broker {
     policy: Policy,
     model: CostModel,
+    /// Per-peer circuit breakers (the overload-control extension). When
+    /// present, a peer whose breaker is not admitting traffic is repriced
+    /// out of redirect/peer-fetch candidacy *before* the cost comparison
+    /// — exactly like a `Suspect` health verdict, but driven by observed
+    /// request outcomes instead of loadd silence.
+    breakers: Option<Arc<PeerBreakers>>,
 }
 
 impl Broker {
     /// A broker running `policy` with the given cost model.
     pub fn new(policy: Policy, model: CostModel) -> Self {
-        Broker { policy, model }
+        Broker { policy, model, breakers: None }
+    }
+
+    /// Attach per-peer circuit breakers: candidates whose breaker is
+    /// open stop being proposed as redirect targets or pull sources.
+    pub fn with_breakers(mut self, breakers: Arc<PeerBreakers>) -> Self {
+        self.breakers = Some(breakers);
+        self
+    }
+
+    /// Whether `peer` is currently routable: no breakers attached, or
+    /// its breaker admits traffic right now.
+    fn peer_routable(&self, peer: NodeId) -> bool {
+        self.breakers.as_ref().is_none_or(|b| b.allow(peer))
     }
 
     /// Active policy.
@@ -163,6 +185,7 @@ impl Broker {
                 // 302 cannot be repaired downstream.
                 if req.home == origin
                     || inputs.loads.health(req.home) != crate::load::PeerHealth::Alive
+                    || !self.peer_routable(req.home)
                 {
                     Decision::local(at(origin))
                 } else if self.model.config().peer_transfer && !req.class.is_dynamic() {
@@ -186,6 +209,7 @@ impl Broker {
                 let best = inputs
                     .loads
                     .candidates()
+                    .filter(|&n| n == origin || self.peer_routable(n))
                     .min_by(|&a, &b| {
                         let (la, lb) = (inputs.loads.load(a).cpu, inputs.loads.load(b).cpu);
                         la.partial_cmp(&lb).expect("loads are finite")
@@ -202,7 +226,7 @@ impl Broker {
                 let mut best = origin;
                 let mut best_cost = local_cost;
                 for node in inputs.loads.candidates() {
-                    if node == origin {
+                    if node == origin || !self.peer_routable(node) {
                         continue;
                     }
                     let cost = at(node);
@@ -251,7 +275,10 @@ impl Broker {
         }
         let mut best: Option<Decision> = None;
         for node in inputs.loads.candidates() {
-            if node == origin || !inputs.loads.digest(node).contains(req.file) {
+            if node == origin
+                || !inputs.loads.digest(node).contains(req.file)
+                || !self.peer_routable(node)
+            {
                 continue;
             }
             let cost = self.model.peer_fetch_breakdown(req, origin, node, inputs);
@@ -538,6 +565,52 @@ mod tests {
         assert_eq!(d.route, Route::PeerFetch(NodeId(2)));
         assert!((loads.load(NodeId(0)).cpu - before_origin - 0.30).abs() < 1e-9);
         assert!((loads.load(NodeId(2)).cpu - before_source).abs() < 1e-12);
+    }
+
+    #[test]
+    fn open_breakers_reprice_redirect_targets_out() {
+        // Node 3 would win the SWEB comparison (see the contention test
+        // above) — but its breaker is open, so the broker degrades to
+        // local service exactly as it does for a Suspect peer.
+        let cluster = presets::meiko(4);
+        let mut loads = LoadTable::new(4);
+        for n in 0..4 {
+            loads.update(NodeId(n), LoadVector::new(0.0, 0.0, 6.0), SimTime::ZERO);
+        }
+        let breakers = std::sync::Arc::new(crate::overload::PeerBreakers::new(4));
+        breakers.force_open(NodeId(3));
+        let inputs = CostInputs { cluster: &cluster, loads: &loads };
+        let req = fetch(3, 1_500_000);
+        for policy in [Policy::Sweb, Policy::FileLocality, Policy::LeastLoadedCpu] {
+            let open = Broker::new(policy, CostModel::new(SwebConfig::default()))
+                .with_breakers(std::sync::Arc::clone(&breakers));
+            assert_eq!(
+                open.decide(&req, NodeId(0), &inputs).route,
+                Route::Local,
+                "{policy} routed to a peer with an open breaker"
+            );
+        }
+        // Without breakers attached the same decision redirects.
+        let plain = Broker::new(Policy::Sweb, CostModel::new(SwebConfig::default()));
+        assert_eq!(plain.decide(&req, NodeId(0), &inputs).route, Route::Redirect(NodeId(3)));
+        assert!(breakers.fast_fails_total() >= 1, "repriced-out peers count fast-fails");
+    }
+
+    #[test]
+    fn open_breakers_reprice_pull_sources_out() {
+        let cluster = presets::meiko(4);
+        let mut loads = LoadTable::new(4);
+        with_digest(&mut loads, 2, FileId(9));
+        let breakers = std::sync::Arc::new(crate::overload::PeerBreakers::new(4));
+        breakers.force_open(NodeId(2));
+        let inputs = CostInputs { cluster: &cluster, loads: &loads };
+        let on = Broker::new(Policy::Sweb, CostModel::new(peer_cfg()))
+            .with_breakers(std::sync::Arc::clone(&breakers));
+        assert_eq!(
+            on.decide(&fetch(2, 200_000), NodeId(0), &inputs).route,
+            Route::Local,
+            "must not pull from a peer with an open breaker"
+        );
     }
 
     #[test]

@@ -34,6 +34,7 @@ mod cost;
 mod digest;
 mod load;
 mod oracle;
+mod overload;
 mod policy;
 mod types;
 
@@ -43,5 +44,8 @@ pub use cost::{CostBreakdown, CostInputs, CostModel};
 pub use digest::{CacheDigest, DIGEST_BYTES};
 pub use load::{HealthChurn, LoadTable, LoadVector, LoaddTimer, PeerHealth};
 pub use oracle::{CostProfile, Oracle, OracleRule};
+pub use overload::{
+    AdmissionController, AdmitClass, BreakerState, PeerBreakers, RetryBudget, MAX_SHED_LEVEL,
+};
 pub use policy::Policy;
 pub use types::{RequestClass, RequestInfo};

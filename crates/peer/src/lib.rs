@@ -422,12 +422,22 @@ pub struct FetchedDoc {
 /// A request takes a pooled connection if one exists (it may be stale —
 /// the peer restarted, an idle timeout fired), and on any socket error
 /// retries exactly once on a freshly dialed connection before giving
-/// up. All reads and writes are bounded by the caller's deadline; the
-/// pool never blocks longer than `deadline` per attempt.
-#[derive(Debug)]
+/// up — unless a retry gate (see [`PeerPool::set_retry_gate`]) refuses
+/// the retry. All reads and writes are bounded by the caller's deadline;
+/// the pool never blocks longer than `deadline` per attempt.
 pub struct PeerPool {
     addrs: Vec<SocketAddr>,
     slots: Vec<Mutex<Vec<TcpStream>>>,
+    /// Called with the peer index before the stale-connection retry;
+    /// `false` vetoes it (e.g. a drained retry budget). `None` = always
+    /// retry, the pre-gate behavior.
+    retry_gate: Mutex<Option<Box<dyn Fn(usize) -> bool + Send + Sync>>>,
+}
+
+impl std::fmt::Debug for PeerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PeerPool").field("addrs", &self.addrs).finish_non_exhaustive()
+    }
 }
 
 impl PeerPool {
@@ -437,7 +447,22 @@ impl PeerPool {
     /// A pool over the cluster's peer-channel addresses (index = node id).
     pub fn new(addrs: Vec<SocketAddr>) -> PeerPool {
         let slots = addrs.iter().map(|_| Mutex::new(Vec::new())).collect();
-        PeerPool { addrs, slots }
+        PeerPool { addrs, slots, retry_gate: Mutex::new(None) }
+    }
+
+    /// Install the retry gate: consulted (with the peer index) before the
+    /// pool's single stale-connection retry, so callers can budget
+    /// retries instead of granting one unconditionally.
+    pub fn set_retry_gate(&self, gate: impl Fn(usize) -> bool + Send + Sync + 'static) {
+        *self.retry_gate.lock().expect("gate lock") = Some(Box::new(gate));
+    }
+
+    fn retry_allowed(&self, peer: usize) -> bool {
+        self.retry_gate
+            .lock()
+            .expect("gate lock")
+            .as_ref()
+            .is_none_or(|gate| gate(peer))
     }
 
     /// Number of peers the pool knows about.
@@ -493,7 +518,7 @@ impl PeerPool {
                 self.checkin(peer, stream);
                 Ok(reply)
             }
-            Err(PeerError::Io(_)) | Err(PeerError::Closed) if pooled => {
+            Err(PeerError::Io(_)) | Err(PeerError::Closed) if pooled && self.retry_allowed(peer) => {
                 // The idle connection was dead; one retry, freshly dialed.
                 let mut fresh = self.dial(peer, deadline)?;
                 let reply = Self::exchange(&mut fresh, req)?;

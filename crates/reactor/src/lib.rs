@@ -179,6 +179,18 @@ pub trait App: Send + Sync + 'static {
     /// called on the loop thread whenever a tick did I/O work. Deltas,
     /// not totals: sum them into counters.
     fn on_io_stats(&self, _stats: IoStats) {}
+    /// How long one request sat in the worker submission queue before a
+    /// worker picked it up (called on the worker thread, just before
+    /// `respond`). This is the *sojourn time* an adaptive admission
+    /// controller feeds on: a standing queue here means the node is past
+    /// capacity no matter what the connection count says.
+    fn on_queue_sojourn(&self, _micros: u64) {}
+    /// `Retry-After` seconds for every 503 this reactor emits (admission
+    /// cap, full worker queue, missed deadline). Applications derive it
+    /// from live load; the default matches the old fixed header.
+    fn retry_after_secs(&self) -> u64 {
+        1
+    }
 }
 
 /// How the reactor turns a [`Response`] into wire bytes.
@@ -906,6 +918,7 @@ impl Loop {
     fn shed(&mut self, stream: TcpStream) {
         self.app.on_shed();
         let mut resp = Response::error(StatusCode::ServiceUnavailable);
+        resp.headers.set("Retry-After", self.app.retry_after_secs().to_string());
         resp.headers.set("Connection", "close");
         let wire = resp.to_bytes(false);
         let _ = stream.set_nonblocking(true);
@@ -999,10 +1012,14 @@ impl Loop {
                     return;
                 }
                 Ok(n) => {
-                    if conn.req_started.is_none() {
+                    let first_byte = conn.req_started.is_none();
+                    if first_byte {
                         conn.req_started = Some(Instant::now());
                     }
                     conn.carry.extend_from_slice(&chunk[..n]);
+                    if first_byte {
+                        self.arm_parse_deadline(idx);
+                    }
                     if !self.progress(idx) {
                         return; // state advanced away from reading
                     }
@@ -1015,6 +1032,26 @@ impl Loop {
                 }
             }
         }
+    }
+
+    /// A request's first byte arrived: from here the whole head must
+    /// parse within the parse budget (the deadline ladder's 25% cutoff,
+    /// never looser than the read timeout). The deadline is *absolute* —
+    /// later trickled bytes never push it out — so a slowloris client
+    /// dribbling one header byte per tick is evicted on schedule instead
+    /// of resetting the clock with every byte.
+    fn arm_parse_deadline(&mut self, idx: usize) {
+        let Some(gen) = self.conns.gen_of(idx) else { return };
+        let parse_ms = (self.cfg.request_budget.as_millis() as u64 / 4)
+            .min(self.cfg.read_timeout.as_millis() as u64)
+            .max(1);
+        let deadline_ms = self.now_ms() + parse_ms;
+        let Some(conn) = self.conns.get_mut(idx) else { return };
+        if deadline_ms >= conn.deadline_ms {
+            return; // the idle-read deadline is already at least as tight
+        }
+        conn.deadline_ms = deadline_ms;
+        self.wheel.schedule(TimerEntry { token: idx, gen, deadline_ms });
     }
 
     /// Try to advance a Reading/ReadingBody connection using buffered
@@ -1092,13 +1129,22 @@ impl Loop {
         // happens, the connection is resolved by the budget's end.
         conn.budget_deadline_ms =
             Some(loop_now_ms + deadline.remaining().as_millis() as u64);
+        // The head parsed: the slowloris parse deadline has done its job.
+        // Push eviction back out so a slow *fulfillment* (worker queue,
+        // stalled disk) isn't evicted on the parse clock; queue_write
+        // re-arms the write deadline when the response is ready.
+        let evict_ms = loop_now_ms + self.cfg.read_timeout.as_millis() as u64;
+        if conn.deadline_ms < evict_ms {
+            conn.deadline_ms = evict_ms;
+            self.wheel.schedule(TimerEntry { token: idx, gen, deadline_ms: evict_ms });
+        }
         self.set_interest(idx, Interest::NONE);
         self.app.on_phase(Phase::Parse, parse_us);
         if deadline.overrun(Phase::Parse) {
             // A trickled head already ate most of the budget: refuse the
             // work before paying for fulfillment.
             self.app.on_deadline_overrun();
-            let resp = overloaded_response();
+            let resp = overloaded_response(self.app.retry_after_secs());
             let (head, body) = resp.to_wire_parts(false);
             self.start_write(idx, head, body, None, false);
             return;
@@ -1112,18 +1158,27 @@ impl Loop {
         let token = idx;
         let transmit = self.cfg.transmit;
         let sendfile_ok = self.cfg.use_sendfile && sys::HAS_SENDFILE;
+        let enqueued = Instant::now();
         let job = Box::new(move || {
+            // Queue wait is the admission controller's signal: the time
+            // between submission and this line is pure sojourn — the
+            // request did nothing but stand in line.
+            app.on_queue_sojourn(enqueued.elapsed().as_micros() as u64);
             // Budget checks bracket fulfillment: skip the work entirely if
             // the fetch checkpoint already passed (queueing delay), and
             // replace a too-late response with a definite 503 — under
             // injected slow-disk both engines then fail identically.
             let mut overrun = deadline.overrun(Phase::Fetch);
             let reply = if overrun {
-                Reply::from(overloaded_response())
+                Reply::from(overloaded_response(app.retry_after_secs()))
             } else {
                 let r = app.respond(&peer, &req, &body);
                 overrun = deadline.overrun(Phase::Fetch);
-                if overrun { Reply::from(overloaded_response()) } else { r }
+                if overrun {
+                    Reply::from(overloaded_response(app.retry_after_secs()))
+                } else {
+                    r
+                }
             };
             if overrun {
                 app.on_deadline_overrun();
@@ -1172,8 +1227,7 @@ impl Loop {
             // Every worker busy and the queue full: shed at the request
             // level rather than queue unboundedly.
             self.app.on_shed();
-            let mut resp = Response::error(StatusCode::ServiceUnavailable);
-            resp.headers.set("Connection", "close");
+            let resp = overloaded_response(self.app.retry_after_secs());
             let (head, body) = resp.to_wire_parts(false);
             self.start_write(idx, head, body, None, false);
         }
@@ -1515,11 +1569,12 @@ impl Loop {
     }
 }
 
-/// The definite answer for a request that missed a deadline checkpoint:
-/// 503 with `Retry-After`, closing the connection.
-fn overloaded_response() -> Response {
+/// The definite answer for a request that missed a deadline checkpoint
+/// or was refused by admission: 503 with a (load-derived) `Retry-After`,
+/// closing the connection.
+fn overloaded_response(retry_after_secs: u64) -> Response {
     let mut resp = Response::error(StatusCode::ServiceUnavailable);
-    resp.headers.set("Retry-After", "1");
+    resp.headers.set("Retry-After", retry_after_secs.to_string());
     resp.headers.set("Connection", "close");
     resp
 }

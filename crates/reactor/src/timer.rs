@@ -57,8 +57,15 @@ impl TimerWheel {
 
     /// Schedule an expiry. Deadlines at or before the current tick fire
     /// on the next `advance`.
+    ///
+    /// The slot is the first tick boundary *at or after* the deadline
+    /// (ceiling, not floor): `advance` visits each slot exactly once per
+    /// revolution, so an entry filed under the floor tick could be
+    /// inspected a few milliseconds *before* its deadline, kept, and
+    /// then not seen again for a full revolution — a 10 ms timeout
+    /// firing seconds late.
     pub fn schedule(&mut self, entry: TimerEntry) {
-        let tick = (entry.deadline_ms / self.tick_ms).max(self.last_tick + 1);
+        let tick = entry.deadline_ms.div_ceil(self.tick_ms).max(self.last_tick + 1);
         let slot = (tick as usize) % self.slots.len();
         self.slots[slot].push(entry);
         self.pending += 1;
@@ -152,6 +159,19 @@ mod tests {
         let fired = expired_at(&mut w, 10_000);
         assert_eq!(fired.len(), 12);
         assert_eq!(w.pending(), 0);
+    }
+
+    #[test]
+    fn mid_tick_deadline_fires_next_boundary_not_next_revolution() {
+        // deadline 55 lands mid-tick. An advance that reaches tick 5
+        // (now=50..54) must NOT consume-and-drop the slot with the
+        // entry unexpired; the very next boundary (now=60) fires it.
+        let mut w = TimerWheel::new(8, 10); // ring spans 80 ms
+        w.schedule(TimerEntry { token: 7, gen: 0, deadline_ms: 55 });
+        assert!(expired_at(&mut w, 52).is_empty(), "fired before the deadline");
+        let fired = expired_at(&mut w, 61);
+        assert_eq!(fired.len(), 1, "entry missed its slot: would fire a revolution late");
+        assert_eq!(fired[0].token, 7);
     }
 
     #[test]

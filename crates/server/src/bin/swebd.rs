@@ -11,8 +11,9 @@
 //!
 //! Configuration resolves through [`sweb_server::ServerOptions`]:
 //! **CLI flags > environment > defaults.** The env-overridable knobs are
-//! `SWEB_ENGINE`, `SWEB_SHARDS`, `SWEB_IO_BACKEND`, `SWEB_PEER_TRANSFER`
-//! and `SWEB_REPLICATE_HOT`; their flags always win when given.
+//! `SWEB_ENGINE`, `SWEB_SHARDS`, `SWEB_IO_BACKEND`, `SWEB_PEER_TRANSFER`,
+//! `SWEB_REPLICATE_HOT` and `SWEB_OVERLOAD`; their flags always win when
+//! given.
 
 use std::time::Duration;
 
@@ -33,6 +34,7 @@ struct Args {
     io_backend: Option<sweb_reactor::IoBackend>,
     peer_transfer: bool,
     replicate_hot: bool,
+    overload: Option<bool>,
 }
 
 fn usage() -> ! {
@@ -40,9 +42,9 @@ fn usage() -> ! {
         "usage: swebd [--nodes N] [--docroot DIR] [--policy sweb|rr|locality|cpu] \
          [--engine reactor|threaded] [--io-backend uring|epoll|auto|poll] [--shards N] \
          [--port-base P] [--loadd-ms MS] [--access-log FILE] [--oracle FILE] \
-         [--fault-plan FILE] [--peer-transfer] [--replicate-hot]\n\
+         [--fault-plan FILE] [--peer-transfer] [--replicate-hot] [--overload on|off]\n\
          env: SWEB_ENGINE, SWEB_SHARDS, SWEB_IO_BACKEND, SWEB_PEER_TRANSFER, \
-         SWEB_REPLICATE_HOT (flags win over env)"
+         SWEB_REPLICATE_HOT, SWEB_OVERLOAD (flags win over env)"
     );
     std::process::exit(2);
 }
@@ -62,6 +64,7 @@ fn parse_args() -> Args {
         io_backend: None,
         peer_transfer: false,
         replicate_hot: false,
+        overload: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -91,6 +94,13 @@ fn parse_args() -> Args {
             "--fault-plan" => args.fault_plan = Some(value().into()),
             "--peer-transfer" => args.peer_transfer = true,
             "--replicate-hot" => args.replicate_hot = true,
+            "--overload" => {
+                args.overload = Some(match value().as_str() {
+                    "on" => true,
+                    "off" => false,
+                    _ => usage(),
+                })
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -121,6 +131,9 @@ fn main() {
     }
     if args.replicate_hot {
         opts = opts.replicate_hot(true);
+    }
+    if let Some(on) = args.overload {
+        opts = opts.overload_control(on);
     }
     if let Some(port) = args.port_base {
         opts = opts.port_base(port);

@@ -9,10 +9,20 @@ use std::time::{Duration, Instant};
 use parking_lot::RwLock;
 use sweb_chaos::{FaultPlan, Injector, ScriptedOp};
 use sweb_cluster::{presets, NodeId};
-use sweb_core::{Broker, CostModel, LoadTable, Oracle, Policy, SwebConfig};
+use sweb_core::{
+    AdmissionController, Broker, CostModel, LoadTable, Oracle, PeerBreakers, Policy, RetryBudget,
+    SwebConfig,
+};
 use sweb_des::SimTime;
 
 use crate::node::{NodeHandle, NodeShared, NodeStats};
+
+/// Retry tokens a node holds toward each peer's transfer channel (the
+/// bucket starts full; sustained retrying needs sustained successes).
+const PEER_RETRY_CAP: u64 = 10;
+
+/// Retry tokens for local filesystem fetches (EINTR, EMFILE, flaky NFS).
+const FETCH_RETRY_CAP: u64 = 32;
 
 /// Which connection engine a node runs.
 ///
@@ -105,6 +115,12 @@ pub struct ClusterConfig {
     /// (parse/fetch/write) derive from it and overruns are answered 503 +
     /// `Retry-After` instead of hanging the client.
     pub request_budget: Duration,
+    /// The overload-control subsystem (`--overload` / `SWEB_OVERLOAD`):
+    /// adaptive per-class admission, per-peer circuit breakers, and
+    /// retry budgets. Off, the node falls back to the static `max_conns`
+    /// cap alone — kept selectable so benchmarks can measure what the
+    /// controller buys.
+    pub overload_control: bool,
 }
 
 impl Default for ClusterConfig {
@@ -139,6 +155,7 @@ impl Default for ClusterConfig {
             oracle: Oracle::ncsa_default(),
             fault_plan: None,
             request_budget: Duration::from_secs(10),
+            overload_control: true,
         }
     }
 }
@@ -235,6 +252,13 @@ impl LiveCluster {
                 cfg.dynamic_cache_entries,
                 cfg.dynamic_cache_ttl,
             );
+            // The overload-control trio. Breakers are always attached to
+            // the broker (all-Closed they reprice nothing); the gates that
+            // trip and consult them are behind `overload_control`.
+            let admission = Arc::new(AdmissionController::new());
+            let breakers = Arc::new(PeerBreakers::new(n));
+            let peer_retry_budgets: Arc<Vec<RetryBudget>> =
+                Arc::new((0..n).map(|_| RetryBudget::new(PEER_RETRY_CAP)).collect());
             let shared = Arc::new(NodeShared {
                 id: NodeId(i as u32),
                 engine: cfg.engine,
@@ -252,7 +276,8 @@ impl LiveCluster {
                 popularity: crate::peer_transfer::Popularity::new(),
                 peer_hot: RwLock::new(vec![Vec::new(); n]),
                 loads: RwLock::new(LoadTable::new(n)),
-                broker: Broker::new(cfg.policy, model.clone()),
+                broker: Broker::new(cfg.policy, model.clone())
+                    .with_breakers(Arc::clone(&breakers)),
                 oracle: cfg.oracle.clone(),
                 sweb: cfg.sweb.clone(),
                 docroot: docroot.clone(),
@@ -265,7 +290,20 @@ impl LiveCluster {
                 stats,
                 chaos: Arc::clone(&chaos),
                 request_budget: cfg.request_budget,
+                admission,
+                breakers,
+                peer_retry_budgets: Arc::clone(&peer_retry_budgets),
+                fetch_retry_budget: RetryBudget::new(FETCH_RETRY_CAP),
+                overload_control: cfg.overload_control,
             });
+            if cfg.overload_control {
+                // The pool's stale-connection retry draws from the same
+                // per-peer token bucket as the scheduler-level retries.
+                let budgets = Arc::clone(&peer_retry_budgets);
+                shared.peer_pool.set_retry_gate(move |peer| {
+                    budgets.get(peer).is_none_or(|b| b.try_retry())
+                });
+            }
             let handle = NodeHandle::spawn(Arc::clone(&shared), listener, udp, peer_listener)?;
             slots.push(NodeSlot { shared, handle: Mutex::new(Some(handle)) });
         }

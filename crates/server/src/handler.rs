@@ -6,7 +6,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sweb_cluster::{NodeId, Placement};
-use sweb_core::{RequestClass, RequestInfo};
+use sweb_core::{AdmitClass, RequestClass, RequestInfo};
 use sweb_http::{
     mime_for_path, parse_request, Method, ParseError, Request, Response, StatusCode,
 };
@@ -41,7 +41,19 @@ pub fn home_of(path: &str, nodes: usize) -> NodeId {
 /// (responses always carry `Content-Length`, so framing is unambiguous).
 pub fn handle_connection(shared: Arc<NodeShared>, mut stream: TcpStream, accepted_at: Instant) {
     shared.stats.active.inc();
-    shared.stats.phases.record(Phase::Accept, accepted_at.elapsed().as_micros() as u64);
+    let accept_us = accepted_at.elapsed().as_micros() as u64;
+    shared.stats.phases.record(Phase::Accept, accept_us);
+    // The threaded engine's queue-sojourn signal: how long the accepted
+    // connection waited for a handler thread to start. (The reactor feeds
+    // its worker-queue wait through the same controller.)
+    if shared.overload_control {
+        let inflated = if shared.chaos.is_active() {
+            accept_us + shared.chaos.overload_sojourn(shared.id.0).unwrap_or(0)
+        } else {
+            accept_us
+        };
+        shared.admission.observe(inflated);
+    }
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
     let _ = stream.set_nodelay(true);
     let peer_host = stream
@@ -51,7 +63,7 @@ pub fn handle_connection(shared: Arc<NodeShared>, mut stream: TcpStream, accepte
     let mut carry: Vec<u8> = Vec::new();
     for _round in 0..KEEPALIVE_LIMIT {
         let (mut response, head_only, keep_alive, logged) =
-            match read_request(&mut stream, &mut carry) {
+            match read_request(&shared, &mut stream, &mut carry) {
                 Ok((req, parse_started)) => {
                     let head_only = req.method == Method::Head;
                     let keep = req
@@ -125,10 +137,26 @@ pub fn handle_connection(shared: Arc<NodeShared>, mut stream: TcpStream, accepte
 /// beyond the previous request (keep-alive pipelining). The returned
 /// instant is when the request's first byte became available (parse-phase
 /// start), so keep-alive idle time is not charged to parsing.
+///
+/// Slowloris guard: once the first byte of a request arrives, the whole
+/// head must complete within an *absolute* deadline (a quarter of the
+/// request budget, capped at [`READ_TIMEOUT`]). The deadline is fixed at
+/// first byte and never extended — a client dribbling one header byte
+/// per read keeps the socket warm but cannot keep the head open, because
+/// each successful read shrinks the remaining window instead of
+/// resetting the 10 s idle timeout. Expiry counts as an eviction and
+/// closes the connection.
 fn read_request(
+    shared: &NodeShared,
     stream: &mut TcpStream,
     carry: &mut Vec<u8>,
 ) -> Result<(Request, Instant), ParseError> {
+    let head_budget = (shared.request_budget / 4)
+        .min(READ_TIMEOUT)
+        .max(Duration::from_millis(1));
+    // Waiting for a request to *start* gets the full idle timeout (the
+    // keep-alive case); the tighter head deadline arms at first byte.
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
     let mut chunk = [0u8; 1024];
     let mut first_byte: Option<Instant> = (!carry.is_empty()).then(Instant::now);
     loop {
@@ -140,13 +168,27 @@ fn read_request(
             Err(ParseError::Incomplete) => {}
             Err(e) => return Err(e),
         }
+        if let Some(started) = first_byte {
+            let elapsed = started.elapsed();
+            if elapsed >= head_budget {
+                shared.stats.evicted.inc();
+                return Err(ParseError::Incomplete);
+            }
+            let _ = stream.set_read_timeout(Some(head_budget - elapsed));
+        }
         match stream.read(&mut chunk) {
             Ok(0) => return Err(ParseError::Incomplete),
             Ok(n) => {
                 first_byte.get_or_insert_with(Instant::now);
                 carry.extend_from_slice(&chunk[..n]);
             }
-            Err(_) => return Err(ParseError::Incomplete),
+            Err(_) => {
+                if first_byte.is_some() {
+                    // Mid-head stall past the deadline: evicted, not idle.
+                    shared.stats.evicted.inc();
+                }
+                return Err(ParseError::Incomplete);
+            }
         }
     }
 }
@@ -192,12 +234,21 @@ pub(crate) fn method_str(method: Method) -> &'static str {
     }
 }
 
-/// The load-shedding answer for a request that blew its budget: `503`
-/// with `Retry-After`, on a connection we are about to close. A definite
-/// refusal the client can act on beats an open socket that never answers.
+/// The one load-derived `Retry-After` value every 503 path stamps: the
+/// admission controller scales it with how far the last closed window's
+/// queue delay stood above target, so a client backs off longer the
+/// deeper the overload.
+pub(crate) fn retry_after_secs(shared: &NodeShared) -> u64 {
+    shared.admission.retry_after_secs()
+}
+
+/// The load-shedding answer for a request that blew its budget or was
+/// refused admission: `503` with a load-derived `Retry-After`, on a
+/// connection we are about to close. A definite refusal the client can
+/// act on beats an open socket that never answers.
 pub(crate) fn overloaded(shared: &NodeShared) -> Response {
     let mut resp = Response::error(StatusCode::ServiceUnavailable);
-    resp.headers.set("Retry-After", "1");
+    resp.headers.set("Retry-After", retry_after_secs(shared).to_string());
     resp.headers.set("Connection", "close");
     resp.headers.set("X-SWEB-Node", shared.id.0.to_string());
     resp
@@ -289,6 +340,25 @@ fn respond_routed(
     let rel = path.trim_start_matches('/');
     if rel.is_empty() {
         return (Response::error(StatusCode::NotFound), None);
+    }
+    // Adaptive admission (both engines funnel through here): classify the
+    // request by what it would cost us and shed the expensive classes
+    // first as the controller's level rises. Admin endpoints never reach
+    // this point — an operator must be able to see an overloaded node.
+    if shared.overload_control {
+        let class = if is_dynamic {
+            AdmitClass::Dynamic
+        } else if shared.file_cache.resident(&path) {
+            AdmitClass::StaticHit
+        } else {
+            AdmitClass::StaticMiss
+        };
+        if !shared.admission.admit(class) {
+            shared.admission.shed();
+            shared.stats.shed.inc();
+            shared.stats.admission_shed_counter(class).inc();
+            return (overloaded(shared), None);
+        }
     }
     // Existence + size: a filesystem stat for documents, a registry lookup
     // (with the handler's own size hint) for dynamic requests. The
@@ -483,6 +553,11 @@ fn respond_routed(
 /// file will not appear because we waited — so it returns immediately;
 /// anything else (EMFILE under fd pressure, EINTR, a flaky NFS mount)
 /// gets a second and third chance before becoming a 500.
+///
+/// Each retry spends a token from the node's fetch retry budget (each
+/// success deposits a fraction of one back): when most fetches are
+/// failing, the budget drains and the node fails fast instead of
+/// tripling the load on an already-struggling disk.
 fn read_with_retry<T>(
     shared: &NodeShared,
     mut op: impl FnMut() -> std::io::Result<T>,
@@ -490,10 +565,19 @@ fn read_with_retry<T>(
     let mut backoff = Duration::from_millis(1);
     for attempt in 0..3 {
         match op() {
-            Ok(v) => return Ok(v),
+            Ok(v) => {
+                if shared.overload_control {
+                    shared.fetch_retry_budget.on_success();
+                }
+                return Ok(v);
+            }
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Err(e),
             Err(e) if attempt == 2 => return Err(e),
-            Err(_) => {
+            Err(e) => {
+                if shared.overload_control && !shared.fetch_retry_budget.try_retry() {
+                    shared.stats.retry_budget_exhausted.inc();
+                    return Err(e);
+                }
                 shared.stats.fetch_retries.inc();
                 std::thread::sleep(backoff);
                 backoff *= 2;
@@ -515,12 +599,19 @@ fn fulfill(
     size: u64,
     deadline: Option<&RequestDeadline>,
 ) -> (Response, Option<(std::fs::File, u64)>) {
+    // Fault injection: a browned-out node serves *everything* late —
+    // dynamic and static alike — unlike SlowDisk, which models one slow
+    // device. The stall sits in the fetch phase, where the deadline
+    // check after fulfillment sees it.
+    if shared.chaos.is_active() {
+        if let Some(extra) = shared.chaos.brownout_delay(shared.id.0) {
+            std::thread::sleep(extra);
+        }
+    }
     if class.is_some() {
         return (fulfill_dynamic(shared, req, body, path, deadline), None);
     }
-    // Fault injection: a degraded disk/NFS mount serves reads late, not
-    // wrong. The stall sits where a real slow device would put it — in
-    // the fetch phase, where the deadline check after fulfillment sees it.
+    // A degraded disk/NFS mount serves reads late, not wrong.
     if shared.chaos.is_active() {
         if let Some(extra) = shared.chaos.disk_delay(shared.id.0) {
             std::thread::sleep(extra);

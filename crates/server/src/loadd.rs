@@ -214,6 +214,11 @@ fn sweep_staleness(shared: &NodeShared) {
     }
     for peer in churn.died {
         shared.stats.peer_dead.inc();
+        if shared.overload_control {
+            // Don't wait for failed forwards to trip the breaker: a peer
+            // that stopped reporting load is already not answering.
+            shared.breakers.force_open(peer);
+        }
         log_membership(shared, peer, "dead");
     }
 }
@@ -322,6 +327,9 @@ pub fn spawn(shared: Arc<NodeShared>, udp: UdpSocket) -> Vec<std::thread::JoinHa
                     if leaving {
                         if prev != PeerHealth::Dead {
                             recv_shared.stats.peer_dead.inc();
+                            if recv_shared.overload_control {
+                                recv_shared.breakers.force_open(node);
+                            }
                             log_membership(&recv_shared, node, "dead");
                         }
                     } else if prev != PeerHealth::Alive {

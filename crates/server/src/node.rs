@@ -8,7 +8,10 @@ use std::time::{Duration, Instant};
 
 use parking_lot::RwLock;
 use sweb_cluster::{ClusterSpec, NodeId};
-use sweb_core::{Broker, LoadTable, Oracle, SwebConfig};
+use sweb_core::{
+    AdmissionController, AdmitClass, Broker, LoadTable, Oracle, PeerBreakers, RetryBudget,
+    SwebConfig,
+};
 use sweb_des::SimTime;
 use sweb_http::Request;
 use sweb_telemetry::{
@@ -70,6 +73,12 @@ pub struct NodeStats {
     pub deadline_overruns: Arc<Counter>,
     /// Transient file-fetch errors retried under bounded backoff.
     pub fetch_retries: Arc<Counter>,
+    /// Requests refused by the adaptive admission controller, one
+    /// counter per class (`sweb_admission_sheds_total{class=...}`).
+    /// Order matches [`NodeStats::admission_shed_counter`].
+    admission_sheds: [Arc<Counter>; 4],
+    /// Retries refused because a retry budget was empty.
+    pub retry_budget_exhausted: Arc<Counter>,
     /// Requests currently in flight on this node (the live "CPU load";
     /// shard-local cells, summed on read).
     pub active: Arc<ShardedGauge>,
@@ -173,6 +182,17 @@ impl NodeStats {
                 "sweb_fetch_retries_total",
                 "Transient file-fetch errors retried under bounded backoff",
             ),
+            admission_sheds: ["peer_serve", "dynamic", "static_miss", "static_hit"].map(|cl| {
+                registry.counter(
+                    "sweb_admission_sheds_total",
+                    &[("class", cl)],
+                    "Requests refused by the adaptive admission controller",
+                )
+            }),
+            retry_budget_exhausted: c(
+                "sweb_retry_budget_exhausted_total",
+                "Retries refused because a retry budget was empty",
+            ),
             io_syscalls: sc(
                 "sweb_io_syscalls_total",
                 "Kernel entries made by the connection engine's poller",
@@ -225,6 +245,16 @@ impl NodeStats {
             "poll" => Some(&self.io_backends[2]),
             _ => None,
         }
+    }
+
+    /// The admission-shed counter for one [`AdmitClass`].
+    pub fn admission_shed_counter(&self, class: AdmitClass) -> &Arc<Counter> {
+        &self.admission_sheds[match class {
+            AdmitClass::PeerServe => 0,
+            AdmitClass::Dynamic => 1,
+            AdmitClass::StaticMiss => 2,
+            AdmitClass::StaticHit => 3,
+        }]
     }
 
     /// Mint a fresh trace id: `n<node>-<epoch>-<seq>`, URL- and CLF-safe.
@@ -310,6 +340,21 @@ pub struct NodeShared {
     pub chaos: Arc<sweb_chaos::Injector>,
     /// Wall-clock budget for one request; phase deadlines derive from it.
     pub request_budget: Duration,
+    /// Adaptive admission controller: worker-queue sojourn feeds it, and
+    /// the per-class gates in the handler consult its shed level.
+    pub admission: Arc<AdmissionController>,
+    /// Per-peer circuit breakers over the transfer channel / redirect
+    /// targets. Also attached to [`NodeShared::broker`], which reprices
+    /// open-breaker candidates out of its comparisons.
+    pub breakers: Arc<PeerBreakers>,
+    /// Per-peer retry budgets for transfer-channel retries.
+    pub peer_retry_budgets: Arc<Vec<RetryBudget>>,
+    /// Retry budget for local filesystem fetch retries.
+    pub fetch_retry_budget: RetryBudget,
+    /// Whether the overload-control gates are active (admission, breaker
+    /// bookkeeping, retry budgets). The structures above exist either
+    /// way, so status can always report them.
+    pub overload_control: bool,
 }
 
 impl NodeShared {
@@ -369,6 +414,23 @@ impl sweb_reactor::App for ReactorApp {
     }
     fn on_deadline_overrun(&self) {
         self.shared.stats.deadline_overruns.inc();
+    }
+    fn on_queue_sojourn(&self, micros: u64) {
+        if !self.shared.overload_control {
+            return;
+        }
+        // An injected overload fault inflates the observed sojourn: the
+        // controller reacts as if the queue were standing, which is the
+        // point — the fault tests the control loop, not the queue.
+        let inflated = if self.shared.chaos.is_active() {
+            micros + self.shared.chaos.overload_sojourn(self.shared.id.0).unwrap_or(0)
+        } else {
+            micros
+        };
+        self.shared.admission.observe(inflated);
+    }
+    fn retry_after_secs(&self) -> u64 {
+        self.shared.admission.retry_after_secs()
     }
     fn on_accept(&self) {
         self.shared.stats.accepted.inc_at(self.shard);
@@ -597,7 +659,7 @@ fn accept_loop(shared: Arc<NodeShared>, listener: TcpListener) {
 fn shed(shared: &NodeShared, stream: std::net::TcpStream) {
     shared.stats.shed.inc();
     let mut resp = sweb_http::Response::error(sweb_http::StatusCode::ServiceUnavailable);
-    resp.headers.set("Retry-After", "1");
+    resp.headers.set("Retry-After", shared.admission.retry_after_secs().to_string());
     resp.headers.set("Connection", "close");
     let wire = resp.to_bytes(false);
     let _ = stream.set_nonblocking(true);

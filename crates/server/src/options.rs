@@ -41,6 +41,7 @@ pub struct ServerOptions {
     io_backend: Option<IoBackend>,
     peer_transfer: Option<bool>,
     replicate_hot: Option<bool>,
+    overload: Option<bool>,
 }
 
 impl Default for ServerOptions {
@@ -74,6 +75,7 @@ impl ServerOptions {
             io_backend: None,
             peer_transfer: None,
             replicate_hot: None,
+            overload: None,
         }
     }
 
@@ -109,6 +111,15 @@ impl ServerOptions {
     /// `SWEB_REPLICATE_HOT`).
     pub fn replicate_hot(mut self, on: bool) -> Self {
         self.replicate_hot = Some(on);
+        self
+    }
+
+    /// Overload-control subsystem — adaptive admission, per-peer circuit
+    /// breakers, retry budgets — on/off (`--overload`; env
+    /// `SWEB_OVERLOAD`). On by default; off gives the static-503
+    /// baseline (admission by `max_conns` alone, unconditional retries).
+    pub fn overload_control(mut self, on: bool) -> Self {
+        self.overload = Some(on);
         self
     }
 
@@ -236,6 +247,9 @@ impl ServerOptions {
         if let Some(on) = env("SWEB_REPLICATE_HOT").and_then(|v| parse_bool(&v)) {
             cfg.sweb.replicate_hot = on;
         }
+        if let Some(on) = env("SWEB_OVERLOAD").and_then(|v| parse_bool(&v)) {
+            cfg.overload_control = on;
+        }
         // ...and the CLI tier over everything.
         if let Some(e) = self.engine {
             cfg.engine = e;
@@ -251,6 +265,9 @@ impl ServerOptions {
         }
         if let Some(on) = self.replicate_hot {
             cfg.sweb.replicate_hot = on;
+        }
+        if let Some(on) = self.overload {
+            cfg.overload_control = on;
         }
         cfg
     }
@@ -288,6 +305,7 @@ mod tests {
         assert_eq!(cfg.io_backend, IoBackend::Epoll);
         assert!(!cfg.sweb.peer_transfer);
         assert!(!cfg.sweb.replicate_hot);
+        assert!(cfg.overload_control, "overload control defaults on");
     }
 
     #[test]
@@ -298,6 +316,7 @@ mod tests {
             "SWEB_IO_BACKEND" => Some("poll".to_string()),
             "SWEB_PEER_TRANSFER" => Some("yes".to_string()),
             "SWEB_REPLICATE_HOT" => Some("on".to_string()),
+            "SWEB_OVERLOAD" => Some("off".to_string()),
             _ => None,
         };
         let cfg = ServerOptions::new().resolve_with(env);
@@ -306,6 +325,7 @@ mod tests {
         assert_eq!(cfg.io_backend, IoBackend::Poll);
         assert!(cfg.sweb.peer_transfer);
         assert!(cfg.sweb.replicate_hot);
+        assert!(!cfg.overload_control);
     }
 
     #[test]
@@ -315,6 +335,7 @@ mod tests {
             "SWEB_SHARDS" => Some("3".to_string()),
             "SWEB_IO_BACKEND" => Some("poll".to_string()),
             "SWEB_PEER_TRANSFER" => Some("1".to_string()),
+            "SWEB_OVERLOAD" => Some("1".to_string()),
             _ => None,
         };
         let cfg = ServerOptions::new()
@@ -322,11 +343,13 @@ mod tests {
             .shards(2)
             .io_backend(IoBackend::Epoll)
             .peer_transfer(false)
+            .overload_control(false)
             .resolve_with(env);
         assert_eq!(cfg.engine, Engine::Reactor);
         assert_eq!(cfg.shards, 2);
         assert_eq!(cfg.io_backend, IoBackend::Epoll);
         assert!(!cfg.sweb.peer_transfer);
+        assert!(!cfg.overload_control);
     }
 
     #[test]

@@ -180,6 +180,14 @@ fn serve_fetch(shared: &NodeShared, file: u64, trace: &str, path: &str) -> Frame
     if shared.draining.load(Ordering::Relaxed) || shared.shutdown.load(Ordering::Relaxed) {
         return Frame::FetchErr { code: fetch_err::UNAVAILABLE };
     }
+    // Peer-serving work is shed before anything client-facing: the
+    // pulling node degrades to a 302 or its own NFS read, so refusing
+    // here costs the cluster the least of any admission class.
+    if shared.overload_control && !shared.admission.admit(sweb_core::AdmitClass::PeerServe) {
+        shared.admission.shed();
+        shared.stats.admission_shed_counter(sweb_core::AdmitClass::PeerServe).inc();
+        return Frame::FetchErr { code: fetch_err::UNAVAILABLE };
+    }
     // The same traversal guard the HTTP path applies: the path must be
     // absolute and stay inside the docroot.
     let rel = path.trim_start_matches('/');
@@ -259,6 +267,12 @@ fn serve_push(shared: &NodeShared, file: u64, mtime_ns: u64, path: &str, body: V
 /// `deadline`. Injected peer-channel faults apply here: a blackholed
 /// pair fails immediately (the caller degrades to redirect/local), a
 /// delayed pair pays the delay first.
+///
+/// The per-peer circuit breaker wraps the whole attempt: an open breaker
+/// fails in microseconds instead of burning the forward deadline against
+/// a peer that has stopped answering, failures (including injected
+/// drops) feed the trip counter, and successes deposit into the peer's
+/// retry budget.
 pub fn fetch_via_peer(
     shared: &NodeShared,
     source: NodeId,
@@ -267,16 +281,42 @@ pub fn fetch_via_peer(
     trace: &str,
     deadline: Duration,
 ) -> Result<FetchedDoc, PeerError> {
+    let guarded = shared.overload_control;
+    if guarded && !shared.breakers.allow(source) {
+        return Err(PeerError::Io(std::io::Error::other("peer circuit breaker open")));
+    }
+    // The latency clock starts before fault injection on purpose: an
+    // injected channel delay is indistinguishable from a congested peer,
+    // and must count toward the slow-success trip condition.
+    let started = Instant::now();
     if shared.chaos.is_active() {
         match shared.chaos.peer_tx(source.0, shared.id.0) {
             TxVerdict::Deliver => {}
             TxVerdict::Drop => {
-                return Err(PeerError::Io(std::io::Error::other("injected peer-channel loss")))
+                if guarded {
+                    shared.breakers.record_failure(source);
+                }
+                return Err(PeerError::Io(std::io::Error::other("injected peer-channel loss")));
             }
             TxVerdict::Delay(d) => std::thread::sleep(d),
         }
     }
-    shared.peer_pool.fetch(source.index(), file.0, path, trace, deadline)
+    let result = shared.peer_pool.fetch(source.index(), file.0, path, trace, deadline);
+    if guarded {
+        match &result {
+            Ok(_) => {
+                shared.breakers.record_success(source, started.elapsed().as_micros() as u64);
+                if let Some(budget) = shared.peer_retry_budgets.get(source.index()) {
+                    budget.on_success();
+                }
+            }
+            // An explicit refusal (draining, shedding, not found) is the
+            // peer *answering* — the channel works; don't trip on it.
+            Err(PeerError::Refused(_)) => {}
+            Err(_) => shared.breakers.record_failure(source),
+        }
+    }
+    result
 }
 
 /// Spawn the replicator: every two loadd periods, push this node's hot

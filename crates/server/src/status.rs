@@ -41,7 +41,13 @@ pub const METRICS_PATH: &str = "/metrics";
 /// aggregate top-level CGI counters were ever part of the schema, so
 /// nothing is removed — consumers that summed `served` to approximate
 /// CGI traffic should read `handlers[].invocations` instead.
-pub const STATUS_SCHEMA_VERSION: u64 = 6;
+/// v7 added the `overload` block (adaptive-admission shed level and
+/// per-class shed counts, per-peer circuit-breaker states with open /
+/// fast-fail totals, retry-budget exhaustions, and the current
+/// load-derived `Retry-After` value) and two fault counters
+/// (`overload_samples`, `brownout_delays`) for the injected overload /
+/// brownout faults.
+pub const STATUS_SCHEMA_VERSION: u64 = 7;
 
 /// One node's full introspection snapshot.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,8 +75,37 @@ pub struct StatusReport {
     pub dynamic_cache: crate::dynamic::DynamicCacheStats,
     /// File-cache state.
     pub cache: CacheSnapshot,
+    /// Overload-control state: admission, breakers, retry budgets.
+    pub overload: OverloadSnapshot,
     /// Faults injected so far by the chaos harness (all zero without one).
     pub faults: FaultCountsSnapshot,
+}
+
+/// The overload-control subsystem's introspection block (schema v7).
+///
+/// The structures always exist — `enabled: false` means the gates are
+/// bypassed (`--overload off`), not that the numbers are absent.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OverloadSnapshot {
+    /// Whether the admission/breaker/budget gates are active.
+    pub enabled: bool,
+    /// Current admission shed level (0 = admit everything, 3 = shed all
+    /// non-admin traffic).
+    pub shed_level: u64,
+    /// The `Retry-After` seconds a shed response would carry right now.
+    pub retry_after_secs: u64,
+    /// Requests refused by the admission controller, by class, in shed
+    /// order: `peer_serve`, `dynamic`, `static_miss`, `static_hit`.
+    pub sheds_by_class: [u64; 4],
+    /// Per-peer circuit-breaker states (`"closed"`, `"open"`,
+    /// `"half-open"`), indexed by node id.
+    pub breakers: Vec<String>,
+    /// Closed→Open transitions across all peers, lifetime.
+    pub breaker_opens: u64,
+    /// Peer operations refused instantly by an open breaker, lifetime.
+    pub breaker_fast_fails: u64,
+    /// Retries refused because a retry budget was drained, lifetime.
+    pub retry_exhausted: u64,
 }
 
 /// One reactor shard's slice of the node's hot counters.
@@ -303,6 +338,24 @@ impl StatusReport {
                 capacity_bytes: shared.file_cache.capacity(),
                 digest_bits: shared.file_cache.digest().ones() as u64,
             },
+            overload: OverloadSnapshot {
+                enabled: shared.overload_control,
+                shed_level: shared.admission.level() as u64,
+                retry_after_secs: shared.admission.retry_after_secs(),
+                sheds_by_class: [
+                    sweb_core::AdmitClass::PeerServe,
+                    sweb_core::AdmitClass::Dynamic,
+                    sweb_core::AdmitClass::StaticMiss,
+                    sweb_core::AdmitClass::StaticHit,
+                ]
+                .map(|cl| s.admission_shed_counter(cl).get()),
+                breakers: (0..shared.breakers.len())
+                    .map(|i| shared.breakers.state(NodeId(i as u32)).name().to_string())
+                    .collect(),
+                breaker_opens: shared.breakers.opens_total(),
+                breaker_fast_fails: shared.breakers.fast_fails_total(),
+                retry_exhausted: s.retry_budget_exhausted.get(),
+            },
             faults: shared.chaos.counts().snapshot(),
         }
     }
@@ -400,6 +453,24 @@ impl StatusReport {
             self.cache.capacity_bytes,
             self.cache.digest_bits,
         ));
+        let o = &self.overload;
+        out.push_str(&format!(
+            "\noverload control: {} — shed level {}, retry-after {}s\n  \
+             sheds: {} peer-serve, {} dynamic, {} static-miss, {} static-hit\n  \
+             breakers: [{}] — {} opens, {} fast-fails\n  \
+             retry budgets: {} exhausted\n",
+            if o.enabled { "on" } else { "off" },
+            o.shed_level,
+            o.retry_after_secs,
+            o.sheds_by_class[0],
+            o.sheds_by_class[1],
+            o.sheds_by_class[2],
+            o.sheds_by_class[3],
+            o.breakers.join(", "),
+            o.breaker_opens,
+            o.breaker_fast_fails,
+            o.retry_exhausted,
+        ));
         let f = &self.faults;
         if f != &FaultCountsSnapshot::default() {
             out.push_str(&format!(
@@ -411,6 +482,12 @@ impl StatusReport {
                 out.push_str(&format!(
                     "peer channel: {} frames dropped, {} frames delayed\n",
                     f.peer_drops, f.peer_delays,
+                ));
+            }
+            if f.overload_samples + f.brownout_delays > 0 {
+                out.push_str(&format!(
+                    "overload faults: {} sojourn samples inflated, {} brownout delays\n",
+                    f.overload_samples, f.brownout_delays,
                 ));
             }
         }
@@ -536,6 +613,32 @@ impl StatusReport {
                 ]),
             ),
             (
+                "overload",
+                obj(vec![
+                    ("enabled", Json::Bool(self.overload.enabled)),
+                    ("shed_level", Json::Num(self.overload.shed_level as f64)),
+                    ("retry_after_secs", Json::Num(self.overload.retry_after_secs as f64)),
+                    (
+                        "sheds_by_class",
+                        obj(vec![
+                            ("peer_serve", Json::Num(self.overload.sheds_by_class[0] as f64)),
+                            ("dynamic", Json::Num(self.overload.sheds_by_class[1] as f64)),
+                            ("static_miss", Json::Num(self.overload.sheds_by_class[2] as f64)),
+                            ("static_hit", Json::Num(self.overload.sheds_by_class[3] as f64)),
+                        ]),
+                    ),
+                    (
+                        "breakers",
+                        Json::Arr(
+                            self.overload.breakers.iter().map(|s| Json::Str(s.clone())).collect(),
+                        ),
+                    ),
+                    ("breaker_opens", Json::Num(self.overload.breaker_opens as f64)),
+                    ("breaker_fast_fails", Json::Num(self.overload.breaker_fast_fails as f64)),
+                    ("retry_exhausted", Json::Num(self.overload.retry_exhausted as f64)),
+                ]),
+            ),
+            (
                 "faults",
                 obj(vec![
                     ("packets_dropped", Json::Num(self.faults.packets_dropped as f64)),
@@ -545,6 +648,8 @@ impl StatusReport {
                     ("slow_reads", Json::Num(self.faults.slow_reads as f64)),
                     ("peer_drops", Json::Num(self.faults.peer_drops as f64)),
                     ("peer_delays", Json::Num(self.faults.peer_delays as f64)),
+                    ("overload_samples", Json::Num(self.faults.overload_samples as f64)),
+                    ("brownout_delays", Json::Num(self.faults.brownout_delays as f64)),
                 ]),
             ),
         ])
@@ -672,6 +777,30 @@ impl StatusReport {
             capacity_bytes: num_u64(&k, "capacity_bytes")?,
             digest_bits: num_u64(&k, "digest_bits")?,
         };
+        let o = field(v, "overload")?;
+        let sheds = field(&o, "sheds_by_class")?;
+        let overload = OverloadSnapshot {
+            enabled: field(&o, "enabled")?.as_bool().ok_or("enabled is not a bool")?,
+            shed_level: num_u64(&o, "shed_level")?,
+            retry_after_secs: num_u64(&o, "retry_after_secs")?,
+            sheds_by_class: [
+                num_u64(&sheds, "peer_serve")?,
+                num_u64(&sheds, "dynamic")?,
+                num_u64(&sheds, "static_miss")?,
+                num_u64(&sheds, "static_hit")?,
+            ],
+            breakers: field(&o, "breakers")?
+                .as_arr()
+                .ok_or("breakers is not an array")?
+                .iter()
+                .map(|s| {
+                    s.as_str().map(str::to_string).ok_or_else(|| "breaker is not a string".into())
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+            breaker_opens: num_u64(&o, "breaker_opens")?,
+            breaker_fast_fails: num_u64(&o, "breaker_fast_fails")?,
+            retry_exhausted: num_u64(&o, "retry_exhausted")?,
+        };
         let f = field(v, "faults")?;
         let faults = FaultCountsSnapshot {
             packets_dropped: num_u64(&f, "packets_dropped")?,
@@ -681,6 +810,8 @@ impl StatusReport {
             slow_reads: num_u64(&f, "slow_reads")?,
             peer_drops: num_u64(&f, "peer_drops")?,
             peer_delays: num_u64(&f, "peer_delays")?,
+            overload_samples: num_u64(&f, "overload_samples")?,
+            brownout_delays: num_u64(&f, "brownout_delays")?,
         };
         Ok(StatusReport {
             schema_version,
@@ -694,6 +825,7 @@ impl StatusReport {
             handlers,
             dynamic_cache,
             cache,
+            overload,
             faults,
         })
     }
@@ -737,6 +869,21 @@ pub fn render_metrics(shared: &NodeShared) -> Response {
     out.push_str("# HELP sweb_file_cache_digest_bits Bits set in the advertised Bloom digest\n");
     out.push_str("# TYPE sweb_file_cache_digest_bits gauge\n");
     out.push_str(&format!("sweb_file_cache_digest_bits {}\n", cache.digest().ones()));
+    // Overload-control series: like the file cache, the admission
+    // controller and breakers keep their own atomics, rendered here as
+    // first-class metrics.
+    out.push_str("# HELP sweb_admission_shed_level Current adaptive-admission shed level (0-3)\n");
+    out.push_str("# TYPE sweb_admission_shed_level gauge\n");
+    out.push_str(&format!("sweb_admission_shed_level {}\n", shared.admission.level()));
+    out.push_str("# HELP sweb_breaker_open Peer circuit breakers currently open\n");
+    out.push_str("# TYPE sweb_breaker_open gauge\n");
+    out.push_str(&format!("sweb_breaker_open {}\n", shared.breakers.open_count()));
+    out.push_str("# HELP sweb_breaker_opens_total Closed-to-open breaker transitions\n");
+    out.push_str("# TYPE sweb_breaker_opens_total counter\n");
+    out.push_str(&format!("sweb_breaker_opens_total {}\n", shared.breakers.opens_total()));
+    out.push_str("# HELP sweb_breaker_fast_fails_total Peer operations refused by an open breaker\n");
+    out.push_str("# TYPE sweb_breaker_fast_fails_total counter\n");
+    out.push_str(&format!("sweb_breaker_fast_fails_total {}\n", shared.breakers.fast_fails_total()));
     Response::ok(out, "text/plain; version=0.0.4")
 }
 
@@ -850,6 +997,16 @@ mod tests {
                 capacity_bytes: 16 << 20,
                 digest_bits: 12,
             },
+            overload: OverloadSnapshot {
+                enabled: true,
+                shed_level: 2,
+                retry_after_secs: 4,
+                sheds_by_class: [6, 5, 3, 0],
+                breakers: vec!["closed".to_string(), "open".to_string(), "closed".to_string()],
+                breaker_opens: 2,
+                breaker_fast_fails: 9,
+                retry_exhausted: 1,
+            },
             faults: FaultCountsSnapshot {
                 packets_dropped: 17,
                 packets_delayed: 5,
@@ -858,6 +1015,8 @@ mod tests {
                 slow_reads: 3,
                 peer_drops: 2,
                 peer_delays: 1,
+                overload_samples: 8,
+                brownout_delays: 4,
             },
         }
     }
@@ -911,6 +1070,17 @@ mod tests {
         assert!(text.contains("alive") && text.contains("dead"), "{text}");
         assert!(text.contains("17 pkts dropped"), "{text}");
         assert!(text.contains("peer channel: 2 frames dropped, 1 frames delayed"), "{text}");
+        assert!(
+            text.contains("overload faults: 8 sojourn samples inflated, 4 brownout delays"),
+            "{text}"
+        );
+        assert!(
+            text.contains("overload control: on — shed level 2, retry-after 4s"),
+            "{text}"
+        );
+        assert!(text.contains("sheds: 6 peer-serve, 5 dynamic, 3 static-miss, 0 static-hit"), "{text}");
+        assert!(text.contains("breakers: [closed, open, closed] — 2 opens, 9 fast-fails"), "{text}");
+        assert!(text.contains("retry budgets: 1 exhausted"), "{text}");
         // The per-shard breakdown: one row per shard, liveness and
         // backend included.
         assert!(text.contains("shards:"), "{text}");
@@ -943,6 +1113,23 @@ mod tests {
             text.contains("dynamic cache: 75 hits, 35 misses, 4 expired, 2 evicted, 29 / 1024 entries"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn from_json_rejects_missing_overload() {
+        let report = sample_report();
+        let mut v = report.to_json();
+        if let Json::Obj(members) = &mut v {
+            members.retain(|(k, _)| k != "overload");
+        }
+        assert!(StatusReport::from_json(&v).is_err(), "v7 requires the overload block");
+        let mut v = report.to_json();
+        if let Json::Obj(members) = &mut v {
+            if let Some((_, Json::Obj(faults))) = members.iter_mut().find(|(k, _)| k == "faults") {
+                faults.retain(|(k, _)| k != "overload_samples");
+            }
+        }
+        assert!(StatusReport::from_json(&v).is_err(), "v7 requires the new fault counters");
     }
 
     #[test]

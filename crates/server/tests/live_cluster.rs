@@ -7,6 +7,8 @@ use std::time::Duration;
 use sweb_core::Policy;
 use sweb_server::{client, AccessLog, Engine, LiveCluster, ServerOptions};
 
+mod support;
+
 /// Build a docroot with a few documents of varying sizes.
 fn docroot(tag: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join(format!("sweb-test-{tag}-{}", std::process::id()));
@@ -577,7 +579,7 @@ fn sharded_reactor_reports_every_shard_live_and_exact() {
     let resp = client::get(&format!("{}/sweb-status?format=json", cluster.base_url(0))).unwrap();
     let json = sweb_telemetry::Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
     let report = sweb_server::StatusReport::from_json(&json).unwrap();
-    assert_eq!(report.schema_version, 6);
+    support::assert_current_schema(&report);
     assert_eq!(report.shards.len(), 4, "{:?}", report.shards);
     assert!(report.shards.iter().all(|s| s.live), "{:?}", report.shards);
     let served: u64 = report.shards.iter().map(|s| s.served).sum();

@@ -1,0 +1,18 @@
+//! Shared helpers for the server integration tests.
+//!
+//! Every suite that reads `/sweb-status?format=json` used to carry its
+//! own hard-coded `schema_version == N` assert; a version bump meant a
+//! hunt through four test files. The check lives here once instead.
+
+use sweb_server::{StatusReport, STATUS_SCHEMA_VERSION};
+
+/// Assert a parsed status report carries the schema version this tree
+/// serves. `from_json` already rejects foreign versions, so this is a
+/// belt-and-suspenders check that the parse really went through the
+/// current contract — and the single place to touch on a bump.
+pub fn assert_current_schema(report: &StatusReport) {
+    assert_eq!(
+        report.schema_version, STATUS_SCHEMA_VERSION,
+        "status report does not carry the current schema version"
+    );
+}

@@ -7,10 +7,10 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use sweb_core::Policy;
-use sweb_server::{
-    client, AccessLog, Engine, ServerOptions, StatusReport, STATUS_SCHEMA_VERSION,
-};
+use sweb_server::{client, AccessLog, Engine, ServerOptions, StatusReport};
 use sweb_telemetry::{line_is_well_formed, Json};
+
+mod support;
 
 /// A `Vec<u8>` log sink shared with the test so it can read back what the
 /// cluster wrote (stand-in for an NFS-shared access log file).
@@ -151,7 +151,7 @@ fn status_json_round_trips_through_the_typed_report(engine: Engine) {
     assert_eq!(resp.headers.get("content-type"), Some("application/json"));
     let value = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
     let report = StatusReport::from_json(&value).unwrap();
-    assert_eq!(report.schema_version, STATUS_SCHEMA_VERSION);
+    support::assert_current_schema(&report);
     assert_eq!(report.node, 1);
     assert_eq!(report.engine, engine.name());
     assert_eq!(report.load.len(), 2, "load table must list every node");

@@ -25,6 +25,8 @@ use sweb_server::{
     client, ClusterConfig, Engine, Fault, FaultPlan, LiveCluster, ServerOptions, Window,
 };
 
+mod support;
+
 /// True when this kernel can actually open an io_uring ring (no silent
 /// fallback — `strict` refuses to downgrade).
 fn uring_available() -> bool {
@@ -114,7 +116,7 @@ fn status_reports_uring_backend_per_shard() {
         assert!(Instant::now() < deadline, "shards never reported a backend: {report:?}");
         std::thread::sleep(Duration::from_millis(25));
     };
-    assert_eq!(report.schema_version, 6);
+    support::assert_current_schema(&report);
     assert_eq!(report.shards.len(), 2);
     for row in &report.shards {
         assert_eq!(row.io_backend, "uring", "shard {} not on uring", row.shard);
