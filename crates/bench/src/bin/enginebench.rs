@@ -81,21 +81,26 @@
 //! mode,nodes,requests,workers,zipf_alpha,errors,duration_s,rps,p50_ms,p99_ms,client_redirects,peer_fetches,pushes
 //! ```
 //!
-//! **uring**: the I/O backend A/B — a single reactor node is started
-//! once per poller backend (epoll, then io_uring), loaded with `--hold`
-//! idle keep-alive connections (default 10 000; the client ends live in
-//! a re-exec'd helper process with its own `RLIMIT_NOFILE`, spread over
-//! `127.0.0.x` source addresses so ephemeral ports never run out), and
-//! driven
-//! with `--requests` fresh-connection fetches. Besides latency, each row
-//! records the node's poller-syscall telemetry — the point of the
-//! completion backend is the `io_syscalls` column shrinking while
-//! `syscalls_saved` grows. One CSV row per backend, and the run lands in
-//! `BENCH_uring.json` (with the kernel version) for the committed perf
-//! trajectory:
+//! **uring**: the I/O backend A/B — three legs (epoll, io_uring, and
+//! io_uring with `SWEB_URING_SQPOLL=1`), each a fleet of
+//! `ceil(hold / helper_cap)` re-exec'd single-node server processes
+//! paired with hold-helper client processes. Both ends of every held
+//! keep-alive connection live in helper processes with their own
+//! `RLIMIT_NOFILE` (sources spread over `127.0.0.x` so ephemeral ports
+//! never run out), which is how `--hold 100000` fits a 20k-fd world.
+//! The measured window drives `--requests` fresh-connection fetches
+//! round-robined across the servers; every 16th pulls a 256 KiB payload
+//! so the zero-copy `SEND_ZC` path is exercised alongside `WRITE_FIXED`.
+//! Besides latency, each row sums the fleet's poller-syscall telemetry
+//! over a `STATS` pipe protocol — the point of the completion backend is
+//! the `io_syscalls` column shrinking while `syscalls_saved` grows, and
+//! of the registered-buffer pool the `write_fixed`/`send_zc` columns
+//! covering the responses. One CSV row per leg, and the run lands in
+//! `BENCH_uring.json` (schema 2, with the kernel version) for the
+//! committed perf trajectory:
 //!
 //! ```text
-//! backend,chosen,nodes,held_conns,workers,requests,errors,duration_s,rps,p50_ms,p99_ms,io_syscalls,sqe_submitted,cqe_completed,syscalls_saved
+//! backend,chosen,helpers,held_conns,workers,requests,errors,duration_s,rps,p50_ms,p99_ms,io_syscalls,sqe_submitted,cqe_completed,syscalls_saved,write_fixed,buf_pool_exhausted,send_zc,zc_copies_avoided,sqe_backlogged
 //! ```
 //!
 //! **dynamic**: the dynamic-content dispatch A/B — a single reactor node
@@ -162,13 +167,23 @@ struct Args {
     requests: Option<u64>,
     size: u64,
     out: Option<std::path::PathBuf>,
+    /// Measured repeats of every leg (statistics across them land in the
+    /// BENCH JSON).
+    repeats: usize,
+    /// Unmeasured warm-up passes before the measured repeats.
+    warmup: usize,
+    /// Held connections per helper-process pair (uring scenario): both
+    /// the client end and the server end of a held connection cost an fd
+    /// in their process, so each pair stays under one RLIMIT_NOFILE.
+    helper_cap: usize,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: enginebench [--scenario engine|zerocopy|shards|forward|uring|dynamic|overload] \
          [--engine reactor|threaded|both] \
-         [--nodes N] [--hold N] [--workers N] [--requests N] [--size BYTES] [--out FILE]"
+         [--nodes N] [--hold N] [--workers N] [--requests N] [--size BYTES] \
+         [--repeats N] [--warmup N] [--helper-cap N] [--out FILE]"
     );
     std::process::exit(2);
 }
@@ -183,6 +198,9 @@ fn parse_args() -> Args {
         requests: None,
         size: 1_500_000,
         out: None,
+        repeats: 1,
+        warmup: 0,
+        helper_cap: 15_000,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -212,6 +230,19 @@ fn parse_args() -> Args {
             "--workers" => args.workers = Some(value().parse().unwrap_or_else(|_| usage())),
             "--requests" => args.requests = Some(value().parse().unwrap_or_else(|_| usage())),
             "--size" => args.size = value().parse().unwrap_or_else(|_| usage()),
+            "--repeats" => {
+                args.repeats = value().parse().unwrap_or_else(|_| usage());
+                if args.repeats == 0 {
+                    usage();
+                }
+            }
+            "--warmup" => args.warmup = value().parse().unwrap_or_else(|_| usage()),
+            "--helper-cap" => {
+                args.helper_cap = value().parse().unwrap_or_else(|_| usage());
+                if args.helper_cap == 0 {
+                    usage();
+                }
+            }
             "--out" => args.out = Some(value().into()),
             "--help" | "-h" => usage(),
             _ => usage(),
@@ -231,6 +262,125 @@ fn process_threads() -> u64 {
                 .and_then(|v| v.parse().ok())
         })
         .unwrap_or(0)
+}
+
+/// Per-repeat samples of one metric; summarised as mean/stddev/min/max
+/// in every BENCH_*.json so a single noisy window can't masquerade as
+/// a regression (or a fix).
+struct RepeatStats {
+    vals: Vec<f64>,
+}
+
+impl RepeatStats {
+    fn new() -> Self {
+        RepeatStats { vals: Vec::new() }
+    }
+
+    fn push(&mut self, v: f64) {
+        self.vals.push(v);
+    }
+
+    fn mean(&self) -> f64 {
+        if self.vals.is_empty() {
+            return 0.0;
+        }
+        self.vals.iter().sum::<f64>() / self.vals.len() as f64
+    }
+
+    fn stddev(&self) -> f64 {
+        if self.vals.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var =
+            self.vals.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (self.vals.len() - 1) as f64;
+        var.sqrt()
+    }
+
+    fn min(&self) -> f64 {
+        self.vals.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    fn max(&self) -> f64 {
+        self.vals.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// JSON object literal: `{"mean": .., "stddev": .., "min": .., "max": .., "repeats": N}`.
+    fn json(&self) -> String {
+        if self.vals.is_empty() {
+            return "{\"mean\": 0, \"stddev\": 0, \"min\": 0, \"max\": 0, \"repeats\": 0}".into();
+        }
+        format!(
+            "{{\"mean\": {:.3}, \"stddev\": {:.3}, \"min\": {:.3}, \"max\": {:.3}, \"repeats\": {}}}",
+            self.mean(),
+            self.stddev(),
+            self.min(),
+            self.max(),
+            self.vals.len()
+        )
+    }
+}
+
+/// A benchmark leg outcome that can be merged across repeats: latency
+/// histograms union, monotonic counters add.
+trait BenchLeg {
+    fn hist(&self) -> &Histogram;
+    fn duration(&self) -> Duration;
+    fn absorb(&mut self, other: Self);
+}
+
+/// Errors + wall-clock + latency histogram: the minimum a measured leg
+/// produces. Legs with no extra counters return this directly.
+struct BasicOutcome {
+    errors: u64,
+    duration: Duration,
+    hist: Histogram,
+}
+
+impl BenchLeg for BasicOutcome {
+    fn hist(&self) -> &Histogram {
+        &self.hist
+    }
+    fn duration(&self) -> Duration {
+        self.duration
+    }
+    fn absorb(&mut self, other: Self) {
+        self.errors += other.errors;
+        self.duration += other.duration;
+        self.hist.merge(&other.hist);
+    }
+}
+
+/// Per-leg aggregate across warm-up + measured repeats.
+struct Repeated<T> {
+    /// All measured repeats merged: unioned histogram, summed counters
+    /// and wall-clock. CSV rows report this view.
+    merged: T,
+    rps: RepeatStats,
+    p99_ms: RepeatStats,
+}
+
+/// Run `leg` `warmup + repeats` times, discard the warm-up passes, and
+/// fold the measured ones. Every scenario funnels its legs through
+/// here so repeat statistics come for free.
+fn run_repeated<T: BenchLeg>(warmup: usize, repeats: usize, mut leg: impl FnMut() -> T) -> Repeated<T> {
+    let mut merged: Option<T> = None;
+    let mut rps = RepeatStats::new();
+    let mut p99_ms = RepeatStats::new();
+    for rep in 0..warmup + repeats.max(1) {
+        let r = leg();
+        if rep < warmup {
+            continue;
+        }
+        let secs = r.duration().as_secs_f64().max(1e-9);
+        rps.push(r.hist().count() as f64 / secs);
+        p99_ms.push(r.hist().quantile(0.99) as f64 / 1000.0);
+        match merged.as_mut() {
+            None => merged = Some(r),
+            Some(m) => m.absorb(r),
+        }
+    }
+    Repeated { merged: merged.expect("at least one measured repeat"), rps, p99_ms }
 }
 
 /// Build a docroot of hashed documents so locality scheduling has
@@ -253,6 +403,22 @@ struct RunResult {
     /// Cost-model feedback drained from every node before shutdown:
     /// `(node, predicted vs measured)` for each locally fulfilled request.
     predictions: Vec<(usize, PredictionSample)>,
+}
+
+impl BenchLeg for RunResult {
+    fn hist(&self) -> &Histogram {
+        &self.hist
+    }
+    fn duration(&self) -> Duration {
+        self.duration
+    }
+    fn absorb(&mut self, other: Self) {
+        self.errors += other.errors;
+        self.duration += other.duration;
+        self.hist.merge(&other.hist);
+        self.peak_threads = self.peak_threads.max(other.peak_threads);
+        self.predictions.extend(other.predictions);
+    }
 }
 
 fn run_engine(
@@ -366,7 +532,7 @@ fn run_transmit_mode(
     workers: usize,
     requests: u64,
     docroot: &std::path::Path,
-) -> (u64, Duration, Histogram) {
+) -> BasicOutcome {
     let cfg = ClusterConfig {
         engine: Engine::Reactor,
         policy: sweb_core::Policy::RoundRobin, // one node; never redirect
@@ -422,7 +588,7 @@ fn run_transmit_mode(
     let duration = t0.elapsed();
     cluster.shutdown();
     let hist = Arc::try_unwrap(hist).expect("workers joined").into_inner().unwrap();
-    (errors.load(Ordering::Relaxed), duration, hist)
+    BasicOutcome { errors: errors.load(Ordering::Relaxed), duration, hist }
 }
 
 /// Expected body length for response validation, stashed by `main` before
@@ -480,7 +646,10 @@ fn main_engine(args: &Args) {
             workers,
             requests
         );
-        let r = run_engine(engine, args, hold, workers, requests, &docroot);
+        let rep = run_repeated(args.warmup, args.repeats, || {
+            run_engine(engine, args, hold, workers, requests, &docroot)
+        });
+        let r = rep.merged;
         let served = r.hist.count();
         let rps = served as f64 / r.duration.as_secs_f64().max(1e-9);
         let p50 = r.hist.quantile(0.50) as f64 / 1000.0;
@@ -500,11 +669,14 @@ fn main_engine(args: &Args) {
         eprintln!("enginebench: {row}");
         json_rows.push(format!(
             "    {{\"engine\": \"{}\", \"errors\": {}, \"duration_s\": {:.3}, \
-             \"rps\": {rps:.1}, \"p50_ms\": {p50:.3}, \"p99_ms\": {p99:.3}, \"threads\": {}}}",
+             \"rps\": {rps:.1}, \"p50_ms\": {p50:.3}, \"p99_ms\": {p99:.3}, \"threads\": {}, \
+             \"rps_stats\": {}, \"p99_ms_stats\": {}}}",
             engine.name(),
             r.errors,
             r.duration.as_secs_f64(),
             r.peak_threads,
+            rep.rps.json(),
+            rep.p99_ms.json(),
         ));
 
         let mut error_pcts: Vec<u64> = Vec::with_capacity(r.predictions.len());
@@ -543,8 +715,11 @@ fn main_engine(args: &Args) {
     let json = format!(
         "{{\n  \"bench\": \"engine\",\n  \"schema_version\": 1,\n  \"nodes\": {},\n  \
          \"held_conns\": {hold},\n  \"requests\": {requests},\n  \"workers\": {workers},\n  \
+         \"warmup\": {},\n  \"repeats\": {},\n  \
          \"engines\": [\n{}\n  ]\n}}\n",
         args.nodes,
+        args.warmup,
+        args.repeats,
         json_rows.join(",\n")
     );
     std::fs::write("BENCH_engine.json", json).expect("write BENCH_engine.json");
@@ -593,13 +768,10 @@ fn main_zerocopy(args: &Args) {
             "enginebench: zerocopy mode={name} size={} workers={workers} requests={requests}",
             args.size
         );
-        let (errors, duration, hist) = run_transmit_mode(
-            transmit,
-            cache_bytes,
-            workers,
-            requests,
-            &dir,
-        );
+        let rep = run_repeated(args.warmup, args.repeats, || {
+            run_transmit_mode(transmit, cache_bytes, workers, requests, &dir)
+        });
+        let (errors, duration, hist) = (rep.merged.errors, rep.merged.duration, &rep.merged.hist);
         let served = hist.count();
         let secs = duration.as_secs_f64().max(1e-9);
         let rps = served as f64 / secs;
@@ -616,14 +788,19 @@ fn main_zerocopy(args: &Args) {
         json_rows.push(format!(
             "    {{\"mode\": \"{name}\", \"errors\": {errors}, \"duration_s\": {:.3}, \
              \"rps\": {rps:.1}, \"mb_per_s\": {mbps:.1}, \"p50_ms\": {p50:.3}, \
-             \"p99_ms\": {p99:.3}}}",
+             \"p99_ms\": {p99:.3}, \"rps_stats\": {}, \"p99_ms_stats\": {}}}",
             duration.as_secs_f64(),
+            rep.rps.json(),
+            rep.p99_ms.json(),
         ));
     }
     let json = format!(
         "{{\n  \"bench\": \"zerocopy\",\n  \"schema_version\": 1,\n  \"size_bytes\": {},\n  \
-         \"requests\": {requests},\n  \"workers\": {workers},\n  \"modes\": [\n{}\n  ]\n}}\n",
+         \"requests\": {requests},\n  \"workers\": {workers},\n  \
+         \"warmup\": {},\n  \"repeats\": {},\n  \"modes\": [\n{}\n  ]\n}}\n",
         args.size,
+        args.warmup,
+        args.repeats,
         json_rows.join(",\n")
     );
     std::fs::write("BENCH_zerocopy.json", json).expect("write BENCH_zerocopy.json");
@@ -638,7 +815,7 @@ fn run_shards(
     workers: usize,
     requests: u64,
     docroot: &std::path::Path,
-) -> (u64, Duration, Histogram) {
+) -> BasicOutcome {
     let cfg = ClusterConfig {
         engine: Engine::Reactor,
         policy: sweb_core::Policy::RoundRobin, // one node; never redirect
@@ -699,7 +876,7 @@ fn run_shards(
     let duration = t0.elapsed();
     cluster.shutdown();
     let hist = Arc::try_unwrap(hist).expect("workers joined").into_inner().unwrap();
-    (errors.load(Ordering::Relaxed), duration, hist)
+    BasicOutcome { errors: errors.load(Ordering::Relaxed), duration, hist }
 }
 
 fn main_shards(args: &Args) {
@@ -718,7 +895,10 @@ fn main_shards(args: &Args) {
     );
     for shards in [1usize, 2, 4, 8] {
         eprintln!("enginebench: shards={shards} workers={workers} requests={requests}");
-        let (errors, duration, hist) = run_shards(shards, workers, requests, &docroot);
+        let rep = run_repeated(args.warmup, args.repeats, || {
+            run_shards(shards, workers, requests, &docroot)
+        });
+        let (errors, duration, hist) = (rep.merged.errors, rep.merged.duration, &rep.merged.hist);
         let served = hist.count();
         let secs = duration.as_secs_f64().max(1e-9);
         let row = format!(
@@ -730,6 +910,7 @@ fn main_shards(args: &Args) {
         );
         writeln!(out, "{row}").unwrap();
         eprintln!("enginebench: {row}");
+        eprintln!("enginebench: shards={shards} rps_stats={}", rep.rps.json());
     }
     println!("enginebench: wrote {}", out_path.display());
 }
@@ -757,6 +938,23 @@ struct ForwardOutcome {
     peer_fetches: u64,
     /// Replication pushes sent cluster-wide during the measured window.
     pushes: u64,
+}
+
+impl BenchLeg for ForwardOutcome {
+    fn hist(&self) -> &Histogram {
+        &self.hist
+    }
+    fn duration(&self) -> Duration {
+        self.duration
+    }
+    fn absorb(&mut self, other: Self) {
+        self.errors += other.errors;
+        self.duration += other.duration;
+        self.hist.merge(&other.hist);
+        self.client_redirects += other.client_redirects;
+        self.peer_fetches += other.peer_fetches;
+        self.pushes += other.pushes;
+    }
 }
 
 /// Cumulative distribution of a Zipf(`alpha`) law over ranks `1..=n`.
@@ -937,7 +1135,10 @@ fn main_forward(args: &Args) {
             "enginebench: forward mode={} workers={workers} requests={requests}",
             mode.name
         );
-        let r = run_forward(mode, workers, requests, &docroot, &ranked, &cdf);
+        let rep = run_repeated(args.warmup, args.repeats, || {
+            run_forward(mode, workers, requests, &docroot, &ranked, &cdf)
+        });
+        let r = &rep.merged;
         let served = r.hist.count();
         let secs = r.duration.as_secs_f64().max(1e-9);
         let rps = served as f64 / secs;
@@ -957,19 +1158,23 @@ fn main_forward(args: &Args) {
         json_rows.push(format!(
             "    {{\"mode\": \"{}\", \"errors\": {}, \"duration_s\": {:.3}, \"rps\": {rps:.1}, \
              \"p50_ms\": {p50:.3}, \"p99_ms\": {p99:.3}, \"client_redirects\": {}, \
-             \"peer_fetches\": {}, \"pushes\": {}}}",
+             \"peer_fetches\": {}, \"pushes\": {}, \"rps_stats\": {}, \"p99_ms_stats\": {}}}",
             mode.name,
             r.errors,
             r.duration.as_secs_f64(),
             r.client_redirects,
             r.peer_fetches,
             r.pushes,
+            rep.rps.json(),
+            rep.p99_ms.json(),
         ));
     }
     let json = format!(
         "{{\n  \"bench\": \"forwarding\",\n  \"schema_version\": 1,\n  \"nodes\": 2,\n  \
          \"requests\": {requests},\n  \"workers\": {workers},\n  \"zipf_alpha\": {alpha},\n  \
-         \"modes\": [\n{}\n  ]\n}}\n",
+         \"warmup\": {},\n  \"repeats\": {},\n  \"modes\": [\n{}\n  ]\n}}\n",
+        args.warmup,
+        args.repeats,
         json_rows.join(",\n")
     );
     std::fs::write("BENCH_forwarding.json", json).expect("write BENCH_forwarding.json");
@@ -1024,79 +1229,177 @@ struct UringOutcome {
     chosen: String,
     errors: u64,
     held: usize,
+    /// Server/holder process pairs the leg ran across.
+    helpers: usize,
     duration: Duration,
     hist: Histogram,
     io: sweb_reactor::IoStats,
 }
 
-/// One backend leg of the A/B: a single reactor node pinned to
-/// `backend`, loaded with `hold` idle connections, driven with
-/// `requests` fresh-connection fetches.
-fn run_uring_backend(
-    backend: sweb_reactor::IoBackend,
+impl BenchLeg for UringOutcome {
+    fn hist(&self) -> &Histogram {
+        &self.hist
+    }
+    fn duration(&self) -> Duration {
+        self.duration
+    }
+    fn absorb(&mut self, other: Self) {
+        self.errors += other.errors;
+        self.duration += other.duration;
+        self.hist.merge(&other.hist);
+        self.io.add(&other.io);
+        self.held = self.held.max(other.held);
+        self.helpers = self.helpers.max(other.helpers);
+    }
+}
+
+/// A re-exec'd single-node server (see `serve_helper`): its own process,
+/// so its own `RLIMIT_NOFILE` budget, controlled over pipes.
+struct ServeHelper {
+    child: std::process::Child,
+    stdin: std::process::ChildStdin,
+    stdout: std::io::BufReader<std::process::ChildStdout>,
+    addr: std::net::SocketAddr,
+    chosen: String,
+}
+
+fn spawn_serve_helper(
+    exe: &std::path::Path,
+    backend: &str,
+    sqpoll: bool,
+    docroot: &std::path::Path,
+    max_conns: usize,
+) -> ServeHelper {
+    use std::io::BufRead as _;
+    let mut cmd = std::process::Command::new(exe);
+    cmd.arg("--serve-helper")
+        .arg(backend)
+        .arg(docroot)
+        .arg(max_conns.to_string())
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped());
+    if sqpoll {
+        cmd.env("SWEB_URING_SQPOLL", "1");
+    }
+    let mut child = cmd.spawn().expect("spawn serve helper");
+    let stdin = child.stdin.take().expect("serve helper stdin");
+    let mut stdout = std::io::BufReader::new(child.stdout.take().expect("serve helper stdout"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("serve helper READY");
+    let mut parts = line.trim().split_whitespace();
+    assert_eq!(parts.next(), Some("READY"), "serve helper said {line:?}");
+    let addr = parts.next().expect("serve helper addr").parse().expect("serve helper addr");
+    let chosen = parts.next().unwrap_or("unknown").to_string();
+    ServeHelper { child, stdin, stdout, addr, chosen }
+}
+
+impl ServeHelper {
+    /// One `STATS` round-trip: the node's io counters, space-separated
+    /// in `IoStats` field order.
+    fn stats(&mut self) -> sweb_reactor::IoStats {
+        use std::io::{BufRead as _, Write as _};
+        writeln!(self.stdin, "STATS").expect("serve helper stdin");
+        let mut line = String::new();
+        self.stdout.read_line(&mut line).expect("serve helper stats");
+        let mut vals =
+            line.trim().split_whitespace().map(|t| t.parse::<u64>().expect("stats field"));
+        let mut next = || vals.next().expect("nine stats fields");
+        sweb_reactor::IoStats {
+            syscalls: next(),
+            sqe_submitted: next(),
+            cqe_completed: next(),
+            syscalls_saved: next(),
+            write_fixed: next(),
+            buf_pool_exhausted: next(),
+            send_zc: next(),
+            zc_copies_avoided: next(),
+            sqe_backlogged: next(),
+        }
+    }
+
+    fn shutdown(self) {
+        let ServeHelper { mut child, stdin, .. } = self;
+        drop(stdin); // EOF: the helper's command loop exits
+        let _ = child.wait();
+    }
+}
+
+/// One leg of the A/B: `ceil(hold / helper_cap)` server processes, each
+/// pinned to `backend` and loaded with its share of the held population
+/// by a paired hold-helper process, then driven with `requests`
+/// fresh-connection fetches round-robined across the servers. Both ends
+/// of every held connection live in helper processes, so the population
+/// scales past any single process's `RLIMIT_NOFILE` (hard-capped at 20k
+/// here) — 100k held connections is 7 server/holder pairs.
+fn run_uring_leg(
+    backend: &str,
+    sqpoll: bool,
     hold: usize,
+    helper_cap: usize,
     workers: usize,
     requests: u64,
     docroot: &std::path::Path,
 ) -> UringOutcome {
-    let cfg = ClusterConfig {
-        engine: Engine::Reactor,
-        policy: sweb_core::Policy::RoundRobin, // one node; never redirect
-        io_backend: backend,
-        shards: 1, // one loop: the syscall columns compare like for like
-        max_conns: hold + workers + 64,
-        ..ClusterConfig::default()
-    };
-    let cluster = LiveCluster::start(1, docroot.to_path_buf(), cfg).expect("start cluster");
-    let base = cluster.base_url(0).to_string();
-    let dest: std::net::SocketAddr =
-        base.strip_prefix("http://").unwrap().parse().expect("node address");
+    use std::io::BufRead as _;
+    let servers = hold.div_ceil(helper_cap).max(1);
+    let per = hold.div_ceil(servers);
+    let exe = std::env::current_exe().expect("own executable path");
 
-    // The held population lives in a child process: the server end of
-    // every connection is an fd in *this* process, so holding the client
-    // ends here too would need 2× `hold` against one RLIMIT_NOFILE.
-    // The helper re-execs this binary (see `hold_helper`), reports how
-    // many connections it planted, and keeps them open until its stdin
-    // closes.
-    let mut helper = std::process::Command::new(
-        std::env::current_exe().expect("own executable path"),
-    )
-    .arg("--hold-helper")
-    .arg(dest.to_string())
-    .arg(hold.to_string())
-    .stdin(std::process::Stdio::piped())
-    .stdout(std::process::Stdio::piped())
-    .spawn()
-    .expect("spawn hold helper");
-    let held_count = {
-        use std::io::BufRead as _;
-        let out = helper.stdout.take().expect("helper stdout");
-        let mut line = String::new();
-        std::io::BufReader::new(out).read_line(&mut line).expect("helper report");
-        line.trim().parse::<usize>().expect("helper count")
-    };
-    if held_count < hold {
-        eprintln!("enginebench: helper could only hold {held_count} of {hold} connections");
+    let mut serve: Vec<ServeHelper> = (0..servers)
+        .map(|_| spawn_serve_helper(&exe, backend, sqpoll, docroot, per + workers + 256))
+        .collect();
+    let chosen = serve[0].chosen.clone();
+
+    // Pair holder i with server i. The explicit start index keeps the
+    // loopback source-address rotation global across holders, exactly as
+    // the old single-process rig rotated it.
+    let mut holders = Vec::new();
+    let mut held_total = 0usize;
+    for (i, s) in serve.iter().enumerate() {
+        let want = per.min(hold.saturating_sub(i * per));
+        if want == 0 {
+            break;
+        }
+        let mut h = std::process::Command::new(&exe)
+            .arg("--hold-helper")
+            .arg(s.addr.to_string())
+            .arg(want.to_string())
+            .arg((i * per).to_string())
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .expect("spawn hold helper");
+        let held = {
+            let out = h.stdout.take().expect("hold helper stdout");
+            let mut line = String::new();
+            std::io::BufReader::new(out).read_line(&mut line).expect("hold helper report");
+            line.trim().parse::<usize>().expect("hold helper count")
+        };
+        held_total += held;
+        holders.push(h);
     }
-    // Let the shard admit the whole population before the measured window.
+    if held_total < hold {
+        eprintln!("enginebench: helpers could only hold {held_total} of {hold} connections");
+    }
+    // Let every shard admit its whole population before the measured window.
     std::thread::sleep(Duration::from_millis(500));
 
-    // Reset the counters so the columns cover exactly the measured
-    // window (startup arming and the held-population admission differ
-    // between backends and would blur the per-request comparison).
-    let stats = &cluster.node(0).stats;
-    let sys0 = stats.io_syscalls.get();
-    let sqe0 = stats.io_sqe_submitted.get();
-    let cqe0 = stats.io_cqe_completed.get();
-    let saved0 = stats.io_syscalls_saved.get();
+    // Counter baseline: the columns cover exactly the measured window
+    // (startup arming and held-population admission differ between
+    // backends and would blur the per-request comparison).
+    let mut io0 = sweb_reactor::IoStats::default();
+    for s in serve.iter_mut() {
+        io0.add(&s.stats());
+    }
 
+    let urls: Vec<String> = serve.iter().map(|s| format!("http://{}", s.addr)).collect();
     let remaining = Arc::new(AtomicU64::new(requests));
     let errors = Arc::new(AtomicU64::new(0));
     let hist = Arc::new(Mutex::new(Histogram::new()));
     let t0 = Instant::now();
     let mut handles = Vec::new();
     for w in 0..workers {
-        let base = base.clone();
+        let urls = urls.clone();
         let remaining = Arc::clone(&remaining);
         let errors = Arc::clone(&errors);
         let hist = Arc::clone(&hist);
@@ -1109,7 +1412,15 @@ fn run_uring_backend(
                 {
                     break;
                 }
-                let url = format!("{base}/doc{}.txt", r % 16);
+                // Every 16th fetch pulls the large payload so the leg
+                // exercises SEND_ZC (bodies past the staging-slot size)
+                // alongside WRITE_FIXED small documents.
+                let base = &urls[r % urls.len()];
+                let url = if r % 16 == 0 {
+                    format!("{base}/payload.bin")
+                } else {
+                    format!("{base}/doc{}.txt", r % 16)
+                };
                 r += 1;
                 let t = Instant::now();
                 match client::get_with_timeout(&url, Duration::from_secs(30)) {
@@ -1128,42 +1439,122 @@ fn run_uring_backend(
         let _ = h.join();
     }
     let duration = t0.elapsed();
-    // One stats-drain period so the shard's final tick lands.
+    // One stats-drain period so each shard's final tick lands.
     std::thread::sleep(Duration::from_millis(100));
+    let mut io1 = sweb_reactor::IoStats::default();
+    for s in serve.iter_mut() {
+        io1.add(&s.stats());
+    }
     let io = sweb_reactor::IoStats {
-        syscalls: stats.io_syscalls.get() - sys0,
-        sqe_submitted: stats.io_sqe_submitted.get() - sqe0,
-        cqe_completed: stats.io_cqe_completed.get() - cqe0,
-        syscalls_saved: stats.io_syscalls_saved.get() - saved0,
+        syscalls: io1.syscalls - io0.syscalls,
+        sqe_submitted: io1.sqe_submitted - io0.sqe_submitted,
+        cqe_completed: io1.cqe_completed - io0.cqe_completed,
+        syscalls_saved: io1.syscalls_saved - io0.syscalls_saved,
+        write_fixed: io1.write_fixed - io0.write_fixed,
+        buf_pool_exhausted: io1.buf_pool_exhausted - io0.buf_pool_exhausted,
+        send_zc: io1.send_zc - io0.send_zc,
+        zc_copies_avoided: io1.zc_copies_avoided - io0.zc_copies_avoided,
+        sqe_backlogged: io1.sqe_backlogged - io0.sqe_backlogged,
     };
-    let chosen = cluster.node(0).shard_io_backend[0].read().to_string();
-    drop(helper.stdin.take()); // EOF releases the held population
-    let _ = helper.wait();
-    cluster.shutdown();
+    for mut h in holders {
+        drop(h.stdin.take()); // EOF releases the held population
+        let _ = h.wait();
+    }
+    for s in serve {
+        s.shutdown();
+    }
     let hist = Arc::try_unwrap(hist).expect("workers joined").into_inner().unwrap();
     UringOutcome {
         chosen,
         errors: errors.load(Ordering::Relaxed),
-        held: held_count,
+        held: held_total,
+        helpers: servers,
         duration,
         hist,
         io,
     }
 }
 
-/// The re-exec target for the held population (see `run_uring_backend`):
-/// plant `count` idle connections to `dest`, report the number planted on
-/// stdout, hold them until stdin reaches EOF.
-fn hold_helper(dest_arg: &str, count_arg: &str) {
+/// The server-side re-exec target (see `run_uring_leg`): one
+/// single-shard node pinned to `backend` in its own process (its own
+/// `RLIMIT_NOFILE` budget). Prints `READY <addr> <chosen-backend>` once
+/// serving, answers each `STATS` stdin line with the node's io counters
+/// (space-separated, `IoStats` field order), and shuts down on EOF.
+fn serve_helper(backend_arg: &str, docroot_arg: &str, max_conns_arg: &str) {
+    use std::io::BufRead as _;
+    let backend = sweb_reactor::IoBackend::parse(backend_arg).expect("serve helper backend");
+    let max_conns: usize = max_conns_arg.parse().expect("serve helper max-conns");
+    raise_nofile(max_conns as u64 + 4096);
+    let cfg = ClusterConfig {
+        engine: Engine::Reactor,
+        policy: sweb_core::Policy::RoundRobin, // one node; never redirect
+        io_backend: backend,
+        shards: 1, // one loop: the syscall columns compare like for like
+        max_conns,
+        // Room for the large SEND_ZC payload in every cache segment.
+        file_cache_bytes: 32 << 20,
+        ..ClusterConfig::default()
+    };
+    let cluster = LiveCluster::start(1, docroot_arg.into(), cfg).expect("start helper node");
+    // The shard publishes its chosen backend from its own thread; wait
+    // for it so READY reports what actually runs, not the placeholder.
+    let chosen = {
+        let deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            let c = cluster.node(0).shard_io_backend[0].read().to_string();
+            if c != "none" || Instant::now() >= deadline {
+                break c;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    };
+    let addr = cluster.base_url(0).strip_prefix("http://").expect("base url").to_string();
+    println!("READY {addr} {chosen}");
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break; // parent hung up
+        }
+        match line.trim() {
+            "STATS" => {
+                let s = &cluster.node(0).stats;
+                println!(
+                    "{} {} {} {} {} {} {} {} {}",
+                    s.io_syscalls.get(),
+                    s.io_sqe_submitted.get(),
+                    s.io_cqe_completed.get(),
+                    s.io_syscalls_saved.get(),
+                    s.io_write_fixed.get(),
+                    s.io_buf_pool_exhausted.get(),
+                    s.io_send_zc.get(),
+                    s.io_zc_copies_avoided.get(),
+                    s.io_sqe_backlogged.get(),
+                );
+            }
+            "EXIT" => break,
+            _ => {}
+        }
+    }
+    cluster.shutdown();
+}
+
+/// The client-side re-exec target (see `run_uring_leg`): plant `count`
+/// idle connections to `dest`, report the number planted on stdout, hold
+/// them until stdin reaches EOF. `start` offsets the source-address
+/// rotation so the population stays globally sharded across helpers.
+fn hold_helper(dest_arg: &str, count_arg: &str, start_arg: Option<&str>) {
     let dest: std::net::SocketAddr = dest_arg.parse().expect("helper dest");
     let count: usize = count_arg.parse().expect("helper count");
+    let start: usize = start_arg.map(|s| s.parse().expect("helper start")).unwrap_or(0);
     raise_nofile(count as u64 + 1024);
     // A single (source, destination) pair runs out of ephemeral ports
     // around 28k; shard the clients across loopback source addresses so
     // the population can grow past that.
     let mut held = Vec::with_capacity(count);
     for i in 0..count {
-        let source = std::net::Ipv4Addr::new(127, 0, 0, 1 + (i / 8192) as u8);
+        let source = std::net::Ipv4Addr::new(127, 0, 0, 1 + ((start + i) / 8192) as u8);
         match sweb_reactor::sys::connect_from(dest, source) {
             Ok(s) => held.push(s),
             Err(e) => {
@@ -1177,43 +1568,81 @@ fn hold_helper(dest_arg: &str, count_arg: &str) {
     let _ = std::io::stdin().read_line(&mut sink);
 }
 
+/// Large-document size for the uring scenario: past the staging-slot
+/// size (so it can't ride `WRITE_FIXED`) and past `ZC_MIN_BODY` (so a
+/// `SEND_ZC`-capable kernel sends it zero-copy).
+const URING_PAYLOAD_LEN: usize = 256 << 10;
+
 fn main_uring(args: &Args) {
     let hold = args.hold.unwrap_or(10_000);
     let workers = args.workers.unwrap_or(16);
     let requests = args.requests.unwrap_or(3000);
+    let helper_cap = args.helper_cap;
     let out_path =
         args.out.clone().unwrap_or_else(|| std::path::PathBuf::from("results/uring.csv"));
-    // This process keeps the *server* end of every held connection (the
-    // client ends live in the helper), plus the active workers' sockets.
-    let limit = raise_nofile(hold as u64 + 4096);
-    let hold = hold.min((limit.saturating_sub(2048)) as usize);
+    // The parent only carries the driver workers' sockets and the helper
+    // pipes; both ends of every held connection live in helper processes.
+    let limit = raise_nofile(workers as u64 + 4096);
+    let servers = hold.div_ceil(helper_cap).max(1);
     let kernel = std::fs::read_to_string("/proc/sys/kernel/osrelease")
         .map(|s| s.trim().to_string())
         .unwrap_or_else(|_| "unknown".to_string());
-    eprintln!("enginebench: uring A/B on kernel {kernel}, nofile limit {limit}, hold {hold}");
+    eprintln!(
+        "enginebench: uring A/B on kernel {kernel}: hold {hold} across {servers} \
+         server/holder pair(s) (cap {helper_cap}/process, parent nofile {limit})"
+    );
     let docroot = make_docroot();
+    // A cache-resident large document so the SEND_ZC path is exercised
+    // alongside WRITE_FIXED (see `run_uring_leg`'s request mix).
+    let mut body = vec![0u8; URING_PAYLOAD_LEN];
+    let mut x: u64 = 0x5eb0_c0de;
+    for b in body.iter_mut() {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *b = (x >> 56) as u8;
+    }
+    std::fs::write(docroot.join("payload.bin"), &body).expect("write payload");
     let mut out = open_csv(
         &out_path,
-        "backend,chosen,nodes,held_conns,workers,requests,errors,duration_s,rps,p50_ms,p99_ms,\
-         io_syscalls,sqe_submitted,cqe_completed,syscalls_saved",
+        "backend,chosen,helpers,held_conns,workers,requests,errors,duration_s,rps,p50_ms,p99_ms,\
+         io_syscalls,sqe_submitted,cqe_completed,syscalls_saved,write_fixed,buf_pool_exhausted,\
+         send_zc,zc_copies_avoided,sqe_backlogged",
     );
-    let backends = [sweb_reactor::IoBackend::Epoll, sweb_reactor::IoBackend::Uring];
+    // The third leg re-runs uring with the kernel-side submission thread
+    // (`SWEB_URING_SQPOLL=1` in the helper's environment). Its held count
+    // is capped: one busy-polling kernel thread per helper pair
+    // oversubscribes small boxes so badly that merely *establishing* a
+    // six-figure held crowd takes hours — the crawl is the finding, and
+    // the leg's own `held_conns` field reports the cap honestly.
+    const SQPOLL_HOLD_CAP: usize = 10_000;
+    let legs: [(&str, &str, bool); 3] =
+        [("epoll", "epoll", false), ("uring", "uring", false), ("uring_sqpoll", "uring", true)];
     let mut json_rows = Vec::new();
-    for backend in backends {
+    for (leg, backend, sqpoll) in legs {
+        let leg_hold = if sqpoll { hold.min(SQPOLL_HOLD_CAP) } else { hold };
+        if leg_hold < hold {
+            eprintln!(
+                "enginebench: leg={leg} capped at {leg_hold} held (SQPOLL busy-poll threads \
+                 oversubscribe this box at {hold})"
+            );
+        }
         eprintln!(
-            "enginebench: backend={} hold={hold} workers={workers} requests={requests}",
-            backend.name()
+            "enginebench: leg={leg} hold={leg_hold} servers={servers} workers={workers} \
+             requests={requests}"
         );
-        let r = run_uring_backend(backend, hold, workers, requests, &docroot);
+        let rep = run_repeated(args.warmup, args.repeats, || {
+            run_uring_leg(backend, sqpoll, leg_hold, helper_cap, workers, requests, &docroot)
+        });
+        let r = &rep.merged;
         let served = r.hist.count();
         let secs = r.duration.as_secs_f64().max(1e-9);
         let rps = served as f64 / secs;
         let p50 = r.hist.quantile(0.50) as f64 / 1000.0;
         let p99 = r.hist.quantile(0.99) as f64 / 1000.0;
         let row = format!(
-            "{},{},1,{},{workers},{requests},{},{:.3},{rps:.1},{p50:.3},{p99:.3},{},{},{},{}",
-            backend.name(),
+            "{leg},{},{},{},{workers},{requests},{},{:.3},{rps:.1},{p50:.3},{p99:.3},\
+             {},{},{},{},{},{},{},{},{}",
             r.chosen,
+            r.helpers,
             r.held,
             r.errors,
             r.duration.as_secs_f64(),
@@ -1221,29 +1650,48 @@ fn main_uring(args: &Args) {
             r.io.sqe_submitted,
             r.io.cqe_completed,
             r.io.syscalls_saved,
+            r.io.write_fixed,
+            r.io.buf_pool_exhausted,
+            r.io.send_zc,
+            r.io.zc_copies_avoided,
+            r.io.sqe_backlogged,
         );
         writeln!(out, "{row}").unwrap();
         eprintln!("enginebench: {row}");
         json_rows.push(format!(
-            "    {{\"backend\": \"{}\", \"chosen\": \"{}\", \"held_conns\": {}, \
-             \"errors\": {}, \"duration_s\": {:.3}, \"rps\": {rps:.1}, \"p50_ms\": {p50:.3}, \
-             \"p99_ms\": {p99:.3}, \"io_syscalls\": {}, \"sqe_submitted\": {}, \
-             \"cqe_completed\": {}, \"syscalls_saved\": {}}}",
-            backend.name(),
+            "    {{\"backend\": \"{leg}\", \"chosen\": \"{}\", \"held_conns\": {}, \
+             \"helpers\": {}, \"errors\": {}, \"duration_s\": {:.3}, \"rps\": {rps:.1}, \
+             \"p50_ms\": {p50:.3}, \"p99_ms\": {p99:.3}, \"rps_stats\": {}, \
+             \"p99_ms_stats\": {},\n     \"io\": {{\"syscalls\": {}, \"sqe_submitted\": {}, \
+             \"cqe_completed\": {}, \"syscalls_saved\": {}, \"write_fixed\": {}, \
+             \"buf_pool_exhausted\": {}, \"send_zc\": {}, \"zc_copies_avoided\": {}, \
+             \"sqe_backlogged\": {}}}}}",
             r.chosen,
             r.held,
+            r.helpers,
             r.errors,
             r.duration.as_secs_f64(),
+            rep.rps.json(),
+            rep.p99_ms.json(),
             r.io.syscalls,
             r.io.sqe_submitted,
             r.io.cqe_completed,
             r.io.syscalls_saved,
+            r.io.write_fixed,
+            r.io.buf_pool_exhausted,
+            r.io.send_zc,
+            r.io.zc_copies_avoided,
+            r.io.sqe_backlogged,
         ));
     }
     let json = format!(
-        "{{\n  \"bench\": \"uring\",\n  \"schema_version\": 1,\n  \"kernel\": \"{kernel}\",\n  \
-         \"nodes\": 1,\n  \"requests\": {requests},\n  \"workers\": {workers},\n  \
+        "{{\n  \"bench\": \"uring\",\n  \"schema_version\": 2,\n  \"kernel\": \"{kernel}\",\n  \
+         \"hold\": {hold},\n  \"helper_cap\": {helper_cap},\n  \
+         \"payload_bytes\": {URING_PAYLOAD_LEN},\n  \"requests\": {requests},\n  \
+         \"workers\": {workers},\n  \"warmup\": {},\n  \"repeats\": {},\n  \
          \"backends\": [\n{}\n  ]\n}}\n",
+        args.warmup,
+        args.repeats,
         json_rows.join(",\n")
     );
     std::fs::write("BENCH_uring.json", json).expect("write BENCH_uring.json");
@@ -1273,6 +1721,22 @@ struct DynOutcome {
     invocations: u64,
     /// Requests answered from the dynamic response cache.
     cache_hits: u64,
+}
+
+impl BenchLeg for DynOutcome {
+    fn hist(&self) -> &Histogram {
+        &self.hist
+    }
+    fn duration(&self) -> Duration {
+        self.duration
+    }
+    fn absorb(&mut self, other: Self) {
+        self.errors += other.errors;
+        self.duration += other.duration;
+        self.hist.merge(&other.hist);
+        self.invocations += other.invocations;
+        self.cache_hits += other.cache_hits;
+    }
 }
 
 /// The fork-CGI probe: a trivial shell script, so the `fork` row prices
@@ -1490,7 +1954,10 @@ fn main_dynamic(args: &Args) {
             "enginebench: dynamic mode={} workers={workers} requests={requests}",
             mode.name
         );
-        let r = run_dynamic_mode(mode, workers, requests, &docroot);
+        let rep = run_repeated(args.warmup, args.repeats, || {
+            run_dynamic_mode(mode, workers, requests, &docroot)
+        });
+        let r = &rep.merged;
         let served = r.hist.count();
         let secs = r.duration.as_secs_f64().max(1e-9);
         let rps = served as f64 / secs;
@@ -1509,19 +1976,24 @@ fn main_dynamic(args: &Args) {
         json_rows.push(format!(
             "    {{\"mode\": \"{}\", \"errors\": {}, \"duration_s\": {:.3}, \"rps\": {rps:.1}, \
              \"p50_ms\": {p50:.3}, \"p99_ms\": {p99:.3}, \"invocations\": {}, \
-             \"cache_hits\": {}}}",
+             \"cache_hits\": {}, \"rps_stats\": {}, \"p99_ms_stats\": {}}}",
             mode.name,
             r.errors,
             r.duration.as_secs_f64(),
             r.invocations,
             r.cache_hits,
+            rep.rps.json(),
+            rep.p99_ms.json(),
         ));
     }
     let json = format!(
         "{{\n  \"bench\": \"dynamic\",\n  \"schema_version\": 1,\n  \"nodes\": 1,\n  \
-         \"requests\": {requests},\n  \"workers\": {workers},\n  \"convergence\": {{\n    \
+         \"requests\": {requests},\n  \"workers\": {workers},\n  \"warmup\": {},\n  \
+         \"repeats\": {},\n  \"convergence\": {{\n    \
          \"probes\": {},\n    \"error_p50_first_quartile_pct\": {err_first},\n    \
          \"error_p50_last_quartile_pct\": {err_last}\n  }},\n  \"modes\": [\n{}\n  ]\n}}\n",
+        args.warmup,
+        args.repeats,
         samples.len(),
         json_rows.join(",\n")
     );
@@ -1547,6 +2019,25 @@ struct OverloadOutcome {
     /// Latency of the 200s only (shed responses return in microseconds
     /// and would flatter the percentile columns).
     hist: Histogram,
+}
+
+impl BenchLeg for OverloadOutcome {
+    fn hist(&self) -> &Histogram {
+        &self.hist
+    }
+    fn duration(&self) -> Duration {
+        self.duration
+    }
+    fn absorb(&mut self, other: Self) {
+        self.sent += other.sent;
+        self.ok200 += other.ok200;
+        self.good += other.good;
+        self.shed503 += other.shed503;
+        self.shed_with_retry_after += other.shed_with_retry_after;
+        self.errors += other.errors;
+        self.duration += other.duration;
+        self.hist.merge(&other.hist);
+    }
 }
 
 /// Drive one cluster leg at `offered_rps` for `window` with an open-loop
@@ -1746,20 +2237,18 @@ fn main_overload(args: &Args) {
             eprintln!(
                 "enginebench: overload {mode} offered {offered:.0} rps ({offered_x}x capacity)"
             );
-            let r = run_overload_leg(
-                controller,
-                offered,
-                window,
-                burn_ms,
-                slo,
-                client_pool,
-                &docroot,
-            );
+            let rep = run_repeated(args.warmup, args.repeats, || {
+                run_overload_leg(controller, offered, window, burn_ms, slo, client_pool, &docroot)
+            });
+            let r = &rep.merged;
             // Goodput is normalized by the *scheduled* window: the
             // offered load is defined over those seconds, and a leg
             // that stretches past them (clients queueing behind a
             // saturated server) earns no denominator relief for it.
-            let goodput = r.good as f64 / window.as_secs_f64();
+            // Repeats each schedule their own window, so the
+            // denominator scales with the measured repeat count.
+            let goodput =
+                r.good as f64 / (window.as_secs_f64() * args.repeats.max(1) as f64);
             let p50 = r.hist.quantile(0.50) as f64 / 1000.0;
             let p99 = r.hist.quantile(0.99) as f64 / 1000.0;
             let row = format!(
@@ -1785,7 +2274,7 @@ fn main_overload(args: &Args) {
                 "      \"{mode}\": {{\"sent\": {}, \"ok200\": {}, \"good\": {}, \
                  \"shed503\": {}, \"shed_with_retry_after\": {}, \"errors\": {}, \
                  \"duration_s\": {:.3}, \"goodput_rps\": {goodput:.1}, \"p50_ms\": {p50:.3}, \
-                 \"p99_ms\": {p99:.3}}}",
+                 \"p99_ms\": {p99:.3}, \"rps_stats\": {}, \"p99_ms_stats\": {}}}",
                 r.sent,
                 r.ok200,
                 r.good,
@@ -1793,6 +2282,8 @@ fn main_overload(args: &Args) {
                 r.shed_with_retry_after,
                 r.errors,
                 r.duration.as_secs_f64(),
+                rep.rps.json(),
+                rep.p99_ms.json(),
             ));
         }
         json_steps.push(format!(
@@ -1804,10 +2295,12 @@ fn main_overload(args: &Args) {
     let json = format!(
         "{{\n  \"bench\": \"overload\",\n  \"schema_version\": 1,\n  \"nodes\": 1,\n  \
          \"server_workers\": 4,\n  \"burn_ms\": {burn_ms},\n  \"slo_ms\": {},\n  \
-         \"window_s\": {},\n  \"client_pool\": {client_pool},\n  \
-         \"capacity_rps\": {capacity:.0},\n  \"steps\": [\n{}\n  ]\n}}\n",
+         \"window_s\": {},\n  \"client_pool\": {client_pool},\n  \"warmup\": {},\n  \
+         \"repeats\": {},\n  \"capacity_rps\": {capacity:.0},\n  \"steps\": [\n{}\n  ]\n}}\n",
         slo.as_millis(),
         window.as_secs(),
+        args.warmup,
+        args.repeats,
         json_steps.join(",\n")
     );
     std::fs::write("BENCH_overload.json", json).expect("write BENCH_overload.json");
@@ -1818,7 +2311,11 @@ fn main_overload(args: &Args) {
 fn main() {
     let argv: Vec<String> = std::env::args().collect();
     if argv.get(1).map(String::as_str) == Some("--hold-helper") {
-        hold_helper(&argv[2], &argv[3]);
+        hold_helper(&argv[2], &argv[3], argv.get(4).map(String::as_str));
+        return;
+    }
+    if argv.get(1).map(String::as_str) == Some("--serve-helper") {
+        serve_helper(&argv[2], &argv[3], &argv[4]);
         return;
     }
     let args = parse_args();

@@ -255,6 +255,10 @@ pub struct ReactorConfig {
     /// legacy `SWEB_REACTOR_POLL=1`, then epoll). `Uring` and `Auto` fall
     /// back to epoll when the kernel lacks io_uring support.
     pub io_backend: IoBackend,
+    /// Registered-buffer staging pool budget per shard, bytes (io_uring
+    /// only; 0 disables registration). Servers size this off the file
+    /// cache's per-segment share so the pool tracks the hot working set.
+    pub uring_buf_pool_bytes: usize,
 }
 
 /// Default worker-pool size: `SWEB_REACTOR_WORKERS` when set to a
@@ -290,12 +294,31 @@ impl Default for ReactorConfig {
             request_budget: Duration::from_secs(10),
             force_handoff_accept: false,
             io_backend: IoBackend::from_env(),
+            uring_buf_pool_bytes: default_uring_buf_pool(),
         }
     }
 }
 
+/// Default registered-buffer pool budget per shard.
+#[cfg(target_os = "linux")]
+fn default_uring_buf_pool() -> usize {
+    sys::uring::DEFAULT_BUF_POOL
+}
+
+#[cfg(not(target_os = "linux"))]
+fn default_uring_buf_pool() -> usize {
+    0
+}
+
 /// Largest accepted POST body (mirrors the threaded engine).
 const MAX_BODY_BYTES: u64 = 1 << 20;
+
+/// Largest file body the loop will materialize for a `SEND_ZC` transmit
+/// instead of streaming with `sendfile(2)`. The zero-copy send rides
+/// the ring (no per-chunk syscall + readiness round trip), but the
+/// worker pays one read into memory — bounded here so a multi-GiB
+/// response cannot balloon the heap.
+const ZC_FILE_MAX: u64 = 4 << 20;
 
 /// Reserved poller tokens.
 const TOKEN_LISTENER: usize = 0;
@@ -355,6 +378,9 @@ fn spawn_shard(
     if let Some(l) = &listener {
         l.set_nonblocking(true)?;
     }
+    #[cfg(target_os = "linux")]
+    let poller = Poller::with_backend_and_pool(cfg.io_backend, cfg.uring_buf_pool_bytes)?;
+    #[cfg(not(target_os = "linux"))]
     let poller = Poller::with_backend(cfg.io_backend)?;
     let backend = poller.backend();
 
@@ -1158,6 +1184,10 @@ impl Loop {
         let token = idx;
         let transmit = self.cfg.transmit;
         let sendfile_ok = self.cfg.use_sendfile && sys::HAS_SENDFILE;
+        // When the backend can SEND_ZC, moderate files are worth
+        // materializing: the body then rides the ring as one zero-copy
+        // op instead of a per-chunk sendfile loop on the loop thread.
+        let zc_file_ok = self.poller.supports_send_zc();
         let enqueued = Instant::now();
         let job = Box::new(move || {
             // Queue wait is the admission controller's signal: the time
@@ -1193,11 +1223,14 @@ impl Loop {
                 resp.headers.set("Content-Length", fb.len.to_string());
                 if head_only {
                     // Header describes the file; nothing follows.
-                } else if sendfile_ok {
+                } else if sendfile_ok && !(zc_file_ok && fb.len <= ZC_FILE_MAX) {
                     file_tx = Some(FileTx { file: fb.file, offset: 0, end: fb.len });
                 } else {
-                    // Portable fallback: materialize here, on the worker
-                    // thread, so the blocking read stays off the loop.
+                    // Materialize here, on the worker thread, so the
+                    // blocking read stays off the loop: either the
+                    // platform lacks sendfile, or SEND_ZC is available
+                    // and a bounded in-memory body rides the ring as
+                    // one zero-copy op instead of a sendfile loop.
                     let mut buf = Vec::with_capacity(fb.len as usize);
                     let mut f = fb.file;
                     match Read::by_ref(&mut f).take(fb.len).read_to_end(&mut buf) {

@@ -108,6 +108,21 @@ pub struct IoStats {
     pub cqe_completed: u64,
     /// Dedicated syscalls avoided by the completion model.
     pub syscalls_saved: u64,
+    /// Responses transmitted as `WRITE_FIXED` from the registered
+    /// staging pool (io_uring only).
+    pub write_fixed: u64,
+    /// Responses that wanted a staging slot but found the pool
+    /// exhausted and fell back to plain `WRITEV`.
+    pub buf_pool_exhausted: u64,
+    /// `SEND_ZC` operations submitted for large bodies.
+    pub send_zc: u64,
+    /// Completed zero-copy body sends — each one is a kernel
+    /// skb-copy of the payload avoided versus plain `write`/`sendfile`.
+    pub zc_copies_avoided: u64,
+    /// SQEs that found the submission queue full and waited in the
+    /// userspace backlog (SQ-pressure signal; see uring docs on the
+    /// p99 investigation).
+    pub sqe_backlogged: u64,
 }
 
 impl IoStats {
@@ -122,6 +137,11 @@ impl IoStats {
         self.sqe_submitted += other.sqe_submitted;
         self.cqe_completed += other.cqe_completed;
         self.syscalls_saved += other.syscalls_saved;
+        self.write_fixed += other.write_fixed;
+        self.buf_pool_exhausted += other.buf_pool_exhausted;
+        self.send_zc += other.send_zc;
+        self.zc_copies_avoided += other.zc_copies_avoided;
+        self.sqe_backlogged += other.sqe_backlogged;
     }
 }
 
@@ -199,25 +219,37 @@ impl Poller {
     /// `uring` request logs the downgrade to stderr, `auto` is silent.
     pub fn with_backend(backend: IoBackend) -> io::Result<Poller> {
         #[cfg(target_os = "linux")]
+        return Poller::with_backend_and_pool(backend, uring::DEFAULT_BUF_POOL);
+        #[cfg(not(target_os = "linux"))]
         {
-            match backend {
-                IoBackend::Uring | IoBackend::Auto => match uring::UringPoller::new() {
-                    Ok(p) => return Ok(Poller::Uring(Box::new(p))),
+            let _ = backend;
+            Ok(Poller::Poll(pollfd::PollPoller::new()))
+        }
+    }
+
+    /// [`Poller::with_backend`] with an explicit registered-buffer pool
+    /// budget for the io_uring backend (bytes; ignored by the readiness
+    /// backends). Shards size this off the file cache's hot-segment
+    /// share so the staging pool tracks the working set it stages.
+    #[cfg(target_os = "linux")]
+    pub fn with_backend_and_pool(backend: IoBackend, pool_bytes: usize) -> io::Result<Poller> {
+        match backend {
+            IoBackend::Uring | IoBackend::Auto => {
+                match uring::UringPoller::with_pool_bytes(pool_bytes) {
+                    Ok(p) => Ok(Poller::Uring(Box::new(p))),
                     Err(e) => {
                         if backend == IoBackend::Uring {
                             eprintln!(
                                 "sweb-reactor: io_uring unavailable ({e}); falling back to epoll"
                             );
                         }
-                        return Ok(Poller::Epoll(epoll::EpollPoller::new()?));
+                        Ok(Poller::Epoll(epoll::EpollPoller::new()?))
                     }
-                },
-                IoBackend::Epoll => return Ok(Poller::Epoll(epoll::EpollPoller::new()?)),
-                IoBackend::Poll => {}
+                }
             }
+            IoBackend::Epoll => Ok(Poller::Epoll(epoll::EpollPoller::new()?)),
+            IoBackend::Poll => Ok(Poller::Poll(pollfd::PollPoller::new())),
         }
-        let _ = backend;
-        Ok(Poller::Poll(pollfd::PollPoller::new()))
     }
 
     /// Open exactly the requested backend — no fallback. Errors when
@@ -302,6 +334,18 @@ impl Poller {
         match self {
             #[cfg(target_os = "linux")]
             Poller::Uring(p) => p.supports_queued_write(),
+            _ => false,
+        }
+    }
+
+    /// True when large queued bodies go out as `SEND_ZC` (io_uring on a
+    /// kernel that probes the opcode, not opted out). Callers use this
+    /// to prefer materializing a file body over the sendfile loop: the
+    /// zero-copy send rides the ring, sendfile cannot.
+    pub fn supports_send_zc(&self) -> bool {
+        match self {
+            #[cfg(target_os = "linux")]
+            Poller::Uring(p) => p.supports_send_zc(),
             _ => false,
         }
     }

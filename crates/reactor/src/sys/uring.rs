@@ -19,7 +19,20 @@
 //!   is submitted as a `WRITEV` SQE; on keep-alive it carries
 //!   `IOSQE_IO_LINK` into the next-request `POLL_ADD`, so
 //!   write-response → await-next-request re-enters the kernel zero
-//!   times between requests.
+//!   times between requests;
+//! * **registered buffers + `WRITE_FIXED`** — small responses are
+//!   staged into a pre-registered buffer pool (sized off the file
+//!   cache's per-segment budget) and sent as `WRITE_FIXED`, so the
+//!   kernel skips per-op buffer mapping *and* the response `Bytes`
+//!   drops at submission instead of being pinned until the CQE;
+//! * **`SEND_ZC`** for large bodies — the uring-native successor to
+//!   the sendfile path: the kernel transmits straight from the shared
+//!   body pages (no copy into socket buffers), completion arrives as a
+//!   result CQE plus a buffer-release notification CQE, and the op's
+//!   buffers stay alive until the notification lands;
+//! * **SQPOLL** (opt-in via `SWEB_URING_SQPOLL=1`) — a kernel-side
+//!   submission thread consumes SQEs without `io_uring_enter`; useful
+//!   only with spare cores, so it stays off by default.
 //!
 //! Everything is raw FFI (syscalls 425/426/427 + `mmap`), matching the
 //! crate's no-dependency policy. The [`super::Poller`] seam keeps the
@@ -47,11 +60,14 @@ const SYS_IO_URING_ENTER: i64 = 426;
 const SYS_IO_URING_REGISTER: i64 = 427;
 
 const IORING_OP_WRITEV: u8 = 2;
+const IORING_OP_WRITE_FIXED: u8 = 5;
 const IORING_OP_POLL_ADD: u8 = 6;
 const IORING_OP_ACCEPT: u8 = 13;
 const IORING_OP_ASYNC_CANCEL: u8 = 14;
 const IORING_OP_FILES_UPDATE: u8 = 20;
+const IORING_OP_SEND_ZC: u8 = 47;
 
+const IORING_SETUP_SQPOLL: u32 = 1 << 1;
 const IORING_SETUP_CQSIZE: u32 = 1 << 3;
 const IORING_SETUP_CLAMP: u32 = 1 << 4;
 
@@ -68,17 +84,24 @@ const IORING_POLL_ADD_MULTI: u32 = 1 << 0;
 const IORING_ACCEPT_MULTISHOT: u16 = 1 << 0;
 
 const IORING_CQE_F_MORE: u32 = 1 << 1;
+/// This CQE is a zero-copy buffer-release notification, not a result.
+const IORING_CQE_F_NOTIF: u32 = 1 << 3;
 
 /// `SOCK_CLOEXEC` for the `ACCEPT` op's accept4-style flags.
 const SOCK_CLOEXEC: u32 = 0o2000000;
 
 const IORING_ENTER_GETEVENTS: u32 = 1 << 0;
+const IORING_ENTER_SQ_WAKEUP: u32 = 1 << 1;
 const IORING_ENTER_EXT_ARG: u32 = 1 << 3;
 
+const IORING_SQ_NEED_WAKEUP: u32 = 1 << 0;
 const IORING_SQ_CQ_OVERFLOW: u32 = 1 << 1;
 
+const IORING_REGISTER_BUFFERS: u32 = 0;
+const IORING_UNREGISTER_BUFFERS: u32 = 1;
 const IORING_REGISTER_FILES: u32 = 2;
 const IORING_UNREGISTER_FILES: u32 = 3;
+const IORING_REGISTER_PROBE: u32 = 8;
 
 const IORING_OFF_SQ_RING: i64 = 0;
 const IORING_OFF_SQES: i64 = 0x1000_0000;
@@ -107,6 +130,20 @@ const SQ_ENTRIES: u32 = 256;
 const CQ_ENTRIES: u32 = 4096;
 /// Sparse fixed-file table size: one slot per possible connection.
 const FIXED_TABLE: u32 = 4096;
+
+/// Registered-buffer slot size. Covers a response head plus any body the
+/// file cache would call "small" (the long tail of document sizes);
+/// anything larger goes out as plain `WRITEV` or `SEND_ZC`.
+const BUF_SLOT: usize = 16 * 1024;
+/// Default registered-buffer pool size when the caller doesn't wire one
+/// (matches the file cache's default 2 MiB per-segment share).
+pub(crate) const DEFAULT_BUF_POOL: usize = 2 << 20;
+/// Bodies at least this large are sent with `SEND_ZC` instead of
+/// `WRITEV`: below it, the page-pinning setup costs more than the copy
+/// it avoids.
+const ZC_MIN_BODY: usize = 64 * 1024;
+/// Idle milliseconds before an SQPOLL kernel thread parks itself.
+const SQPOLL_IDLE_MS: u32 = 50;
 
 const PROT_READ: i32 = 1;
 const PROT_WRITE: i32 = 2;
@@ -247,9 +284,13 @@ struct Reg {
     fixed_slot: Option<u32>,
 }
 
-/// An in-flight queued `WRITEV`. The kernel reads `iov` (and through it
-/// `head`/`body`) asynchronously, so the op must stay alive — buffers
+/// An in-flight queued write (`WRITEV`, `WRITE_FIXED`, or `SEND_ZC`).
+/// The kernel reads `iov` (and through it `head`/`body`, or the staged
+/// pool slot) asynchronously, so the op must stay alive — buffers
 /// unmoved — until its CQE arrives, even if the connection dies first.
+/// `SEND_ZC` ops additionally stay alive until every buffer-release
+/// notification CQE has landed (`zc_pending`), because the kernel reads
+/// the body pages until then.
 struct WriteOp {
     token: usize,
     reg_idx: usize,
@@ -257,9 +298,22 @@ struct WriteOp {
     head: Vec<u8>,
     body: Bytes,
     pos: usize,
+    /// Total response length. Staged (`fixed_buf`) ops drop `head`/`body`
+    /// at submission, so the length has to live here.
+    total: usize,
     iov: Box<[IoVec; 2]>,
     seq: u32,
     link_read: bool,
+    /// Registered-buffer slot the response was staged into, if any.
+    fixed_buf: Option<u32>,
+    /// Send the body portion with `SEND_ZC` instead of `WRITEV`.
+    send_zc: bool,
+    /// Outstanding `SEND_ZC` notification CQEs; the op cannot be freed
+    /// while any remain.
+    zc_pending: u32,
+    /// Data path finished (completed, failed, or connection gone); the
+    /// op is only waiting out `zc_pending`.
+    finished: bool,
 }
 
 /// An in-flight `FILES_UPDATE` (the fd value must stay addressable until
@@ -298,6 +352,17 @@ pub struct UringPoller {
     /// must be explicitly unregistered during [`UringPoller::shutdown`]).
     fixed_table: bool,
     fixed_free: Vec<u32>,
+    /// Registered-buffer pool backing `WRITE_FIXED` staging: `buf_slots`
+    /// equal slots of [`BUF_SLOT`] bytes, registered with the kernel at
+    /// setup. Empty when registration failed or was opted out.
+    buf_pool: Vec<u8>,
+    buf_slots: u32,
+    buf_free: Vec<u32>,
+    buf_registered: bool,
+    /// Kernel supports `IORING_OP_SEND_ZC` (probed at setup).
+    send_zc_ok: bool,
+    /// Ring was set up with `IORING_SETUP_SQPOLL`.
+    sqpoll: bool,
     regs: Slab<Reg>,
     by_fd: HashMap<RawFd, usize>,
     writes: Slab<WriteOp>,
@@ -322,6 +387,39 @@ fn env_flag(name: &str) -> bool {
     std::env::var_os(name).is_some_and(|v| v == "1")
 }
 
+/// `IORING_REGISTER_PROBE`: ask the kernel which opcodes it supports.
+/// Returns false on kernels that predate the probe itself (5.6) — any
+/// opcode new enough for us to probe for is absent there anyway.
+fn probe_opcode(ring_fd: RawFd, opcode: u8) -> bool {
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct ProbeOp {
+        op: u8,
+        resv: u8,
+        flags: u16, // bit 0: IO_URING_OP_SUPPORTED
+        resv2: u32,
+    }
+    #[repr(C)]
+    struct Probe {
+        last_op: u8,
+        ops_len: u8,
+        resv: u16,
+        resv2: [u32; 3],
+        ops: [ProbeOp; 256],
+    }
+    let mut probe: Probe = unsafe { std::mem::zeroed() };
+    let rc = unsafe {
+        syscall(
+            SYS_IO_URING_REGISTER,
+            ring_fd as usize,
+            IORING_REGISTER_PROBE as usize,
+            &mut probe as *mut Probe as usize,
+            256usize,
+        )
+    };
+    rc == 0 && probe.last_op >= opcode && probe.ops[opcode as usize].flags & 1 != 0
+}
+
 impl UringPoller {
     /// Set up the ring, or fail with `Unsupported` (caller falls back to
     /// epoll) when the kernel lacks io_uring or the features we need.
@@ -329,21 +427,52 @@ impl UringPoller {
     /// Debug escape hatches: `SWEB_URING_DISABLE=1` refuses outright
     /// (exercises the fallback path on capable kernels),
     /// `SWEB_URING_ONESHOT=1` disables multishot poll/accept,
-    /// `SWEB_URING_NO_FIXED=1` skips the registered-file table, and
+    /// `SWEB_URING_NO_FIXED=1` skips the registered-file table,
     /// `SWEB_URING_NO_QWRITE=1` disables queued writes (the loop then
-    /// drains responses through the classic readiness path).
+    /// drains responses through the classic readiness path),
+    /// `SWEB_URING_NO_BUFS=1` skips the registered-buffer pool (every
+    /// queued write goes out as plain `WRITEV`), `SWEB_URING_NO_ZC=1`
+    /// disables `SEND_ZC` (large bodies fall back to `WRITEV` /
+    /// sendfile), and `SWEB_URING_SQPOLL=1` opts into a kernel
+    /// submission-poll thread.
     pub fn new() -> io::Result<UringPoller> {
+        UringPoller::with_pool_bytes(DEFAULT_BUF_POOL)
+    }
+
+    /// [`UringPoller::new`] with an explicit registered-buffer pool
+    /// budget in bytes (rounded down to whole [`BUF_SLOT`] slots; 0
+    /// disables the pool). The reactor wires the file cache's
+    /// per-segment share through here so staging capacity tracks the
+    /// hot-document working set.
+    pub fn with_pool_bytes(pool_bytes: usize) -> io::Result<UringPoller> {
         if env_flag("SWEB_URING_DISABLE") {
             return Err(unsupported("io_uring disabled by SWEB_URING_DISABLE"));
         }
-        let mut p = IoUringParams {
-            cq_entries: CQ_ENTRIES,
-            flags: IORING_SETUP_CQSIZE | IORING_SETUP_CLAMP,
-            ..IoUringParams::default()
-        };
-        let rc = unsafe {
-            syscall(SYS_IO_URING_SETUP, SQ_ENTRIES as usize, &mut p as *mut IoUringParams)
-        };
+        let want_sqpoll = env_flag("SWEB_URING_SQPOLL");
+        let mut p = IoUringParams::default();
+        let mut sqpoll = false;
+        let mut rc = -1i64;
+        for try_sqpoll in [want_sqpoll, false] {
+            p = IoUringParams {
+                cq_entries: CQ_ENTRIES,
+                flags: IORING_SETUP_CQSIZE
+                    | IORING_SETUP_CLAMP
+                    | if try_sqpoll { IORING_SETUP_SQPOLL } else { 0 },
+                sq_thread_idle: if try_sqpoll { SQPOLL_IDLE_MS } else { 0 },
+                ..IoUringParams::default()
+            };
+            rc = unsafe {
+                syscall(SYS_IO_URING_SETUP, SQ_ENTRIES as usize, &mut p as *mut IoUringParams)
+            };
+            if rc >= 0 {
+                sqpoll = try_sqpoll;
+                break;
+            }
+            if !try_sqpoll {
+                break;
+            }
+            // SQPOLL refused (old kernel / missing privilege): retry plain.
+        }
         if rc < 0 {
             return Err(io::Error::last_os_error());
         }
@@ -415,6 +544,43 @@ impl UringPoller {
                 fixed_free = (0..FIXED_TABLE).rev().collect();
             }
         }
+        // Registered-buffer pool: one contiguous allocation carved into
+        // BUF_SLOT-sized staging slots, registered as one iovec per slot
+        // (WRITE_FIXED's buf_index selects an iovec). Registration pins
+        // the pages, so failure (memlock/cgroup limits, old kernels) just
+        // means every write stays a plain WRITEV.
+        let mut buf_pool = Vec::new();
+        let mut buf_free = Vec::new();
+        let mut buf_registered = false;
+        let buf_slots = if env_flag("SWEB_URING_NO_BUFS") {
+            0
+        } else {
+            (pool_bytes / BUF_SLOT).min(1024) as u32
+        };
+        if buf_slots > 0 {
+            buf_pool = vec![0u8; buf_slots as usize * BUF_SLOT];
+            let iovs: Vec<IoVec> = (0..buf_slots as usize)
+                .map(|i| IoVec { base: buf_pool[i * BUF_SLOT..].as_ptr(), len: BUF_SLOT })
+                .collect();
+            let rc = unsafe {
+                syscall(
+                    SYS_IO_URING_REGISTER,
+                    ring_fd as usize,
+                    IORING_REGISTER_BUFFERS as usize,
+                    iovs.as_ptr() as usize,
+                    buf_slots as usize,
+                )
+            };
+            if rc == 0 {
+                buf_registered = true;
+                buf_free = (0..buf_slots).rev().collect();
+            } else {
+                buf_pool = Vec::new();
+            }
+        }
+        // Probe the opcode table once: SEND_ZC (5.19+) gets a positive
+        // capability check instead of a per-op EINVAL dance.
+        let send_zc_ok = !env_flag("SWEB_URING_NO_ZC") && probe_opcode(ring_fd, IORING_OP_SEND_ZC);
         let oneshot = env_flag("SWEB_URING_ONESHOT");
         Ok(UringPoller {
             ring_fd,
@@ -437,6 +603,12 @@ impl UringPoller {
             queued_writes: !env_flag("SWEB_URING_NO_QWRITE"),
             fixed_table: !fixed_free.is_empty(),
             fixed_free,
+            buf_pool,
+            buf_slots,
+            buf_free,
+            buf_registered,
+            send_zc_ok,
+            sqpoll,
             regs: Slab::new(),
             by_fd: HashMap::new(),
             writes: Slab::new(),
@@ -465,6 +637,13 @@ impl UringPoller {
         flags & IORING_SQ_CQ_OVERFLOW != 0
     }
 
+    /// With SQPOLL, whether the kernel submission thread has parked and
+    /// needs an `io_uring_enter(SQ_WAKEUP)` to resume consuming SQEs.
+    fn sq_need_wakeup(&self) -> bool {
+        let flags = unsafe { (*self.sq_kflags).load(Ordering::Acquire) };
+        flags & IORING_SQ_NEED_WAKEUP != 0
+    }
+
     fn try_ring_push(&mut self, sqe: &Sqe) -> bool {
         if self.sq_pending() >= self.sq_entries {
             return false;
@@ -481,6 +660,10 @@ impl UringPoller {
     fn push(&mut self, sqe: Sqe) {
         self.stats.sqe_submitted += 1;
         if !self.backlog.is_empty() || !self.try_ring_push(&sqe) {
+            // SQ-pressure signal: a backlogged SQE waits at least one
+            // extra submit round behind ring-resident ones, which is the
+            // latency-ordering suspect for tail regressions under load.
+            self.stats.sqe_backlogged += 1;
             self.backlog.push_back(sqe);
         }
     }
@@ -521,6 +704,11 @@ impl UringPoller {
         ts: Option<&Timespec>,
     ) -> io::Result<()> {
         self.stats.syscalls += 1;
+        let flags = if self.sqpoll && self.sq_need_wakeup() {
+            flags | IORING_ENTER_SQ_WAKEUP
+        } else {
+            flags
+        };
         let rc = match ts {
             Some(t) => {
                 let arg = GeteventsArg {
@@ -781,8 +969,37 @@ impl UringPoller {
         self.queued_writes
     }
 
-    /// Queue an entire buffered response as a `WRITEV` SQE, completing
+    /// Whether `SEND_ZC` is available (probed at setup; disabled via
+    /// `SWEB_URING_NO_ZC=1`). The reactor uses this to route large
+    /// bodies through the queued-write path instead of sendfile.
+    pub fn supports_send_zc(&self) -> bool {
+        self.send_zc_ok && self.queued_writes
+    }
+
+    /// Number of registered staging slots (0 when registration failed
+    /// or `SWEB_URING_NO_BUFS=1`). Conformance tests use this to prove
+    /// which wire path a run exercised.
+    pub fn buf_pool_slots(&self) -> u32 {
+        if self.buf_registered {
+            self.buf_slots
+        } else {
+            0
+        }
+    }
+
+    /// Queue an entire buffered response as one write op, completing
     /// via [`Event::wrote`] CQEs instead of readiness + `writev(2)`.
+    ///
+    /// The op picks the cheapest wire shape available: responses that
+    /// fit a registered-buffer slot are *staged* — copied into the
+    /// pinned pool and sent as `WRITE_FIXED` (no per-op buffer mapping,
+    /// and the response `Bytes` drops immediately instead of living
+    /// until the CQE); large bodies go out as `SEND_ZC` (the kernel
+    /// transmits from the shared body pages, no socket-buffer copy);
+    /// everything else is a plain `WRITEV`. Pool exhaustion and probe
+    /// failure degrade along the same ladder, counted in
+    /// [`IoStats::buf_pool_exhausted`].
+    ///
     /// With `link_read` (keep-alive), the write carries `IOSQE_IO_LINK`
     /// into an immediately-queued next-request `POLL_ADD`: the
     /// write-then-await-next transition costs zero dedicated syscalls.
@@ -797,7 +1014,8 @@ impl UringPoller {
         body: &mut Bytes,
         link_read: bool,
     ) -> bool {
-        if !self.queued_writes || head.len() + body.len() == 0 {
+        let total = head.len() + body.len();
+        if !self.queued_writes || total == 0 {
             return false;
         }
         let Some(&ridx) = self.by_fd.get(&fd) else { return false };
@@ -808,16 +1026,50 @@ impl UringPoller {
                 return false;
             }
         }
+        // Stage into a registered buffer when the whole response fits a
+        // slot: one copy now buys WRITE_FIXED submission and releases
+        // the cache's Bytes reference immediately.
+        let mut fixed_buf = None;
+        if self.buf_registered && total <= BUF_SLOT {
+            match self.buf_free.pop() {
+                Some(slot) => {
+                    let base = slot as usize * BUF_SLOT;
+                    self.buf_pool[base..base + head.len()].copy_from_slice(head);
+                    self.buf_pool[base + head.len()..base + total].copy_from_slice(body);
+                    fixed_buf = Some(slot);
+                }
+                None => self.stats.buf_pool_exhausted += 1,
+            }
+        }
+        // Large bodies (and only bodies: heads are always slot-sized)
+        // ride SEND_ZC when the kernel has it.
+        let send_zc = fixed_buf.is_none() && self.send_zc_ok && body.len() >= ZC_MIN_BODY;
+        let (head, body) = if fixed_buf.is_some() {
+            // Staged: the pool owns the bytes now. The head Vec keeps
+            // its allocation on the caller's side for reuse; the body's
+            // Bytes reference (and its hold on the cache entry) drops
+            // right here instead of at CQE time.
+            head.clear();
+            *body = Bytes::new();
+            (Vec::new(), Bytes::new())
+        } else {
+            (std::mem::take(head), std::mem::take(body))
+        };
         let (widx, _) = self.writes.insert(WriteOp {
             token,
             reg_idx: ridx,
             reg_gen: rgen,
-            head: std::mem::take(head),
-            body: std::mem::take(body),
+            head,
+            body,
             pos: 0,
+            total,
             iov: Box::new([IoVec { base: std::ptr::null(), len: 0 }; 2]),
             seq: 0,
             link_read,
+            fixed_buf,
+            send_zc,
+            zc_pending: 0,
+            finished: false,
         });
         self.submit_write(widx);
         if link_read {
@@ -829,9 +1081,13 @@ impl UringPoller {
         true
     }
 
-    /// (Re)submit a write op from its current position. The first
-    /// submission of a `link_read` op links into the poll that follows;
-    /// short-write resubmissions are independent SQEs.
+    /// (Re)submit a write op from its current position, as whichever of
+    /// `WRITE_FIXED` / `SEND_ZC` / `WRITEV` the op's shape calls for.
+    /// The first submission of a `link_read` op links into the poll
+    /// that follows; short-write resubmissions are independent SQEs.
+    /// A `send_zc` op's head (if any) goes out first as a `WRITEV`, the
+    /// body as `SEND_ZC` once `pos` reaches it — the links-only-at-pos-0
+    /// rule keeps the next-request poll from arming mid-body.
     fn submit_write(&mut self, widx: usize) {
         let seq = self.next_seq();
         let reg_idx = match self.writes.get_mut(widx) {
@@ -842,34 +1098,59 @@ impl UringPoller {
             Some(reg) => (reg.fd, reg.fixed_slot),
             None => return,
         };
+        let pool_base = self.buf_pool.as_ptr() as usize;
         let Some(op) = self.writes.get_mut(widx) else { return };
         op.seq = seq;
-        let mut n = 0usize;
-        let hp = op.pos.min(op.head.len());
-        if hp < op.head.len() {
-            op.iov[n] = IoVec { base: op.head[hp..].as_ptr(), len: op.head.len() - hp };
-            n += 1;
-        }
-        let bp = op.pos.saturating_sub(op.head.len());
-        if bp < op.body.len() {
-            op.iov[n] = IoVec { base: op.body[bp..].as_ptr(), len: op.body.len() - bp };
-            n += 1;
-        }
-        let link = op.link_read && op.pos == 0;
         let mut sqe = Sqe::zeroed();
-        sqe.opcode = IORING_OP_WRITEV;
         if let Some(slot) = fixed_slot {
             sqe.fd = slot as i32;
             sqe.flags |= IOSQE_FIXED_FILE;
         } else {
             sqe.fd = reg_fd;
         }
-        sqe.addr = op.iov.as_ptr() as u64;
-        sqe.len = n as u32;
+        let mut used_fixed_buf = false;
+        let mut used_zc = false;
+        if let Some(bslot) = op.fixed_buf {
+            sqe.opcode = IORING_OP_WRITE_FIXED;
+            sqe.addr = (pool_base + bslot as usize * BUF_SLOT + op.pos) as u64;
+            sqe.len = (op.total - op.pos) as u32;
+            sqe.buf_index = bslot as u16;
+            used_fixed_buf = true;
+        } else if op.send_zc && op.pos >= op.head.len() {
+            let bp = op.pos - op.head.len();
+            sqe.opcode = IORING_OP_SEND_ZC;
+            sqe.addr = op.body[bp..].as_ptr() as u64;
+            sqe.len = (op.body.len() - bp) as u32;
+            used_zc = true;
+        } else {
+            let mut n = 0usize;
+            let hp = op.pos.min(op.head.len());
+            if hp < op.head.len() {
+                op.iov[n] = IoVec { base: op.head[hp..].as_ptr(), len: op.head.len() - hp };
+                n += 1;
+            }
+            // A send_zc op defers its body to the SEND_ZC submission
+            // that follows the head's completion.
+            let bp = op.pos.saturating_sub(op.head.len());
+            if !op.send_zc && bp < op.body.len() {
+                op.iov[n] = IoVec { base: op.body[bp..].as_ptr(), len: op.body.len() - bp };
+                n += 1;
+            }
+            sqe.opcode = IORING_OP_WRITEV;
+            sqe.addr = op.iov.as_ptr() as u64;
+            sqe.len = n as u32;
+        }
+        let link = op.link_read && op.pos == 0 && !op.send_zc;
         if link {
             sqe.flags |= IOSQE_IO_LINK;
         }
         sqe.user_data = pack(KIND_WRITE, widx, seq);
+        if used_fixed_buf {
+            self.stats.write_fixed += 1;
+        }
+        if used_zc {
+            self.stats.send_zc += 1;
+        }
         self.push(sqe);
     }
 
@@ -932,6 +1213,21 @@ impl UringPoller {
             self.fixed_table = false;
             self.fixed_free.clear();
         }
+        if self.buf_registered {
+            // Unpin the staging pool; quiesce above guarantees no
+            // WRITE_FIXED still reads from it.
+            unsafe {
+                syscall(
+                    SYS_IO_URING_REGISTER,
+                    self.ring_fd as usize,
+                    IORING_UNREGISTER_BUFFERS as usize,
+                    0usize,
+                    0usize,
+                );
+            }
+            self.buf_registered = false;
+            self.buf_free.clear();
+        }
     }
 
     /// See [`super::Poller::wait`]: batched submit + complete. One
@@ -947,7 +1243,15 @@ impl UringPoller {
         let before = events.len();
         if !out.is_empty() || timeout_ms == 0 {
             let pending = self.sq_pending();
-            if pending > 0 || self.cq_overflowed() {
+            // Under SQPOLL the kernel thread consumes SQEs on its own;
+            // an enter is only needed to wake a parked thread or drain a
+            // CQ overflow.
+            let need_enter = if self.sqpoll {
+                (pending > 0 && self.sq_need_wakeup()) || self.cq_overflowed()
+            } else {
+                pending > 0 || self.cq_overflowed()
+            };
+            if need_enter {
                 if let Err(e) = self.enter(pending, 0, IORING_ENTER_GETEVENTS, None) {
                     self.scratch = out;
                     return Err(e);
@@ -1146,18 +1450,65 @@ impl UringPoller {
         }
     }
 
+    /// The op's data path is over (completed, failed, or the connection
+    /// died): free it now unless `SEND_ZC` notifications are still
+    /// outstanding — the kernel reads the body pages until every notif
+    /// lands, so the op (and its buffers) must outlive them.
+    fn finish_write(&mut self, widx: usize) {
+        let remove = {
+            let Some(op) = self.writes.get_mut(widx) else { return };
+            op.finished = true;
+            op.zc_pending == 0
+        };
+        if remove {
+            self.release_write(widx);
+        }
+    }
+
+    /// Actually free a write op, returning its staging slot to the pool.
+    fn release_write(&mut self, widx: usize) {
+        if let Some(op) = self.writes.remove(widx) {
+            if let Some(slot) = op.fixed_buf {
+                self.buf_free.push(slot);
+            }
+        }
+    }
+
     fn on_write_cqe(&mut self, widx: usize, seq: u32, cqe: Cqe, out: &mut Vec<Event>) {
+        if cqe.flags & IORING_CQE_F_NOTIF != 0 {
+            // SEND_ZC buffer-release notification. Matched by op index,
+            // not seq: a short-send resubmission bumps the seq while the
+            // prior submission's notif is still in flight, and every one
+            // of them must be drained before the buffers can go. The op
+            // is never removed with zc_pending > 0, so the index cannot
+            // have been reused.
+            let remove = {
+                let Some(op) = self.writes.get_mut(widx) else { return };
+                op.zc_pending = op.zc_pending.saturating_sub(1);
+                op.finished && op.zc_pending == 0
+            };
+            if remove {
+                self.release_write(widx);
+            }
+            return;
+        }
         let (reg_idx, reg_gen, token) = {
             let Some(op) = self.writes.get_mut(widx) else { return };
             if op.seq != seq {
                 return; // stale resubmission
             }
+            // A SEND_ZC result CQE with F_MORE promises a notif CQE for
+            // this submission; count it before any early return below.
+            if cqe.flags & IORING_CQE_F_MORE != 0 {
+                op.zc_pending += 1;
+            }
             (op.reg_idx, op.reg_gen, op.token)
         };
         if self.regs.gen_of(reg_idx) != Some(reg_gen) {
-            // Connection died while the write was in flight; the CQE
-            // means the kernel is done with the buffers — free them.
-            self.writes.remove(widx);
+            // Connection died while the write was in flight; the result
+            // CQE means the data path is over (any ZC notifs still
+            // gate the actual free).
+            self.finish_write(widx);
             return;
         }
         if cqe.res < 0 {
@@ -1166,7 +1517,7 @@ impl UringPoller {
                 self.submit_write(widx);
                 return;
             }
-            self.writes.remove(widx);
+            self.finish_write(widx);
             out.push(Event {
                 token,
                 readable: false,
@@ -1177,12 +1528,18 @@ impl UringPoller {
             });
             return;
         }
-        self.stats.syscalls_saved += 1; // the writev(2) this replaces
-        let done = {
+        self.stats.syscalls_saved += 1; // the writev(2)/sendfile this replaces
+        let (done, zc_sent) = {
             let Some(op) = self.writes.get_mut(widx) else { return };
+            let in_body = op.send_zc && op.pos >= op.head.len();
             op.pos += cqe.res as usize;
-            op.pos >= op.head.len() + op.body.len()
+            (op.pos >= op.total, in_body && cqe.res > 0)
         };
+        if zc_sent {
+            // One completed SEND_ZC = one socket-buffer copy a plain
+            // send would have paid.
+            self.stats.zc_copies_avoided += 1;
+        }
         out.push(Event {
             token,
             readable: false,
@@ -1192,7 +1549,7 @@ impl UringPoller {
             wrote: Some(cqe.res),
         });
         if done {
-            self.writes.remove(widx);
+            self.finish_write(widx);
         } else {
             self.submit_write(widx);
         }
@@ -1219,8 +1576,14 @@ impl Drop for UringPoller {
     fn drop(&mut self) {
         // Closing the ring fd cancels in-flight ops, but teardown is
         // asynchronous: leak any op buffers the kernel might still read
-        // rather than risk a use-after-free.
+        // rather than risk a use-after-free. The staging pool goes the
+        // same way: with writes in flight a WRITE_FIXED may still read
+        // from it, so it leaks alongside them; otherwise it frees
+        // normally (the kernel's pin is by page refcount, not address).
         unsafe { close(self.ring_fd) };
+        if !self.writes.is_empty() {
+            std::mem::forget(std::mem::take(&mut self.buf_pool));
+        }
         for (_, op) in self.writes.drain_all() {
             std::mem::forget(op);
         }

@@ -226,6 +226,156 @@ fn positive_timeout_is_bounded() {
     });
 }
 
+/// Serializes the `SWEB_URING_*` env-flag tests: env vars are
+/// process-global and the harness runs tests threaded.
+#[cfg(target_os = "linux")]
+static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Open a strict-uring poller with an explicit registered-pool budget;
+/// `None` means this kernel can't run the test (skip, not fail).
+#[cfg(target_os = "linux")]
+fn uring_with_pool(pool_bytes: usize, what: &str) -> Option<Poller> {
+    match Poller::with_backend_and_pool(IoBackend::Uring, pool_bytes) {
+        Ok(p) if p.backend() == "uring" => Some(p),
+        Ok(_) | Err(_) => {
+            eprintln!("conformance: skipping {what}: kernel lacks io_uring");
+            None
+        }
+    }
+}
+
+/// Queue one response per stream via the uring queued-write path
+/// (`head` bytes then `body` bytes, exactly as the reactor hands over a
+/// header + cached document), then drive the ring until every client
+/// received its stream. Returns the received streams for byte-identity
+/// assertions against `head ++ body`.
+#[cfg(target_os = "linux")]
+fn pump_queued_writes(poller: &mut Poller, legs: &[(Vec<u8>, bytes::Bytes)]) -> Vec<Vec<u8>> {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    listener.set_nonblocking(true).unwrap();
+    let mut clients = Vec::new();
+    let mut servers = Vec::new();
+    for i in 0..legs.len() {
+        let (client, server) = pair(&listener);
+        client.set_nonblocking(true).unwrap();
+        // No poll armed: the queued-write path owns the fd until the
+        // response drains (matching how the reactor hands over).
+        poller.register(server.as_raw_fd(), i, Interest::NONE).unwrap();
+        clients.push(client);
+        servers.push(server);
+    }
+    for (i, (h, b)) in legs.iter().enumerate() {
+        let mut head = h.clone();
+        let mut body = b.clone();
+        assert!(
+            poller.queue_writev(servers[i].as_raw_fd(), i, &mut head, &mut body, false),
+            "queue_writev refused stream {i}"
+        );
+    }
+    let totals: Vec<usize> = legs.iter().map(|(h, b)| h.len() + b.len()).collect();
+    let mut got: Vec<Vec<u8>> = vec![Vec::new(); legs.len()];
+    let mut events = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while got.iter().zip(&totals).any(|(g, t)| g.len() < *t) {
+        poller.wait(&mut events, 20).unwrap();
+        for (i, c) in clients.iter_mut().enumerate() {
+            let mut buf = [0u8; 16 * 1024];
+            loop {
+                match c.read(&mut buf) {
+                    Ok(0) => break,
+                    Ok(n) => got[i].extend_from_slice(&buf[..n]),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) => panic!("client {i} read failed: {e}"),
+                }
+            }
+        }
+        assert!(Instant::now() < deadline, "queued writes never drained");
+    }
+    got
+}
+
+/// `head ++ body` for comparing a received stream.
+#[cfg(target_os = "linux")]
+fn expected(leg: &(Vec<u8>, bytes::Bytes)) -> Vec<u8> {
+    let mut v = leg.0.clone();
+    v.extend_from_slice(&leg.1);
+    v
+}
+
+/// A registered pool of exactly one staging slot: the first queued
+/// response stages as `WRITE_FIXED`, the rest find the pool exhausted
+/// and must fall back to plain `WRITEV` — with every byte intact.
+#[test]
+#[cfg(target_os = "linux")]
+fn tiny_pool_exhaustion_falls_back_to_writev() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let Some(mut poller) = uring_with_pool(16 * 1024, "tiny-pool exhaustion") else {
+        return;
+    };
+    // Four 8 KiB responses: each fits the slot alone, no two share it,
+    // and all four are queued before the ring gets a chance to complete
+    // the first — so exhaustion is guaranteed, not racy.
+    let legs: Vec<(Vec<u8>, bytes::Bytes)> = (0..4)
+        .map(|i| (vec![b'a' + i as u8; 4 * 1024], bytes::Bytes::from(vec![b'A' + i as u8; 4 * 1024])))
+        .collect();
+    let got = pump_queued_writes(&mut poller, &legs);
+    for (i, (g, leg)) in got.iter().zip(&legs).enumerate() {
+        assert_eq!(*g, expected(leg), "stream {i} bytes diverged");
+    }
+    let stats = poller.take_stats();
+    assert!(stats.write_fixed >= 1, "the free slot was never used: {stats:?}");
+    assert!(stats.buf_pool_exhausted >= 1, "exhaustion never fell back: {stats:?}");
+}
+
+/// `SWEB_URING_NO_BUFS=1` must disable the registered pool outright —
+/// zero `WRITE_FIXED` submissions — while responses stay byte-identical.
+#[test]
+#[cfg(target_os = "linux")]
+fn no_bufs_env_serves_identical_bytes_without_write_fixed() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    std::env::set_var("SWEB_URING_NO_BUFS", "1");
+    let result = uring_with_pool(2 << 20, "NO_BUFS fallback").map(|mut poller| {
+        let legs: Vec<(Vec<u8>, bytes::Bytes)> = (0..3)
+            .map(|i| (vec![b'x' + i as u8; 2 * 1024], bytes::Bytes::from(vec![b'X' + i as u8; 2 * 1024])))
+            .collect();
+        let got = pump_queued_writes(&mut poller, &legs);
+        (got, legs, poller.take_stats())
+    });
+    std::env::remove_var("SWEB_URING_NO_BUFS");
+    let Some((got, legs, stats)) = result else { return };
+    for (i, (g, leg)) in got.iter().zip(&legs).enumerate() {
+        assert_eq!(*g, expected(leg), "stream {i} bytes diverged under SWEB_URING_NO_BUFS");
+    }
+    assert_eq!(stats.write_fixed, 0, "opt-out still staged into the pool: {stats:?}");
+    assert_eq!(stats.buf_pool_exhausted, 0, "no pool, so nothing to exhaust: {stats:?}");
+}
+
+/// `SWEB_URING_NO_ZC=1` models a kernel whose probe lacks `SEND_ZC`:
+/// large bodies must take the plain `WRITEV` path (with short-write
+/// resubmission) and still arrive byte-identical.
+#[test]
+#[cfg(target_os = "linux")]
+fn no_zc_probe_fallback_keeps_large_bodies_identical() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    std::env::set_var("SWEB_URING_NO_ZC", "1");
+    let result = uring_with_pool(2 << 20, "NO_ZC fallback").map(|mut poller| {
+        // A 96 KiB *body*: past ZC_MIN_BODY (64 KiB) and past the
+        // staging-slot size, so without the opt-out this is exactly the
+        // shape that rides SEND_ZC.
+        let mut payload = vec![0u8; 96 * 1024];
+        for (i, b) in payload.iter_mut().enumerate() {
+            *b = (i % 251) as u8;
+        }
+        let legs = vec![(b"HTTP/1.0 200 OK\r\n\r\n".to_vec(), bytes::Bytes::from(payload))];
+        let got = pump_queued_writes(&mut poller, &legs);
+        (got, legs, poller.take_stats())
+    });
+    std::env::remove_var("SWEB_URING_NO_ZC");
+    let Some((got, legs, stats)) = result else { return };
+    assert_eq!(got[0], expected(&legs[0]), "large body diverged under SWEB_URING_NO_ZC");
+    assert_eq!(stats.send_zc, 0, "opt-out still sent zero-copy: {stats:?}");
+}
+
 #[test]
 fn peer_close_surfaces_as_event() {
     for_each_backend(|mut poller| {

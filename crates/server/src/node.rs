@@ -96,6 +96,16 @@ pub struct NodeStats {
     /// would have paid for (folded registrations, CQE-carried accepts and
     /// writes, ring-satisfied waits).
     pub io_syscalls_saved: Arc<ShardedCounter>,
+    /// Responses sent as `WRITE_FIXED` from the registered staging pool.
+    pub io_write_fixed: Arc<ShardedCounter>,
+    /// Staging-pool misses that fell back to plain `WRITEV`.
+    pub io_buf_pool_exhausted: Arc<ShardedCounter>,
+    /// `SEND_ZC` operations submitted for large bodies.
+    pub io_send_zc: Arc<ShardedCounter>,
+    /// Completed zero-copy sends (kernel payload copies avoided).
+    pub io_zc_copies_avoided: Arc<ShardedCounter>,
+    /// SQEs that waited in the userspace backlog (SQ-pressure signal).
+    pub io_sqe_backlogged: Arc<ShardedCounter>,
     /// `sweb_io_backend{backend=...}` gauges: number of shards running
     /// each backend (all zero until the loops report in). Order matches
     /// [`NodeStats::io_backend_gauge`].
@@ -208,6 +218,26 @@ impl NodeStats {
             io_syscalls_saved: sc(
                 "sweb_io_syscalls_saved_total",
                 "Syscalls avoided by the completion-based backend",
+            ),
+            io_write_fixed: sc(
+                "sweb_io_write_fixed_total",
+                "Responses sent as WRITE_FIXED from the registered staging pool",
+            ),
+            io_buf_pool_exhausted: sc(
+                "sweb_io_buf_pool_exhausted_total",
+                "Staging-pool misses that fell back to plain WRITEV",
+            ),
+            io_send_zc: sc(
+                "sweb_io_send_zc_total",
+                "SEND_ZC operations submitted for large bodies",
+            ),
+            io_zc_copies_avoided: sc(
+                "sweb_io_zc_copies_avoided_total",
+                "Completed zero-copy sends (kernel payload copies avoided)",
+            ),
+            io_sqe_backlogged: sc(
+                "sweb_io_sqe_backlogged_total",
+                "io_uring SQEs that waited in the userspace backlog (SQ pressure)",
             ),
             io_backends: ["uring", "epoll", "poll"].map(|b| {
                 registry.gauge(
@@ -493,6 +523,11 @@ impl sweb_reactor::App for ReactorApp {
         s.io_sqe_submitted.add_at(self.shard, stats.sqe_submitted);
         s.io_cqe_completed.add_at(self.shard, stats.cqe_completed);
         s.io_syscalls_saved.add_at(self.shard, stats.syscalls_saved);
+        s.io_write_fixed.add_at(self.shard, stats.write_fixed);
+        s.io_buf_pool_exhausted.add_at(self.shard, stats.buf_pool_exhausted);
+        s.io_send_zc.add_at(self.shard, stats.send_zc);
+        s.io_zc_copies_avoided.add_at(self.shard, stats.zc_copies_avoided);
+        s.io_sqe_backlogged.add_at(self.shard, stats.sqe_backlogged);
     }
     fn on_shard_stop(&self) {
         if let Some(live) = self.shared.shard_live.get(self.shard) {
@@ -543,6 +578,10 @@ impl NodeHandle {
                     transmit: shared.transmit,
                     request_budget: shared.request_budget,
                     io_backend: shared.io_backend,
+                    // Size each shard's registered staging pool off one
+                    // cache stripe's budget: the pool stages what the hot
+                    // segment serves, without pinning the cache itself.
+                    uring_buf_pool_bytes: shared.file_cache.segment_share() as usize,
                     ..sweb_reactor::ReactorConfig::default()
                 };
                 reactor = Some(sweb_reactor::spawn_sharded(listener, apps, cfg, Arc::clone(&stop))?);

@@ -47,7 +47,14 @@ pub const METRICS_PATH: &str = "/metrics";
 /// load-derived `Retry-After` value) and two fault counters
 /// (`overload_samples`, `brownout_delays`) for the injected overload /
 /// brownout faults.
-pub const STATUS_SCHEMA_VERSION: u64 = 7;
+/// v8 added the `io` block: the poller's kernel-crossing counters
+/// (syscalls, SQE/CQE traffic, syscalls saved) plus the zero-copy data
+/// path introduced with registered buffers — `write_fixed`,
+/// `buf_pool_exhausted`, `send_zc`, `zc_copies_avoided`, and the
+/// SQ-pressure signal `sqe_backlogged`. Previously these lived only in
+/// `/metrics`; the status document now carries them so bench tooling
+/// can diff one JSON fetch.
+pub const STATUS_SCHEMA_VERSION: u64 = 8;
 
 /// One node's full introspection snapshot.
 #[derive(Debug, Clone, PartialEq)]
@@ -75,10 +82,37 @@ pub struct StatusReport {
     pub dynamic_cache: crate::dynamic::DynamicCacheStats,
     /// File-cache state.
     pub cache: CacheSnapshot,
+    /// Connection-engine I/O counters (schema v8), summed across shards.
+    pub io: IoSnapshot,
     /// Overload-control state: admission, breakers, retry budgets.
     pub overload: OverloadSnapshot,
     /// Faults injected so far by the chaos harness (all zero without one).
     pub faults: FaultCountsSnapshot,
+}
+
+/// The connection engine's kernel-crossing counters (schema v8), summed
+/// across shards. All zero for the threaded engine; the SQE/CQE and
+/// zero-copy counters are zero on the readiness backends too.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoSnapshot {
+    /// Kernel entries the pollers made.
+    pub syscalls: u64,
+    /// io_uring submission-queue entries pushed.
+    pub sqe_submitted: u64,
+    /// io_uring completion-queue entries reaped.
+    pub cqe_completed: u64,
+    /// Syscalls the completion backend absorbed.
+    pub syscalls_saved: u64,
+    /// Responses sent as `WRITE_FIXED` from the registered staging pool.
+    pub write_fixed: u64,
+    /// Staging-pool misses that fell back to plain `WRITEV`.
+    pub buf_pool_exhausted: u64,
+    /// `SEND_ZC` operations submitted for large bodies.
+    pub send_zc: u64,
+    /// Completed zero-copy sends (kernel payload copies avoided).
+    pub zc_copies_avoided: u64,
+    /// SQEs that waited in the userspace backlog (SQ pressure).
+    pub sqe_backlogged: u64,
 }
 
 /// The overload-control subsystem's introspection block (schema v7).
@@ -338,6 +372,17 @@ impl StatusReport {
                 capacity_bytes: shared.file_cache.capacity(),
                 digest_bits: shared.file_cache.digest().ones() as u64,
             },
+            io: IoSnapshot {
+                syscalls: s.io_syscalls.get(),
+                sqe_submitted: s.io_sqe_submitted.get(),
+                cqe_completed: s.io_cqe_completed.get(),
+                syscalls_saved: s.io_syscalls_saved.get(),
+                write_fixed: s.io_write_fixed.get(),
+                buf_pool_exhausted: s.io_buf_pool_exhausted.get(),
+                send_zc: s.io_send_zc.get(),
+                zc_copies_avoided: s.io_zc_copies_avoided.get(),
+                sqe_backlogged: s.io_sqe_backlogged.get(),
+            },
             overload: OverloadSnapshot {
                 enabled: shared.overload_control,
                 shed_level: shared.admission.level() as u64,
@@ -452,6 +497,21 @@ impl StatusReport {
             self.cache.used_bytes,
             self.cache.capacity_bytes,
             self.cache.digest_bits,
+        ));
+        let io = &self.io;
+        out.push_str(&format!(
+            "\nio: {} syscalls, {} sqe, {} cqe, {} saved\n  \
+             zero-copy path: {} write-fixed, {} pool-exhausted, {} send-zc, \
+             {} copies avoided, {} sqe backlogged\n",
+            io.syscalls,
+            io.sqe_submitted,
+            io.cqe_completed,
+            io.syscalls_saved,
+            io.write_fixed,
+            io.buf_pool_exhausted,
+            io.send_zc,
+            io.zc_copies_avoided,
+            io.sqe_backlogged,
         ));
         let o = &self.overload;
         out.push_str(&format!(
@@ -610,6 +670,20 @@ impl StatusReport {
                     ("used_bytes", Json::Num(self.cache.used_bytes as f64)),
                     ("capacity_bytes", Json::Num(self.cache.capacity_bytes as f64)),
                     ("digest_bits", Json::Num(self.cache.digest_bits as f64)),
+                ]),
+            ),
+            (
+                "io",
+                obj(vec![
+                    ("syscalls", Json::Num(self.io.syscalls as f64)),
+                    ("sqe_submitted", Json::Num(self.io.sqe_submitted as f64)),
+                    ("cqe_completed", Json::Num(self.io.cqe_completed as f64)),
+                    ("syscalls_saved", Json::Num(self.io.syscalls_saved as f64)),
+                    ("write_fixed", Json::Num(self.io.write_fixed as f64)),
+                    ("buf_pool_exhausted", Json::Num(self.io.buf_pool_exhausted as f64)),
+                    ("send_zc", Json::Num(self.io.send_zc as f64)),
+                    ("zc_copies_avoided", Json::Num(self.io.zc_copies_avoided as f64)),
+                    ("sqe_backlogged", Json::Num(self.io.sqe_backlogged as f64)),
                 ]),
             ),
             (
@@ -777,6 +851,18 @@ impl StatusReport {
             capacity_bytes: num_u64(&k, "capacity_bytes")?,
             digest_bits: num_u64(&k, "digest_bits")?,
         };
+        let i = field(v, "io")?;
+        let io = IoSnapshot {
+            syscalls: num_u64(&i, "syscalls")?,
+            sqe_submitted: num_u64(&i, "sqe_submitted")?,
+            cqe_completed: num_u64(&i, "cqe_completed")?,
+            syscalls_saved: num_u64(&i, "syscalls_saved")?,
+            write_fixed: num_u64(&i, "write_fixed")?,
+            buf_pool_exhausted: num_u64(&i, "buf_pool_exhausted")?,
+            send_zc: num_u64(&i, "send_zc")?,
+            zc_copies_avoided: num_u64(&i, "zc_copies_avoided")?,
+            sqe_backlogged: num_u64(&i, "sqe_backlogged")?,
+        };
         let o = field(v, "overload")?;
         let sheds = field(&o, "sheds_by_class")?;
         let overload = OverloadSnapshot {
@@ -825,6 +911,7 @@ impl StatusReport {
             handlers,
             dynamic_cache,
             cache,
+            io,
             overload,
             faults,
         })
@@ -997,6 +1084,17 @@ mod tests {
                 capacity_bytes: 16 << 20,
                 digest_bits: 12,
             },
+            io: IoSnapshot {
+                syscalls: 1234,
+                sqe_submitted: 10213,
+                cqe_completed: 16835,
+                syscalls_saved: 15013,
+                write_fixed: 880,
+                buf_pool_exhausted: 12,
+                send_zc: 44,
+                zc_copies_avoided: 41,
+                sqe_backlogged: 7,
+            },
             overload: OverloadSnapshot {
                 enabled: true,
                 shed_level: 2,
@@ -1130,6 +1228,36 @@ mod tests {
             }
         }
         assert!(StatusReport::from_json(&v).is_err(), "v7 requires the new fault counters");
+    }
+
+    #[test]
+    fn from_json_rejects_missing_io_block() {
+        let report = sample_report();
+        let mut v = report.to_json();
+        if let Json::Obj(members) = &mut v {
+            members.retain(|(k, _)| k != "io");
+        }
+        assert!(StatusReport::from_json(&v).is_err(), "v8 requires the io block");
+        let mut v = report.to_json();
+        if let Json::Obj(members) = &mut v {
+            if let Some((_, Json::Obj(io))) = members.iter_mut().find(|(k, _)| k == "io") {
+                io.retain(|(k, _)| k != "send_zc");
+            }
+        }
+        assert!(StatusReport::from_json(&v).is_err(), "v8 requires the zero-copy counters");
+    }
+
+    #[test]
+    fn text_view_has_the_io_block() {
+        let text = sample_report().to_text();
+        assert!(text.contains("io: 1234 syscalls, 10213 sqe, 16835 cqe, 15013 saved"), "{text}");
+        assert!(
+            text.contains(
+                "zero-copy path: 880 write-fixed, 12 pool-exhausted, 44 send-zc, \
+                 41 copies avoided, 7 sqe backlogged"
+            ),
+            "{text}"
+        );
     }
 
     #[test]

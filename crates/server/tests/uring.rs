@@ -171,6 +171,65 @@ fn uring_uses_fewer_syscalls_for_the_same_batch() {
     assert_eq!(e_saved, 0, "epoll reported saved syscalls");
 }
 
+/// Serializes the env-flag tests below: `SWEB_URING_*` variables are
+/// process-global and the harness runs tests threaded. Clusters read
+/// the flags when their shards open the ring, so each test holds the
+/// lock from `set_var` until its clusters are done serving.
+static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// With `SWEB_URING_NO_BUFS=1` the full stack must serve byte-identical
+/// responses over plain `WRITEV` — zero `WRITE_FIXED` submissions.
+#[test]
+fn no_bufs_fallback_serves_byte_identical_responses() {
+    if !uring_available() {
+        return;
+    }
+    let _guard = ENV_LOCK.lock().unwrap();
+    std::env::set_var("SWEB_URING_NO_BUFS", "1");
+    let uring = LiveCluster::start(1, docroot("nobufs-u"), config(IoBackend::Uring)).unwrap();
+    let epoll = LiveCluster::start(1, docroot("nobufs-e"), config(IoBackend::Epoll)).unwrap();
+    for path in PATHS {
+        let a = client::get(&format!("{}{path}", uring.base_url(0))).unwrap();
+        let b = client::get(&format!("{}{path}", epoll.base_url(0))).unwrap();
+        assert_eq!(a.status, b.status, "{path}: status diverged under NO_BUFS");
+        assert_eq!(a.body, b.body, "{path}: body diverged under NO_BUFS");
+    }
+    std::thread::sleep(Duration::from_millis(50));
+    let fixed = uring.node(0).stats.io_write_fixed.get();
+    uring.shutdown();
+    epoll.shutdown();
+    std::env::remove_var("SWEB_URING_NO_BUFS");
+    assert_eq!(fixed, 0, "SWEB_URING_NO_BUFS=1 still submitted WRITE_FIXED");
+}
+
+/// With `SWEB_URING_NO_ZC=1` — the same fallback a kernel whose probe
+/// lacks `SEND_ZC` takes — large cached documents must arrive
+/// byte-identical over the plain queued-write path, zero `SEND_ZC`.
+#[test]
+fn no_zc_probe_fallback_serves_byte_identical_responses() {
+    if !uring_available() {
+        return;
+    }
+    let _guard = ENV_LOCK.lock().unwrap();
+    std::env::set_var("SWEB_URING_NO_ZC", "1");
+    let uring = LiveCluster::start(1, docroot("nozc-u"), config(IoBackend::Uring)).unwrap();
+    let epoll = LiveCluster::start(1, docroot("nozc-e"), config(IoBackend::Epoll)).unwrap();
+    // The 200 KiB gif is the SEND_ZC-shaped response; fetch it twice so
+    // the second hit is served from cache (the zero-copy-eligible path).
+    for path in ["/maps/goleta.gif", "/maps/goleta.gif", "/doc0.txt", "/index.html"] {
+        let a = client::get(&format!("{}{path}", uring.base_url(0))).unwrap();
+        let b = client::get(&format!("{}{path}", epoll.base_url(0))).unwrap();
+        assert_eq!(a.status, b.status, "{path}: status diverged under NO_ZC");
+        assert_eq!(a.body, b.body, "{path}: body diverged under NO_ZC");
+    }
+    std::thread::sleep(Duration::from_millis(50));
+    let zc = uring.node(0).stats.io_send_zc.get();
+    uring.shutdown();
+    epoll.shutdown();
+    std::env::remove_var("SWEB_URING_NO_ZC");
+    assert_eq!(zc, 0, "SWEB_URING_NO_ZC=1 still submitted SEND_ZC");
+}
+
 /// A scripted accept-pause fault must behave identically under uring:
 /// connections queue in the kernel backlog during the pause window and
 /// complete afterwards — no hangs, no drops — and the injector records
